@@ -1,0 +1,131 @@
+//! Per-entry bit widths of the tracked structures (Table III of the paper).
+//!
+//! The paper justifies these budgets in Section IV-A: each ROB entry carries
+//! a 12-bit PC-table index, a 72-bit rename mapping (three 24-bit
+//! arch/phys/old-phys triples), LQ/SQ indices, and completion/exception/
+//! marker bits; the issue queue carries register tags, LQ/SQ indices and a
+//! 32-bit micro-op; the load queue carries virtual and physical addresses
+//! for memory-ordering checks; the store queue adds 64 bits of data.
+
+use crate::structure::Structure;
+
+/// Bits per reorder-buffer entry.
+pub const ROB_ENTRY_BITS: u64 = 120;
+/// Bits per issue-queue entry.
+pub const IQ_ENTRY_BITS: u64 = 80;
+/// Bits per load-queue entry.
+pub const LQ_ENTRY_BITS: u64 = 120;
+/// Bits per store-queue entry.
+pub const SQ_ENTRY_BITS: u64 = 184;
+/// Bits per integer physical register (Table II).
+pub const INT_REG_BITS: u64 = 64;
+/// Bits per floating-point physical register (Table II).
+pub const FP_REG_BITS: u64 = 128;
+/// Width in bits of an integer functional unit.
+pub const INT_FU_BITS: u64 = 64;
+/// Width in bits of a floating-point functional unit.
+pub const FP_FU_BITS: u64 = 128;
+
+/// Table III as a queryable value: bits per entry for each structure.
+///
+/// The register-file and FU widths depend on the operand class, so this type
+/// exposes the *fixed* per-entry structures directly and leaves RF/FU widths
+/// to the constants above.
+///
+/// # Examples
+///
+/// ```
+/// use rar_ace::{EntryBits, Structure};
+/// let bits = EntryBits::table_iii();
+/// assert_eq!(bits.per_entry(Structure::Rob), 120);
+/// assert_eq!(bits.per_entry(Structure::Sq), 184);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryBits {
+    rob: u64,
+    iq: u64,
+    lq: u64,
+    sq: u64,
+    rf_int: u64,
+    rf_fp: u64,
+    fu_int: u64,
+    fu_fp: u64,
+}
+
+impl EntryBits {
+    /// The paper's Table III configuration.
+    #[must_use]
+    pub const fn table_iii() -> Self {
+        EntryBits {
+            rob: ROB_ENTRY_BITS,
+            iq: IQ_ENTRY_BITS,
+            lq: LQ_ENTRY_BITS,
+            sq: SQ_ENTRY_BITS,
+            rf_int: INT_REG_BITS,
+            rf_fp: FP_REG_BITS,
+            fu_int: INT_FU_BITS,
+            fu_fp: FP_FU_BITS,
+        }
+    }
+
+    /// Bits per entry of `structure`. For [`Structure::Fu`] this returns the
+    /// integer FU width; use [`EntryBits::fu_bits`] for class-specific widths.
+    #[must_use]
+    pub const fn per_entry(&self, structure: Structure) -> u64 {
+        match structure {
+            Structure::Rob => self.rob,
+            Structure::Iq => self.iq,
+            Structure::Lq => self.lq,
+            Structure::Sq => self.sq,
+            Structure::RfInt => self.rf_int,
+            Structure::RfFp => self.rf_fp,
+            Structure::Fu => self.fu_int,
+        }
+    }
+
+    /// Functional-unit width for integer (`false`) or floating-point
+    /// (`true`) operations.
+    #[must_use]
+    pub const fn fu_bits(&self, fp: bool) -> u64 {
+        if fp {
+            self.fu_fp
+        } else {
+            self.fu_int
+        }
+    }
+}
+
+impl Default for EntryBits {
+    fn default() -> Self {
+        EntryBits::table_iii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_values() {
+        let b = EntryBits::table_iii();
+        assert_eq!(b.per_entry(Structure::Rob), 120);
+        assert_eq!(b.per_entry(Structure::Iq), 80);
+        assert_eq!(b.per_entry(Structure::Lq), 120);
+        assert_eq!(b.per_entry(Structure::Sq), 184);
+        assert_eq!(b.per_entry(Structure::RfInt), 64);
+        assert_eq!(b.per_entry(Structure::RfFp), 128);
+        assert_eq!(b.fu_bits(false), 64);
+        assert_eq!(b.fu_bits(true), 128);
+    }
+
+    #[test]
+    fn store_queue_is_load_queue_plus_data() {
+        // Table III: "Everything in load queue plus 64-bit data".
+        assert_eq!(SQ_ENTRY_BITS, LQ_ENTRY_BITS + 64);
+    }
+
+    #[test]
+    fn default_is_table_iii() {
+        assert_eq!(EntryBits::default(), EntryBits::table_iii());
+    }
+}

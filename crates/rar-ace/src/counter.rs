@@ -1,0 +1,193 @@
+//! The per-run ACE accumulator.
+
+use crate::structure::Structure;
+use crate::window::{StallKind, WindowSet};
+
+/// Accumulates ACE bit-cycles per structure, with stall-window attribution.
+///
+/// The core calls [`AceCounter::record_committed`] once per resource
+/// interval *at commit time* (squash-terminated intervals are never
+/// reported, making them un-ACE by construction), and opens/closes stall
+/// windows as long-latency misses block commit.
+///
+/// # Examples
+///
+/// ```
+/// use rar_ace::{AceCounter, Structure};
+/// let mut ace = AceCounter::new();
+/// ace.record_committed(Structure::Iq, 80, 10, 15);
+/// assert_eq!(ace.abc(Structure::Iq), 400);
+/// assert_eq!(ace.total_abc(), 400);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AceCounter {
+    abc: [u128; Structure::COUNT],
+    windows: [WindowSet; StallKind::COUNT],
+    abc_in_window: [u128; StallKind::COUNT],
+    /// When `Some`, every committed interval is also recorded for
+    /// fault-injection campaigns (see [`crate::inject`]).
+    log: Option<Vec<crate::inject::LoggedInterval>>,
+}
+
+impl AceCounter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        AceCounter::default()
+    }
+
+    /// Records a committed (ACE) resource interval: `bits` vulnerable bits
+    /// held from cycle `start` (inclusive) to `end` (exclusive).
+    ///
+    /// Also attributes the interval's overlap with every currently-known
+    /// stall window, for the Figure 5 breakdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `end < start`.
+    pub fn record_committed(&mut self, structure: Structure, bits: u64, start: u64, end: u64) {
+        debug_assert!(end >= start, "interval ends before it starts");
+        if end <= start {
+            return;
+        }
+        let cycles = end - start;
+        self.abc[structure.index()] += u128::from(bits) * u128::from(cycles);
+        if let Some(log) = &mut self.log {
+            log.push(crate::inject::LoggedInterval { structure, bits, start, end });
+        }
+        for kind in [StallKind::FullRobStall, StallKind::RobHeadBlocked] {
+            let ov = self.windows[kind.index()].overlap(start, end);
+            self.abc_in_window[kind.index()] += u128::from(bits) * u128::from(ov);
+        }
+    }
+
+    /// Opens a stall window of the given kind at `cycle`.
+    pub fn open_window(&mut self, kind: StallKind, cycle: u64) {
+        self.windows[kind.index()].open(cycle);
+    }
+
+    /// Closes the stall window of the given kind at `cycle`.
+    pub fn close_window(&mut self, kind: StallKind, cycle: u64) {
+        self.windows[kind.index()].close(cycle);
+    }
+
+    /// True if a window of `kind` is currently open.
+    #[must_use]
+    pub fn window_open(&self, kind: StallKind) -> bool {
+        self.windows[kind.index()].is_open()
+    }
+
+    /// ACE bit-cycles accumulated in `structure`.
+    #[must_use]
+    pub fn abc(&self, structure: Structure) -> u128 {
+        self.abc[structure.index()]
+    }
+
+    /// Total ACE bit-cycles across all structures (Equation 1).
+    #[must_use]
+    pub fn total_abc(&self) -> u128 {
+        self.abc.iter().sum()
+    }
+
+    /// ACE bit-cycles that fell inside windows of `kind`.
+    #[must_use]
+    pub fn abc_in_window(&self, kind: StallKind) -> u128 {
+        self.abc_in_window[kind.index()]
+    }
+
+    /// Total cycles spent inside closed windows of `kind`.
+    #[must_use]
+    pub fn window_cycles(&self, kind: StallKind) -> u64 {
+        self.windows[kind.index()].total_cycles()
+    }
+
+    /// Number of closed windows of `kind` (e.g. distinct blocking misses).
+    #[must_use]
+    pub fn window_count(&self, kind: StallKind) -> usize {
+        self.windows[kind.index()].len()
+    }
+
+    /// Per-structure ABC snapshot in [`Structure::ALL`] order.
+    #[must_use]
+    pub fn abc_by_structure(&self) -> [u128; Structure::COUNT] {
+        self.abc
+    }
+
+    /// Starts recording committed intervals for fault injection.
+    pub fn enable_logging(&mut self) {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded interval log (empty unless logging was enabled).
+    #[must_use]
+    pub fn interval_log(&self) -> &[crate::inject::LoggedInterval] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_structure() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::Rob, 120, 0, 10);
+        ace.record_committed(Structure::Rob, 120, 10, 20);
+        ace.record_committed(Structure::Sq, 184, 5, 6);
+        assert_eq!(ace.abc(Structure::Rob), 120 * 20);
+        assert_eq!(ace.abc(Structure::Sq), 184);
+        assert_eq!(ace.total_abc(), 120 * 20 + 184);
+    }
+
+    #[test]
+    fn empty_interval_is_ignored() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::Iq, 80, 7, 7);
+        assert_eq!(ace.total_abc(), 0);
+    }
+
+    #[test]
+    fn window_attribution_partial_overlap() {
+        let mut ace = AceCounter::new();
+        ace.open_window(StallKind::RobHeadBlocked, 100);
+        ace.close_window(StallKind::RobHeadBlocked, 200);
+        ace.record_committed(Structure::Rob, 120, 150, 250);
+        assert_eq!(ace.abc_in_window(StallKind::RobHeadBlocked), 120 * 50);
+        assert_eq!(ace.abc_in_window(StallKind::FullRobStall), 0);
+    }
+
+    #[test]
+    fn attribution_sees_open_window() {
+        let mut ace = AceCounter::new();
+        ace.open_window(StallKind::FullRobStall, 10);
+        // Interval committed while the window is still open: for attribution
+        // purposes the window covers everything up to the interval end.
+        ace.record_committed(Structure::Lq, 120, 20, 30);
+        assert_eq!(ace.abc_in_window(StallKind::FullRobStall), 120 * 10);
+    }
+
+    #[test]
+    fn window_bookkeeping() {
+        let mut ace = AceCounter::new();
+        ace.open_window(StallKind::RobHeadBlocked, 0);
+        assert!(ace.window_open(StallKind::RobHeadBlocked));
+        ace.close_window(StallKind::RobHeadBlocked, 40);
+        ace.open_window(StallKind::RobHeadBlocked, 50);
+        ace.close_window(StallKind::RobHeadBlocked, 60);
+        assert_eq!(ace.window_count(StallKind::RobHeadBlocked), 2);
+        assert_eq!(ace.window_cycles(StallKind::RobHeadBlocked), 50);
+    }
+
+    #[test]
+    fn attribution_never_exceeds_total() {
+        let mut ace = AceCounter::new();
+        ace.open_window(StallKind::RobHeadBlocked, 0);
+        ace.close_window(StallKind::RobHeadBlocked, 1_000);
+        ace.record_committed(Structure::Rob, 120, 100, 300);
+        ace.record_committed(Structure::Iq, 80, 50, 120);
+        assert!(ace.abc_in_window(StallKind::RobHeadBlocked) <= ace.total_abc());
+    }
+}

@@ -1,0 +1,289 @@
+//! Monte-Carlo fault injection over the ACE interval log.
+//!
+//! The paper (footnote 1) notes that instead of ACE analysis "an elaborate
+//! fault injection campaign might report lower absolute vulnerability
+//! numbers, but the overall conclusions and insights would be similar".
+//! This module implements the sampling side of that argument: random
+//! (cycle, structure, bit) strikes are tested against the recorded
+//! committed-occupancy intervals. Because a strike is architecturally
+//! harmful exactly when it lands on a bit whose interval later commits,
+//! the hit-rate estimator converges to the analytic AVF — a useful
+//! cross-check of the accounting, and the substrate for derating studies.
+//!
+//! # Examples
+//!
+//! ```
+//! use rar_ace::{AceCounter, Structure};
+//! use rar_ace::inject::{FaultCampaign, OccupancyProfile};
+//!
+//! let mut ace = AceCounter::with_logging();
+//! ace.record_committed(Structure::Rob, 120, 0, 100);
+//! let profile = OccupancyProfile::from_log(ace.interval_log());
+//! assert_eq!(profile.ace_bits(Structure::Rob, 50), 120);
+//! assert_eq!(profile.ace_bits(Structure::Rob, 100), 0);
+//! ```
+
+use crate::counter::AceCounter;
+use crate::metrics::StructureCapacities;
+use crate::structure::Structure;
+
+/// One committed occupancy interval, as recorded by
+/// [`AceCounter::with_logging`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoggedInterval {
+    /// Structure the bits lived in.
+    pub structure: Structure,
+    /// Vulnerable bits held.
+    pub bits: u64,
+    /// First vulnerable cycle (inclusive).
+    pub start: u64,
+    /// Last vulnerable cycle (exclusive).
+    pub end: u64,
+}
+
+/// A per-structure step function: how many committed-ACE bits each
+/// structure held at any cycle. Built once from the interval log;
+/// queries are `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct OccupancyProfile {
+    /// Per structure: sorted event times and the ACE-bit level *after*
+    /// each event.
+    steps: [Vec<(u64, u64)>; Structure::COUNT],
+}
+
+impl OccupancyProfile {
+    /// Builds the profile from a recorded interval log.
+    #[must_use]
+    pub fn from_log(log: &[LoggedInterval]) -> Self {
+        let mut events: [Vec<(u64, i64)>; Structure::COUNT] = Default::default();
+        for iv in log {
+            let e = &mut events[iv.structure.index()];
+            e.push((iv.start, iv.bits as i64));
+            e.push((iv.end, -(iv.bits as i64)));
+        }
+        let mut steps: [Vec<(u64, u64)>; Structure::COUNT] = Default::default();
+        for (s, mut ev) in events.into_iter().enumerate() {
+            ev.sort_unstable();
+            let mut level: i64 = 0;
+            let mut out: Vec<(u64, u64)> = Vec::with_capacity(ev.len());
+            for (t, delta) in ev {
+                level += delta;
+                debug_assert!(level >= 0, "interval accounting went negative");
+                match out.last_mut() {
+                    Some(last) if last.0 == t => last.1 = level as u64,
+                    _ => out.push((t, level as u64)),
+                }
+            }
+            steps[s] = out;
+        }
+        OccupancyProfile { steps }
+    }
+
+    /// Step events of one structure (internal, for phase integration).
+    pub(crate) fn steps_of(&self, structure: Structure) -> &[(u64, u64)] {
+        &self.steps[structure.index()]
+    }
+
+    /// Committed-ACE bits resident in `structure` at `cycle`.
+    #[must_use]
+    pub fn ace_bits(&self, structure: Structure, cycle: u64) -> u64 {
+        let steps = &self.steps[structure.index()];
+        match steps.partition_point(|&(t, _)| t <= cycle) {
+            0 => 0,
+            i => steps[i - 1].1,
+        }
+    }
+
+    /// The [first, last) event-time span of the recorded intervals.
+    /// Useful for choosing the campaign's cycle range when the log was
+    /// captured after a measurement reset (interval timestamps are
+    /// absolute core cycles).
+    #[must_use]
+    pub fn span(&self) -> std::ops::Range<u64> {
+        let start = self.steps.iter().filter_map(|s| s.first().map(|&(t, _)| t)).min().unwrap_or(0);
+        let end = self.steps.iter().filter_map(|s| s.last().map(|&(t, _)| t)).max().unwrap_or(0);
+        start..end
+    }
+
+    /// Exact ABC recomputed from the profile (validates the log against
+    /// the counter's running totals).
+    #[must_use]
+    pub fn total_abc(&self) -> u128 {
+        let mut total: u128 = 0;
+        for steps in &self.steps {
+            for w in steps.windows(2) {
+                total += u128::from(w[0].1) * u128::from(w[1].0 - w[0].0);
+            }
+        }
+        total
+    }
+}
+
+/// Result of a fault-injection campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionEstimate {
+    /// Strikes that landed on architecturally-required bits.
+    pub hits: u64,
+    /// Total strikes injected.
+    pub samples: u64,
+    /// Estimated AVF (hit fraction, capacity-and-time weighted).
+    pub avf: f64,
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub ci95: f64,
+}
+
+/// A deterministic fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct FaultCampaign {
+    rng: u64,
+}
+
+impl FaultCampaign {
+    /// Creates a campaign with a deterministic seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultCampaign { rng: seed ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn next(&mut self) -> u64 {
+        // SplitMix64.
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Injects `samples` uniform (cycle, bit) strikes over the absolute
+    /// cycle range `range` and the capacity of `caps`, and tests each
+    /// against the profile. The range should cover the measured window
+    /// (e.g. `profile.span().start .. profile.span().start + cycles`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero, the range is empty, or the capacities
+    /// are empty.
+    pub fn run(
+        &mut self,
+        profile: &OccupancyProfile,
+        caps: &StructureCapacities,
+        range: std::ops::Range<u64>,
+        samples: u64,
+    ) -> InjectionEstimate {
+        assert!(samples > 0, "a campaign needs at least one strike");
+        assert!(range.end > range.start, "campaign cycle range is empty");
+        let total_bits = caps.total_bits();
+        assert!(total_bits > 0, "structures must have capacity");
+        let span = range.end - range.start;
+        let mut hits = 0u64;
+        for _ in 0..samples {
+            let cycle = range.start + self.next() % span;
+            // Pick a bit uniformly across the whole capacity, then locate
+            // the structure it belongs to.
+            let mut bit = self.next() % total_bits;
+            let mut structure = Structure::Rob;
+            for s in Structure::ALL {
+                let c = caps.bits(s);
+                if bit < c {
+                    structure = s;
+                    break;
+                }
+                bit -= c;
+            }
+            // The strike is harmful if the bit index falls inside the
+            // currently-ACE population of that structure. Occupancy is
+            // anonymous (we know how many bits are ACE, not which), so the
+            // bit index acts as a uniform threshold — exact in
+            // expectation.
+            if bit < profile.ace_bits(structure, cycle) {
+                hits += 1;
+            }
+        }
+        let p = hits as f64 / samples as f64;
+        let ci95 = 1.96 * (p * (1.0 - p) / samples as f64).sqrt();
+        InjectionEstimate { hits, samples, avf: p, ci95 }
+    }
+}
+
+impl AceCounter {
+    /// Creates a counter that additionally records every committed
+    /// interval for fault injection.
+    #[must_use]
+    pub fn with_logging() -> Self {
+        let mut c = AceCounter::new();
+        c.enable_logging();
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::EntryBits;
+
+    fn caps() -> StructureCapacities {
+        StructureCapacities::from_entries(&EntryBits::table_iii(), 192, 92, 64, 64, 168, 168, 5, 3)
+    }
+
+    #[test]
+    fn profile_reconstructs_abc() {
+        let mut ace = AceCounter::with_logging();
+        ace.record_committed(Structure::Rob, 120, 10, 200);
+        ace.record_committed(Structure::Rob, 120, 50, 120);
+        ace.record_committed(Structure::Iq, 80, 0, 40);
+        let profile = OccupancyProfile::from_log(ace.interval_log());
+        assert_eq!(profile.total_abc(), ace.total_abc());
+        assert_eq!(profile.ace_bits(Structure::Rob, 60), 240);
+        assert_eq!(profile.ace_bits(Structure::Rob, 150), 120);
+        assert_eq!(profile.ace_bits(Structure::Iq, 39), 80);
+        assert_eq!(profile.ace_bits(Structure::Iq, 40), 0);
+    }
+
+    #[test]
+    fn empty_log_means_zero_avf() {
+        let profile = OccupancyProfile::from_log(&[]);
+        let mut campaign = FaultCampaign::new(1);
+        let est = campaign.run(&profile, &caps(), 0..1_000, 10_000);
+        assert_eq!(est.hits, 0);
+        assert_eq!(est.avf, 0.0);
+    }
+
+    #[test]
+    fn injection_converges_to_analytic_avf() {
+        // Occupy a quarter of the ROB for the whole run; AVF should equal
+        // rob_bits/4 / total_bits.
+        let caps = caps();
+        let cycles = 1_000u64;
+        let rob_quarter = caps.bits(Structure::Rob) / 4;
+        let mut ace = AceCounter::with_logging();
+        ace.record_committed(Structure::Rob, rob_quarter, 0, cycles);
+        let expect = rob_quarter as f64 / caps.total_bits() as f64;
+
+        let profile = OccupancyProfile::from_log(ace.interval_log());
+        let mut campaign = FaultCampaign::new(42);
+        let est = campaign.run(&profile, &caps, 0..cycles, 200_000);
+        assert!(
+            (est.avf - expect).abs() < 3.0 * est.ci95.max(1e-4),
+            "estimate {} vs analytic {expect} (ci {})",
+            est.avf,
+            est.ci95
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let mut ace = AceCounter::with_logging();
+        ace.record_committed(Structure::Lq, 120, 0, 500);
+        let profile = OccupancyProfile::from_log(ace.interval_log());
+        let a = FaultCampaign::new(7).run(&profile, &caps(), 0..500, 10_000);
+        let b = FaultCampaign::new(7).run(&profile, &caps(), 0..500, 10_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strike")]
+    fn zero_samples_panics() {
+        let profile = OccupancyProfile::from_log(&[]);
+        let _ = FaultCampaign::new(0).run(&profile, &caps(), 0..10, 0);
+    }
+}

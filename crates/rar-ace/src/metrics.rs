@@ -1,0 +1,257 @@
+//! Reliability metrics: ABC, AVF, FIT, MTTF (Section IV-B, Equations 1-4).
+//!
+//! The paper reports *normalized* MTTF and ABC relative to the baseline
+//! out-of-order core, which cancels the technology- and environment-specific
+//! raw error rate:
+//!
+//! ```text
+//! AVF  = ABC / (N × T)            (Equation 2)
+//! FIT  = AVF × raw_error_rate     (Equation 4)
+//! MTTF = 1 / FIT                  (Equation 3)
+//! =>  MTTF_tech / MTTF_base = AVF_base / AVF_tech
+//! ```
+
+use crate::bits::EntryBits;
+use crate::counter::AceCounter;
+use crate::structure::Structure;
+
+/// Total bit capacity (`N` in Equation 2) of the tracked structures for a
+/// particular core configuration.
+///
+/// # Examples
+///
+/// ```
+/// use rar_ace::{EntryBits, StructureCapacities};
+/// // The paper's baseline core (Table II).
+/// let caps = StructureCapacities::from_entries(
+///     &EntryBits::table_iii(),
+///     192, 92, 64, 64, 168, 168, 5, 3,
+/// );
+/// assert!(caps.total_bits() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StructureCapacities {
+    bits: [u64; Structure::COUNT],
+}
+
+impl StructureCapacities {
+    /// Computes capacities from entry counts and Table III bit widths.
+    ///
+    /// `int_fus`/`fp_fus` are the number of integer and floating-point
+    /// functional units.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn from_entries(
+        entry_bits: &EntryBits,
+        rob: u64,
+        iq: u64,
+        lq: u64,
+        sq: u64,
+        int_regs: u64,
+        fp_regs: u64,
+        int_fus: u64,
+        fp_fus: u64,
+    ) -> Self {
+        let mut bits = [0u64; Structure::COUNT];
+        bits[Structure::Rob.index()] = rob * entry_bits.per_entry(Structure::Rob);
+        bits[Structure::Iq.index()] = iq * entry_bits.per_entry(Structure::Iq);
+        bits[Structure::Lq.index()] = lq * entry_bits.per_entry(Structure::Lq);
+        bits[Structure::Sq.index()] = sq * entry_bits.per_entry(Structure::Sq);
+        bits[Structure::RfInt.index()] = int_regs * entry_bits.per_entry(Structure::RfInt);
+        bits[Structure::RfFp.index()] = fp_regs * entry_bits.per_entry(Structure::RfFp);
+        bits[Structure::Fu.index()] = int_fus * entry_bits.fu_bits(false) + fp_fus * entry_bits.fu_bits(true);
+        StructureCapacities { bits }
+    }
+
+    /// Capacity in bits of one structure.
+    #[must_use]
+    pub fn bits(&self, structure: Structure) -> u64 {
+        self.bits[structure.index()]
+    }
+
+    /// Total capacity `N` across all structures.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.bits.iter().sum()
+    }
+}
+
+/// Architectural Vulnerability Factor: `ABC / (N × T)` (Equation 2).
+///
+/// Returns 0 when `capacity_bits` or `cycles` is zero.
+#[must_use]
+pub fn avf(total_abc: u128, capacity_bits: u64, cycles: u64) -> f64 {
+    let denom = u128::from(capacity_bits) * u128::from(cycles);
+    if denom == 0 {
+        return 0.0;
+    }
+    total_abc as f64 / denom as f64
+}
+
+/// Relative MTTF of a technique versus a baseline: `AVF_base / AVF_tech`
+/// (derived from Equations 3-4; the raw error rate cancels).
+///
+/// Returns `f64::INFINITY` if the technique exposes zero vulnerable state.
+#[must_use]
+pub fn mttf_relative(baseline_avf: f64, technique_avf: f64) -> f64 {
+    if technique_avf == 0.0 {
+        return f64::INFINITY;
+    }
+    baseline_avf / technique_avf
+}
+
+/// A complete per-run reliability summary.
+///
+/// Build one from the run's [`AceCounter`], the core's
+/// [`StructureCapacities`], and the run length in cycles; compare against a
+/// baseline run with [`ReliabilityReport::mttf_vs`] and
+/// [`ReliabilityReport::abc_vs`].
+#[derive(Debug, Clone)]
+pub struct ReliabilityReport {
+    abc: [u128; Structure::COUNT],
+    total_abc: u128,
+    capacity_bits: u64,
+    cycles: u64,
+    avf: f64,
+}
+
+impl ReliabilityReport {
+    /// Summarizes a finished run.
+    #[must_use]
+    pub fn new(ace: &AceCounter, capacities: &StructureCapacities, cycles: u64) -> Self {
+        let abc = ace.abc_by_structure();
+        let total_abc = ace.total_abc();
+        let capacity_bits = capacities.total_bits();
+        ReliabilityReport {
+            abc,
+            total_abc,
+            capacity_bits,
+            cycles,
+            avf: avf(total_abc, capacity_bits, cycles),
+        }
+    }
+
+    /// ACE bit-cycles exposed in one structure.
+    #[must_use]
+    pub fn abc(&self, structure: Structure) -> u128 {
+        self.abc[structure.index()]
+    }
+
+    /// Total ACE bit count (Equation 1).
+    #[must_use]
+    pub fn total_abc(&self) -> u128 {
+        self.total_abc
+    }
+
+    /// Run length in cycles (`T`).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Structure capacity in bits (`N`).
+    #[must_use]
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Architectural vulnerability factor.
+    #[must_use]
+    pub fn avf(&self) -> f64 {
+        self.avf
+    }
+
+    /// Normalized MTTF of `self` relative to `baseline` (higher is better).
+    #[must_use]
+    pub fn mttf_vs(&self, baseline: &ReliabilityReport) -> f64 {
+        mttf_relative(baseline.avf, self.avf)
+    }
+
+    /// Normalized ABC of `self` relative to `baseline` (lower is better).
+    ///
+    /// Returns `f64::NAN` if the baseline exposed zero ACE bits.
+    #[must_use]
+    pub fn abc_vs(&self, baseline: &ReliabilityReport) -> f64 {
+        if baseline.total_abc == 0 {
+            return f64::NAN;
+        }
+        self.total_abc as f64 / baseline.total_abc as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::AceCounter;
+
+    fn caps() -> StructureCapacities {
+        StructureCapacities::from_entries(&EntryBits::table_iii(), 192, 92, 64, 64, 168, 168, 5, 3)
+    }
+
+    #[test]
+    fn capacity_matches_hand_computation() {
+        let c = caps();
+        assert_eq!(c.bits(Structure::Rob), 192 * 120);
+        assert_eq!(c.bits(Structure::Iq), 92 * 80);
+        assert_eq!(c.bits(Structure::Lq), 64 * 120);
+        assert_eq!(c.bits(Structure::Sq), 64 * 184);
+        assert_eq!(c.bits(Structure::RfInt), 168 * 64);
+        assert_eq!(c.bits(Structure::RfFp), 168 * 128);
+        assert_eq!(c.bits(Structure::Fu), 5 * 64 + 3 * 128);
+        assert_eq!(c.total_bits(), 192 * 120 + 92 * 80 + 64 * 120 + 64 * 184 + 168 * 64 + 168 * 128 + 5 * 64 + 3 * 128);
+    }
+
+    #[test]
+    fn avf_is_fraction_of_capacity_time() {
+        // Fully-occupied structure for the whole run => AVF == share of capacity.
+        let total = 1_000u128;
+        assert!((avf(total, 100, 10) - 1.0).abs() < 1e-12);
+        assert!((avf(total / 2, 100, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(avf(total, 0, 10), 0.0);
+        assert_eq!(avf(total, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn mttf_relative_inverts_avf_ratio() {
+        assert!((mttf_relative(0.4, 0.1) - 4.0).abs() < 1e-12);
+        assert_eq!(mttf_relative(0.4, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::Rob, 120, 0, 100);
+        let rep = ReliabilityReport::new(&ace, &caps(), 100);
+        assert_eq!(rep.total_abc(), 120 * 100);
+        assert_eq!(rep.cycles(), 100);
+        assert!(rep.avf() > 0.0);
+    }
+
+    #[test]
+    fn pre_like_tradeoff_yields_flat_mttf() {
+        // PRE in the paper: ~28% lower ABC but ~38% faster => MTTF ~ 1x.
+        let caps = caps();
+        let mut base_ace = AceCounter::new();
+        base_ace.record_committed(Structure::Rob, 1, 0, 1_000_000);
+        let base = ReliabilityReport::new(&base_ace, &caps, 1_380_000);
+
+        let mut pre_ace = AceCounter::new();
+        pre_ace.record_committed(Structure::Rob, 1, 0, 717_000);
+        let pre = ReliabilityReport::new(&pre_ace, &caps, 1_000_000);
+
+        let mttf = pre.mttf_vs(&base);
+        assert!((mttf - 1.0).abs() < 0.02, "expected ~1.0, got {mttf}");
+    }
+
+    #[test]
+    fn abc_vs_baseline() {
+        let caps = caps();
+        let mut a = AceCounter::new();
+        a.record_committed(Structure::Iq, 80, 0, 100);
+        let ra = ReliabilityReport::new(&a, &caps, 100);
+        let mut b = AceCounter::new();
+        b.record_committed(Structure::Iq, 80, 0, 50);
+        let rb = ReliabilityReport::new(&b, &caps, 100);
+        assert!((rb.abc_vs(&ra) - 0.5).abs() < 1e-12);
+    }
+}

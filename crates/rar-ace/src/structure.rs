@@ -1,0 +1,90 @@
+//! Microarchitectural structures tracked by the ACE analysis.
+
+use std::fmt;
+
+/// A back-end structure whose occupancy exposes vulnerable state.
+///
+/// These are the six categories of the paper's ABC stacks (Figure 3):
+/// reorder buffer, issue queue, load queue, store queue, physical register
+/// file (split by class since the bit widths differ), and functional units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Structure {
+    /// Reorder buffer: vulnerable from dispatch to commit.
+    Rob,
+    /// Issue queue: vulnerable from dispatch to issue.
+    Iq,
+    /// Load queue: vulnerable from execute to commit.
+    Lq,
+    /// Store queue: vulnerable from execute to commit.
+    Sq,
+    /// Integer physical registers: vulnerable from execute to commit.
+    RfInt,
+    /// Floating-point physical registers: vulnerable from execute to commit.
+    RfFp,
+    /// Functional units: width × execution cycles.
+    Fu,
+}
+
+impl Structure {
+    /// Number of tracked structures.
+    pub const COUNT: usize = 7;
+
+    /// All structures, in reporting order (matches the Figure 3 stacks).
+    pub const ALL: [Structure; Structure::COUNT] = [
+        Structure::Rob,
+        Structure::Iq,
+        Structure::Lq,
+        Structure::Sq,
+        Structure::RfInt,
+        Structure::RfFp,
+        Structure::Fu,
+    ];
+
+    /// Dense index for array-backed counters.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Structure::Rob => 0,
+            Structure::Iq => 1,
+            Structure::Lq => 2,
+            Structure::Sq => 3,
+            Structure::RfInt => 4,
+            Structure::RfFp => 5,
+            Structure::Fu => 6,
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Structure::Rob => "ROB",
+            Structure::Iq => "IQ",
+            Structure::Lq => "LQ",
+            Structure::Sq => "SQ",
+            Structure::RfInt => "RF(int)",
+            Structure::RfFp => "RF(fp)",
+            Structure::Fu => "FU",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all_order() {
+        for (i, s) in Structure::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for s in Structure::ALL {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the ACE accounting: window algebra and metric
+//! identities.
+
+use proptest::prelude::*;
+use rar_ace::{avf, mttf_relative, AceCounter, StallKind, Structure, WindowSet};
+
+/// Generates a sorted list of non-overlapping (start, end) windows.
+fn windows_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((1u64..50, 1u64..50), 0..12).prop_map(|gaps| {
+        let mut t = 0;
+        let mut out = Vec::new();
+        for (gap, len) in gaps {
+            let start = t + gap;
+            let end = start + len;
+            out.push((start, end));
+            t = end;
+        }
+        out
+    })
+}
+
+proptest! {
+    /// Overlap is bounded by both the query length and the total window
+    /// coverage, and is additive over adjacent query ranges.
+    #[test]
+    fn overlap_bounds_and_additivity(
+        windows in windows_strategy(),
+        a in 0u64..800,
+        len1 in 0u64..400,
+        len2 in 0u64..400,
+    ) {
+        let mut set = WindowSet::new();
+        for &(s, e) in &windows {
+            set.open(s);
+            set.close(e);
+        }
+        let b = a + len1;
+        let c = b + len2;
+        let ab = set.overlap(a, b);
+        let bc = set.overlap(b, c);
+        let ac = set.overlap(a, c);
+        prop_assert_eq!(ab + bc, ac, "additivity over [a,b)+[b,c)");
+        prop_assert!(ab <= len1);
+        prop_assert!(ac <= set.total_cycles());
+    }
+
+    /// A query covering everything returns exactly the total coverage.
+    #[test]
+    fn full_query_equals_total(windows in windows_strategy()) {
+        let mut set = WindowSet::new();
+        for &(s, e) in &windows {
+            set.open(s);
+            set.close(e);
+        }
+        prop_assert_eq!(set.overlap(0, 10_000), set.total_cycles());
+        prop_assert_eq!(set.len(), windows.len());
+    }
+
+    /// Window-attributed ABC never exceeds total ABC, regardless of the
+    /// interleaving of windows and committed intervals.
+    #[test]
+    fn attribution_bounded_by_total(
+        windows in windows_strategy(),
+        intervals in prop::collection::vec((0u64..600, 1u64..200, 1u64..256), 1..20),
+    ) {
+        let mut ace = AceCounter::new();
+        for &(s, e) in &windows {
+            ace.open_window(StallKind::RobHeadBlocked, s);
+            ace.close_window(StallKind::RobHeadBlocked, e);
+        }
+        for &(start, len, bits) in &intervals {
+            ace.record_committed(Structure::Rob, bits, start, start + len);
+        }
+        prop_assert!(ace.abc_in_window(StallKind::RobHeadBlocked) <= ace.total_abc());
+    }
+
+    /// ABC is additive: recording the same intervals in two counters in
+    /// different orders yields identical totals.
+    #[test]
+    fn abc_order_independent(
+        intervals in prop::collection::vec((0u64..600, 1u64..100, 1u64..200), 1..16),
+    ) {
+        let mut fwd = AceCounter::new();
+        let mut rev = AceCounter::new();
+        for &(s, l, b) in &intervals {
+            fwd.record_committed(Structure::Iq, b, s, s + l);
+        }
+        for &(s, l, b) in intervals.iter().rev() {
+            rev.record_committed(Structure::Iq, b, s, s + l);
+        }
+        prop_assert_eq!(fwd.total_abc(), rev.total_abc());
+    }
+
+    /// AVF is scale-invariant in capacity x time, and MTTF inverts the
+    /// AVF ratio.
+    #[test]
+    fn metric_identities(abc in 1u128..1_000_000, n in 1u64..100_000, t in 1u64..100_000, k in 2u64..10) {
+        prop_assume!(abc <= u128::from(n) * u128::from(t));
+        let v = avf(abc, n, t);
+        prop_assert!((0.0..=1.0).contains(&v));
+        // Scaling exposure and capacity together leaves AVF unchanged.
+        let v2 = avf(abc * u128::from(k), n * k, t);
+        prop_assert!((v - v2).abs() < 1e-9);
+        // MTTF ratio identity.
+        let m = mttf_relative(v, v / k as f64);
+        prop_assert!((m - k as f64).abs() < 1e-6);
+    }
+}

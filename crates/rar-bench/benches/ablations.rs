@@ -1,0 +1,189 @@
+//! Ablation benches for the design choices called out in DESIGN.md.
+//!
+//! Each bench runs the simulator with one design knob varied and reports
+//! the resulting throughput; the printed summary lines (via
+//! `--nocapture`-style criterion output) let the ablation's *effect* be
+//! inspected with `cargo bench -- ablation --verbose`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rar_core::{CoreConfig, Technique};
+use rar_isa::TraceWindow;
+use rar_mem::{DramConfig, MemConfig, PrefetchPlacement, StridePrefetcherConfig};
+use rar_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BUDGET: u64 = 3_000;
+
+fn run(cfg: &SimConfig) -> f64 {
+    Simulation::run(cfg).ipc()
+}
+
+fn base_cfg(technique: Technique) -> SimConfig {
+    SimConfig::builder()
+        .workload("milc")
+        .technique(technique)
+        .warmup(600)
+        .instructions(BUDGET)
+        .build()
+}
+
+/// Ablation: RAR's countdown-timer threshold (the paper's 4-bit timer
+/// fires at 15 cycles).
+fn trigger_threshold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_trigger_threshold");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for threshold in [3u64, 15, 63] {
+        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
+            let mut cfg = base_cfg(Technique::Rar);
+            cfg.core = CoreConfig { runahead_timer: t, ..CoreConfig::baseline() };
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: lean (PRE-style slice) versus full traditional runahead
+/// execution, holding trigger and exit policy fixed.
+fn lean_execution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_lean_runahead");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    // RAR (lean) versus TR-EARLY (full execution): both early + flush.
+    for (name, tech) in [("lean", Technique::Rar), ("full", Technique::TrEarly)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &tech, |b, &t| {
+            let cfg = base_cfg(t);
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: DRAM-model fidelity — banked row-buffer model versus a
+/// controller-free device (controller latency zeroed).
+fn dram_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dram_model");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (name, controller) in [("with_controller", 20u64), ("device_only", 0)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &controller, |b, &ctl| {
+            let mut cfg = base_cfg(Technique::Ooo);
+            cfg.mem = MemConfig {
+                dram: DramConfig { controller: ctl, ..DramConfig::ddr3_1600() },
+                ..MemConfig::baseline()
+            };
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the flush/refill penalty (front-end depth) that makes
+/// RAR-LATE slightly slower than PRE.
+fn flush_penalty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_flush_penalty");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for depth in [2u64, 8, 24] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            let mut cfg = base_cfg(Technique::RarLate);
+            cfg.core = CoreConfig { frontend_depth: d, ..CoreConfig::baseline() };
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: stride-prefetcher degree at the LLC (Figure 11's knob).
+fn prefetch_degree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prefetch_degree");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for degree in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(degree), &degree, |b, &deg| {
+            let mut cfg = base_cfg(Technique::Ooo);
+            cfg.mem = MemConfig {
+                prefetch: PrefetchPlacement::L3,
+                prefetcher: StridePrefetcherConfig { degree: deg, ..StridePrefetcherConfig::aggressive() },
+                ..MemConfig::baseline()
+            };
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: interval accounting versus an end-of-run occupancy
+/// approximation — quantifies what precise squash-aware ACE accounting
+/// costs in simulation time (the approximation is emulated by running
+/// the same simulation and summing per-structure capacity-cycles).
+fn ace_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ace_accounting");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    g.bench_function("interval_accounting", |b| {
+        let cfg = base_cfg(Technique::Ooo);
+        b.iter(|| black_box(Simulation::run(&cfg).reliability.total_abc()));
+    });
+    g.bench_function("capacity_upper_bound", |b| {
+        let cfg = base_cfg(Technique::Ooo);
+        b.iter(|| {
+            let r = Simulation::run(&cfg);
+            // Naive alternative: every structure fully vulnerable every
+            // cycle (what a counter-free model would report).
+            black_box(
+                u128::from(cfg.core.capacities().total_bits()) * u128::from(r.stats.cycles),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Ablation: wrong-path modelling — fetch bubbles (the calibrated
+/// default) versus dispatching synthetic wrong-path micro-ops that
+/// contend for the back-end and pollute caches before being squashed.
+fn wrong_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_wrong_path");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for (name, wp) in [("bubbles", false), ("modelled", true)] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &wp, |b, &wp| {
+            let mut cfg = base_cfg(Technique::Ooo);
+            cfg.workload = "mcf".into();
+            cfg.core = CoreConfig { model_wrong_path: wp, ..CoreConfig::baseline() };
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    g.finish();
+}
+
+/// End-to-end simulator throughput per technique, the headline "is the
+/// simulator fast enough" number (committed instructions per second can
+/// be derived from the reported time per iteration and BUDGET).
+fn simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for tech in [Technique::Ooo, Technique::Pre, Technique::Rar] {
+        g.bench_with_input(BenchmarkId::from_parameter(tech), &tech, |b, &t| {
+            let spec = rar_workloads::workload("milc").expect("milc exists");
+            b.iter(|| {
+                let mut core = rar_core::Core::new(
+                    CoreConfig::baseline(),
+                    MemConfig::baseline(),
+                    t,
+                    TraceWindow::new(spec.trace(1)),
+                );
+                core.run_until_committed(BUDGET);
+                black_box(core.stats().cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    trigger_threshold,
+    lean_execution,
+    dram_model,
+    flush_penalty,
+    prefetch_degree,
+    ace_accounting,
+    wrong_path,
+    simulator_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the individual substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rar_frontend::BranchPredictor;
+use rar_isa::UopKind;
+use rar_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy};
+use rar_workloads::workload;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+    g.measurement_time(Duration::from_secs(5));
+
+    g.bench_function("cache_access_hit", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            line_bytes: 64,
+            latency: 4,
+        });
+        for i in 0..512u64 {
+            cache.insert(i * 64, i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(cache.access(i * 64))
+        });
+    });
+
+    g.bench_function("dram_access", |b| {
+        let mut dram = Dram::new(DramConfig::ddr3_1600());
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(4096);
+            now = dram.access(addr, now);
+            black_box(now)
+        });
+    });
+
+    g.bench_function("hierarchy_streaming_load", |b| {
+        let mut mem = MemoryHierarchy::new(MemConfig::baseline());
+        let mut now = 0u64;
+        let mut addr = 0x1000_0000u64;
+        b.iter(|| {
+            addr += 8;
+            let out = mem.access(AccessKind::Load, addr, 0x400, now).unwrap();
+            now = now.max(out.complete_at.saturating_sub(200)) + 1;
+            black_box(out.complete_at)
+        });
+    });
+
+    g.bench_function("tage_predict_update", |b| {
+        let mut bp = BranchPredictor::tage_sc_l_8kb();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let pc = 0x400 + (i % 64) * 4;
+            let taken = !(i / 7).is_multiple_of(3);
+            let _ = bp.predict(pc);
+            black_box(bp.update(pc, taken, pc + 0x40))
+        });
+    });
+
+    g.bench_function("trace_generation", |b| {
+        let spec = workload("mcf").expect("mcf exists");
+        let mut gen = spec.trace(1);
+        b.iter(|| black_box(gen.next().map(|u| u.kind() == UopKind::Load)));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, cache_access);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each benchmark executes the same experiment pipeline as the
+//! corresponding `rar-experiments` subcommand, at a reduced instruction
+//! budget so `cargo bench` completes quickly. The *numbers* the paper
+//! reports are regenerated at full scale by the binary; these benches
+//! pin down the harness's wall-clock cost and catch simulator
+//! throughput regressions per experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rar_sim::experiment::{self, ExperimentOptions, Suite};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_opts() -> ExperimentOptions {
+    ExperimentOptions { instructions: 1_500, warmup: 300, seed: 1, suite: Suite::Memory }
+}
+
+fn figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+
+    g.bench_function("fig1_tradeoff", |b| {
+        b.iter(|| black_box(experiment::fig1(&bench_opts())))
+    });
+    g.bench_function("fig3_abc_stacks", |b| {
+        b.iter(|| black_box(experiment::fig3(&bench_opts())))
+    });
+    g.bench_function("fig4_scaling", |b| {
+        b.iter(|| black_box(experiment::fig4(&bench_opts())))
+    });
+    g.bench_function("fig5_attribution", |b| {
+        b.iter(|| black_box(experiment::fig5(&bench_opts())))
+    });
+    g.bench_function("fig7_fig8_reliability_performance", |b| {
+        b.iter(|| black_box(experiment::fig7_fig8(&bench_opts())))
+    });
+    g.bench_function("fig9_variants", |b| {
+        b.iter(|| black_box(experiment::fig9(&bench_opts())))
+    });
+    g.bench_function("fig10_sensitivity", |b| {
+        b.iter(|| black_box(experiment::fig10(&bench_opts())))
+    });
+    g.bench_function("fig11_prefetch", |b| {
+        b.iter(|| black_box(experiment::fig11(&bench_opts())))
+    });
+    g.bench_function("table4_matrix", |b| {
+        b.iter(|| black_box(experiment::table4()))
+    });
+    g.bench_function("table_mpki_classification", |b| {
+        b.iter(|| black_box(experiment::mpki_check(&bench_opts())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmark support for the RAR workspace.
+//!
+//! The measured benchmarks live in `benches/`:
+//!
+//! - `figures` — one Criterion benchmark per paper table/figure, running
+//!   the same experiment pipelines as the `rar-experiments` binary at a
+//!   reduced instruction budget (the binary regenerates the full-scale
+//!   numbers; the bench tracks the harness's runtime and guards against
+//!   regressions in simulation throughput).
+//! - `ablations` — design-choice ablations called out in DESIGN.md:
+//!   countdown-timer threshold, lean versus full runahead execution,
+//!   DRAM-model fidelity, front-end flush penalty, prefetcher degree.
+//! - `components` — microbenchmarks of the substrates (cache, DRAM,
+//!   TAGE, trace generation, end-to-end core cycles).
+//!
+//! This library crate only exposes small helpers shared by those
+//! benches.
+
+use rar_core::Technique;
+use rar_sim::{SimConfig, Simulation, SimResult};
+
+/// Runs one benchmark/technique pair at a small, bench-friendly budget.
+#[must_use]
+pub fn quick_run(workload: &str, technique: Technique, instructions: u64) -> SimResult {
+    Simulation::run(
+        &SimConfig::builder()
+            .workload(workload)
+            .technique(technique)
+            .warmup(instructions / 4)
+            .instructions(instructions)
+            .build(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_runs() {
+        let r = quick_run("milc", Technique::Rar, 1_500);
+        assert!(r.ipc() > 0.0);
+    }
+}

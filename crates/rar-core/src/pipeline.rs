@@ -1,0 +1,1518 @@
+//! The cycle-level out-of-order core with every evaluated technique.
+//!
+//! One [`Core`] simulates a single-threaded OoO pipeline driven by a
+//! [`UopSource`]: per cycle it commits, tracks blocking misses (opening
+//! the ACE stall windows, arming the runahead countdown timer, firing
+//! FLUSH), issues from the issue queue, advances the runahead engine when
+//! in runahead mode, and dispatches/renames new micro-ops otherwise.
+//!
+//! ## Modelling notes (deviations from RTL, shared by all techniques)
+//!
+//! - **Wrong-path instructions are modelled as fetch bubbles**, not as
+//!   dispatched micro-ops: on a mispredicted branch, dispatch stops until
+//!   the branch resolves, then pays the front-end redirect penalty.
+//!   Wrong-path state is un-ACE by definition (Section IV-A), so this does
+//!   not change the reliability accounting; it slightly understates
+//!   wrong-path resource contention for every technique equally. The key
+//!   consequence the paper relies on — the ROB *not* filling behind a
+//!   mispredicted branch in the shadow of a miss — is captured.
+//! - **Store-to-load forwarding is not modelled**: the synthetic workloads
+//!   keep store and load regions disjoint, so forwarding would never fire.
+//! - **Runahead follows the correct-path trace**: real runahead diverges
+//!   on mispredicted branches past an INV source. This favours all
+//!   runahead variants equally.
+
+use crate::config::{exec_latency, CoreConfig};
+use crate::fu::FuPool;
+use crate::regfile::{PhysRegFile, Rat};
+use crate::rob::{Entry, Rob};
+use crate::runahead::{InvTracker, Mode, RaState};
+use crate::sst::{Prdq, Sst};
+use crate::stats::CoreStats;
+use crate::technique::{RunaheadFeatures, Technique};
+use rar_ace::{AceCounter, ReliabilityReport, StallKind, Structure};
+use rar_frontend::BranchPredictor;
+use rar_isa::{cache_line, ArchReg, RegClass, UopKind, UopSource};
+#[cfg(test)]
+use rar_isa::Uop;
+use rar_mem::{AccessKind, HitLevel, MemConfig, MemStall, MemoryHierarchy};
+
+/// The simulated core.
+///
+/// # Examples
+///
+/// ```
+/// use rar_core::{Core, CoreConfig, Technique};
+/// use rar_mem::MemConfig;
+/// use rar_isa::{TraceWindow, Uop, UopKind, ArchReg};
+///
+/// let stream = (0u64..).map(|i| {
+///     Uop::alu(0x1000 + (i % 64) * 4, UopKind::IntAlu)
+///         .with_dest(ArchReg::int((i % 8) as u8))
+/// });
+/// let mut core = Core::new(
+///     CoreConfig::baseline(),
+///     MemConfig::baseline(),
+///     Technique::Ooo,
+///     TraceWindow::new(stream),
+/// );
+/// core.run_until_committed(10_000);
+/// assert!(core.stats().ipc() > 1.0, "independent ALU ops should flow");
+/// ```
+#[derive(Debug)]
+pub struct Core<S> {
+    cfg: CoreConfig,
+    technique: Technique,
+    features: Option<RunaheadFeatures>,
+    mem: MemoryHierarchy,
+    bp: BranchPredictor,
+    ace: AceCounter,
+    src: S,
+    now: u64,
+
+    rob: Rob,
+    rat: Rat,
+    arch_rat: Rat,
+    prf: PhysRegFile,
+    /// Ready cycle per physical register (0 = ready, `u64::MAX` = pending
+    /// without a known completion yet).
+    reg_ready: Vec<u64>,
+    /// In-flight producer sequence number per architectural register.
+    arch_last_writer: [Option<u64>; ArchReg::total_count()],
+    /// PC of the most recent writer of each architectural register —
+    /// unlike the sequence table this survives commit, so slice learning
+    /// can attribute producers even after they retire.
+    arch_last_writer_pc: [Option<u64>; ArchReg::total_count()],
+    iq_count: usize,
+    lq_count: usize,
+    sq_count: usize,
+    fu: FuPool,
+    sst: Sst,
+    prdq: Prdq,
+
+    mode: Mode,
+    /// Next correct-path sequence number to dispatch.
+    next_seq: u64,
+    /// Dispatch is stalled until this cycle (redirects, refills, I-misses).
+    fetch_stall_until: u64,
+    /// Dispatch is blocked behind this unresolved mispredicted branch.
+    wait_branch: Option<u64>,
+    last_ifetch_line: u64,
+    /// Sequence number of the head instruction being tracked by the
+    /// countdown timer, and the cycle it became head.
+    head_since: Option<(u64, u64)>,
+    /// FLUSH already fired for this blocking head.
+    flushed_for: Option<u64>,
+    /// Completion cycles of outstanding LLC misses (for the MLP metric).
+    active_misses: Vec<u64>,
+    /// Keep interval logging on across measurement resets.
+    ace_logging: bool,
+    /// Active wrong-path episode: the unresolved mispredicted branch's
+    /// sequence number (only with `model_wrong_path`).
+    wrong_path_after: Option<u64>,
+    /// Continuous-runahead background engine: next future sequence to
+    /// pre-execute and the validity state of its chain registers
+    /// (Technique::Cre only).
+    cre: Option<(u64, InvTracker)>,
+    /// Cycle the current CRE epoch started; the engine periodically
+    /// re-derives its chains (and register validity) from the ROB.
+    cre_epoch_start: u64,
+    /// Deterministic generator state for synthetic wrong-path micro-ops.
+    wp_rng: u64,
+    /// Line address of the most recent correct-path load (wrong-path
+    /// loads pollute nearby memory).
+    last_load_line: u64,
+
+    stats: CoreStats,
+}
+
+impl<S: UopSource> Core<S> {
+    /// Builds a cold core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    #[must_use]
+    pub fn new(cfg: CoreConfig, mem_cfg: MemConfig, technique: Technique, src: S) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid core config: {e}"));
+        let mut prf = PhysRegFile::new(cfg.int_regs, cfg.fp_regs);
+        let rat = Rat::new(&mut prf);
+        let arch_rat = rat.clone();
+        let reg_ready = vec![0u64; prf.total()];
+        Core {
+            rob: Rob::new(cfg.rob_size),
+            rat,
+            arch_rat,
+            prf,
+            reg_ready,
+            arch_last_writer: [None; ArchReg::total_count()],
+            arch_last_writer_pc: [None; ArchReg::total_count()],
+            iq_count: 0,
+            lq_count: 0,
+            sq_count: 0,
+            fu: FuPool::new(&cfg.fu),
+            sst: Sst::new(cfg.sst_size),
+            prdq: Prdq::new(cfg.prdq_size),
+            mode: Mode::Normal,
+            next_seq: 0,
+            fetch_stall_until: 0,
+            wait_branch: None,
+            last_ifetch_line: u64::MAX,
+            head_since: None,
+            flushed_for: None,
+            active_misses: Vec::new(),
+            ace_logging: false,
+            wrong_path_after: None,
+            cre: None,
+            cre_epoch_start: 0,
+            wp_rng: 0xabcd_ef01_2345_6789,
+            last_load_line: 0x1_0000_0000,
+            stats: CoreStats::default(),
+            mem: MemoryHierarchy::new(mem_cfg),
+            bp: BranchPredictor::tage_sc_l_8kb(),
+            ace: AceCounter::new(),
+            features: technique.features(),
+            technique,
+            cfg,
+            src,
+            now: 0,
+        }
+    }
+
+    /// The configured technique.
+    #[must_use]
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// The core configuration.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Performance statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Memory-system statistics.
+    #[must_use]
+    pub fn mem_stats(&self) -> &rar_mem::MemStats {
+        self.mem.stats()
+    }
+
+    /// Branch-predictor statistics.
+    #[must_use]
+    pub fn predictor_stats(&self) -> rar_frontend::PredictorStats {
+        self.bp.stats()
+    }
+
+    /// The ACE accumulator.
+    #[must_use]
+    pub fn ace(&self) -> &AceCounter {
+        &self.ace
+    }
+
+    /// Stalling-slice-table telemetry: (resident PCs, hits, lookups).
+    #[must_use]
+    pub fn sst_stats(&self) -> (usize, u64, u64) {
+        let (hits, lookups) = self.sst.hit_stats();
+        (self.sst.len(), hits, lookups)
+    }
+
+    /// Whether `pc` is currently a known stalling-slice member (debug).
+    pub fn sst_contains(&mut self, pc: u64) -> bool {
+        self.sst.contains(pc)
+    }
+
+    /// Reliability summary for the elapsed run.
+    #[must_use]
+    pub fn reliability_report(&self) -> ReliabilityReport {
+        ReliabilityReport::new(&self.ace, &self.cfg.capacities(), self.stats.cycles)
+    }
+
+    /// Zeroes the measured statistics and ACE state while keeping all
+    /// microarchitectural state (caches, predictors, SST) warm. Call after
+    /// a warm-up phase.
+    pub fn reset_measurement(&mut self) {
+        self.stats = CoreStats::default();
+        self.ace = if self.ace_logging { AceCounter::with_logging() } else { AceCounter::new() };
+        self.mem.reset_stats();
+        self.bp.reset_stats();
+    }
+
+    /// Enables recording of committed occupancy intervals for
+    /// fault-injection campaigns ([`rar_ace::inject`]). Survives
+    /// [`Core::reset_measurement`].
+    pub fn enable_ace_logging(&mut self) {
+        self.ace_logging = true;
+        self.ace.enable_logging();
+    }
+
+    /// Runs until `n` instructions have been committed since the last
+    /// measurement reset.
+    pub fn run_until_committed(&mut self, n: u64) {
+        let limit_cycles = self.now + n.saturating_mul(1_000).max(1_000_000);
+        while self.stats.committed < n {
+            self.cycle();
+            assert!(
+                self.now < limit_cycles,
+                "simulation wedged: {} committed of {n} after {} cycles",
+                self.stats.committed,
+                self.now
+            );
+        }
+    }
+
+    /// Advances the core by one cycle.
+    pub fn cycle(&mut self) {
+        self.now += 1;
+        self.stats.cycles += 1;
+
+        // Runahead exit is checked before commit: when the blocking load's
+        // data returns, flush variants squash it along with the rest of
+        // the back-end (Figure 6) rather than letting it commit first.
+        if let Mode::Runahead(state) = &self.mode {
+            if self.now >= state.exit_at {
+                self.exit_runahead();
+            }
+        }
+        // Wrong-path episodes end when the mispredicted branch resolves:
+        // everything younger is squashed (un-ACE) and fetch pays the
+        // redirect penalty.
+        if let Some(branch_seq) = self.wrong_path_after {
+            let resolved = self
+                .rob
+                .get(branch_seq)
+                .is_none_or(|e| e.completed(self.now));
+            if resolved {
+                let resume = self
+                    .rob
+                    .get(branch_seq)
+                    .and_then(|e| e.complete_at)
+                    .unwrap_or(self.now);
+                self.squash_after(branch_seq);
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(resume + self.cfg.frontend_depth);
+                self.wrong_path_after = None;
+            }
+        }
+        self.commit_stage();
+        self.track_blocking_head();
+        self.issue_stage();
+        match &self.mode {
+            Mode::Normal if self.wrong_path_after.is_some() => self.dispatch_wrong_path(),
+            Mode::Normal => self.dispatch_stage(),
+            Mode::Runahead(_) => self.runahead_stage(),
+        }
+        if self.technique == Technique::Cre {
+            self.cre_stage();
+        }
+        self.mlp_sample();
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        for _ in 0..self.cfg.width {
+            let Some(head) = self.rob.head() else { break };
+            if !head.completed(self.now) {
+                break;
+            }
+            let e = self.rob.pop_head().expect("head exists");
+            self.record_ace_commit(&e);
+            // Commit updates the architectural RAT and frees the previous
+            // mapping of the destination register.
+            if let (Some(dest), Some(phys)) = (e.uop.dest(), e.dest_phys) {
+                let _ = self.arch_rat.rename(dest, phys);
+            }
+            if let Some(old) = e.old_phys {
+                self.prf.free(old);
+                self.reg_ready[old.flat(self.prf.int_regs())] = 0;
+            }
+            if e.uop.is_load() {
+                self.lq_count -= 1;
+            }
+            if e.uop.is_store() {
+                self.sq_count -= 1;
+                // The store drains to the cache at commit.
+                if let Some(m) = e.uop.mem() {
+                    let _ = self.mem.access(AccessKind::Store, m.addr, e.uop.pc(), self.now);
+                }
+            }
+            if e.in_iq {
+                // Never issued (squashless commit only happens for issued
+                // entries, but be defensive for NOPs).
+                self.iq_count -= 1;
+            }
+            // Retire the writer table lazily: only clear if this entry is
+            // still the registered last writer.
+            if let Some(dest) = e.uop.dest() {
+                if self.arch_last_writer[dest.flat_index()] == Some(e.seq) {
+                    self.arch_last_writer[dest.flat_index()] = None;
+                }
+            }
+            self.stats.committed += 1;
+            if self.stats.committed.is_multiple_of(1024) {
+                let head_seq = self.rob.head().map_or(e.seq + 1, |h| h.seq);
+                self.src.release_before(head_seq);
+            }
+        }
+    }
+
+    fn record_ace_commit(&mut self, e: &Entry) {
+        if e.uop.kind() == UopKind::Nop {
+            return; // NOPs are un-ACE.
+        }
+        let c = self.now;
+        self.ace.record_committed(Structure::Rob, 120, e.dispatch_cycle, c);
+        let issue = e.issue_cycle.unwrap_or(c);
+        self.ace.record_committed(Structure::Iq, 80, e.dispatch_cycle, issue);
+        if let Some(x) = e.exec_start {
+            if e.uop.is_load() {
+                self.ace.record_committed(Structure::Lq, 120, x, c);
+            }
+            if e.uop.is_store() {
+                self.ace.record_committed(Structure::Sq, 184, x, c);
+            }
+            let fu_bits = if e.uop.kind().is_fp() { 128 } else { 64 };
+            self.ace.record_committed(Structure::Fu, fu_bits, x, x + e.fu_latency);
+        }
+        if let Some(phys) = e.dest_phys {
+            let written = e.complete_at.unwrap_or(c).min(c);
+            let s = match phys.class {
+                RegClass::Int => Structure::RfInt,
+                RegClass::Fp => Structure::RfFp,
+            };
+            self.ace.record_committed(s, phys.bits(), written, c);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking-head tracking: ACE windows, countdown timer, triggers
+    // ------------------------------------------------------------------
+
+    fn blocking_head(&self) -> Option<(u64, u64)> {
+        // Returns (seq, complete_at) when the head is an issued,
+        // uncompleted LLC-missing load.
+        let head = self.rob.head()?;
+        let complete = head.complete_at?;
+        if head.uop.is_load() && head.mem_level == Some(HitLevel::Memory) && complete > self.now {
+            Some((head.seq, complete))
+        } else {
+            None
+        }
+    }
+
+    fn track_blocking_head(&mut self) {
+        // Countdown-timer bookkeeping: which seq is at the head, since when.
+        match self.rob.head().map(|h| h.seq) {
+            Some(seq) => {
+                if self.head_since.map(|(s, _)| s) != Some(seq) {
+                    self.head_since = Some((seq, self.now));
+                }
+            }
+            None => self.head_since = None,
+        }
+
+        let Some((blocking_seq, complete_at)) = self.blocking_head() else {
+            if self.ace.window_open(StallKind::RobHeadBlocked) {
+                self.ace.close_window(StallKind::RobHeadBlocked, self.now);
+            }
+            if self.ace.window_open(StallKind::FullRobStall) {
+                self.ace.close_window(StallKind::FullRobStall, self.now);
+            }
+            return;
+        };
+
+        self.stats.head_blocked_cycles += 1;
+        self.ace.open_window(StallKind::RobHeadBlocked, self.now);
+        if self.rob.is_full() {
+            self.ace.open_window(StallKind::FullRobStall, self.now);
+        } else if self.ace.window_open(StallKind::FullRobStall) {
+            self.ace.close_window(StallKind::FullRobStall, self.now);
+        }
+
+        if self.mode.is_runahead() {
+            return;
+        }
+
+        let blocked_cycles = self
+            .head_since
+            .map(|(_, since)| self.now.saturating_sub(since))
+            .unwrap_or(0);
+
+        // FLUSH: Weaver et al. — flush behind the blocking access; the
+        // pipeline refills when the access returns. Like the runahead
+        // variants' late trigger, the flush fires on a full-window stall:
+        // the paper's text says "blocks the head", but its results (FLUSH
+        // and RAR-LATE remove nearly the same ABC; mcf's FLUSH gain is
+        // modest) are only consistent with full-ROB-stall coverage, which
+        // also matches Weaver et al.'s original in-order setting where a
+        // blocking miss and a full pipeline coincide.
+        if self.technique == Technique::Flush
+            && self.flushed_for != Some(blocking_seq)
+            && self.rob.is_full()
+        {
+            self.flushed_for = Some(blocking_seq);
+            self.flush_behind_head(complete_at);
+            return;
+        }
+
+        // Runahead triggers.
+        let Some(features) = self.features else { return };
+        let remaining = complete_at - self.now;
+        if remaining < self.cfg.min_runahead_benefit {
+            return;
+        }
+        let full_stall = self.rob.is_full();
+        let timer_fired = blocked_cycles >= self.cfg.runahead_timer;
+        let trigger = if features.early { timer_fired || full_stall } else { full_stall };
+        if !trigger {
+            return;
+        }
+        if !features.lean {
+            // TR's filter: only enter for loads issued to memory recently
+            // (long remaining latency).
+            let head = self.rob.head().expect("blocking head exists");
+            let issued_at = head.issue_cycle.unwrap_or(self.now);
+            if self.now.saturating_sub(issued_at) > self.cfg.tr_trigger_window {
+                return;
+            }
+        }
+        self.enter_runahead(blocking_seq, complete_at, features);
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    fn issue_stage(&mut self) {
+        let mut budget = self.cfg.width;
+        let now = self.now;
+        let int_regs = self.prf.int_regs();
+        let mut issued: Vec<u64> = Vec::new();
+        let mut llc_miss_loads: Vec<u64> = Vec::new();
+
+        // Collect issuable entries oldest-first. Borrow discipline: first
+        // select, then mutate.
+        let mut candidates: Vec<u64> = Vec::new();
+        for e in self.rob.iter() {
+            if candidates.len() >= budget {
+                break;
+            }
+            if e.in_iq && e.src_phys_ready(&self.reg_ready, int_regs, now) {
+                candidates.push(e.seq);
+            }
+        }
+
+        for seq in candidates {
+            if budget == 0 {
+                break;
+            }
+            // Re-fetch the entry mutably.
+            let Some(e) = self.rob.get(seq) else { continue };
+            let kind = e.uop.kind();
+            if !self.fu.try_issue(kind, now) {
+                continue;
+            }
+            let uop = e.uop.clone();
+            let mispredicted = e.mispredicted;
+
+            let complete_at = match kind {
+                UopKind::Load => {
+                    let m = uop.mem().expect("loads carry an address");
+                    match self.mem.access(AccessKind::Load, m.addr, uop.pc(), now + 1) {
+                        Ok(out) => {
+                            let entry = self.rob.get_mut(seq).expect("entry resident");
+                            entry.mem_level = Some(out.level);
+                            if out.level == HitLevel::Memory {
+                                self.active_misses.push(out.complete_at);
+                                llc_miss_loads.push(seq);
+                            }
+                            self.last_load_line = cache_line(m.addr);
+                            out.complete_at
+                        }
+                        Err(MemStall::MshrFull) => continue, // retry next cycle
+                    }
+                }
+                UopKind::Store => {
+                    // Address generation only; data drains at commit.
+                    now + exec_latency(kind)
+                }
+                _ => now + exec_latency(kind),
+            };
+
+            let e = self.rob.get_mut(seq).expect("entry resident");
+            e.issue_cycle = Some(now);
+            e.exec_start = Some(now);
+            e.complete_at = Some(complete_at);
+            e.in_iq = false;
+            e.fu_latency = exec_latency(kind);
+            self.iq_count -= 1;
+            budget -= 1;
+            issued.push(seq);
+
+            if let Some(phys) = e.dest_phys {
+                self.reg_ready[phys.flat(int_regs)] = complete_at;
+            }
+            if kind == UopKind::Branch && mispredicted {
+                // The branch resolves at completion; fetch restarts after
+                // the front-end refill.
+                self.fetch_stall_until =
+                    self.fetch_stall_until.max(complete_at + self.cfg.frontend_depth);
+                if self.wait_branch == Some(seq) {
+                    self.wait_branch = None;
+                }
+            }
+        }
+
+        // Train the SST with the backward slices of LLC-missing loads.
+        for seq in llc_miss_loads {
+            self.learn_slice(seq);
+        }
+        let _ = issued;
+    }
+
+    /// Walks the in-flight backward slice of the load at `seq` and inserts
+    /// the producers' PCs into the SST. Producers that already committed
+    /// are attributed through the per-register last-writer PC table, so
+    /// tight address-update chains (stream index increments) train even
+    /// when they retire before the load issues.
+    fn learn_slice(&mut self, seq: u64) {
+        let Some(load) = self.rob.get(seq) else { return };
+        let src_pcs: Vec<u64> = load
+            .uop
+            .srcs()
+            .filter_map(|s| self.arch_last_writer_pc[s.flat_index()])
+            .collect();
+        let mut frontier: Vec<u64> = load.src_writers.iter().flatten().copied().collect();
+        for pc in src_pcs {
+            self.sst.insert(pc);
+        }
+        let mut visited = 0;
+        while let Some(wseq) = frontier.pop() {
+            if visited >= 16 {
+                break;
+            }
+            visited += 1;
+            if let Some(w) = self.rob.get(wseq) {
+                self.sst.insert(w.uop.pc());
+                frontier.extend(w.src_writers.iter().flatten().copied());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch (normal mode)
+    // ------------------------------------------------------------------
+
+    fn dispatch_stage(&mut self) {
+        if self.now < self.fetch_stall_until || self.wait_branch.is_some() {
+            return;
+        }
+        // THROTTLE (Soundararajan et al.): maintain a hard occupancy bound
+        // on the back-end — dispatch narrows (default: stops) whenever the
+        // ROB holds more than the bound, directly capping how much
+        // vulnerable state can ever be exposed under a miss.
+        let width = if self.technique == Technique::Throttle
+            && self.rob.len() as f64 >= self.cfg.throttle_occupancy_bound * self.cfg.rob_size as f64
+        {
+            self.cfg.throttle_width
+        } else {
+            self.cfg.width
+        };
+        if width == 0 {
+            return;
+        }
+        for _ in 0..width {
+            if self.rob.is_full() {
+                self.stats.rob_full_cycles += 1;
+                return;
+            }
+            if self.iq_count >= self.cfg.iq_size {
+                self.stats.iq_full_cycles += 1;
+                return;
+            }
+            let uop = self.src.get(self.next_seq).clone();
+
+            // Instruction fetch: charge a bubble when crossing into a line
+            // that misses the L1-I.
+            let line = cache_line(uop.pc());
+            if line != self.last_ifetch_line {
+                self.last_ifetch_line = line;
+                let out = self
+                    .mem
+                    .access(AccessKind::Ifetch, uop.pc(), uop.pc(), self.now)
+                    .expect("ifetch never stalls");
+                if out.level != HitLevel::L1 {
+                    self.fetch_stall_until = out.complete_at;
+                    return;
+                }
+            }
+
+            if uop.is_load() && self.lq_count >= self.cfg.lq_size {
+                return;
+            }
+            if uop.is_store() && self.sq_count >= self.cfg.sq_size {
+                return;
+            }
+            // Rename.
+            let mut src_phys = [None, None];
+            let mut src_writers = [None, None];
+            for (i, src) in uop.srcs().enumerate() {
+                src_phys[i] = Some(self.rat.lookup(src));
+                src_writers[i] = self.arch_last_writer[src.flat_index()];
+            }
+            let (dest_phys, old_phys) = match uop.dest() {
+                Some(dest) => {
+                    let Some(fresh) = self.prf.alloc(dest.class()) else {
+                        return; // rename stalls on PRF exhaustion
+                    };
+                    self.reg_ready[fresh.flat(self.prf.int_regs())] = u64::MAX;
+                    let old = self.rat.rename(dest, fresh);
+                    self.arch_last_writer[dest.flat_index()] = Some(self.next_seq);
+                    self.arch_last_writer_pc[dest.flat_index()] = Some(uop.pc());
+                    (Some(fresh), Some(old))
+                }
+                None => (None, None),
+            };
+
+            // Branch prediction.
+            let mut mispredicted = false;
+            if let Some(b) = uop.branch_info() {
+                let pred = self.bp.predict(uop.pc());
+                mispredicted = self.bp.update(uop.pc(), b.taken, b.target);
+                if mispredicted {
+                    self.stats.branch_mispredicts += 1;
+                } else if b.taken && pred.target != Some(b.target) {
+                    // Correct direction, unknown target: redirect bubble.
+                    self.fetch_stall_until = self.now + 2;
+                }
+            }
+
+            let entry = Entry {
+                seq: self.next_seq,
+                uop,
+                dispatch_cycle: self.now,
+                issue_cycle: None,
+                exec_start: None,
+                complete_at: None,
+                dest_phys,
+                old_phys,
+                mem_level: None,
+                mispredicted,
+                in_iq: true,
+                src_writers,
+                src_phys_cache: src_phys,
+                wrong_path: false,
+                fu_latency: 1,
+            };
+            if entry.uop.is_load() {
+                self.lq_count += 1;
+            }
+            if entry.uop.is_store() {
+                self.sq_count += 1;
+            }
+            self.iq_count += 1;
+            self.stats.dispatched += 1;
+            self.rob.push(entry);
+            if mispredicted {
+                if self.cfg.model_wrong_path {
+                    self.wrong_path_after = Some(self.next_seq);
+                } else {
+                    self.wait_branch = Some(self.next_seq);
+                }
+                self.next_seq += 1;
+                return;
+            }
+            self.next_seq += 1;
+        }
+    }
+
+    fn wp_next(&mut self) -> u64 {
+        self.wp_rng = self.wp_rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.wp_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Dispatches synthetic wrong-path micro-ops while a mispredicted
+    /// branch is unresolved. They rename, occupy back-end resources,
+    /// execute (polluting caches and MSHRs), and are squashed at
+    /// resolution — contending like real wrong-path work without being
+    /// part of the correct-path trace.
+    fn dispatch_wrong_path(&mut self) {
+        if self.now < self.fetch_stall_until {
+            return;
+        }
+        for _ in 0..self.cfg.width {
+            if self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
+                return;
+            }
+            let seq = match self.rob.iter().last() {
+                Some(tail) => tail.seq + 1,
+                None => return, // branch already gone; episode is ending
+            };
+            let r = self.wp_next();
+            let pc = 0x7f_0000 + (r % 512) * 4;
+            let uop = if r % 10 < 3 {
+                if self.lq_count >= self.cfg.lq_size {
+                    return;
+                }
+                // Wrong-path loads wander near recent correct-path data.
+                let addr = self
+                    .last_load_line
+                    .wrapping_add((self.wp_next() % 4096) * 64)
+                    & !63;
+                rar_isa::Uop::load(pc, addr, 8).with_dest(ArchReg::int((r % 32) as u8))
+            } else {
+                rar_isa::Uop::alu(pc, UopKind::IntAlu)
+                    .with_dest(ArchReg::int((r % 32) as u8))
+                    .with_src(ArchReg::int(((r >> 8) % 32) as u8))
+            };
+            let mut src_phys = [None, None];
+            for (i, src) in uop.srcs().enumerate() {
+                src_phys[i] = Some(self.rat.lookup(src));
+            }
+            let (dest_phys, old_phys) = match uop.dest() {
+                Some(dest) => {
+                    let Some(fresh) = self.prf.alloc(dest.class()) else { return };
+                    self.reg_ready[fresh.flat(self.prf.int_regs())] = u64::MAX;
+                    let old = self.rat.rename(dest, fresh);
+                    (Some(fresh), Some(old))
+                }
+                None => (None, None),
+            };
+            let is_load = uop.is_load();
+            self.rob.push(Entry {
+                seq,
+                uop,
+                dispatch_cycle: self.now,
+                issue_cycle: None,
+                exec_start: None,
+                complete_at: None,
+                dest_phys,
+                old_phys,
+                mem_level: None,
+                mispredicted: false,
+                in_iq: true,
+                src_writers: [None, None],
+                src_phys_cache: src_phys,
+                wrong_path: true,
+                fu_latency: 1,
+            });
+            self.iq_count += 1;
+            self.stats.dispatched += 1;
+            if is_load {
+                self.lq_count += 1;
+            }
+        }
+    }
+
+    /// Squashes every instruction younger than `seq`, rolling the RAT
+    /// back by undoing renames youngest-first. Squashed occupancy is
+    /// never reported to the ACE counter.
+    fn squash_after(&mut self, seq: u64) {
+        let squashed = self.rob.drain_after(seq);
+        self.stats.squashed += squashed.len() as u64;
+        let int_regs = self.prf.int_regs();
+        for e in squashed.iter().rev() {
+            if let (Some(dest), Some(fresh), Some(old)) = (e.uop.dest(), e.dest_phys, e.old_phys) {
+                let current = self.rat.rename(dest, old);
+                debug_assert_eq!(current, fresh, "RAT rollback out of order");
+                self.prf.free(fresh);
+                self.reg_ready[fresh.flat(int_regs)] = 0;
+            }
+            if e.in_iq {
+                self.iq_count -= 1;
+            }
+            if e.uop.is_load() {
+                self.lq_count -= 1;
+            }
+            if e.uop.is_store() {
+                self.sq_count -= 1;
+            }
+            if let Some(dest) = e.uop.dest() {
+                if self.arch_last_writer[dest.flat_index()] == Some(e.seq) {
+                    self.arch_last_writer[dest.flat_index()] = None;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Runahead
+    // ------------------------------------------------------------------
+
+    fn enter_runahead(&mut self, blocking_seq: u64, exit_at: u64, features: RunaheadFeatures) {
+        self.stats.runahead_intervals += 1;
+        // Registers produced by in-flight instructions remain readable from
+        // the PRF as those instructions complete during the interval; only
+        // values that will NOT materialize in time — unreturned LLC misses
+        // — are INV (the blocking load first among them).
+        let mut inv = InvTracker::all_valid();
+        for e in self.rob.iter() {
+            let pending_miss = e.mem_level == Some(HitLevel::Memory)
+                && e.complete_at.is_some_and(|c| c > self.now);
+            let unknown = e.uop.is_load() && e.complete_at.is_none();
+            if pending_miss || unknown {
+                if let Some(d) = e.uop.dest() {
+                    inv.invalidate(d);
+                }
+            }
+        }
+        // Traditional runahead checkpoints architectural state on entry;
+        // PRE enters instantaneously (its key claim).
+        let entry_stall = if features.lean { 0 } else { self.cfg.frontend_depth };
+        self.mode = Mode::Runahead(RaState {
+            blocking_seq,
+            exit_at,
+            entered_at: self.now,
+            ra_seq: self.next_seq,
+            inv,
+            entry_stall,
+        });
+    }
+
+    fn runahead_stage(&mut self) {
+        let Mode::Runahead(state) = &self.mode else { return };
+        let features = self.features.expect("runahead implies features");
+        if self.now >= state.exit_at {
+            self.exit_runahead();
+            return;
+        }
+        self.stats.runahead_cycles += 1;
+
+        let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+        if state.entry_stall > 0 {
+            state.entry_stall -= 1;
+            return;
+        }
+        let mut fetch_budget = self.cfg.width;
+        // Vector runahead packs several chain iterations into one issue
+        // slot, multiplying slice throughput.
+        let mut exec_budget = if features.vector { self.cfg.width * 4 } else { self.cfg.width };
+        // The runahead buffer replays dependence chains without touching
+        // the front-end: skipping a non-slice micro-op is free, bounded
+        // only by how far ahead the buffer's chains can reach per cycle.
+        let mut skip_budget: u32 = if features.buffered { 256 } else { 0 };
+        let depth_limit = self.next_seq + self.cfg.max_runahead_depth;
+
+        while fetch_budget > 0 && exec_budget > 0 {
+            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            if state.ra_seq >= depth_limit {
+                break;
+            }
+            let seq = state.ra_seq;
+            let uop = self.src.get(seq).clone();
+            let pc = uop.pc();
+
+            let in_slice = if features.lean {
+                uop.is_load() || self.sst.contains(pc)
+            } else {
+                true
+            };
+            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            if !in_slice {
+                // Fetched but skipped: its result is not computed.
+                if let Some(d) = uop.dest() {
+                    state.inv.invalidate(d);
+                }
+                state.ra_seq += 1;
+                if skip_budget > 0 {
+                    skip_budget -= 1; // buffered replay: skip is free
+                } else {
+                    fetch_budget -= 1;
+                }
+                self.stats.runahead_uops += 1;
+                continue;
+            }
+
+            // Execution cost: lean runahead executes slices cheaply;
+            // traditional runahead pays real latency serialization.
+            let cost = if features.lean {
+                1
+            } else {
+                (exec_latency(uop.kind()) / 2).max(1) as usize
+            };
+            if exec_budget < cost {
+                break;
+            }
+
+            let srcs_valid = state.inv.srcs_valid(&uop);
+            match uop.kind() {
+                UopKind::Load => {
+                    if !srcs_valid {
+                        if let Some(d) = uop.dest() {
+                            state.inv.invalidate(d);
+                        }
+                        self.stats.runahead_inv_loads += 1;
+                    } else {
+                        if !self.prdq.try_push(self.now, self.now + 4) {
+                            break; // PRDQ full: stall this cycle
+                        }
+                        let m = uop.mem().expect("loads carry an address");
+                        match self.mem.access(AccessKind::Load, m.addr, pc, self.now) {
+                            Ok(out) => {
+                                self.stats.runahead_prefetches += 1;
+                                let Mode::Runahead(state) = &mut self.mode else {
+                                    unreachable!()
+                                };
+                                if let Some(d) = uop.dest() {
+                                    // Data that will not return within the
+                                    // interval is INV.
+                                    state.inv.set(d, out.complete_at <= state.exit_at);
+                                }
+                                if out.level == HitLevel::Memory {
+                                    self.active_misses.push(out.complete_at);
+                                }
+                            }
+                            Err(MemStall::MshrFull) => break, // retry next cycle
+                        }
+                    }
+                }
+                UopKind::Store | UopKind::Branch | UopKind::Nop => {
+                    // Runahead stores do not modify memory; branches follow
+                    // the trace.
+                }
+                _ => {
+                    if let Some(d) = uop.dest() {
+                        let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+                        state.inv.set(d, srcs_valid);
+                    }
+                }
+            }
+
+            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            state.ra_seq += 1;
+            fetch_budget -= 1;
+            exec_budget -= cost;
+            self.stats.runahead_uops += 1;
+        }
+    }
+
+    fn exit_runahead(&mut self) {
+        let Mode::Runahead(state) = &self.mode else { return };
+        let features = self.features.expect("runahead implies features");
+        let blocking_seq = state.blocking_seq;
+        self.prdq.clear();
+        if features.flush_at_exit {
+            // RAR / TR: flush the whole back-end. Everything accumulated
+            // during the interval becomes un-ACE; fetch restarts at the
+            // blocking load.
+            self.flush_all(blocking_seq, self.now + self.cfg.frontend_depth);
+        } else {
+            // PRE: the ROB was kept; dispatch resumes immediately.
+            self.fetch_stall_until = self.fetch_stall_until.max(self.now + 1);
+        }
+        self.mode = Mode::Normal;
+    }
+
+    /// Continuous runahead: a background engine pre-executes stalling
+    /// slices of the future stream whenever an LLC miss is outstanding,
+    /// without stopping dispatch or entering a mode. Its chain-register
+    /// validity is re-derived from the ROB each time the engine restarts
+    /// (when dispatch catches up with it or all misses drain).
+    fn cre_stage(&mut self) {
+        let now = self.now;
+        self.active_misses.retain(|&c| c > now);
+        if self.active_misses.is_empty() {
+            self.cre = None; // engine idles; revalidate on restart
+            return;
+        }
+        // Re-derive chains when dispatch catches up with the engine or at
+        // a fixed epoch boundary: the real design regenerates its chain
+        // buffer from the core periodically, which also refreshes which
+        // registers hold computable values.
+        let restart = match &self.cre {
+            Some((seq, _)) => *seq < self.next_seq || now - self.cre_epoch_start > 256,
+            None => true,
+        };
+        if restart {
+            let mut inv = InvTracker::all_valid();
+            for e in self.rob.iter() {
+                let pending_miss = e.mem_level == Some(HitLevel::Memory)
+                    && e.complete_at.is_some_and(|c| c > now);
+                let unknown = e.uop.is_load() && e.complete_at.is_none();
+                if pending_miss || unknown {
+                    if let Some(d) = e.uop.dest() {
+                        inv.invalidate(d);
+                    }
+                }
+            }
+            self.cre = Some((self.next_seq, inv));
+            self.cre_epoch_start = now;
+        }
+        // The dedicated engine executes up to 2 slice micro-ops per cycle
+        // and skips non-slice ones freely (it replays cached chains, like
+        // the runahead buffer), within a bounded lookahead.
+        let depth_limit = self.next_seq + self.cfg.max_runahead_depth;
+        let mut exec_budget = 2u32;
+        let mut skip_budget = 64u32;
+        while exec_budget > 0 && skip_budget > 0 {
+            let Some((seq, _)) = self.cre else { return };
+            if seq >= depth_limit {
+                break;
+            }
+            let uop = self.src.get(seq).clone();
+            let pc = uop.pc();
+            let in_slice = uop.is_load() || self.sst.contains(pc);
+            let Some((seq_ref, inv)) = &mut self.cre else { unreachable!() };
+            if !in_slice {
+                if let Some(d) = uop.dest() {
+                    inv.invalidate(d);
+                }
+                *seq_ref += 1;
+                skip_budget -= 1;
+                continue;
+            }
+            let srcs_valid = inv.srcs_valid(&uop);
+            match uop.kind() {
+                UopKind::Load => {
+                    if !srcs_valid {
+                        if let Some(d) = uop.dest() {
+                            inv.invalidate(d);
+                        }
+                        self.stats.runahead_inv_loads += 1;
+                    } else {
+                        // The background engine must not starve demand
+                        // loads: it leaves a reserve of MSHRs untouched
+                        // (the real design has its own resources at the
+                        // memory controller).
+                        let reserve = 4;
+                        if self.mem.outstanding_misses(now) + reserve
+                            >= self.mem.config().mshrs
+                        {
+                            break;
+                        }
+                        let m = uop.mem().expect("loads carry an address");
+                        match self.mem.access(AccessKind::Load, m.addr, pc, now) {
+                            Ok(out) => {
+                                self.stats.runahead_prefetches += 1;
+                                let Some((_, inv)) = &mut self.cre else { unreachable!() };
+                                if let Some(d) = uop.dest() {
+                                    inv.set(d, out.level < HitLevel::Memory);
+                                }
+                                if out.level == HitLevel::Memory {
+                                    self.active_misses.push(out.complete_at);
+                                }
+                            }
+                            Err(MemStall::MshrFull) => break,
+                        }
+                    }
+                }
+                UopKind::Store | UopKind::Branch | UopKind::Nop => {}
+                _ => {
+                    if let Some(d) = uop.dest() {
+                        let Some((_, inv)) = &mut self.cre else { unreachable!() };
+                        inv.set(d, srcs_valid);
+                    }
+                }
+            }
+            let Some((seq_ref, _)) = &mut self.cre else { unreachable!() };
+            *seq_ref += 1;
+            exec_budget -= 1;
+            self.stats.runahead_uops += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flushes
+    // ------------------------------------------------------------------
+
+    /// Squashes every in-flight instruction and restarts fetch at
+    /// `refetch_seq`. Squashed occupancy intervals are never reported to
+    /// the ACE counter — this is RAR's reliability mechanism.
+    fn flush_all(&mut self, refetch_seq: u64, resume_at: u64) {
+        self.stats.flushes += 1;
+        let squashed = self.rob.len();
+        self.stats.squashed += squashed as u64;
+        let _ = self.rob.drain_all().count();
+        self.rat = self.arch_rat.clone();
+        self.prf.reset_free_except(&self.arch_rat.live_regs());
+        self.reg_ready.fill(0);
+        self.arch_last_writer = [None; ArchReg::total_count()];
+        self.iq_count = 0;
+        self.lq_count = 0;
+        self.sq_count = 0;
+        self.fu.reset();
+        self.wait_branch = None;
+        self.wrong_path_after = None;
+        self.next_seq = refetch_seq;
+        self.fetch_stall_until = resume_at;
+        self.last_ifetch_line = u64::MAX;
+        self.head_since = None;
+    }
+
+    /// FLUSH (Weaver et al.): squashes everything *behind* the blocking
+    /// head and stalls fetch until the access returns plus the refill
+    /// penalty.
+    fn flush_behind_head(&mut self, head_complete_at: u64) {
+        self.stats.flushes += 1;
+        let head_seq = self.rob.head().expect("blocking head exists").seq;
+        let squashed = self.rob.drain_after(head_seq);
+        self.stats.squashed += squashed.len() as u64;
+        // Roll rename state back to the architectural RAT plus the head's
+        // own mapping.
+        self.rat = self.arch_rat.clone();
+        let head = self.rob.head().expect("head retained");
+        let head_dest = head.uop.dest().zip(head.dest_phys);
+        let head_complete = head.complete_at;
+        let mut live = self.arch_rat.live_regs();
+        if let Some((arch, phys)) = head_dest {
+            let _ = self.rat.rename(arch, phys);
+            live.push(phys);
+        }
+        self.prf.reset_free_except(&live);
+        self.reg_ready.fill(0);
+        if let Some((_, phys)) = head_dest {
+            self.reg_ready[phys.flat(self.prf.int_regs())] = head_complete.unwrap_or(0);
+        }
+        self.arch_last_writer = [None; ArchReg::total_count()];
+        if let Some((arch, _)) = head_dest {
+            self.arch_last_writer[arch.flat_index()] = Some(head_seq);
+        }
+        let head = self.rob.head().expect("head retained");
+        self.iq_count = usize::from(head.in_iq);
+        self.lq_count = usize::from(head.uop.is_load());
+        self.sq_count = usize::from(head.uop.is_store());
+        self.fu.reset();
+        self.wait_branch = None;
+        self.wrong_path_after = None;
+        self.next_seq = head_seq + 1;
+        self.fetch_stall_until = head_complete_at + self.cfg.frontend_depth;
+        self.last_ifetch_line = u64::MAX;
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// A point-in-time view of the pipeline for tracing/debug tooling.
+    #[must_use]
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        let head = self.rob.head();
+        PipelineSnapshot {
+            cycle: self.now,
+            rob_occupancy: self.rob.len(),
+            iq_occupancy: self.iq_count,
+            lq_occupancy: self.lq_count,
+            sq_occupancy: self.sq_count,
+            in_runahead: self.mode.is_runahead(),
+            head_seq: head.map(|e| e.seq),
+            head_pc: head.map(|e| e.uop.pc()),
+            head_completed: head.is_some_and(|e| e.completed(self.now)),
+            next_seq: self.next_seq,
+            committed: self.stats.committed,
+        }
+    }
+
+    fn mlp_sample(&mut self) {
+        let now = self.now;
+        self.active_misses.retain(|&c| c > now);
+        let n = self.active_misses.len() as u64;
+        if n > 0 {
+            self.stats.mlp_sum += n;
+            self.stats.mlp_cycles += 1;
+        }
+    }
+}
+
+/// A point-in-time view of the pipeline (see [`Core::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Instructions resident in the ROB.
+    pub rob_occupancy: usize,
+    /// Instructions waiting in the issue queue.
+    pub iq_occupancy: usize,
+    /// Loads resident in the load queue.
+    pub lq_occupancy: usize,
+    /// Stores resident in the store queue.
+    pub sq_occupancy: usize,
+    /// The core is in runahead mode.
+    pub in_runahead: bool,
+    /// Sequence number of the oldest instruction.
+    pub head_seq: Option<u64>,
+    /// PC of the oldest instruction.
+    pub head_pc: Option<u64>,
+    /// The oldest instruction has completed (awaiting commit).
+    pub head_completed: bool,
+    /// Next sequence number to dispatch.
+    pub next_seq: u64,
+    /// Instructions committed so far (since measurement start).
+    pub committed: u64,
+}
+
+impl Entry {
+    fn src_phys_ready(&self, reg_ready: &[u64], int_regs: usize, now: u64) -> bool {
+        self.src_phys_cache
+            .iter()
+            .flatten()
+            .all(|p| reg_ready[p.flat(int_regs)] <= now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_isa::TraceWindow;
+
+    fn alu_stream() -> impl Iterator<Item = Uop> {
+        (0u64..).map(|i| {
+            Uop::alu(0x1000 + (i % 64) * 4, UopKind::IntAlu).with_dest(ArchReg::int((i % 8) as u8))
+        })
+    }
+
+    fn chase_stream() -> impl Iterator<Item = Uop> {
+        // A single dependent pointer chain with huge footprint: every load
+        // misses and blocks the next.
+        let mut addr = 0x1_0000_0000u64;
+        (0u64..).map(move |i| {
+            if i % 4 == 0 {
+                addr = addr
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = 0x1_0000_0000 + (addr % (512 * 1024 * 1024 / 64)) * 64;
+                Uop::load(0x1000 + (i % 64) * 4, a, 8)
+                    .with_dest(ArchReg::int(0))
+                    .with_src(ArchReg::int(0))
+            } else if i % 4 == 3 {
+                Uop::store(0x1000 + (i % 64) * 4, 0x3000_0000 + (i % 4096) * 8, 8)
+            } else if i % 4 == 2 {
+                // Dest-less compare so the ROB can fill before the PRF;
+                // independent of the chase so the IQ drains.
+                Uop::alu(0x1000 + (i % 64) * 4, UopKind::IntAlu).with_src(ArchReg::int(9))
+            } else {
+                Uop::alu(0x1000 + (i % 64) * 4, UopKind::IntAlu)
+                    .with_dest(ArchReg::int(1 + (i % 4) as u8))
+                    .with_src(ArchReg::int(1 + (i % 4) as u8))
+            }
+        })
+    }
+
+    fn stream_loads() -> impl Iterator<Item = Uop> {
+        // Independent streaming loads: plenty of MLP for the OoO core.
+        // Every third micro-op is a (dest-less) store so the ROB can fill
+        // before the physical register file runs out, as in real code.
+        (0u64..).map(|i| {
+            let pc = 0x1000 + (i % 60) * 4;
+            match i % 3 {
+                0 => {
+                    // 8-byte elements: one new 64-byte line (miss) every 8
+                    // loads = every 24 micro-ops, so the 192-entry window
+                    // exposes ~8 concurrent misses and runahead has MSHR
+                    // headroom to add more.
+                    let a = 0x1_0000_0000 + (i / 3) * 8;
+                    Uop::load(pc, a, 8).with_dest(ArchReg::int((i % 8) as u8))
+                }
+                1 => Uop::alu(pc, UopKind::IntAlu).with_dest(ArchReg::int(8 + (i % 8) as u8)),
+                _ => Uop::store(pc, 0x3000_0000 + (i % 4096) * 8, 8),
+            }
+        })
+    }
+
+    fn core_with<T: Iterator<Item = Uop>>(
+        technique: Technique,
+        stream: T,
+    ) -> Core<TraceWindow<T>> {
+        Core::new(CoreConfig::baseline(), MemConfig::baseline(), technique, TraceWindow::new(stream))
+    }
+
+    #[test]
+    fn alu_throughput_near_width_limit() {
+        let mut core = core_with(Technique::Ooo, alu_stream());
+        core.run_until_committed(20_000);
+        // 3 int adders bound IPC at 3.
+        let ipc = core.stats().ipc();
+        assert!(ipc > 2.0 && ipc <= 3.1, "ipc = {ipc}");
+    }
+
+    #[test]
+    fn chase_workload_is_memory_bound() {
+        let mut core = core_with(Technique::Ooo, chase_stream());
+        core.run_until_committed(3_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc < 0.25, "dependent misses should crush IPC, got {ipc}");
+        assert!(core.stats().head_blocked_cycles > core.stats().cycles / 2);
+    }
+
+    #[test]
+    fn streaming_exploits_mlp() {
+        let mut core = core_with(Technique::Ooo, stream_loads());
+        core.run_until_committed(10_000);
+        assert!(core.stats().mlp() > 1.5, "mlp = {}", core.stats().mlp());
+    }
+
+    #[test]
+    fn ooo_accumulates_ace_bits() {
+        let mut core = core_with(Technique::Ooo, chase_stream());
+        core.run_until_committed(2_000);
+        assert!(core.ace().total_abc() > 0);
+        assert!(core.ace().abc(Structure::Rob) > 0);
+        // ROB dominates for memory-bound code (Figure 3).
+        assert!(core.ace().abc(Structure::Rob) > core.ace().abc(Structure::Sq));
+    }
+
+    #[test]
+    fn rar_triggers_runahead_on_chase() {
+        let mut core = core_with(Technique::Rar, chase_stream());
+        core.run_until_committed(3_000);
+        assert!(core.stats().runahead_intervals > 0, "RAR must enter runahead");
+        assert!(core.stats().flushes >= core.stats().runahead_intervals);
+    }
+
+    #[test]
+    fn rar_reduces_abc_versus_ooo() {
+        let mut ooo = core_with(Technique::Ooo, chase_stream());
+        ooo.run_until_committed(3_000);
+        let mut rar = core_with(Technique::Rar, chase_stream());
+        rar.run_until_committed(3_000);
+        let (a, b) = (ooo.ace().total_abc(), rar.ace().total_abc());
+        assert!(b < a / 2, "RAR should slash ACE bits: ooo={a}, rar={b}");
+    }
+
+    #[test]
+    fn pre_keeps_rob_state_vulnerable() {
+        let mut pre = core_with(Technique::Pre, stream_loads());
+        pre.run_until_committed(5_000);
+        let mut rar = core_with(Technique::Rar, stream_loads());
+        rar.run_until_committed(5_000);
+        assert!(
+            rar.ace().total_abc() < pre.ace().total_abc(),
+            "flush-at-exit must reduce exposed state"
+        );
+    }
+
+    #[test]
+    fn pre_improves_streaming_performance() {
+        let mut ooo = core_with(Technique::Ooo, stream_loads());
+        ooo.run_until_committed(8_000);
+        let mut pre = core_with(Technique::Pre, stream_loads());
+        pre.run_until_committed(8_000);
+        assert!(
+            pre.stats().ipc() > ooo.stats().ipc(),
+            "PRE should speed up streaming: ooo={}, pre={}",
+            ooo.stats().ipc(),
+            pre.stats().ipc()
+        );
+    }
+
+    #[test]
+    fn flush_kills_mlp() {
+        let mut ooo = core_with(Technique::Ooo, stream_loads());
+        ooo.run_until_committed(5_000);
+        let mut fl = core_with(Technique::Flush, stream_loads());
+        fl.run_until_committed(5_000);
+        assert!(fl.stats().mlp() < ooo.stats().mlp());
+        // The miss-detection timer lets a few younger misses issue before
+        // the flush, so FLUSH reduces MLP without collapsing it; on this
+        // MSHR-saturated stream the IPC effect is small (the suite-level
+        // penalty is asserted in the integration tests).
+        let ratio = fl.stats().ipc() / ooo.stats().ipc();
+        assert!((0.5..=1.15).contains(&ratio), "FLUSH/OoO IPC ratio {ratio}");
+        assert!(fl.stats().flushes > 0);
+    }
+
+    #[test]
+    fn flush_reduces_abc() {
+        let mut ooo = core_with(Technique::Ooo, chase_stream());
+        ooo.run_until_committed(3_000);
+        let mut fl = core_with(Technique::Flush, chase_stream());
+        fl.run_until_committed(3_000);
+        assert!(fl.ace().total_abc() < ooo.ace().total_abc());
+    }
+
+    #[test]
+    fn early_triggers_more_intervals_than_late() {
+        let mut rar = core_with(Technique::Rar, chase_stream());
+        rar.run_until_committed(3_000);
+        let mut late = core_with(Technique::RarLate, chase_stream());
+        late.run_until_committed(3_000);
+        assert!(
+            rar.stats().runahead_intervals >= late.stats().runahead_intervals,
+            "early start must trigger at least as often"
+        );
+    }
+
+    #[test]
+    fn committed_instruction_count_is_exact() {
+        let mut core = core_with(Technique::Rar, stream_loads());
+        core.run_until_committed(4_321);
+        assert!(core.stats().committed >= 4_321);
+        assert!(core.stats().committed < 4_321 + core.config().width as u64);
+    }
+
+    #[test]
+    fn reset_measurement_keeps_warm_state() {
+        let mut core = core_with(Technique::Ooo, stream_loads());
+        core.run_until_committed(2_000);
+        core.reset_measurement();
+        assert_eq!(core.stats().committed, 0);
+        assert_eq!(core.ace().total_abc(), 0);
+        core.run_until_committed(1_000);
+        assert!(core.stats().ipc() > 0.0);
+    }
+
+    #[test]
+    fn wrong_path_mode_squashes_and_stays_unace() {
+        let mk = |wp: bool| {
+            let cfg = CoreConfig { model_wrong_path: wp, ..CoreConfig::baseline() };
+            let mut core = Core::new(
+                cfg,
+                MemConfig::baseline(),
+                Technique::Ooo,
+                TraceWindow::new(mispredicting_stream()),
+            );
+            core.run_until_committed(4_000);
+            (core.stats().squashed, core.stats().ipc(), core.ace().total_abc())
+        };
+        let (squashed_off, _, _) = mk(false);
+        let (squashed_on, ipc_on, _) = mk(true);
+        assert_eq!(squashed_off, 0, "bubble model squashes nothing");
+        assert!(squashed_on > 100, "wrong-path uops must be dispatched and squashed");
+        assert!(ipc_on > 0.0);
+    }
+
+    fn mispredicting_stream() -> impl Iterator<Item = Uop> {
+        // Hard 50/50 branches every 8 uops: plenty of wrong-path episodes.
+        let mut x = 9u64;
+        (0u64..).map(move |i| {
+            let pc = 0x1000 + (i % 64) * 4;
+            if i % 8 == 7 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let taken = (x >> 33) & 1 == 1;
+                Uop::branch(
+                    pc,
+                    rar_isa::BranchInfo {
+                        taken,
+                        target: pc + 4,
+                        class: rar_isa::BranchClass::Conditional,
+                    },
+                )
+            } else if i % 8 == 3 {
+                Uop::store(pc, 0x3000_0000 + (i % 512) * 8, 8)
+            } else {
+                Uop::alu(pc, UopKind::IntAlu).with_dest(ArchReg::int((i % 8) as u8))
+            }
+        })
+    }
+
+    #[test]
+    fn windows_track_blocked_head() {
+        let mut core = core_with(Technique::Ooo, chase_stream());
+        core.run_until_committed(2_000);
+        assert!(core.ace().window_count(StallKind::RobHeadBlocked) > 0);
+        assert!(
+            core.ace().window_cycles(StallKind::RobHeadBlocked)
+                >= core.ace().window_cycles(StallKind::FullRobStall)
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Physical register file, free lists, and the register alias table.
+
+use rar_isa::{ArchReg, RegClass};
+
+/// A physical register identifier: class plus index within that class's
+/// physical file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PhysReg {
+    /// Register class.
+    pub class: RegClass,
+    /// Index within the class's file.
+    pub index: u16,
+}
+
+impl PhysReg {
+    /// Dense index across both files given the integer-file size.
+    #[must_use]
+    pub fn flat(self, int_regs: usize) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => int_regs + self.index as usize,
+        }
+    }
+
+    /// Width in bits (for ACE accounting).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.class.bits()
+    }
+}
+
+/// The physical register files with free lists.
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    int_regs: usize,
+    fp_regs: usize,
+    free_int: Vec<u16>,
+    free_fp: Vec<u16>,
+}
+
+impl PhysRegFile {
+    /// Creates files of the given sizes with every register free.
+    #[must_use]
+    pub fn new(int_regs: usize, fp_regs: usize) -> Self {
+        PhysRegFile {
+            int_regs,
+            fp_regs,
+            free_int: (0..int_regs as u16).rev().collect(),
+            free_fp: (0..fp_regs as u16).rev().collect(),
+        }
+    }
+
+    /// Total registers across both classes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.int_regs + self.fp_regs
+    }
+
+    /// Integer-file size.
+    #[must_use]
+    pub fn int_regs(&self) -> usize {
+        self.int_regs
+    }
+
+    /// Free registers remaining in `class`.
+    #[must_use]
+    pub fn free_count(&self, class: RegClass) -> usize {
+        match class {
+            RegClass::Int => self.free_int.len(),
+            RegClass::Fp => self.free_fp.len(),
+        }
+    }
+
+    /// Allocates a register of `class`, or `None` when the file is
+    /// exhausted (rename must stall).
+    pub fn alloc(&mut self, class: RegClass) -> Option<PhysReg> {
+        let idx = match class {
+            RegClass::Int => self.free_int.pop()?,
+            RegClass::Fp => self.free_fp.pop()?,
+        };
+        Some(PhysReg { class, index: idx })
+    }
+
+    /// Returns a register to its free list.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the register is double-freed.
+    pub fn free(&mut self, reg: PhysReg) {
+        let list = match reg.class {
+            RegClass::Int => &mut self.free_int,
+            RegClass::Fp => &mut self.free_fp,
+        };
+        debug_assert!(!list.contains(&reg.index), "double free of {reg:?}");
+        list.push(reg.index);
+    }
+
+    /// Rebuilds the free lists as the complement of `live` (used after a
+    /// pipeline flush, where only the architectural mapping survives).
+    pub fn reset_free_except(&mut self, live: &[PhysReg]) {
+        let mut int_live = vec![false; self.int_regs];
+        let mut fp_live = vec![false; self.fp_regs];
+        for r in live {
+            match r.class {
+                RegClass::Int => int_live[r.index as usize] = true,
+                RegClass::Fp => fp_live[r.index as usize] = true,
+            }
+        }
+        self.free_int = (0..self.int_regs as u16).rev().filter(|&i| !int_live[i as usize]).collect();
+        self.free_fp = (0..self.fp_regs as u16).rev().filter(|&i| !fp_live[i as usize]).collect();
+    }
+}
+
+/// The register alias table: architectural to physical mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rat {
+    map: Vec<PhysReg>,
+}
+
+impl Rat {
+    /// Builds the initial identity-ish mapping, consuming one physical
+    /// register per architectural register from `prf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prf` cannot cover the architectural state.
+    #[must_use]
+    pub fn new(prf: &mut PhysRegFile) -> Self {
+        let mut map = Vec::with_capacity(ArchReg::total_count());
+        for i in 0..ArchReg::total_count() {
+            let class = if i < 32 { RegClass::Int } else { RegClass::Fp };
+            map.push(prf.alloc(class).expect("PRF must cover architectural state"));
+        }
+        Rat { map }
+    }
+
+    /// Current physical register of `arch`.
+    #[must_use]
+    pub fn lookup(&self, arch: ArchReg) -> PhysReg {
+        self.map[arch.flat_index()]
+    }
+
+    /// Redirects `arch` to `phys`, returning the previous mapping (the
+    /// instruction's `old_phys`, freed at commit).
+    pub fn rename(&mut self, arch: ArchReg, phys: PhysReg) -> PhysReg {
+        std::mem::replace(&mut self.map[arch.flat_index()], phys)
+    }
+
+    /// All currently mapped physical registers.
+    #[must_use]
+    pub fn live_regs(&self) -> Vec<PhysReg> {
+        self.map.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut prf = PhysRegFile::new(34, 34);
+        let mut got = 0;
+        while prf.alloc(RegClass::Int).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 34);
+        assert_eq!(prf.free_count(RegClass::Fp), 34);
+    }
+
+    #[test]
+    fn free_recycles() {
+        let mut prf = PhysRegFile::new(33, 33);
+        let r = prf.alloc(RegClass::Fp).unwrap();
+        assert_eq!(prf.free_count(RegClass::Fp), 32);
+        prf.free(r);
+        assert_eq!(prf.free_count(RegClass::Fp), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut prf = PhysRegFile::new(33, 33);
+        let r = prf.alloc(RegClass::Int).unwrap();
+        prf.free(r);
+        prf.free(r);
+    }
+
+    #[test]
+    fn rat_covers_architectural_state() {
+        let mut prf = PhysRegFile::new(168, 168);
+        let rat = Rat::new(&mut prf);
+        assert_eq!(prf.free_count(RegClass::Int), 168 - 32);
+        assert_eq!(prf.free_count(RegClass::Fp), 168 - 32);
+        assert_eq!(rat.lookup(ArchReg::int(0)).class, RegClass::Int);
+        assert_eq!(rat.lookup(ArchReg::fp(0)).class, RegClass::Fp);
+    }
+
+    #[test]
+    fn rename_returns_old_mapping() {
+        let mut prf = PhysRegFile::new(168, 168);
+        let mut rat = Rat::new(&mut prf);
+        let old = rat.lookup(ArchReg::int(3));
+        let fresh = prf.alloc(RegClass::Int).unwrap();
+        let returned = rat.rename(ArchReg::int(3), fresh);
+        assert_eq!(returned, old);
+        assert_eq!(rat.lookup(ArchReg::int(3)), fresh);
+    }
+
+    #[test]
+    fn conservation_through_rename_commit_cycle() {
+        // free + live-in-RAT + in-flight-old == total, always.
+        let mut prf = PhysRegFile::new(40, 40);
+        let mut rat = Rat::new(&mut prf);
+        let mut in_flight: Vec<PhysReg> = Vec::new();
+        for i in 0..200u64 {
+            let arch = ArchReg::int((i % 32) as u8);
+            if let Some(fresh) = prf.alloc(RegClass::Int) {
+                let old = rat.rename(arch, fresh);
+                in_flight.push(old);
+            }
+            if in_flight.len() > 4 {
+                prf.free(in_flight.remove(0));
+            }
+            let total = prf.free_count(RegClass::Int)
+                + rat.live_regs().iter().filter(|r| r.class == RegClass::Int).count()
+                + in_flight.len();
+            assert_eq!(total, 40);
+        }
+    }
+
+    #[test]
+    fn reset_free_except_rebuilds_complement() {
+        let mut prf = PhysRegFile::new(168, 168);
+        let rat = Rat::new(&mut prf);
+        // Allocate a bunch more, then flush back to architectural state.
+        for _ in 0..50 {
+            let _ = prf.alloc(RegClass::Int);
+        }
+        prf.reset_free_except(&rat.live_regs());
+        assert_eq!(prf.free_count(RegClass::Int), 168 - 32);
+        assert_eq!(prf.free_count(RegClass::Fp), 168 - 32);
+    }
+
+    #[test]
+    fn flat_indexing_disjoint() {
+        let a = PhysReg { class: RegClass::Int, index: 5 };
+        let b = PhysReg { class: RegClass::Fp, index: 5 };
+        assert_ne!(a.flat(168), b.flat(168));
+        assert_eq!(b.flat(168), 173);
+    }
+}

@@ -1,0 +1,271 @@
+//! The reorder buffer and its in-flight instruction records.
+
+use crate::regfile::PhysReg;
+use rar_isa::Uop;
+use rar_mem::HitLevel;
+use std::collections::VecDeque;
+
+/// One in-flight instruction: the micro-op plus every timestamp the ACE
+/// analysis and the scheduler need.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Dynamic sequence number (index into the correct-path stream).
+    pub seq: u64,
+    /// The decoded micro-op.
+    pub uop: Uop,
+    /// Cycle the entry was allocated (ROB/IQ vulnerability starts here).
+    pub dispatch_cycle: u64,
+    /// Cycle the entry left the issue queue (IQ vulnerability ends here).
+    pub issue_cycle: Option<u64>,
+    /// Cycle execution started (LQ/SQ/RF vulnerability starts here).
+    pub exec_start: Option<u64>,
+    /// Cycle the result is (or will be) available; `None` until issued.
+    pub complete_at: Option<u64>,
+    /// Physical destination register, if the micro-op writes one.
+    pub dest_phys: Option<PhysReg>,
+    /// Previous mapping of the destination architectural register
+    /// (freed at commit, restored on flush).
+    pub old_phys: Option<PhysReg>,
+    /// For loads/stores: which level served the access.
+    pub mem_level: Option<HitLevel>,
+    /// For branches: the fetch-time prediction was wrong.
+    pub mispredicted: bool,
+    /// Entry currently occupies an issue-queue slot.
+    pub in_iq: bool,
+    /// Sequence numbers of the in-flight producers of each source
+    /// (captured at rename; used for stalling-slice extraction).
+    pub src_writers: [Option<u64>; 2],
+    /// Physical source registers (captured at rename; consulted by the
+    /// issue stage's readiness check).
+    pub src_phys_cache: [Option<PhysReg>; 2],
+    /// Dispatched past a mispredicted branch; squashed at resolution and
+    /// un-ACE by definition (only allocated when wrong-path modelling is
+    /// enabled).
+    pub wrong_path: bool,
+    /// Execution latency on the functional unit.
+    pub fu_latency: u64,
+}
+
+impl Entry {
+    /// Whether the instruction's result is available at `now`.
+    #[must_use]
+    pub fn completed(&self, now: u64) -> bool {
+        self.complete_at.is_some_and(|c| c <= now)
+    }
+}
+
+/// A circular-buffer reorder buffer holding [`Entry`] records in dispatch
+/// order.
+///
+/// Sequence numbers of resident entries are contiguous, which makes
+/// lookup-by-sequence O(1).
+#[derive(Debug, Clone)]
+pub struct Rob {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Entries currently resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when dispatch must stall.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends an entry at the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or the sequence number is not
+    /// consecutive.
+    pub fn push(&mut self, entry: Entry) {
+        assert!(!self.is_full(), "dispatch into a full ROB");
+        if let Some(back) = self.entries.back() {
+            assert_eq!(back.seq + 1, entry.seq, "ROB sequence must be contiguous");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry.
+    #[must_use]
+    pub fn head(&self) -> Option<&Entry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry (commit).
+    pub fn pop_head(&mut self) -> Option<Entry> {
+        self.entries.pop_front()
+    }
+
+    /// Entry with sequence number `seq`, if resident.
+    #[must_use]
+    pub fn get(&self, seq: u64) -> Option<&Entry> {
+        let head_seq = self.entries.front()?.seq;
+        if seq < head_seq {
+            return None;
+        }
+        self.entries.get((seq - head_seq) as usize)
+    }
+
+    /// Mutable entry with sequence number `seq`, if resident.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut Entry> {
+        let head_seq = self.entries.front()?.seq;
+        if seq < head_seq {
+            return None;
+        }
+        self.entries.get_mut((seq - head_seq) as usize)
+    }
+
+    /// Iterates oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration, oldest to youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Entry> {
+        self.entries.iter_mut()
+    }
+
+    /// Drains every entry (a full pipeline flush), oldest first.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = Entry> + '_ {
+        self.entries.drain(..)
+    }
+
+    /// Drains all entries younger than `seq` (exclusive), youngest first
+    /// is not required — returns them oldest first.
+    pub fn drain_after(&mut self, seq: u64) -> Vec<Entry> {
+        let Some(head_seq) = self.entries.front().map(|e| e.seq) else {
+            return Vec::new();
+        };
+        if seq < head_seq {
+            return self.entries.drain(..).collect();
+        }
+        let keep = ((seq - head_seq) as usize + 1).min(self.entries.len());
+        self.entries.split_off(keep).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_isa::{Uop, UopKind};
+
+    fn entry(seq: u64) -> Entry {
+        Entry {
+            seq,
+            uop: Uop::alu(seq * 4, UopKind::IntAlu),
+            dispatch_cycle: seq,
+            issue_cycle: None,
+            exec_start: None,
+            complete_at: None,
+            dest_phys: None,
+            old_phys: None,
+            mem_level: None,
+            mispredicted: false,
+            in_iq: true,
+            src_writers: [None, None],
+            src_phys_cache: [None, None],
+            wrong_path: false,
+            fu_latency: 1,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut rob = Rob::new(4);
+        for s in 0..4 {
+            rob.push(entry(s));
+        }
+        assert!(rob.is_full());
+        assert_eq!(rob.pop_head().unwrap().seq, 0);
+        assert_eq!(rob.head().unwrap().seq, 1);
+        assert_eq!(rob.len(), 3);
+    }
+
+    #[test]
+    fn get_by_sequence() {
+        let mut rob = Rob::new(8);
+        for s in 10..15 {
+            rob.push(entry(s));
+        }
+        assert_eq!(rob.get(12).unwrap().seq, 12);
+        assert!(rob.get(9).is_none());
+        assert!(rob.get(15).is_none());
+        rob.get_mut(13).unwrap().in_iq = false;
+        assert!(!rob.get(13).unwrap().in_iq);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn push_full_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn non_contiguous_push_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(2));
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut rob = Rob::new(4);
+        for s in 0..3 {
+            rob.push(entry(s));
+        }
+        let drained: Vec<_> = rob.drain_all().collect();
+        assert_eq!(drained.len(), 3);
+        assert!(rob.is_empty());
+    }
+
+    #[test]
+    fn drain_after_keeps_up_to_seq() {
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.drain_after(2);
+        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.head().unwrap().seq, 0);
+        // Contiguity preserved for further pushes.
+        rob.push(entry(3));
+    }
+
+    #[test]
+    fn completed_predicate() {
+        let mut e = entry(0);
+        assert!(!e.completed(100));
+        e.complete_at = Some(50);
+        assert!(e.completed(50));
+        assert!(!e.completed(49));
+    }
+}

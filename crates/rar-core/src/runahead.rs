@@ -1,0 +1,131 @@
+//! Runahead-mode state: the execution mode, the interval descriptor, and
+//! the INV (invalid-result) tracker.
+//!
+//! During a runahead interval the core pseudo-executes the *future*
+//! instruction stream. Results that cannot be computed — the blocking
+//! load's destination, anything derived from an unreturned miss, and (in
+//! lean mode) anything outside the known stalling slices — are INV.
+//! A load whose address depends on an INV register cannot be prefetched;
+//! this is precisely why pointer-chasing workloads (mcf) benefit less from
+//! runahead prefetching than streaming workloads (libquantum).
+
+use rar_isa::{ArchReg, Uop};
+
+/// Validity of architectural register contents during runahead execution.
+#[derive(Debug, Clone)]
+pub struct InvTracker {
+    valid: [bool; ArchReg::total_count()],
+}
+
+impl InvTracker {
+    /// All registers valid (interval entry, before marking pending dests).
+    #[must_use]
+    pub fn all_valid() -> Self {
+        InvTracker { valid: [true; ArchReg::total_count()] }
+    }
+
+    /// Marks `reg` INV.
+    pub fn invalidate(&mut self, reg: ArchReg) {
+        self.valid[reg.flat_index()] = false;
+    }
+
+    /// Sets validity of `reg`.
+    pub fn set(&mut self, reg: ArchReg, valid: bool) {
+        self.valid[reg.flat_index()] = valid;
+    }
+
+    /// True if `reg` currently holds a computable value.
+    #[must_use]
+    pub fn is_valid(&self, reg: ArchReg) -> bool {
+        self.valid[reg.flat_index()]
+    }
+
+    /// True if every source of `uop` is valid.
+    #[must_use]
+    pub fn srcs_valid(&self, uop: &Uop) -> bool {
+        uop.srcs().all(|s| self.is_valid(s))
+    }
+}
+
+/// State of one runahead interval.
+#[derive(Debug, Clone)]
+pub struct RaState {
+    /// Sequence number of the blocking load.
+    pub blocking_seq: u64,
+    /// Cycle at which the blocking load's data returns (interval end).
+    pub exit_at: u64,
+    /// Cycle the interval was entered.
+    pub entered_at: u64,
+    /// Next future-stream sequence number to process.
+    pub ra_seq: u64,
+    /// Register validity during this interval.
+    pub inv: InvTracker,
+    /// Extra entry cost (cycles) still to pay before processing
+    /// (traditional runahead checkpoints architectural state on entry).
+    pub entry_stall: u64,
+}
+
+/// The core's execution mode.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Ordinary out-of-order execution.
+    Normal,
+    /// Runahead execution (any variant).
+    Runahead(RaState),
+}
+
+impl Mode {
+    /// True while speculating in a runahead interval.
+    #[must_use]
+    pub fn is_runahead(&self) -> bool {
+        matches!(self, Mode::Runahead(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_isa::{Uop, UopKind};
+
+    #[test]
+    fn inv_propagation_queries() {
+        let mut inv = InvTracker::all_valid();
+        assert!(inv.is_valid(ArchReg::int(0)));
+        inv.invalidate(ArchReg::int(0));
+        assert!(!inv.is_valid(ArchReg::int(0)));
+        inv.set(ArchReg::int(0), true);
+        assert!(inv.is_valid(ArchReg::int(0)));
+    }
+
+    #[test]
+    fn srcs_valid_checks_all_sources() {
+        let mut inv = InvTracker::all_valid();
+        let u = Uop::alu(0, UopKind::IntAlu)
+            .with_src(ArchReg::int(1))
+            .with_src(ArchReg::int(2));
+        assert!(inv.srcs_valid(&u));
+        inv.invalidate(ArchReg::int(2));
+        assert!(!inv.srcs_valid(&u));
+    }
+
+    #[test]
+    fn int_and_fp_tracked_independently() {
+        let mut inv = InvTracker::all_valid();
+        inv.invalidate(ArchReg::int(3));
+        assert!(inv.is_valid(ArchReg::fp(3)));
+    }
+
+    #[test]
+    fn mode_predicate() {
+        assert!(!Mode::Normal.is_runahead());
+        let ra = Mode::Runahead(RaState {
+            blocking_seq: 0,
+            exit_at: 100,
+            entered_at: 0,
+            ra_seq: 1,
+            inv: InvTracker::all_valid(),
+            entry_stall: 0,
+        });
+        assert!(ra.is_runahead());
+    }
+}

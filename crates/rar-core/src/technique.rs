@@ -1,0 +1,257 @@
+//! The evaluated microarchitecture techniques and the runahead design
+//! space (Table IV).
+
+use std::fmt;
+
+/// A microarchitecture technique from the paper's evaluation (Section V
+/// plus the Table IV design-space variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Baseline out-of-order core.
+    Ooo,
+    /// Weaver et al.: flush the pipeline when a memory access blocks the
+    /// ROB head; refill when it returns. No runahead.
+    Flush,
+    /// Traditional runahead (Mutlu et al.): full-ROB-stall trigger,
+    /// executes the whole future stream, flushes at exit.
+    Tr,
+    /// Traditional runahead with the early (blocked-head) trigger.
+    TrEarly,
+    /// Precise Runahead Execution: full-ROB-stall trigger, lean slice
+    /// execution, keeps the ROB (no flush at exit).
+    Pre,
+    /// PRE with the early trigger (still no flush).
+    PreEarly,
+    /// This paper: PRE plus flush-at-exit, late (full-ROB) trigger.
+    RarLate,
+    /// This paper: PRE plus flush-at-exit plus early trigger —
+    /// Reliability-Aware Runahead.
+    Rar,
+    /// Dispatch throttling (Soundararajan et al., Section VI-C): when
+    /// back-end occupancy exceeds a bound while a miss blocks commit,
+    /// dispatch is narrowed to one micro-op per cycle. Bounds vulnerable
+    /// state accumulation at a direct performance cost. Implemented as an
+    /// extension baseline; it does not appear in the paper's figures.
+    Throttle,
+    /// Runahead buffer (Hashemi & Patt, MICRO 2015; Section VI-D related
+    /// work): on a full-window stall, replay the miss's dependence chain
+    /// from a small buffer instead of fetching the whole future stream —
+    /// non-slice micro-ops cost no front-end bandwidth at all. ROB kept
+    /// at exit, like PRE. Extension; not in the paper's figures.
+    Rab,
+    /// Continuous runahead (Hashemi, Mutlu & Patt, MICRO 2016; Section
+    /// VI-D related work): a background engine keeps pre-executing
+    /// stalling slices whenever an LLC miss is outstanding, *without*
+    /// entering a runahead mode or stopping dispatch. Extension; not in
+    /// the paper's figures.
+    Cre,
+    /// Vector runahead (Naithani, Ainsworth, Jones & Eeckhout, ISCA 2021;
+    /// cited as [49]): vectorizes stalling slices so one issue slot
+    /// pre-executes several loop iterations' worth of chain work,
+    /// multiplying prefetch generation bandwidth. Modelled as 4x slice
+    /// throughput with buffered (fetch-free) skipping; triggers and
+    /// flushes like traditional runahead. Extension; not in the paper's
+    /// figures.
+    Vr,
+}
+
+/// The Table IV feature axes of a runahead variant (plus the extension
+/// `buffered` axis for the runahead-buffer variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunaheadFeatures {
+    /// Trigger as soon as a miss blocks commit (vs. full-ROB stall).
+    pub early: bool,
+    /// Flush the back-end when exiting runahead mode.
+    pub flush_at_exit: bool,
+    /// Execute only stalling slices (PRE-style) instead of everything.
+    pub lean: bool,
+    /// Replay slices from a buffer: non-slice micro-ops consume no fetch
+    /// bandwidth during runahead (runahead-buffer extension).
+    pub buffered: bool,
+    /// Vectorize slice execution: one issue slot covers several
+    /// iterations of a chain (vector-runahead extension).
+    pub vector: bool,
+}
+
+impl Technique {
+    /// Every technique of the paper's evaluation, in reporting order.
+    pub const ALL: [Technique; 8] = [
+        Technique::Ooo,
+        Technique::Flush,
+        Technique::Tr,
+        Technique::TrEarly,
+        Technique::Pre,
+        Technique::PreEarly,
+        Technique::RarLate,
+        Technique::Rar,
+    ];
+
+    /// The paper's techniques plus this workspace's extension baselines.
+    pub const EXTENDED: [Technique; 12] = [
+        Technique::Ooo,
+        Technique::Flush,
+        Technique::Tr,
+        Technique::TrEarly,
+        Technique::Pre,
+        Technique::PreEarly,
+        Technique::RarLate,
+        Technique::Rar,
+        Technique::Throttle,
+        Technique::Rab,
+        Technique::Cre,
+        Technique::Vr,
+    ];
+
+    /// The six runahead variants of Table IV.
+    pub const RUNAHEAD_VARIANTS: [Technique; 6] = [
+        Technique::Tr,
+        Technique::TrEarly,
+        Technique::Pre,
+        Technique::PreEarly,
+        Technique::RarLate,
+        Technique::Rar,
+    ];
+
+    /// True if the technique speculates with runahead execution.
+    #[must_use]
+    pub const fn is_runahead(self) -> bool {
+        !matches!(
+            self,
+            Technique::Ooo | Technique::Flush | Technique::Throttle | Technique::Cre
+        )
+    }
+
+    /// The extension variants implemented beyond the paper's evaluation.
+    pub const EXTENSIONS: [Technique; 4] =
+        [Technique::Throttle, Technique::Rab, Technique::Cre, Technique::Vr];
+
+    /// Table IV feature set; `None` for non-runahead techniques.
+    #[must_use]
+    pub const fn features(self) -> Option<RunaheadFeatures> {
+        match self {
+            Technique::Ooo | Technique::Flush | Technique::Throttle | Technique::Cre => None,
+            Technique::Rab => Some(RunaheadFeatures {
+                early: false,
+                flush_at_exit: false,
+                lean: true,
+                buffered: true,
+                vector: false,
+            }),
+            Technique::Vr => Some(RunaheadFeatures {
+                early: false,
+                flush_at_exit: true,
+                lean: true,
+                buffered: true,
+                vector: true,
+            }),
+            Technique::Tr => {
+                Some(RunaheadFeatures { early: false, flush_at_exit: true, lean: false, buffered: false, vector: false })
+            }
+            Technique::TrEarly => {
+                Some(RunaheadFeatures { early: true, flush_at_exit: true, lean: false, buffered: false, vector: false })
+            }
+            Technique::Pre => {
+                Some(RunaheadFeatures { early: false, flush_at_exit: false, lean: true, buffered: false, vector: false })
+            }
+            Technique::PreEarly => {
+                Some(RunaheadFeatures { early: true, flush_at_exit: false, lean: true, buffered: false, vector: false })
+            }
+            Technique::RarLate => {
+                Some(RunaheadFeatures { early: false, flush_at_exit: true, lean: true, buffered: false, vector: false })
+            }
+            Technique::Rar => {
+                Some(RunaheadFeatures { early: true, flush_at_exit: true, lean: true, buffered: false, vector: false })
+            }
+        }
+    }
+
+    /// Parses a paper-style name (case-insensitive): `ooo`, `flush`, `tr`,
+    /// `tr-early`, `pre`, `pre-early`, `rar-late`, `rar`.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Technique> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "ooo" | "baseline" => Technique::Ooo,
+            "flush" => Technique::Flush,
+            "tr" => Technique::Tr,
+            "tr-early" | "tr_early" => Technique::TrEarly,
+            "pre" => Technique::Pre,
+            "pre-early" | "pre_early" => Technique::PreEarly,
+            "rar-late" | "rar_late" => Technique::RarLate,
+            "rar" => Technique::Rar,
+            "throttle" => Technique::Throttle,
+            "rab" | "runahead-buffer" => Technique::Rab,
+            "cre" | "continuous" => Technique::Cre,
+            "vr" | "vector" => Technique::Vr,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::Ooo => "OoO",
+            Technique::Flush => "FLUSH",
+            Technique::Tr => "TR",
+            Technique::TrEarly => "TR-EARLY",
+            Technique::Pre => "PRE",
+            Technique::PreEarly => "PRE-EARLY",
+            Technique::RarLate => "RAR-LATE",
+            Technique::Rar => "RAR",
+            Technique::Throttle => "THROTTLE",
+            Technique::Rab => "RAB",
+            Technique::Cre => "CRE",
+            Technique::Vr => "VR",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iv_matrix() {
+        // Exactly the checkmarks of Table IV.
+        let f = |t: Technique| t.features().unwrap();
+        let fx = |early, flush_at_exit, lean| RunaheadFeatures {
+            early,
+            flush_at_exit,
+            lean,
+            buffered: false,
+            vector: false,
+        };
+        assert_eq!(f(Technique::Tr), fx(false, true, false));
+        assert_eq!(f(Technique::TrEarly), fx(true, true, false));
+        assert_eq!(f(Technique::Pre), fx(false, false, true));
+        assert_eq!(f(Technique::PreEarly), fx(true, false, true));
+        assert_eq!(f(Technique::RarLate), fx(false, true, true));
+        assert_eq!(f(Technique::Rar), fx(true, true, true));
+        assert!(f(Technique::Rab).buffered);
+        assert!(f(Technique::Vr).vector && f(Technique::Vr).flush_at_exit);
+        assert!(Technique::Ooo.features().is_none());
+        assert!(Technique::Flush.features().is_none());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for t in Technique::EXTENDED {
+            assert_eq!(Technique::parse(&t.to_string()), Some(t));
+        }
+        assert_eq!(Technique::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn runahead_predicate() {
+        assert!(!Technique::Ooo.is_runahead());
+        assert!(!Technique::Flush.is_runahead());
+        assert!(!Technique::Throttle.is_runahead());
+        assert!(Technique::Throttle.features().is_none());
+        assert!(!Technique::Cre.is_runahead(), "CRE has no runahead *mode*");
+        assert!(Technique::Cre.features().is_none());
+        for t in Technique::RUNAHEAD_VARIANTS {
+            assert!(t.is_runahead());
+        }
+    }
+}

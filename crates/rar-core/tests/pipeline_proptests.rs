@@ -1,0 +1,127 @@
+//! End-to-end property tests: random workload parameters and techniques
+//! through the full core, asserting cross-cutting invariants that must
+//! hold for *any* configuration.
+
+use proptest::prelude::*;
+use rar_ace::Structure;
+use rar_core::{Core, CoreConfig, Technique};
+use rar_isa::TraceWindow;
+use rar_mem::MemConfig;
+use rar_workloads::{AccessPattern, TraceGenerator, WorkloadClass, WorkloadParams};
+
+fn arbitrary_workload() -> impl Strategy<Value = WorkloadParams> {
+    (
+        0.1f64..0.35,
+        0.02f64..0.2,
+        0.02f64..0.2,
+        0.0f64..0.7,
+        0.0f64..0.5,
+        0.0f64..0.8,
+        2u32..48,
+        2usize..10,
+        12usize..48,
+    )
+        .prop_map(|(load, store, branch, miss, hard, fp, trip, segments, body)| WorkloadParams {
+            class: WorkloadClass::MemoryIntensive,
+            load_frac: load,
+            store_frac: store,
+            branch_frac: branch,
+            miss_load_frac: miss,
+            hard_branch_frac: hard,
+            fp_frac: fp,
+            loop_trip: trip,
+            segments,
+            body_uops: body,
+            pattern: AccessPattern::Mixed { chase_frac: 0.4, chains: 2, streams: 3, stride: 8 },
+            ..WorkloadParams::base("prop-core")
+        })
+        .prop_filter("valid workloads only", |p| p.validate().is_ok())
+}
+
+fn technique_strategy() -> impl Strategy<Value = Technique> {
+    prop::sample::select(Technique::EXTENDED.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any (workload, technique) pair makes forward progress, keeps its
+    /// counters consistent, and never exposes more state than the
+    /// structures can hold.
+    #[test]
+    fn core_invariants_hold_for_any_config(
+        params in arbitrary_workload(),
+        technique in technique_strategy(),
+        seed in 0u64..512,
+    ) {
+        let cfg = CoreConfig::baseline();
+        let caps = cfg.capacities();
+        let mut core = Core::new(
+            cfg,
+            MemConfig::baseline(),
+            technique,
+            TraceWindow::new(TraceGenerator::new(&params, seed)),
+        );
+        core.run_until_committed(2_500);
+        let s = *core.stats();
+
+        // Progress and counter sanity.
+        prop_assert!(s.committed >= 2_500);
+        prop_assert!(s.cycles > 0);
+        prop_assert!(s.committed <= s.dispatched, "cannot commit what was never dispatched");
+        prop_assert!(s.issued <= s.dispatched);
+
+        // ACE accounting: per-structure totals sum to the whole, and no
+        // structure exceeds its capacity-time envelope.
+        let ace = core.ace();
+        let by: u128 = Structure::ALL.iter().map(|&st| ace.abc(st)).sum();
+        prop_assert_eq!(by, ace.total_abc());
+        for st in Structure::ALL {
+            // FU entries are transient (width x latency), every other
+            // structure is bounded by capacity x elapsed cycles.
+            if st != Structure::Fu {
+                prop_assert!(
+                    ace.abc(st) <= u128::from(caps.bits(st)) * u128::from(s.cycles),
+                    "{st} exceeded its capacity-time envelope"
+                );
+            }
+        }
+
+        // Runahead bookkeeping is consistent with the technique.
+        if !technique.is_runahead() {
+            prop_assert_eq!(s.runahead_intervals, 0);
+        }
+        if technique == Technique::Ooo || technique == Technique::Pre {
+            prop_assert_eq!(s.flushes, 0);
+        }
+        let report = core.reliability_report();
+        prop_assert!((0.0..=1.0).contains(&report.avf()), "AVF {}", report.avf());
+    }
+
+    /// Interval logging never changes the accounting, only records it.
+    #[test]
+    fn logging_is_observation_only(
+        params in arbitrary_workload(),
+        technique in technique_strategy(),
+    ) {
+        let mk = |log: bool| {
+            let mut core = Core::new(
+                CoreConfig::baseline(),
+                MemConfig::baseline(),
+                technique,
+                TraceWindow::new(TraceGenerator::new(&params, 9)),
+            );
+            if log {
+                core.enable_ace_logging();
+            }
+            core.run_until_committed(1_500);
+            (core.stats().cycles, core.ace().total_abc(), core.ace().interval_log().len())
+        };
+        let (cycles_a, abc_a, log_a) = mk(false);
+        let (cycles_b, abc_b, log_b) = mk(true);
+        prop_assert_eq!(cycles_a, cycles_b);
+        prop_assert_eq!(abc_a, abc_b);
+        prop_assert_eq!(log_a, 0);
+        prop_assert!(log_b > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the core's bookkeeping structures: register
+//! conservation, ROB algebra, FU port limits, SST behaviour.
+
+use proptest::prelude::*;
+use rar_core::fu::FuPool;
+use rar_core::regfile::{PhysReg, PhysRegFile, Rat};
+use rar_core::rob::{Entry, Rob};
+use rar_core::sst::{Prdq, Sst};
+use rar_core::FuConfig;
+use rar_isa::{ArchReg, RegClass, Uop, UopKind};
+
+fn entry(seq: u64) -> Entry {
+    Entry {
+        seq,
+        uop: Uop::alu(seq * 4, UopKind::IntAlu),
+        dispatch_cycle: seq,
+        issue_cycle: None,
+        exec_start: None,
+        complete_at: None,
+        dest_phys: None,
+        old_phys: None,
+        mem_level: None,
+        mispredicted: false,
+        in_iq: true,
+        src_writers: [None, None],
+        src_phys_cache: [None, None],
+        wrong_path: false,
+        fu_latency: 1,
+    }
+}
+
+proptest! {
+    /// Physical registers are conserved across arbitrary rename/commit
+    /// interleavings: free + RAT-mapped + in-flight-old == total.
+    #[test]
+    fn register_conservation(ops in prop::collection::vec((0u8..32, any::<bool>()), 1..200)) {
+        let total = 64usize;
+        let mut prf = PhysRegFile::new(total, total);
+        let mut rat = Rat::new(&mut prf);
+        let mut in_flight: Vec<PhysReg> = Vec::new();
+        for &(arch_idx, commit_first) in &ops {
+            if commit_first && !in_flight.is_empty() {
+                prf.free(in_flight.remove(0));
+            }
+            if let Some(fresh) = prf.alloc(RegClass::Int) {
+                in_flight.push(rat.rename(ArchReg::int(arch_idx), fresh));
+            }
+            let live_int = rat.live_regs().iter().filter(|r| r.class == RegClass::Int).count();
+            prop_assert_eq!(
+                prf.free_count(RegClass::Int) + live_int + in_flight.len(),
+                total
+            );
+        }
+    }
+
+    /// drain_after(k) partitions the ROB: survivors are exactly the
+    /// sequences <= k, squashed are the rest, both in order.
+    #[test]
+    fn rob_drain_after_partitions(n in 1usize..64, keep in 0u64..80) {
+        let mut rob = Rob::new(64);
+        for s in 0..n as u64 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.drain_after(keep);
+        for (i, e) in squashed.iter().enumerate() {
+            prop_assert_eq!(e.seq, keep + 1 + i as u64);
+        }
+        prop_assert_eq!(rob.len() + squashed.len(), n);
+        if let Some(h) = rob.head() {
+            prop_assert_eq!(h.seq, 0);
+        }
+        for s in 0..n as u64 {
+            prop_assert_eq!(rob.get(s).is_some(), s <= keep);
+        }
+    }
+
+    /// The FU pool never grants more issues per cycle than it has units
+    /// of the requested kind.
+    #[test]
+    fn fu_ports_bounded(kinds in prop::collection::vec(0u8..6, 1..64), cycles in 1u64..8) {
+        let cfg = FuConfig::baseline();
+        let mut pool = FuPool::new(&cfg);
+        for now in 0..cycles {
+            let mut granted = [0usize; 6];
+            for &k in &kinds {
+                let kind = [
+                    UopKind::IntAlu,
+                    UopKind::IntMul,
+                    UopKind::IntDiv,
+                    UopKind::FpAdd,
+                    UopKind::FpMul,
+                    UopKind::FpDiv,
+                ][k as usize];
+                if pool.try_issue(kind, now * 100) {
+                    granted[k as usize] += 1;
+                }
+            }
+            prop_assert!(granted[0] <= cfg.int_add);
+            prop_assert!(granted[1] <= cfg.int_mul);
+            prop_assert!(granted[2] <= cfg.int_div);
+            prop_assert!(granted[3] <= cfg.fp_add);
+            prop_assert!(granted[4] <= cfg.fp_mul);
+            prop_assert!(granted[5] <= cfg.fp_div);
+        }
+    }
+
+    /// The SST behaves as a set with LRU eviction: membership after a
+    /// series of inserts is decided by the last `capacity` distinct PCs.
+    #[test]
+    fn sst_is_a_bounded_set(pcs in prop::collection::vec(0u64..32, 1..128), cap in 1usize..16) {
+        let mut sst = Sst::new(cap);
+        for &pc in &pcs {
+            sst.insert(pc * 4);
+        }
+        prop_assert!(sst.len() <= cap);
+        // The most recent insert is always resident.
+        let last = pcs[pcs.len() - 1] * 4;
+        prop_assert!(sst.contains(last));
+    }
+
+    /// The PRDQ admits at most `capacity` concurrently-live entries.
+    #[test]
+    fn prdq_capacity_respected(
+        cap in 1usize..16,
+        ops in prop::collection::vec((0u64..64, 1u64..32), 1..96),
+    ) {
+        let mut q = Prdq::new(cap);
+        let mut admitted_live: Vec<u64> = Vec::new();
+        for &(now, lat) in &ops {
+            admitted_live.retain(|&r| r > now);
+            if q.try_push(now, now + lat) {
+                admitted_live.push(now + lat);
+            }
+            prop_assert!(admitted_live.len() <= cap);
+        }
+        prop_assert!(q.peak() <= cap);
+    }
+}

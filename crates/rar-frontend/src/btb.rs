@@ -1,0 +1,121 @@
+//! Branch target buffer.
+//!
+//! Set-associative PC-to-target cache. A taken branch whose target misses
+//! in the BTB costs the front-end a redirect bubble even when the
+//! direction was predicted correctly.
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    tag: u64,
+    target: u64,
+    valid: bool,
+    last_use: u64,
+}
+
+/// A set-associative branch target buffer.
+///
+/// # Examples
+///
+/// ```
+/// use rar_frontend::Btb;
+/// let mut btb = Btb::new(512, 4);
+/// assert_eq!(btb.lookup(0x400), None);
+/// btb.update(0x400, 0x1000);
+/// assert_eq!(btb.lookup(0x400), Some(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<BtbEntry>,
+    sets: usize,
+    assoc: usize,
+    tick: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `sets` sets of `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `assoc` is zero.
+    #[must_use]
+    pub fn new(sets: usize, assoc: usize) -> Self {
+        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(assoc > 0, "BTB associativity must be nonzero");
+        Btb { entries: vec![BtbEntry::default(); sets * assoc], sets, assoc, tick: 0 }
+    }
+
+    fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.sets - 1)
+    }
+
+    /// Returns the cached target of the branch at `pc`, refreshing LRU.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set * self.assoc..(set + 1) * self.assoc];
+        for e in ways {
+            if e.valid && e.tag == pc {
+                e.last_use = self.tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs or refreshes the target for the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(pc);
+        let ways = &mut self.entries[set * self.assoc..(set + 1) * self.assoc];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == pc) {
+            e.target = target;
+            e.last_use = tick;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| (e.valid, e.last_use))
+            .expect("associativity nonzero");
+        *victim = BtbEntry { tag: pc, target, valid: true, last_use: tick };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(64, 2);
+        assert_eq!(b.lookup(0x100), None);
+        b.update(0x100, 0x200);
+        assert_eq!(b.lookup(0x100), Some(0x200));
+    }
+
+    #[test]
+    fn update_replaces_target() {
+        let mut b = Btb::new(64, 2);
+        b.update(0x100, 0x200);
+        b.update(0x100, 0x300);
+        assert_eq!(b.lookup(0x100), Some(0x300));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut b = Btb::new(1, 2);
+        b.update(0x100, 1);
+        b.update(0x200, 2);
+        let _ = b.lookup(0x100); // refresh
+        b.update(0x300, 3); // evicts 0x200
+        assert_eq!(b.lookup(0x100), Some(1));
+        assert_eq!(b.lookup(0x200), None);
+        assert_eq!(b.lookup(0x300), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        let _ = Btb::new(3, 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Branch prediction for the RAR simulator's front-end.
+//!
+//! The baseline core uses an 8 KB TAGE-SC-L predictor (Table II, from the
+//! 2016 Branch Prediction Championship). This crate implements the three
+//! components from scratch at a budget scaled to 8 KB:
+//!
+//! - [`tage`] — the TAgged GEometric-history predictor: a bimodal base
+//!   table plus four partially-tagged tables indexed with geometrically
+//!   increasing global-history lengths;
+//! - [`loop_pred`] — the loop predictor, which captures branches with
+//!   regular trip counts that defeat global history;
+//! - [`sc`] — a small statistical corrector that overrides low-confidence
+//!   TAGE predictions when a per-branch bias strongly disagrees;
+//! - [`btb`] — a branch target buffer (target misses cost fetch bubbles).
+//!
+//! [`BranchPredictor`] composes all four behind the two-call interface the
+//! core uses: [`BranchPredictor::predict`] at fetch, and
+//! [`BranchPredictor::update`] at resolution.
+//!
+//! # Examples
+//!
+//! ```
+//! use rar_frontend::BranchPredictor;
+//!
+//! let mut bp = BranchPredictor::tage_sc_l_8kb();
+//! // A branch that is always taken trains quickly:
+//! for _ in 0..64 {
+//!     let p = bp.predict(0x4000);
+//!     bp.update(0x4000, true, 0x4100);
+//!     let _ = p;
+//! }
+//! assert!(bp.predict(0x4000).taken);
+//! ```
+
+pub mod btb;
+pub mod loop_pred;
+pub mod predictor;
+pub mod sc;
+pub mod tage;
+
+pub use btb::Btb;
+pub use loop_pred::LoopPredictor;
+pub use predictor::{BranchPredictor, Prediction, PredictorStats};
+pub use sc::StatisticalCorrector;
+pub use tage::{Tage, TageConfig, TagePrediction};

@@ -1,0 +1,208 @@
+//! Loop predictor: captures branches with regular trip counts.
+//!
+//! A loop branch taken exactly `N-1` times then not-taken once (or the
+//! inverse) defeats global-history predictors when `N` exceeds the history
+//! length. The loop predictor tracks per-branch iteration counts and, once
+//! the same trip count is observed twice, predicts the exit exactly.
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LoopEntry {
+    pc_tag: u32,
+    valid: bool,
+    /// Trip count observed on the last two completions (0 = unknown).
+    trip: u32,
+    /// Current iteration counter.
+    current: u32,
+    /// Confidence: number of consecutive confirmations of `trip`.
+    confidence: u8,
+    /// Direction of the loop body (true = body iterations are taken).
+    body_taken: bool,
+    age: u8,
+}
+
+/// A small fully-associative loop predictor.
+///
+/// # Examples
+///
+/// ```
+/// use rar_frontend::LoopPredictor;
+/// let mut lp = LoopPredictor::new(16);
+/// // Loop of trip count 5: T T T T N, repeated.
+/// for _ in 0..4 {
+///     for i in 0..5 {
+///         let taken = i != 4;
+///         let _ = lp.predict(0x700);
+///         lp.update(0x700, taken);
+///     }
+/// }
+/// // Trained: predicts the 5th iteration not-taken.
+/// for i in 0..5 {
+///     let expect = i != 4;
+///     assert_eq!(lp.predict(0x700), Some(expect));
+///     lp.update(0x700, expect);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopPredictor {
+    entries: Vec<LoopEntry>,
+}
+
+impl LoopPredictor {
+    /// Creates a predictor with `entries` fully-associative entries.
+    #[must_use]
+    pub fn new(entries: usize) -> Self {
+        LoopPredictor { entries: vec![LoopEntry::default(); entries] }
+    }
+
+    fn tag(pc: u64) -> u32 {
+        (pc >> 2) as u32
+    }
+
+    fn find(&self, pc: u64) -> Option<usize> {
+        let tag = Self::tag(pc);
+        self.entries.iter().position(|e| e.valid && e.pc_tag == tag)
+    }
+
+    /// Predicts the branch at `pc`, or `None` when not confident.
+    #[must_use]
+    pub fn predict(&self, pc: u64) -> Option<bool> {
+        let e = &self.entries[self.find(pc)?];
+        if e.confidence < 2 || e.trip == 0 {
+            return None;
+        }
+        // Next observed iteration index is e.current; the exit occurs at
+        // iteration trip-1.
+        Some(if e.current == e.trip - 1 { !e.body_taken } else { e.body_taken })
+    }
+
+    /// Trains with the resolved outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let slot = match self.find(pc) {
+            Some(i) => i,
+            None => {
+                // Allocate: prefer invalid, else oldest (max age).
+                let i = self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, e)| (!e.valid, e.age))
+                    .map(|(i, _)| i)
+                    .expect("loop table nonempty");
+                self.entries[i] = LoopEntry {
+                    pc_tag: Self::tag(pc),
+                    valid: true,
+                    trip: 0,
+                    current: 0,
+                    confidence: 0,
+                    body_taken: taken,
+                    age: 0,
+                };
+                i
+            }
+        };
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if i != slot && e.valid {
+                e.age = e.age.saturating_add(1);
+            }
+        }
+        let e = &mut self.entries[slot];
+        e.age = 0;
+        if taken == e.body_taken {
+            e.current += 1;
+            // Give up on absurdly long "loops".
+            if e.current > 1 << 16 {
+                e.valid = false;
+            }
+        } else {
+            // Loop exit: completed trip = iterations + the exit itself.
+            let observed = e.current + 1;
+            if observed == e.trip {
+                e.confidence = e.confidence.saturating_add(1).min(7);
+            } else {
+                e.trip = observed;
+                e.confidence = if e.trip > 1 { 1 } else { 0 };
+            }
+            e.current = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_loop(lp: &mut LoopPredictor, pc: u64, trip: usize, reps: usize) -> (u32, u32) {
+        let (mut predicted, mut correct) = (0, 0);
+        for _ in 0..reps {
+            for i in 0..trip {
+                let taken = i != trip - 1;
+                if let Some(p) = lp.predict(pc) {
+                    predicted += 1;
+                    if p == taken {
+                        correct += 1;
+                    }
+                }
+                lp.update(pc, taken);
+            }
+        }
+        (predicted, correct)
+    }
+
+    #[test]
+    fn perfect_after_two_confirmations() {
+        let mut lp = LoopPredictor::new(16);
+        run_loop(&mut lp, 0x100, 20, 3); // train
+        let (predicted, correct) = run_loop(&mut lp, 0x100, 20, 5);
+        assert_eq!(predicted, 100, "confident for every iteration");
+        assert_eq!(correct, 100, "perfect trip-count prediction");
+    }
+
+    #[test]
+    fn no_confidence_without_repetition() {
+        let lp = LoopPredictor::new(16);
+        assert_eq!(lp.predict(0x200), None);
+    }
+
+    #[test]
+    fn changed_trip_count_drops_confidence() {
+        let mut lp = LoopPredictor::new(16);
+        run_loop(&mut lp, 0x300, 10, 3);
+        // Switch to trip 7: first pass mispredicts, then retrains.
+        run_loop(&mut lp, 0x300, 7, 3);
+        let (predicted, correct) = run_loop(&mut lp, 0x300, 7, 3);
+        assert!(predicted > 0);
+        assert_eq!(predicted, correct);
+    }
+
+    #[test]
+    fn capacity_eviction_oldest() {
+        let mut lp = LoopPredictor::new(2);
+        run_loop(&mut lp, 0x400, 5, 3);
+        run_loop(&mut lp, 0x500, 5, 3);
+        run_loop(&mut lp, 0x600, 5, 3); // evicts 0x400 (oldest)
+        assert_eq!(lp.predict(0x400), None);
+        let (p, c) = run_loop(&mut lp, 0x600, 5, 2);
+        assert_eq!(p, c);
+    }
+
+    #[test]
+    fn inverted_loops_supported() {
+        // Body not-taken, exit taken (e.g. exit-on-condition loops).
+        let mut lp = LoopPredictor::new(16);
+        for _ in 0..4 {
+            for i in 0..8 {
+                lp.update(0x700, i == 7);
+            }
+        }
+        let mut all = true;
+        for i in 0..8 {
+            let expect = i == 7;
+            match lp.predict(0x700) {
+                Some(p) if p == expect => {}
+                _ => all = false,
+            }
+            lp.update(0x700, expect);
+        }
+        assert!(all, "inverted loop should be predicted exactly");
+    }
+}

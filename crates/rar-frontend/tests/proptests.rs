@@ -1,0 +1,65 @@
+//! Property tests for branch prediction structures.
+
+use proptest::prelude::*;
+use rar_frontend::{BranchPredictor, Btb, LoopPredictor, Tage, TageConfig};
+
+proptest! {
+    /// The BTB always returns the most recent target installed for a PC.
+    #[test]
+    fn btb_returns_latest_target(ops in prop::collection::vec((0u64..64, 0u64..1_000), 1..200)) {
+        let mut btb = Btb::new(256, 4); // large enough not to evict 64 pcs
+        let mut last: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for &(pc, target) in &ops {
+            btb.update(pc * 4, target);
+            last.insert(pc * 4, target);
+        }
+        for (&pc, &target) in &last {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+    }
+
+    /// TAGE update never panics and predictions are total for arbitrary
+    /// outcome sequences.
+    #[test]
+    fn tage_is_total(outcomes in prop::collection::vec(any::<bool>(), 1..512), pc in 0u64..1u64 << 40) {
+        let mut t = Tage::new(TageConfig::budget_8kb());
+        for &o in &outcomes {
+            let p = t.predict(pc);
+            t.update(pc, p, o);
+        }
+    }
+
+    /// On a fully-biased branch, the composed predictor converges to
+    /// near-perfect accuracy regardless of PC.
+    #[test]
+    fn predictor_learns_any_biased_site(pc in 0u64..1u64 << 40, taken: bool) {
+        let mut bp = BranchPredictor::tage_sc_l_8kb();
+        for _ in 0..128 {
+            let _ = bp.predict(pc);
+            bp.update(pc, taken, pc ^ 0xff0);
+        }
+        let before = bp.stats().mispredictions;
+        for _ in 0..64 {
+            let _ = bp.predict(pc);
+            bp.update(pc, taken, pc ^ 0xff0);
+        }
+        prop_assert_eq!(bp.stats().mispredictions - before, 0);
+    }
+
+    /// The loop predictor predicts any fixed trip count exactly after two
+    /// confirmations.
+    #[test]
+    fn loop_predictor_exact_for_any_trip(trip in 2usize..200) {
+        let mut lp = LoopPredictor::new(8);
+        for _ in 0..3 {
+            for i in 0..trip {
+                lp.update(0x40, i != trip - 1);
+            }
+        }
+        for i in 0..trip {
+            let expect = i != trip - 1;
+            prop_assert_eq!(lp.predict(0x40), Some(expect), "iteration {} of {}", i, trip);
+            lp.update(0x40, expect);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Cache-line/address helpers shared between the memory hierarchy and the
+//! workload generators.
+
+/// Cache line size in bytes. All levels of the simulated hierarchy use
+/// 64-byte lines, matching the paper's DDR3 configuration (64-bit bus,
+/// burst of 8).
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// Returns the cache-line-aligned address containing `addr`.
+///
+/// # Examples
+///
+/// ```
+/// use rar_isa::cache_line;
+/// assert_eq!(cache_line(0x1234), 0x1200);
+/// assert_eq!(cache_line(0x1240), 0x1240);
+/// ```
+#[must_use]
+pub const fn cache_line(addr: u64) -> u64 {
+    addr & !(CACHE_LINE_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_is_aligned() {
+        for addr in [0u64, 1, 63, 64, 65, 0xdead_beef] {
+            let line = cache_line(addr);
+            assert_eq!(line % CACHE_LINE_BYTES, 0);
+            assert!(line <= addr && addr < line + CACHE_LINE_BYTES);
+        }
+    }
+}

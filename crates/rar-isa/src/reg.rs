@@ -1,0 +1,176 @@
+//! Architectural register model.
+//!
+//! The simulated ISA exposes two register classes — integer and
+//! floating-point — with [`NUM_ARCH_REGS_PER_CLASS`] registers each, mirroring
+//! a RISC-style 32+32 register architecture. Physical registers live in
+//! `rar-core`; this module only names the *architectural* registers that
+//! micro-ops reference.
+
+use std::fmt;
+
+/// Number of architectural registers in each register class.
+pub const NUM_ARCH_REGS_PER_CLASS: u8 = 32;
+
+/// Register class: integer (64-bit) or floating-point (128-bit).
+///
+/// The bit widths follow Table II of the paper and matter for ACE-bit
+/// accounting: an integer physical register exposes 64 vulnerable bits, a
+/// floating-point register 128.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit integer register.
+    Int,
+    /// 128-bit floating-point/SIMD register.
+    Fp,
+}
+
+impl RegClass {
+    /// Width in bits of a register of this class (Table II).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rar_isa::RegClass;
+    /// assert_eq!(RegClass::Int.bits(), 64);
+    /// assert_eq!(RegClass::Fp.bits(), 128);
+    /// ```
+    #[must_use]
+    pub const fn bits(self) -> u64 {
+        match self {
+            RegClass::Int => 64,
+            RegClass::Fp => 128,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register: a class plus an index below
+/// [`NUM_ARCH_REGS_PER_CLASS`].
+///
+/// # Examples
+///
+/// ```
+/// use rar_isa::{ArchReg, RegClass};
+/// let r = ArchReg::int(3);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.flat_index(), 3);
+/// assert_eq!(ArchReg::fp(0).flat_index(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArchReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS_PER_CLASS`.
+    #[must_use]
+    pub fn int(index: u8) -> Self {
+        assert!(index < NUM_ARCH_REGS_PER_CLASS, "int register index out of range");
+        ArchReg { class: RegClass::Int, index }
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS_PER_CLASS`.
+    #[must_use]
+    pub fn fp(index: u8) -> Self {
+        assert!(index < NUM_ARCH_REGS_PER_CLASS, "fp register index out of range");
+        ArchReg { class: RegClass::Fp, index }
+    }
+
+    /// The register class.
+    #[must_use]
+    pub const fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The index within the class.
+    #[must_use]
+    pub const fn index(self) -> u8 {
+        self.index
+    }
+
+    /// A dense index over both classes: integer registers map to
+    /// `0..32`, floating-point registers to `32..64`. Useful for flat
+    /// rename-table arrays.
+    #[must_use]
+    pub const fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.index as usize,
+            RegClass::Fp => NUM_ARCH_REGS_PER_CLASS as usize + self.index as usize,
+        }
+    }
+
+    /// Total number of architectural registers across both classes.
+    #[must_use]
+    pub const fn total_count() -> usize {
+        2 * NUM_ARCH_REGS_PER_CLASS as usize
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Fp => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let mut seen = vec![false; ArchReg::total_count()];
+        for i in 0..NUM_ARCH_REGS_PER_CLASS {
+            for r in [ArchReg::int(i), ArchReg::fp(i)] {
+                let idx = r.flat_index();
+                assert!(!seen[idx], "duplicate flat index {idx}");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ArchReg::int(5).to_string(), "r5");
+        assert_eq!(ArchReg::fp(7).to_string(), "f7");
+    }
+
+    #[test]
+    fn class_bits_match_table2() {
+        assert_eq!(RegClass::Int.bits(), 64);
+        assert_eq!(RegClass::Fp.bits(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = ArchReg::int(NUM_ARCH_REGS_PER_CLASS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_index_out_of_range_panics() {
+        let _ = ArchReg::fp(NUM_ARCH_REGS_PER_CLASS);
+    }
+}

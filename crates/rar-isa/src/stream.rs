@@ -1,0 +1,171 @@
+//! Instruction-stream abstraction with flush-and-refetch support.
+//!
+//! The simulator is trace-driven: workloads produce an infinite, *dynamic*
+//! (correct-path) sequence of micro-ops. A cycle-level core, however, needs
+//! to re-read parts of that sequence — after a branch-misprediction recovery,
+//! a runahead-exit flush, or a FLUSH-style pipeline flush, fetch is
+//! redirected to an instruction that was already delivered once. Rather than
+//! forcing every workload generator to support random access, [`TraceWindow`]
+//! buffers a sliding window of generated micro-ops and serves repeated reads
+//! by *dynamic sequence number*.
+
+use crate::uop::Uop;
+use std::collections::VecDeque;
+
+/// A source of micro-ops addressable by dynamic sequence number.
+///
+/// Sequence numbers start at zero and index the *correct-path* dynamic
+/// instruction stream. Implementations must be deterministic: `get(n)` must
+/// return the same micro-op every time it is called, and `release_before`
+/// is a promise from the caller that sequence numbers below the given bound
+/// will never be requested again.
+pub trait UopSource {
+    /// Returns the micro-op at dynamic sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `seq` precedes a bound previously passed
+    /// to [`UopSource::release_before`].
+    fn get(&mut self, seq: u64) -> &Uop;
+
+    /// Declares that all sequence numbers `< bound` are dead and their
+    /// storage may be reclaimed.
+    fn release_before(&mut self, bound: u64);
+}
+
+/// Adapts any infinite `Iterator<Item = Uop>` into a [`UopSource`] by
+/// buffering a sliding window.
+///
+/// The window grows on demand (runahead mode can read hundreds of micro-ops
+/// past the newest committed one) and is trimmed by
+/// [`UopSource::release_before`], which the core calls at commit.
+///
+/// # Examples
+///
+/// ```
+/// use rar_isa::{TraceWindow, Uop, UopKind, UopSource};
+/// let mut w = TraceWindow::new((0u64..).map(|i| Uop::alu(i * 4, UopKind::IntAlu)));
+/// assert_eq!(w.get(5).pc(), 20);
+/// assert_eq!(w.get(2).pc(), 8); // re-read within the window
+/// w.release_before(4);
+/// assert_eq!(w.get(4).pc(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceWindow<I> {
+    inner: I,
+    /// Sequence number of `buf[0]`.
+    base: u64,
+    buf: VecDeque<Uop>,
+    generated: u64,
+}
+
+impl<I: Iterator<Item = Uop>> TraceWindow<I> {
+    /// Wraps an infinite micro-op iterator.
+    pub fn new(inner: I) -> Self {
+        TraceWindow { inner, base: 0, buf: VecDeque::new(), generated: 0 }
+    }
+
+    /// Number of micro-ops currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total micro-ops pulled from the underlying generator so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    fn fill_to(&mut self, seq: u64) {
+        while self.base + self.buf.len() as u64 <= seq {
+            let u = self
+                .inner
+                .next()
+                .expect("workload generators must produce an infinite stream");
+            self.buf.push_back(u);
+            self.generated += 1;
+        }
+    }
+}
+
+impl<I: Iterator<Item = Uop>> UopSource for TraceWindow<I> {
+    fn get(&mut self, seq: u64) -> &Uop {
+        assert!(
+            seq >= self.base,
+            "sequence {seq} was released (window base {})",
+            self.base
+        );
+        self.fill_to(seq);
+        &self.buf[(seq - self.base) as usize]
+    }
+
+    fn release_before(&mut self, bound: u64) {
+        while self.base < bound && !self.buf.is_empty() {
+            self.buf.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::UopKind;
+
+    fn counting_stream() -> impl Iterator<Item = Uop> {
+        (0u64..).map(|i| Uop::alu(i, UopKind::IntAlu))
+    }
+
+    #[test]
+    fn serves_by_sequence_number() {
+        let mut w = TraceWindow::new(counting_stream());
+        assert_eq!(w.get(0).pc(), 0);
+        assert_eq!(w.get(10).pc(), 10);
+        assert_eq!(w.get(3).pc(), 3);
+    }
+
+    #[test]
+    fn rereads_are_identical() {
+        let mut w = TraceWindow::new(counting_stream());
+        let a = w.get(7).clone();
+        let b = w.get(7).clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn release_trims_window() {
+        let mut w = TraceWindow::new(counting_stream());
+        let _ = w.get(100);
+        assert_eq!(w.buffered(), 101);
+        w.release_before(50);
+        assert_eq!(w.buffered(), 51);
+        assert_eq!(w.get(50).pc(), 50);
+    }
+
+    #[test]
+    fn release_beyond_buffer_is_safe() {
+        let mut w = TraceWindow::new(counting_stream());
+        let _ = w.get(5);
+        w.release_before(1_000);
+        // Window empties; next get resumes from wherever generation is.
+        assert_eq!(w.buffered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "was released")]
+    fn reading_released_sequence_panics() {
+        let mut w = TraceWindow::new(counting_stream());
+        let _ = w.get(10);
+        w.release_before(5);
+        let _ = w.get(2);
+    }
+
+    #[test]
+    fn generated_counts_pulls_not_reads() {
+        let mut w = TraceWindow::new(counting_stream());
+        let _ = w.get(9);
+        let _ = w.get(9);
+        assert_eq!(w.generated(), 10);
+    }
+}

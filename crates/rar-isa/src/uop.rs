@@ -1,0 +1,326 @@
+//! Decoded micro-operations.
+//!
+//! A [`Uop`] is the unit of work flowing through the simulated pipeline. It
+//! carries everything the timing model needs: operation kind, up to two
+//! source registers, an optional destination register, and — for memory and
+//! control-flow operations — the *resolved* memory address or branch outcome.
+//! Because the simulator is trace-driven, outcomes are known at decode time;
+//! the timing model is responsible for not *using* them before the
+//! appropriate pipeline stage (e.g. a branch outcome is only compared against
+//! the predictor at execute).
+
+use crate::reg::ArchReg;
+use std::fmt;
+
+/// The operation class of a micro-op.
+///
+/// The set mirrors the functional-unit pool of the baseline core (Table II):
+/// three integer adders, one integer multiplier, one integer divider, and one
+/// FP adder/multiplier/divider, plus loads, stores, branches, and NOPs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UopKind {
+    /// Simple integer ALU operation (add, logic, shift, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide.
+    FpDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional or unconditional branch.
+    Branch,
+    /// No-operation. NOPs are un-ACE by definition (Section IV-A).
+    Nop,
+}
+
+impl UopKind {
+    /// True for loads and stores.
+    #[must_use]
+    pub const fn is_mem(self) -> bool {
+        matches!(self, UopKind::Load | UopKind::Store)
+    }
+
+    /// True for any floating-point operation.
+    #[must_use]
+    pub const fn is_fp(self) -> bool {
+        matches!(self, UopKind::FpAdd | UopKind::FpMul | UopKind::FpDiv)
+    }
+}
+
+impl fmt::Display for UopKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UopKind::IntAlu => "int_alu",
+            UopKind::IntMul => "int_mul",
+            UopKind::IntDiv => "int_div",
+            UopKind::FpAdd => "fp_add",
+            UopKind::FpMul => "fp_mul",
+            UopKind::FpDiv => "fp_div",
+            UopKind::Load => "load",
+            UopKind::Store => "store",
+            UopKind::Branch => "branch",
+            UopKind::Nop => "nop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Resolved memory reference of a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemInfo {
+    /// Virtual address accessed.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u8,
+}
+
+/// Static classification of a branch site, used by workload generators to
+/// produce realistic outcome streams and by the branch predictor tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// Backward loop branch; almost always taken, exits predictably.
+    Loop,
+    /// Data-dependent conditional; outcome entropy controlled by workload.
+    Conditional,
+    /// Unconditional direct jump/call.
+    Unconditional,
+}
+
+/// Resolved outcome of a branch micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchInfo {
+    /// Whether the branch is taken.
+    pub taken: bool,
+    /// Branch target (valid when taken).
+    pub target: u64,
+    /// Static classification of the branch site.
+    pub class: BranchClass,
+}
+
+/// A decoded micro-operation with resolved operands.
+///
+/// Construct with the kind-specific constructors ([`Uop::alu`],
+/// [`Uop::load`], [`Uop::store`], [`Uop::branch`], [`Uop::nop`]) and refine
+/// with the builder-style `with_*` methods.
+///
+/// # Examples
+///
+/// ```
+/// use rar_isa::{ArchReg, Uop, UopKind};
+/// let u = Uop::load(0x400, 0x8000, 8)
+///     .with_dest(ArchReg::int(1))
+///     .with_src(ArchReg::int(2));
+/// assert!(u.kind().is_mem());
+/// assert_eq!(u.mem().unwrap().addr, 0x8000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Uop {
+    pc: u64,
+    kind: UopKind,
+    srcs: [Option<ArchReg>; 2],
+    dest: Option<ArchReg>,
+    mem: Option<MemInfo>,
+    branch: Option<BranchInfo>,
+}
+
+impl Uop {
+    /// Creates a computational micro-op (any non-memory, non-branch kind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is a memory or branch kind; use the dedicated
+    /// constructors for those.
+    #[must_use]
+    pub fn alu(pc: u64, kind: UopKind) -> Self {
+        assert!(
+            !kind.is_mem() && kind != UopKind::Branch,
+            "use Uop::load/store/branch for {kind}"
+        );
+        Uop { pc, kind, srcs: [None, None], dest: None, mem: None, branch: None }
+    }
+
+    /// Creates a load micro-op reading `size` bytes at `addr`.
+    #[must_use]
+    pub fn load(pc: u64, addr: u64, size: u8) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Load,
+            srcs: [None, None],
+            dest: None,
+            mem: Some(MemInfo { addr, size }),
+            branch: None,
+        }
+    }
+
+    /// Creates a store micro-op writing `size` bytes at `addr`.
+    #[must_use]
+    pub fn store(pc: u64, addr: u64, size: u8) -> Self {
+        Uop {
+            pc,
+            kind: UopKind::Store,
+            srcs: [None, None],
+            dest: None,
+            mem: Some(MemInfo { addr, size }),
+            branch: None,
+        }
+    }
+
+    /// Creates a branch micro-op with a resolved outcome.
+    #[must_use]
+    pub fn branch(pc: u64, info: BranchInfo) -> Self {
+        Uop { pc, kind: UopKind::Branch, srcs: [None, None], dest: None, mem: None, branch: Some(info) }
+    }
+
+    /// Creates a NOP at `pc`.
+    #[must_use]
+    pub fn nop(pc: u64) -> Self {
+        Uop { pc, kind: UopKind::Nop, srcs: [None, None], dest: None, mem: None, branch: None }
+    }
+
+    /// Adds a source register (up to two); extra sources are ignored, which
+    /// models an ISA with at most two register sources per micro-op.
+    #[must_use]
+    pub fn with_src(mut self, reg: ArchReg) -> Self {
+        if self.srcs[0].is_none() {
+            self.srcs[0] = Some(reg);
+        } else if self.srcs[1].is_none() {
+            self.srcs[1] = Some(reg);
+        }
+        self
+    }
+
+    /// Sets the destination register.
+    #[must_use]
+    pub fn with_dest(mut self, reg: ArchReg) -> Self {
+        self.dest = Some(reg);
+        self
+    }
+
+    /// Program counter of the parent instruction.
+    #[must_use]
+    pub const fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Operation kind.
+    #[must_use]
+    pub const fn kind(&self) -> UopKind {
+        self.kind
+    }
+
+    /// Source registers in use.
+    pub fn srcs(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// Destination register, if any.
+    #[must_use]
+    pub const fn dest(&self) -> Option<ArchReg> {
+        self.dest
+    }
+
+    /// Memory reference for loads/stores.
+    #[must_use]
+    pub const fn mem(&self) -> Option<MemInfo> {
+        self.mem
+    }
+
+    /// Branch outcome for branches.
+    #[must_use]
+    pub const fn branch_info(&self) -> Option<BranchInfo> {
+        self.branch
+    }
+
+    /// Whether this micro-op allocates a load-queue entry.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.kind == UopKind::Load
+    }
+
+    /// Whether this micro-op allocates a store-queue entry.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.kind == UopKind::Store
+    }
+
+    /// Whether this micro-op is a branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        self.kind == UopKind::Branch
+    }
+}
+
+impl fmt::Display for Uop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: {}", self.pc, self.kind)?;
+        if let Some(d) = self.dest {
+            write!(f, " -> {d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::ArchReg;
+
+    #[test]
+    fn constructors_set_kind_and_payload() {
+        let l = Uop::load(0x10, 0x100, 8);
+        assert_eq!(l.kind(), UopKind::Load);
+        assert_eq!(l.mem(), Some(MemInfo { addr: 0x100, size: 8 }));
+
+        let s = Uop::store(0x14, 0x108, 8);
+        assert!(s.is_store());
+
+        let b = Uop::branch(
+            0x18,
+            BranchInfo { taken: true, target: 0x10, class: BranchClass::Loop },
+        );
+        assert!(b.is_branch());
+        assert!(b.branch_info().unwrap().taken);
+
+        let n = Uop::nop(0x1c);
+        assert_eq!(n.kind(), UopKind::Nop);
+    }
+
+    #[test]
+    fn sources_cap_at_two() {
+        let u = Uop::alu(0, UopKind::IntAlu)
+            .with_src(ArchReg::int(1))
+            .with_src(ArchReg::int(2))
+            .with_src(ArchReg::int(3));
+        let srcs: Vec<_> = u.srcs().collect();
+        assert_eq!(srcs, vec![ArchReg::int(1), ArchReg::int(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "use Uop::load")]
+    fn alu_constructor_rejects_mem_kinds() {
+        let _ = Uop::alu(0, UopKind::Load);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(UopKind::Load.is_mem());
+        assert!(UopKind::Store.is_mem());
+        assert!(!UopKind::Branch.is_mem());
+        assert!(UopKind::FpMul.is_fp());
+        assert!(!UopKind::IntMul.is_fp());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let u = Uop::alu(0x42, UopKind::IntAlu).with_dest(ArchReg::int(0));
+        assert!(u.to_string().contains("int_alu"));
+    }
+}

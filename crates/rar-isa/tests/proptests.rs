@@ -1,0 +1,76 @@
+//! Property tests for the instruction-stream machinery.
+
+use proptest::prelude::*;
+use rar_isa::{TraceWindow, Uop, UopKind, UopSource};
+
+fn stream() -> impl Iterator<Item = Uop> + Clone {
+    (0u64..).map(|i| Uop::alu(i.wrapping_mul(0x9e37) ^ 0x1000, UopKind::IntAlu))
+}
+
+proptest! {
+    /// Random monotone-window access patterns return exactly what the
+    /// underlying iterator would have produced at that index.
+    #[test]
+    fn window_matches_direct_indexing(accesses in prop::collection::vec(0u64..500, 1..64)) {
+        let mut w = TraceWindow::new(stream());
+        let direct: Vec<Uop> = stream().take(512).collect();
+        for &seq in &accesses {
+            prop_assert_eq!(w.get(seq).clone(), direct[seq as usize].clone());
+        }
+    }
+
+    /// Releasing below the smallest future access never breaks reads, and
+    /// buffered size never exceeds the span of live sequences.
+    #[test]
+    fn release_keeps_live_range_readable(
+        reads in prop::collection::vec(0u64..400, 2..40),
+    ) {
+        let mut sorted = reads.clone();
+        sorted.sort_unstable();
+        let mut w = TraceWindow::new(stream());
+        for (i, &seq) in sorted.iter().enumerate() {
+            let _ = w.get(seq);
+            // Release everything before the current sequence: later reads
+            // are all >= seq because the list is sorted.
+            w.release_before(seq);
+            let _ = w.get(seq); // still readable (== window base)
+            prop_assert!(w.buffered() as u64 <= sorted[sorted.len()-1] + 1);
+            let _ = i;
+        }
+    }
+
+    /// The generated counter only moves forward and never exceeds the
+    /// highest requested sequence + 1.
+    #[test]
+    fn generated_is_monotone_and_tight(a in 0u64..300, b in 0u64..300) {
+        let mut w = TraceWindow::new(stream());
+        let _ = w.get(a);
+        let after_a = w.generated();
+        prop_assert_eq!(after_a, a + 1);
+        let _ = w.get(b);
+        prop_assert_eq!(w.generated(), a.max(b) + 1);
+    }
+}
+
+proptest! {
+    /// Builder-constructed uops preserve their payload.
+    #[test]
+    fn uop_payload_roundtrip(pc in 0u64..u64::MAX / 2, addr in 0u64..u64::MAX / 2, size in 1u8..16) {
+        let u = Uop::load(pc, addr, size);
+        prop_assert_eq!(u.pc(), pc);
+        let m = u.mem().unwrap();
+        prop_assert_eq!(m.addr, addr);
+        prop_assert_eq!(m.size, size);
+        prop_assert!(u.is_load());
+        prop_assert!(!u.is_store());
+    }
+
+    /// Cache-line math: alignment and containment hold for all addresses.
+    #[test]
+    fn cache_line_alignment(addr: u64) {
+        let line = rar_isa::cache_line(addr);
+        prop_assert_eq!(line % rar_isa::CACHE_LINE_BYTES, 0);
+        prop_assert!(line <= addr);
+        prop_assert!(addr - line < rar_isa::CACHE_LINE_BYTES);
+    }
+}

@@ -1,0 +1,90 @@
+//! Memory-system configuration (Table II).
+
+use crate::cache::CacheConfig;
+use crate::dram::DramConfig;
+use crate::prefetch::StridePrefetcherConfig;
+
+/// Where the optional stride prefetcher is attached (Section V-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchPlacement {
+    /// No hardware prefetching (the paper's baseline).
+    #[default]
+    None,
+    /// Prefetch at the LLC only (`+L3` in Figure 11).
+    L3,
+    /// Prefetch at all three cache levels (`+ALL` in Figure 11).
+    All,
+}
+
+/// Full memory-hierarchy configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemConfig {
+    /// L1 instruction cache (32 KB, 4-way, 2 cycles).
+    pub l1i: CacheConfig,
+    /// L1 data cache (32 KB, 8-way, 4 cycles).
+    pub l1d: CacheConfig,
+    /// Private L2 (256 KB, 8-way, 8 cycles).
+    pub l2: CacheConfig,
+    /// Shared L3 (1 MB, 16-way, 30 cycles).
+    pub l3: CacheConfig,
+    /// L1-D miss-status holding registers (20).
+    pub mshrs: usize,
+    /// DDR3 main-memory parameters.
+    pub dram: DramConfig,
+    /// Hardware-prefetcher placement.
+    pub prefetch: PrefetchPlacement,
+    /// Stride-prefetcher parameters (used when `prefetch != None`).
+    pub prefetcher: StridePrefetcherConfig,
+}
+
+impl MemConfig {
+    /// The paper's Table II baseline memory system (no prefetching).
+    #[must_use]
+    pub fn baseline() -> Self {
+        MemConfig {
+            l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
+            l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 4 },
+            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 8 },
+            l3: CacheConfig { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, latency: 30 },
+            mshrs: 20,
+            dram: DramConfig::ddr3_1600(),
+            prefetch: PrefetchPlacement::None,
+            prefetcher: StridePrefetcherConfig::aggressive(),
+        }
+    }
+
+    /// Baseline with the aggressive prefetcher at the given placement.
+    #[must_use]
+    pub fn with_prefetch(placement: PrefetchPlacement) -> Self {
+        MemConfig { prefetch: placement, ..MemConfig::baseline() }
+    }
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let m = MemConfig::baseline();
+        assert_eq!(m.l1i.size_bytes, 32 * 1024);
+        assert_eq!(m.l1d.latency, 4);
+        assert_eq!(m.l2.latency, 8);
+        assert_eq!(m.l3.latency, 30);
+        assert_eq!(m.mshrs, 20);
+        assert_eq!(m.prefetch, PrefetchPlacement::None);
+    }
+
+    #[test]
+    fn with_prefetch_sets_placement_only() {
+        let m = MemConfig::with_prefetch(PrefetchPlacement::All);
+        assert_eq!(m.prefetch, PrefetchPlacement::All);
+        assert_eq!(m.l3, MemConfig::baseline().l3);
+    }
+}

@@ -1,0 +1,253 @@
+//! DDR3-1600 main-memory timing model.
+//!
+//! Models the paper's Table II memory: DDR3-1600 on an 800 MHz bus feeding
+//! a 2.66 GHz core, 4 ranks × 8 banks with per-bank open-row (page-mode)
+//! buffers over 4 KB pages, tRP-tCL-tRCD = 11-11-11 memory cycles, and a
+//! shared 64-bit data bus (8-beat burst per 64-byte line).
+//!
+//! The model is latency-resolving: [`Dram::access`] immediately computes
+//! the CPU cycle at which the line's data is available, reserving the bank
+//! and data bus in the process. Requests to a busy bank queue behind it;
+//! requests to different banks overlap — this is what lets memory-level
+//! parallelism pay off.
+
+/// DDR3 timing and geometry parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfig {
+    /// Core frequency in GHz (2.66 for the baseline).
+    pub cpu_freq_ghz: f64,
+    /// Memory bus frequency in MHz (800 for DDR3-1600).
+    pub bus_freq_mhz: f64,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row-buffer (DRAM page) size in bytes.
+    pub page_bytes: u64,
+    /// Row-precharge latency in memory cycles.
+    pub t_rp: u64,
+    /// CAS latency in memory cycles.
+    pub t_cl: u64,
+    /// RAS-to-CAS latency in memory cycles.
+    pub t_rcd: u64,
+    /// Data-burst duration in memory cycles (64 B over a 64-bit DDR bus).
+    pub burst: u64,
+    /// Fixed memory-controller overhead in memory cycles (request queueing,
+    /// command scheduling, and the on-chip path to the controller), paid
+    /// once per access on top of the device timing.
+    pub controller: u64,
+}
+
+impl DramConfig {
+    /// The paper's Table II configuration.
+    #[must_use]
+    pub fn ddr3_1600() -> Self {
+        DramConfig {
+            cpu_freq_ghz: 2.66,
+            bus_freq_mhz: 800.0,
+            ranks: 4,
+            banks_per_rank: 8,
+            page_bytes: 4096,
+            t_rp: 11,
+            t_cl: 11,
+            t_rcd: 11,
+            burst: 4,
+            controller: 20,
+        }
+    }
+
+    /// CPU cycles per memory-bus cycle.
+    #[must_use]
+    pub fn cpu_per_mem_cycle(&self) -> f64 {
+        self.cpu_freq_ghz * 1000.0 / self.bus_freq_mhz
+    }
+
+    /// Total number of banks.
+    #[must_use]
+    pub fn num_banks(&self) -> usize {
+        self.ranks * self.banks_per_rank
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::ddr3_1600()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64, // memory cycles
+}
+
+/// Row-buffer hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests that hit an open row.
+    pub row_hits: u64,
+    /// Requests that required activating (and possibly precharging) a row.
+    pub row_misses: u64,
+}
+
+/// The DRAM device: per-bank state plus the shared data bus.
+///
+/// # Examples
+///
+/// ```
+/// use rar_mem::{Dram, DramConfig};
+/// let mut d = Dram::new(DramConfig::ddr3_1600());
+/// let first = d.access(0x10_0000, 0);
+/// let second = d.access(0x10_0040, first); // same row: faster
+/// assert!(second - first < first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+    bus_free: u64, // memory cycles
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM device with all banks idle and rows closed.
+    #[must_use]
+    pub fn new(config: DramConfig) -> Self {
+        let banks = vec![Bank::default(); config.num_banks()];
+        Dram { config, banks, bus_free: 0, stats: DramStats::default() }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Row-buffer statistics.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let page = addr / self.config.page_bytes;
+        let bank = (page as usize) % self.banks.len();
+        let row = page / self.banks.len() as u64;
+        (bank, row)
+    }
+
+    /// Issues a line fetch for `addr` at CPU cycle `now`; returns the CPU
+    /// cycle at which the data is available at the memory controller.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        let ratio = self.config.cpu_per_mem_cycle();
+        let now_mem = (now as f64 / ratio).ceil() as u64 + self.config.controller;
+        let (bank_idx, row) = self.bank_and_row(addr);
+        let bank = &mut self.banks[bank_idx];
+
+        let start = now_mem.max(bank.busy_until);
+        let access_lat = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                self.config.t_cl
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                self.config.t_rp + self.config.t_rcd + self.config.t_cl
+            }
+            None => {
+                self.stats.row_misses += 1;
+                self.config.t_rcd + self.config.t_cl
+            }
+        };
+        bank.open_row = Some(row);
+
+        // Data transfer occupies the shared bus after the column access.
+        let data_start = (start + access_lat).max(self.bus_free);
+        let complete_mem = data_start + self.config.burst;
+        self.bus_free = complete_mem;
+        // Column accesses are pipelined behind the CAS latency: the bank
+        // can accept the next column command once the current burst has
+        // drained, so sequential row hits stream at burst rate rather than
+        // serializing on tCL.
+        bank.busy_until = complete_mem.saturating_sub(self.config.t_cl);
+
+        (complete_mem as f64 * ratio).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::ddr3_1600())
+    }
+
+    #[test]
+    fn cold_access_latency_is_hundreds_of_cpu_cycles_scale() {
+        let mut d = dram();
+        let done = d.access(0x1000, 0);
+        // controller + tRCD + tCL + burst = 46 mem cycles ~= 153 CPU cycles.
+        let expect = ((20.0 + 26.0) * d.config().cpu_per_mem_cycle()).ceil() as u64;
+        assert_eq!(done, expect);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let mut d = dram();
+        let t1 = d.access(0x10_0000, 0);
+        let hit = d.access(0x10_0040, t1) - t1; // same page
+        let mut d2 = dram();
+        let t2 = d2.access(0x10_0000, 0);
+        // Same bank, different row: page + page_bytes*num_banks.
+        let conflict_addr = 0x10_0000 + 4096 * 32;
+        let miss = d2.access(conflict_addr, t2) - t2;
+        assert!(hit < miss, "row hit {hit} should beat row miss {miss}");
+    }
+
+    #[test]
+    fn bank_parallelism_overlaps() {
+        let mut d = dram();
+        // Two different banks, issued at the same time.
+        let a = d.access(0x0000, 0); // bank 0
+        let b = d.access(0x1000, 0); // bank 1 (next 4K page)
+        // Serial would be ~2x; overlap means b completes shortly after a
+        // (only bus serialization apart).
+        let burst_cpu = (d.config().burst as f64 * d.config().cpu_per_mem_cycle()).ceil() as u64;
+        assert!(b <= a + burst_cpu + 1, "bank-parallel: a={a} b={b}");
+    }
+
+    #[test]
+    fn same_bank_requests_queue() {
+        let mut d = dram();
+        let a = d.access(0x0000, 0);
+        // Same bank (same page even): row hit but must wait for bank.
+        let b = d.access(0x0040, 0);
+        assert!(b > a, "second same-bank access queues: a={a} b={b}");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut d = dram();
+        let t = d.access(0x2000, 0);
+        let _ = d.access(0x2040, t);
+        assert_eq!(d.stats().row_misses, 1);
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn monotone_in_issue_time() {
+        let mut d1 = dram();
+        let early = d1.access(0x5000, 0);
+        let mut d2 = dram();
+        let late = d2.access(0x5000, 10_000);
+        assert!(late > early);
+    }
+
+    #[test]
+    fn cpu_mem_ratio_matches_table2() {
+        let c = DramConfig::ddr3_1600();
+        assert!((c.cpu_per_mem_cycle() - 3.325).abs() < 1e-9);
+        assert_eq!(c.num_banks(), 32);
+    }
+}

@@ -1,0 +1,50 @@
+//! Memory-hierarchy substrate for the RAR simulator.
+//!
+//! Models the paper's Table II memory system from scratch:
+//!
+//! - three cache levels ([`cache`]): 32 KB L1-I (4-way, 2 cycles), 32 KB
+//!   L1-D (8-way, 4 cycles), 256 KB private L2 (8-way, 8 cycles), 1 MB
+//!   shared L3 (16-way, 30 cycles), all with true-LRU replacement and
+//!   64-byte lines;
+//! - a 20-entry L1-D miss-status holding register file ([`mshr`]) that
+//!   merges same-line misses and bounds demand memory-level parallelism;
+//! - a DDR3-1600 main-memory model ([`dram`]) with 4 ranks × 8 banks,
+//!   per-bank row buffers, tRP-tCL-tRCD = 11-11-11 and a shared data bus;
+//! - an optional aggressive stride prefetcher with up to 16 streams
+//!   ([`prefetch`]), attachable at the LLC only (`+L3`) or at every level
+//!   (`+ALL`) for the Section V-F experiment.
+//!
+//! The timing model is *latency-resolving*: when the core issues an access
+//! at cycle `t`, the hierarchy immediately computes the completion cycle,
+//! reserving DRAM bank/bus resources in the process. In-flight lines are
+//! tracked by the MSHR file so that a second access to a line already being
+//! fetched completes when the first fetch does, rather than starting a new
+//! one.
+//!
+//! # Examples
+//!
+//! ```
+//! use rar_mem::{AccessKind, MemoryHierarchy, MemConfig};
+//!
+//! let mut mem = MemoryHierarchy::new(MemConfig::baseline());
+//! let cold = mem.access(AccessKind::Load, 0x10_0000, 0x400, 0).unwrap();
+//! assert!(cold.complete_at > 100, "cold miss goes to DRAM");
+//! let warm = mem.access(AccessKind::Load, 0x10_0000, 0x400, cold.complete_at).unwrap();
+//! assert_eq!(warm.complete_at, cold.complete_at + 4, "L1-D hit costs 4 cycles");
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod mshr;
+pub mod prefetch;
+pub mod stats;
+
+pub use cache::{Cache, CacheConfig};
+pub use config::{MemConfig, PrefetchPlacement};
+pub use dram::{Dram, DramConfig};
+pub use hierarchy::{AccessKind, AccessOutcome, HitLevel, MemStall, MemoryHierarchy};
+pub use mshr::MshrFile;
+pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};
+pub use stats::MemStats;

@@ -1,0 +1,164 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! The baseline models 20 MSHRs at the L1-D level (Table II): at most 20
+//! distinct cache lines may be in flight to the memory system at once.
+//! A demand access to a line that is already in flight *merges* into the
+//! existing MSHR and completes when the original fetch does. When all
+//! MSHRs are busy, further misses must stall at issue — this is what caps
+//! the memory-level parallelism an out-of-order core (or a runahead
+//! interval) can expose.
+
+use std::collections::HashMap;
+
+/// An MSHR file tracking in-flight line fetches by completion time.
+///
+/// # Examples
+///
+/// ```
+/// use rar_mem::MshrFile;
+/// let mut m = MshrFile::new(2);
+/// assert!(m.allocate(0x40, 100, 0));
+/// assert!(m.allocate(0x80, 120, 0));
+/// assert!(!m.allocate(0xc0, 150, 0), "file is full");
+/// assert_eq!(m.lookup(0x40, 0), Some(100), "merge hits the in-flight line");
+/// assert!(m.allocate(0xc0, 150, 110), "entry for 0x40 freed at cycle 100");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    /// line address -> completion cycle
+    inflight: HashMap<u64, u64>,
+    peak: usize,
+    allocations: u64,
+    merges: u64,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MshrFile {
+            capacity,
+            inflight: HashMap::with_capacity(capacity),
+            peak: 0,
+            allocations: 0,
+            merges: 0,
+        }
+    }
+
+    /// Drops entries whose fetch completed at or before `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.inflight.retain(|_, &mut done| done > now);
+    }
+
+    /// If `line` is in flight at `now`, returns its completion cycle and
+    /// counts a merge.
+    pub fn lookup(&mut self, line: u64, now: u64) -> Option<u64> {
+        self.expire(now);
+        let done = self.inflight.get(&line).copied();
+        if done.is_some() {
+            self.merges += 1;
+        }
+        done
+    }
+
+    /// Tries to allocate an entry for `line` completing at `complete_at`.
+    /// Returns `false` when the file is full (the access must stall).
+    pub fn allocate(&mut self, line: u64, complete_at: u64, now: u64) -> bool {
+        self.expire(now);
+        if self.inflight.len() >= self.capacity {
+            return false;
+        }
+        self.inflight.insert(line, complete_at);
+        self.allocations += 1;
+        self.peak = self.peak.max(self.inflight.len());
+        true
+    }
+
+    /// Number of entries in flight at `now`.
+    pub fn outstanding(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.inflight.len()
+    }
+
+    /// Whether a new miss can allocate at `now`.
+    pub fn has_free(&mut self, now: u64) -> bool {
+        self.expire(now);
+        self.inflight.len() < self.capacity
+    }
+
+    /// Capacity of the file.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// High-water mark of simultaneous in-flight misses.
+    #[must_use]
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Total allocations (distinct line fetches started).
+    #[must_use]
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Total merges (accesses that piggybacked on an in-flight fetch).
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m = MshrFile::new(3);
+        for i in 0..3 {
+            assert!(m.allocate(i * 64, 1_000, 0));
+        }
+        assert!(!m.allocate(999 * 64, 1_000, 0));
+        assert_eq!(m.outstanding(0), 3);
+        assert_eq!(m.peak(), 3);
+    }
+
+    #[test]
+    fn expiry_frees_entries() {
+        let mut m = MshrFile::new(1);
+        assert!(m.allocate(0, 50, 0));
+        assert!(!m.has_free(49));
+        assert!(m.has_free(50));
+        assert!(m.allocate(64, 80, 50));
+    }
+
+    #[test]
+    fn merge_returns_completion() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x40, 77, 0);
+        assert_eq!(m.lookup(0x40, 10), Some(77));
+        assert_eq!(m.merges(), 1);
+        assert_eq!(m.lookup(0x80, 10), None);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn lookup_after_completion_misses() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x40, 77, 0);
+        assert_eq!(m.lookup(0x40, 77), None, "expired at completion cycle");
+    }
+
+    #[test]
+    fn allocation_count() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5 {
+            m.allocate(i * 64, 100 + i, 0);
+        }
+        assert_eq!(m.allocations(), 5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Aggressive stride prefetcher (Section V-F).
+//!
+//! The paper evaluates RAR against "an aggressive stride-based hardware
+//! prefetcher with up to 16 streams" attached either at the LLC or at all
+//! three cache levels. This module implements the classic per-PC stride
+//! table: each entry tracks the last address and stride observed for one
+//! load PC; two consecutive confirmations of the same stride train the
+//! stream, after which every access issues `degree` prefetches ahead.
+
+use rar_isa::cache_line;
+
+/// Stride-prefetcher parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridePrefetcherConfig {
+    /// Maximum simultaneously-tracked streams (16 in the paper).
+    pub streams: usize,
+    /// Prefetch degree: lines fetched ahead once a stream is trained.
+    pub degree: usize,
+    /// Confidence needed before issuing prefetches.
+    pub train_threshold: u8,
+}
+
+impl StridePrefetcherConfig {
+    /// The paper's aggressive 16-stream configuration.
+    #[must_use]
+    pub const fn aggressive() -> Self {
+        StridePrefetcherConfig { streams: 16, degree: 4, train_threshold: 2 }
+    }
+}
+
+impl Default for StridePrefetcherConfig {
+    fn default() -> Self {
+        StridePrefetcherConfig::aggressive()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    pc: u64,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    last_use: u64,
+    valid: bool,
+}
+
+/// A per-PC stride-detecting prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use rar_mem::{StridePrefetcher, StridePrefetcherConfig};
+/// let mut p = StridePrefetcher::new(StridePrefetcherConfig::aggressive());
+/// assert!(p.observe(0x400, 0x1000).is_empty());
+/// assert!(p.observe(0x400, 0x1040).is_empty());
+/// let lines = p.observe(0x400, 0x1080); // trained: stride +0x40
+/// assert_eq!(lines[0], 0x10c0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    config: StridePrefetcherConfig,
+    table: Vec<Stream>,
+    tick: u64,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// Creates an untrained prefetcher.
+    #[must_use]
+    pub fn new(config: StridePrefetcherConfig) -> Self {
+        let table = vec![
+            Stream { pc: 0, last_addr: 0, stride: 0, confidence: 0, last_use: 0, valid: false };
+            config.streams
+        ];
+        StridePrefetcher { config, table, tick: 0, issued: 0 }
+    }
+
+    /// Observes a demand access by `pc` to `addr`; returns the line
+    /// addresses to prefetch (empty until the stream is trained).
+    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let threshold = self.config.train_threshold;
+        let degree = self.config.degree;
+
+        let slot = match self.table.iter().position(|s| s.valid && s.pc == pc) {
+            Some(i) => i,
+            None => {
+                // Allocate: LRU over (valid, last_use).
+                let i = self
+                    .table
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| (s.valid, s.last_use))
+                    .map(|(i, _)| i)
+                    .expect("stream table is nonempty");
+                self.table[i] =
+                    Stream { pc, last_addr: addr, stride: 0, confidence: 0, last_use: tick, valid: true };
+                return Vec::new();
+            }
+        };
+
+        let s = &mut self.table[slot];
+        s.last_use = tick;
+        let stride = addr as i64 - s.last_addr as i64;
+        s.last_addr = addr;
+        if stride == 0 {
+            return Vec::new();
+        }
+        if stride == s.stride {
+            s.confidence = s.confidence.saturating_add(1);
+        } else {
+            s.stride = stride;
+            s.confidence = 1;
+        }
+        if s.confidence < threshold {
+            return Vec::new();
+        }
+
+        let stride = s.stride;
+        let mut lines = Vec::with_capacity(degree);
+        let mut prev = u64::MAX;
+        for d in 1..=degree {
+            let target = addr as i64 + stride * d as i64;
+            if target < 0 {
+                break;
+            }
+            let line = cache_line(target as u64);
+            if line != prev && line != cache_line(addr) {
+                lines.push(line);
+                prev = line;
+            }
+        }
+        self.issued += lines.len() as u64;
+        lines
+    }
+
+    /// Total prefetch lines issued.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The prefetcher configuration.
+    #[must_use]
+    pub fn config(&self) -> &StridePrefetcherConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StridePrefetcher {
+        StridePrefetcher::new(StridePrefetcherConfig::aggressive())
+    }
+
+    #[test]
+    fn trains_after_threshold_confirmations() {
+        let mut p = pf();
+        assert!(p.observe(1, 0x1000).is_empty());
+        assert!(p.observe(1, 0x1040).is_empty(), "first stride observation");
+        let lines = p.observe(1, 0x1080);
+        assert_eq!(lines, vec![0x10c0, 0x1100, 0x1140, 0x1180]);
+    }
+
+    #[test]
+    fn stride_change_resets_confidence() {
+        let mut p = pf();
+        p.observe(1, 0x1000);
+        p.observe(1, 0x1040);
+        p.observe(1, 0x1080); // trained at +0x40
+        assert!(p.observe(1, 0x5000).is_empty(), "new stride, retrain");
+        assert!(p.observe(1, 0x9000).is_empty(), "stride 0x4000 confirmed once");
+        assert!(!p.observe(1, 0xd000).is_empty(), "trained at +0x4000");
+    }
+
+    #[test]
+    fn negative_strides_supported() {
+        let mut p = pf();
+        p.observe(1, 0x9000);
+        p.observe(1, 0x8fc0);
+        let lines = p.observe(1, 0x8f80);
+        assert_eq!(lines[0], 0x8f40);
+    }
+
+    #[test]
+    fn sub_line_strides_dedupe_lines() {
+        let mut p = pf();
+        p.observe(1, 0x1000);
+        p.observe(1, 0x1020);
+        // Stride 0x20, degree 4: targets 0x1060/0x1080/0x10a0/0x10c0 span
+        // only lines 0x1080 and 0x10c0 after dropping the demand line.
+        let lines = p.observe(1, 0x1040);
+        assert_eq!(lines, vec![0x1080, 0x10c0]);
+        assert!(!lines.contains(&0x1040), "never prefetch the demand line");
+    }
+
+    #[test]
+    fn streams_capacity_lru() {
+        let mut p = StridePrefetcher::new(StridePrefetcherConfig {
+            streams: 2,
+            degree: 1,
+            train_threshold: 2,
+        });
+        p.observe(1, 0x1000);
+        p.observe(2, 0x2000);
+        p.observe(3, 0x3000); // evicts pc=1
+        p.observe(1, 0x1040); // reallocated, cold
+        p.observe(1, 0x1080);
+        assert!(p.observe(1, 0x10c0).len() == 1, "retrains after eviction");
+    }
+
+    #[test]
+    fn zero_stride_never_prefetches() {
+        let mut p = pf();
+        for _ in 0..10 {
+            assert!(p.observe(7, 0x4242).is_empty());
+        }
+    }
+}

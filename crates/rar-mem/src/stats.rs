@@ -1,0 +1,78 @@
+//! Memory-system statistics.
+
+use crate::hierarchy::HitLevel;
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Demand data accesses (loads + stores) that hit in the L1-D.
+    pub l1d_hits: u64,
+    /// Demand data accesses served by the L2.
+    pub l2_hits: u64,
+    /// Demand data accesses served by the L3.
+    pub l3_hits: u64,
+    /// Demand data accesses served by main memory (LLC misses).
+    pub llc_misses: u64,
+    /// Instruction fetches that hit in the L1-I.
+    pub l1i_hits: u64,
+    /// Instruction fetches that missed the L1-I.
+    pub l1i_misses: u64,
+    /// Demand accesses merged into an in-flight fetch.
+    pub mshr_merges: u64,
+    /// Demand misses rejected because every MSHR was busy.
+    pub mshr_stalls: u64,
+    /// Prefetch lines issued to the memory system.
+    pub prefetches_issued: u64,
+    /// Runahead-speculative loads issued.
+    pub runahead_loads: u64,
+}
+
+impl MemStats {
+    /// Records a demand data access that resolved at `level`.
+    pub fn record_data(&mut self, level: HitLevel) {
+        match level {
+            HitLevel::L1 => self.l1d_hits += 1,
+            HitLevel::L2 => self.l2_hits += 1,
+            HitLevel::L3 => self.l3_hits += 1,
+            HitLevel::Memory => self.llc_misses += 1,
+        }
+    }
+
+    /// Total demand data accesses observed.
+    #[must_use]
+    pub fn data_accesses(&self) -> u64 {
+        self.l1d_hits + self.l2_hits + self.l3_hits + self.llc_misses
+    }
+
+    /// LLC misses per 1000 of the given instruction count.
+    #[must_use]
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.llc_misses as f64 * 1000.0 / instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_levels() {
+        let mut s = MemStats::default();
+        s.record_data(HitLevel::L1);
+        s.record_data(HitLevel::Memory);
+        s.record_data(HitLevel::Memory);
+        assert_eq!(s.l1d_hits, 1);
+        assert_eq!(s.llc_misses, 2);
+        assert_eq!(s.data_accesses(), 3);
+    }
+
+    #[test]
+    fn mpki_definition() {
+        let s = MemStats { llc_misses: 8, ..MemStats::default() };
+        assert!((s.mpki(1000) - 8.0).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests for the memory hierarchy: cache residency, MSHR bounds,
+//! DRAM timing sanity.
+
+use proptest::prelude::*;
+use rar_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy, MshrFile};
+
+proptest! {
+    /// A line just inserted is always resident; repeated accesses hit.
+    #[test]
+    fn inserted_lines_are_resident(addrs in prop::collection::vec(0u64..1u64 << 30, 1..128)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 16 * 1024, assoc: 4, line_bytes: 64, latency: 1 });
+        for (i, &a) in addrs.iter().enumerate() {
+            c.insert(a, i as u64);
+            prop_assert!(c.probe(a), "just-inserted line must be resident");
+            prop_assert!(c.access(a), "and must hit on access");
+        }
+    }
+
+    /// Hits + misses always equals the number of demand accesses.
+    #[test]
+    fn cache_stat_conservation(ops in prop::collection::vec((0u64..1u64 << 20, any::<bool>()), 1..256)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4 * 1024, assoc: 2, line_bytes: 64, latency: 1 });
+        let mut demand = 0;
+        for (i, &(a, insert)) in ops.iter().enumerate() {
+            if insert {
+                c.insert(a, i as u64);
+            } else {
+                let _ = c.access(a);
+                demand += 1;
+            }
+        }
+        prop_assert_eq!(c.hits() + c.misses(), demand);
+    }
+
+    /// The MSHR file never tracks more than its capacity.
+    #[test]
+    fn mshr_never_exceeds_capacity(
+        cap in 1usize..24,
+        reqs in prop::collection::vec((0u64..64, 1u64..300), 1..128),
+    ) {
+        let mut m = MshrFile::new(cap);
+        let mut now = 0;
+        for &(line, lat) in &reqs {
+            now += 1;
+            if m.lookup(line * 64, now).is_none() {
+                let _ = m.allocate(line * 64, now + lat, now);
+            }
+            prop_assert!(m.outstanding(now) <= cap);
+        }
+        prop_assert!(m.peak() <= cap);
+    }
+
+    /// DRAM completions are strictly after the request and monotone for
+    /// serialized same-bank requests.
+    #[test]
+    fn dram_completions_causal(addrs in prop::collection::vec(0u64..1u64 << 28, 1..64)) {
+        let mut d = Dram::new(DramConfig::ddr3_1600());
+        let mut now = 0;
+        for &a in &addrs {
+            let done = d.access(a & !63, now);
+            prop_assert!(done > now, "completion after request");
+            now = done;
+        }
+        let stats = d.stats();
+        prop_assert_eq!(stats.row_hits + stats.row_misses, addrs.len() as u64);
+    }
+
+    /// End-to-end hierarchy: completion times are causal and levels are
+    /// consistent with residency; a second access never takes longer than
+    /// a first (same cycle base, data now closer).
+    #[test]
+    fn hierarchy_levels_improve_on_reuse(addrs in prop::collection::vec(0u64..1u64 << 26, 1..48)) {
+        let mut m = MemoryHierarchy::new(MemConfig::baseline());
+        let mut now = 0;
+        for &a in &addrs {
+            let first = m.access(AccessKind::Load, a, 0x400, now).unwrap();
+            prop_assert!(first.complete_at > now);
+            let again = m.access(AccessKind::Load, a, 0x400, first.complete_at).unwrap();
+            prop_assert!(again.level <= first.level, "reuse can only move up the hierarchy");
+            now = first.complete_at + 1;
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all>
+//!                 [--instructions N] [--warmup N] [--seed N]
+//!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
+//! ```
+//!
+//! Each subcommand prints the paper-shaped table to stdout; `--csv DIR`
+//! additionally writes `<name>.csv` files into `DIR`.
+
+use rar_sim::experiment::{self, ExperimentOptions, Suite};
+use rar_sim::Table;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all> \
+         [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let mut opts = ExperimentOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut seeds: u64 = 3;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--instructions" => match value.parse() {
+                Ok(n) => opts.instructions = n,
+                Err(_) => return usage(),
+            },
+            "--warmup" => match value.parse() {
+                Ok(n) => opts.warmup = n,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => opts.seed = n,
+                Err(_) => return usage(),
+            },
+            "--suite" => {
+                opts.suite = match value.as_str() {
+                    "memory" => Suite::Memory,
+                    "compute" => Suite::Compute,
+                    "all" => Suite::All,
+                    _ => return usage(),
+                }
+            }
+            "--csv" => csv_dir = Some(value.clone()),
+            "--seeds" => match value.parse() {
+                Ok(n) => seeds = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let emit = |name: &str, table: &Table| {
+        println!("{}", table.render());
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{name}.csv");
+            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, table.to_csv()))
+            {
+                eprintln!("failed to write {path}: {e}");
+            }
+        }
+    };
+
+    let run = |cmd: &str, opts: &ExperimentOptions| match cmd {
+        "fig1" => emit("fig1", &experiment::fig1(opts)),
+        "fig3" => emit("fig3", &experiment::fig3(opts)),
+        "fig4" => emit("fig4", &experiment::fig4(opts)),
+        "fig5" => emit("fig5", &experiment::fig5(opts)),
+        "fig7" | "fig8" => {
+            let [mttf, abc, ipc, mlp] = experiment::fig7_fig8(opts);
+            if cmd == "fig7" {
+                emit("fig7a_mttf", &mttf);
+                emit("fig7b_abc", &abc);
+            } else {
+                emit("fig8a_ipc", &ipc);
+                emit("fig8b_mlp", &mlp);
+            }
+        }
+        "fig9" => emit("fig9", &experiment::fig9(opts)),
+        "fig10" => emit("fig10", &experiment::fig10(opts)),
+        "fig11" => emit("fig11", &experiment::fig11(opts)),
+        "table4" => emit("table4", &experiment::table4()),
+        "protection" => emit("protection", &rar_sim::protection::protection_comparison(opts)),
+        "seeds" => emit("seeds", &experiment::seed_sweep(opts, seeds)),
+        "energy" => emit("energy", &experiment::energy(opts)),
+        "extensions" => emit("extensions", &experiment::extensions(opts)),
+        "structures" => emit("structures", &experiment::structures(opts)),
+        "mpki" => emit("mpki", &experiment::mpki_check(opts)),
+        _ => unreachable!("validated below"),
+    };
+
+    let known = ["fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "mpki", "protection", "seeds", "energy", "extensions", "structures"];
+    match cmd.as_str() {
+        "all" => {
+            run("table4", &opts);
+            run("mpki", &opts);
+            run("fig3", &opts);
+            run("fig4", &opts);
+            run("fig5", &opts);
+            run("fig1", &opts);
+            // Figures 7/8 over both suites, as in the paper.
+            let mut both = opts.clone();
+            both.suite = Suite::All;
+            let [mttf, abc, ipc, mlp] = experiment::fig7_fig8(&both);
+            emit("fig7a_mttf", &mttf);
+            emit("fig7b_abc", &abc);
+            emit("fig8a_ipc", &ipc);
+            emit("fig8b_mlp", &mlp);
+            run("fig9", &opts);
+            run("fig10", &opts);
+            run("fig11", &opts);
+            run("protection", &opts);
+        }
+        c if known.contains(&c) => run(c, &opts),
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,132 @@
+//! Per-run simulation configuration.
+
+use rar_core::{CoreConfig, Technique};
+use rar_mem::MemConfig;
+
+/// Everything needed to reproduce one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Benchmark model name (see `rar-workloads`).
+    pub workload: String,
+    /// Microarchitecture technique under test.
+    pub technique: Technique,
+    /// Core parameters.
+    pub core: CoreConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Warm-up instructions (caches/predictors/SST train; not measured).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub instructions: u64,
+    /// Workload generator seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Starts a builder with paper-baseline core/memory and sensible
+    /// defaults (mcf, OoO, 50k+5k instructions, seed 1).
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                workload: "mcf".to_owned(),
+                technique: Technique::Ooo,
+                core: CoreConfig::baseline(),
+                mem: MemConfig::baseline(),
+                warmup: 5_000,
+                instructions: 50_000,
+                seed: 1,
+            },
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Selects the benchmark model by name.
+    pub fn workload(&mut self, name: &str) -> &mut Self {
+        self.cfg.workload = name.to_owned();
+        self
+    }
+
+    /// Selects the technique under test.
+    pub fn technique(&mut self, technique: Technique) -> &mut Self {
+        self.cfg.technique = technique;
+        self
+    }
+
+    /// Overrides the core configuration.
+    pub fn core(&mut self, core: CoreConfig) -> &mut Self {
+        self.cfg.core = core;
+        self
+    }
+
+    /// Overrides the memory configuration.
+    pub fn mem(&mut self, mem: MemConfig) -> &mut Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Sets the measured instruction budget.
+    pub fn instructions(&mut self, n: u64) -> &mut Self {
+        self.cfg.instructions = n;
+        self
+    }
+
+    /// Sets the warm-up instruction budget.
+    pub fn warmup(&mut self, n: u64) -> &mut Self {
+        self.cfg.warmup = n;
+        self
+    }
+
+    /// Sets the workload seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    #[must_use]
+    pub fn build(&self) -> SimConfig {
+        self.cfg.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = SimConfig::builder()
+            .workload("lbm")
+            .technique(Technique::Pre)
+            .instructions(1_234)
+            .warmup(99)
+            .seed(7)
+            .build();
+        assert_eq!(cfg.workload, "lbm");
+        assert_eq!(cfg.technique, Technique::Pre);
+        assert_eq!(cfg.instructions, 1_234);
+        assert_eq!(cfg.warmup, 99);
+        assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn defaults_are_paper_baseline() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.core, CoreConfig::baseline());
+        assert_eq!(cfg.mem, MemConfig::baseline());
+    }
+}

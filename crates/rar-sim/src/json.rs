@@ -1,0 +1,119 @@
+//! Minimal JSON export of simulation results.
+//!
+//! The workspace deliberately avoids a JSON dependency; [`SimResult`]
+//! contains only numbers, short identifiers, and fixed-shape arrays, so a
+//! small hand-rolled writer suffices. Output is stable-keyed and suitable
+//! for downstream analysis scripts (`jq`, pandas, ...).
+
+use crate::run::SimResult;
+use rar_ace::Structure;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    // Identifiers here never contain quotes/backslashes, but escape anyway.
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes a [`SimResult`] to a pretty-printed JSON object.
+///
+/// # Examples
+///
+/// ```
+/// use rar_sim::{SimConfig, Simulation};
+/// let r = Simulation::run(
+///     &SimConfig::builder().workload("leela").instructions(1_000).warmup(200).build(),
+/// );
+/// let json = rar_sim::json::to_json(&r);
+/// assert!(json.contains("\"workload\": \"leela\""));
+/// assert!(json.trim_start().starts_with('{'));
+/// ```
+#[must_use]
+pub fn to_json(r: &SimResult) -> String {
+    let s = &r.stats;
+    let m = &r.mem;
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", esc(&r.workload));
+    let _ = writeln!(out, "  \"technique\": \"{}\",", r.technique);
+    let _ = writeln!(out, "  \"performance\": {{");
+    let _ = writeln!(out, "    \"cycles\": {},", s.cycles);
+    let _ = writeln!(out, "    \"committed\": {},", s.committed);
+    let _ = writeln!(out, "    \"ipc\": {:.6},", r.ipc());
+    let _ = writeln!(out, "    \"mlp\": {:.6},", r.mlp());
+    let _ = writeln!(out, "    \"mpki\": {:.6}", r.mpki());
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"reliability\": {{");
+    let _ = writeln!(out, "    \"avf\": {:.8},", r.reliability.avf());
+    let _ = writeln!(out, "    \"total_abc\": {},", r.reliability.total_abc());
+    let _ = writeln!(out, "    \"capacity_bits\": {},", r.reliability.capacity_bits());
+    let _ = writeln!(out, "    \"abc_by_structure\": {{");
+    for (i, st) in Structure::ALL.iter().enumerate() {
+        let comma = if i + 1 < Structure::ALL.len() { "," } else { "" };
+        let _ = writeln!(out, "      \"{}\": {}{}", st, r.abc_by_structure[i], comma);
+    }
+    let _ = writeln!(out, "    }},");
+    let _ = writeln!(out, "    \"abc_in_full_rob_stall\": {},", r.window_abc[0]);
+    let _ = writeln!(out, "    \"abc_in_head_blocked\": {}", r.window_abc[1]);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"memory\": {{");
+    let _ = writeln!(out, "    \"l1d_hits\": {},", m.l1d_hits);
+    let _ = writeln!(out, "    \"l2_hits\": {},", m.l2_hits);
+    let _ = writeln!(out, "    \"l3_hits\": {},", m.l3_hits);
+    let _ = writeln!(out, "    \"llc_misses\": {},", m.llc_misses);
+    let _ = writeln!(out, "    \"mshr_stalls\": {},", m.mshr_stalls);
+    let _ = writeln!(out, "    \"prefetches_issued\": {}", m.prefetches_issued);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"branches\": {{");
+    let _ = writeln!(out, "    \"predictions\": {},", r.predictor.predictions);
+    let _ = writeln!(out, "    \"mispredictions\": {},", r.predictor.mispredictions);
+    let _ = writeln!(out, "    \"btb_misses\": {}", r.predictor.btb_misses);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"runahead\": {{");
+    let _ = writeln!(out, "    \"intervals\": {},", s.runahead_intervals);
+    let _ = writeln!(out, "    \"cycles\": {},", s.runahead_cycles);
+    let _ = writeln!(out, "    \"uops\": {},", s.runahead_uops);
+    let _ = writeln!(out, "    \"prefetches\": {},", s.runahead_prefetches);
+    let _ = writeln!(out, "    \"inv_loads\": {},", s.runahead_inv_loads);
+    let _ = writeln!(out, "    \"flushes\": {},", s.flushes);
+    let _ = writeln!(out, "    \"squashed\": {}", s.squashed);
+    let _ = writeln!(out, "  }}");
+    let _ = write!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::run::Simulation;
+
+    fn sample() -> SimResult {
+        Simulation::run(
+            &SimConfig::builder().workload("milc").instructions(1_500).warmup(300).build(),
+        )
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = to_json(&sample());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing commas before closers.
+        assert!(!json.contains(",\n  }"));
+        assert!(!json.contains(",\n}"));
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let json = to_json(&sample());
+        for key in ["performance", "reliability", "memory", "branches", "runahead", "ROB", "avf"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(esc("a\"b"), "a\\\"b");
+        assert_eq!(esc("a\\b"), "a\\\\b");
+    }
+}

@@ -1,0 +1,215 @@
+//! Aggregation and table formatting.
+//!
+//! The paper aggregates following John's methodology (Section V):
+//! arithmetic mean for ABC and MLP, harmonic mean for IPC, geometric mean
+//! for MTTF. The [`Table`] type renders aligned text tables and CSV.
+
+use std::fmt::Write as _;
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Harmonic mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any element is zero or negative (harmonic mean is undefined).
+#[must_use]
+pub fn hmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "harmonic mean requires positive values");
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Geometric mean; 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any element is zero or negative.
+#[must_use]
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean requires positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A simple column-aligned table with CSV export.
+///
+/// # Examples
+///
+/// ```
+/// use rar_sim::Table;
+/// let mut t = Table::new(vec!["bench".into(), "ipc".into()]);
+/// t.row(vec!["mcf".into(), "0.42".into()]);
+/// let text = t.render();
+/// assert!(text.contains("mcf"));
+/// assert!(t.to_csv().starts_with("bench,ipc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: String,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<String>) -> Self {
+        Table { header, rows: Vec::new(), title: String::new() }
+    }
+
+    /// Sets a title line printed above the table.
+    pub fn titled(&mut self, title: &str) -> &mut Self {
+        self.title = title.to_owned();
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&self.header, &widths, &mut out);
+        let total = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (no quoting — cells are numeric or simple
+    /// identifiers).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio like the paper's figures: two decimals.
+#[must_use]
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio with three decimals (for small ABC fractions).
+#[must_use]
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_on_known_values() {
+        let xs = [1.0, 2.0, 4.0];
+        assert!((amean(&xs) - 7.0 / 3.0).abs() < 1e-12);
+        assert!((gmean(&xs) - 2.0).abs() < 1e-12);
+        assert!((hmean(&xs) - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_empty() {
+        assert_eq!(amean(&[]), 0.0);
+        assert_eq!(hmean(&[]), 0.0);
+        assert_eq!(gmean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_zero() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn hmean_leq_gmean_leq_amean() {
+        let xs = [0.5, 1.3, 2.7, 8.1];
+        assert!(hmean(&xs) <= gmean(&xs) + 1e-12);
+        assert!(gmean(&xs) <= amean(&xs) + 1e-12);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "long-header".into()]);
+        t.titled("demo");
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["yyyy".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn csv_export() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,193 @@
+//! Running one simulation and collecting its results.
+
+use crate::config::SimConfig;
+use rar_ace::{ReliabilityReport, StallKind, Structure};
+use rar_core::{Core, CoreStats, Technique};
+use rar_frontend::PredictorStats;
+use rar_isa::TraceWindow;
+use rar_mem::MemStats;
+use rar_workloads::workload;
+
+/// Executes simulations described by [`SimConfig`].
+#[derive(Debug, Clone, Copy)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Runs one configuration to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
+    #[must_use]
+    pub fn run(cfg: &SimConfig) -> SimResult {
+        let spec = workload(&cfg.workload)
+            .unwrap_or_else(|| panic!("unknown workload '{}'", cfg.workload));
+        let trace = TraceWindow::new(spec.trace(cfg.seed));
+        let mut core = Core::new(cfg.core.clone(), cfg.mem.clone(), cfg.technique, trace);
+        if cfg.warmup > 0 {
+            core.run_until_committed(cfg.warmup);
+            core.reset_measurement();
+        }
+        core.run_until_committed(cfg.instructions);
+
+        let stats = *core.stats();
+        let reliability = core.reliability_report();
+        let abc_by_structure = core.ace().abc_by_structure();
+        let window_abc = [
+            core.ace().abc_in_window(StallKind::FullRobStall),
+            core.ace().abc_in_window(StallKind::RobHeadBlocked),
+        ];
+        SimResult {
+            workload: cfg.workload.clone(),
+            technique: cfg.technique,
+            stats,
+            reliability,
+            mem: *core.mem_stats(),
+            predictor: core.predictor_stats(),
+            abc_by_structure,
+            window_abc,
+        }
+    }
+}
+
+/// All measurements from one run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Benchmark name.
+    pub workload: String,
+    /// Technique simulated.
+    pub technique: Technique,
+    /// Core performance counters.
+    pub stats: CoreStats,
+    /// Reliability summary (ABC/AVF; compare via
+    /// [`ReliabilityReport::mttf_vs`]).
+    pub reliability: ReliabilityReport,
+    /// Memory-system counters.
+    pub mem: MemStats,
+    /// Branch-predictor counters.
+    pub predictor: PredictorStats,
+    /// ABC per structure, in [`Structure::ALL`] order.
+    pub abc_by_structure: [u128; Structure::COUNT],
+    /// ABC attributed to [full-ROB-stall, ROB-head-blocked] windows.
+    pub window_abc: [u128; 2],
+}
+
+impl SimResult {
+    /// Useful instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Average memory-level parallelism.
+    #[must_use]
+    pub fn mlp(&self) -> f64 {
+        self.stats.mlp()
+    }
+
+    /// LLC misses per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        self.mem.mpki(self.stats.committed)
+    }
+
+    /// Normalized IPC relative to `baseline` (higher is better).
+    #[must_use]
+    pub fn ipc_vs(&self, baseline: &SimResult) -> f64 {
+        if baseline.ipc() == 0.0 {
+            return f64::NAN;
+        }
+        self.ipc() / baseline.ipc()
+    }
+
+    /// Normalized MTTF relative to `baseline` (higher is better).
+    #[must_use]
+    pub fn mttf_vs(&self, baseline: &SimResult) -> f64 {
+        self.reliability.mttf_vs(&baseline.reliability)
+    }
+
+    /// Normalized ABC relative to `baseline` (lower is better).
+    #[must_use]
+    pub fn abc_vs(&self, baseline: &SimResult) -> f64 {
+        self.reliability.abc_vs(&baseline.reliability)
+    }
+
+    /// Normalized MLP relative to `baseline`. When the baseline exposed no
+    /// memory-level parallelism at all (a fully cache-resident workload),
+    /// the ratio is reported as 1.0.
+    #[must_use]
+    pub fn mlp_vs(&self, baseline: &SimResult) -> f64 {
+        if baseline.mlp() == 0.0 {
+            return 1.0;
+        }
+        self.mlp() / baseline.mlp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn quick(workload: &str, technique: Technique) -> SimResult {
+        Simulation::run(
+            &SimConfig::builder()
+                .workload(workload)
+                .technique(technique)
+                .warmup(1_000)
+                .instructions(6_000)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn baseline_run_produces_sane_results() {
+        let r = quick("libquantum", Technique::Ooo);
+        assert!(r.ipc() > 0.0 && r.ipc() < 4.0);
+        assert!(r.reliability.total_abc() > 0);
+        assert!(r.mpki() > 0.0, "libquantum must miss the LLC");
+    }
+
+    #[test]
+    fn memory_intensive_workload_exceeds_mpki_threshold() {
+        let r = quick("mcf", Technique::Ooo);
+        assert!(r.mpki() > 8.0, "mcf MPKI = {}", r.mpki());
+    }
+
+    #[test]
+    fn compute_intensive_workload_below_threshold() {
+        // Needs enough warm-up to fill the hot/store regions: the model's
+        // misses are purely compulsory for compute-intensive workloads.
+        let r = Simulation::run(
+            &SimConfig::builder()
+                .workload("leela")
+                .technique(Technique::Ooo)
+                .warmup(25_000)
+                .instructions(6_000)
+                .build(),
+        );
+        assert!(r.mpki() < 8.0, "leela MPKI = {}", r.mpki());
+    }
+
+    #[test]
+    fn rar_beats_baseline_reliability() {
+        let base = quick("libquantum", Technique::Ooo);
+        let rar = quick("libquantum", Technique::Rar);
+        assert!(rar.mttf_vs(&base) > 1.0, "MTTF ratio {}", rar.mttf_vs(&base));
+        assert!(rar.abc_vs(&base) < 1.0, "ABC ratio {}", rar.abc_vs(&base));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick("milc", Technique::Rar);
+        let b = quick("milc", Technique::Rar);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.reliability.total_abc(), b.reliability.total_abc());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = Simulation::run(&SimConfig::builder().workload("nope").build());
+    }
+}

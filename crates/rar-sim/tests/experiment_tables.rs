@@ -1,0 +1,98 @@
+//! Shape tests for the experiment runners: every table has the rows and
+//! columns its figure needs, at a tiny instruction budget. These guard
+//! the harness against silently dropping benchmarks, techniques, or
+//! aggregate rows.
+
+use rar_sim::experiment::{self, ExperimentOptions, Suite};
+
+fn tiny() -> ExperimentOptions {
+    ExperimentOptions { instructions: 800, warmup: 150, seed: 1, suite: Suite::Memory }
+}
+
+#[test]
+fn fig1_has_all_four_techniques() {
+    let t = experiment::fig1(&tiny());
+    let csv = t.to_csv();
+    assert_eq!(t.len(), 4);
+    for name in ["FLUSH", "TR", "PRE", "RAR"] {
+        assert!(csv.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn fig3_covers_every_memory_benchmark_plus_compute_avg() {
+    let t = experiment::fig3(&tiny());
+    assert_eq!(t.len(), 1 + Suite::Memory.benchmarks().len());
+    let csv = t.to_csv();
+    assert!(csv.starts_with("benchmark,ROB,IQ,LQ,SQ,RF(int),RF(fp),FU,total"));
+    assert!(csv.contains("compute-avg"));
+    assert!(csv.contains("mcf"));
+}
+
+#[test]
+fn fig4_and_fig10_cover_the_scaling_sweep() {
+    let f4 = experiment::fig4(&tiny());
+    assert_eq!(f4.len(), 4, "the four Table I cores");
+    let f10 = experiment::fig10(&tiny());
+    assert_eq!(f10.len(), 5, "Table I plus the Core-5 extension");
+    assert!(f10.to_csv().contains("Core-5*"));
+}
+
+#[test]
+fn fig5_reports_shares_with_mean() {
+    let t = experiment::fig5(&tiny());
+    assert_eq!(t.len(), Suite::Memory.benchmarks().len() + 1);
+    assert!(t.to_csv().lines().last().unwrap().starts_with("amean"));
+}
+
+#[test]
+fn fig7_fig8_report_per_suite_means() {
+    let opts = ExperimentOptions { suite: Suite::All, ..tiny() };
+    let [mttf, abc, ipc, mlp] = experiment::fig7_fig8(&opts);
+    for t in [&mttf, &abc, &ipc, &mlp] {
+        let csv = t.to_csv();
+        assert!(csv.contains("mem-mean"));
+        assert!(csv.contains("cpu-mean"));
+        assert!(csv.lines().last().unwrap().starts_with("mean"));
+        assert_eq!(t.len(), Suite::All.benchmarks().len() + 3);
+    }
+}
+
+#[test]
+fn fig9_covers_the_design_space() {
+    let t = experiment::fig9(&tiny());
+    assert_eq!(t.len(), 7, "FLUSH plus the six Table IV variants");
+}
+
+#[test]
+fn fig11_covers_every_prefetch_placement() {
+    let t = experiment::fig11(&tiny());
+    // 3 placements x 3 techniques, minus the baseline cell itself.
+    assert_eq!(t.len(), 8);
+    let csv = t.to_csv();
+    for cfg in ["PRE none", "RAR none", "OoO +L3", "RAR +ALL"] {
+        assert!(csv.contains(cfg), "missing {cfg}");
+    }
+}
+
+#[test]
+fn extension_tables_have_expected_rows() {
+    let ext = experiment::extensions(&tiny());
+    assert_eq!(ext.len(), 7, "FLUSH, PRE, RAR + the four extension variants");
+    assert!(ext.to_csv().contains("VR"));
+
+    let en = experiment::energy(&tiny());
+    assert_eq!(en.len(), 4);
+
+    let st = experiment::structures(&tiny());
+    assert_eq!(st.len(), rar_ace::Structure::COUNT);
+
+    let seeds = experiment::seed_sweep(&tiny(), 2);
+    assert_eq!(seeds.len(), 3);
+}
+
+#[test]
+fn classification_covers_both_suites() {
+    let t = experiment::mpki_check(&tiny());
+    assert_eq!(t.len(), Suite::All.benchmarks().len());
+}

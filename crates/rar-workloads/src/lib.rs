@@ -1,0 +1,46 @@
+//! Synthetic SPEC-like workload generators.
+//!
+//! The paper evaluates on 500M-instruction SimPoints of the SPEC CPU2006
+//! and CPU2017 suites, which we cannot redistribute. This crate substitutes
+//! *parameterized synthetic workload models*, one per paper benchmark, that
+//! reproduce the workload properties the paper's mechanisms actually
+//! interact with:
+//!
+//! - **LLC miss intensity** (MPKI > 8 defines "memory-intensive"),
+//! - **access pattern** — streaming (libquantum, fotonik: independent
+//!   misses → high MLP, deep runahead prefetch coverage) versus pointer
+//!   chasing (mcf, omnetpp: dependent misses → runahead cannot compute the
+//!   next address, little prefetching),
+//! - **branch behaviour** — mcf/gcc-style hard-to-predict branches in the
+//!   shadow of misses, which keep the ROB from filling ("ROB head blocked"
+//!   ≠ "full-ROB stall", Section II-C),
+//! - **issue-queue pressure** — lbm-style long floating-point dependence
+//!   chains that fill the IQ before the ROB,
+//! - **instruction mix** — int/fp/mul-div/load/store/branch fractions.
+//!
+//! Each model builds a static *program* (segments of loops with fixed PCs,
+//! so branch predictors, the I-cache, and PRE's stalling-slice table see a
+//! realistic static code surface) and walks it dynamically with
+//! deterministic, seed-reproducible state.
+//!
+//! # Examples
+//!
+//! ```
+//! use rar_workloads::{workload, memory_intensive};
+//!
+//! let spec = workload("mcf").expect("mcf is a known benchmark");
+//! let mut trace = spec.trace(42);
+//! let first = trace.next().unwrap();
+//! assert!(first.pc() >= 0x1000);
+//! assert!(memory_intensive().contains(&"mcf"));
+//! ```
+
+pub mod gen;
+pub mod mix;
+pub mod model;
+pub mod spec;
+
+pub use gen::TraceGenerator;
+pub use mix::{all_benchmarks, compute_intensive, extra_benchmarks, memory_intensive};
+pub use model::{AccessPattern, WorkloadClass, WorkloadParams};
+pub use spec::{workload, WorkloadSpec};

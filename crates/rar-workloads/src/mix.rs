@@ -1,0 +1,77 @@
+//! Benchmark suite definitions.
+//!
+//! The paper's evaluation splits SPEC CPU2006/2017 into memory-intensive
+//! (MPKI > 8 on the baseline core) and compute-intensive sets. These lists
+//! mirror the benchmarks named in the paper's figures.
+
+/// The memory-intensive set (Figures 3, 5, 7, 8; sorted alphabetically as
+/// in the paper's plots).
+#[must_use]
+pub fn memory_intensive() -> &'static [&'static str] {
+    &[
+        "astar",
+        "bwaves",
+        "fotonik",
+        "gcc",
+        "gems",
+        "lbm",
+        "leslie3d",
+        "libquantum",
+        "mcf",
+        "milc",
+        "omnetpp",
+        "roms",
+        "soplex",
+        "sphinx3",
+        "zeusmp",
+    ]
+}
+
+/// The compute-intensive set (MPKI < 8; reported as suite averages).
+#[must_use]
+pub fn compute_intensive() -> &'static [&'static str] {
+    &["deepsjeng", "exchange2", "imagick", "leela", "nab", "perlbench", "povray", "x264"]
+}
+
+/// Extra benchmark models available beyond the paper's evaluation suites
+/// (resolvable via [`crate::workload`], excluded from the figure runners
+/// so the paper's averages stay comparable).
+#[must_use]
+pub fn extra_benchmarks() -> &'static [&'static str] {
+    &["cactus", "wrf", "xalancbmk", "xz"]
+}
+
+/// Every benchmark, memory-intensive first.
+#[must_use]
+pub fn all_benchmarks() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = memory_intensive().to_vec();
+    v.extend_from_slice(compute_intensive());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_are_disjoint() {
+        for m in memory_intensive() {
+            assert!(!compute_intensive().contains(m), "{m} in both suites");
+        }
+    }
+
+    #[test]
+    fn memory_set_is_sorted_like_the_paper() {
+        let mut sorted = memory_intensive().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted.as_slice(), memory_intensive());
+    }
+
+    #[test]
+    fn all_has_everything() {
+        assert_eq!(
+            all_benchmarks().len(),
+            memory_intensive().len() + compute_intensive().len()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Workload model parameters.
+
+use std::fmt;
+
+/// Memory- versus compute-intensive classification (MPKI > 8 threshold in
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// More than 8 LLC misses per kilo-instruction on the baseline core.
+    MemoryIntensive,
+    /// Fewer than 8 LLC misses per kilo-instruction.
+    ComputeIntensive,
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadClass::MemoryIntensive => write!(f, "memory-intensive"),
+            WorkloadClass::ComputeIntensive => write!(f, "compute-intensive"),
+        }
+    }
+}
+
+/// How a workload's miss-producing loads walk memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential element-wise streams (stride in bytes). Misses are
+    /// address-independent: ideal for MLP and runahead prefetching.
+    Streaming {
+        /// Number of concurrent streams.
+        streams: usize,
+        /// Element stride in bytes (one miss every `64/stride` loads).
+        stride: u64,
+    },
+    /// Dependent pointer chases: the next address is the previous load's
+    /// value. Runahead cannot prefetch past an unreturned miss.
+    PointerChase {
+        /// Number of independent chains (bounds attainable MLP).
+        chains: usize,
+    },
+    /// A mixture: `chase_frac` of miss-loads chase pointers, the rest
+    /// stream.
+    Mixed {
+        /// Fraction of miss-loads that are chase steps.
+        chase_frac: f64,
+        /// Independent chains.
+        chains: usize,
+        /// Concurrent streams.
+        streams: usize,
+        /// Stream element stride in bytes.
+        stride: u64,
+    },
+}
+
+/// Complete parameter set describing one synthetic benchmark.
+///
+/// See the [crate documentation](crate) for how each field maps to the
+/// workload properties the paper's mechanisms interact with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Benchmark name (paper Figure 3/7/8 label).
+    pub name: &'static str,
+    /// Memory- or compute-intensive.
+    pub class: WorkloadClass,
+    /// Fraction of dynamic micro-ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of dynamic micro-ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of dynamic micro-ops that are branches.
+    pub branch_frac: f64,
+    /// Fraction of *loads* directed at the miss-producing working set
+    /// (the rest hit a small cache-resident buffer). Calibrates MPKI.
+    pub miss_load_frac: f64,
+    /// Working-set size in bytes for the miss-producing accesses
+    /// (must exceed the 1 MB LLC to produce LLC misses).
+    pub footprint_bytes: u64,
+    /// The access pattern of miss-producing loads.
+    pub pattern: AccessPattern,
+    /// Fraction of *branches* that are data-dependent and hard to predict.
+    pub hard_branch_frac: f64,
+    /// Taken-probability of hard branches (0.5 = maximally unpredictable).
+    pub hard_branch_bias: f64,
+    /// Average inner-loop trip count (loop-closing branches).
+    pub loop_trip: u32,
+    /// Number of loop segments in the static program (code footprint).
+    pub segments: usize,
+    /// Micro-ops per segment body (before the loop branch).
+    pub body_uops: usize,
+    /// Fraction of compute micro-ops that are floating-point.
+    pub fp_frac: f64,
+    /// Fraction of compute micro-ops that are long-latency (mul/div);
+    /// drives issue-queue pressure.
+    pub longlat_frac: f64,
+    /// Number of independent dependence chains among compute micro-ops
+    /// (instruction-level parallelism).
+    pub ilp: usize,
+}
+
+impl WorkloadParams {
+    /// A neutral starting point: moderate ILP, few misses, predictable
+    /// branches. Named constructors in [`crate::spec`] override fields.
+    #[must_use]
+    pub fn base(name: &'static str) -> Self {
+        WorkloadParams {
+            name,
+            class: WorkloadClass::ComputeIntensive,
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.12,
+            miss_load_frac: 0.0,
+            footprint_bytes: 64 * 1024 * 1024,
+            pattern: AccessPattern::Streaming { streams: 4, stride: 8 },
+            hard_branch_frac: 0.10,
+            hard_branch_bias: 0.85,
+            loop_trip: 32,
+            segments: 4,
+            body_uops: 32,
+            fp_frac: 0.0,
+            longlat_frac: 0.05,
+            ilp: 4,
+        }
+    }
+
+    /// Sanity-checks fractions and sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("miss_load_frac", self.miss_load_frac),
+            ("hard_branch_frac", self.hard_branch_frac),
+            ("hard_branch_bias", self.hard_branch_bias),
+            ("fp_frac", self.fp_frac),
+            ("longlat_frac", self.longlat_frac),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} is not in [0, 1]"));
+            }
+        }
+        if self.load_frac + self.store_frac + self.branch_frac >= 1.0 {
+            return Err("load+store+branch fractions leave no room for compute".into());
+        }
+        if self.ilp == 0 || self.segments == 0 || self.body_uops < 4 {
+            return Err("degenerate program shape".into());
+        }
+        if self.loop_trip == 0 {
+            return Err("loop_trip must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_valid() {
+        assert_eq!(WorkloadParams::base("x").validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_fractions() {
+        let mut p = WorkloadParams::base("x");
+        p.load_frac = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::base("x");
+        p.load_frac = 0.6;
+        p.store_frac = 0.3;
+        p.branch_frac = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_shape() {
+        let mut p = WorkloadParams::base("x");
+        p.ilp = 0;
+        assert!(p.validate().is_err());
+        let mut p = WorkloadParams::base("x");
+        p.body_uops = 2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(WorkloadClass::MemoryIntensive.to_string(), "memory-intensive");
+    }
+}

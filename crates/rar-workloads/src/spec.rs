@@ -1,0 +1,596 @@
+//! Named benchmark models.
+//!
+//! One synthetic model per benchmark that appears in the paper's figures,
+//! calibrated on the *published* per-benchmark characteristics (Sections
+//! II and V): miss intensity, dependent- versus independent-miss pattern,
+//! branch behaviour in the shadow of misses, issue-queue pressure, and
+//! instruction mix. The models do not reproduce SPEC semantics — only the
+//! properties that runahead, flushing, and the ACE analysis interact with.
+
+use crate::gen::TraceGenerator;
+use crate::model::{AccessPattern, WorkloadClass, WorkloadParams};
+
+/// A resolved benchmark: parameters plus trace construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    params: WorkloadParams,
+}
+
+impl WorkloadSpec {
+    /// Wraps a validated parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation failure of [`WorkloadParams::validate`].
+    pub fn from_params(params: WorkloadParams) -> Result<Self, String> {
+        params.validate()?;
+        Ok(WorkloadSpec { params })
+    }
+
+    /// The model's parameters.
+    #[must_use]
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.params.name
+    }
+
+    /// Whether the paper classes this benchmark as memory-intensive.
+    #[must_use]
+    pub fn class(&self) -> WorkloadClass {
+        self.params.class
+    }
+
+    /// Builds the deterministic trace generator for `seed`.
+    #[must_use]
+    pub fn trace(&self, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(&self.params, seed)
+    }
+}
+
+/// Looks up a benchmark model by paper name (e.g. `"mcf"`, `"libquantum"`).
+///
+/// Returns `None` for unknown names. See [`crate::mix`] for the suite
+/// lists.
+#[must_use]
+pub fn workload(name: &str) -> Option<WorkloadSpec> {
+    let params = params_for(name)?;
+    debug_assert_eq!(params.validate(), Ok(()));
+    Some(WorkloadSpec { params })
+}
+
+use WorkloadClass::{ComputeIntensive as Cpu, MemoryIntensive as Mem};
+
+fn mem_base(name: &'static str) -> WorkloadParams {
+    WorkloadParams { class: Mem, footprint_bytes: 128 * 1024 * 1024, ..WorkloadParams::base(name) }
+}
+
+#[allow(clippy::too_many_lines)]
+fn params_for(name: &str) -> Option<WorkloadParams> {
+    Some(match name {
+        // ---------------- memory-intensive ----------------
+        // mcf: pointer-chasing graph code; very high MPKI; frequent branch
+        // mispredictions in the shadow of misses (Section II-C) keep the
+        // ROB from filling => the paper's largest RAR MTTF gain (35.8x).
+        "mcf" => WorkloadParams {
+            load_frac: 0.32,
+            store_frac: 0.08,
+            branch_frac: 0.20,
+            miss_load_frac: 0.22,
+            pattern: AccessPattern::Mixed { chase_frac: 0.75, chains: 3, streams: 2, stride: 8 },
+            hard_branch_frac: 0.45,
+            hard_branch_bias: 0.55,
+            loop_trip: 12,
+            segments: 10,
+            body_uops: 40,
+            fp_frac: 0.0,
+            longlat_frac: 0.03,
+            ilp: 3,
+            ..mem_base("mcf")
+        },
+        // libquantum: perfectly regular streaming over a huge array; deep
+        // MLP; PRE/RAR excel (2.5x IPC), flushing hurts most (-21.9%).
+        "libquantum" => WorkloadParams {
+            load_frac: 0.28,
+            store_frac: 0.12,
+            branch_frac: 0.15,
+            miss_load_frac: 0.85,
+            pattern: AccessPattern::Streaming { streams: 2, stride: 8 },
+            hard_branch_frac: 0.02,
+            hard_branch_bias: 0.9,
+            loop_trip: 64,
+            segments: 3,
+            body_uops: 24,
+            fp_frac: 0.0,
+            longlat_frac: 0.02,
+            ilp: 6,
+            ..mem_base("libquantum")
+        },
+        // lbm: fluid dynamics; streaming with long FP dependence chains
+        // that fill the issue queue (~20% of stall time, Section II-C).
+        "lbm" => WorkloadParams {
+            load_frac: 0.26,
+            store_frac: 0.16,
+            branch_frac: 0.04,
+            miss_load_frac: 0.55,
+            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            hard_branch_frac: 0.05,
+            hard_branch_bias: 0.8,
+            loop_trip: 48,
+            segments: 4,
+            body_uops: 56,
+            fp_frac: 0.72,
+            longlat_frac: 0.30,
+            ilp: 2,
+            ..mem_base("lbm")
+        },
+        // fotonik3d: electromagnetic FDTD; dense regular FP streams; the
+        // paper's largest RAR speedup (2.6x).
+        "fotonik" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.12,
+            branch_frac: 0.06,
+            miss_load_frac: 0.75,
+            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            hard_branch_frac: 0.02,
+            hard_branch_bias: 0.9,
+            loop_trip: 56,
+            segments: 4,
+            body_uops: 40,
+            fp_frac: 0.55,
+            longlat_frac: 0.08,
+            ilp: 5,
+            ..mem_base("fotonik")
+        },
+        // GemsFDTD: FDTD solver; strided FP streams.
+        "gems" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.07,
+            miss_load_frac: 0.30,
+            pattern: AccessPattern::Streaming { streams: 5, stride: 16 },
+            hard_branch_frac: 0.04,
+            hard_branch_bias: 0.85,
+            loop_trip: 40,
+            segments: 5,
+            body_uops: 44,
+            fp_frac: 0.55,
+            longlat_frac: 0.10,
+            ilp: 4,
+            ..mem_base("gems")
+        },
+        // milc: lattice QCD; FP streams with moderate chase component.
+        "milc" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.12,
+            branch_frac: 0.06,
+            miss_load_frac: 0.30,
+            pattern: AccessPattern::Mixed { chase_frac: 0.15, chains: 2, streams: 5, stride: 8 },
+            hard_branch_frac: 0.05,
+            hard_branch_bias: 0.85,
+            loop_trip: 36,
+            segments: 5,
+            body_uops: 40,
+            fp_frac: 0.60,
+            longlat_frac: 0.12,
+            ilp: 4,
+            ..mem_base("milc")
+        },
+        // bwaves: blast-wave CFD; wide FP streams, very regular.
+        "bwaves" => WorkloadParams {
+            load_frac: 0.32,
+            store_frac: 0.10,
+            branch_frac: 0.05,
+            miss_load_frac: 0.45,
+            pattern: AccessPattern::Streaming { streams: 7, stride: 8 },
+            hard_branch_frac: 0.02,
+            hard_branch_bias: 0.9,
+            loop_trip: 64,
+            segments: 4,
+            body_uops: 48,
+            fp_frac: 0.65,
+            longlat_frac: 0.10,
+            ilp: 5,
+            ..mem_base("bwaves")
+        },
+        // leslie3d: turbulence CFD; FP streams, moderate intensity.
+        "leslie3d" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.12,
+            branch_frac: 0.06,
+            miss_load_frac: 0.42,
+            pattern: AccessPattern::Streaming { streams: 5, stride: 8 },
+            hard_branch_frac: 0.04,
+            hard_branch_bias: 0.85,
+            loop_trip: 44,
+            segments: 5,
+            body_uops: 44,
+            fp_frac: 0.60,
+            longlat_frac: 0.14,
+            ilp: 4,
+            ..mem_base("leslie3d")
+        },
+        // soplex: LP solver; mixed int/fp, mispredictions and resource
+        // stalls under misses (Section II-C).
+        "soplex" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.08,
+            branch_frac: 0.16,
+            miss_load_frac: 0.15,
+            pattern: AccessPattern::Mixed { chase_frac: 0.40, chains: 2, streams: 3, stride: 8 },
+            hard_branch_frac: 0.30,
+            hard_branch_bias: 0.6,
+            loop_trip: 16,
+            segments: 8,
+            body_uops: 36,
+            fp_frac: 0.30,
+            longlat_frac: 0.10,
+            ilp: 3,
+            ..mem_base("soplex")
+        },
+        // sphinx3: speech recognition; mixed pattern, moderate branches.
+        "sphinx3" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.06,
+            branch_frac: 0.12,
+            miss_load_frac: 0.20,
+            pattern: AccessPattern::Mixed { chase_frac: 0.25, chains: 2, streams: 4, stride: 8 },
+            hard_branch_frac: 0.18,
+            hard_branch_bias: 0.7,
+            loop_trip: 24,
+            segments: 6,
+            body_uops: 36,
+            fp_frac: 0.40,
+            longlat_frac: 0.08,
+            ilp: 4,
+            ..mem_base("sphinx3")
+        },
+        // omnetpp: discrete-event simulation; pointer-heavy, branchy.
+        "omnetpp" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.12,
+            branch_frac: 0.18,
+            miss_load_frac: 0.06,
+            pattern: AccessPattern::Mixed { chase_frac: 0.70, chains: 2, streams: 2, stride: 8 },
+            hard_branch_frac: 0.35,
+            hard_branch_bias: 0.6,
+            loop_trip: 10,
+            segments: 12,
+            body_uops: 32,
+            fp_frac: 0.05,
+            longlat_frac: 0.05,
+            ilp: 3,
+            ..mem_base("omnetpp")
+        },
+        // roms: ocean model; FP streams with IQ pressure; the paper notes
+        // RAR can lag RAR-LATE here (misses often do not fill the ROB).
+        "roms" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.12,
+            branch_frac: 0.08,
+            miss_load_frac: 0.38,
+            pattern: AccessPattern::Streaming { streams: 4, stride: 8 },
+            hard_branch_frac: 0.06,
+            hard_branch_bias: 0.8,
+            loop_trip: 40,
+            segments: 5,
+            body_uops: 48,
+            fp_frac: 0.65,
+            longlat_frac: 0.25,
+            ilp: 2,
+            ..mem_base("roms")
+        },
+        // gcc: compiler; large code footprint, branchy, moderate misses
+        // with mispredictions in the miss shadow.
+        "gcc" => WorkloadParams {
+            load_frac: 0.28,
+            store_frac: 0.12,
+            branch_frac: 0.20,
+            miss_load_frac: 0.08,
+            pattern: AccessPattern::Mixed { chase_frac: 0.50, chains: 2, streams: 2, stride: 8 },
+            hard_branch_frac: 0.35,
+            hard_branch_bias: 0.6,
+            loop_trip: 8,
+            segments: 48,
+            body_uops: 40,
+            fp_frac: 0.0,
+            longlat_frac: 0.04,
+            ilp: 4,
+            ..mem_base("gcc")
+        },
+        // astar: path-finding; chase + hard data-dependent branches.
+        "astar" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.08,
+            branch_frac: 0.18,
+            miss_load_frac: 0.08,
+            pattern: AccessPattern::Mixed { chase_frac: 0.65, chains: 2, streams: 2, stride: 8 },
+            hard_branch_frac: 0.40,
+            hard_branch_bias: 0.55,
+            loop_trip: 14,
+            segments: 8,
+            body_uops: 32,
+            fp_frac: 0.0,
+            longlat_frac: 0.04,
+            ilp: 3,
+            ..mem_base("astar")
+        },
+        // zeusmp: magnetohydrodynamics; strided FP streams.
+        "zeusmp" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.07,
+            miss_load_frac: 0.15,
+            pattern: AccessPattern::Streaming { streams: 4, stride: 16 },
+            hard_branch_frac: 0.04,
+            hard_branch_bias: 0.85,
+            loop_trip: 36,
+            segments: 5,
+            body_uops: 44,
+            fp_frac: 0.55,
+            longlat_frac: 0.12,
+            ilp: 4,
+            ..mem_base("zeusmp")
+        },
+        // ------------- extras (not in the paper's suites) -------------
+        // Available through `workload()` for user studies; excluded from
+        // the figure suites so the paper's averages stay comparable.
+        // xalancbmk: XML transformation; pointer-heavy, branchy.
+        "xalancbmk" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.20,
+            miss_load_frac: 0.10,
+            pattern: AccessPattern::Mixed { chase_frac: 0.7, chains: 2, streams: 2, stride: 8 },
+            hard_branch_frac: 0.30,
+            hard_branch_bias: 0.6,
+            loop_trip: 8,
+            segments: 24,
+            body_uops: 36,
+            fp_frac: 0.0,
+            longlat_frac: 0.04,
+            ilp: 3,
+            ..mem_base("xalancbmk")
+        },
+        // cactuBSSN: numerical relativity stencils; wide FP streams.
+        "cactus" => WorkloadParams {
+            load_frac: 0.32,
+            store_frac: 0.12,
+            branch_frac: 0.05,
+            miss_load_frac: 0.40,
+            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            hard_branch_frac: 0.02,
+            hard_branch_bias: 0.9,
+            loop_trip: 56,
+            segments: 4,
+            body_uops: 52,
+            fp_frac: 0.65,
+            longlat_frac: 0.12,
+            ilp: 4,
+            ..mem_base("cactus")
+        },
+        // wrf: weather model; strided FP with moderate branches.
+        "wrf" => WorkloadParams {
+            load_frac: 0.30,
+            store_frac: 0.10,
+            branch_frac: 0.10,
+            miss_load_frac: 0.25,
+            pattern: AccessPattern::Streaming { streams: 4, stride: 16 },
+            hard_branch_frac: 0.08,
+            hard_branch_bias: 0.8,
+            loop_trip: 32,
+            segments: 8,
+            body_uops: 44,
+            fp_frac: 0.55,
+            longlat_frac: 0.10,
+            ilp: 4,
+            ..mem_base("wrf")
+        },
+        // xz: LZMA compression; integer, mixed chase/stream, branchy.
+        "xz" => WorkloadParams {
+            load_frac: 0.28,
+            store_frac: 0.14,
+            branch_frac: 0.16,
+            miss_load_frac: 0.15,
+            pattern: AccessPattern::Mixed { chase_frac: 0.4, chains: 2, streams: 3, stride: 8 },
+            hard_branch_frac: 0.25,
+            hard_branch_bias: 0.65,
+            loop_trip: 16,
+            segments: 10,
+            body_uops: 36,
+            fp_frac: 0.0,
+            longlat_frac: 0.05,
+            ilp: 3,
+            ..mem_base("xz")
+        },
+        // ---------------- compute-intensive ----------------
+        // Cache-resident models: miss_load_frac 0 (plus small footprints),
+        // differentiated by branchiness and FP/long-latency mix.
+        "perlbench" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.015,
+            branch_frac: 0.22,
+            hard_branch_frac: 0.25,
+            hard_branch_bias: 0.65,
+            loop_trip: 10,
+            segments: 24,
+            body_uops: 32,
+            ilp: 4,
+            ..WorkloadParams::base("perlbench")
+        },
+        "deepsjeng" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.02,
+            branch_frac: 0.18,
+            hard_branch_frac: 0.35,
+            hard_branch_bias: 0.55,
+            loop_trip: 8,
+            segments: 16,
+            body_uops: 28,
+            ilp: 4,
+            ..WorkloadParams::base("deepsjeng")
+        },
+        "leela" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.015,
+            branch_frac: 0.16,
+            hard_branch_frac: 0.30,
+            hard_branch_bias: 0.6,
+            loop_trip: 12,
+            segments: 12,
+            body_uops: 32,
+            ilp: 4,
+            ..WorkloadParams::base("leela")
+        },
+        "exchange2" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.004,
+            load_frac: 0.18,
+            store_frac: 0.08,
+            branch_frac: 0.14,
+            hard_branch_frac: 0.10,
+            loop_trip: 20,
+            segments: 10,
+            body_uops: 36,
+            ilp: 6,
+            ..WorkloadParams::base("exchange2")
+        },
+        "x264" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.03,
+            load_frac: 0.28,
+            branch_frac: 0.10,
+            hard_branch_frac: 0.12,
+            loop_trip: 32,
+            segments: 8,
+            body_uops: 48,
+            fp_frac: 0.10,
+            ilp: 6,
+            ..WorkloadParams::base("x264")
+        },
+        "imagick" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.025,
+            load_frac: 0.24,
+            branch_frac: 0.08,
+            hard_branch_frac: 0.06,
+            loop_trip: 48,
+            segments: 6,
+            body_uops: 48,
+            fp_frac: 0.55,
+            longlat_frac: 0.15,
+            ilp: 5,
+            ..WorkloadParams::base("imagick")
+        },
+        "nab" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.02,
+            load_frac: 0.24,
+            branch_frac: 0.08,
+            hard_branch_frac: 0.08,
+            loop_trip: 36,
+            segments: 6,
+            body_uops: 44,
+            fp_frac: 0.60,
+            longlat_frac: 0.18,
+            ilp: 4,
+            ..WorkloadParams::base("nab")
+        },
+        "povray" => WorkloadParams {
+            class: Cpu,
+            miss_load_frac: 0.012,
+            load_frac: 0.26,
+            branch_frac: 0.14,
+            hard_branch_frac: 0.18,
+            hard_branch_bias: 0.7,
+            loop_trip: 16,
+            segments: 14,
+            body_uops: 36,
+            fp_frac: 0.45,
+            longlat_frac: 0.12,
+            ilp: 4,
+            ..WorkloadParams::base("povray")
+        },
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{all_benchmarks, compute_intensive, memory_intensive};
+
+    #[test]
+    fn every_listed_benchmark_resolves_and_validates() {
+        for name in all_benchmarks() {
+            let spec = workload(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(spec.params().validate(), Ok(()), "{name}");
+            assert_eq!(spec.name(), name);
+        }
+    }
+
+    #[test]
+    fn classes_match_suite_lists() {
+        for name in memory_intensive() {
+            assert_eq!(workload(name).unwrap().class(), WorkloadClass::MemoryIntensive, "{name}");
+        }
+        for name in compute_intensive() {
+            assert_eq!(workload(name).unwrap().class(), WorkloadClass::ComputeIntensive, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload("notabenchmark").is_none());
+    }
+
+    #[test]
+    fn memory_models_have_large_footprints() {
+        for name in memory_intensive() {
+            let p = workload(name).unwrap().params().clone();
+            assert!(
+                p.footprint_bytes > 8 * 1024 * 1024,
+                "{name} footprint must exceed the LLC"
+            );
+            assert!(p.miss_load_frac > 0.0, "{name} must produce misses");
+        }
+    }
+
+    #[test]
+    fn compute_models_have_only_marginal_miss_traffic() {
+        // The paper's compute-intensive set has MPKI < 8, not zero.
+        for name in compute_intensive() {
+            let p = workload(name).unwrap().params().clone();
+            assert!(p.miss_load_frac < 0.05, "{name}");
+        }
+    }
+
+    #[test]
+    fn from_params_rejects_invalid() {
+        let mut p = WorkloadParams::base("x");
+        p.branch_frac = 0.9;
+        assert!(WorkloadSpec::from_params(p).is_err());
+    }
+
+    #[test]
+    fn traces_are_constructible_for_all() {
+        for name in all_benchmarks() {
+            let spec = workload(name).unwrap();
+            let n = spec.trace(1).take(100).count();
+            assert_eq!(n, 100, "{name}");
+        }
+    }
+
+    #[test]
+    fn extras_resolve_but_stay_out_of_the_suites() {
+        for name in crate::mix::extra_benchmarks() {
+            let spec = workload(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(spec.params().validate(), Ok(()), "{name}");
+            assert!(!all_benchmarks().contains(name), "{name} must not join the paper suites");
+        }
+    }
+}

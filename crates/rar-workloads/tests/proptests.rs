@@ -1,0 +1,102 @@
+//! Property tests for the workload generators: determinism, structural
+//! sanity, and parameter robustness.
+
+use proptest::prelude::*;
+use rar_isa::UopKind;
+use rar_workloads::{workload, AccessPattern, TraceGenerator, WorkloadParams};
+
+fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
+    (
+        0.05f64..0.4,
+        0.0f64..0.25,
+        0.0f64..0.25,
+        0.0f64..1.0,
+        0.0f64..1.0,
+        1u32..64,
+        1usize..16,
+        8usize..64,
+        1usize..8,
+    )
+        .prop_map(
+            |(load, store, branch, miss, hard, trip, segments, body, ilp)| WorkloadParams {
+                load_frac: load,
+                store_frac: store,
+                branch_frac: branch,
+                miss_load_frac: miss,
+                hard_branch_frac: hard,
+                loop_trip: trip,
+                segments,
+                body_uops: body,
+                ilp,
+                pattern: AccessPattern::Mixed { chase_frac: 0.5, chains: 2, streams: 2, stride: 8 },
+                ..WorkloadParams::base("prop")
+            },
+        )
+        .prop_filter("fractions must leave room for compute", |p| {
+            p.validate().is_ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any validated parameter set generates an infinite, panic-free,
+    /// seed-deterministic stream.
+    #[test]
+    fn generator_total_and_deterministic(params in arbitrary_params(), seed in 0u64..1000) {
+        let a: Vec<_> = TraceGenerator::new(&params, seed).take(2_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&params, seed).take(2_000).collect();
+        prop_assert_eq!(a.len(), 2_000);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every load/store carries an address; every branch carries an
+    /// outcome; PCs stay within the static code region.
+    #[test]
+    fn structural_invariants(params in arbitrary_params(), seed in 0u64..100) {
+        let gen = TraceGenerator::new(&params, seed);
+        let code_bytes = gen.code_bytes();
+        for u in gen.take(3_000) {
+            match u.kind() {
+                UopKind::Load | UopKind::Store => prop_assert!(u.mem().is_some()),
+                UopKind::Branch => prop_assert!(u.branch_info().is_some()),
+                _ => {
+                    prop_assert!(u.mem().is_none());
+                    prop_assert!(u.branch_info().is_none());
+                }
+            }
+            prop_assert!(u.pc() >= 0x1000 && u.pc() < 0x1000 + code_bytes + 8);
+        }
+    }
+
+    /// Taken branches always jump to the PC the next micro-op actually
+    /// has (control-flow consistency of the trace).
+    #[test]
+    fn control_flow_is_consistent(params in arbitrary_params(), seed in 0u64..100) {
+        let uops: Vec<_> = TraceGenerator::new(&params, seed).take(3_000).collect();
+        for w in uops.windows(2) {
+            if let Some(b) = w[0].branch_info() {
+                if b.taken {
+                    prop_assert_eq!(w[1].pc(), b.target, "taken branch must reach its target");
+                } else {
+                    prop_assert_eq!(w[1].pc(), w[0].pc() + 4, "fall-through is sequential");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every named benchmark is deterministic per seed at a larger depth.
+    #[test]
+    fn named_benchmarks_deterministic(seed in 0u64..50) {
+        for name in ["mcf", "libquantum", "leela"] {
+            let spec = workload(name).unwrap();
+            let a: Vec<_> = spec.trace(seed).take(4_000).collect();
+            let b: Vec<_> = spec.trace(seed).take(4_000).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: simulate one benchmark under the baseline core and under
+//! Reliability-Aware Runahead, and compare reliability and performance.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rar::core::Technique;
+use rar::sim::{SimConfig, Simulation};
+
+fn main() {
+    let budget = 40_000;
+    let warmup = 10_000;
+
+    let base = Simulation::run(
+        &SimConfig::builder()
+            .workload("libquantum")
+            .technique(Technique::Ooo)
+            .warmup(warmup)
+            .instructions(budget)
+            .build(),
+    );
+    let rar = Simulation::run(
+        &SimConfig::builder()
+            .workload("libquantum")
+            .technique(Technique::Rar)
+            .warmup(warmup)
+            .instructions(budget)
+            .build(),
+    );
+
+    println!("libquantum, {budget} measured instructions\n");
+    println!("                    OoO      RAR");
+    println!("IPC              {:>6.3}   {:>6.3}", base.ipc(), rar.ipc());
+    println!("MLP              {:>6.2}   {:>6.2}", base.mlp(), rar.mlp());
+    println!("MPKI             {:>6.1}   {:>6.1}", base.mpki(), rar.mpki());
+    println!("AVF              {:>6.4}   {:>6.4}", base.reliability.avf(), rar.reliability.avf());
+    println!();
+    println!("RAR vs OoO:");
+    println!("  MTTF improvement   {:.2}x", rar.mttf_vs(&base));
+    println!("  ABC reduction      {:.1}%", (1.0 - rar.abc_vs(&base)) * 100.0);
+    println!("  speedup            {:.2}x", rar.ipc_vs(&base));
+    println!(
+        "  runahead           {} intervals, {} prefetches",
+        rar.stats.runahead_intervals, rar.stats.runahead_prefetches
+    );
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the back-end-scaling and stall-window analyses
+//! (Figures 4, 5 and 10).
+
+use rar::ace::StallKind;
+use rar::core::{CoreConfig, Technique};
+use rar::sim::{SimConfig, Simulation, SimResult};
+
+fn run_with_core(workload: &str, technique: Technique, core: CoreConfig) -> SimResult {
+    Simulation::run(
+        &SimConfig::builder()
+            .workload(workload)
+            .technique(technique)
+            .core(core)
+            .warmup(4_000)
+            .instructions(10_000)
+            .build(),
+    )
+}
+
+/// Soft-error vulnerability grows with back-end structure size (Figure 4:
+/// Core-4 exposes ~1.8x the ACE bits of Core-1).
+#[test]
+fn abc_grows_with_backend_size() {
+    let small = run_with_core("gems", Technique::Ooo, CoreConfig::core1());
+    let large = run_with_core("gems", Technique::Ooo, CoreConfig::core4());
+    let ratio = large.reliability.total_abc() as f64 / small.reliability.total_abc() as f64;
+    assert!(ratio > 1.2, "Core-4/Core-1 ABC ratio {ratio}");
+}
+
+/// RAR closes the widening reliability gap (Figure 10): its ABC grows far
+/// more slowly with core size than the baseline's.
+#[test]
+fn rar_closes_the_scaling_gap() {
+    let ooo1 = run_with_core("gems", Technique::Ooo, CoreConfig::core1());
+    let ooo4 = run_with_core("gems", Technique::Ooo, CoreConfig::core4());
+    let rar1 = run_with_core("gems", Technique::Rar, CoreConfig::core1());
+    let rar4 = run_with_core("gems", Technique::Rar, CoreConfig::core4());
+    let ooo_growth =
+        ooo4.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
+    let rar4_vs_ooo4 =
+        rar4.reliability.total_abc() as f64 / ooo4.reliability.total_abc() as f64;
+    let rar1_vs_ooo1 =
+        rar1.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
+    assert!(ooo_growth > 1.0);
+    assert!(
+        rar4_vs_ooo4 <= rar1_vs_ooo1 * 1.25,
+        "RAR's relative benefit must not erode with core size: {rar1_vs_ooo1} -> {rar4_vs_ooo4}"
+    );
+    assert!(rar4_vs_ooo4 < 0.5, "RAR removes most exposure on the largest core");
+}
+
+/// The Figure 5 decomposition: head-blocked windows dominate the exposed
+/// state, and strictly contain the full-ROB-stall windows.
+#[test]
+fn blocked_head_windows_dominate_ace() {
+    let r = Simulation::run(
+        &SimConfig::builder()
+            .workload("fotonik")
+            .technique(Technique::Ooo)
+            .warmup(4_000)
+            .instructions(10_000)
+            .build(),
+    );
+    let total = r.reliability.total_abc();
+    let [full, blocked] = r.window_abc;
+    assert!(full <= blocked, "full-ROB windows are a subset in time");
+    assert!(blocked <= total);
+    let share = blocked as f64 / total as f64;
+    assert!(share > 0.5, "most exposure is under blocking misses, got {share}");
+}
+
+/// mcf's gap between head-blocked and full-ROB exposure comes from branch
+/// mispredictions in the miss shadow (Section II-C).
+#[test]
+fn mispredictions_open_the_full_rob_gap() {
+    let mcf = Simulation::run(
+        &SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Ooo)
+            .warmup(4_000)
+            .instructions(10_000)
+            .build(),
+    );
+    let fotonik = Simulation::run(
+        &SimConfig::builder()
+            .workload("fotonik")
+            .technique(Technique::Ooo)
+            .warmup(4_000)
+            .instructions(10_000)
+            .build(),
+    );
+    let gap = |r: &SimResult| {
+        let [full, blocked] = r.window_abc;
+        (blocked - full) as f64 / r.reliability.total_abc() as f64
+    };
+    assert!(
+        gap(&mcf) > gap(&fotonik),
+        "branchy mcf gap {} should exceed regular fotonik gap {}",
+        gap(&mcf),
+        gap(&fotonik)
+    );
+}
+
+/// Stall windows are tracked by the simulator's ACE counter and are
+/// visible through the public API.
+#[test]
+fn window_counters_exposed() {
+    let cfg = SimConfig::builder()
+        .workload("lbm")
+        .technique(Technique::Ooo)
+        .warmup(2_000)
+        .instructions(6_000)
+        .build();
+    let spec = rar::workloads::workload("lbm").unwrap();
+    let mut core = rar::core::Core::new(
+        cfg.core.clone(),
+        cfg.mem.clone(),
+        cfg.technique,
+        rar::isa::TraceWindow::new(spec.trace(cfg.seed)),
+    );
+    core.run_until_committed(6_000);
+    assert!(core.ace().window_count(StallKind::RobHeadBlocked) > 0);
+    assert!(
+        core.ace().window_cycles(StallKind::RobHeadBlocked)
+            >= core.ace().window_cycles(StallKind::FullRobStall)
+    );
+}
