@@ -53,7 +53,12 @@ impl AceCounter {
         let cycles = end - start;
         self.abc[structure.index()] += u128::from(bits) * u128::from(cycles);
         if let Some(log) = &mut self.log {
-            log.push(crate::inject::LoggedInterval { structure, bits, start, end });
+            log.push(crate::inject::LoggedInterval {
+                structure,
+                bits,
+                start,
+                end,
+            });
         }
         for kind in [StallKind::FullRobStall, StallKind::RobHeadBlocked] {
             let ov = self.windows[kind.index()].overlap(start, end);
@@ -66,9 +71,11 @@ impl AceCounter {
         self.windows[kind.index()].open(cycle);
     }
 
-    /// Closes the stall window of the given kind at `cycle`.
-    pub fn close_window(&mut self, kind: StallKind, cycle: u64) {
-        self.windows[kind.index()].close(cycle);
+    /// Closes the stall window of the given kind at `cycle`, returning the
+    /// recorded `(start, end)` interval (if any) so callers can forward the
+    /// closed window to observability sinks.
+    pub fn close_window(&mut self, kind: StallKind, cycle: u64) -> Option<(u64, u64)> {
+        self.windows[kind.index()].close(cycle)
     }
 
     /// True if a window of `kind` is currently open.

@@ -100,8 +100,18 @@ impl OccupancyProfile {
     /// absolute core cycles).
     #[must_use]
     pub fn span(&self) -> std::ops::Range<u64> {
-        let start = self.steps.iter().filter_map(|s| s.first().map(|&(t, _)| t)).min().unwrap_or(0);
-        let end = self.steps.iter().filter_map(|s| s.last().map(|&(t, _)| t)).max().unwrap_or(0);
+        let start = self
+            .steps
+            .iter()
+            .filter_map(|s| s.first().map(|&(t, _)| t))
+            .min()
+            .unwrap_or(0);
+        let end = self
+            .steps
+            .iter()
+            .filter_map(|s| s.last().map(|&(t, _)| t))
+            .max()
+            .unwrap_or(0);
         start..end
     }
 
@@ -142,7 +152,9 @@ impl FaultCampaign {
     /// Creates a campaign with a deterministic seed.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        FaultCampaign { rng: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        FaultCampaign {
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -201,7 +213,12 @@ impl FaultCampaign {
         }
         let p = hits as f64 / samples as f64;
         let ci95 = 1.96 * (p * (1.0 - p) / samples as f64).sqrt();
-        InjectionEstimate { hits, samples, avf: p, ci95 }
+        InjectionEstimate {
+            hits,
+            samples,
+            avf: p,
+            ci95,
+        }
     }
 }
 

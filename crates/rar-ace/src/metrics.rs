@@ -59,7 +59,8 @@ impl StructureCapacities {
         bits[Structure::Sq.index()] = sq * entry_bits.per_entry(Structure::Sq);
         bits[Structure::RfInt.index()] = int_regs * entry_bits.per_entry(Structure::RfInt);
         bits[Structure::RfFp.index()] = fp_regs * entry_bits.per_entry(Structure::RfFp);
-        bits[Structure::Fu.index()] = int_fus * entry_bits.fu_bits(false) + fp_fus * entry_bits.fu_bits(true);
+        bits[Structure::Fu.index()] =
+            int_fus * entry_bits.fu_bits(false) + fp_fus * entry_bits.fu_bits(true);
         StructureCapacities { bits }
     }
 
@@ -198,7 +199,10 @@ mod tests {
         assert_eq!(c.bits(Structure::RfInt), 168 * 64);
         assert_eq!(c.bits(Structure::RfFp), 168 * 128);
         assert_eq!(c.bits(Structure::Fu), 5 * 64 + 3 * 128);
-        assert_eq!(c.total_bits(), 192 * 120 + 92 * 80 + 64 * 120 + 64 * 184 + 168 * 64 + 168 * 128 + 5 * 64 + 3 * 128);
+        assert_eq!(
+            c.total_bits(),
+            192 * 120 + 92 * 80 + 64 * 120 + 64 * 184 + 168 * 64 + 168 * 128 + 5 * 64 + 3 * 128
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl PhaseSeries {
             values.push(abc as f64 / (denom * w.max(f64::MIN_POSITIVE)));
             t = hi;
         }
-        PhaseSeries { window, start, values }
+        PhaseSeries {
+            window,
+            start,
+            values,
+        }
     }
 
     /// Window width in cycles.
@@ -144,7 +148,11 @@ impl OccupancyProfile {
         let mut t = start;
         let mut level = if idx == 0 { 0 } else { steps[idx - 1].1 };
         while t < end {
-            let next_t = if idx < steps.len() { steps[idx].0.min(end) } else { end };
+            let next_t = if idx < steps.len() {
+                steps[idx].0.min(end)
+            } else {
+                end
+            };
             total += u128::from(level) * u128::from(next_t - t);
             t = next_t;
             if idx < steps.len() && steps[idx].0 <= t {

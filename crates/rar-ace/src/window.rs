@@ -92,16 +92,19 @@ impl WindowSet {
         self.open_since.is_some()
     }
 
-    /// Closes the open window at `cycle`. Closing with no open window is a
-    /// no-op. Zero-length windows are discarded.
-    pub fn close(&mut self, cycle: u64) {
-        if let Some(start) = self.open_since.take() {
-            if cycle > start {
-                self.starts.push(start);
-                self.ends.push(cycle);
-                self.prefix.push(self.total);
-                self.total += cycle - start;
-            }
+    /// Closes the open window at `cycle`, returning the recorded
+    /// `(start, end)` interval. Closing with no open window is a no-op.
+    /// Zero-length windows are discarded (and return `None`).
+    pub fn close(&mut self, cycle: u64) -> Option<(u64, u64)> {
+        let start = self.open_since.take()?;
+        if cycle > start {
+            self.starts.push(start);
+            self.ends.push(cycle);
+            self.prefix.push(self.total);
+            self.total += cycle - start;
+            Some((start, cycle))
+        } else {
+            None
         }
     }
 
@@ -212,8 +215,17 @@ mod tests {
     #[test]
     fn close_without_open_is_noop() {
         let mut w = WindowSet::new();
-        w.close(10);
+        assert_eq!(w.close(10), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn close_returns_recorded_interval() {
+        let mut w = WindowSet::new();
+        w.open(10);
+        assert_eq!(w.close(25), Some((10, 25)));
+        w.open(30);
+        assert_eq!(w.close(30), None, "zero-length windows are discarded");
     }
 
     #[test]
@@ -227,7 +239,10 @@ mod tests {
 
     #[test]
     fn stall_kind_indices() {
-        assert_ne!(StallKind::FullRobStall.index(), StallKind::RobHeadBlocked.index());
+        assert_ne!(
+            StallKind::FullRobStall.index(),
+            StallKind::RobHeadBlocked.index()
+        );
         assert!(StallKind::FullRobStall.index() < StallKind::COUNT);
         assert!(StallKind::RobHeadBlocked.index() < StallKind::COUNT);
     }

@@ -34,11 +34,18 @@ fn trigger_threshold(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_trigger_threshold");
     g.sample_size(10).measurement_time(Duration::from_secs(10));
     for threshold in [3u64, 15, 63] {
-        g.bench_with_input(BenchmarkId::from_parameter(threshold), &threshold, |b, &t| {
-            let mut cfg = base_cfg(Technique::Rar);
-            cfg.core = CoreConfig { runahead_timer: t, ..CoreConfig::baseline() };
-            b.iter(|| black_box(run(&cfg)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                let mut cfg = base_cfg(Technique::Rar);
+                cfg.core = CoreConfig {
+                    runahead_timer: t,
+                    ..CoreConfig::baseline()
+                };
+                b.iter(|| black_box(run(&cfg)));
+            },
+        );
     }
     g.finish();
 }
@@ -67,7 +74,10 @@ fn dram_model(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &controller, |b, &ctl| {
             let mut cfg = base_cfg(Technique::Ooo);
             cfg.mem = MemConfig {
-                dram: DramConfig { controller: ctl, ..DramConfig::ddr3_1600() },
+                dram: DramConfig {
+                    controller: ctl,
+                    ..DramConfig::ddr3_1600()
+                },
                 ..MemConfig::baseline()
             };
             b.iter(|| black_box(run(&cfg)));
@@ -84,7 +94,10 @@ fn flush_penalty(c: &mut Criterion) {
     for depth in [2u64, 8, 24] {
         g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
             let mut cfg = base_cfg(Technique::RarLate);
-            cfg.core = CoreConfig { frontend_depth: d, ..CoreConfig::baseline() };
+            cfg.core = CoreConfig {
+                frontend_depth: d,
+                ..CoreConfig::baseline()
+            };
             b.iter(|| black_box(run(&cfg)));
         });
     }
@@ -100,7 +113,10 @@ fn prefetch_degree(c: &mut Criterion) {
             let mut cfg = base_cfg(Technique::Ooo);
             cfg.mem = MemConfig {
                 prefetch: PrefetchPlacement::L3,
-                prefetcher: StridePrefetcherConfig { degree: deg, ..StridePrefetcherConfig::aggressive() },
+                prefetcher: StridePrefetcherConfig {
+                    degree: deg,
+                    ..StridePrefetcherConfig::aggressive()
+                },
                 ..MemConfig::baseline()
             };
             b.iter(|| black_box(run(&cfg)));
@@ -126,9 +142,7 @@ fn ace_accounting(c: &mut Criterion) {
             let r = Simulation::run(&cfg);
             // Naive alternative: every structure fully vulnerable every
             // cycle (what a counter-free model would report).
-            black_box(
-                u128::from(cfg.core.capacities().total_bits()) * u128::from(r.stats.cycles),
-            )
+            black_box(u128::from(cfg.core.capacities().total_bits()) * u128::from(r.stats.cycles))
         });
     });
     g.finish();
@@ -144,7 +158,10 @@ fn wrong_path(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(name), &wp, |b, &wp| {
             let mut cfg = base_cfg(Technique::Ooo);
             cfg.workload = "mcf".into();
-            cfg.core = CoreConfig { model_wrong_path: wp, ..CoreConfig::baseline() };
+            cfg.core = CoreConfig {
+                model_wrong_path: wp,
+                ..CoreConfig::baseline()
+            };
             b.iter(|| black_box(run(&cfg)));
         });
     }

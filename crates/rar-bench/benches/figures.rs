@@ -13,7 +13,12 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_opts() -> ExperimentOptions {
-    ExperimentOptions { instructions: 1_500, warmup: 300, seed: 1, suite: Suite::Memory }
+    ExperimentOptions {
+        instructions: 1_500,
+        warmup: 300,
+        seed: 1,
+        suite: Suite::Memory,
+    }
 }
 
 fn figures(c: &mut Criterion) {

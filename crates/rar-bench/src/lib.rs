@@ -17,7 +17,7 @@
 //! benches.
 
 use rar_core::Technique;
-use rar_sim::{SimConfig, Simulation, SimResult};
+use rar_sim::{SimConfig, SimResult, Simulation};
 
 /// Runs one benchmark/technique pair at a small, bench-friendly budget.
 #[must_use]

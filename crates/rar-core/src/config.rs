@@ -26,7 +26,15 @@ impl FuConfig {
     /// The paper's Table II pool.
     #[must_use]
     pub const fn baseline() -> Self {
-        FuConfig { int_add: 3, int_mul: 1, int_div: 1, fp_add: 1, fp_mul: 1, fp_div: 1, mem_ports: 2 }
+        FuConfig {
+            int_add: 3,
+            int_mul: 1,
+            int_div: 1,
+            fp_add: 1,
+            fp_mul: 1,
+            fp_div: 1,
+            mem_ports: 2,
+        }
     }
 
     /// Total integer-width units (for ACE capacity).
@@ -191,7 +199,12 @@ impl CoreConfig {
     /// All four Table I configurations, smallest first.
     #[must_use]
     pub fn table_i() -> [CoreConfig; 4] {
-        [CoreConfig::core1(), CoreConfig::core2(), CoreConfig::core3(), CoreConfig::core4()]
+        [
+            CoreConfig::core1(),
+            CoreConfig::core2(),
+            CoreConfig::core3(),
+            CoreConfig::core4(),
+        ]
     }
 
     /// An extension beyond Table I: an Apple-M1-class core with the
@@ -273,8 +286,14 @@ mod tests {
     #[test]
     fn table_i_sizes() {
         let [c1, c2, c3, c4] = CoreConfig::table_i();
-        assert_eq!([c1.rob_size, c2.rob_size, c3.rob_size, c4.rob_size], [128, 192, 224, 352]);
-        assert_eq!([c1.iq_size, c2.iq_size, c3.iq_size, c4.iq_size], [36, 92, 97, 128]);
+        assert_eq!(
+            [c1.rob_size, c2.rob_size, c3.rob_size, c4.rob_size],
+            [128, 192, 224, 352]
+        );
+        assert_eq!(
+            [c1.iq_size, c2.iq_size, c3.iq_size, c4.iq_size],
+            [36, 92, 97, 128]
+        );
         for c in CoreConfig::table_i() {
             assert_eq!(c.validate(), Ok(()));
         }
@@ -290,7 +309,10 @@ mod tests {
 
     #[test]
     fn capacities_grow_with_config() {
-        let caps: Vec<u64> = CoreConfig::table_i().iter().map(|c| c.capacities().total_bits()).collect();
+        let caps: Vec<u64> = CoreConfig::table_i()
+            .iter()
+            .map(|c| c.capacities().total_bits())
+            .collect();
         assert!(caps.windows(2).all(|w| w[0] < w[1]), "{caps:?}");
     }
 

@@ -20,7 +20,12 @@ struct UnitGroup {
 
 impl UnitGroup {
     fn new(count: usize, pipelined: bool) -> Self {
-        UnitGroup { busy_until: vec![0; count], issued_this_cycle: 0, cycle: u64::MAX, pipelined }
+        UnitGroup {
+            busy_until: vec![0; count],
+            issued_this_cycle: 0,
+            cycle: u64::MAX,
+            pipelined,
+        }
     }
 
     fn try_issue(&mut self, now: u64, latency: u64) -> bool {

@@ -54,5 +54,6 @@ pub mod technique;
 
 pub use config::{exec_latency, CoreConfig, FuConfig};
 pub use pipeline::{Core, PipelineSnapshot};
+pub use rar_trace::{NullSink, RingSink, TraceEvent, TraceSink};
 pub use stats::CoreStats;
 pub use technique::{RunaheadFeatures, Technique};

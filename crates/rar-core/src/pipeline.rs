@@ -32,10 +32,11 @@ use crate::stats::CoreStats;
 use crate::technique::{RunaheadFeatures, Technique};
 use rar_ace::{AceCounter, ReliabilityReport, StallKind, Structure};
 use rar_frontend::BranchPredictor;
-use rar_isa::{cache_line, ArchReg, RegClass, UopKind, UopSource};
 #[cfg(test)]
 use rar_isa::Uop;
+use rar_isa::{cache_line, ArchReg, RegClass, UopKind, UopSource};
 use rar_mem::{AccessKind, HitLevel, MemConfig, MemStall, MemoryHierarchy};
+use rar_trace::{NullSink, RunaheadTrigger, SampleRow, TraceEvent, TraceSink};
 
 /// The simulated core.
 ///
@@ -60,7 +61,7 @@ use rar_mem::{AccessKind, HitLevel, MemConfig, MemStall, MemoryHierarchy};
 /// assert!(core.stats().ipc() > 1.0, "independent ALU ops should flow");
 /// ```
 #[derive(Debug)]
-pub struct Core<S> {
+pub struct Core<S, T: TraceSink = NullSink> {
     cfg: CoreConfig,
     technique: Technique,
     features: Option<RunaheadFeatures>,
@@ -124,17 +125,50 @@ pub struct Core<S> {
     last_load_line: u64,
 
     stats: CoreStats,
+
+    /// Trace sink; [`NullSink`] by default, in which case every emission
+    /// site folds away at monomorphization.
+    sink: T,
+    /// Emit a [`TraceEvent::Sample`] every this many cycles (0 = never).
+    sample_every: u64,
+    /// Reused scratch buffer for draining the memory hierarchy's event log.
+    mem_scratch: Vec<TraceEvent>,
 }
 
 impl<S: UopSource> Core<S> {
-    /// Builds a cold core.
+    /// Builds a cold core with tracing disabled (the [`NullSink`] is
+    /// monomorphized away, so this is the zero-overhead configuration).
     ///
     /// # Panics
     ///
     /// Panics if `cfg` fails validation.
     #[must_use]
     pub fn new(cfg: CoreConfig, mem_cfg: MemConfig, technique: Technique, src: S) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid core config: {e}"));
+        Core::with_sink(cfg, mem_cfg, technique, src, NullSink)
+    }
+}
+
+impl<S: UopSource, T: TraceSink> Core<S, T> {
+    /// Builds a cold core that emits [`TraceEvent`]s into `sink`. Memory
+    /// hierarchy tracing is enabled automatically when the sink is live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    #[must_use]
+    pub fn with_sink(
+        cfg: CoreConfig,
+        mem_cfg: MemConfig,
+        technique: Technique,
+        src: S,
+        sink: T,
+    ) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid core config: {e}"));
+        let mut mem = MemoryHierarchy::new(mem_cfg);
+        if T::ENABLED {
+            mem.enable_tracing();
+        }
         let mut prf = PhysRegFile::new(cfg.int_regs, cfg.fp_regs);
         let rat = Rat::new(&mut prf);
         let arch_rat = rat.clone();
@@ -168,7 +202,10 @@ impl<S: UopSource> Core<S> {
             wp_rng: 0xabcd_ef01_2345_6789,
             last_load_line: 0x1_0000_0000,
             stats: CoreStats::default(),
-            mem: MemoryHierarchy::new(mem_cfg),
+            sink,
+            sample_every: 0,
+            mem_scratch: Vec::new(),
+            mem,
             bp: BranchPredictor::tage_sc_l_8kb(),
             ace: AceCounter::new(),
             features: technique.features(),
@@ -183,6 +220,30 @@ impl<S: UopSource> Core<S> {
     #[must_use]
     pub fn technique(&self) -> Technique {
         self.technique
+    }
+
+    /// The trace sink (e.g. to read back a captured ring buffer).
+    #[must_use]
+    pub fn sink(&self) -> &T {
+        &self.sink
+    }
+
+    /// Mutable access to the trace sink (e.g. to clear it after warm-up).
+    pub fn sink_mut(&mut self) -> &mut T {
+        &mut self.sink
+    }
+
+    /// Consumes the core and hands back the trace sink.
+    #[must_use]
+    pub fn into_sink(self) -> T {
+        self.sink
+    }
+
+    /// Emit a [`TraceEvent::Sample`] snapshot every `n` cycles (0 disables
+    /// sampling, the default). Has no observable effect with a
+    /// [`NullSink`].
+    pub fn set_sample_interval(&mut self, n: u64) {
+        self.sample_every = n;
     }
 
     /// The core configuration.
@@ -238,7 +299,11 @@ impl<S: UopSource> Core<S> {
     /// a warm-up phase.
     pub fn reset_measurement(&mut self) {
         self.stats = CoreStats::default();
-        self.ace = if self.ace_logging { AceCounter::with_logging() } else { AceCounter::new() };
+        self.ace = if self.ace_logging {
+            AceCounter::with_logging()
+        } else {
+            AceCounter::new()
+        };
         self.mem.reset_stats();
         self.bp.reset_stats();
     }
@@ -311,6 +376,38 @@ impl<S: UopSource> Core<S> {
             self.cre_stage();
         }
         self.mlp_sample();
+        if T::ENABLED {
+            self.drain_mem_trace();
+            if self.sample_every > 0 && self.now.is_multiple_of(self.sample_every) {
+                self.emit_sample();
+            }
+        }
+    }
+
+    /// Forwards the memory hierarchy's buffered events into the sink. The
+    /// scratch vector is reused so steady-state tracing does not allocate.
+    fn drain_mem_trace(&mut self) {
+        let mut buf = std::mem::take(&mut self.mem_scratch);
+        self.mem.drain_trace(&mut buf);
+        for ev in buf.drain(..) {
+            self.sink.emit(ev);
+        }
+        self.mem_scratch = buf;
+    }
+
+    fn emit_sample(&mut self) {
+        let row = SampleRow {
+            cycle: self.now,
+            rob: self.rob.len(),
+            iq: self.iq_count,
+            lq: self.lq_count,
+            sq: self.sq_count,
+            in_runahead: self.mode.is_runahead(),
+            committed: self.stats.committed,
+            outstanding_misses: self.active_misses.len(),
+            abc_by_structure: self.ace.abc_by_structure().to_vec(),
+        };
+        self.sink.emit(TraceEvent::Sample(row));
     }
 
     // ------------------------------------------------------------------
@@ -325,6 +422,16 @@ impl<S: UopSource> Core<S> {
             }
             let e = self.rob.pop_head().expect("head exists");
             self.record_ace_commit(&e);
+            if T::ENABLED {
+                self.sink.emit(TraceEvent::UopRetired {
+                    seq: e.seq,
+                    pc: e.uop.pc(),
+                    dispatch: e.dispatch_cycle,
+                    issue: e.issue_cycle.unwrap_or(self.now),
+                    complete: e.complete_at.unwrap_or(self.now),
+                    commit: self.now,
+                });
+            }
             // Commit updates the architectural RAT and frees the previous
             // mapping of the destination register.
             if let (Some(dest), Some(phys)) = (e.uop.dest(), e.dest_phys) {
@@ -341,7 +448,9 @@ impl<S: UopSource> Core<S> {
                 self.sq_count -= 1;
                 // The store drains to the cache at commit.
                 if let Some(m) = e.uop.mem() {
-                    let _ = self.mem.access(AccessKind::Store, m.addr, e.uop.pc(), self.now);
+                    let _ = self
+                        .mem
+                        .access(AccessKind::Store, m.addr, e.uop.pc(), self.now);
                 }
             }
             if e.in_iq {
@@ -369,9 +478,11 @@ impl<S: UopSource> Core<S> {
             return; // NOPs are un-ACE.
         }
         let c = self.now;
-        self.ace.record_committed(Structure::Rob, 120, e.dispatch_cycle, c);
+        self.ace
+            .record_committed(Structure::Rob, 120, e.dispatch_cycle, c);
         let issue = e.issue_cycle.unwrap_or(c);
-        self.ace.record_committed(Structure::Iq, 80, e.dispatch_cycle, issue);
+        self.ace
+            .record_committed(Structure::Iq, 80, e.dispatch_cycle, issue);
         if let Some(x) = e.exec_start {
             if e.uop.is_load() {
                 self.ace.record_committed(Structure::Lq, 120, x, c);
@@ -380,7 +491,8 @@ impl<S: UopSource> Core<S> {
                 self.ace.record_committed(Structure::Sq, 184, x, c);
             }
             let fu_bits = if e.uop.kind().is_fp() { 128 } else { 64 };
-            self.ace.record_committed(Structure::Fu, fu_bits, x, x + e.fu_latency);
+            self.ace
+                .record_committed(Structure::Fu, fu_bits, x, x + e.fu_latency);
         }
         if let Some(phys) = e.dest_phys {
             let written = e.complete_at.unwrap_or(c).min(c);
@@ -421,10 +533,10 @@ impl<S: UopSource> Core<S> {
 
         let Some((blocking_seq, complete_at)) = self.blocking_head() else {
             if self.ace.window_open(StallKind::RobHeadBlocked) {
-                self.ace.close_window(StallKind::RobHeadBlocked, self.now);
+                self.close_stall_window(StallKind::RobHeadBlocked);
             }
             if self.ace.window_open(StallKind::FullRobStall) {
-                self.ace.close_window(StallKind::FullRobStall, self.now);
+                self.close_stall_window(StallKind::FullRobStall);
             }
             return;
         };
@@ -434,7 +546,7 @@ impl<S: UopSource> Core<S> {
         if self.rob.is_full() {
             self.ace.open_window(StallKind::FullRobStall, self.now);
         } else if self.ace.window_open(StallKind::FullRobStall) {
-            self.ace.close_window(StallKind::FullRobStall, self.now);
+            self.close_stall_window(StallKind::FullRobStall);
         }
 
         if self.mode.is_runahead() {
@@ -464,14 +576,20 @@ impl<S: UopSource> Core<S> {
         }
 
         // Runahead triggers.
-        let Some(features) = self.features else { return };
+        let Some(features) = self.features else {
+            return;
+        };
         let remaining = complete_at - self.now;
         if remaining < self.cfg.min_runahead_benefit {
             return;
         }
         let full_stall = self.rob.is_full();
         let timer_fired = blocked_cycles >= self.cfg.runahead_timer;
-        let trigger = if features.early { timer_fired || full_stall } else { full_stall };
+        let trigger = if features.early {
+            timer_fired || full_stall
+        } else {
+            full_stall
+        };
         if !trigger {
             return;
         }
@@ -484,7 +602,29 @@ impl<S: UopSource> Core<S> {
                 return;
             }
         }
-        self.enter_runahead(blocking_seq, complete_at, features);
+        // The full-ROB condition dominates for attribution: an early timer
+        // that fires the same cycle the ROB fills is recorded as full-ROB.
+        let reason = if full_stall {
+            RunaheadTrigger::FullRob
+        } else {
+            RunaheadTrigger::Timer
+        };
+        self.enter_runahead(blocking_seq, complete_at, features, reason);
+    }
+
+    /// Closes an ACE stall window and forwards the recorded interval to the
+    /// trace sink.
+    fn close_stall_window(&mut self, kind: StallKind) {
+        let closed = self.ace.close_window(kind, self.now);
+        if T::ENABLED {
+            if let Some((start, end)) = closed {
+                let kind = match kind {
+                    StallKind::RobHeadBlocked => rar_trace::BlockedKind::RobHeadBlocked,
+                    StallKind::FullRobStall => rar_trace::BlockedKind::FullRob,
+                };
+                self.sink.emit(TraceEvent::StallWindow { kind, start, end });
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -556,6 +696,13 @@ impl<S: UopSource> Core<S> {
             self.iq_count -= 1;
             budget -= 1;
             issued.push(seq);
+            if T::ENABLED {
+                self.sink.emit(TraceEvent::UopIssued {
+                    seq,
+                    cycle: now,
+                    complete_at,
+                });
+            }
 
             if let Some(phys) = e.dest_phys {
                 self.reg_ready[phys.flat(int_regs)] = complete_at;
@@ -563,8 +710,9 @@ impl<S: UopSource> Core<S> {
             if kind == UopKind::Branch && mispredicted {
                 // The branch resolves at completion; fetch restarts after
                 // the front-end refill.
-                self.fetch_stall_until =
-                    self.fetch_stall_until.max(complete_at + self.cfg.frontend_depth);
+                self.fetch_stall_until = self
+                    .fetch_stall_until
+                    .max(complete_at + self.cfg.frontend_depth);
                 if self.wait_branch == Some(seq) {
                     self.wait_branch = None;
                 }
@@ -584,7 +732,9 @@ impl<S: UopSource> Core<S> {
     /// tight address-update chains (stream index increments) train even
     /// when they retire before the load issues.
     fn learn_slice(&mut self, seq: u64) {
-        let Some(load) = self.rob.get(seq) else { return };
+        let Some(load) = self.rob.get(seq) else {
+            return;
+        };
         let src_pcs: Vec<u64> = load
             .uop
             .srcs()
@@ -720,6 +870,14 @@ impl<S: UopSource> Core<S> {
             }
             self.iq_count += 1;
             self.stats.dispatched += 1;
+            if T::ENABLED {
+                self.sink.emit(TraceEvent::UopDispatched {
+                    seq: entry.seq,
+                    pc: entry.uop.pc(),
+                    cycle: self.now,
+                    runahead: false,
+                });
+            }
             self.rob.push(entry);
             if mispredicted {
                 if self.cfg.model_wrong_path {
@@ -782,7 +940,9 @@ impl<S: UopSource> Core<S> {
             }
             let (dest_phys, old_phys) = match uop.dest() {
                 Some(dest) => {
-                    let Some(fresh) = self.prf.alloc(dest.class()) else { return };
+                    let Some(fresh) = self.prf.alloc(dest.class()) else {
+                        return;
+                    };
                     self.reg_ready[fresh.flat(self.prf.int_regs())] = u64::MAX;
                     let old = self.rat.rename(dest, fresh);
                     (Some(fresh), Some(old))
@@ -812,6 +972,14 @@ impl<S: UopSource> Core<S> {
             if is_load {
                 self.lq_count += 1;
             }
+            if T::ENABLED {
+                self.sink.emit(TraceEvent::UopDispatched {
+                    seq,
+                    pc,
+                    cycle: self.now,
+                    runahead: false,
+                });
+            }
         }
     }
 
@@ -821,6 +989,16 @@ impl<S: UopSource> Core<S> {
     fn squash_after(&mut self, seq: u64) {
         let squashed = self.rob.drain_after(seq);
         self.stats.squashed += squashed.len() as u64;
+        if T::ENABLED {
+            for e in &squashed {
+                self.sink.emit(TraceEvent::UopSquashed {
+                    seq: e.seq,
+                    pc: e.uop.pc(),
+                    dispatch: e.dispatch_cycle,
+                    cycle: self.now,
+                });
+            }
+        }
         let int_regs = self.prf.int_regs();
         for e in squashed.iter().rev() {
             if let (Some(dest), Some(fresh), Some(old)) = (e.uop.dest(), e.dest_phys, e.old_phys) {
@@ -850,8 +1028,22 @@ impl<S: UopSource> Core<S> {
     // Runahead
     // ------------------------------------------------------------------
 
-    fn enter_runahead(&mut self, blocking_seq: u64, exit_at: u64, features: RunaheadFeatures) {
+    fn enter_runahead(
+        &mut self,
+        blocking_seq: u64,
+        exit_at: u64,
+        features: RunaheadFeatures,
+        trigger: RunaheadTrigger,
+    ) {
         self.stats.runahead_intervals += 1;
+        if T::ENABLED {
+            self.sink.emit(TraceEvent::RunaheadEnter {
+                cycle: self.now,
+                blocking_seq,
+                trigger,
+                expected_exit: exit_at,
+            });
+        }
         // Registers produced by in-flight instructions remain readable from
         // the PRF as those instructions complete during the interval; only
         // values that will NOT materialize in time — unreturned LLC misses
@@ -869,7 +1061,11 @@ impl<S: UopSource> Core<S> {
         }
         // Traditional runahead checkpoints architectural state on entry;
         // PRE enters instantaneously (its key claim).
-        let entry_stall = if features.lean { 0 } else { self.cfg.frontend_depth };
+        let entry_stall = if features.lean {
+            0
+        } else {
+            self.cfg.frontend_depth
+        };
         self.mode = Mode::Runahead(RaState {
             blocking_seq,
             exit_at,
@@ -881,7 +1077,9 @@ impl<S: UopSource> Core<S> {
     }
 
     fn runahead_stage(&mut self) {
-        let Mode::Runahead(state) = &self.mode else { return };
+        let Mode::Runahead(state) = &self.mode else {
+            return;
+        };
         let features = self.features.expect("runahead implies features");
         if self.now >= state.exit_at {
             self.exit_runahead();
@@ -889,7 +1087,9 @@ impl<S: UopSource> Core<S> {
         }
         self.stats.runahead_cycles += 1;
 
-        let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+        let Mode::Runahead(state) = &mut self.mode else {
+            unreachable!()
+        };
         if state.entry_stall > 0 {
             state.entry_stall -= 1;
             return;
@@ -897,7 +1097,11 @@ impl<S: UopSource> Core<S> {
         let mut fetch_budget = self.cfg.width;
         // Vector runahead packs several chain iterations into one issue
         // slot, multiplying slice throughput.
-        let mut exec_budget = if features.vector { self.cfg.width * 4 } else { self.cfg.width };
+        let mut exec_budget = if features.vector {
+            self.cfg.width * 4
+        } else {
+            self.cfg.width
+        };
         // The runahead buffer replays dependence chains without touching
         // the front-end: skipping a non-slice micro-op is free, bounded
         // only by how far ahead the buffer's chains can reach per cycle.
@@ -905,7 +1109,9 @@ impl<S: UopSource> Core<S> {
         let depth_limit = self.next_seq + self.cfg.max_runahead_depth;
 
         while fetch_budget > 0 && exec_budget > 0 {
-            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            let Mode::Runahead(state) = &mut self.mode else {
+                unreachable!()
+            };
             if state.ra_seq >= depth_limit {
                 break;
             }
@@ -918,7 +1124,9 @@ impl<S: UopSource> Core<S> {
             } else {
                 true
             };
-            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            let Mode::Runahead(state) = &mut self.mode else {
+                unreachable!()
+            };
             if !in_slice {
                 // Fetched but skipped: its result is not computed.
                 if let Some(d) = uop.dest() {
@@ -983,24 +1191,48 @@ impl<S: UopSource> Core<S> {
                 }
                 _ => {
                     if let Some(d) = uop.dest() {
-                        let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+                        let Mode::Runahead(state) = &mut self.mode else {
+                            unreachable!()
+                        };
                         state.inv.set(d, srcs_valid);
                     }
                 }
             }
 
-            let Mode::Runahead(state) = &mut self.mode else { unreachable!() };
+            let Mode::Runahead(state) = &mut self.mode else {
+                unreachable!()
+            };
             state.ra_seq += 1;
             fetch_budget -= 1;
             exec_budget -= cost;
             self.stats.runahead_uops += 1;
+            if T::ENABLED {
+                // Pre-executed slice uops never dispatch into the ROB;
+                // record them with the `runahead` flag instead.
+                self.sink.emit(TraceEvent::UopDispatched {
+                    seq,
+                    pc,
+                    cycle: self.now,
+                    runahead: true,
+                });
+            }
         }
     }
 
     fn exit_runahead(&mut self) {
-        let Mode::Runahead(state) = &self.mode else { return };
+        let Mode::Runahead(state) = &self.mode else {
+            return;
+        };
         let features = self.features.expect("runahead implies features");
         let blocking_seq = state.blocking_seq;
+        if T::ENABLED {
+            let entered_at = state.entered_at;
+            self.sink.emit(TraceEvent::RunaheadExit {
+                cycle: self.now,
+                entered_at,
+                flushed: features.flush_at_exit,
+            });
+        }
         self.prdq.clear();
         if features.flush_at_exit {
             // RAR / TR: flush the whole back-end. Everything accumulated
@@ -1037,8 +1269,8 @@ impl<S: UopSource> Core<S> {
         if restart {
             let mut inv = InvTracker::all_valid();
             for e in self.rob.iter() {
-                let pending_miss = e.mem_level == Some(HitLevel::Memory)
-                    && e.complete_at.is_some_and(|c| c > now);
+                let pending_miss =
+                    e.mem_level == Some(HitLevel::Memory) && e.complete_at.is_some_and(|c| c > now);
                 let unknown = e.uop.is_load() && e.complete_at.is_none();
                 if pending_miss || unknown {
                     if let Some(d) = e.uop.dest() {
@@ -1063,7 +1295,9 @@ impl<S: UopSource> Core<S> {
             let uop = self.src.get(seq).clone();
             let pc = uop.pc();
             let in_slice = uop.is_load() || self.sst.contains(pc);
-            let Some((seq_ref, inv)) = &mut self.cre else { unreachable!() };
+            let Some((seq_ref, inv)) = &mut self.cre else {
+                unreachable!()
+            };
             if !in_slice {
                 if let Some(d) = uop.dest() {
                     inv.invalidate(d);
@@ -1086,16 +1320,16 @@ impl<S: UopSource> Core<S> {
                         // (the real design has its own resources at the
                         // memory controller).
                         let reserve = 4;
-                        if self.mem.outstanding_misses(now) + reserve
-                            >= self.mem.config().mshrs
-                        {
+                        if self.mem.outstanding_misses(now) + reserve >= self.mem.config().mshrs {
                             break;
                         }
                         let m = uop.mem().expect("loads carry an address");
                         match self.mem.access(AccessKind::Load, m.addr, pc, now) {
                             Ok(out) => {
                                 self.stats.runahead_prefetches += 1;
-                                let Some((_, inv)) = &mut self.cre else { unreachable!() };
+                                let Some((_, inv)) = &mut self.cre else {
+                                    unreachable!()
+                                };
                                 if let Some(d) = uop.dest() {
                                     inv.set(d, out.level < HitLevel::Memory);
                                 }
@@ -1110,12 +1344,16 @@ impl<S: UopSource> Core<S> {
                 UopKind::Store | UopKind::Branch | UopKind::Nop => {}
                 _ => {
                     if let Some(d) = uop.dest() {
-                        let Some((_, inv)) = &mut self.cre else { unreachable!() };
+                        let Some((_, inv)) = &mut self.cre else {
+                            unreachable!()
+                        };
                         inv.set(d, srcs_valid);
                     }
                 }
             }
-            let Some((seq_ref, _)) = &mut self.cre else { unreachable!() };
+            let Some((seq_ref, _)) = &mut self.cre else {
+                unreachable!()
+            };
             *seq_ref += 1;
             exec_budget -= 1;
             self.stats.runahead_uops += 1;
@@ -1133,7 +1371,19 @@ impl<S: UopSource> Core<S> {
         self.stats.flushes += 1;
         let squashed = self.rob.len();
         self.stats.squashed += squashed as u64;
-        let _ = self.rob.drain_all().count();
+        if T::ENABLED {
+            let drained: Vec<Entry> = self.rob.drain_all().collect();
+            for e in &drained {
+                self.sink.emit(TraceEvent::UopSquashed {
+                    seq: e.seq,
+                    pc: e.uop.pc(),
+                    dispatch: e.dispatch_cycle,
+                    cycle: self.now,
+                });
+            }
+        } else {
+            let _ = self.rob.drain_all().count();
+        }
         self.rat = self.arch_rat.clone();
         self.prf.reset_free_except(&self.arch_rat.live_regs());
         self.reg_ready.fill(0);
@@ -1158,6 +1408,16 @@ impl<S: UopSource> Core<S> {
         let head_seq = self.rob.head().expect("blocking head exists").seq;
         let squashed = self.rob.drain_after(head_seq);
         self.stats.squashed += squashed.len() as u64;
+        if T::ENABLED {
+            for e in &squashed {
+                self.sink.emit(TraceEvent::UopSquashed {
+                    seq: e.seq,
+                    pc: e.uop.pc(),
+                    dispatch: e.dispatch_cycle,
+                    cycle: self.now,
+                });
+            }
+        }
         // Roll rename state back to the architectural RAT plus the head's
         // own mapping.
         self.rat = self.arch_rat.clone();
@@ -1319,11 +1579,13 @@ mod tests {
         })
     }
 
-    fn core_with<T: Iterator<Item = Uop>>(
-        technique: Technique,
-        stream: T,
-    ) -> Core<TraceWindow<T>> {
-        Core::new(CoreConfig::baseline(), MemConfig::baseline(), technique, TraceWindow::new(stream))
+    fn core_with<T: Iterator<Item = Uop>>(technique: Technique, stream: T) -> Core<TraceWindow<T>> {
+        Core::new(
+            CoreConfig::baseline(),
+            MemConfig::baseline(),
+            technique,
+            TraceWindow::new(stream),
+        )
     }
 
     #[test]
@@ -1365,7 +1627,10 @@ mod tests {
     fn rar_triggers_runahead_on_chase() {
         let mut core = core_with(Technique::Rar, chase_stream());
         core.run_until_committed(3_000);
-        assert!(core.stats().runahead_intervals > 0, "RAR must enter runahead");
+        assert!(
+            core.stats().runahead_intervals > 0,
+            "RAR must enter runahead"
+        );
         assert!(core.stats().flushes >= core.stats().runahead_intervals);
     }
 
@@ -1464,7 +1729,10 @@ mod tests {
     #[test]
     fn wrong_path_mode_squashes_and_stays_unace() {
         let mk = |wp: bool| {
-            let cfg = CoreConfig { model_wrong_path: wp, ..CoreConfig::baseline() };
+            let cfg = CoreConfig {
+                model_wrong_path: wp,
+                ..CoreConfig::baseline()
+            };
             let mut core = Core::new(
                 cfg,
                 MemConfig::baseline(),
@@ -1472,12 +1740,19 @@ mod tests {
                 TraceWindow::new(mispredicting_stream()),
             );
             core.run_until_committed(4_000);
-            (core.stats().squashed, core.stats().ipc(), core.ace().total_abc())
+            (
+                core.stats().squashed,
+                core.stats().ipc(),
+                core.ace().total_abc(),
+            )
         };
         let (squashed_off, _, _) = mk(false);
         let (squashed_on, ipc_on, _) = mk(true);
         assert_eq!(squashed_off, 0, "bubble model squashes nothing");
-        assert!(squashed_on > 100, "wrong-path uops must be dispatched and squashed");
+        assert!(
+            squashed_on > 100,
+            "wrong-path uops must be dispatched and squashed"
+        );
         assert!(ipc_on > 0.0);
     }
 
@@ -1487,7 +1762,9 @@ mod tests {
         (0u64..).map(move |i| {
             let pc = 0x1000 + (i % 64) * 4;
             if i % 8 == 7 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let taken = (x >> 33) & 1 == 1;
                 Uop::branch(
                     pc,

@@ -106,8 +106,14 @@ impl PhysRegFile {
                 RegClass::Fp => fp_live[r.index as usize] = true,
             }
         }
-        self.free_int = (0..self.int_regs as u16).rev().filter(|&i| !int_live[i as usize]).collect();
-        self.free_fp = (0..self.fp_regs as u16).rev().filter(|&i| !fp_live[i as usize]).collect();
+        self.free_int = (0..self.int_regs as u16)
+            .rev()
+            .filter(|&i| !int_live[i as usize])
+            .collect();
+        self.free_fp = (0..self.fp_regs as u16)
+            .rev()
+            .filter(|&i| !fp_live[i as usize])
+            .collect();
     }
 }
 
@@ -129,7 +135,10 @@ impl Rat {
         let mut map = Vec::with_capacity(ArchReg::total_count());
         for i in 0..ArchReg::total_count() {
             let class = if i < 32 { RegClass::Int } else { RegClass::Fp };
-            map.push(prf.alloc(class).expect("PRF must cover architectural state"));
+            map.push(
+                prf.alloc(class)
+                    .expect("PRF must cover architectural state"),
+            );
         }
         Rat { map }
     }
@@ -223,7 +232,11 @@ mod tests {
                 prf.free(in_flight.remove(0));
             }
             let total = prf.free_count(RegClass::Int)
-                + rat.live_regs().iter().filter(|r| r.class == RegClass::Int).count()
+                + rat
+                    .live_regs()
+                    .iter()
+                    .filter(|r| r.class == RegClass::Int)
+                    .count()
                 + in_flight.len();
             assert_eq!(total, 40);
         }
@@ -244,8 +257,14 @@ mod tests {
 
     #[test]
     fn flat_indexing_disjoint() {
-        let a = PhysReg { class: RegClass::Int, index: 5 };
-        let b = PhysReg { class: RegClass::Fp, index: 5 };
+        let a = PhysReg {
+            class: RegClass::Int,
+            index: 5,
+        };
+        let b = PhysReg {
+            class: RegClass::Fp,
+            index: 5,
+        };
         assert_ne!(a.flat(168), b.flat(168));
         assert_eq!(b.flat(168), 173);
     }

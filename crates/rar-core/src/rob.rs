@@ -69,7 +69,10 @@ impl Rob {
     /// Creates an empty ROB with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Rob { entries: VecDeque::with_capacity(capacity), capacity }
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Entries currently resident.
@@ -253,7 +256,10 @@ mod tests {
             rob.push(entry(s));
         }
         let squashed = rob.drain_after(2);
-        assert_eq!(squashed.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4, 5]);
+        assert_eq!(
+            squashed.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
         assert_eq!(rob.len(), 3);
         assert_eq!(rob.head().unwrap().seq, 0);
         // Contiguity preserved for further pushes.

@@ -21,7 +21,9 @@ impl InvTracker {
     /// All registers valid (interval entry, before marking pending dests).
     #[must_use]
     pub fn all_valid() -> Self {
-        InvTracker { valid: [true; ArchReg::total_count()] }
+        InvTracker {
+            valid: [true; ArchReg::total_count()],
+        }
     }
 
     /// Marks `reg` INV.

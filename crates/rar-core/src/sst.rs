@@ -37,7 +37,13 @@ impl Sst {
     /// Creates an empty table with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Sst { entries: Vec::with_capacity(capacity), capacity, tick: 0, hits: 0, lookups: 0 }
+        Sst {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            lookups: 0,
+        }
     }
 
     /// Inserts `pc`, evicting the LRU entry when full.
@@ -109,7 +115,11 @@ impl Prdq {
     /// Creates an empty queue with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Prdq { capacity, inflight: Vec::new(), peak: 0 }
+        Prdq {
+            capacity,
+            inflight: Vec::new(),
+            peak: 0,
+        }
     }
 
     /// Tries to admit a runahead operation releasing at `release_at`.

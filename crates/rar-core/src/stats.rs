@@ -77,21 +77,33 @@ mod tests {
 
     #[test]
     fn ipc_definition() {
-        let s = CoreStats { cycles: 200, committed: 100, ..CoreStats::default() };
+        let s = CoreStats {
+            cycles: 200,
+            committed: 100,
+            ..CoreStats::default()
+        };
         assert!((s.ipc() - 0.5).abs() < 1e-12);
         assert_eq!(CoreStats::default().ipc(), 0.0);
     }
 
     #[test]
     fn mlp_definition() {
-        let s = CoreStats { mlp_sum: 60, mlp_cycles: 20, ..CoreStats::default() };
+        let s = CoreStats {
+            mlp_sum: 60,
+            mlp_cycles: 20,
+            ..CoreStats::default()
+        };
         assert!((s.mlp() - 3.0).abs() < 1e-12);
         assert_eq!(CoreStats::default().mlp(), 0.0);
     }
 
     #[test]
     fn mean_interval() {
-        let s = CoreStats { runahead_intervals: 4, runahead_cycles: 800, ..CoreStats::default() };
+        let s = CoreStats {
+            runahead_intervals: 4,
+            runahead_cycles: 800,
+            ..CoreStats::default()
+        };
         assert!((s.mean_runahead_interval() - 200.0).abs() < 1e-12);
     }
 }

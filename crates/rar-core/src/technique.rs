@@ -122,8 +122,12 @@ impl Technique {
     }
 
     /// The extension variants implemented beyond the paper's evaluation.
-    pub const EXTENSIONS: [Technique; 4] =
-        [Technique::Throttle, Technique::Rab, Technique::Cre, Technique::Vr];
+    pub const EXTENSIONS: [Technique; 4] = [
+        Technique::Throttle,
+        Technique::Rab,
+        Technique::Cre,
+        Technique::Vr,
+    ];
 
     /// Table IV feature set; `None` for non-runahead techniques.
     #[must_use]
@@ -144,24 +148,48 @@ impl Technique {
                 buffered: true,
                 vector: true,
             }),
-            Technique::Tr => {
-                Some(RunaheadFeatures { early: false, flush_at_exit: true, lean: false, buffered: false, vector: false })
-            }
-            Technique::TrEarly => {
-                Some(RunaheadFeatures { early: true, flush_at_exit: true, lean: false, buffered: false, vector: false })
-            }
-            Technique::Pre => {
-                Some(RunaheadFeatures { early: false, flush_at_exit: false, lean: true, buffered: false, vector: false })
-            }
-            Technique::PreEarly => {
-                Some(RunaheadFeatures { early: true, flush_at_exit: false, lean: true, buffered: false, vector: false })
-            }
-            Technique::RarLate => {
-                Some(RunaheadFeatures { early: false, flush_at_exit: true, lean: true, buffered: false, vector: false })
-            }
-            Technique::Rar => {
-                Some(RunaheadFeatures { early: true, flush_at_exit: true, lean: true, buffered: false, vector: false })
-            }
+            Technique::Tr => Some(RunaheadFeatures {
+                early: false,
+                flush_at_exit: true,
+                lean: false,
+                buffered: false,
+                vector: false,
+            }),
+            Technique::TrEarly => Some(RunaheadFeatures {
+                early: true,
+                flush_at_exit: true,
+                lean: false,
+                buffered: false,
+                vector: false,
+            }),
+            Technique::Pre => Some(RunaheadFeatures {
+                early: false,
+                flush_at_exit: false,
+                lean: true,
+                buffered: false,
+                vector: false,
+            }),
+            Technique::PreEarly => Some(RunaheadFeatures {
+                early: true,
+                flush_at_exit: false,
+                lean: true,
+                buffered: false,
+                vector: false,
+            }),
+            Technique::RarLate => Some(RunaheadFeatures {
+                early: false,
+                flush_at_exit: true,
+                lean: true,
+                buffered: false,
+                vector: false,
+            }),
+            Technique::Rar => Some(RunaheadFeatures {
+                early: true,
+                flush_at_exit: true,
+                lean: true,
+                buffered: false,
+                vector: false,
+            }),
         }
     }
 

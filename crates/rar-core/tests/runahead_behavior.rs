@@ -29,9 +29,13 @@ fn chasing() -> impl Iterator<Item = Uop> {
     (0u64..).map(move |i| {
         let pc = 0x1000 + (i % 64) * 4;
         if i % 4 == 0 {
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = 0x1_0000_0000 + (addr % (256 * 1024 * 1024 / 64)) * 64;
-            Uop::load(pc, a, 8).with_dest(ArchReg::int(0)).with_src(ArchReg::int(0))
+            Uop::load(pc, a, 8)
+                .with_dest(ArchReg::int(0))
+                .with_src(ArchReg::int(0))
         } else if i % 4 == 2 {
             Uop::alu(pc, UopKind::IntAlu).with_src(ArchReg::int(9))
         } else if i % 4 == 3 {
@@ -44,11 +48,7 @@ fn chasing() -> impl Iterator<Item = Uop> {
     })
 }
 
-fn run<I: Iterator<Item = Uop>>(
-    technique: Technique,
-    stream: I,
-    n: u64,
-) -> Core<TraceWindow<I>> {
+fn run<I: Iterator<Item = Uop>>(technique: Technique, stream: I, n: u64) -> Core<TraceWindow<I>> {
     let mut core = Core::new(
         CoreConfig::baseline(),
         MemConfig::baseline(),
@@ -76,7 +76,10 @@ fn rar_flushes_once_per_interval() {
         core.stats().runahead_intervals,
         "every RAR interval ends in exactly one flush"
     );
-    assert!(core.stats().squashed > 0, "the frozen ROB contents get squashed");
+    assert!(
+        core.stats().squashed > 0,
+        "the frozen ROB contents get squashed"
+    );
 }
 
 #[test]
@@ -148,7 +151,10 @@ fn throttle_caps_rob_occupancy() {
 fn countdown_timer_threshold_is_respected() {
     // With an enormous threshold, the early trigger degenerates to the
     // late one: RAR must not out-trigger RAR-LATE.
-    let slow = CoreConfig { runahead_timer: 100_000, ..CoreConfig::baseline() };
+    let slow = CoreConfig {
+        runahead_timer: 100_000,
+        ..CoreConfig::baseline()
+    };
     let mut rar_slow = Core::new(
         slow,
         MemConfig::baseline(),
@@ -169,7 +175,10 @@ fn countdown_timer_threshold_is_respected() {
 fn min_benefit_filter_blocks_short_intervals() {
     // If runahead requires more remaining latency than any miss has,
     // it never triggers.
-    let cfg = CoreConfig { min_runahead_benefit: 1_000_000, ..CoreConfig::baseline() };
+    let cfg = CoreConfig {
+        min_runahead_benefit: 1_000_000,
+        ..CoreConfig::baseline()
+    };
     let mut core = Core::new(
         cfg,
         MemConfig::baseline(),
@@ -212,7 +221,10 @@ fn commit_monotone_and_cycle_accurate() {
         core.cycle();
         let s = core.snapshot();
         assert!(s.committed >= last, "commit counter must be monotone");
-        assert!(s.committed - last <= core.config().width as u64, "bounded by commit width");
+        assert!(
+            s.committed - last <= core.config().width as u64,
+            "bounded by commit width"
+        );
         last = s.committed;
     }
 }
@@ -220,7 +232,11 @@ fn commit_monotone_and_cycle_accurate() {
 #[test]
 fn continuous_runahead_prefetches_without_a_mode() {
     let core = run(Technique::Cre, streaming(), 8_000);
-    assert_eq!(core.stats().runahead_intervals, 0, "CRE never enters a mode");
+    assert_eq!(
+        core.stats().runahead_intervals,
+        0,
+        "CRE never enters a mode"
+    );
     assert_eq!(core.stats().flushes, 0);
     assert!(
         core.stats().runahead_prefetches > 0,

@@ -39,9 +39,17 @@ impl Btb {
     /// Panics if `sets` is not a power of two or `assoc` is zero.
     #[must_use]
     pub fn new(sets: usize, assoc: usize) -> Self {
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         assert!(assoc > 0, "BTB associativity must be nonzero");
-        Btb { entries: vec![BtbEntry::default(); sets * assoc], sets, assoc, tick: 0 }
+        Btb {
+            entries: vec![BtbEntry::default(); sets * assoc],
+            sets,
+            assoc,
+            tick: 0,
+        }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -77,7 +85,12 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| (e.valid, e.last_use))
             .expect("associativity nonzero");
-        *victim = BtbEntry { tag: pc, target, valid: true, last_use: tick };
+        *victim = BtbEntry {
+            tag: pc,
+            target,
+            valid: true,
+            last_use: tick,
+        };
     }
 }
 

@@ -51,7 +51,9 @@ impl LoopPredictor {
     /// Creates a predictor with `entries` fully-associative entries.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        LoopPredictor { entries: vec![LoopEntry::default(); entries] }
+        LoopPredictor {
+            entries: vec![LoopEntry::default(); entries],
+        }
     }
 
     fn tag(pc: u64) -> u32 {
@@ -72,7 +74,11 @@ impl LoopPredictor {
         }
         // Next observed iteration index is e.current; the exit occurs at
         // iteration trip-1.
-        Some(if e.current == e.trip - 1 { !e.body_taken } else { e.body_taken })
+        Some(if e.current == e.trip - 1 {
+            !e.body_taken
+        } else {
+            e.body_taken
+        })
     }
 
     /// Trains with the resolved outcome.

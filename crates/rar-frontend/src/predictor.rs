@@ -107,7 +107,12 @@ impl BranchPredictor {
             None => (self.sc.correct(pc, tage.taken, tage.weak), false),
         };
         let target = if taken { self.btb.lookup(pc) } else { None };
-        let p = Prediction { taken, target, tage, from_loop };
+        let p = Prediction {
+            taken,
+            target,
+            tage,
+            from_loop,
+        };
         self.pending = Some((pc, p));
         p
     }
@@ -219,7 +224,11 @@ mod tests {
 
     #[test]
     fn stats_mpki() {
-        let s = PredictorStats { predictions: 100, mispredictions: 8, btb_misses: 0 };
+        let s = PredictorStats {
+            predictions: 100,
+            mispredictions: 8,
+            btb_misses: 0,
+        };
         assert!((s.mpki_of(1000) - 8.0).abs() < 1e-12);
         assert!((s.accuracy() - 0.92).abs() < 1e-12);
     }

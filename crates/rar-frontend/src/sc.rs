@@ -32,7 +32,10 @@ impl StatisticalCorrector {
     /// Creates a corrector with `2^bits` entries.
     #[must_use]
     pub fn new(bits: u32) -> Self {
-        StatisticalCorrector { table: vec![0; 1 << bits], mask: (1 << bits) - 1 }
+        StatisticalCorrector {
+            table: vec![0; 1 << bits],
+            mask: (1 << bits) - 1,
+        }
     }
 
     fn index(&self, pc: u64) -> usize {
@@ -102,6 +105,9 @@ mod tests {
         // on the inversion boundary (-16 + 8 = -8): the weak prediction is
         // still inverted, proving the counter saturated instead of
         // overflowing during the 1000 disagreements.
-        assert!(!sc.correct(0x10, true, true), "saturated counter still inverts");
+        assert!(
+            !sc.correct(0x10, true, true),
+            "saturated counter still inverts"
+        );
     }
 }

@@ -73,7 +73,10 @@ struct GlobalHistory {
 
 impl GlobalHistory {
     fn new(capacity: usize) -> Self {
-        GlobalHistory { bits: vec![false; capacity], head: 0 }
+        GlobalHistory {
+            bits: vec![false; capacity],
+            head: 0,
+        }
     }
 
     fn push(&mut self, taken: bool) {
@@ -154,15 +157,22 @@ impl Tage {
     }
 
     fn tagged_index(&self, pc: u64, table: usize) -> usize {
-        let h = self.history.fold(self.config.history_lengths[table], self.config.tagged_bits);
+        let h = self
+            .history
+            .fold(self.config.history_lengths[table], self.config.tagged_bits);
         let pc_part = (pc >> 2) ^ (pc >> (2 + self.config.tagged_bits as u64));
-        ((pc_part ^ h ^ (table as u64).wrapping_mul(0x9e3779b9)) & ((1 << self.config.tagged_bits) - 1))
-            as usize
+        ((pc_part ^ h ^ (table as u64).wrapping_mul(0x9e3779b9))
+            & ((1 << self.config.tagged_bits) - 1)) as usize
     }
 
     fn tag(&self, pc: u64, table: usize) -> u16 {
-        let h = self.history.fold(self.config.history_lengths[table], self.config.tag_bits);
-        let h2 = self.history.fold(self.config.history_lengths[table], self.config.tag_bits - 1) << 1;
+        let h = self
+            .history
+            .fold(self.config.history_lengths[table], self.config.tag_bits);
+        let h2 = self
+            .history
+            .fold(self.config.history_lengths[table], self.config.tag_bits - 1)
+            << 1;
         (((pc >> 2) ^ h ^ h2) & ((1 << self.config.tag_bits) - 1)) as u16
     }
 
@@ -198,9 +208,19 @@ impl Tage {
                 } else {
                     e.ctr >= 0
                 };
-                TagePrediction { taken, provider: Some(t), alt_taken, weak }
+                TagePrediction {
+                    taken,
+                    provider: Some(t),
+                    alt_taken,
+                    weak,
+                }
             }
-            None => TagePrediction { taken: base_taken, provider: None, alt_taken: base_taken, weak: self.base[self.base_index(pc)] == 1 || self.base[self.base_index(pc)] == 2 },
+            None => TagePrediction {
+                taken: base_taken,
+                provider: None,
+                alt_taken: base_taken,
+                weak: self.base[self.base_index(pc)] == 1 || self.base[self.base_index(pc)] == 2,
+            },
         }
     }
 
@@ -273,8 +293,11 @@ impl Tage {
                     }
                     let idx = self.tagged_index(pc, t);
                     let tag = self.tag(pc, t);
-                    self.tagged[t][idx] =
-                        TaggedEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 0 };
+                    self.tagged[t][idx] = TaggedEntry {
+                        tag,
+                        ctr: if taken { 0 } else { -1 },
+                        useful: 0,
+                    };
                     allocated = true;
                     break;
                 }
@@ -337,8 +360,14 @@ mod tests {
         // T,N,T,N... bimodal alone cannot learn this; tagged tables can.
         let warmup = train(&mut t, 0x408, &[true, false], 200);
         let late = train(&mut t, 0x408, &[true, false], 50);
-        assert!(late < warmup / 3, "should converge: warmup={warmup}, late={late}");
-        assert!(late <= 5, "alternating pattern should be near-perfect, got {late}");
+        assert!(
+            late < warmup / 3,
+            "should converge: warmup={warmup}, late={late}"
+        );
+        assert!(
+            late <= 5,
+            "alternating pattern should be near-perfect, got {late}"
+        );
     }
 
     #[test]
@@ -357,7 +386,9 @@ mod tests {
         let mut x = 12345u64;
         let mut outcomes = Vec::new();
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             outcomes.push((x >> 33) & 1 == 1);
         }
         let mut mis = 0;

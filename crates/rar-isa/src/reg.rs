@@ -79,8 +79,14 @@ impl ArchReg {
     /// Panics if `index >= NUM_ARCH_REGS_PER_CLASS`.
     #[must_use]
     pub fn int(index: u8) -> Self {
-        assert!(index < NUM_ARCH_REGS_PER_CLASS, "int register index out of range");
-        ArchReg { class: RegClass::Int, index }
+        assert!(
+            index < NUM_ARCH_REGS_PER_CLASS,
+            "int register index out of range"
+        );
+        ArchReg {
+            class: RegClass::Int,
+            index,
+        }
     }
 
     /// Creates a floating-point register.
@@ -90,8 +96,14 @@ impl ArchReg {
     /// Panics if `index >= NUM_ARCH_REGS_PER_CLASS`.
     #[must_use]
     pub fn fp(index: u8) -> Self {
-        assert!(index < NUM_ARCH_REGS_PER_CLASS, "fp register index out of range");
-        ArchReg { class: RegClass::Fp, index }
+        assert!(
+            index < NUM_ARCH_REGS_PER_CLASS,
+            "fp register index out of range"
+        );
+        ArchReg {
+            class: RegClass::Fp,
+            index,
+        }
     }
 
     /// The register class.

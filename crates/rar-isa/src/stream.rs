@@ -62,7 +62,12 @@ pub struct TraceWindow<I> {
 impl<I: Iterator<Item = Uop>> TraceWindow<I> {
     /// Wraps an infinite micro-op iterator.
     pub fn new(inner: I) -> Self {
-        TraceWindow { inner, base: 0, buf: VecDeque::new(), generated: 0 }
+        TraceWindow {
+            inner,
+            base: 0,
+            buf: VecDeque::new(),
+            generated: 0,
+        }
     }
 
     /// Number of micro-ops currently buffered.

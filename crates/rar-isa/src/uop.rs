@@ -144,7 +144,14 @@ impl Uop {
             !kind.is_mem() && kind != UopKind::Branch,
             "use Uop::load/store/branch for {kind}"
         );
-        Uop { pc, kind, srcs: [None, None], dest: None, mem: None, branch: None }
+        Uop {
+            pc,
+            kind,
+            srcs: [None, None],
+            dest: None,
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Creates a load micro-op reading `size` bytes at `addr`.
@@ -176,13 +183,27 @@ impl Uop {
     /// Creates a branch micro-op with a resolved outcome.
     #[must_use]
     pub fn branch(pc: u64, info: BranchInfo) -> Self {
-        Uop { pc, kind: UopKind::Branch, srcs: [None, None], dest: None, mem: None, branch: Some(info) }
+        Uop {
+            pc,
+            kind: UopKind::Branch,
+            srcs: [None, None],
+            dest: None,
+            mem: None,
+            branch: Some(info),
+        }
     }
 
     /// Creates a NOP at `pc`.
     #[must_use]
     pub fn nop(pc: u64) -> Self {
-        Uop { pc, kind: UopKind::Nop, srcs: [None, None], dest: None, mem: None, branch: None }
+        Uop {
+            pc,
+            kind: UopKind::Nop,
+            srcs: [None, None],
+            dest: None,
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Adds a source register (up to two); extra sources are ignored, which
@@ -277,14 +298,24 @@ mod tests {
     fn constructors_set_kind_and_payload() {
         let l = Uop::load(0x10, 0x100, 8);
         assert_eq!(l.kind(), UopKind::Load);
-        assert_eq!(l.mem(), Some(MemInfo { addr: 0x100, size: 8 }));
+        assert_eq!(
+            l.mem(),
+            Some(MemInfo {
+                addr: 0x100,
+                size: 8
+            })
+        );
 
         let s = Uop::store(0x14, 0x108, 8);
         assert!(s.is_store());
 
         let b = Uop::branch(
             0x18,
-            BranchInfo { taken: true, target: 0x10, class: BranchClass::Loop },
+            BranchInfo {
+                taken: true,
+                target: 0x10,
+                class: BranchClass::Loop,
+            },
         );
         assert!(b.is_branch());
         assert!(b.branch_info().unwrap().taken);

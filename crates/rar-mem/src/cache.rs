@@ -161,7 +161,11 @@ impl Cache {
         let evicted = victim
             .valid
             .then(|| ((victim.tag << sets_log2) | set as u64) * line_bytes);
-        *victim = Way { tag, valid: true, last_use: tick };
+        *victim = Way {
+            tag,
+            valid: true,
+            last_use: tick,
+        };
         evicted
     }
 
@@ -194,7 +198,12 @@ mod tests {
 
     fn small() -> Cache {
         // 2 sets x 2 ways x 64B = 256B.
-        Cache::new(CacheConfig { size_bytes: 256, assoc: 2, line_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -221,7 +230,7 @@ mod tests {
         // Set index = bit 6. Keep all in set 0: line addresses multiple of 128.
         c.insert(0x000, 0);
         c.insert(0x080, 0); // different set (bit 6 set)? 0x80/64=2 -> set 0. yes set 0.
-        // touch 0x000 so 0x080 is LRU
+                            // touch 0x000 so 0x080 is LRU
         assert!(c.access(0x000));
         let evicted = c.insert(0x100, 0); // set 0 again; evicts 0x080
         assert_eq!(evicted, Some(0x080));
@@ -273,8 +282,18 @@ mod tests {
 
     #[test]
     fn table2_geometries_are_valid() {
-        for (size, assoc) in [(32 * 1024, 4), (32 * 1024, 8), (256 * 1024, 8), (1024 * 1024, 16)] {
-            let c = CacheConfig { size_bytes: size, assoc, line_bytes: 64, latency: 1 };
+        for (size, assoc) in [
+            (32 * 1024, 4),
+            (32 * 1024, 8),
+            (256 * 1024, 8),
+            (1024 * 1024, 16),
+        ] {
+            let c = CacheConfig {
+                size_bytes: size,
+                assoc,
+                line_bytes: 64,
+                latency: 1,
+            };
             assert!(c.num_sets() > 0);
         }
     }

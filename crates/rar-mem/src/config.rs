@@ -42,10 +42,30 @@ impl MemConfig {
     #[must_use]
     pub fn baseline() -> Self {
         MemConfig {
-            l1i: CacheConfig { size_bytes: 32 * 1024, assoc: 4, line_bytes: 64, latency: 2 },
-            l1d: CacheConfig { size_bytes: 32 * 1024, assoc: 8, line_bytes: 64, latency: 4 },
-            l2: CacheConfig { size_bytes: 256 * 1024, assoc: 8, line_bytes: 64, latency: 8 },
-            l3: CacheConfig { size_bytes: 1024 * 1024, assoc: 16, line_bytes: 64, latency: 30 },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 4,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 8,
+            },
+            l3: CacheConfig {
+                size_bytes: 1024 * 1024,
+                assoc: 16,
+                line_bytes: 64,
+                latency: 30,
+            },
             mshrs: 20,
             dram: DramConfig::ddr3_1600(),
             prefetch: PrefetchPlacement::None,
@@ -56,7 +76,10 @@ impl MemConfig {
     /// Baseline with the aggressive prefetcher at the given placement.
     #[must_use]
     pub fn with_prefetch(placement: PrefetchPlacement) -> Self {
-        MemConfig { prefetch: placement, ..MemConfig::baseline() }
+        MemConfig {
+            prefetch: placement,
+            ..MemConfig::baseline()
+        }
     }
 }
 

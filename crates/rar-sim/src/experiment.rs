@@ -60,7 +60,12 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        ExperimentOptions { instructions: 60_000, warmup: 25_000, seed: 1, suite: Suite::Memory }
+        ExperimentOptions {
+            instructions: 60_000,
+            warmup: 25_000,
+            seed: 1,
+            suite: Suite::Memory,
+        }
     }
 }
 
@@ -68,7 +73,11 @@ impl ExperimentOptions {
     /// A tiny budget for smoke tests and doc examples.
     #[must_use]
     pub fn quick() -> Self {
-        ExperimentOptions { instructions: 4_000, warmup: 500, ..ExperimentOptions::default() }
+        ExperimentOptions {
+            instructions: 4_000,
+            warmup: 500,
+            ..ExperimentOptions::default()
+        }
     }
 }
 
@@ -92,12 +101,22 @@ fn run_one(
     )
 }
 
-/// Runs `configs` across threads, preserving order.
-fn parallel_runs(configs: Vec<SimConfig>) -> Vec<SimResult> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(configs.len().max(1));
-    let results: Vec<std::sync::Mutex<Option<SimResult>>> =
-        configs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+/// Runs `configs` across threads, preserving order. A run that panics
+/// (e.g. a bad workload name) is reported on stderr and returned as
+/// `None` instead of poisoning the whole sweep; each completed run also
+/// logs a progress/ETA line to stderr.
+fn parallel_runs(configs: Vec<SimConfig>) -> Vec<Option<SimResult>> {
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(configs.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<SimResult>>> = configs
+        .iter()
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let total = configs.len();
+    let started = std::time::Instant::now();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -105,14 +124,33 @@ fn parallel_runs(configs: Vec<SimConfig>) -> Vec<SimResult> {
                 if i >= configs.len() {
                     break;
                 }
-                let r = Simulation::run(&configs[i]);
-                *results[i].lock().expect("no poisoned runs") = Some(r);
+                let cfg = &configs[i];
+                let r =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Simulation::run(cfg)));
+                let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                let elapsed = started.elapsed().as_secs_f64();
+                let eta = elapsed / finished as f64 * (total - finished) as f64;
+                match r {
+                    Ok(r) => {
+                        eprintln!(
+                            "[rar-sim] {finished}/{total} {}/{} done \
+                             ({elapsed:.1}s elapsed, ~{eta:.0}s left)",
+                            cfg.workload, cfg.technique
+                        );
+                        *results[i].lock().expect("no poisoned runs") = Some(r);
+                    }
+                    Err(_) => eprintln!(
+                        "[rar-sim] {finished}/{total} {}/{} FAILED \
+                         (panicked; excluded from tables)",
+                        cfg.workload, cfg.technique
+                    ),
+                }
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("run finished").expect("run produced a result"))
+        .map(|m| m.into_inner().expect("run finished"))
         .collect()
 }
 
@@ -142,10 +180,20 @@ fn run_matrix(
     }
     let results = parallel_runs(configs);
     let mut map = HashMap::new();
-    for r in results {
+    for r in results.into_iter().flatten() {
         map.insert((r.workload.clone(), r.technique), r);
     }
     map
+}
+
+/// Looks up one matrix cell; `None` when that run failed (figure builders
+/// then skip the benchmark rather than panic).
+fn cell<'a>(
+    m: &'a HashMap<(String, Technique), SimResult>,
+    b: &str,
+    t: Technique,
+) -> Option<&'a SimResult> {
+    m.get(&(b.to_owned(), t))
 }
 
 /// Figure 1: the headline IPC-versus-MTTF trade-off of FLUSH, TR, PRE and
@@ -153,17 +201,38 @@ fn run_matrix(
 #[must_use]
 pub fn fig1(opts: &ExperimentOptions) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
-    let techniques =
-        [Technique::Ooo, Technique::Flush, Technique::Tr, Technique::Pre, Technique::Rar];
-    let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let techniques = [
+        Technique::Ooo,
+        Technique::Flush,
+        Technique::Tr,
+        Technique::Pre,
+        Technique::Rar,
+    ];
+    let m = run_matrix(
+        &benchmarks,
+        &techniques,
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
 
-    let mut table = Table::new(vec!["technique".into(), "norm_MTTF".into(), "norm_IPC".into()]);
+    let mut table = Table::new(vec![
+        "technique".into(),
+        "norm_MTTF".into(),
+        "norm_IPC".into(),
+    ]);
     table.titled("Figure 1: performance vs reliability (memory-intensive, relative to OoO)");
-    for t in [Technique::Flush, Technique::Tr, Technique::Pre, Technique::Rar] {
+    for t in [
+        Technique::Flush,
+        Technique::Tr,
+        Technique::Pre,
+        Technique::Rar,
+    ] {
         let (mut mttfs, mut ipcs) = (Vec::new(), Vec::new());
         for &b in &benchmarks {
-            let base = &m[&(b.to_owned(), Technique::Ooo)];
-            let r = &m[&(b.to_owned(), t)];
+            let (Some(base), Some(r)) = (cell(&m, b, Technique::Ooo), cell(&m, b, t)) else {
+                continue;
+            };
             mttfs.push(r.mttf_vs(base));
             ipcs.push(r.ipc_vs(base));
         }
@@ -184,7 +253,13 @@ pub fn fig3(opts: &ExperimentOptions) -> Table {
     table.titled("Figure 3: ABC stacks (ACE bit-cycles per kilo-instruction)");
 
     let mem_benchmarks = Suite::Memory.benchmarks();
-    let m = run_matrix(&mem_benchmarks, &[Technique::Ooo], &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &mem_benchmarks,
+        &[Technique::Ooo],
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
     let c = run_matrix(
         &Suite::Compute.benchmarks(),
         &[Technique::Ooo],
@@ -206,11 +281,16 @@ pub fn fig3(opts: &ExperimentOptions) -> Table {
     table.row(row);
 
     for &b in &mem_benchmarks {
-        let r = &m[&(b.to_owned(), Technique::Ooo)];
-        let per_ki =
-            |abc: u128| abc as f64 / r.stats.committed as f64 * 1000.0;
+        let Some(r) = cell(&m, b, Technique::Ooo) else {
+            continue;
+        };
+        let per_ki = |abc: u128| abc as f64 / r.stats.committed as f64 * 1000.0;
         let mut row = vec![b.to_owned()];
-        row.extend(r.abc_by_structure.iter().map(|&a| format!("{:.0}", per_ki(a))));
+        row.extend(
+            r.abc_by_structure
+                .iter()
+                .map(|&a| format!("{:.0}", per_ki(a))),
+        );
         row.push(format!("{:.0}", per_ki(r.reliability.total_abc())));
         table.row(row);
     }
@@ -230,7 +310,13 @@ pub fn fig4(opts: &ExperimentOptions) -> Table {
     // average (arithmetic mean, as for ABC).
     let mut per_core: Vec<HashMap<String, f64>> = Vec::new();
     for core in &cores {
-        let m = run_matrix(&benchmarks, &[Technique::Ooo], core, &MemConfig::baseline(), opts);
+        let m = run_matrix(
+            &benchmarks,
+            &[Technique::Ooo],
+            core,
+            &MemConfig::baseline(),
+            opts,
+        );
         per_core.push(
             m.into_iter()
                 .map(|((b, _), r)| (b, r.reliability.total_abc() as f64))
@@ -240,7 +326,7 @@ pub fn fig4(opts: &ExperimentOptions) -> Table {
     for (i, core) in cores.iter().enumerate() {
         let ratios: Vec<f64> = benchmarks
             .iter()
-            .map(|&b| per_core[i][b] / per_core[0][b])
+            .filter_map(|&b| Some(per_core[i].get(b)? / per_core[0].get(b)?))
             .collect();
         table.row(vec![
             format!("Core-{}", i + 1),
@@ -262,10 +348,18 @@ pub fn fig5(opts: &ExperimentOptions) -> Table {
     ]);
     table.titled("Figure 5: share of ACE bits exposed under blocking misses (OoO)");
     let benchmarks = Suite::Memory.benchmarks();
-    let m = run_matrix(&benchmarks, &[Technique::Ooo], &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &[Technique::Ooo],
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
     let (mut f_shares, mut h_shares) = (Vec::new(), Vec::new());
     for &b in &benchmarks {
-        let r = &m[&(b.to_owned(), Technique::Ooo)];
+        let Some(r) = cell(&m, b, Technique::Ooo) else {
+            continue;
+        };
         let total = r.reliability.total_abc() as f64;
         let f = r.window_abc[0] as f64 / total * 100.0;
         let h = r.window_abc[1] as f64 / total * 100.0;
@@ -293,23 +387,44 @@ pub fn fig7_fig8(opts: &ExperimentOptions) -> [Table; 4] {
         Technique::RarLate,
         Technique::Rar,
     ];
-    let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &techniques,
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
 
-    let evaluated = [Technique::Flush, Technique::Pre, Technique::RarLate, Technique::Rar];
+    let evaluated = [
+        Technique::Flush,
+        Technique::Pre,
+        Technique::RarLate,
+        Technique::Rar,
+    ];
     let mut header = vec!["benchmark".into()];
     header.extend(evaluated.iter().map(ToString::to_string));
 
-    let make = |title: &str, metric: &dyn Fn(&SimResult, &SimResult) -> f64, avg: &dyn Fn(&[f64]) -> f64| {
+    let make = |title: &str,
+                metric: &dyn Fn(&SimResult, &SimResult) -> f64,
+                avg: &dyn Fn(&[f64]) -> f64| {
         let mut t = Table::new(header.clone());
         t.titled(title);
         let mut mem_cols: Vec<Vec<f64>> = vec![Vec::new(); evaluated.len()];
         let mut cpu_cols: Vec<Vec<f64>> = vec![Vec::new(); evaluated.len()];
         for &b in &benchmarks {
-            let base = &m[&(b.to_owned(), Technique::Ooo)];
+            let Some(base) = cell(&m, b, Technique::Ooo) else {
+                continue;
+            };
             let mut row = vec![b.to_owned()];
             let is_mem = memory_intensive().contains(&b);
-            for (i, &tech) in evaluated.iter().enumerate() {
-                let v = metric(&m[&(b.to_owned(), tech)], base);
+            let vals: Option<Vec<f64>> = evaluated
+                .iter()
+                .map(|&tech| cell(&m, b, tech).map(|r| metric(r, base)))
+                .collect();
+            let Some(vals) = vals else {
+                continue;
+            };
+            for (i, v) in vals.into_iter().enumerate() {
                 if is_mem {
                     mem_cols[i].push(v);
                 } else {
@@ -341,10 +456,24 @@ pub fn fig7_fig8(opts: &ExperimentOptions) -> [Table; 4] {
     };
 
     [
-        make("Figure 7a: normalized MTTF (higher is better)", &|r, b| r.mttf_vs(b), &|c| gmean(c)),
-        make("Figure 7b: normalized ABC (lower is better)", &|r, b| r.abc_vs(b), &|c| amean(c)),
-        make("Figure 8a: normalized IPC (higher is better)", &|r, b| r.ipc_vs(b), &|c| hmean(c)),
-        make("Figure 8b: normalized MLP", &|r, b| r.mlp_vs(b), &|c| amean(c)),
+        make(
+            "Figure 7a: normalized MTTF (higher is better)",
+            &|r, b| r.mttf_vs(b),
+            &|c| gmean(c),
+        ),
+        make(
+            "Figure 7b: normalized ABC (lower is better)",
+            &|r, b| r.abc_vs(b),
+            &|c| amean(c),
+        ),
+        make(
+            "Figure 8a: normalized IPC (higher is better)",
+            &|r, b| r.ipc_vs(b),
+            &|c| hmean(c),
+        ),
+        make("Figure 8b: normalized MLP", &|r, b| r.mlp_vs(b), &|c| {
+            amean(c)
+        }),
     ]
 }
 
@@ -355,7 +484,13 @@ pub fn fig9(opts: &ExperimentOptions) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let mut techniques = vec![Technique::Ooo, Technique::Flush];
     techniques.extend(Technique::RUNAHEAD_VARIANTS);
-    let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &techniques,
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
 
     let mut table = Table::new(vec![
         "technique".into(),
@@ -367,13 +502,19 @@ pub fn fig9(opts: &ExperimentOptions) -> Table {
     for t in techniques.iter().skip(1) {
         let (mut mttf, mut abc, mut ipc) = (Vec::new(), Vec::new(), Vec::new());
         for &b in &benchmarks {
-            let base = &m[&(b.to_owned(), Technique::Ooo)];
-            let r = &m[&(b.to_owned(), *t)];
+            let (Some(base), Some(r)) = (cell(&m, b, Technique::Ooo), cell(&m, b, *t)) else {
+                continue;
+            };
             mttf.push(r.mttf_vs(base));
             abc.push(r.abc_vs(base));
             ipc.push(r.ipc_vs(base));
         }
-        table.row(vec![t.to_string(), fmt2(gmean(&mttf)), fmt3(amean(&abc)), fmt2(hmean(&ipc))]);
+        table.row(vec![
+            t.to_string(),
+            fmt2(gmean(&mttf)),
+            fmt3(amean(&abc)),
+            fmt2(hmean(&ipc)),
+        ]);
     }
     table
 }
@@ -411,9 +552,16 @@ pub fn fig10(opts: &ExperimentOptions) -> Table {
     for (i, (name, core)) in cores.iter().enumerate() {
         let (mut ooo, mut rar) = (Vec::new(), Vec::new());
         for &b in &benchmarks {
-            let base = per_core[0][&(b.to_owned(), Technique::Ooo)].reliability.total_abc() as f64;
-            ooo.push(per_core[i][&(b.to_owned(), Technique::Ooo)].reliability.total_abc() as f64 / base);
-            rar.push(per_core[i][&(b.to_owned(), Technique::Rar)].reliability.total_abc() as f64 / base);
+            let (Some(bl), Some(o), Some(r)) = (
+                cell(&per_core[0], b, Technique::Ooo),
+                cell(&per_core[i], b, Technique::Ooo),
+                cell(&per_core[i], b, Technique::Rar),
+            ) else {
+                continue;
+            };
+            let base = bl.reliability.total_abc() as f64;
+            ooo.push(o.reliability.total_abc() as f64 / base);
+            rar.push(r.reliability.total_abc() as f64 / base);
         }
         table.row(vec![
             name.clone(),
@@ -455,15 +603,22 @@ pub fn fig11(opts: &ExperimentOptions) -> Table {
     );
     for (pname, placement) in placements {
         let mem = MemConfig::with_prefetch(placement);
-        let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &mem, opts);
+        let m = run_matrix(
+            &benchmarks,
+            &techniques,
+            &CoreConfig::baseline(),
+            &mem,
+            opts,
+        );
         for t in techniques {
             if t == Technique::Ooo && placement == PrefetchPlacement::None {
                 continue; // that's the baseline itself
             }
             let (mut mttf, mut abc, mut ipc) = (Vec::new(), Vec::new(), Vec::new());
             for &b in &benchmarks {
-                let bl = &base[&(b.to_owned(), Technique::Ooo)];
-                let r = &m[&(b.to_owned(), t)];
+                let (Some(bl), Some(r)) = (cell(&base, b, Technique::Ooo), cell(&m, b, t)) else {
+                    continue;
+                };
                 mttf.push(r.mttf_vs(bl));
                 abc.push(r.abc_vs(bl));
                 ipc.push(r.ipc_vs(bl));
@@ -493,7 +648,12 @@ pub fn table4() -> Table {
     for t in Technique::RUNAHEAD_VARIANTS {
         let f = t.features().expect("runahead variants have features");
         let mark = |b: bool| if b { "yes" } else { "-" }.to_owned();
-        table.row(vec![t.to_string(), mark(f.early), mark(f.flush_at_exit), mark(f.lean)]);
+        table.row(vec![
+            t.to_string(),
+            mark(f.early),
+            mark(f.flush_at_exit),
+            mark(f.lean),
+        ]);
     }
     table
 }
@@ -505,11 +665,27 @@ pub fn mpki_check(opts: &ExperimentOptions) -> Table {
     let mut table = Table::new(vec!["benchmark".into(), "class".into(), "MPKI".into()]);
     table.titled("Workload classification (baseline OoO)");
     let benchmarks = Suite::All.benchmarks();
-    let m = run_matrix(&benchmarks, &[Technique::Ooo], &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &[Technique::Ooo],
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
     for &b in &benchmarks {
-        let r = &m[&(b.to_owned(), Technique::Ooo)];
-        let class = if memory_intensive().contains(&b) { "memory" } else { "compute" };
-        table.row(vec![b.to_owned(), class.to_owned(), format!("{:.1}", r.mpki())]);
+        let Some(r) = cell(&m, b, Technique::Ooo) else {
+            continue;
+        };
+        let class = if memory_intensive().contains(&b) {
+            "memory"
+        } else {
+            "compute"
+        };
+        table.row(vec![
+            b.to_owned(),
+            class.to_owned(),
+            format!("{:.1}", r.mpki()),
+        ]);
     }
     table
 }
@@ -538,13 +714,13 @@ pub fn structures(opts: &ExperimentOptions) -> Table {
         let avg = |tech: Technique| {
             let vals: Vec<f64> = benchmarks
                 .iter()
-                .map(|&b| {
-                    let r = &m[&(b.to_owned(), tech)];
+                .filter_map(|&b| {
+                    let r = cell(&m, b, tech)?;
                     let denom = caps.bits(st) as f64 * r.stats.cycles as f64;
                     if denom == 0.0 {
-                        0.0
+                        Some(0.0)
                     } else {
-                        r.abc_by_structure[st.index()] as f64 / denom
+                        Some(r.abc_by_structure[st.index()] as f64 / denom)
                     }
                 })
                 .collect();
@@ -578,7 +754,13 @@ pub fn extensions(opts: &ExperimentOptions) -> Table {
         Technique::Cre,
         Technique::Vr,
     ];
-    let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &techniques,
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
     let mut table = Table::new(vec![
         "technique".into(),
         "norm_MTTF".into(),
@@ -589,13 +771,19 @@ pub fn extensions(opts: &ExperimentOptions) -> Table {
     for t in techniques.into_iter().skip(1) {
         let (mut mttf, mut abc, mut ipc) = (Vec::new(), Vec::new(), Vec::new());
         for &b in &benchmarks {
-            let base = &m[&(b.to_owned(), Technique::Ooo)];
-            let r = &m[&(b.to_owned(), t)];
+            let (Some(base), Some(r)) = (cell(&m, b, Technique::Ooo), cell(&m, b, t)) else {
+                continue;
+            };
             mttf.push(r.mttf_vs(base));
             abc.push(r.abc_vs(base));
             ipc.push(r.ipc_vs(base));
         }
-        table.row(vec![t.to_string(), fmt2(gmean(&mttf)), fmt3(amean(&abc)), fmt2(hmean(&ipc))]);
+        table.row(vec![
+            t.to_string(),
+            fmt2(gmean(&mttf)),
+            fmt3(amean(&abc)),
+            fmt2(hmean(&ipc)),
+        ]);
     }
     table
 }
@@ -615,7 +803,13 @@ pub fn energy(opts: &ExperimentOptions) -> Table {
         Technique::Pre,
         Technique::Rar,
     ];
-    let m = run_matrix(&benchmarks, &techniques, &CoreConfig::baseline(), &MemConfig::baseline(), opts);
+    let m = run_matrix(
+        &benchmarks,
+        &techniques,
+        &CoreConfig::baseline(),
+        &MemConfig::baseline(),
+        opts,
+    );
     let mut table = Table::new(vec![
         "technique".into(),
         "rel_EPI".into(),
@@ -626,8 +820,9 @@ pub fn energy(opts: &ExperimentOptions) -> Table {
     for t in techniques.into_iter().skip(1) {
         let (mut epi, mut ipc, mut ra) = (Vec::new(), Vec::new(), Vec::new());
         for &b in &benchmarks {
-            let base = &m[&(b.to_owned(), Technique::Ooo)];
-            let r = &m[&(b.to_owned(), t)];
+            let (Some(base), Some(r)) = (cell(&m, b, Technique::Ooo), cell(&m, b, t)) else {
+                continue;
+            };
             epi.push(model.epi_vs(r, base));
             ipc.push(r.ipc_vs(base));
             ra.push(r.stats.runahead_uops as f64 / r.stats.committed as f64);
@@ -657,13 +852,20 @@ pub fn seed_sweep(opts: &ExperimentOptions, seeds: u64) -> Table {
         o.seed = seed;
         let mut all = vec![Technique::Ooo];
         all.extend(techniques);
-        let m = run_matrix(&benchmarks, &all, &CoreConfig::baseline(), &MemConfig::baseline(), &o);
+        let m = run_matrix(
+            &benchmarks,
+            &all,
+            &CoreConfig::baseline(),
+            &MemConfig::baseline(),
+            &o,
+        );
         let mut row = HashMap::new();
         for t in techniques {
             let (mut mttf, mut ipc) = (Vec::new(), Vec::new());
             for &b in &benchmarks {
-                let base = &m[&(b.to_owned(), Technique::Ooo)];
-                let r = &m[&(b.to_owned(), t)];
+                let (Some(base), Some(r)) = (cell(&m, b, Technique::Ooo), cell(&m, b, t)) else {
+                    continue;
+                };
                 mttf.push(r.mttf_vs(base));
                 ipc.push(r.ipc_vs(base));
             }
@@ -695,7 +897,14 @@ pub fn seed_sweep(opts: &ExperimentOptions, seeds: u64) -> Table {
         let ipcs: Vec<f64> = per_seed.iter().map(|r| r[&t].1).collect();
         let (mm, ms) = stats(&mttfs);
         let (im, is) = stats(&ipcs);
-        table.row(vec![t.to_string(), fmt2(mm), fmt2(ms), fmt2(im), fmt2(is), seeds.to_string()]);
+        table.row(vec![
+            t.to_string(),
+            fmt2(mm),
+            fmt2(ms),
+            fmt2(im),
+            fmt2(is),
+            seeds.to_string(),
+        ]);
     }
     table
 }
@@ -703,7 +912,13 @@ pub fn seed_sweep(opts: &ExperimentOptions, seeds: u64) -> Table {
 /// Convenience: `run_one` with baseline core/memory — used by the binary.
 #[must_use]
 pub fn single(workload: &str, technique: Technique, opts: &ExperimentOptions) -> SimResult {
-    run_one(workload, technique, CoreConfig::baseline(), MemConfig::baseline(), opts)
+    run_one(
+        workload,
+        technique,
+        CoreConfig::baseline(),
+        MemConfig::baseline(),
+        opts,
+    )
 }
 
 #[cfg(test)]
@@ -711,7 +926,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentOptions {
-        ExperimentOptions { instructions: 2_000, warmup: 300, seed: 1, suite: Suite::Memory }
+        ExperimentOptions {
+            instructions: 2_000,
+            warmup: 300,
+            seed: 1,
+            suite: Suite::Memory,
+        }
     }
 
     #[test]
@@ -757,11 +977,34 @@ mod tests {
                 .warmup(200)
                 .build()
         };
-        let rs = parallel_runs(vec![mk(Technique::Ooo), mk(Technique::Rar), mk(Technique::Ooo)]);
+        let rs = parallel_runs(vec![
+            mk(Technique::Ooo),
+            mk(Technique::Rar),
+            mk(Technique::Ooo),
+        ]);
         assert_eq!(rs.len(), 3);
+        let rs: Vec<&SimResult> = rs.iter().map(|r| r.as_ref().expect("run ok")).collect();
         assert_eq!(rs[0].technique, Technique::Ooo);
         assert_eq!(rs[1].technique, Technique::Rar);
-        assert_eq!(rs[0].stats.cycles, rs[2].stats.cycles, "same config, same result");
+        assert_eq!(
+            rs[0].stats.cycles, rs[2].stats.cycles,
+            "same config, same result"
+        );
+    }
+
+    #[test]
+    fn panicking_run_does_not_poison_the_sweep() {
+        let good = SimConfig::builder()
+            .workload("milc")
+            .instructions(1_000)
+            .warmup(100)
+            .build();
+        let bad = SimConfig::builder().workload("no-such-workload").build();
+        let rs = parallel_runs(vec![good.clone(), bad, good]);
+        assert_eq!(rs.len(), 3);
+        assert!(rs[0].is_some());
+        assert!(rs[1].is_none(), "bad workload must be a reported failure");
+        assert!(rs[2].is_some());
     }
 
     #[test]

@@ -45,10 +45,18 @@ pub fn to_json(r: &SimResult) -> String {
     let _ = writeln!(out, "  \"reliability\": {{");
     let _ = writeln!(out, "    \"avf\": {:.8},", r.reliability.avf());
     let _ = writeln!(out, "    \"total_abc\": {},", r.reliability.total_abc());
-    let _ = writeln!(out, "    \"capacity_bits\": {},", r.reliability.capacity_bits());
+    let _ = writeln!(
+        out,
+        "    \"capacity_bits\": {},",
+        r.reliability.capacity_bits()
+    );
     let _ = writeln!(out, "    \"abc_by_structure\": {{");
     for (i, st) in Structure::ALL.iter().enumerate() {
-        let comma = if i + 1 < Structure::ALL.len() { "," } else { "" };
+        let comma = if i + 1 < Structure::ALL.len() {
+            ","
+        } else {
+            ""
+        };
         let _ = writeln!(out, "      \"{}\": {}{}", st, r.abc_by_structure[i], comma);
     }
     let _ = writeln!(out, "    }},");
@@ -65,7 +73,11 @@ pub fn to_json(r: &SimResult) -> String {
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"branches\": {{");
     let _ = writeln!(out, "    \"predictions\": {},", r.predictor.predictions);
-    let _ = writeln!(out, "    \"mispredictions\": {},", r.predictor.mispredictions);
+    let _ = writeln!(
+        out,
+        "    \"mispredictions\": {},",
+        r.predictor.mispredictions
+    );
     let _ = writeln!(out, "    \"btb_misses\": {}", r.predictor.btb_misses);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"runahead\": {{");
@@ -89,7 +101,11 @@ mod tests {
 
     fn sample() -> SimResult {
         Simulation::run(
-            &SimConfig::builder().workload("milc").instructions(1_500).warmup(300).build(),
+            &SimConfig::builder()
+                .workload("milc")
+                .instructions(1_500)
+                .warmup(300)
+                .build(),
         )
     }
 
@@ -106,7 +122,15 @@ mod tests {
     #[test]
     fn json_contains_all_sections() {
         let json = to_json(&sample());
-        for key in ["performance", "reliability", "memory", "branches", "runahead", "ROB", "avf"] {
+        for key in [
+            "performance",
+            "reliability",
+            "memory",
+            "branches",
+            "runahead",
+            "ROB",
+            "avf",
+        ] {
             assert!(json.contains(key), "missing {key}");
         }
     }

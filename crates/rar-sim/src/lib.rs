@@ -33,7 +33,7 @@ pub mod protection;
 pub mod report;
 pub mod run;
 
-pub use config::{SimConfig, SimConfigBuilder};
+pub use config::{SimConfig, SimConfigBuilder, TraceSettings};
 pub use energy::EnergyModel;
 pub use experiment::{ExperimentOptions, Suite};
 pub use report::{amean, gmean, hmean, Table};

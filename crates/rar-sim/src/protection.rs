@@ -94,7 +94,11 @@ pub fn protection_comparison(opts: &ExperimentOptions) -> Table {
         let pairs = run_all(tech);
         let mttf: Vec<f64> = pairs.iter().map(|(b, t)| t.mttf_vs(b)).collect();
         let ipc: Vec<f64> = pairs.iter().map(|(b, t)| t.ipc_vs(b)).collect();
-        let bits = if tech == Technique::Rar { rar_hardware_bits(&core) } else { 0 };
+        let bits = if tech == Technique::Rar {
+            rar_hardware_bits(&core)
+        } else {
+            0
+        };
         table.row(vec![
             name.into(),
             fmt2(gmean(&mttf)),
@@ -149,7 +153,11 @@ mod tests {
 
     #[test]
     fn comparison_table_builds() {
-        let opts = ExperimentOptions { instructions: 1_200, warmup: 200, ..Default::default() };
+        let opts = ExperimentOptions {
+            instructions: 1_200,
+            warmup: 200,
+            ..Default::default()
+        };
         let t = protection_comparison(&opts);
         assert_eq!(t.len(), 6);
         let csv = t.to_csv();

@@ -25,7 +25,10 @@ pub fn hmean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    assert!(xs.iter().all(|&x| x > 0.0), "harmonic mean requires positive values");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "harmonic mean requires positive values"
+    );
     xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
 }
 
@@ -39,7 +42,10 @@ pub fn gmean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    assert!(xs.iter().all(|&x| x > 0.0), "geometric mean requires positive values");
+    assert!(
+        xs.iter().all(|&x| x > 0.0),
+        "geometric mean requires positive values"
+    );
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
@@ -66,7 +72,11 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: Vec<String>) -> Self {
-        Table { header, rows: Vec::new(), title: String::new() }
+        Table {
+            header,
+            rows: Vec::new(),
+            title: String::new(),
+        }
     }
 
     /// Sets a title line printed above the table.

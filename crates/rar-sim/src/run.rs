@@ -4,8 +4,9 @@ use crate::config::SimConfig;
 use rar_ace::{ReliabilityReport, StallKind, Structure};
 use rar_core::{Core, CoreStats, Technique};
 use rar_frontend::PredictorStats;
-use rar_isa::TraceWindow;
+use rar_isa::{TraceWindow, UopSource};
 use rar_mem::MemStats;
+use rar_trace::{RingSink, TraceSink};
 use rar_workloads::workload;
 
 /// Executes simulations described by [`SimConfig`].
@@ -29,24 +30,64 @@ impl Simulation {
             core.reset_measurement();
         }
         core.run_until_committed(cfg.instructions);
+        collect(cfg, &core)
+    }
 
-        let stats = *core.stats();
-        let reliability = core.reliability_report();
-        let abc_by_structure = core.ace().abc_by_structure();
-        let window_abc = [
-            core.ace().abc_in_window(StallKind::FullRobStall),
-            core.ace().abc_in_window(StallKind::RobHeadBlocked),
-        ];
-        SimResult {
-            workload: cfg.workload.clone(),
-            technique: cfg.technique,
-            stats,
-            reliability,
-            mem: *core.mem_stats(),
-            predictor: core.predictor_stats(),
-            abc_by_structure,
-            window_abc,
+    /// Runs one configuration with trace capture (see
+    /// [`SimConfig::trace`](crate::TraceSettings)): pipeline, runahead,
+    /// memory and sampler events are recorded into a ring buffer covering
+    /// the measured portion of the run (warm-up activity is scrubbed).
+    /// Returns the measurements together with the captured sink, ready for
+    /// the `rar_trace` exporters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown.
+    #[must_use]
+    pub fn run_traced(cfg: &SimConfig) -> (SimResult, RingSink) {
+        let spec = workload(&cfg.workload)
+            .unwrap_or_else(|| panic!("unknown workload '{}'", cfg.workload));
+        let trace = TraceWindow::new(spec.trace(cfg.seed));
+        let sink = RingSink::new(cfg.trace.capacity);
+        let mut core = Core::with_sink(
+            cfg.core.clone(),
+            cfg.mem.clone(),
+            cfg.technique,
+            trace,
+            sink,
+        );
+        core.set_sample_interval(cfg.trace.sample_interval);
+        if cfg.warmup > 0 {
+            core.run_until_committed(cfg.warmup);
+            core.reset_measurement();
+            // Drop warm-up events so trace counts line up with the
+            // measured statistics.
+            core.sink_mut().clear();
         }
+        core.run_until_committed(cfg.instructions);
+        let result = collect(cfg, &core);
+        (result, core.into_sink())
+    }
+}
+
+/// Assembles a [`SimResult`] from a finished core, whatever its sink type.
+fn collect<S: UopSource, T: TraceSink>(cfg: &SimConfig, core: &Core<S, T>) -> SimResult {
+    let stats = *core.stats();
+    let reliability = core.reliability_report();
+    let abc_by_structure = core.ace().abc_by_structure();
+    let window_abc = [
+        core.ace().abc_in_window(StallKind::FullRobStall),
+        core.ace().abc_in_window(StallKind::RobHeadBlocked),
+    ];
+    SimResult {
+        workload: cfg.workload.clone(),
+        technique: cfg.technique,
+        stats,
+        reliability,
+        mem: *core.mem_stats(),
+        predictor: core.predictor_stats(),
+        abc_by_structure,
+        window_abc,
     }
 }
 
@@ -173,7 +214,11 @@ mod tests {
     fn rar_beats_baseline_reliability() {
         let base = quick("libquantum", Technique::Ooo);
         let rar = quick("libquantum", Technique::Rar);
-        assert!(rar.mttf_vs(&base) > 1.0, "MTTF ratio {}", rar.mttf_vs(&base));
+        assert!(
+            rar.mttf_vs(&base) > 1.0,
+            "MTTF ratio {}",
+            rar.mttf_vs(&base)
+        );
         assert!(rar.abc_vs(&base) < 1.0, "ABC ratio {}", rar.abc_vs(&base));
     }
 
@@ -189,5 +234,55 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = Simulation::run(&SimConfig::builder().workload("nope").build());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_statistics() {
+        let cfg = SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Rar)
+            .warmup(1_000)
+            .instructions(6_000)
+            .build();
+        let plain = Simulation::run(&cfg);
+        let (traced, sink) = Simulation::run_traced(&cfg);
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.stats.cycles, traced.stats.cycles);
+        assert_eq!(plain.stats.committed, traced.stats.committed);
+        assert_eq!(
+            plain.reliability.total_abc(),
+            traced.reliability.total_abc()
+        );
+        assert!(sink.emitted() > 0, "traced run captured no events");
+    }
+
+    #[test]
+    fn traced_runahead_events_match_interval_count() {
+        let cfg = SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Rar)
+            .warmup(1_000)
+            .instructions(6_000)
+            .build();
+        let (result, sink) = Simulation::run_traced(&cfg);
+        assert!(
+            result.stats.runahead_intervals > 0,
+            "mcf/RAR must trigger runahead"
+        );
+        let enters = sink
+            .iter()
+            .filter(|e| matches!(e, rar_trace::TraceEvent::RunaheadEnter { .. }))
+            .count() as u64;
+        let exits = sink
+            .iter()
+            .filter(|e| matches!(e, rar_trace::TraceEvent::RunaheadExit { .. }))
+            .count() as u64;
+        assert_eq!(enters, result.stats.runahead_intervals);
+        // The run may end inside a runahead interval, so exits trail by at
+        // most one.
+        assert!(
+            exits == enters || exits + 1 == enters,
+            "enters={enters} exits={exits}"
+        );
     }
 }

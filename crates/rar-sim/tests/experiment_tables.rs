@@ -6,7 +6,12 @@
 use rar_sim::experiment::{self, ExperimentOptions, Suite};
 
 fn tiny() -> ExperimentOptions {
-    ExperimentOptions { instructions: 800, warmup: 150, seed: 1, suite: Suite::Memory }
+    ExperimentOptions {
+        instructions: 800,
+        warmup: 150,
+        seed: 1,
+        suite: Suite::Memory,
+    }
 }
 
 #[test]
@@ -47,7 +52,10 @@ fn fig5_reports_shares_with_mean() {
 
 #[test]
 fn fig7_fig8_report_per_suite_means() {
-    let opts = ExperimentOptions { suite: Suite::All, ..tiny() };
+    let opts = ExperimentOptions {
+        suite: Suite::All,
+        ..tiny()
+    };
     let [mttf, abc, ipc, mlp] = experiment::fig7_fig8(&opts);
     for t in [&mttf, &abc, &ipc, &mlp] {
         let csv = t.to_csv();
@@ -78,7 +86,11 @@ fn fig11_covers_every_prefetch_placement() {
 #[test]
 fn extension_tables_have_expected_rows() {
     let ext = experiment::extensions(&tiny());
-    assert_eq!(ext.len(), 7, "FLUSH, PRE, RAR + the four extension variants");
+    assert_eq!(
+        ext.len(),
+        7,
+        "FLUSH, PRE, RAR + the four extension variants"
+    );
     assert!(ext.to_csv().contains("VR"));
 
     let en = experiment::energy(&tiny());

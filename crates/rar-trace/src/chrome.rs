@@ -1,0 +1,248 @@
+//! Chrome Trace Event JSON exporter.
+//!
+//! Produces the `{"traceEvents":[...]}` object format understood by
+//! `chrome://tracing` and Perfetto. Timestamps are simulated cycles written
+//! into the `ts`/`dur` microsecond fields, so one "microsecond" on screen is
+//! one core cycle. The JSON is hand-rolled like the rest of the workspace
+//! (`rar-sim/src/json.rs`); all strings are simulator-generated identifiers,
+//! so no escaping is required.
+
+use crate::event::TraceEvent;
+
+/// Virtual thread ids used to lay the slices out in lanes.
+const TID_UOPS: u32 = 0;
+const TID_RUNAHEAD: u32 = 1;
+const TID_STALLS: u32 = 2;
+const TID_DRAM: u32 = 3;
+const TID_CACHE: u32 = 4;
+const TID_COUNTERS: u32 = 5;
+
+/// Render an event stream as a complete Chrome Trace Event JSON document.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    // (sort key, rendered record) — stable sort keeps emission order within
+    // a cycle so output is deterministic.
+    let mut records: Vec<(u64, String)> = Vec::new();
+    // Pair RunaheadExit with the matching Enter so the slice carries the
+    // trigger reason in its args.
+    let mut pending_enter: Option<(u64, &'static str, u64)> = None;
+
+    for ev in events {
+        match ev {
+            TraceEvent::UopRetired {
+                seq,
+                pc,
+                dispatch,
+                issue,
+                complete,
+                commit,
+            } => {
+                let dur = commit.saturating_sub(*dispatch).max(1);
+                records.push((
+                    *dispatch,
+                    format!(
+                        "{{\"name\":\"{pc:#x}\",\"cat\":\"uop\",\"ph\":\"X\",\"ts\":{dispatch},\"dur\":{dur},\"pid\":0,\"tid\":{TID_UOPS},\"args\":{{\"seq\":{seq},\"issue\":{issue},\"complete\":{complete},\"squashed\":false}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::UopSquashed {
+                seq,
+                pc,
+                dispatch,
+                cycle,
+            } => {
+                let dur = cycle.saturating_sub(*dispatch).max(1);
+                records.push((
+                    *dispatch,
+                    format!(
+                        "{{\"name\":\"{pc:#x}\",\"cat\":\"uop\",\"ph\":\"X\",\"ts\":{dispatch},\"dur\":{dur},\"pid\":0,\"tid\":{TID_UOPS},\"args\":{{\"seq\":{seq},\"squashed\":true}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::RunaheadEnter {
+                cycle,
+                blocking_seq,
+                trigger,
+                ..
+            } => {
+                pending_enter = Some((*cycle, trigger.label(), *blocking_seq));
+            }
+            TraceEvent::RunaheadExit {
+                cycle,
+                entered_at,
+                flushed,
+            } => {
+                let (start, trigger, blocking_seq) =
+                    pending_enter.take().unwrap_or((*entered_at, "unknown", 0));
+                let dur = cycle.saturating_sub(start).max(1);
+                records.push((
+                    start,
+                    format!(
+                        "{{\"name\":\"runahead\",\"cat\":\"mode\",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur},\"pid\":0,\"tid\":{TID_RUNAHEAD},\"args\":{{\"trigger\":\"{trigger}\",\"blocking_seq\":{blocking_seq},\"flushed\":{flushed}}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::StallWindow { kind, start, end } => {
+                let dur = end.saturating_sub(*start).max(1);
+                records.push((
+                    *start,
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"stall\",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur},\"pid\":0,\"tid\":{TID_STALLS},\"args\":{{}}}}",
+                        kind.label()
+                    ),
+                ));
+            }
+            TraceEvent::DramAccess {
+                issued_at,
+                line,
+                complete_at,
+                row_hit,
+                bank,
+                demand,
+            } => {
+                let dur = complete_at.saturating_sub(*issued_at).max(1);
+                records.push((
+                    *issued_at,
+                    format!(
+                        "{{\"name\":\"dram\",\"cat\":\"mem\",\"ph\":\"X\",\"ts\":{issued_at},\"dur\":{dur},\"pid\":0,\"tid\":{TID_DRAM},\"args\":{{\"line\":{line},\"row_hit\":{row_hit},\"bank\":{bank},\"demand\":{demand}}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::CacheMiss {
+                cycle,
+                pc,
+                line,
+                served_by,
+                complete_at,
+            } => {
+                records.push((
+                    *cycle,
+                    format!(
+                        "{{\"name\":\"miss {}\",\"cat\":\"mem\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{cycle},\"pid\":0,\"tid\":{TID_CACHE},\"args\":{{\"pc\":{pc},\"line\":{line},\"complete_at\":{complete_at}}}}}",
+                        served_by.label()
+                    ),
+                ));
+            }
+            TraceEvent::MshrStall { cycle, line } => {
+                records.push((
+                    *cycle,
+                    format!(
+                        "{{\"name\":\"mshr stall\",\"cat\":\"mem\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{cycle},\"pid\":0,\"tid\":{TID_CACHE},\"args\":{{\"line\":{line}}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::MshrAlloc {
+                cycle, outstanding, ..
+            } => {
+                records.push((
+                    *cycle,
+                    format!(
+                        "{{\"name\":\"mshr\",\"ph\":\"C\",\"ts\":{cycle},\"pid\":0,\"tid\":{TID_COUNTERS},\"args\":{{\"outstanding\":{outstanding}}}}}"
+                    ),
+                ));
+            }
+            TraceEvent::Sample(row) => {
+                records.push((
+                    row.cycle,
+                    format!(
+                        "{{\"name\":\"occupancy\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{TID_COUNTERS},\"args\":{{\"rob\":{},\"iq\":{},\"lq\":{},\"sq\":{}}}}}",
+                        row.cycle, row.rob, row.iq, row.lq, row.sq
+                    ),
+                ));
+                records.push((
+                    row.cycle,
+                    format!(
+                        "{{\"name\":\"abc\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":{TID_COUNTERS},\"args\":{{\"total\":{}}}}}",
+                        row.cycle,
+                        row.total_abc()
+                    ),
+                ));
+            }
+            // Per-stage stamps are subsumed by the consolidated retire /
+            // squash records above.
+            TraceEvent::UopDispatched { .. } | TraceEvent::UopIssued { .. } => {}
+        }
+    }
+
+    records.sort_by_key(|(ts, _)| *ts);
+
+    let mut out = String::with_capacity(records.len() * 96 + 1024);
+    out.push_str("{\"traceEvents\":[");
+    for (name, tid) in [
+        ("uops", TID_UOPS),
+        ("runahead", TID_RUNAHEAD),
+        ("stall-windows", TID_STALLS),
+        ("dram", TID_DRAM),
+        ("cache", TID_CACHE),
+        ("counters", TID_COUNTERS),
+    ] {
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}},"
+        ));
+    }
+    let mut first = true;
+    for (_, record) in &records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(record);
+    }
+    // A trailing comma after the metadata block is only legal if at least
+    // one record followed; drop it otherwise.
+    if first {
+        out.pop();
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BlockedKind, RunaheadTrigger};
+    use crate::jsonv;
+
+    #[test]
+    fn empty_stream_is_valid_json() {
+        let doc = to_chrome_json(&[]);
+        jsonv::validate(&doc).expect("valid json");
+    }
+
+    #[test]
+    fn runahead_pairing_carries_trigger() {
+        let events = vec![
+            TraceEvent::RunaheadEnter {
+                cycle: 100,
+                blocking_seq: 7,
+                trigger: RunaheadTrigger::Timer,
+                expected_exit: 300,
+            },
+            TraceEvent::RunaheadExit {
+                cycle: 290,
+                entered_at: 100,
+                flushed: true,
+            },
+            TraceEvent::StallWindow {
+                kind: BlockedKind::RobHeadBlocked,
+                start: 90,
+                end: 290,
+            },
+        ];
+        let doc = to_chrome_json(&events);
+        jsonv::validate(&doc).expect("valid json");
+        assert!(doc.contains("\"trigger\":\"timer\""));
+        assert!(doc.contains("\"dur\":190"));
+        assert!(doc.contains("rob-head-blocked"));
+    }
+
+    #[test]
+    fn zero_length_windows_get_unit_duration() {
+        let events = vec![TraceEvent::StallWindow {
+            kind: BlockedKind::FullRob,
+            start: 5,
+            end: 5,
+        }];
+        let doc = to_chrome_json(&events);
+        assert!(doc.contains("\"dur\":1"));
+    }
+}

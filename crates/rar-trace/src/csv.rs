@@ -1,0 +1,190 @@
+//! Flat CSV tables derived from an event stream, for ad-hoc plotting.
+//!
+//! Three views cover the common analyses: per-uop lifecycles (latency
+//! breakdowns), windows (Figure-5-style head-blocked / runahead timelines)
+//! and interval samples (occupancy and ACE over time).
+
+use crate::event::TraceEvent;
+
+/// One row per retired or squashed uop:
+/// `seq,pc,dispatch,issue,complete,commit,squashed`.
+/// Squashed uops leave issue/complete/commit empty and report the squash
+/// cycle in a trailing `squash_cycle` column.
+pub fn uops_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("seq,pc,dispatch,issue,complete,commit,squashed,squash_cycle\n");
+    for ev in events {
+        match ev {
+            TraceEvent::UopRetired {
+                seq,
+                pc,
+                dispatch,
+                issue,
+                complete,
+                commit,
+            } => {
+                out.push_str(&format!(
+                    "{seq},{pc:#x},{dispatch},{issue},{complete},{commit},false,\n"
+                ));
+            }
+            TraceEvent::UopSquashed {
+                seq,
+                pc,
+                dispatch,
+                cycle,
+            } => {
+                out.push_str(&format!("{seq},{pc:#x},{dispatch},,,,true,{cycle}\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// One row per closed interval: `kind,start,end,duration,detail`.
+/// Covers stall-attribution windows, runahead intervals and DRAM
+/// transactions — everything needed to regenerate a head-blocked timeline.
+pub fn windows_to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("kind,start,end,duration,detail\n");
+    let mut pending_trigger = "unknown";
+    for ev in events {
+        match ev {
+            TraceEvent::StallWindow { kind, start, end } => {
+                out.push_str(&format!(
+                    "{},{start},{end},{},\n",
+                    kind.label(),
+                    end.saturating_sub(*start)
+                ));
+            }
+            TraceEvent::RunaheadEnter { trigger, .. } => {
+                pending_trigger = trigger.label();
+            }
+            TraceEvent::RunaheadExit {
+                cycle, entered_at, ..
+            } => {
+                out.push_str(&format!(
+                    "runahead,{entered_at},{cycle},{},{pending_trigger}\n",
+                    cycle.saturating_sub(*entered_at)
+                ));
+                pending_trigger = "unknown";
+            }
+            TraceEvent::DramAccess {
+                issued_at,
+                complete_at,
+                row_hit,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "dram,{issued_at},{complete_at},{},{}\n",
+                    complete_at.saturating_sub(*issued_at),
+                    if *row_hit { "row-hit" } else { "row-miss" }
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// One row per interval-sampler snapshot. `structure_names` labels the
+/// per-structure ABC columns and must match the sampler's ordering.
+pub fn samples_to_csv(events: &[TraceEvent], structure_names: &[&str]) -> String {
+    let mut out =
+        String::from("cycle,rob,iq,lq,sq,in_runahead,committed,outstanding_misses,total_abc");
+    for name in structure_names {
+        out.push_str(&format!(",abc_{name}"));
+    }
+    out.push('\n');
+    for ev in events {
+        if let TraceEvent::Sample(row) = ev {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}",
+                row.cycle,
+                row.rob,
+                row.iq,
+                row.lq,
+                row.sq,
+                row.in_runahead,
+                row.committed,
+                row.outstanding_misses,
+                row.total_abc()
+            ));
+            for i in 0..structure_names.len() {
+                let abc = row.abc_by_structure.get(i).copied().unwrap_or(0);
+                out.push_str(&format!(",{abc}"));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RunaheadTrigger, SampleRow};
+
+    #[test]
+    fn uop_rows_have_constant_column_count() {
+        let events = vec![
+            TraceEvent::UopRetired {
+                seq: 1,
+                pc: 0x40,
+                dispatch: 2,
+                issue: 3,
+                complete: 5,
+                commit: 8,
+            },
+            TraceEvent::UopSquashed {
+                seq: 2,
+                pc: 0x44,
+                dispatch: 3,
+                cycle: 9,
+            },
+        ];
+        let csv = uops_to_csv(&events);
+        let cols: Vec<usize> = csv.lines().map(|l| l.split(',').count()).collect();
+        assert!(cols.iter().all(|&c| c == cols[0]), "ragged csv:\n{csv}");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn windows_include_runahead_with_trigger() {
+        let events = vec![
+            TraceEvent::RunaheadEnter {
+                cycle: 10,
+                blocking_seq: 1,
+                trigger: RunaheadTrigger::FullRob,
+                expected_exit: 60,
+            },
+            TraceEvent::RunaheadExit {
+                cycle: 55,
+                entered_at: 10,
+                flushed: true,
+            },
+        ];
+        let csv = windows_to_csv(&events);
+        assert!(csv.contains("runahead,10,55,45,full-rob"), "csv:\n{csv}");
+    }
+
+    #[test]
+    fn sample_rows_line_up_with_structure_names() {
+        let row = SampleRow {
+            cycle: 100,
+            rob: 10,
+            iq: 4,
+            lq: 2,
+            sq: 1,
+            in_runahead: true,
+            committed: 50,
+            outstanding_misses: 3,
+            abc_by_structure: vec![7, 8],
+        };
+        let csv = samples_to_csv(&[TraceEvent::Sample(row)], &["rob", "iq"]);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "cycle,rob,iq,lq,sq,in_runahead,committed,outstanding_misses,total_abc,abc_rob,abc_iq"
+        );
+        assert_eq!(lines.next().unwrap(), "100,10,4,2,1,true,50,3,15,7,8");
+    }
+}

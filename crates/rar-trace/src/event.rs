@@ -1,0 +1,258 @@
+//! The typed event vocabulary shared by the core, the memory hierarchy and
+//! the exporters.
+//!
+//! Every timestamp is a simulated cycle (`u64`). Events are self-contained:
+//! exporters never need simulator state, only the event stream.
+
+/// Why the core entered runahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunaheadTrigger {
+    /// The ROB-head-blocked timer fired before the ROB filled (early
+    /// triggers, RAR/RAR-LATE style).
+    Timer,
+    /// The ROB filled up behind a blocking load (classic full-window
+    /// trigger).
+    FullRob,
+}
+
+impl RunaheadTrigger {
+    pub fn label(self) -> &'static str {
+        match self {
+            RunaheadTrigger::Timer => "timer",
+            RunaheadTrigger::FullRob => "full-rob",
+        }
+    }
+}
+
+/// Kind of stall window attributed by the ACE accounting, mirrored here so
+/// the trace crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedKind {
+    /// A long-latency load is blocking the ROB head.
+    RobHeadBlocked,
+    /// The ROB is completely full behind the blocking head.
+    FullRob,
+}
+
+impl BlockedKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockedKind::RobHeadBlocked => "rob-head-blocked",
+            BlockedKind::FullRob => "full-rob",
+        }
+    }
+}
+
+/// Which level of the hierarchy ultimately served a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    L2,
+    L3,
+    Memory,
+}
+
+impl ServedBy {
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::L2 => "L2",
+            ServedBy::L3 => "L3",
+            ServedBy::Memory => "DRAM",
+        }
+    }
+}
+
+/// One interval-sampler snapshot: structure occupancies and ACE-bit-cycle
+/// counters at a fixed cycle cadence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleRow {
+    pub cycle: u64,
+    pub rob: usize,
+    pub iq: usize,
+    pub lq: usize,
+    pub sq: usize,
+    /// Whether the core was in runahead mode when the sample was taken.
+    pub in_runahead: bool,
+    /// Instructions committed so far in the measurement window.
+    pub committed: u64,
+    /// Outstanding MSHR entries (in-flight misses).
+    pub outstanding_misses: usize,
+    /// ACE bit-cycles per tracked structure, in the order reported by the
+    /// ACE counter (`AceCounter::abc_by_structure`).
+    pub abc_by_structure: Vec<u128>,
+}
+
+impl SampleRow {
+    /// Total ACE bit-cycles across all structures.
+    pub fn total_abc(&self) -> u128 {
+        self.abc_by_structure.iter().sum()
+    }
+}
+
+/// A single trace record. Events arrive roughly in cycle order; exporters
+/// sort where the output format requires it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A uop entered the backend (rename + dispatch into the ROB).
+    UopDispatched {
+        seq: u64,
+        pc: u64,
+        cycle: u64,
+        /// Dispatched while the core was in runahead (speculative pre-exec).
+        runahead: bool,
+    },
+    /// A uop was selected for execution.
+    UopIssued {
+        seq: u64,
+        cycle: u64,
+        complete_at: u64,
+    },
+    /// A uop retired; carries its full lifecycle so the record is
+    /// self-contained even when earlier stamps were dropped by the ring.
+    UopRetired {
+        seq: u64,
+        pc: u64,
+        dispatch: u64,
+        issue: u64,
+        complete: u64,
+        commit: u64,
+    },
+    /// A uop was squashed (wrong-path resolution or runahead flush).
+    UopSquashed {
+        seq: u64,
+        pc: u64,
+        dispatch: u64,
+        cycle: u64,
+    },
+    /// The core entered runahead mode.
+    RunaheadEnter {
+        cycle: u64,
+        /// Sequence number of the blocking load at the ROB head.
+        blocking_seq: u64,
+        trigger: RunaheadTrigger,
+        /// Cycle at which the blocking miss is due back.
+        expected_exit: u64,
+    },
+    /// The core left runahead mode.
+    RunaheadExit {
+        cycle: u64,
+        entered_at: u64,
+        /// Whether the pipeline was flushed on exit (TR/RAR) as opposed to
+        /// retained (PRE-style).
+        flushed: bool,
+    },
+    /// A closed ROB-head-blocked / full-ROB attribution window.
+    StallWindow {
+        kind: BlockedKind,
+        start: u64,
+        end: u64,
+    },
+    /// A demand access missed the L1 and was served further out.
+    CacheMiss {
+        cycle: u64,
+        pc: u64,
+        line: u64,
+        served_by: ServedBy,
+        complete_at: u64,
+    },
+    /// An MSHR entry was allocated for a primary miss.
+    MshrAlloc {
+        cycle: u64,
+        line: u64,
+        complete_at: u64,
+        /// Entries in flight immediately after the allocation.
+        outstanding: usize,
+    },
+    /// A miss could not allocate an MSHR entry (structural stall).
+    MshrStall { cycle: u64, line: u64 },
+    /// A DRAM transaction: issue, completion, and row-buffer outcome.
+    DramAccess {
+        issued_at: u64,
+        line: u64,
+        complete_at: u64,
+        row_hit: bool,
+        bank: usize,
+        /// Demand miss (true) or prefetch fill (false).
+        demand: bool,
+    },
+    /// Interval-sampler snapshot.
+    Sample(SampleRow),
+}
+
+impl TraceEvent {
+    /// Short kind tag used by the CSV exporter and debugging output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::UopDispatched { .. } => "dispatch",
+            TraceEvent::UopIssued { .. } => "issue",
+            TraceEvent::UopRetired { .. } => "retire",
+            TraceEvent::UopSquashed { .. } => "squash",
+            TraceEvent::RunaheadEnter { .. } => "ra-enter",
+            TraceEvent::RunaheadExit { .. } => "ra-exit",
+            TraceEvent::StallWindow { .. } => "stall-window",
+            TraceEvent::CacheMiss { .. } => "cache-miss",
+            TraceEvent::MshrAlloc { .. } => "mshr-alloc",
+            TraceEvent::MshrStall { .. } => "mshr-stall",
+            TraceEvent::DramAccess { .. } => "dram",
+            TraceEvent::Sample(_) => "sample",
+        }
+    }
+
+    /// The primary timestamp of the event (start of interval for windows).
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::UopDispatched { cycle, .. }
+            | TraceEvent::UopIssued { cycle, .. }
+            | TraceEvent::UopSquashed { cycle, .. }
+            | TraceEvent::RunaheadEnter { cycle, .. }
+            | TraceEvent::RunaheadExit { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::MshrAlloc { cycle, .. }
+            | TraceEvent::MshrStall { cycle, .. } => *cycle,
+            TraceEvent::UopRetired { dispatch, .. } => *dispatch,
+            TraceEvent::StallWindow { start, .. } => *start,
+            TraceEvent::DramAccess { issued_at, .. } => *issued_at,
+            TraceEvent::Sample(row) => row.cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_total_abc_sums_structures() {
+        let row = SampleRow {
+            cycle: 10,
+            rob: 1,
+            iq: 2,
+            lq: 3,
+            sq: 4,
+            in_runahead: false,
+            committed: 5,
+            outstanding_misses: 0,
+            abc_by_structure: vec![10, 20, 12],
+        };
+        assert_eq!(row.total_abc(), 42);
+    }
+
+    #[test]
+    fn cycle_accessor_matches_primary_timestamp() {
+        let ev = TraceEvent::StallWindow {
+            kind: BlockedKind::FullRob,
+            start: 7,
+            end: 9,
+        };
+        assert_eq!(ev.cycle(), 7);
+        let ev = TraceEvent::UopRetired {
+            seq: 1,
+            pc: 0,
+            dispatch: 3,
+            issue: 4,
+            complete: 5,
+            commit: 6,
+        };
+        assert_eq!(ev.cycle(), 3);
+        assert_eq!(ev.kind(), "retire");
+    }
+}

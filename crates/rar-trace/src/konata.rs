@@ -1,0 +1,207 @@
+//! Konata / Kanata 0004 pipeline-viewer exporter.
+//!
+//! Kanata logs are line-oriented, tab-separated commands replayed against a
+//! cycle cursor: `C=` sets the absolute start cycle, `C` advances it, `I`
+//! declares an instruction, `L` labels it, `S`/`E` open and close a stage,
+//! and `R` retires (`type 0`) or flushes (`type 1`) it. Stages used here:
+//! `Ds` (dispatched, waiting in the window), `Ex` (issued, executing), `Cm`
+//! (complete, waiting to commit).
+
+use crate::event::TraceEvent;
+
+struct Rec {
+    seq: u64,
+    pc: u64,
+    dispatch: u64,
+    issue: Option<u64>,
+    complete: Option<u64>,
+    /// Commit cycle for retired uops, squash cycle for squashed ones.
+    end: u64,
+    squashed: bool,
+    runahead: bool,
+}
+
+/// Render the uop-lifecycle portion of an event stream as a Kanata 0004 log.
+pub fn to_konata(events: &[TraceEvent]) -> String {
+    // Runahead dispatch flags come from the per-stage stamps; consolidated
+    // retire/squash records carry the rest of the lifecycle.
+    let mut recs: Vec<Rec> = Vec::new();
+    for ev in events {
+        match ev {
+            TraceEvent::UopRetired {
+                seq,
+                pc,
+                dispatch,
+                issue,
+                complete,
+                commit,
+            } => {
+                recs.push(Rec {
+                    seq: *seq,
+                    pc: *pc,
+                    dispatch: *dispatch,
+                    issue: Some(*issue),
+                    complete: Some(*complete),
+                    end: *commit,
+                    squashed: false,
+                    runahead: false,
+                });
+            }
+            TraceEvent::UopSquashed {
+                seq,
+                pc,
+                dispatch,
+                cycle,
+            } => {
+                recs.push(Rec {
+                    seq: *seq,
+                    pc: *pc,
+                    dispatch: *dispatch,
+                    issue: None,
+                    complete: None,
+                    end: *cycle,
+                    squashed: true,
+                    runahead: false,
+                });
+            }
+            _ => {}
+        }
+    }
+    for ev in events {
+        if let TraceEvent::UopDispatched {
+            seq,
+            runahead: true,
+            ..
+        } = ev
+        {
+            for rec in recs.iter_mut().filter(|r| r.seq == *seq) {
+                rec.runahead = true;
+            }
+        }
+    }
+    recs.sort_by_key(|r| (r.dispatch, r.seq));
+
+    // (cycle, insertion order, command) — sorted so the log replays forward.
+    let mut cmds: Vec<(u64, usize, String)> = Vec::new();
+    let mut ord = 0usize;
+    let mut push = |cmds: &mut Vec<(u64, usize, String)>, cycle: u64, text: String| {
+        cmds.push((cycle, ord, text));
+        ord += 1;
+    };
+
+    for (id, rec) in recs.iter().enumerate() {
+        let tag = if rec.runahead { " [runahead]" } else { "" };
+        push(&mut cmds, rec.dispatch, format!("I\t{id}\t{}\t0", rec.seq));
+        push(
+            &mut cmds,
+            rec.dispatch,
+            format!("L\t{id}\t0\t{:#x} seq={}{tag}", rec.pc, rec.seq),
+        );
+        push(&mut cmds, rec.dispatch, format!("S\t{id}\t0\tDs"));
+        let mut open = "Ds";
+        if let Some(issue) = rec.issue {
+            push(&mut cmds, issue, format!("E\t{id}\t0\tDs"));
+            push(&mut cmds, issue, format!("S\t{id}\t0\tEx"));
+            open = "Ex";
+        }
+        if let Some(complete) = rec.complete {
+            push(&mut cmds, complete, format!("E\t{id}\t0\tEx"));
+            push(&mut cmds, complete, format!("S\t{id}\t0\tCm"));
+            open = "Cm";
+        }
+        push(&mut cmds, rec.end, format!("E\t{id}\t0\t{open}"));
+    }
+
+    // Retire ids are assigned in end-cycle order, as Konata expects a
+    // monotone retirement sequence.
+    let mut ends: Vec<(u64, usize)> = recs.iter().enumerate().map(|(id, r)| (r.end, id)).collect();
+    ends.sort_by_key(|(end, id)| (*end, *id));
+    for (retire_id, (end, id)) in ends.iter().enumerate() {
+        let kind = if recs[*id].squashed { 1 } else { 0 };
+        push(&mut cmds, *end, format!("R\t{id}\t{retire_id}\t{kind}"));
+    }
+
+    cmds.sort_by_key(|(cycle, ord, _)| (*cycle, *ord));
+
+    let mut out = String::with_capacity(cmds.len() * 16 + 32);
+    out.push_str("Kanata\t0004\n");
+    let mut cursor = cmds.first().map(|(c, _, _)| *c).unwrap_or(0);
+    out.push_str(&format!("C=\t{cursor}\n"));
+    for (cycle, _, text) in &cmds {
+        if *cycle > cursor {
+            out.push_str(&format!("C\t{}\n", cycle - cursor));
+            cursor = *cycle;
+        }
+        out.push_str(text);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retired(seq: u64, dispatch: u64) -> TraceEvent {
+        TraceEvent::UopRetired {
+            seq,
+            pc: 0x400 + seq * 4,
+            dispatch,
+            issue: dispatch + 1,
+            complete: dispatch + 3,
+            commit: dispatch + 5,
+        }
+    }
+
+    #[test]
+    fn header_and_cursor() {
+        let log = to_konata(&[retired(0, 10)]);
+        let mut lines = log.lines();
+        assert_eq!(lines.next(), Some("Kanata\t0004"));
+        assert_eq!(lines.next(), Some("C=\t10"));
+    }
+
+    #[test]
+    fn retired_uop_walks_all_stages_and_retires() {
+        let log = to_konata(&[retired(3, 10)]);
+        for needle in [
+            "I\t0\t3\t0",
+            "S\t0\t0\tDs",
+            "S\t0\t0\tEx",
+            "S\t0\t0\tCm",
+            "R\t0\t0\t0",
+        ] {
+            assert!(log.contains(needle), "missing {needle:?} in:\n{log}");
+        }
+    }
+
+    #[test]
+    fn squashed_uop_is_flushed() {
+        let ev = TraceEvent::UopSquashed {
+            seq: 9,
+            pc: 0x80,
+            dispatch: 4,
+            cycle: 6,
+        };
+        let log = to_konata(&[ev]);
+        assert!(
+            log.contains("R\t0\t0\t1"),
+            "flush record missing in:\n{log}"
+        );
+        assert!(log.contains("E\t0\t0\tDs"));
+    }
+
+    #[test]
+    fn cycle_deltas_are_relative() {
+        let log = to_konata(&[retired(0, 10), retired(1, 12)]);
+        assert!(
+            log.contains("\nC\t1\n") || log.contains("\nC\t2\n"),
+            "log:\n{log}"
+        );
+        // Cursor never moves backwards: deltas are strictly positive.
+        for line in log.lines().filter(|l| l.starts_with("C\t")) {
+            let delta: u64 = line[2..].parse().expect("numeric delta");
+            assert!(delta > 0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Cycle-level pipeline tracing and interval sampling for the RAR simulator.
+//!
+//! The simulator core is generic over a [`TraceSink`]. The default
+//! [`NullSink`] has `ENABLED == false`, so every emission site — written as
+//! `if T::ENABLED { sink.emit(..) }` — monomorphizes to nothing and the hot
+//! loop stays allocation-free. Opting in is a matter of constructing the core
+//! with a [`RingSink`] (a bounded ring buffer that drops the oldest events
+//! once full) and post-processing the captured [`TraceEvent`] stream with one
+//! of the exporters:
+//!
+//! * [`chrome`] — Chrome Trace Event JSON (`chrome://tracing`, Perfetto)
+//! * [`konata`] — Konata / Kanata 0004 pipeline-viewer text log
+//! * [`csv`] — flat tables (uop lifecycles, stall/runahead windows, samples)
+//!
+//! Events carry simulated cycles, never wall-clock time, so two runs with the
+//! same seed produce byte-identical exports.
+
+pub mod chrome;
+pub mod csv;
+pub mod event;
+pub mod jsonv;
+pub mod konata;
+pub mod sink;
+
+pub use event::{BlockedKind, RunaheadTrigger, SampleRow, ServedBy, TraceEvent};
+pub use sink::{NullSink, RingSink, TraceSink};

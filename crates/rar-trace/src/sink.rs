@@ -1,0 +1,157 @@
+//! Sinks consume [`TraceEvent`]s emitted by the instrumented pipeline.
+//!
+//! The core is generic over the sink type, and every emission site is
+//! guarded by `if T::ENABLED`. For [`NullSink`] that constant is `false`, so
+//! the guard — and the event construction inside it — compiles to nothing.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+
+/// Destination for trace events.
+pub trait TraceSink {
+    /// Whether this sink observes events at all. Emission sites check this
+    /// constant so disabled tracing costs nothing at runtime.
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, event: TraceEvent);
+}
+
+/// The zero-overhead default sink: drops everything, `ENABLED == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn emit(&mut self, _event: TraceEvent) {}
+}
+
+/// A bounded ring buffer of events. When full, the oldest events are dropped
+/// (and counted), so a long run keeps the most recent window of activity.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events. Zero means "effectively
+    /// unbounded" and is normalized to `usize::MAX`.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = if capacity == 0 { usize::MAX } else { capacity };
+        RingSink {
+            buf: VecDeque::new(),
+            capacity,
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Total events ever emitted into this sink, including dropped ones.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Copy the retained events out, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Discard retained events and counters (used to scrub warmup activity).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.emitted = 0;
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, event: TraceEvent) {
+        self.emitted += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+}
+
+/// Forward events through a mutable reference, so a borrowed sink can be
+/// handed to a helper without giving up ownership.
+impl<T: TraceSink> TraceSink for &mut T {
+    const ENABLED: bool = T::ENABLED;
+
+    fn emit(&mut self, event: TraceEvent) {
+        (**self).emit(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::MshrStall { cycle, line: cycle }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        NullSink.emit(ev(1));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_on_overflow() {
+        let mut ring = RingSink::new(3);
+        for c in 0..5 {
+            ring.emit(ev(c));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.emitted(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let cycles: Vec<u64> = ring.iter().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let mut ring = RingSink::new(0);
+        for c in 0..10_000 {
+            ring.emit(ev(c));
+        }
+        assert_eq!(ring.len(), 10_000);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn clear_resets_counters() {
+        let mut ring = RingSink::new(2);
+        for c in 0..4 {
+            ring.emit(ev(c));
+        }
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.emitted(), 0);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -51,18 +51,31 @@ enum Slot {
     /// compare/test-style operations that only feed flags — roughly a
     /// third of real integer compute, and what lets the ROB fill before
     /// the physical register file runs dry.
-    Compute { kind: UopKind, dest: Option<ArchReg>, src_a: ArchReg, src_b: ArchReg },
+    Compute {
+        kind: UopKind,
+        dest: Option<ArchReg>,
+        src_a: ArchReg,
+        src_b: ArchReg,
+    },
     /// Pointer-chase load: address depends on the previous step of `chain`.
     ChaseLoad { chain: usize, dest: ArchReg },
     /// Streaming load on `stream` (address from an index register).
-    StreamLoad { stream: usize, dest: ArchReg, idx: ArchReg },
+    StreamLoad {
+        stream: usize,
+        dest: ArchReg,
+        idx: ArchReg,
+    },
     /// Cache-resident load (hot buffer).
     HotLoad { dest: ArchReg, idx: ArchReg },
     /// Store to a write stream.
     Store { src: ArchReg, idx: ArchReg },
     /// Data-dependent conditional branch; when taken, skips the next
     /// `skip` slots.
-    HardBranch { bias: f64, skip: usize, src: ArchReg },
+    HardBranch {
+        bias: f64,
+        skip: usize,
+        src: ArchReg,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -129,15 +142,20 @@ impl TraceGenerator {
     /// Panics if `params` fails [`WorkloadParams::validate`].
     #[must_use]
     pub fn new(params: &WorkloadParams, seed: u64) -> Self {
-        params.validate().unwrap_or_else(|e| panic!("invalid workload {}: {e}", params.name));
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid workload {}: {e}", params.name));
         let mut build_rng = SplitMix64::new(seed ^ hash_name(params.name));
 
         let (chains, streams, stride, chase_frac) = match params.pattern {
             AccessPattern::Streaming { streams, stride } => (0, streams, stride, 0.0),
             AccessPattern::PointerChase { chains } => (chains, 1, 8, 1.0),
-            AccessPattern::Mixed { chase_frac, chains, streams, stride } => {
-                (chains, streams, stride, chase_frac)
-            }
+            AccessPattern::Mixed {
+                chase_frac,
+                chains,
+                streams,
+                stride,
+            } => (chains, streams, stride, chase_frac),
         };
         let chains = chains.clamp(0, 8);
         let streams = streams.clamp(1, 8);
@@ -167,7 +185,13 @@ impl TraceGenerator {
             let base_pc = pc;
             let loop_pc = base_pc + 4 * slots.len() as u64;
             let jump_pc = loop_pc + 4;
-            segments.push(Segment { base_pc, slots, trip, loop_pc, jump_pc });
+            segments.push(Segment {
+                base_pc,
+                slots,
+                trip,
+                loop_pc,
+                jump_pc,
+            });
             // Sparse layout spreads segments across I-cache sets.
             pc = jump_pc + 4 + 60 * (s as u64 % 3);
         }
@@ -188,7 +212,11 @@ impl TraceGenerator {
             pending: Vec::new(),
             footprint_lines: (params.footprint_bytes / 64).max(1),
             stream_stride: stride.max(1),
-            store_lines: if params.class == WorkloadClass::MemoryIntensive { STORE_LINES_MEM } else { STORE_LINES_CPU },
+            store_lines: if params.class == WorkloadClass::MemoryIntensive {
+                STORE_LINES_MEM
+            } else {
+                STORE_LINES_CPU
+            },
             emitted: 0,
         }
     }
@@ -211,7 +239,10 @@ impl TraceGenerator {
             if rng.next_f64() < params.miss_load_frac {
                 if chains > 0 && rng.next_f64() < chase_frac {
                     let chain = rng.below(chains as u64) as usize;
-                    Slot::ChaseLoad { chain, dest: ArchReg::int(chain as u8) }
+                    Slot::ChaseLoad {
+                        chain,
+                        dest: ArchReg::int(chain as u8),
+                    }
                 } else {
                     let stream = rng.below(streams as u64) as usize;
                     Slot::StreamLoad {
@@ -270,7 +301,10 @@ impl TraceGenerator {
             let (dest, src_a) = if fp {
                 (ArchReg::fp(chain), ArchReg::fp(chain))
             } else {
-                (ArchReg::int(16 + (chain % 8)), ArchReg::int(16 + (chain % 8)))
+                (
+                    ArchReg::int(16 + (chain % 8)),
+                    ArchReg::int(16 + (chain % 8)),
+                )
             };
             // Compares, tests, and flag-setting ops write no register.
             let dest = (rng.next_f64() >= 0.35).then_some(dest);
@@ -283,7 +317,12 @@ impl TraceGenerator {
             } else {
                 ArchReg::int(16 + ((chain + 1) % 8))
             };
-            Slot::Compute { kind, dest, src_a, src_b }
+            Slot::Compute {
+                kind,
+                dest,
+                src_a,
+                src_b,
+            }
         }
     }
 
@@ -312,12 +351,20 @@ impl TraceGenerator {
     /// Address of stream `stream` at absolute position `pos` (bytes).
     fn stream_addr_at(&self, stream: usize, pos: u64) -> u64 {
         let region = self.footprint_lines * 64 / 2;
-        DATA_BASE + self.footprint_lines * 32 + (stream as u64) * (region / 8) + (pos % (region / 8))
+        DATA_BASE
+            + self.footprint_lines * 32
+            + (stream as u64) * (region / 8)
+            + (pos % (region / 8))
     }
 
     fn emit_slot(&mut self, slot: Slot, pc: u64) -> Uop {
         match slot {
-            Slot::Compute { kind, dest, src_a, src_b } => {
+            Slot::Compute {
+                kind,
+                dest,
+                src_a,
+                src_b,
+            } => {
                 let mut u = Uop::alu(pc, kind).with_src(src_a).with_src(src_b);
                 if let Some(d) = dest {
                     u = u.with_dest(d);
@@ -379,7 +426,9 @@ impl TraceGenerator {
             }
             Slot::Store { src, idx } => {
                 self.store_pos = (self.store_pos + 8) % (self.store_lines * 64);
-                Uop::store(pc, STORE_BASE + self.store_pos, 8).with_src(src).with_src(idx)
+                Uop::store(pc, STORE_BASE + self.store_pos, 8)
+                    .with_src(src)
+                    .with_src(idx)
             }
             Slot::HardBranch { bias, skip, src } => {
                 let taken = self.rng.next_f64() < bias;
@@ -387,8 +436,15 @@ impl TraceGenerator {
                     self.skip_left = skip;
                 }
                 let target = pc + 4 * (skip as u64 + 1);
-                Uop::branch(pc, BranchInfo { taken, target, class: BranchClass::Conditional })
-                    .with_src(src)
+                Uop::branch(
+                    pc,
+                    BranchInfo {
+                        taken,
+                        target,
+                        class: BranchClass::Conditional,
+                    },
+                )
+                .with_src(src)
             }
         }
     }
@@ -446,7 +502,11 @@ impl Iterator for TraceGenerator {
                 self.slot = 0;
                 return Some(Uop::branch(
                     loop_pc,
-                    BranchInfo { taken: true, target: base_pc, class: BranchClass::Loop },
+                    BranchInfo {
+                        taken: true,
+                        target: base_pc,
+                        class: BranchClass::Loop,
+                    },
                 ));
             }
             // Loop exits; emit the not-taken closer then jump onward.
@@ -454,14 +514,22 @@ impl Iterator for TraceGenerator {
             let next_base = self.segments[next_seg].base_pc;
             self.pending.push(Uop::branch(
                 jump_pc,
-                BranchInfo { taken: true, target: next_base, class: BranchClass::Unconditional },
+                BranchInfo {
+                    taken: true,
+                    target: next_base,
+                    class: BranchClass::Unconditional,
+                },
             ));
             self.seg = next_seg;
             self.iter_left = self.segments[next_seg].trip;
             self.slot = 0;
             return Some(Uop::branch(
                 loop_pc,
-                BranchInfo { taken: false, target: base_pc, class: BranchClass::Loop },
+                BranchInfo {
+                    taken: false,
+                    target: base_pc,
+                    class: BranchClass::Loop,
+                },
             ));
         }
     }
@@ -478,7 +546,12 @@ mod tests {
         WorkloadParams {
             class: WorkloadClass::MemoryIntensive,
             miss_load_frac: 0.5,
-            pattern: AccessPattern::Mixed { chase_frac: 0.5, chains: 4, streams: 4, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.5,
+                chains: 4,
+                streams: 4,
+                stride: 8,
+            },
             ..WorkloadParams::base("test-mem")
         }
     }
@@ -502,7 +575,11 @@ mod tests {
         // Use a large static program so per-slot sampling noise (and the
         // persistent bias from taken hard branches skipping specific
         // slots) averages out.
-        let p = WorkloadParams { segments: 32, body_uops: 64, ..mem_params() };
+        let p = WorkloadParams {
+            segments: 32,
+            body_uops: 64,
+            ..mem_params()
+        };
         let n = 200_000;
         let mut counts: HashMap<UopKind, usize> = HashMap::new();
         for u in TraceGenerator::new(&p, 3).take(n) {
@@ -512,9 +589,15 @@ mod tests {
         let stores = counts.get(&UopKind::Store).copied().unwrap_or(0) as f64 / n as f64;
         let branches = counts.get(&UopKind::Branch).copied().unwrap_or(0) as f64 / n as f64;
         assert!((loads - p.load_frac).abs() < 0.08, "load fraction {loads}");
-        assert!((stores - p.store_frac).abs() < 0.05, "store fraction {stores}");
+        assert!(
+            (stores - p.store_frac).abs() < 0.05,
+            "store fraction {stores}"
+        );
         // Branches include loop closers and jumps, so >= the hard fraction.
-        assert!(branches > 0.01 && branches < 0.35, "branch fraction {branches}");
+        assert!(
+            branches > 0.01 && branches < 0.35,
+            "branch fraction {branches}"
+        );
     }
 
     #[test]
@@ -525,8 +608,15 @@ mod tests {
             *by_pc.entry(u.pc()).or_default() += 1;
         }
         let max_reuse = by_pc.values().copied().max().unwrap();
-        assert!(max_reuse > 100, "static code must be re-executed, max reuse {max_reuse}");
-        assert!(by_pc.len() < 2_000, "static footprint bounded, {} pcs", by_pc.len());
+        assert!(
+            max_reuse > 100,
+            "static code must be re-executed, max reuse {max_reuse}"
+        );
+        assert!(
+            by_pc.len() < 2_000,
+            "static footprint bounded, {} pcs",
+            by_pc.len()
+        );
     }
 
     #[test]
@@ -574,7 +664,10 @@ mod tests {
     fn stream_addresses_advance_sequentially() {
         let p = WorkloadParams {
             miss_load_frac: 1.0,
-            pattern: AccessPattern::Streaming { streams: 1, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 1,
+                stride: 8,
+            },
             ..WorkloadParams::base("stream")
         };
         let mut addrs = Vec::new();

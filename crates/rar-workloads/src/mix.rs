@@ -30,7 +30,16 @@ pub fn memory_intensive() -> &'static [&'static str] {
 /// The compute-intensive set (MPKI < 8; reported as suite averages).
 #[must_use]
 pub fn compute_intensive() -> &'static [&'static str] {
-    &["deepsjeng", "exchange2", "imagick", "leela", "nab", "perlbench", "povray", "x264"]
+    &[
+        "deepsjeng",
+        "exchange2",
+        "imagick",
+        "leela",
+        "nab",
+        "perlbench",
+        "povray",
+        "x264",
+    ]
 }
 
 /// Extra benchmark models available beyond the paper's evaluation suites

@@ -109,7 +109,10 @@ impl WorkloadParams {
             branch_frac: 0.12,
             miss_load_frac: 0.0,
             footprint_bytes: 64 * 1024 * 1024,
-            pattern: AccessPattern::Streaming { streams: 4, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 4,
+                stride: 8,
+            },
             hard_branch_frac: 0.10,
             hard_branch_bias: 0.85,
             loop_trip: 32,
@@ -188,6 +191,9 @@ mod tests {
 
     #[test]
     fn class_display() {
-        assert_eq!(WorkloadClass::MemoryIntensive.to_string(), "memory-intensive");
+        assert_eq!(
+            WorkloadClass::MemoryIntensive.to_string(),
+            "memory-intensive"
+        );
     }
 }

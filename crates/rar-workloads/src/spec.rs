@@ -66,7 +66,11 @@ pub fn workload(name: &str) -> Option<WorkloadSpec> {
 use WorkloadClass::{ComputeIntensive as Cpu, MemoryIntensive as Mem};
 
 fn mem_base(name: &'static str) -> WorkloadParams {
-    WorkloadParams { class: Mem, footprint_bytes: 128 * 1024 * 1024, ..WorkloadParams::base(name) }
+    WorkloadParams {
+        class: Mem,
+        footprint_bytes: 128 * 1024 * 1024,
+        ..WorkloadParams::base(name)
+    }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -81,7 +85,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.08,
             branch_frac: 0.20,
             miss_load_frac: 0.22,
-            pattern: AccessPattern::Mixed { chase_frac: 0.75, chains: 3, streams: 2, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.75,
+                chains: 3,
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.45,
             hard_branch_bias: 0.55,
             loop_trip: 12,
@@ -99,7 +108,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.15,
             miss_load_frac: 0.85,
-            pattern: AccessPattern::Streaming { streams: 2, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.02,
             hard_branch_bias: 0.9,
             loop_trip: 64,
@@ -117,7 +129,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.16,
             branch_frac: 0.04,
             miss_load_frac: 0.55,
-            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 6,
+                stride: 8,
+            },
             hard_branch_frac: 0.05,
             hard_branch_bias: 0.8,
             loop_trip: 48,
@@ -135,7 +150,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.06,
             miss_load_frac: 0.75,
-            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 6,
+                stride: 8,
+            },
             hard_branch_frac: 0.02,
             hard_branch_bias: 0.9,
             loop_trip: 56,
@@ -152,7 +170,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.10,
             branch_frac: 0.07,
             miss_load_frac: 0.30,
-            pattern: AccessPattern::Streaming { streams: 5, stride: 16 },
+            pattern: AccessPattern::Streaming {
+                streams: 5,
+                stride: 16,
+            },
             hard_branch_frac: 0.04,
             hard_branch_bias: 0.85,
             loop_trip: 40,
@@ -169,7 +190,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.06,
             miss_load_frac: 0.30,
-            pattern: AccessPattern::Mixed { chase_frac: 0.15, chains: 2, streams: 5, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.15,
+                chains: 2,
+                streams: 5,
+                stride: 8,
+            },
             hard_branch_frac: 0.05,
             hard_branch_bias: 0.85,
             loop_trip: 36,
@@ -186,7 +212,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.10,
             branch_frac: 0.05,
             miss_load_frac: 0.45,
-            pattern: AccessPattern::Streaming { streams: 7, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 7,
+                stride: 8,
+            },
             hard_branch_frac: 0.02,
             hard_branch_bias: 0.9,
             loop_trip: 64,
@@ -203,7 +232,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.06,
             miss_load_frac: 0.42,
-            pattern: AccessPattern::Streaming { streams: 5, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 5,
+                stride: 8,
+            },
             hard_branch_frac: 0.04,
             hard_branch_bias: 0.85,
             loop_trip: 44,
@@ -221,7 +253,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.08,
             branch_frac: 0.16,
             miss_load_frac: 0.15,
-            pattern: AccessPattern::Mixed { chase_frac: 0.40, chains: 2, streams: 3, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.40,
+                chains: 2,
+                streams: 3,
+                stride: 8,
+            },
             hard_branch_frac: 0.30,
             hard_branch_bias: 0.6,
             loop_trip: 16,
@@ -238,7 +275,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.06,
             branch_frac: 0.12,
             miss_load_frac: 0.20,
-            pattern: AccessPattern::Mixed { chase_frac: 0.25, chains: 2, streams: 4, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.25,
+                chains: 2,
+                streams: 4,
+                stride: 8,
+            },
             hard_branch_frac: 0.18,
             hard_branch_bias: 0.7,
             loop_trip: 24,
@@ -255,7 +297,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.18,
             miss_load_frac: 0.06,
-            pattern: AccessPattern::Mixed { chase_frac: 0.70, chains: 2, streams: 2, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.70,
+                chains: 2,
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.35,
             hard_branch_bias: 0.6,
             loop_trip: 10,
@@ -273,7 +320,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.08,
             miss_load_frac: 0.38,
-            pattern: AccessPattern::Streaming { streams: 4, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 4,
+                stride: 8,
+            },
             hard_branch_frac: 0.06,
             hard_branch_bias: 0.8,
             loop_trip: 40,
@@ -291,7 +341,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.20,
             miss_load_frac: 0.08,
-            pattern: AccessPattern::Mixed { chase_frac: 0.50, chains: 2, streams: 2, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.50,
+                chains: 2,
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.35,
             hard_branch_bias: 0.6,
             loop_trip: 8,
@@ -308,7 +363,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.08,
             branch_frac: 0.18,
             miss_load_frac: 0.08,
-            pattern: AccessPattern::Mixed { chase_frac: 0.65, chains: 2, streams: 2, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.65,
+                chains: 2,
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.40,
             hard_branch_bias: 0.55,
             loop_trip: 14,
@@ -325,7 +385,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.10,
             branch_frac: 0.07,
             miss_load_frac: 0.15,
-            pattern: AccessPattern::Streaming { streams: 4, stride: 16 },
+            pattern: AccessPattern::Streaming {
+                streams: 4,
+                stride: 16,
+            },
             hard_branch_frac: 0.04,
             hard_branch_bias: 0.85,
             loop_trip: 36,
@@ -345,7 +408,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.10,
             branch_frac: 0.20,
             miss_load_frac: 0.10,
-            pattern: AccessPattern::Mixed { chase_frac: 0.7, chains: 2, streams: 2, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.7,
+                chains: 2,
+                streams: 2,
+                stride: 8,
+            },
             hard_branch_frac: 0.30,
             hard_branch_bias: 0.6,
             loop_trip: 8,
@@ -362,7 +430,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.12,
             branch_frac: 0.05,
             miss_load_frac: 0.40,
-            pattern: AccessPattern::Streaming { streams: 6, stride: 8 },
+            pattern: AccessPattern::Streaming {
+                streams: 6,
+                stride: 8,
+            },
             hard_branch_frac: 0.02,
             hard_branch_bias: 0.9,
             loop_trip: 56,
@@ -379,7 +450,10 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.10,
             branch_frac: 0.10,
             miss_load_frac: 0.25,
-            pattern: AccessPattern::Streaming { streams: 4, stride: 16 },
+            pattern: AccessPattern::Streaming {
+                streams: 4,
+                stride: 16,
+            },
             hard_branch_frac: 0.08,
             hard_branch_bias: 0.8,
             loop_trip: 32,
@@ -396,7 +470,12 @@ fn params_for(name: &str) -> Option<WorkloadParams> {
             store_frac: 0.14,
             branch_frac: 0.16,
             miss_load_frac: 0.15,
-            pattern: AccessPattern::Mixed { chase_frac: 0.4, chains: 2, streams: 3, stride: 8 },
+            pattern: AccessPattern::Mixed {
+                chase_frac: 0.4,
+                chains: 2,
+                streams: 3,
+                stride: 8,
+            },
             hard_branch_frac: 0.25,
             hard_branch_bias: 0.65,
             loop_trip: 16,
@@ -536,10 +615,18 @@ mod tests {
     #[test]
     fn classes_match_suite_lists() {
         for name in memory_intensive() {
-            assert_eq!(workload(name).unwrap().class(), WorkloadClass::MemoryIntensive, "{name}");
+            assert_eq!(
+                workload(name).unwrap().class(),
+                WorkloadClass::MemoryIntensive,
+                "{name}"
+            );
         }
         for name in compute_intensive() {
-            assert_eq!(workload(name).unwrap().class(), WorkloadClass::ComputeIntensive, "{name}");
+            assert_eq!(
+                workload(name).unwrap().class(),
+                WorkloadClass::ComputeIntensive,
+                "{name}"
+            );
         }
     }
 
@@ -590,7 +677,10 @@ mod tests {
         for name in crate::mix::extra_benchmarks() {
             let spec = workload(name).unwrap_or_else(|| panic!("{name} missing"));
             assert_eq!(spec.params().validate(), Ok(()), "{name}");
-            assert!(!all_benchmarks().contains(name), "{name} must not join the paper suites");
+            assert!(
+                !all_benchmarks().contains(name),
+                "{name} must not join the paper suites"
+            );
         }
     }
 }

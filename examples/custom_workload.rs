@@ -23,7 +23,12 @@ fn kv_store() -> WorkloadSpec {
         branch_frac: 0.16,
         miss_load_frac: 0.15,
         footprint_bytes: 256 * 1024 * 1024,
-        pattern: AccessPattern::Mixed { chase_frac: 0.6, chains: 2, streams: 2, stride: 8 },
+        pattern: AccessPattern::Mixed {
+            chase_frac: 0.6,
+            chains: 2,
+            streams: 2,
+            stride: 8,
+        },
         hard_branch_frac: 0.30,
         hard_branch_bias: 0.6,
         loop_trip: 10,
@@ -40,7 +45,10 @@ fn kv_store() -> WorkloadSpec {
 fn main() {
     let spec = kv_store();
     println!("custom workload: {} ({})\n", spec.name(), spec.class());
-    println!("{:<8} {:>4} {:>10} {:>10} {:>12}", "core", "ROB", "OoO IPC", "RAR IPC", "RAR MTTF (x)");
+    println!(
+        "{:<8} {:>4} {:>10} {:>10} {:>12}",
+        "core", "ROB", "OoO IPC", "RAR IPC", "RAR MTTF (x)"
+    );
     for (i, core_cfg) in CoreConfig::table_i().into_iter().enumerate() {
         let run = |tech: Technique| {
             let mut core = Core::new(

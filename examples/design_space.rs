@@ -8,7 +8,7 @@
 //! ```
 
 use rar::core::Technique;
-use rar::sim::{SimConfig, Simulation, SimResult};
+use rar::sim::{SimConfig, SimResult, Simulation};
 
 fn run(workload: &str, technique: Technique) -> SimResult {
     Simulation::run(
@@ -24,8 +24,15 @@ fn run(workload: &str, technique: Technique) -> SimResult {
 fn main() {
     for workload in ["mcf", "fotonik"] {
         let base = run(workload, Technique::Ooo);
-        println!("== {workload} (baseline IPC {:.3}, MPKI {:.1}) ==", base.ipc(), base.mpki());
-        println!("{:<10} {:>6} {:>6} {:>6}  features", "technique", "MTTF", "ABC", "IPC");
+        println!(
+            "== {workload} (baseline IPC {:.3}, MPKI {:.1}) ==",
+            base.ipc(),
+            base.mpki()
+        );
+        println!(
+            "{:<10} {:>6} {:>6} {:>6}  features",
+            "technique", "MTTF", "ABC", "IPC"
+        );
         for t in Technique::ALL.into_iter().skip(1) {
             let r = run(workload, t);
             let feat = match t.features() {

@@ -18,7 +18,10 @@ use rar::mem::MemConfig;
 fn main() {
     let workload = rar::workloads::workload("gems").expect("gems is a known benchmark");
     println!("fault-injection campaign on gems (100k strikes per run)\n");
-    println!("{:<10} {:>12} {:>20} {:>8}", "technique", "analytic AVF", "injected AVF (95% CI)", "hits");
+    println!(
+        "{:<10} {:>12} {:>20} {:>8}",
+        "technique", "analytic AVF", "injected AVF (95% CI)", "hits"
+    );
 
     let mut results = Vec::new();
     for technique in [Technique::Ooo, Technique::Rar] {
@@ -61,7 +64,10 @@ fn main() {
     let (_, base_avf, base_est) = &results[0];
     let (_, rar_avf, rar_est) = &results[1];
     println!("\nanalytic MTTF improvement  {:.2}x", base_avf / rar_avf);
-    println!("injected MTTF improvement  {:.2}x", base_est.avf / rar_est.avf.max(1e-9));
+    println!(
+        "injected MTTF improvement  {:.2}x",
+        base_est.avf / rar_est.avf.max(1e-9)
+    );
     println!("\nBoth methodologies agree on the relative conclusion, as the paper's");
     println!("footnote 1 argues; the Monte-Carlo estimate converges to the analytic");
     println!("AVF because a strike is harmful exactly when it lands on a bit whose");

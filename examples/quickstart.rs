@@ -33,12 +33,23 @@ fn main() {
     println!("                    OoO      RAR");
     println!("IPC              {:>6.3}   {:>6.3}", base.ipc(), rar.ipc());
     println!("MLP              {:>6.2}   {:>6.2}", base.mlp(), rar.mlp());
-    println!("MPKI             {:>6.1}   {:>6.1}", base.mpki(), rar.mpki());
-    println!("AVF              {:>6.4}   {:>6.4}", base.reliability.avf(), rar.reliability.avf());
+    println!(
+        "MPKI             {:>6.1}   {:>6.1}",
+        base.mpki(),
+        rar.mpki()
+    );
+    println!(
+        "AVF              {:>6.4}   {:>6.4}",
+        base.reliability.avf(),
+        rar.reliability.avf()
+    );
     println!();
     println!("RAR vs OoO:");
     println!("  MTTF improvement   {:.2}x", rar.mttf_vs(&base));
-    println!("  ABC reduction      {:.1}%", (1.0 - rar.abc_vs(&base)) * 100.0);
+    println!(
+        "  ABC reduction      {:.1}%",
+        (1.0 - rar.abc_vs(&base)) * 100.0
+    );
     println!("  speedup            {:.2}x", rar.ipc_vs(&base));
     println!(
         "  runahead           {} intervals, {} prefetches",

@@ -27,7 +27,10 @@ fn main() {
     println!("RAR countdown-timer sweep on {workload} (relative to OoO)\n");
     println!("threshold   MTTF    ABC    IPC  intervals");
     for threshold in [3, 7, 15, 31, 63, 127] {
-        let core = CoreConfig { runahead_timer: threshold, ..CoreConfig::baseline() };
+        let core = CoreConfig {
+            runahead_timer: threshold,
+            ..CoreConfig::baseline()
+        };
         let r = Simulation::run(
             &SimConfig::builder()
                 .workload(workload)

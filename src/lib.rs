@@ -12,6 +12,7 @@
 //! - [`mem`] — cache hierarchy, MSHRs, stride prefetching, DDR3 DRAM,
 //! - [`ace`] — ACE/ABC/AVF/MTTF reliability accounting,
 //! - [`core`] — the out-of-order core and every runahead variant,
+//! - [`trace`] — cycle-level pipeline tracing sinks and exporters,
 //! - [`sim`] — configuration, the simulation driver, and experiment runners.
 //!
 //! # Quickstart
@@ -45,4 +46,5 @@ pub use rar_frontend as frontend;
 pub use rar_isa as isa;
 pub use rar_mem as mem;
 pub use rar_sim as sim;
+pub use rar_trace as trace;
 pub use rar_workloads as workloads;

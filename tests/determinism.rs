@@ -2,7 +2,7 @@
 //! results; seeds and techniques actually change the run.
 
 use rar::core::Technique;
-use rar::sim::{SimConfig, Simulation, SimResult};
+use rar::sim::{SimConfig, SimResult, Simulation};
 
 fn run(workload: &str, technique: Technique, seed: u64) -> SimResult {
     Simulation::run(
@@ -32,10 +32,16 @@ fn identical_configs_are_bit_identical() {
 fn seeds_change_the_trace_but_not_the_story() {
     let a = run("soplex", Technique::Ooo, 1);
     let b = run("soplex", Technique::Ooo, 2);
-    assert_ne!(a.stats.cycles, b.stats.cycles, "different seeds, different traces");
+    assert_ne!(
+        a.stats.cycles, b.stats.cycles,
+        "different seeds, different traces"
+    );
     // Same workload model: broad characteristics stay in the same regime.
     let ratio = a.mpki() / b.mpki();
-    assert!((0.5..2.0).contains(&ratio), "MPKI regime stable across seeds: {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "MPKI regime stable across seeds: {ratio}"
+    );
 }
 
 #[test]
@@ -52,7 +58,12 @@ fn every_benchmark_runs_under_every_technique() {
     // Smoke coverage of the full benchmark x technique matrix at a tiny
     // budget: no panics, nonzero progress everywhere.
     for workload in rar::workloads::all_benchmarks() {
-        for technique in [Technique::Ooo, Technique::Flush, Technique::Pre, Technique::Rar] {
+        for technique in [
+            Technique::Ooo,
+            Technique::Flush,
+            Technique::Pre,
+            Technique::Rar,
+        ] {
             let r = Simulation::run(
                 &SimConfig::builder()
                     .workload(workload)
@@ -62,7 +73,10 @@ fn every_benchmark_runs_under_every_technique() {
                     .build(),
             );
             assert!(r.ipc() > 0.0, "{workload}/{technique} made no progress");
-            assert!(r.reliability.total_abc() > 0, "{workload}/{technique} exposed no state");
+            assert!(
+                r.reliability.total_abc() > 0,
+                "{workload}/{technique} exposed no state"
+            );
         }
     }
 }

@@ -6,7 +6,7 @@ use rar::ace::{FaultCampaign, OccupancyProfile, PhaseSeries};
 use rar::core::{Core, CoreConfig, Technique};
 use rar::isa::TraceWindow;
 use rar::mem::MemConfig;
-use rar::sim::{EnergyModel, SimConfig, Simulation, SimResult};
+use rar::sim::{EnergyModel, SimConfig, SimResult, Simulation};
 
 fn run(workload: &str, technique: Technique) -> SimResult {
     Simulation::run(
@@ -31,7 +31,11 @@ fn throttle_is_a_reliability_performance_tradeoff() {
 fn runahead_buffer_performs_like_the_pre_family() {
     let base = run("fotonik", Technique::Ooo);
     let rab = run("fotonik", Technique::Rab);
-    assert!(rab.ipc_vs(&base) > 1.05, "RAB speedup {}", rab.ipc_vs(&base));
+    assert!(
+        rab.ipc_vs(&base) > 1.05,
+        "RAB speedup {}",
+        rab.ipc_vs(&base)
+    );
     assert_eq!(rab.stats.flushes, 0);
 }
 
@@ -43,7 +47,11 @@ fn continuous_runahead_prefetches_modelessly() {
     let cre = run("libquantum", Technique::Cre);
     assert_eq!(cre.stats.runahead_intervals, 0, "CRE never enters a mode");
     assert!(cre.stats.runahead_prefetches > 0);
-    assert!(cre.ipc_vs(&base) > 1.02, "CRE speedup {}", cre.ipc_vs(&base));
+    assert!(
+        cre.ipc_vs(&base) > 1.02,
+        "CRE speedup {}",
+        cre.ipc_vs(&base)
+    );
 }
 
 #[test]
@@ -104,7 +112,10 @@ fn phase_series_flattens_under_rar() {
     };
     let base = profile_of(Technique::Ooo);
     let rar = profile_of(Technique::Rar);
-    assert!(rar.peak() < base.peak(), "RAR must clip the vulnerability peaks");
+    assert!(
+        rar.peak() < base.peak(),
+        "RAR must clip the vulnerability peaks"
+    );
     assert!(rar.mean() < base.mean());
 }
 

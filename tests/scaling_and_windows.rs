@@ -3,7 +3,7 @@
 
 use rar::ace::StallKind;
 use rar::core::{CoreConfig, Technique};
-use rar::sim::{SimConfig, Simulation, SimResult};
+use rar::sim::{SimConfig, SimResult, Simulation};
 
 fn run_with_core(workload: &str, technique: Technique, core: CoreConfig) -> SimResult {
     Simulation::run(
@@ -35,18 +35,18 @@ fn rar_closes_the_scaling_gap() {
     let ooo4 = run_with_core("gems", Technique::Ooo, CoreConfig::core4());
     let rar1 = run_with_core("gems", Technique::Rar, CoreConfig::core1());
     let rar4 = run_with_core("gems", Technique::Rar, CoreConfig::core4());
-    let ooo_growth =
-        ooo4.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
-    let rar4_vs_ooo4 =
-        rar4.reliability.total_abc() as f64 / ooo4.reliability.total_abc() as f64;
-    let rar1_vs_ooo1 =
-        rar1.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
+    let ooo_growth = ooo4.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
+    let rar4_vs_ooo4 = rar4.reliability.total_abc() as f64 / ooo4.reliability.total_abc() as f64;
+    let rar1_vs_ooo1 = rar1.reliability.total_abc() as f64 / ooo1.reliability.total_abc() as f64;
     assert!(ooo_growth > 1.0);
     assert!(
         rar4_vs_ooo4 <= rar1_vs_ooo1 * 1.25,
         "RAR's relative benefit must not erode with core size: {rar1_vs_ooo1} -> {rar4_vs_ooo4}"
     );
-    assert!(rar4_vs_ooo4 < 0.5, "RAR removes most exposure on the largest core");
+    assert!(
+        rar4_vs_ooo4 < 0.5,
+        "RAR removes most exposure on the largest core"
+    );
 }
 
 /// The Figure 5 decomposition: head-blocked windows dominate the exposed
@@ -66,7 +66,10 @@ fn blocked_head_windows_dominate_ace() {
     assert!(full <= blocked, "full-ROB windows are a subset in time");
     assert!(blocked <= total);
     let share = blocked as f64 / total as f64;
-    assert!(share > 0.5, "most exposure is under blocking misses, got {share}");
+    assert!(
+        share > 0.5,
+        "most exposure is under blocking misses, got {share}"
+    );
 }
 
 /// mcf's gap between head-blocked and full-ROB exposure comes from branch

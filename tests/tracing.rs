@@ -1,0 +1,71 @@
+//! End-to-end checks of the trace subsystem: determinism of the exported
+//! artifacts, ring-buffer bounding, and sampling cadence.
+
+use rar::core::Technique;
+use rar::sim::{SimConfig, Simulation, TraceSettings};
+use rar::trace::{chrome, csv, konata, TraceEvent};
+
+fn traced_cfg(capacity: usize, sample_interval: u64) -> SimConfig {
+    SimConfig::builder()
+        .workload("mcf")
+        .technique(Technique::Rar)
+        .warmup(1_000)
+        .instructions(6_000)
+        .trace(TraceSettings {
+            capacity,
+            sample_interval,
+        })
+        .build()
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_exports() {
+    let cfg = traced_cfg(1 << 20, 500);
+    let (_, a) = Simulation::run_traced(&cfg);
+    let (_, b) = Simulation::run_traced(&cfg);
+    let (ea, eb) = (a.to_vec(), b.to_vec());
+    assert_eq!(ea.len(), eb.len(), "same seed must capture the same events");
+    assert_eq!(chrome::to_chrome_json(&ea), chrome::to_chrome_json(&eb));
+    assert_eq!(konata::to_konata(&ea), konata::to_konata(&eb));
+    assert_eq!(csv::uops_to_csv(&ea), csv::uops_to_csv(&eb));
+    assert_eq!(csv::windows_to_csv(&ea), csv::windows_to_csv(&eb));
+}
+
+#[test]
+fn small_ring_keeps_only_the_most_recent_events() {
+    let full = Simulation::run_traced(&traced_cfg(0, 0)).1;
+    let bounded = Simulation::run_traced(&traced_cfg(256, 0)).1;
+    assert!(full.len() > 256, "mcf run must emit more than 256 events");
+    assert_eq!(bounded.len(), 256);
+    assert_eq!(bounded.emitted(), full.emitted());
+    assert_eq!(bounded.dropped(), full.emitted() - 256);
+    // The bounded ring holds the suffix of the unbounded capture.
+    let tail = &full.to_vec()[full.len() - 256..];
+    assert_eq!(bounded.to_vec(), tail);
+}
+
+#[test]
+fn sampler_fires_on_the_configured_cadence() {
+    let (result, sink) = Simulation::run_traced(&traced_cfg(0, 250));
+    let samples: Vec<u64> = sink
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Sample(row) => Some(row.cycle),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !samples.is_empty(),
+        "sampling enabled but no samples captured"
+    );
+    for c in &samples {
+        assert_eq!(c % 250, 0, "sample at cycle {c} off-cadence");
+    }
+    // Cycle counting is monotonic, so one sample per interval boundary.
+    let expected = result.stats.cycles / 250;
+    let got = samples.len() as u64;
+    assert!(
+        got >= expected.saturating_sub(1) && got <= expected + 1,
+        "expected ~{expected} samples, got {got}"
+    );
+}
