@@ -22,6 +22,11 @@ use crate::window::{StallKind, WindowSet};
 #[derive(Debug, Clone, Default)]
 pub struct AceCounter {
     abc: [u128; Structure::COUNT],
+    /// Statically-proven dynamically-dead bit-cycles, a subset of `abc`.
+    /// Populated by [`AceCounter::record_dead`] when the core runs the
+    /// `rar-verify` dead-value refinement; stays zero otherwise, so the
+    /// unrefined (paper) figures are unchanged by default.
+    dead_abc: [u128; Structure::COUNT],
     windows: [WindowSet; StallKind::COUNT],
     abc_in_window: [u128; StallKind::COUNT],
     /// When `Some`, every committed interval is also recorded for
@@ -66,6 +71,24 @@ impl AceCounter {
         }
     }
 
+    /// Records that `dead_bits` of an interval previously reported via
+    /// [`AceCounter::record_committed`] are dynamically dead (never read
+    /// before overwrite), per the static un-ACE refinement. The caller must
+    /// pass the same `[start, end)` interval and `dead_bits <= bits`, which
+    /// keeps the refined ABC a lower bound of the unrefined one.
+    pub fn record_dead(&mut self, structure: Structure, dead_bits: u64, start: u64, end: u64) {
+        debug_assert!(end >= start, "interval ends before it starts");
+        if end <= start || dead_bits == 0 {
+            return;
+        }
+        let cycles = end - start;
+        self.dead_abc[structure.index()] += u128::from(dead_bits) * u128::from(cycles);
+        debug_assert!(
+            self.dead_abc[structure.index()] <= self.abc[structure.index()],
+            "dead bit-cycles exceed recorded ACE bit-cycles"
+        );
+    }
+
     /// Opens a stall window of the given kind at `cycle`.
     pub fn open_window(&mut self, kind: StallKind, cycle: u64) {
         self.windows[kind.index()].open(cycle);
@@ -94,6 +117,36 @@ impl AceCounter {
     #[must_use]
     pub fn total_abc(&self) -> u128 {
         self.abc.iter().sum()
+    }
+
+    /// Dynamically-dead bit-cycles recorded against `structure`.
+    #[must_use]
+    pub fn dead_abc(&self, structure: Structure) -> u128 {
+        self.dead_abc[structure.index()]
+    }
+
+    /// Refined ACE bit-cycles in `structure`: unrefined minus
+    /// statically-proven dead. Equals the unrefined count when no
+    /// refinement was recorded.
+    #[must_use]
+    pub fn refined_abc(&self, structure: Structure) -> u128 {
+        self.abc[structure.index()] - self.dead_abc[structure.index()]
+    }
+
+    /// Total refined ACE bit-cycles across all structures.
+    #[must_use]
+    pub fn total_refined_abc(&self) -> u128 {
+        self.total_abc() - self.dead_abc.iter().sum::<u128>()
+    }
+
+    /// Per-structure refined ABC snapshot in [`Structure::ALL`] order.
+    #[must_use]
+    pub fn refined_abc_by_structure(&self) -> [u128; Structure::COUNT] {
+        let mut out = self.abc;
+        for (o, d) in out.iter_mut().zip(self.dead_abc.iter()) {
+            *o -= d;
+        }
+        out
     }
 
     /// ACE bit-cycles that fell inside windows of `kind`.
@@ -186,6 +239,27 @@ mod tests {
         ace.close_window(StallKind::RobHeadBlocked, 60);
         assert_eq!(ace.window_count(StallKind::RobHeadBlocked), 2);
         assert_eq!(ace.window_cycles(StallKind::RobHeadBlocked), 50);
+    }
+
+    #[test]
+    fn refined_abc_subtracts_dead_bits() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::RfInt, 64, 0, 10);
+        ace.record_dead(Structure::RfInt, 16, 0, 10);
+        assert_eq!(ace.abc(Structure::RfInt), 640);
+        assert_eq!(ace.dead_abc(Structure::RfInt), 160);
+        assert_eq!(ace.refined_abc(Structure::RfInt), 480);
+        assert_eq!(ace.total_refined_abc(), 480);
+        // Untouched structures are identical in both views.
+        assert_eq!(ace.refined_abc(Structure::Rob), ace.abc(Structure::Rob));
+    }
+
+    #[test]
+    fn refinement_defaults_to_unrefined() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::Rob, 120, 0, 10);
+        assert_eq!(ace.total_refined_abc(), ace.total_abc());
+        assert_eq!(ace.refined_abc_by_structure(), ace.abc_by_structure());
     }
 
     #[test]

@@ -111,9 +111,11 @@ pub fn mttf_relative(baseline_avf: f64, technique_avf: f64) -> f64 {
 pub struct ReliabilityReport {
     abc: [u128; Structure::COUNT],
     total_abc: u128,
+    refined_total_abc: u128,
     capacity_bits: u64,
     cycles: u64,
     avf: f64,
+    refined_avf: f64,
 }
 
 impl ReliabilityReport {
@@ -122,13 +124,16 @@ impl ReliabilityReport {
     pub fn new(ace: &AceCounter, capacities: &StructureCapacities, cycles: u64) -> Self {
         let abc = ace.abc_by_structure();
         let total_abc = ace.total_abc();
+        let refined_total_abc = ace.total_refined_abc();
         let capacity_bits = capacities.total_bits();
         ReliabilityReport {
             abc,
             total_abc,
+            refined_total_abc,
             capacity_bits,
             cycles,
             avf: avf(total_abc, capacity_bits, cycles),
+            refined_avf: avf(refined_total_abc, capacity_bits, cycles),
         }
     }
 
@@ -160,6 +165,21 @@ impl ReliabilityReport {
     #[must_use]
     pub fn avf(&self) -> f64 {
         self.avf
+    }
+
+    /// Total ACE bit count after subtracting statically-proven
+    /// dynamically-dead bit-cycles. Equals [`ReliabilityReport::total_abc`]
+    /// when the run did not record a refinement; never exceeds it.
+    #[must_use]
+    pub fn refined_total_abc(&self) -> u128 {
+        self.refined_total_abc
+    }
+
+    /// AVF computed from the refined ABC (never above
+    /// [`ReliabilityReport::avf`]).
+    #[must_use]
+    pub fn refined_avf(&self) -> f64 {
+        self.refined_avf
     }
 
     /// Normalized MTTF of `self` relative to `baseline` (higher is better).
@@ -245,6 +265,18 @@ mod tests {
 
         let mttf = pre.mttf_vs(&base);
         assert!((mttf - 1.0).abs() < 0.02, "expected ~1.0, got {mttf}");
+    }
+
+    #[test]
+    fn refined_avf_never_exceeds_unrefined() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::RfInt, 64, 0, 100);
+        ace.record_dead(Structure::RfInt, 64, 0, 40);
+        let rep = ReliabilityReport::new(&ace, &caps(), 100);
+        assert_eq!(rep.total_abc(), 6400);
+        assert_eq!(rep.refined_total_abc(), 6400 - 64 * 40);
+        assert!(rep.refined_avf() <= rep.avf());
+        assert!(rep.refined_avf() > 0.0);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use rar_ace::{EntryBits, StructureCapacities};
 use rar_isa::UopKind;
+use rar_verify::ConfigError;
 
 /// Functional-unit pool (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,16 +246,62 @@ impl CoreConfig {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
-        if self.rob_size == 0 || self.iq_size == 0 || self.lq_size == 0 || self.sq_size == 0 {
-            return Err("queue sizes must be nonzero".into());
+    /// Returns a typed [`ConfigError`] naming the first violated
+    /// constraint, so sweep drivers can reject a bad configuration before
+    /// spending cycles on it.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("rob_size", self.rob_size),
+            ("iq_size", self.iq_size),
+            ("lq_size", self.lq_size),
+            ("sq_size", self.sq_size),
+        ] {
+            if value == 0 {
+                return Err(ConfigError::core(field, "queue size must be nonzero"));
+            }
         }
         if self.width == 0 {
-            return Err("pipeline width must be nonzero".into());
+            return Err(ConfigError::core("width", "pipeline width must be nonzero"));
         }
-        if self.int_regs < 32 + self.width || self.fp_regs < 32 + self.width {
-            return Err("physical registers must cover architectural state plus rename".into());
+        if self.int_regs < 32 + self.width {
+            return Err(ConfigError::core(
+                "int_regs",
+                format!(
+                    "{} integer physical registers cannot cover 32 architectural \
+                     plus {} rename slots",
+                    self.int_regs, self.width
+                ),
+            ));
+        }
+        if self.fp_regs < 32 + self.width {
+            return Err(ConfigError::core(
+                "fp_regs",
+                format!(
+                    "{} floating-point physical registers cannot cover 32 \
+                     architectural plus {} rename slots",
+                    self.fp_regs, self.width
+                ),
+            ));
+        }
+        if !self.throttle_occupancy_bound.is_finite()
+            || !(0.0..=1.0).contains(&self.throttle_occupancy_bound)
+        {
+            return Err(ConfigError::core(
+                "throttle_occupancy_bound",
+                format!(
+                    "must be a fraction of the ROB in [0, 1], got {}",
+                    self.throttle_occupancy_bound
+                ),
+            ));
+        }
+        if self.throttle_width > self.width {
+            return Err(ConfigError::core(
+                "throttle_width",
+                format!(
+                    "throttled dispatch width {} exceeds pipeline width {}",
+                    self.throttle_width, self.width
+                ),
+            ));
         }
         Ok(())
     }
@@ -330,9 +377,18 @@ mod tests {
     fn validate_catches_degenerate() {
         let mut c = CoreConfig::baseline();
         c.int_regs = 16;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().unwrap_err().field(), "int_regs");
         let mut c = CoreConfig::baseline();
         c.rob_size = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate().unwrap_err().field(), "rob_size");
+        let mut c = CoreConfig::baseline();
+        c.throttle_occupancy_bound = 1.5;
+        assert_eq!(
+            c.validate().unwrap_err().field(),
+            "throttle_occupancy_bound"
+        );
+        let mut c = CoreConfig::baseline();
+        c.throttle_width = c.width + 1;
+        assert_eq!(c.validate().unwrap_err().field(), "throttle_width");
     }
 }

@@ -30,6 +30,9 @@ use crate::runahead::{InvTracker, Mode, RaState};
 use crate::sst::{Prdq, Sst};
 use crate::stats::CoreStats;
 use crate::technique::{RunaheadFeatures, Technique};
+use rar_ace::bits::{
+    FP_FU_BITS, INT_FU_BITS, IQ_ENTRY_BITS, LQ_ENTRY_BITS, ROB_ENTRY_BITS, SQ_ENTRY_BITS,
+};
 use rar_ace::{AceCounter, ReliabilityReport, StallKind, Structure};
 use rar_frontend::BranchPredictor;
 #[cfg(test)]
@@ -37,6 +40,7 @@ use rar_isa::Uop;
 use rar_isa::{cache_line, ArchReg, RegClass, UopKind, UopSource};
 use rar_mem::{AccessKind, HitLevel, MemConfig, MemStall, MemoryHierarchy};
 use rar_trace::{NullSink, RunaheadTrigger, SampleRow, TraceEvent, TraceSink};
+use rar_verify::AceRefinement;
 
 /// The simulated core.
 ///
@@ -126,6 +130,14 @@ pub struct Core<S, T: TraceSink = NullSink> {
 
     stats: CoreStats,
 
+    /// Per-sequence dead-value refinement from `rar-verify`; empty by
+    /// default (every uop classified live), in which case the refined ACE
+    /// figures equal the unrefined ones.
+    refinement: AceRefinement,
+    /// Per-cycle cross-structure invariant checker (`sanitize` feature).
+    #[cfg(feature = "sanitize")]
+    sanitizer: rar_verify::Sanitizer,
+
     /// Trace sink; [`NullSink`] by default, in which case every emission
     /// site folds away at monomorphization.
     sink: T,
@@ -202,6 +214,9 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             wp_rng: 0xabcd_ef01_2345_6789,
             last_load_line: 0x1_0000_0000,
             stats: CoreStats::default(),
+            refinement: AceRefinement::none(),
+            #[cfg(feature = "sanitize")]
+            sanitizer: rar_verify::Sanitizer::new(StallKind::COUNT),
             sink,
             sample_every: 0,
             mem_scratch: Vec::new(),
@@ -276,6 +291,22 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         &self.ace
     }
 
+    /// Installs a static dead-value refinement (from
+    /// [`rar_verify::analyze_stream`] over the correct-path uop trace).
+    /// Committed destination-register intervals whose sequence number the
+    /// refinement proves dynamically dead are additionally reported to
+    /// [`AceCounter::record_dead`], so the run's reliability report carries
+    /// both the unrefined (paper) AVF and the refined lower bound.
+    pub fn set_ace_refinement(&mut self, refinement: AceRefinement) {
+        self.refinement = refinement;
+    }
+
+    /// The installed dead-value refinement (empty by default).
+    #[must_use]
+    pub fn ace_refinement(&self) -> &AceRefinement {
+        &self.refinement
+    }
+
     /// Stalling-slice-table telemetry: (resident PCs, hits, lookups).
     #[must_use]
     pub fn sst_stats(&self) -> (usize, u64, u64) {
@@ -306,6 +337,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         };
         self.mem.reset_stats();
         self.bp.reset_stats();
+        #[cfg(feature = "sanitize")]
+        self.sanitizer.reset_measurement(self.rob.len() as u64);
     }
 
     /// Enables recording of committed occupancy intervals for
@@ -381,6 +414,89 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             if self.sample_every > 0 && self.now.is_multiple_of(self.sample_every) {
                 self.emit_sample();
             }
+        }
+        #[cfg(feature = "sanitize")]
+        self.sanitize_check();
+    }
+
+    /// Cross-checks the pipeline's redundant bookkeeping against ground
+    /// truth recomputed from the ROB, PRF, MSHR file and ACE window sets,
+    /// panicking with a precise diagnostic on the first violation. Only
+    /// reads simulator state — a sanitized build produces bit-identical
+    /// statistics to a default build.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant.
+    #[cfg(feature = "sanitize")]
+    fn sanitize_check(&mut self) {
+        let now = self.now;
+        let s = &mut self.sanitizer;
+
+        s.check_uop_conservation(
+            now,
+            self.stats.dispatched,
+            self.stats.committed,
+            self.stats.squashed,
+            self.rob.len() as u64,
+        );
+
+        for (name, class, total) in [
+            ("int", RegClass::Int, self.cfg.int_regs),
+            ("fp", RegClass::Fp, self.cfg.fp_regs),
+        ] {
+            let rat_mapped = self
+                .rat
+                .live_regs()
+                .iter()
+                .filter(|r| r.class == class)
+                .count();
+            let in_flight_old = self
+                .rob
+                .iter()
+                .filter(|e| e.old_phys.is_some_and(|p| p.class == class))
+                .count();
+            s.check_prf(
+                now,
+                name,
+                self.prf.free_count(class),
+                rat_mapped,
+                in_flight_old,
+                total,
+            );
+        }
+
+        s.check_rob_order(now, self.rob.iter().map(|e| e.seq));
+
+        let rob_in_iq = self.rob.iter().filter(|e| e.in_iq).count();
+        let rob_loads = self.rob.iter().filter(|e| e.uop.is_load()).count();
+        let rob_stores = self.rob.iter().filter(|e| e.uop.is_store()).count();
+        s.check_queue_counts(
+            now,
+            self.iq_count,
+            self.lq_count,
+            self.sq_count,
+            rob_in_iq,
+            rob_loads,
+            rob_stores,
+            self.cfg.lq_size,
+            self.cfg.sq_size,
+        );
+
+        let (allocations, released, resident, capacity, peak) = self.mem.mshr_sanity();
+        s.check_mshr(now, allocations, released, resident, capacity, peak);
+
+        for kind in [StallKind::RobHeadBlocked, StallKind::FullRobStall] {
+            s.check_windows(
+                now,
+                kind.index(),
+                self.ace.window_count(kind) as u64,
+                self.ace.window_open(kind),
+            );
+        }
+
+        if let Some(v) = s.first_violation() {
+            panic!("sanitizer: {v}");
         }
     }
 
@@ -479,18 +595,24 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         }
         let c = self.now;
         self.ace
-            .record_committed(Structure::Rob, 120, e.dispatch_cycle, c);
+            .record_committed(Structure::Rob, ROB_ENTRY_BITS, e.dispatch_cycle, c);
         let issue = e.issue_cycle.unwrap_or(c);
         self.ace
-            .record_committed(Structure::Iq, 80, e.dispatch_cycle, issue);
+            .record_committed(Structure::Iq, IQ_ENTRY_BITS, e.dispatch_cycle, issue);
         if let Some(x) = e.exec_start {
             if e.uop.is_load() {
-                self.ace.record_committed(Structure::Lq, 120, x, c);
+                self.ace
+                    .record_committed(Structure::Lq, LQ_ENTRY_BITS, x, c);
             }
             if e.uop.is_store() {
-                self.ace.record_committed(Structure::Sq, 184, x, c);
+                self.ace
+                    .record_committed(Structure::Sq, SQ_ENTRY_BITS, x, c);
             }
-            let fu_bits = if e.uop.kind().is_fp() { 128 } else { 64 };
+            let fu_bits = if e.uop.kind().is_fp() {
+                FP_FU_BITS
+            } else {
+                INT_FU_BITS
+            };
             self.ace
                 .record_committed(Structure::Fu, fu_bits, x, x + e.fu_latency);
         }
@@ -501,6 +623,16 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 RegClass::Fp => Structure::RfFp,
             };
             self.ace.record_committed(s, phys.bits(), written, c);
+            // Static un-ACE refinement: bits of the destination value the
+            // dead-value analysis proved are never consumed. Applied only
+            // to the register-file interval — the Table III ROB/IQ/LQ/SQ
+            // entry bits are control metadata, not the value itself.
+            if !e.wrong_path {
+                let dead = self.refinement.dead_dest_bits(e.seq, phys.bits());
+                if dead > 0 {
+                    self.ace.record_dead(s, dead, written, c);
+                }
+            }
         }
     }
 
@@ -542,8 +674,18 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         };
 
         self.stats.head_blocked_cycles += 1;
+        #[cfg(feature = "sanitize")]
+        if !self.ace.window_open(StallKind::RobHeadBlocked) {
+            self.sanitizer
+                .note_window_open(StallKind::RobHeadBlocked.index());
+        }
         self.ace.open_window(StallKind::RobHeadBlocked, self.now);
         if self.rob.is_full() {
+            #[cfg(feature = "sanitize")]
+            if !self.ace.window_open(StallKind::FullRobStall) {
+                self.sanitizer
+                    .note_window_open(StallKind::FullRobStall.index());
+            }
             self.ace.open_window(StallKind::FullRobStall, self.now);
         } else if self.ace.window_open(StallKind::FullRobStall) {
             self.close_stall_window(StallKind::FullRobStall);
@@ -555,8 +697,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
 
         let blocked_cycles = self
             .head_since
-            .map(|(_, since)| self.now.saturating_sub(since))
-            .unwrap_or(0);
+            .map_or(0, |(_, since)| self.now.saturating_sub(since));
 
         // FLUSH: Weaver et al. — flush behind the blocking access; the
         // pipeline refills when the access returns. Like the runahead
@@ -616,6 +757,10 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
     /// trace sink.
     fn close_stall_window(&mut self, kind: StallKind) {
         let closed = self.ace.close_window(kind, self.now);
+        #[cfg(feature = "sanitize")]
+        if closed.is_some() {
+            self.sanitizer.note_window_close(kind.index());
+        }
         if T::ENABLED {
             if let Some((start, end)) = closed {
                 let kind = match kind {
@@ -723,7 +868,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         for seq in llc_miss_loads {
             self.learn_slice(seq);
         }
-        let _ = issued;
+        self.stats.issued += issued.len() as u64;
     }
 
     /// Walks the in-flight backward slice of the load at `seq` and inserts
@@ -1169,6 +1314,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                         match self.mem.access(AccessKind::Load, m.addr, pc, self.now) {
                             Ok(out) => {
                                 self.stats.runahead_prefetches += 1;
+                                self.mem.note_runahead_load();
                                 let Mode::Runahead(state) = &mut self.mode else {
                                     unreachable!()
                                 };
@@ -1327,6 +1473,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                         match self.mem.access(AccessKind::Load, m.addr, pc, now) {
                             Ok(out) => {
                                 self.stats.runahead_prefetches += 1;
+                                self.mem.note_runahead_load();
                                 let Some((_, inv)) = &mut self.cre else {
                                     unreachable!()
                                 };

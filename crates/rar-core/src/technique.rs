@@ -46,7 +46,7 @@ pub enum Technique {
     /// the paper's figures.
     Cre,
     /// Vector runahead (Naithani, Ainsworth, Jones & Eeckhout, ISCA 2021;
-    /// cited as [49]): vectorizes stalling slices so one issue slot
+    /// cited as \[49\]): vectorizes stalling slices so one issue slot
     /// pre-executes several loop iterations' worth of chain work,
     /// multiplying prefetch generation bandwidth. Modelled as 4x slice
     /// throughput with buffered (fetch-free) skipping; triggers and

@@ -160,7 +160,7 @@ impl Tage {
         let h = self
             .history
             .fold(self.config.history_lengths[table], self.config.tagged_bits);
-        let pc_part = (pc >> 2) ^ (pc >> (2 + self.config.tagged_bits as u64));
+        let pc_part = (pc >> 2) ^ (pc >> (2 + u64::from(self.config.tagged_bits)));
         ((pc_part ^ h ^ (table as u64).wrapping_mul(0x9e3779b9))
             & ((1 << self.config.tagged_bits) - 1)) as usize
     }

@@ -3,6 +3,7 @@
 use crate::cache::CacheConfig;
 use crate::dram::DramConfig;
 use crate::prefetch::StridePrefetcherConfig;
+use rar_verify::ConfigError;
 
 /// Where the optional stride prefetcher is attached (Section V-F).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -81,6 +82,58 @@ impl MemConfig {
             ..MemConfig::baseline()
         }
     }
+
+    /// Sanity checks on the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] naming the first inconsistent
+    /// Table II parameter (zero-sized or non-power-of-two cache geometry,
+    /// mismatched line sizes, no MSHRs).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let caches = [
+            ("l1i", &self.l1i),
+            ("l1d", &self.l1d),
+            ("l2", &self.l2),
+            ("l3", &self.l3),
+        ];
+        for (name, c) in caches {
+            if c.line_bytes == 0 || !c.line_bytes.is_power_of_two() {
+                return Err(ConfigError::mem(
+                    name,
+                    format!("line size {} is not a nonzero power of two", c.line_bytes),
+                ));
+            }
+            if c.assoc == 0 {
+                return Err(ConfigError::mem(name, "associativity must be nonzero"));
+            }
+            if c.size_bytes == 0 || c.size_bytes % (c.assoc as u64 * c.line_bytes) != 0 {
+                return Err(ConfigError::mem(
+                    name,
+                    format!(
+                        "size {} B is not a whole number of {}-way sets of {}-byte lines",
+                        c.size_bytes, c.assoc, c.line_bytes
+                    ),
+                ));
+            }
+        }
+        if caches
+            .iter()
+            .any(|(_, c)| c.line_bytes != self.l1d.line_bytes)
+        {
+            return Err(ConfigError::mem(
+                "line_bytes",
+                "all cache levels must share one line size",
+            ));
+        }
+        if self.mshrs == 0 {
+            return Err(ConfigError::mem(
+                "mshrs",
+                "at least one MSHR is required to start a miss",
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for MemConfig {
@@ -109,5 +162,36 @@ mod tests {
         let m = MemConfig::with_prefetch(PrefetchPlacement::All);
         assert_eq!(m.prefetch, PrefetchPlacement::All);
         assert_eq!(m.l3, MemConfig::baseline().l3);
+    }
+
+    #[test]
+    fn baseline_validates() {
+        assert_eq!(MemConfig::baseline().validate(), Ok(()));
+        for p in [PrefetchPlacement::L3, PrefetchPlacement::All] {
+            assert_eq!(MemConfig::with_prefetch(p).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_geometry() {
+        let mut m = MemConfig::baseline();
+        m.l1d.line_bytes = 48;
+        assert_eq!(m.validate().unwrap_err().field(), "l1d");
+
+        let mut m = MemConfig::baseline();
+        m.l2.assoc = 0;
+        assert_eq!(m.validate().unwrap_err().field(), "l2");
+
+        let mut m = MemConfig::baseline();
+        m.l3.size_bytes = 1000; // not a whole number of sets
+        assert_eq!(m.validate().unwrap_err().field(), "l3");
+
+        let mut m = MemConfig::baseline();
+        m.l1i.line_bytes = 128; // mismatched with the data side
+        assert!(m.validate().is_err());
+
+        let mut m = MemConfig::baseline();
+        m.mshrs = 0;
+        assert_eq!(m.validate().unwrap_err().field(), "mshrs");
     }
 }

@@ -171,6 +171,14 @@ impl MemoryHierarchy {
         self.mshr.outstanding(now)
     }
 
+    /// Counts one runahead-speculative load. Runahead loads travel the
+    /// ordinary demand path, so the hierarchy cannot tell them apart on
+    /// its own; the core reports each one explicitly after a successful
+    /// [`MemoryHierarchy::access`].
+    pub fn note_runahead_load(&mut self) {
+        self.stats.runahead_loads += 1;
+    }
+
     /// True if a demand load miss could allocate an MSHR at `now`.
     pub fn mshr_available(&mut self, now: u64) -> bool {
         self.mshr.has_free(now)
@@ -440,6 +448,21 @@ impl MemoryHierarchy {
             self.mshr.peak(),
             self.mshr.allocations(),
             self.mshr.merges(),
+        )
+    }
+
+    /// Read-only MSHR conservation snapshot for the invariant sanitizer:
+    /// `(allocations, released, resident, capacity, peak)`. Unlike
+    /// [`MemoryHierarchy::outstanding_misses`] this never expires entries,
+    /// so checking it cannot perturb simulated timing.
+    #[must_use]
+    pub fn mshr_sanity(&self) -> (u64, u64, usize, usize, usize) {
+        (
+            self.mshr.allocations(),
+            self.mshr.released(),
+            self.mshr.resident(),
+            self.mshr.capacity(),
+            self.mshr.peak(),
         )
     }
 

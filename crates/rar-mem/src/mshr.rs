@@ -30,6 +30,7 @@ pub struct MshrFile {
     inflight: HashMap<u64, u64>,
     peak: usize,
     allocations: u64,
+    released: u64,
     merges: u64,
 }
 
@@ -42,13 +43,16 @@ impl MshrFile {
             inflight: HashMap::with_capacity(capacity),
             peak: 0,
             allocations: 0,
+            released: 0,
             merges: 0,
         }
     }
 
     /// Drops entries whose fetch completed at or before `now`.
     pub fn expire(&mut self, now: u64) {
+        let before = self.inflight.len();
         self.inflight.retain(|_, &mut done| done > now);
+        self.released += (before - self.inflight.len()) as u64;
     }
 
     /// If `line` is in flight at `now`, returns its completion cycle and
@@ -110,6 +114,22 @@ impl MshrFile {
     pub fn merges(&self) -> u64 {
         self.merges
     }
+
+    /// Total entries released by [`MshrFile::expire`]. Together with
+    /// [`MshrFile::resident`], balances [`MshrFile::allocations`]:
+    /// `allocations == released + resident`, always.
+    #[must_use]
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// Entries currently resident in the file, *without* expiring
+    /// completed ones — a read-only view for invariant checkers that must
+    /// not perturb the file's (timing-visible) expiry schedule.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.inflight.len()
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +180,34 @@ mod tests {
             m.allocate(i * 64, 100 + i, 0);
         }
         assert_eq!(m.allocations(), 5);
+    }
+
+    #[test]
+    fn allocations_balance_releases_plus_resident() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 10, 0);
+        m.allocate(0x80, 20, 0);
+        m.allocate(0xc0, 30, 0);
+        assert_eq!(m.allocations(), m.released() + m.resident() as u64);
+        m.expire(15);
+        assert_eq!(m.released(), 1);
+        assert_eq!(m.resident(), 2);
+        assert_eq!(m.allocations(), m.released() + m.resident() as u64);
+        m.expire(100);
+        assert_eq!(m.released(), 3);
+        assert_eq!(m.resident(), 0);
+    }
+
+    #[test]
+    fn resident_does_not_expire() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x40, 10, 0);
+        // The entry is past its completion time, but the read-only view
+        // must not release it.
+        assert_eq!(m.resident(), 1);
+        assert_eq!(m.released(), 0);
+        assert!(m.has_free(50));
+        assert_eq!(m.resident(), 0);
+        assert_eq!(m.released(), 1);
     }
 }

@@ -99,27 +99,24 @@ impl StridePrefetcher {
         let threshold = self.config.train_threshold;
         let degree = self.config.degree;
 
-        let slot = match self.table.iter().position(|s| s.valid && s.pc == pc) {
-            Some(i) => i,
-            None => {
-                // Allocate: LRU over (valid, last_use).
-                let i = self
-                    .table
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| (s.valid, s.last_use))
-                    .map(|(i, _)| i)
-                    .expect("stream table is nonempty");
-                self.table[i] = Stream {
-                    pc,
-                    last_addr: addr,
-                    stride: 0,
-                    confidence: 0,
-                    last_use: tick,
-                    valid: true,
-                };
-                return Vec::new();
-            }
+        let Some(slot) = self.table.iter().position(|s| s.valid && s.pc == pc) else {
+            // Allocate: LRU over (valid, last_use).
+            let i = self
+                .table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| (s.valid, s.last_use))
+                .map(|(i, _)| i)
+                .expect("stream table is nonempty");
+            self.table[i] = Stream {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                last_use: tick,
+                valid: true,
+            };
+            return Vec::new();
         };
 
         let s = &mut self.table[slot];

@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all>
+//! rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all>
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
 //! rar-experiments trace --workload W --technique T
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|all> \
+        "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all> \
          [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N]\n\
        rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
          [--out DIR] [--capacity N] [--sample N]"
@@ -90,8 +90,8 @@ fn trace_cmd(args: &[String]) -> ExitCode {
     };
     builder.technique(technique).trace(trace);
     let cfg = builder.build();
-    if rar_workloads::workload(&cfg.workload).is_none() {
-        eprintln!("unknown workload '{}'", cfg.workload);
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
         return usage();
     }
 
@@ -130,7 +130,7 @@ fn trace_cmd(args: &[String]) -> ExitCode {
     );
     let names: Vec<String> = rar_ace::Structure::ALL
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     let structure_names: Vec<&str> = names.iter().map(String::as_str).collect();
     let outputs = [
@@ -257,6 +257,7 @@ fn main() -> ExitCode {
         "energy" => emit("energy", &experiment::energy(opts)),
         "extensions" => emit("extensions", &experiment::extensions(opts)),
         "structures" => emit("structures", &experiment::structures(opts)),
+        "refinement" => emit("refinement", &experiment::refinement(opts)),
         "mpki" => emit("mpki", &experiment::mpki_check(opts)),
         _ => unreachable!("validated below"),
     };
@@ -278,6 +279,7 @@ fn main() -> ExitCode {
         "energy",
         "extensions",
         "structures",
+        "refinement",
     ];
     match cmd.as_str() {
         "all" => {

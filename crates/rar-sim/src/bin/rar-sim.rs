@@ -145,9 +145,8 @@ fn main() -> ExitCode {
         i += 2;
     }
     let cfg = b.build();
-    if rar_workloads::workload(&cfg.workload).is_none() {
-        eprintln!("unknown workload '{}'", cfg.workload);
-        eprintln!("known: {:?}", rar_workloads::all_benchmarks());
+    if let Err(e) = cfg.validate() {
+        eprintln!("{e}");
         return ExitCode::from(2);
     }
 
@@ -163,6 +162,7 @@ fn main() -> ExitCode {
     println!("MLP           {:.2}", r.mlp());
     println!("MPKI          {:.1}", r.mpki());
     println!("AVF           {:.4}", r.reliability.avf());
+    println!("refined AVF   {:.4}", r.reliability.refined_avf());
     println!("total ABC     {}", r.reliability.total_abc());
     for s in Structure::ALL {
         println!("  ABC {:8}  {}", s.to_string(), r.reliability.abc(s));

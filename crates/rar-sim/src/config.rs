@@ -2,6 +2,7 @@
 
 use rar_core::{CoreConfig, Technique};
 use rar_mem::MemConfig;
+use rar_verify::ConfigError;
 
 /// Everything needed to reproduce one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,37 @@ impl SimConfig {
     #[must_use]
     pub fn builder() -> SimConfigBuilder {
         SimConfigBuilder::default()
+    }
+
+    /// Validates the whole run description: the workload name must be a
+    /// known model, the measured budget nonzero, and the nested core and
+    /// memory configurations must pass their own validators.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ConfigError`] naming the first inconsistent
+    /// parameter, so sweep drivers can reject a configuration before
+    /// simulating anything.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if rar_workloads::workload(&self.workload).is_none() {
+            return Err(ConfigError::sim(
+                "workload",
+                format!(
+                    "unknown workload '{}' (known: {})",
+                    self.workload,
+                    rar_workloads::all_benchmarks().join(", ")
+                ),
+            ));
+        }
+        if self.instructions == 0 {
+            return Err(ConfigError::sim(
+                "instructions",
+                "measured instruction budget must be nonzero",
+            ));
+        }
+        self.core.validate()?;
+        self.mem.validate()?;
+        Ok(())
     }
 }
 
@@ -161,6 +193,30 @@ mod tests {
         assert_eq!(cfg.core, CoreConfig::baseline());
         assert_eq!(cfg.mem, MemConfig::baseline());
         assert_eq!(cfg.trace, TraceSettings::default());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_names_bad_fields() {
+        assert_eq!(SimConfig::builder().build().validate(), Ok(()));
+
+        let cfg = SimConfig::builder().workload("nope").build();
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(err.field(), "workload");
+        assert!(err.to_string().contains("unknown workload 'nope'"));
+
+        let cfg = SimConfig::builder().instructions(0).build();
+        assert_eq!(cfg.validate().unwrap_err().field(), "instructions");
+
+        // Nested validators are consulted too.
+        let mut core = rar_core::CoreConfig::baseline();
+        core.rob_size = 0;
+        let cfg = SimConfig::builder().core(core).build();
+        assert_eq!(cfg.validate().unwrap_err().field(), "rob_size");
+
+        let mut mem = MemConfig::baseline();
+        mem.mshrs = 0;
+        let cfg = SimConfig::builder().mem(mem).build();
+        assert_eq!(cfg.validate().unwrap_err().field(), "mshrs");
     }
 
     #[test]

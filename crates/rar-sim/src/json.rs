@@ -42,9 +42,33 @@ pub fn to_json(r: &SimResult) -> String {
     let _ = writeln!(out, "    \"mlp\": {:.6},", r.mlp());
     let _ = writeln!(out, "    \"mpki\": {:.6}", r.mpki());
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"pipeline\": {{");
+    let _ = writeln!(out, "    \"dispatched\": {},", s.dispatched);
+    let _ = writeln!(out, "    \"issued\": {},", s.issued);
+    let _ = writeln!(out, "    \"branch_mispredicts\": {},", s.branch_mispredicts);
+    let _ = writeln!(out, "    \"mlp_sum\": {},", s.mlp_sum);
+    let _ = writeln!(out, "    \"mlp_cycles\": {},", s.mlp_cycles);
+    let _ = writeln!(out, "    \"rob_full_cycles\": {},", s.rob_full_cycles);
+    let _ = writeln!(out, "    \"iq_full_cycles\": {},", s.iq_full_cycles);
+    let _ = writeln!(
+        out,
+        "    \"head_blocked_cycles\": {}",
+        s.head_blocked_cycles
+    );
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"reliability\": {{");
     let _ = writeln!(out, "    \"avf\": {:.8},", r.reliability.avf());
+    let _ = writeln!(
+        out,
+        "    \"refined_avf\": {:.8},",
+        r.reliability.refined_avf()
+    );
     let _ = writeln!(out, "    \"total_abc\": {},", r.reliability.total_abc());
+    let _ = writeln!(
+        out,
+        "    \"refined_total_abc\": {},",
+        r.reliability.refined_total_abc()
+    );
     let _ = writeln!(
         out,
         "    \"capacity_bits\": {},",
@@ -68,7 +92,11 @@ pub fn to_json(r: &SimResult) -> String {
     let _ = writeln!(out, "    \"l2_hits\": {},", m.l2_hits);
     let _ = writeln!(out, "    \"l3_hits\": {},", m.l3_hits);
     let _ = writeln!(out, "    \"llc_misses\": {},", m.llc_misses);
+    let _ = writeln!(out, "    \"l1i_hits\": {},", m.l1i_hits);
+    let _ = writeln!(out, "    \"l1i_misses\": {},", m.l1i_misses);
+    let _ = writeln!(out, "    \"mshr_merges\": {},", m.mshr_merges);
     let _ = writeln!(out, "    \"mshr_stalls\": {},", m.mshr_stalls);
+    let _ = writeln!(out, "    \"runahead_loads\": {},", m.runahead_loads);
     let _ = writeln!(out, "    \"prefetches_issued\": {}", m.prefetches_issued);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"branches\": {{");
@@ -124,14 +152,58 @@ mod tests {
         let json = to_json(&sample());
         for key in [
             "performance",
+            "pipeline",
             "reliability",
             "memory",
             "branches",
             "runahead",
             "ROB",
             "avf",
+            "refined_avf",
+            "refined_total_abc",
+            "dispatched",
+            "issued",
+            "l1i_hits",
+            "mshr_merges",
         ] {
             assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn every_core_and_mem_stat_field_is_exported() {
+        // Mirrors the `cargo xtask lint` stat-coverage check: a counter that
+        // is tallied but never reported is a bug (it has happened before).
+        let json = to_json(&sample());
+        for field in [
+            "cycles",
+            "committed",
+            "branch_mispredicts",
+            "mlp_sum",
+            "mlp_cycles",
+            "intervals",
+            "uops",
+            "prefetches",
+            "inv_loads",
+            "flushes",
+            "squashed",
+            "rob_full_cycles",
+            "iq_full_cycles",
+            "head_blocked_cycles",
+            "dispatched",
+            "issued",
+            "l1d_hits",
+            "l2_hits",
+            "l3_hits",
+            "llc_misses",
+            "l1i_hits",
+            "l1i_misses",
+            "mshr_merges",
+            "mshr_stalls",
+            "prefetches_issued",
+            "runahead_loads",
+        ] {
+            assert!(json.contains(&format!("\"{field}\"")), "missing {field}");
         }
     }
 

@@ -126,7 +126,7 @@ impl Table {
                 if i > 0 {
                     out.push_str("  ");
                 }
-                let _ = write!(out, "{cell:>w$}", w = w);
+                let _ = write!(out, "{cell:>w$}");
             }
             out.push('\n');
         };

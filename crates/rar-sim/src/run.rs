@@ -7,30 +7,52 @@ use rar_frontend::PredictorStats;
 use rar_isa::{TraceWindow, UopSource};
 use rar_mem::MemStats;
 use rar_trace::{RingSink, TraceSink};
-use rar_workloads::workload;
+use rar_verify::{AceRefinement, ConfigError};
+use rar_workloads::{workload, WorkloadSpec};
 
 /// Executes simulations described by [`SimConfig`].
 #[derive(Debug, Clone, Copy)]
 pub struct Simulation;
 
+/// Static dead-value analysis over the correct-path uop trace this run
+/// will commit. The horizon covers warm-up plus the measured budget plus
+/// commit-width slack (the last cycle can overshoot the budget); sequence
+/// numbers past the horizon stay conservatively live.
+fn refinement_for(cfg: &SimConfig, spec: &WorkloadSpec) -> AceRefinement {
+    let horizon = (cfg.warmup + cfg.instructions) as usize + 4 * cfg.core.width;
+    rar_verify::analyze_stream(spec.trace(cfg.seed), horizon)
+}
+
 impl Simulation {
     /// Runs one configuration to completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload name is unknown.
-    #[must_use]
-    pub fn run(cfg: &SimConfig) -> SimResult {
-        let spec = workload(&cfg.workload)
-            .unwrap_or_else(|| panic!("unknown workload '{}'", cfg.workload));
+    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
+    /// configuration; nothing is simulated in that case.
+    pub fn try_run(cfg: &SimConfig) -> Result<SimResult, ConfigError> {
+        cfg.validate()?;
+        let spec = workload(&cfg.workload).expect("validated workload exists");
         let trace = TraceWindow::new(spec.trace(cfg.seed));
         let mut core = Core::new(cfg.core.clone(), cfg.mem.clone(), cfg.technique, trace);
+        core.set_ace_refinement(refinement_for(cfg, &spec));
         if cfg.warmup > 0 {
             core.run_until_committed(cfg.warmup);
             core.reset_measurement();
         }
         core.run_until_committed(cfg.instructions);
-        collect(cfg, &core)
+        Ok(collect(cfg, &core))
+    }
+
+    /// Runs one configuration to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (e.g. the workload
+    /// name is unknown). Use [`Simulation::try_run`] for a typed error.
+    #[must_use]
+    pub fn run(cfg: &SimConfig) -> SimResult {
+        Simulation::try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs one configuration with trace capture (see
@@ -40,13 +62,13 @@ impl Simulation {
     /// Returns the measurements together with the captured sink, ready for
     /// the `rar_trace` exporters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the workload name is unknown.
-    #[must_use]
-    pub fn run_traced(cfg: &SimConfig) -> (SimResult, RingSink) {
-        let spec = workload(&cfg.workload)
-            .unwrap_or_else(|| panic!("unknown workload '{}'", cfg.workload));
+    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
+    /// configuration; nothing is simulated in that case.
+    pub fn try_run_traced(cfg: &SimConfig) -> Result<(SimResult, RingSink), ConfigError> {
+        cfg.validate()?;
+        let spec = workload(&cfg.workload).expect("validated workload exists");
         let trace = TraceWindow::new(spec.trace(cfg.seed));
         let sink = RingSink::new(cfg.trace.capacity);
         let mut core = Core::with_sink(
@@ -56,6 +78,7 @@ impl Simulation {
             trace,
             sink,
         );
+        core.set_ace_refinement(refinement_for(cfg, &spec));
         core.set_sample_interval(cfg.trace.sample_interval);
         if cfg.warmup > 0 {
             core.run_until_committed(cfg.warmup);
@@ -66,7 +89,17 @@ impl Simulation {
         }
         core.run_until_committed(cfg.instructions);
         let result = collect(cfg, &core);
-        (result, core.into_sink())
+        Ok((result, core.into_sink()))
+    }
+
+    /// Panicking variant of [`Simulation::try_run_traced`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    #[must_use]
+    pub fn run_traced(cfg: &SimConfig) -> (SimResult, RingSink) {
+        Simulation::try_run_traced(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -234,6 +267,50 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = Simulation::run(&SimConfig::builder().workload("nope").build());
+    }
+
+    #[test]
+    fn try_run_rejects_bad_configs_without_panicking() {
+        let err = Simulation::try_run(&SimConfig::builder().workload("nope").build()).unwrap_err();
+        assert_eq!(err.field(), "workload");
+
+        let mut core = rar_core::CoreConfig::baseline();
+        core.width = 0;
+        let err = Simulation::try_run(&SimConfig::builder().core(core).build()).unwrap_err();
+        assert_eq!(err.field(), "width");
+    }
+
+    #[test]
+    fn refined_avf_reported_and_bounded_on_every_workload() {
+        for name in rar_workloads::all_benchmarks() {
+            let r = quick(name, Technique::Ooo);
+            let rel = &r.reliability;
+            assert!(
+                rel.refined_total_abc() <= rel.total_abc(),
+                "{name}: refined ABC {} > unrefined {}",
+                rel.refined_total_abc(),
+                rel.total_abc()
+            );
+            assert!(
+                rel.refined_avf() <= rel.avf(),
+                "{name}: refined AVF above unrefined"
+            );
+            assert!(
+                rel.refined_total_abc() > 0,
+                "{name}: refinement killed all ABC"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_finds_dead_values_somewhere() {
+        // The synthetic workloads overwrite registers aggressively, so at
+        // least one of them must expose statically dead destinations.
+        let any_refined = rar_workloads::all_benchmarks().iter().any(|name| {
+            let r = quick(name, Technique::Ooo);
+            r.reliability.refined_total_abc() < r.reliability.total_abc()
+        });
+        assert!(any_refined, "dead-value refinement never fired");
     }
 
     #[test]

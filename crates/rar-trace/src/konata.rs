@@ -125,7 +125,7 @@ pub fn to_konata(events: &[TraceEvent]) -> String {
 
     let mut out = String::with_capacity(cmds.len() * 16 + 32);
     out.push_str("Kanata\t0004\n");
-    let mut cursor = cmds.first().map(|(c, _, _)| *c).unwrap_or(0);
+    let mut cursor = cmds.first().map_or(0, |(c, _, _)| *c);
     out.push_str(&format!("C=\t{cursor}\n"));
     for (cycle, _, text) in &cmds {
         if *cycle > cursor {

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.emitted(), 5);
         assert_eq!(ring.dropped(), 2);
-        let cycles: Vec<u64> = ring.iter().map(|e| e.cycle()).collect();
+        let cycles: Vec<u64> = ring
+            .iter()
+            .map(super::super::event::TraceEvent::cycle)
+            .collect();
         assert_eq!(cycles, vec![2, 3, 4]);
     }
 

@@ -1,0 +1,311 @@
+//! Basic-block segmentation and block-level liveness dataflow.
+//!
+//! A dynamic uop stream is segmented into basic blocks at branch
+//! boundaries. Each block is summarized by its upward-exposed uses (`use`)
+//! and its definitions (`def`) over the 64 architectural registers, and a
+//! backward fixpoint over the block chain yields the live-in/live-out sets
+//! that seed the per-uop classification in [`crate::liveness`].
+//!
+//! The dynamic trace is a straight line — every block's sole successor is
+//! the next block in program order — but the solver is written as a
+//! general monotone fixpoint so its convergence is observable (and
+//! testable: the live sets only ever grow between rounds).
+
+use rar_isa::{ArchReg, Uop};
+
+/// A set of architectural registers, packed into one word
+/// ([`ArchReg::total_count`] is 64: 32 integer + 32 floating-point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveSet(u64);
+
+impl LiveSet {
+    /// The empty set.
+    #[must_use]
+    pub const fn empty() -> Self {
+        LiveSet(0)
+    }
+
+    /// The full set: every architectural register live.
+    #[must_use]
+    pub const fn full() -> Self {
+        LiveSet(u64::MAX)
+    }
+
+    /// Adds `reg` to the set.
+    pub fn insert(&mut self, reg: ArchReg) {
+        self.0 |= 1u64 << reg.flat_index();
+    }
+
+    /// Removes `reg` from the set.
+    pub fn remove(&mut self, reg: ArchReg) {
+        self.0 &= !(1u64 << reg.flat_index());
+    }
+
+    /// Whether `reg` is in the set.
+    #[must_use]
+    pub fn contains(&self, reg: ArchReg) -> bool {
+        self.0 & (1u64 << reg.flat_index()) != 0
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: LiveSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Set difference: members of `self` not in `other`.
+    #[must_use]
+    pub fn difference(&self, other: LiveSet) -> LiveSet {
+        LiveSet(self.0 & !other.0)
+    }
+
+    /// Number of registers in the set.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[must_use]
+    pub fn is_subset(&self, other: LiveSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+}
+
+/// A maximal single-entry straight-line region of the uop stream:
+/// `uops[start..end]`, terminated by a branch (inclusive) or the stream
+/// horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first uop in the block.
+    pub start: usize,
+    /// One past the index of the last uop in the block.
+    pub end: usize,
+    /// Upward-exposed uses: registers read before any write in the block.
+    pub uses: LiveSet,
+    /// Registers written in the block.
+    pub defs: LiveSet,
+}
+
+impl BasicBlock {
+    /// Summarizes `uops[start..end]`, ignoring the reads of any uop whose
+    /// index is flagged in `dead` (a dead consumer does not keep its
+    /// sources live — this is what makes transitive deadness converge).
+    #[must_use]
+    pub fn summarize(uops: &[Uop], start: usize, end: usize, dead: &[bool]) -> Self {
+        let mut uses = LiveSet::empty();
+        let mut defs = LiveSet::empty();
+        for (i, uop) in uops[start..end].iter().enumerate() {
+            if !dead[start + i] {
+                for src in uop.srcs() {
+                    if !defs.contains(src) {
+                        uses.insert(src);
+                    }
+                }
+            }
+            if let Some(dest) = uop.dest() {
+                defs.insert(dest);
+            }
+        }
+        BasicBlock {
+            start,
+            end,
+            uses,
+            defs,
+        }
+    }
+
+    /// The backward transfer function: `live_in = uses ∪ (live_out \ defs)`.
+    #[must_use]
+    pub fn transfer(&self, live_out: LiveSet) -> LiveSet {
+        let mut live_in = live_out.difference(self.defs);
+        live_in.union_with(self.uses);
+        live_in
+    }
+}
+
+/// Splits a uop slice into basic blocks at branch boundaries. Every uop
+/// belongs to exactly one block; blocks are returned in program order.
+#[must_use]
+pub fn split_blocks(uops: &[Uop]) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    for (i, uop) in uops.iter().enumerate() {
+        if uop.is_branch() {
+            blocks.push((start, i + 1));
+            start = i + 1;
+        }
+    }
+    if start < uops.len() {
+        blocks.push((start, uops.len()));
+    }
+    blocks
+}
+
+/// Solved block-level liveness for one stream.
+#[derive(Debug, Clone)]
+pub struct BlockLiveness {
+    /// The summarized blocks, in program order.
+    pub blocks: Vec<BasicBlock>,
+    /// Live-in set per block.
+    pub live_in: Vec<LiveSet>,
+    /// Live-out set per block.
+    pub live_out: Vec<LiveSet>,
+    /// Total live-register count after each solver round; the sequence is
+    /// non-decreasing (the fixpoint is monotone) and its last two entries
+    /// are equal (the solver ran to convergence).
+    pub rounds: Vec<u64>,
+}
+
+impl BlockLiveness {
+    /// Solves backward liveness over the block chain of `uops`, treating
+    /// every register as live at the stream horizon (`exit_live`) and
+    /// ignoring reads performed by uops flagged in `dead`.
+    #[must_use]
+    pub fn solve(uops: &[Uop], dead: &[bool], exit_live: LiveSet) -> Self {
+        let blocks: Vec<BasicBlock> = split_blocks(uops)
+            .into_iter()
+            .map(|(s, e)| BasicBlock::summarize(uops, s, e, dead))
+            .collect();
+        let n = blocks.len();
+        let mut live_in = vec![LiveSet::empty(); n];
+        let mut live_out = vec![LiveSet::empty(); n];
+        let mut rounds = Vec::new();
+        // Backward chain: block i's only successor is block i + 1; the
+        // last block flows into the conservative horizon set. One backward
+        // sweep reaches the fixpoint on a chain, but iterate until nothing
+        // changes so the monotone-convergence contract is explicit.
+        loop {
+            let mut changed = false;
+            for i in (0..n).rev() {
+                let succ_in = if i + 1 < n { live_in[i + 1] } else { exit_live };
+                changed |= live_out[i].union_with(succ_in);
+                let new_in = blocks[i].transfer(live_out[i]);
+                changed |= live_in[i].union_with(new_in);
+            }
+            let total: u64 = live_in
+                .iter()
+                .chain(live_out.iter())
+                .map(|s| u64::from(s.len()))
+                .sum();
+            rounds.push(total);
+            if !changed {
+                break;
+            }
+        }
+        BlockLiveness {
+            blocks,
+            live_in,
+            live_out,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_isa::{BranchClass, BranchInfo, UopKind};
+
+    fn alu(pc: u64, dest: u8, src: Option<u8>) -> Uop {
+        let u = Uop::alu(pc, UopKind::IntAlu).with_dest(ArchReg::int(dest));
+        match src {
+            Some(s) => u.with_src(ArchReg::int(s)),
+            None => u,
+        }
+    }
+
+    fn branch(pc: u64) -> Uop {
+        Uop::branch(
+            pc,
+            BranchInfo {
+                taken: true,
+                target: pc + 4,
+                class: BranchClass::Conditional,
+            },
+        )
+    }
+
+    #[test]
+    fn live_set_algebra() {
+        let mut s = LiveSet::empty();
+        assert!(s.is_empty());
+        s.insert(ArchReg::int(3));
+        s.insert(ArchReg::fp(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(ArchReg::int(3)));
+        assert!(!s.contains(ArchReg::int(4)));
+        s.remove(ArchReg::int(3));
+        assert!(!s.contains(ArchReg::int(3)));
+        assert!(s.contains(ArchReg::fp(3)));
+        assert!(s.is_subset(LiveSet::full()));
+    }
+
+    #[test]
+    fn split_at_branches() {
+        let uops = vec![
+            alu(0, 1, None),
+            branch(4),
+            alu(8, 2, None),
+            alu(12, 3, None),
+        ];
+        assert_eq!(split_blocks(&uops), vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn trailing_branch_closes_final_block() {
+        let uops = vec![alu(0, 1, None), branch(4)];
+        assert_eq!(split_blocks(&uops), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn summarize_masks_defined_before_use() {
+        // r1 is written then read: the read is not upward-exposed.
+        let uops = vec![alu(0, 1, None), alu(4, 2, Some(1)), alu(8, 3, Some(4))];
+        let b = BasicBlock::summarize(&uops, 0, 3, &[false; 3]);
+        assert!(!b.uses.contains(ArchReg::int(1)));
+        assert!(b.uses.contains(ArchReg::int(4)));
+        assert!(b.defs.contains(ArchReg::int(1)));
+        assert!(b.defs.contains(ArchReg::int(3)));
+    }
+
+    #[test]
+    fn chain_liveness_converges_monotonically() {
+        let uops = vec![
+            alu(0, 1, None),
+            branch(4),
+            alu(8, 2, Some(1)),
+            branch(12),
+            alu(16, 3, Some(2)),
+        ];
+        let solved = BlockLiveness::solve(&uops, &[false; 5], LiveSet::full());
+        assert!(solved.rounds.windows(2).all(|w| w[0] <= w[1]));
+        let n = solved.rounds.len();
+        assert!(n >= 2 && solved.rounds[n - 1] == solved.rounds[n - 2]);
+        // r1 is read in block 1, so it is live out of block 0.
+        assert!(solved.live_out[0].contains(ArchReg::int(1)));
+    }
+
+    #[test]
+    fn dead_reader_does_not_keep_sources_live() {
+        // Block 1 reads r1 only from a uop flagged dead: r1 must not be
+        // live out of block 0.
+        let uops = vec![
+            alu(0, 1, None),
+            branch(4),
+            alu(8, 2, Some(1)),
+            alu(12, 1, None),
+        ];
+        let mut dead = vec![false; 4];
+        dead[2] = true;
+        let solved = BlockLiveness::solve(&uops, &dead, LiveSet::empty());
+        assert!(!solved.live_out[0].contains(ArchReg::int(1)));
+    }
+}

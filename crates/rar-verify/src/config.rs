@@ -1,0 +1,123 @@
+//! Typed configuration errors shared by the workspace's validators.
+//!
+//! Before this layer existed, an inconsistent Table II parameter (a
+//! zero-way cache, a physical register file smaller than the architectural
+//! state, an unknown workload name) surfaced as a panic somewhere inside
+//! the simulation — and sweep drivers had to wrap every run in
+//! `catch_unwind` to survive it. Validators in `rar-core`, `rar-mem` and
+//! `rar-sim` now reject bad configurations up front with a [`ConfigError`]
+//! that names the offending field, shrinking the `catch_unwind` net to
+//! genuinely unexpected failures.
+
+use std::error::Error;
+use std::fmt;
+
+/// A rejected configuration parameter, tagged by the subsystem whose
+/// validator found it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A core (pipeline) parameter is inconsistent.
+    Core {
+        /// The offending field, e.g. `"int_regs"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A memory-hierarchy parameter is inconsistent.
+    Mem {
+        /// The offending field, e.g. `"l1d.assoc"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A simulation-level parameter is inconsistent.
+    Sim {
+        /// The offending field, e.g. `"workload"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    /// A core-configuration error.
+    #[must_use]
+    pub fn core(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError::Core {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// A memory-configuration error.
+    #[must_use]
+    pub fn mem(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError::Mem {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// A simulation-configuration error.
+    #[must_use]
+    pub fn sim(field: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError::Sim {
+            field,
+            reason: reason.into(),
+        }
+    }
+
+    /// The offending field name.
+    #[must_use]
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::Core { field, .. }
+            | ConfigError::Mem { field, .. }
+            | ConfigError::Sim { field, .. } => field,
+        }
+    }
+
+    /// The human-readable rejection reason.
+    #[must_use]
+    pub fn reason(&self) -> &str {
+        match self {
+            ConfigError::Core { reason, .. }
+            | ConfigError::Mem { reason, .. }
+            | ConfigError::Sim { reason, .. } => reason,
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (subsystem, field, reason) = match self {
+            ConfigError::Core { field, reason } => ("core", field, reason),
+            ConfigError::Mem { field, reason } => ("memory", field, reason),
+            ConfigError::Sim { field, reason } => ("simulation", field, reason),
+        };
+        write!(f, "{subsystem} config: {field}: {reason}")
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_subsystem_and_field() {
+        let e = ConfigError::core("width", "must be nonzero");
+        assert_eq!(e.to_string(), "core config: width: must be nonzero");
+        let e = ConfigError::mem("l1d.assoc", "must be nonzero");
+        assert_eq!(e.to_string(), "memory config: l1d.assoc: must be nonzero");
+    }
+
+    #[test]
+    fn accessors_expose_field_and_reason() {
+        let e = ConfigError::sim("workload", "unknown workload 'quux'");
+        assert_eq!(e.field(), "workload");
+        assert_eq!(e.reason(), "unknown workload 'quux'");
+        assert!(e.to_string().contains("unknown workload 'quux'"));
+    }
+}

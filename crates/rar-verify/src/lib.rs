@@ -1,0 +1,54 @@
+//! Static analysis and runtime verification for the RAR workspace.
+//!
+//! Three cooperating layers, none of which perturbs the simulation:
+//!
+//! - [`blocks`]/[`liveness`] — a backward liveness/dead-value dataflow
+//!   analysis over [`rar_isa`] uop streams that classifies first-level
+//!   (FDD) and transitively (TDD) dynamically-dead destination values and
+//!   dead destination bits. Mukherjee-style ACE accounting counts every
+//!   committed instruction as ACE; BEC-style static analysis shows that a
+//!   committed value nobody ever reads is architecturally un-ACE. The
+//!   resulting per-uop [`AceClass`] lets the ACE counter report a
+//!   *refined* AVF next to the paper's unrefined one.
+//! - [`sanitize`] — cross-structure conservation invariants (uop, register
+//!   and MSHR bookkeeping, ROB ordering, ACE stall-window balance) checked
+//!   every cycle when the core is built with `--features sanitize`, with
+//!   precise first-violation diagnostics.
+//! - [`config`] — typed configuration errors ([`ConfigError`]) shared by
+//!   the core, memory and simulation config validators so inconsistent
+//!   Table II parameters are rejected before a simulation starts instead
+//!   of surfacing as runtime panics inside a sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use rar_isa::{ArchReg, Uop, UopKind};
+//! use rar_verify::{analyze, AceClass};
+//!
+//! // r1 is written twice with no intervening read: the first write is
+//! // first-level dynamically dead (FDD).
+//! let uops = vec![
+//!     Uop::alu(0x0, UopKind::IntAlu).with_dest(ArchReg::int(1)),
+//!     Uop::alu(0x4, UopKind::IntAlu).with_dest(ArchReg::int(1)),
+//!     Uop::alu(0x8, UopKind::IntAlu)
+//!         .with_src(ArchReg::int(1))
+//!         .with_dest(ArchReg::int(2)),
+//! ];
+//! let refinement = analyze(&uops);
+//! assert_eq!(refinement.class(0), AceClass::Fdd);
+//! assert_eq!(refinement.class(1), AceClass::Live);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod blocks;
+pub mod config;
+pub mod liveness;
+pub mod sanitize;
+
+pub use blocks::{split_blocks, BasicBlock, BlockLiveness, LiveSet};
+pub use config::ConfigError;
+pub use liveness::{
+    analyze, analyze_stream, AceClass, AceRefinement, RefinementSummary, ADDR_BITS,
+};
+pub use sanitize::{Invariant, Sanitizer, Violation};

@@ -1,0 +1,412 @@
+//! Backward dead-value analysis: FDD/TDD classification and dead
+//! destination bits.
+//!
+//! Mukherjee-style ACE accounting treats every committed instruction's
+//! destination value as ACE. Two classes of committed values are in fact
+//! architecturally dead and therefore un-ACE:
+//!
+//! - **FDD** (first-level dynamically dead): the destination register is
+//!   overwritten before anything reads it.
+//! - **TDD** (transitively dynamically dead): the destination *is* read,
+//!   but only by uops whose own destinations are FDD or TDD — the whole
+//!   chain feeds nothing architecturally visible.
+//!
+//! A third, bit-level class refines partially-dead values: a value
+//! consumed **only as a load address** ([`AceClass::AddrOnly`]) exposes
+//! only its [`ADDR_BITS`] low-order bits; the top `64 - ADDR_BITS` bits of
+//! the register can flip without changing the access.
+//!
+//! The analysis is static over the (deterministic, trace-driven) uop
+//! stream and exact for committed uops: the committed dynamic stream *is*
+//! the static stream, so "next write of r" in the trace is the dynamic
+//! overwrite. Squashed occupancy is already un-ACE by construction in the
+//! counter and is unaffected here.
+//!
+//! Roots of liveness (never dead): stores (both address and data feed
+//! memory), branches (control flow), and every register at the analysis
+//! horizon (conservative live-out). Deadness converges by an outer
+//! fixpoint cooperating with the block-level dataflow in
+//! [`crate::blocks`]: each round re-solves block liveness with the reads
+//! of already-dead uops removed, so dead chains grow monotonically until
+//! stable.
+
+use crate::blocks::{BlockLiveness, LiveSet};
+use rar_isa::{RegClass, Uop, UopKind};
+
+/// Architecturally meaningful virtual-address bits. A value used only for
+/// address formation exposes this many low-order bits; the rest are dead
+/// (canonical sign bits on a 48-bit virtual address space).
+pub const ADDR_BITS: u64 = 48;
+
+/// Per-uop ACE classification of the destination value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AceClass {
+    /// Destination (or the uop's side effect) is architecturally live;
+    /// nothing is refined away. Uops without a destination are `Live`.
+    #[default]
+    Live,
+    /// Destination is consumed only as a load address: bits above
+    /// [`ADDR_BITS`] are dead.
+    AddrOnly,
+    /// First-level dynamically dead: overwritten before any read.
+    Fdd,
+    /// Transitively dynamically dead: read only by dead uops.
+    Tdd,
+}
+
+impl AceClass {
+    /// Dead bits of a destination value held in a register of
+    /// `width_bits`. Always `<= width_bits`.
+    #[must_use]
+    pub fn dead_dest_bits(self, width_bits: u64) -> u64 {
+        match self {
+            AceClass::Live => 0,
+            AceClass::AddrOnly => width_bits.saturating_sub(ADDR_BITS),
+            AceClass::Fdd | AceClass::Tdd => width_bits,
+        }
+    }
+
+    /// Whether the destination value is fully dead.
+    #[must_use]
+    pub fn is_dead(self) -> bool {
+        matches!(self, AceClass::Fdd | AceClass::Tdd)
+    }
+}
+
+/// Aggregate classification counts for one analyzed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefinementSummary {
+    /// Uops analyzed (the horizon length).
+    pub analyzed: u64,
+    /// Fully live destinations (including uops without a destination).
+    pub live: u64,
+    /// Address-only destinations (partially dead).
+    pub addr_only: u64,
+    /// First-level dynamically dead destinations.
+    pub fdd: u64,
+    /// Transitively dynamically dead destinations.
+    pub tdd: u64,
+}
+
+/// The product of the analysis: a per-sequence-number [`AceClass`] map the
+/// ACE counter consults at commit time. Sequence numbers beyond the
+/// analyzed horizon conservatively classify as [`AceClass::Live`].
+#[derive(Debug, Clone, Default)]
+pub struct AceRefinement {
+    classes: Vec<AceClass>,
+    /// Dead-set size after each outer fixpoint round (non-decreasing).
+    rounds: Vec<u64>,
+}
+
+impl AceRefinement {
+    /// An empty refinement: everything classifies as live.
+    #[must_use]
+    pub fn none() -> Self {
+        AceRefinement::default()
+    }
+
+    /// Classification of the uop with sequence number `seq`.
+    #[must_use]
+    pub fn class(&self, seq: u64) -> AceClass {
+        usize::try_from(seq)
+            .ok()
+            .and_then(|i| self.classes.get(i).copied())
+            .unwrap_or(AceClass::Live)
+    }
+
+    /// Dead bits of the destination value of uop `seq`, given the bit
+    /// width of the physical register holding it.
+    #[must_use]
+    pub fn dead_dest_bits(&self, seq: u64, width_bits: u64) -> u64 {
+        self.class(seq).dead_dest_bits(width_bits)
+    }
+
+    /// Number of uops covered by the analysis.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.classes.len() as u64
+    }
+
+    /// Dead-set size after each outer fixpoint round. Monotonically
+    /// non-decreasing; the final two entries are equal (convergence).
+    #[must_use]
+    pub fn rounds(&self) -> &[u64] {
+        &self.rounds
+    }
+
+    /// Classification counts over the analyzed horizon.
+    #[must_use]
+    pub fn summary(&self) -> RefinementSummary {
+        let mut s = RefinementSummary {
+            analyzed: self.classes.len() as u64,
+            ..RefinementSummary::default()
+        };
+        for c in &self.classes {
+            match c {
+                AceClass::Live => s.live += 1,
+                AceClass::AddrOnly => s.addr_only += 1,
+                AceClass::Fdd => s.fdd += 1,
+                AceClass::Tdd => s.tdd += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Whether a dead destination still leaves the uop with an architectural
+/// side effect that must be preserved (and hence keeps its sources live).
+fn has_side_effect(uop: &Uop) -> bool {
+    matches!(uop.kind(), UopKind::Store | UopKind::Branch)
+}
+
+/// Forward pass: for each definition, how many uops read that value
+/// before it is overwritten (crossing block boundaries). Distinguishes
+/// FDD (no readers at all) from TDD (readers exist but are all dead).
+fn reader_counts(uops: &[Uop]) -> Vec<u32> {
+    let mut last_def: [Option<usize>; 64] = [None; 64];
+    let mut readers = vec![0u32; uops.len()];
+    for (i, uop) in uops.iter().enumerate() {
+        for src in uop.srcs() {
+            if let Some(def) = last_def[src.flat_index()] {
+                readers[def] += 1;
+            }
+        }
+        if let Some(dest) = uop.dest() {
+            last_def[dest.flat_index()] = Some(i);
+        }
+    }
+    readers
+}
+
+/// Analyzes a finite uop stream and classifies every destination value.
+///
+/// The horizon is conservative: every register is treated as live-out at
+/// the end of the slice, so values still in flight at the boundary are
+/// never classified dead.
+#[must_use]
+pub fn analyze(uops: &[Uop]) -> AceRefinement {
+    let readers = reader_counts(uops);
+    let mut classes = vec![AceClass::Live; uops.len()];
+    let mut dead = vec![false; uops.len()];
+    let mut rounds = Vec::new();
+
+    // Outer fixpoint: block liveness and per-uop classification cooperate.
+    // Reads performed by uops already classified dead are excluded from
+    // the next round's block summaries, letting deadness propagate
+    // backward through whole chains (TDD). The dead set only grows, so
+    // this terminates in at most `uops.len()` rounds (in practice 2-3).
+    loop {
+        let solved = BlockLiveness::solve(uops, &dead, LiveSet::full());
+        let mut grew = false;
+        for (b, block) in solved.blocks.iter().enumerate() {
+            // In-block backward scan seeded with the block's live-out.
+            // `live_full` holds registers whose full value is needed;
+            // `live_addr` holds registers needed only for load-address
+            // formation. Block boundaries are conservative: everything
+            // live-out is treated as fully live.
+            let mut live_full = solved.live_out[b];
+            let mut live_addr = LiveSet::empty();
+            for i in (block.start..block.end).rev() {
+                let uop = &uops[i];
+                if let Some(dest) = uop.dest() {
+                    let class = if live_full.contains(dest) {
+                        AceClass::Live
+                    } else if live_addr.contains(dest) {
+                        AceClass::AddrOnly
+                    } else if readers[i] == 0 {
+                        AceClass::Fdd
+                    } else {
+                        AceClass::Tdd
+                    };
+                    classes[i] = class;
+                    if class.is_dead() && !dead[i] {
+                        dead[i] = true;
+                        grew = true;
+                    }
+                    live_full.remove(dest);
+                    live_addr.remove(dest);
+                }
+                // A dead uop's reads keep nothing live — unless the uop
+                // has an architectural side effect, which cannot be dead.
+                if dead[i] && !has_side_effect(uop) {
+                    continue;
+                }
+                for src in uop.srcs() {
+                    if uop.kind() == UopKind::Load && src.class() == RegClass::Int {
+                        // Load sources feed address formation only.
+                        if !live_full.contains(src) {
+                            live_addr.insert(src);
+                        }
+                    } else {
+                        live_addr.remove(src);
+                        live_full.insert(src);
+                    }
+                }
+            }
+        }
+        rounds.push(dead.iter().filter(|&&d| d).count() as u64);
+        if !grew {
+            break;
+        }
+    }
+
+    AceRefinement { classes, rounds }
+}
+
+/// Analyzes the first `horizon` uops of a stream (e.g. a workload trace).
+#[must_use]
+pub fn analyze_stream<I: Iterator<Item = Uop>>(stream: I, horizon: usize) -> AceRefinement {
+    let uops: Vec<Uop> = stream.take(horizon).collect();
+    analyze(&uops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_isa::{ArchReg, BranchClass, BranchInfo};
+
+    fn alu(pc: u64, dest: u8) -> Uop {
+        Uop::alu(pc, UopKind::IntAlu).with_dest(ArchReg::int(dest))
+    }
+
+    fn alu_rr(pc: u64, dest: u8, src: u8) -> Uop {
+        alu(pc, dest).with_src(ArchReg::int(src))
+    }
+
+    fn branch(pc: u64) -> Uop {
+        Uop::branch(
+            pc,
+            BranchInfo {
+                taken: false,
+                target: pc + 4,
+                class: BranchClass::Conditional,
+            },
+        )
+    }
+
+    #[test]
+    fn overwrite_without_read_is_fdd() {
+        let uops = vec![alu(0, 1), alu(4, 1), alu_rr(8, 2, 1)];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Fdd);
+        assert_eq!(r.class(1), AceClass::Live);
+        assert_eq!(r.summary().fdd, 1);
+    }
+
+    #[test]
+    fn read_by_dead_chain_is_tdd() {
+        // u0 -> read by u1 -> read by u2; r3 then overwritten unread.
+        // u2 is FDD, u1 becomes TDD, u0 becomes TDD transitively.
+        let uops = vec![
+            alu(0, 1),
+            alu_rr(4, 2, 1),
+            alu_rr(8, 3, 2),
+            alu(12, 3),
+            alu(16, 2),
+            alu(20, 1),
+            alu_rr(24, 4, 3).with_src(ArchReg::int(2)),
+        ];
+        let r = analyze(&uops);
+        assert_eq!(r.class(2), AceClass::Fdd, "r3 overwritten unread");
+        assert_eq!(r.class(1), AceClass::Tdd, "read only by dead u2");
+        assert_eq!(r.class(0), AceClass::Tdd, "read only by dead u1");
+    }
+
+    #[test]
+    fn store_and_branch_sources_are_roots() {
+        let uops = vec![
+            alu(0, 1),
+            Uop::store(4, 0x1000, 8).with_src(ArchReg::int(1)),
+            alu(8, 1),
+            branch(12).with_src(ArchReg::int(1)),
+            alu(16, 1),
+        ];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Live, "feeds a store");
+        assert_eq!(r.class(2), AceClass::Live, "feeds a branch");
+        // The final write survives to the horizon: conservatively live.
+        assert_eq!(r.class(4), AceClass::Live);
+    }
+
+    #[test]
+    fn address_only_value_has_dead_top_bits() {
+        let uops = vec![
+            alu(0, 1),
+            Uop::load(4, 0x2000, 8)
+                .with_src(ArchReg::int(1))
+                .with_dest(ArchReg::int(2)),
+            Uop::store(8, 0x3000, 8).with_src(ArchReg::int(2)),
+            alu(12, 1),
+        ];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::AddrOnly);
+        assert_eq!(r.dead_dest_bits(0, 64), 64 - ADDR_BITS);
+        assert_eq!(r.class(1), AceClass::Live, "loaded value feeds a store");
+    }
+
+    #[test]
+    fn promotion_to_full_liveness_wins_over_addr_only() {
+        // r1 feeds both a load address and an ALU op: fully live.
+        let uops = vec![
+            alu(0, 1),
+            Uop::load(4, 0x2000, 8)
+                .with_src(ArchReg::int(1))
+                .with_dest(ArchReg::int(2)),
+            alu_rr(8, 3, 1),
+            Uop::store(12, 0x3000, 8)
+                .with_src(ArchReg::int(2))
+                .with_src(ArchReg::int(3)),
+            alu(16, 1),
+        ];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Live);
+    }
+
+    #[test]
+    fn horizon_is_conservative() {
+        let uops = vec![alu(0, 1), alu(4, 2)];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Live);
+        assert_eq!(r.class(1), AceClass::Live);
+        assert_eq!(r.class(99), AceClass::Live, "beyond horizon");
+    }
+
+    #[test]
+    fn dead_bits_never_exceed_width() {
+        for class in [
+            AceClass::Live,
+            AceClass::AddrOnly,
+            AceClass::Fdd,
+            AceClass::Tdd,
+        ] {
+            for width in [0u64, 1, 48, 64, 128] {
+                assert!(class.dead_dest_bits(width) <= width);
+            }
+        }
+    }
+
+    #[test]
+    fn fixpoint_rounds_are_monotone() {
+        let uops: Vec<Uop> = (0..64u64)
+            .map(|i| alu_rr(i * 4, (i % 7) as u8, ((i + 3) % 7) as u8))
+            .collect();
+        let r = analyze(&uops);
+        assert!(
+            r.rounds().windows(2).all(|w| w[0] <= w[1]),
+            "{:?}",
+            r.rounds()
+        );
+    }
+
+    #[test]
+    fn fp_registers_classify_too() {
+        let uops = vec![
+            Uop::alu(0, UopKind::FpAdd).with_dest(ArchReg::fp(1)),
+            Uop::alu(4, UopKind::FpAdd).with_dest(ArchReg::fp(1)),
+            Uop::store(8, 0x100, 8).with_src(ArchReg::fp(1)),
+        ];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Fdd);
+        assert_eq!(r.dead_dest_bits(0, 128), 128);
+    }
+}

@@ -1,0 +1,113 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
+//! Property tests for the verification layer: liveness fixpoint
+//! monotonicity, refinement bounds, and sanitizer leak detection. The
+//! dependency-free xorshift twin in `tests/randomized.rs` always runs.
+
+use proptest::prelude::*;
+use rar_ace::{AceCounter, Structure};
+use rar_isa::{ArchReg, BranchClass, BranchInfo, Uop, UopKind};
+use rar_verify::{analyze, Sanitizer};
+
+/// Builds one well-formed uop at `pc` from a generated spec tuple.
+fn mk_uop(pc: u64, (kind, d, s, line, taken): (u8, u8, u8, u64, bool)) -> Uop {
+    let dest = ArchReg::int(d);
+    let src = ArchReg::int(s);
+    match kind {
+        0..=4 => Uop::alu(pc, UopKind::IntAlu).with_dest(dest).with_src(src),
+        5 | 6 => Uop::load(pc, 0x1000 + line * 64, 8)
+            .with_src(src)
+            .with_dest(dest),
+        7 | 8 => Uop::store(pc, 0x2000 + line * 64, 8).with_src(src),
+        _ => Uop::branch(
+            pc,
+            BranchInfo {
+                taken,
+                target: pc + 4,
+                class: BranchClass::Conditional,
+            },
+        )
+        .with_src(src),
+    }
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<Uop>> {
+    prop::collection::vec((0u8..10, 1u8..7, 1u8..7, 0u64..64, any::<bool>()), 0..256).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| mk_uop(i as u64 * 4, spec))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    /// The outer fixpoint's dead set never shrinks and the last round is
+    /// stable.
+    #[test]
+    fn fixpoint_is_monotone(uops in stream_strategy()) {
+        let r = analyze(&uops);
+        let rounds = r.rounds();
+        prop_assert!(rounds.windows(2).all(|w| w[0] <= w[1]));
+        if rounds.len() >= 2 {
+            prop_assert_eq!(rounds[rounds.len() - 1], rounds[rounds.len() - 2]);
+        }
+    }
+
+    /// Refined ABC is bounded by unrefined ABC for any stream and any
+    /// residency intervals.
+    #[test]
+    fn refined_abc_is_bounded(uops in stream_strategy(), lens in prop::collection::vec(1u64..20, 0..256)) {
+        let r = analyze(&uops);
+        let mut ace = AceCounter::new();
+        let mut t = 0u64;
+        for seq in 0..r.horizon() {
+            let len = lens.get(seq as usize).copied().unwrap_or(1);
+            ace.record_committed(Structure::RfInt, 64, t, t + len);
+            let dead = r.dead_dest_bits(seq, 64);
+            if dead > 0 {
+                ace.record_dead(Structure::RfInt, dead, t, t + len);
+            }
+            t += 1;
+        }
+        prop_assert!(ace.refined_abc(Structure::RfInt) <= ace.abc(Structure::RfInt));
+    }
+
+    /// Conservation checks accept balanced books and reject any leak.
+    #[test]
+    fn uop_leak_is_always_caught(
+        committed in 0u64..10_000,
+        squashed in 0u64..10_000,
+        in_flight in 0u64..512,
+        leak in 1u64..100,
+    ) {
+        let dispatched = committed + squashed + in_flight;
+        let mut ok = Sanitizer::new(2);
+        ok.check_uop_conservation(1, dispatched, committed, squashed, in_flight);
+        prop_assert!(ok.first_violation().is_none());
+
+        let mut bad = Sanitizer::new(2);
+        bad.check_uop_conservation(1, dispatched + leak, committed, squashed, in_flight);
+        prop_assert!(bad.first_violation().is_some());
+    }
+
+    /// MSHR books must balance; any unreleased allocation is reported.
+    #[test]
+    fn mshr_leak_is_always_caught(
+        released in 0u64..10_000,
+        resident in 0usize..20,
+        leak in 1u64..100,
+    ) {
+        let allocations = released + resident as u64;
+        let mut ok = Sanitizer::new(2);
+        ok.check_mshr(1, allocations, released, resident, 20, resident);
+        prop_assert!(ok.first_violation().is_none());
+
+        let mut bad = Sanitizer::new(2);
+        bad.check_mshr(1, allocations + leak, released, resident, 20, resident);
+        prop_assert!(bad.first_violation().is_some());
+    }
+}

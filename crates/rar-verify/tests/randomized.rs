@@ -1,0 +1,193 @@
+//! Randomized property checks that run offline (no external crates): a
+//! deterministic xorshift generator produces uop streams and leak
+//! scenarios, and each property is checked over many seeds. The
+//! proptest-based twin lives in `tests/proptests.rs` behind the
+//! `proptests` feature.
+
+use rar_ace::{AceCounter, Structure};
+use rar_isa::{ArchReg, BranchClass, BranchInfo, Uop, UopKind};
+use rar_verify::{analyze, Sanitizer};
+
+/// xorshift64*: deterministic, seedable, good enough for test-case
+/// generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// A random but well-formed uop stream mixing ALU ops, loads, stores and
+/// branches over a small register pool (so overwrites actually happen).
+fn random_stream(seed: u64, len: usize) -> Vec<Uop> {
+    let mut rng = Rng(seed | 1);
+    let mut uops = Vec::with_capacity(len);
+    for i in 0..len {
+        let pc = i as u64 * 4;
+        let dest = ArchReg::int(1 + rng.below(6) as u8);
+        let src = ArchReg::int(1 + rng.below(6) as u8);
+        let uop = match rng.below(10) {
+            0..=4 => Uop::alu(pc, UopKind::IntAlu).with_dest(dest).with_src(src),
+            5 | 6 => Uop::load(pc, 0x1000 + rng.below(64) * 64, 8)
+                .with_src(src)
+                .with_dest(dest),
+            7 | 8 => Uop::store(pc, 0x2000 + rng.below(64) * 64, 8).with_src(src),
+            _ => Uop::branch(
+                pc,
+                BranchInfo {
+                    taken: rng.below(2) == 0,
+                    target: pc + 4 + rng.below(16) * 4,
+                    class: BranchClass::Conditional,
+                },
+            )
+            .with_src(src),
+        };
+        uops.push(uop);
+    }
+    uops
+}
+
+#[test]
+fn fixpoint_rounds_are_monotone_and_converge_on_random_streams() {
+    for seed in 1..=40u64 {
+        let uops = random_stream(seed, 200);
+        let r = analyze(&uops);
+        let rounds = r.rounds();
+        assert!(!rounds.is_empty(), "seed {seed}: no rounds recorded");
+        assert!(
+            rounds.windows(2).all(|w| w[0] <= w[1]),
+            "seed {seed}: dead set shrank: {rounds:?}"
+        );
+        if rounds.len() >= 2 {
+            assert_eq!(
+                rounds[rounds.len() - 1],
+                rounds[rounds.len() - 2],
+                "seed {seed}: final round still grew"
+            );
+        }
+    }
+}
+
+#[test]
+fn dead_bits_never_exceed_register_width_on_random_streams() {
+    for seed in 1..=40u64 {
+        let uops = random_stream(seed, 200);
+        let r = analyze(&uops);
+        for seq in 0..r.horizon() {
+            for width in [1u64, 48, 64, 128] {
+                assert!(
+                    r.dead_dest_bits(seq, width) <= width,
+                    "seed {seed}, seq {seq}: dead bits exceed width {width}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refined_abc_never_exceeds_unrefined_on_random_streams() {
+    // Replay each analyzed stream into an ACE counter as if every uop's
+    // destination value occupied a 64-bit register for a random interval;
+    // the statically-dead bits subtract, so refined <= unrefined always.
+    for seed in 1..=40u64 {
+        let uops = random_stream(seed, 200);
+        let r = analyze(&uops);
+        let mut ace = AceCounter::new();
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9));
+        let mut t = 0u64;
+        for seq in 0..r.horizon() {
+            let len = 1 + rng.below(20);
+            ace.record_committed(Structure::RfInt, 64, t, t + len);
+            let dead = r.dead_dest_bits(seq, 64);
+            if dead > 0 {
+                ace.record_dead(Structure::RfInt, dead, t, t + len);
+            }
+            t += rng.below(4);
+        }
+        let unrefined = ace.abc(Structure::RfInt);
+        let refined = ace.refined_abc(Structure::RfInt);
+        assert!(
+            refined <= unrefined,
+            "seed {seed}: refined {refined} > unrefined {unrefined}"
+        );
+        assert_eq!(
+            ace.total_refined_abc(),
+            refined,
+            "only RfInt was recorded, so totals agree"
+        );
+    }
+}
+
+#[test]
+fn classification_totals_partition_the_horizon() {
+    for seed in 1..=40u64 {
+        let uops = random_stream(seed, 200);
+        let s = analyze(&uops).summary();
+        assert_eq!(
+            s.live + s.addr_only + s.fdd + s.tdd,
+            s.analyzed,
+            "seed {seed}: classes must partition the stream"
+        );
+    }
+}
+
+#[test]
+fn sanitizer_catches_randomly_seeded_uop_leaks() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng(seed.wrapping_mul(0xDEAD_BEEF) | 1);
+        let dispatched = 100 + rng.below(1_000);
+        let committed = rng.below(dispatched);
+        let squashed = rng.below(dispatched - committed + 1);
+        let in_flight = dispatched - committed - squashed;
+
+        // Balanced books pass...
+        let mut ok = Sanitizer::new(2);
+        ok.check_uop_conservation(7, dispatched, committed, squashed, in_flight);
+        assert!(
+            ok.first_violation().is_none(),
+            "seed {seed}: false positive"
+        );
+
+        // ...and a leak of any nonzero size is caught.
+        let leak = 1 + rng.below(50);
+        let mut bad = Sanitizer::new(2);
+        bad.check_uop_conservation(7, dispatched + leak, committed, squashed, in_flight);
+        let v = bad
+            .first_violation()
+            .unwrap_or_else(|| panic!("seed {seed}: leak of {leak} uops missed"));
+        assert_eq!(v.cycle, 7);
+    }
+}
+
+#[test]
+fn sanitizer_catches_randomly_seeded_mshr_imbalance() {
+    for seed in 1..=40u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5EED) | 1);
+        let released = rng.below(500);
+        let resident = rng.below(20) as usize;
+        let allocations = released + resident as u64;
+
+        let mut ok = Sanitizer::new(2);
+        ok.check_mshr(3, allocations, released, resident, 20, resident);
+        assert!(
+            ok.first_violation().is_none(),
+            "seed {seed}: false positive"
+        );
+
+        let leak = 1 + rng.below(10);
+        let mut bad = Sanitizer::new(2);
+        bad.check_mshr(3, allocations + leak, released, resident, 20, resident);
+        assert!(
+            bad.first_violation().is_some(),
+            "seed {seed}: MSHR leak of {leak} missed"
+        );
+    }
+}

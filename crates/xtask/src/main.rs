@@ -1,0 +1,263 @@
+//! Repo-local custom lints, run as `cargo xtask lint`.
+//!
+//! These are cross-file consistency checks the compiler cannot see,
+//! implemented as plain source scans so the driver needs no dependencies:
+//!
+//! 1. **structure-bits** — every `Structure` variant in `rar-ace` has a
+//!    Table III per-entry bit width in `bits.rs`.
+//! 2. **stat-coverage** — every counter field declared in `CoreStats` /
+//!    `MemStats` is actually incremented somewhere in its crate AND
+//!    exported by `rar-sim`'s JSON writer. (A counter that is tallied but
+//!    never reported — or declared but never tallied — has happened.)
+//! 3. **trace-coverage** — every `TraceEvent` variant has a `kind()` tag
+//!    and is handled by at least one exporter (chrome/konata/csv/jsonv).
+//!
+//! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
+//! can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn read(rel: &str) -> String {
+    let path = root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Extracts the variant names of `pub enum <name>` from `src` by brace
+/// tracking: identifiers that open a line at depth 1 inside the enum body.
+fn enum_variants(src: &str, name: &str) -> Vec<String> {
+    let start = src
+        .find(&format!("pub enum {name} {{"))
+        .unwrap_or_else(|| panic!("enum {name} not found"));
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    for line in src[start..].lines() {
+        let trimmed = line.trim();
+        if depth == 1
+            && trimmed
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_uppercase())
+        {
+            let ident: String = trimmed
+                .chars()
+                .take_while(char::is_ascii_alphanumeric)
+                .collect();
+            if !ident.is_empty() {
+                variants.push(ident);
+            }
+        }
+        depth += line.matches('{').count();
+        depth = depth.saturating_sub(line.matches('}').count());
+        if depth == 0 && line.contains('}') {
+            break;
+        }
+    }
+    variants
+}
+
+/// Extracts the `pub <field>:` names of `pub struct <name>` from `src`.
+fn struct_fields(src: &str, name: &str) -> Vec<String> {
+    let start = src
+        .find(&format!("pub struct {name} {{"))
+        .unwrap_or_else(|| panic!("struct {name} not found"));
+    let mut fields = Vec::new();
+    for line in src[start..].lines().skip(1) {
+        let trimmed = line.trim();
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = trimmed.strip_prefix("pub ") {
+            if let Some(colon) = rest.find(':') {
+                fields.push(rest[..colon].trim().to_owned());
+            }
+        }
+    }
+    fields
+}
+
+/// All `.rs` sources under `rel` (non-recursive is enough: every crate
+/// here keeps its sources flat in `src/`).
+fn crate_sources(rel: &str) -> String {
+    let dir = root().join(rel);
+    let mut all = String::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()))
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        all.push_str(&std::fs::read_to_string(&path).expect("readable source"));
+        all.push('\n');
+    }
+    all
+}
+
+struct Lint {
+    failures: Vec<String>,
+}
+
+impl Lint {
+    fn new() -> Self {
+        Lint {
+            failures: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, rule: &str, ok: bool, detail: String) {
+        if ok {
+            println!("  ok   {rule}: {detail}");
+        } else {
+            println!("  FAIL {rule}: {detail}");
+            self.failures.push(format!("{rule}: {detail}"));
+        }
+    }
+}
+
+/// Lint 1: every ACE `Structure` variant has a Table III bit width.
+fn lint_structure_bits(lint: &mut Lint) {
+    println!("structure-bits");
+    let structure = read("crates/rar-ace/src/structure.rs");
+    let bits = read("crates/rar-ace/src/bits.rs");
+    let variants = enum_variants(&structure, "Structure");
+    lint.check(
+        "structure-bits",
+        variants.len() >= 7,
+        format!("{} Structure variants found", variants.len()),
+    );
+    for v in &variants {
+        lint.check(
+            "structure-bits",
+            bits.contains(&format!("Structure::{v}")),
+            format!("Structure::{v} has a per-entry width in bits.rs"),
+        );
+    }
+}
+
+/// Lint 2: every declared stat counter is tallied and exported.
+fn lint_stat_coverage(lint: &mut Lint) {
+    println!("stat-coverage");
+    let json = read("crates/rar-sim/src/json.rs");
+    let cases = [
+        (
+            "CoreStats",
+            "crates/rar-core/src/stats.rs",
+            "crates/rar-core/src",
+        ),
+        (
+            "MemStats",
+            "crates/rar-mem/src/stats.rs",
+            "crates/rar-mem/src",
+        ),
+    ];
+    for (name, decl, src_dir) in cases {
+        let decl_src = read(decl);
+        let crate_src = crate_sources(src_dir);
+        for f in struct_fields(&decl_src, name) {
+            let tallied =
+                crate_src.contains(&format!(".{f} +=")) || crate_src.contains(&format!(".{f} ="));
+            lint.check(
+                "stat-coverage",
+                tallied,
+                format!("{name}.{f} is incremented in {src_dir}"),
+            );
+            lint.check(
+                "stat-coverage",
+                json.contains(&format!(".{f}")),
+                format!("{name}.{f} is exported by rar-sim json.rs"),
+            );
+        }
+    }
+}
+
+/// Lint 3: every trace event has a kind tag and an exporter that
+/// understands it.
+fn lint_trace_coverage(lint: &mut Lint) {
+    println!("trace-coverage");
+    let event = read("crates/rar-trace/src/event.rs");
+    let variants = enum_variants(&event, "TraceEvent");
+    lint.check(
+        "trace-coverage",
+        variants.len() >= 10,
+        format!("{} TraceEvent variants found", variants.len()),
+    );
+    let exporters = [
+        "crates/rar-trace/src/chrome.rs",
+        "crates/rar-trace/src/konata.rs",
+        "crates/rar-trace/src/csv.rs",
+        "crates/rar-trace/src/jsonv.rs",
+    ];
+    let exporter_src: String = exporters.iter().map(|p| read(p)).collect();
+    for v in &variants {
+        // kind() lives in event.rs itself; a variant missing there would
+        // be a compile error, so only the exporter side can silently rot.
+        lint.check(
+            "trace-coverage",
+            exporter_src.contains(&format!("TraceEvent::{v}")),
+            format!("TraceEvent::{v} is handled by at least one exporter"),
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let mut lint = Lint::new();
+            lint_structure_bits(&mut lint);
+            lint_stat_coverage(&mut lint);
+            lint_trace_coverage(&mut lint);
+            if lint.failures.is_empty() {
+                println!("xtask lint: all checks passed");
+                ExitCode::SUCCESS
+            } else {
+                println!("xtask lint: {} failure(s)", lint.failures.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_variant_extraction_handles_struct_variants() {
+        let src = "pub enum TraceEvent {\n    /// doc\n    UopDispatched {\n        seq: u64,\n    },\n    Sample(SampleRow),\n}\n";
+        assert_eq!(
+            enum_variants(src, "TraceEvent"),
+            vec!["UopDispatched", "Sample"]
+        );
+    }
+
+    #[test]
+    fn struct_field_extraction_skips_private_and_docs() {
+        let src = "pub struct CoreStats {\n    /// Elapsed cycles.\n    pub cycles: u64,\n    hidden: u64,\n    pub committed: u64,\n}\n";
+        assert_eq!(struct_fields(src, "CoreStats"), vec!["cycles", "committed"]);
+    }
+
+    #[test]
+    fn repo_lints_pass() {
+        let mut lint = Lint::new();
+        lint_structure_bits(&mut lint);
+        lint_stat_coverage(&mut lint);
+        lint_trace_coverage(&mut lint);
+        assert!(lint.failures.is_empty(), "{:?}", lint.failures);
+    }
+}
