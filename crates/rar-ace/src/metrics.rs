@@ -107,7 +107,7 @@ pub fn mttf_relative(baseline_avf: f64, technique_avf: f64) -> f64 {
 /// [`StructureCapacities`], and the run length in cycles; compare against a
 /// baseline run with [`ReliabilityReport::mttf_vs`] and
 /// [`ReliabilityReport::abc_vs`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReliabilityReport {
     abc: [u128; Structure::COUNT],
     total_abc: u128,
@@ -126,6 +126,29 @@ impl ReliabilityReport {
         let total_abc = ace.total_abc();
         let refined_total_abc = ace.total_refined_abc();
         let capacity_bits = capacities.total_bits();
+        ReliabilityReport {
+            abc,
+            total_abc,
+            refined_total_abc,
+            capacity_bits,
+            cycles,
+            avf: avf(total_abc, capacity_bits, cycles),
+            refined_avf: avf(refined_total_abc, capacity_bits, cycles),
+        }
+    }
+
+    /// Rebuilds a report from its integer measurements (the derived AVF
+    /// fractions are recomputed with the same formula [`ReliabilityReport::new`]
+    /// uses, so a round-trip through the integer fields is bit-identical).
+    /// This is the rehydration path for on-disk result caches.
+    #[must_use]
+    pub fn from_parts(
+        abc: [u128; Structure::COUNT],
+        total_abc: u128,
+        refined_total_abc: u128,
+        capacity_bits: u64,
+        cycles: u64,
+    ) -> Self {
         ReliabilityReport {
             abc,
             total_abc,

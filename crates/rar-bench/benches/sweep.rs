@@ -1,0 +1,48 @@
+//! Sweep-engine benchmarks: cold grids (artifact memoization only),
+//! warm grids (on-disk cache replay), and the memoized single-cell path.
+//! The warm/cold ratio here is the acceptance number behind
+//! `BENCH_sweep.json` — warm replays must be far faster than simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rar_bench::{run_sweep, sweep_grid};
+use rar_sim::SweepSession;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep");
+    g.measurement_time(Duration::from_secs(10));
+    g.sample_size(10);
+
+    let grid = sweep_grid(2_000);
+
+    g.bench_function("cold_grid_memoized", |b| {
+        b.iter(|| {
+            let session = SweepSession::new();
+            black_box(run_sweep(&session, &grid))
+        });
+    });
+
+    g.bench_function("warm_grid_from_disk_cache", |b| {
+        let dir = std::env::temp_dir().join(format!("rar-bench-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Populate once; every iteration then replays from disk.
+        let _ = run_sweep(&SweepSession::with_disk_cache(&dir), &grid);
+        b.iter(|| {
+            let session = SweepSession::with_disk_cache(&dir);
+            black_box(run_sweep(&session, &grid))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    g.bench_function("single_cell_memoized", |b| {
+        let session = SweepSession::new();
+        let cfg = &grid[0];
+        b.iter(|| black_box(session.run(cfg).expect("valid bench config")));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, sweep);
+criterion_main!(benches);

@@ -12,12 +12,14 @@
 //!   DRAM-model fidelity, front-end flush penalty, prefetcher degree.
 //! - `components` — microbenchmarks of the substrates (cache, DRAM,
 //!   TAGE, trace generation, end-to-end core cycles).
+//! - `sweep` — the sweep engine itself: cold memoized grids, warm
+//!   disk-cache replays, and the single-cell session path.
 //!
 //! This library crate only exposes small helpers shared by those
 //! benches.
 
 use rar_core::Technique;
-use rar_sim::{SimConfig, SimResult, Simulation};
+use rar_sim::{SimConfig, SimResult, Simulation, SweepSession, SweepStats};
 
 /// Runs one benchmark/technique pair at a small, bench-friendly budget.
 #[must_use]
@@ -32,6 +34,48 @@ pub fn quick_run(workload: &str, technique: Technique, instructions: u64) -> Sim
     )
 }
 
+/// A small benchmarks × techniques grid at the given budget — the
+/// standard workload for sweep-engine benchmarks (`benches/sweep.rs`)
+/// and throughput smoke tests.
+#[must_use]
+pub fn sweep_grid(instructions: u64) -> Vec<SimConfig> {
+    let mut grid = Vec::new();
+    for w in ["mcf", "libquantum", "milc", "lbm"] {
+        for t in [
+            Technique::Ooo,
+            Technique::Flush,
+            Technique::Pre,
+            Technique::Rar,
+        ] {
+            grid.push(
+                SimConfig::builder()
+                    .workload(w)
+                    .technique(t)
+                    .warmup(instructions / 4)
+                    .instructions(instructions)
+                    .build(),
+            );
+        }
+    }
+    grid
+}
+
+/// Runs `grid` through `session` and returns the session's counters —
+/// the bench-friendly wrapper over [`SweepSession::run_all`].
+///
+/// # Panics
+///
+/// Panics if any cell fails: bench grids are known-good configurations.
+#[must_use]
+pub fn run_sweep(session: &SweepSession, grid: &[SimConfig]) -> SweepStats {
+    let results = session.run_all(grid);
+    assert!(
+        results.iter().all(Option::is_some),
+        "bench sweep cells must all succeed"
+    );
+    session.stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +84,15 @@ mod tests {
     fn quick_run_runs() {
         let r = quick_run("milc", Technique::Rar, 1_500);
         assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn sweep_grid_runs_and_memoizes() {
+        let session = SweepSession::new();
+        let stats = run_sweep(&session, &sweep_grid(800));
+        assert_eq!(stats.simulated, 16);
+        // Four workloads, one seed: four generations, twelve reuses.
+        assert_eq!(stats.trace_memo_misses, 4);
+        assert_eq!(stats.trace_memo_hits, 12);
     }
 }

@@ -305,6 +305,59 @@ impl CoreConfig {
         }
         Ok(())
     }
+
+    /// Appends this configuration's canonical key=value form to `out`:
+    /// one line per field, in declaration order, independent of how the
+    /// value was constructed. Floats are rendered as IEEE-754 bit
+    /// patterns so the form is exact. `SimConfig::fingerprint` in
+    /// `rar-sim` hashes this text; extending the struct *must* extend
+    /// this list (append-only), which changes existing fingerprints and
+    /// thereby invalidates stale cache entries — exactly the safe
+    /// failure mode.
+    pub fn write_canonical(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "core.rob_size={}\ncore.iq_size={}\ncore.lq_size={}\ncore.sq_size={}\n\
+             core.int_regs={}\ncore.fp_regs={}\ncore.width={}\ncore.frontend_depth={}\n",
+            self.rob_size,
+            self.iq_size,
+            self.lq_size,
+            self.sq_size,
+            self.int_regs,
+            self.fp_regs,
+            self.width,
+            self.frontend_depth,
+        );
+        let _ = write!(
+            out,
+            "core.fu.int_add={}\ncore.fu.int_mul={}\ncore.fu.int_div={}\ncore.fu.fp_add={}\n\
+             core.fu.fp_mul={}\ncore.fu.fp_div={}\ncore.fu.mem_ports={}\n",
+            self.fu.int_add,
+            self.fu.int_mul,
+            self.fu.int_div,
+            self.fu.fp_add,
+            self.fu.fp_mul,
+            self.fu.fp_div,
+            self.fu.mem_ports,
+        );
+        let _ = write!(
+            out,
+            "core.sst_size={}\ncore.prdq_size={}\ncore.runahead_timer={}\n\
+             core.tr_trigger_window={}\ncore.min_runahead_benefit={}\ncore.max_runahead_depth={}\n\
+             core.throttle_occupancy_bound={:#018x}\ncore.throttle_width={}\n\
+             core.model_wrong_path={}\n",
+            self.sst_size,
+            self.prdq_size,
+            self.runahead_timer,
+            self.tr_trigger_window,
+            self.min_runahead_benefit,
+            self.max_runahead_depth,
+            self.throttle_occupancy_bound.to_bits(),
+            self.throttle_width,
+            self.model_wrong_path,
+        );
+    }
 }
 
 impl Default for CoreConfig {

@@ -134,6 +134,59 @@ impl MemConfig {
         }
         Ok(())
     }
+
+    /// Appends this configuration's canonical key=value form to `out`:
+    /// one line per field in declaration order, independent of how the
+    /// value was constructed. Floats are rendered as IEEE-754 bit
+    /// patterns so the form is exact. `SimConfig::fingerprint` in
+    /// `rar-sim` hashes this text; extending the struct *must* extend
+    /// this list (append-only).
+    pub fn write_canonical(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        for (name, c) in [
+            ("l1i", &self.l1i),
+            ("l1d", &self.l1d),
+            ("l2", &self.l2),
+            ("l3", &self.l3),
+        ] {
+            let _ = write!(
+                out,
+                "mem.{name}.size_bytes={}\nmem.{name}.assoc={}\nmem.{name}.line_bytes={}\n\
+                 mem.{name}.latency={}\n",
+                c.size_bytes, c.assoc, c.line_bytes, c.latency,
+            );
+        }
+        let d = &self.dram;
+        let _ = write!(
+            out,
+            "mem.mshrs={}\nmem.dram.cpu_freq_ghz={:#018x}\nmem.dram.bus_freq_mhz={:#018x}\n\
+             mem.dram.ranks={}\nmem.dram.banks_per_rank={}\nmem.dram.page_bytes={}\n\
+             mem.dram.t_rp={}\nmem.dram.t_cl={}\nmem.dram.t_rcd={}\nmem.dram.burst={}\n\
+             mem.dram.controller={}\n",
+            self.mshrs,
+            d.cpu_freq_ghz.to_bits(),
+            d.bus_freq_mhz.to_bits(),
+            d.ranks,
+            d.banks_per_rank,
+            d.page_bytes,
+            d.t_rp,
+            d.t_cl,
+            d.t_rcd,
+            d.burst,
+            d.controller,
+        );
+        let placement = match self.prefetch {
+            PrefetchPlacement::None => "none",
+            PrefetchPlacement::L3 => "l3",
+            PrefetchPlacement::All => "all",
+        };
+        let _ = write!(
+            out,
+            "mem.prefetch={placement}\nmem.prefetcher.streams={}\nmem.prefetcher.degree={}\n\
+             mem.prefetcher.train_threshold={}\n",
+            self.prefetcher.streams, self.prefetcher.degree, self.prefetcher.train_threshold,
+        );
+    }
 }
 
 impl Default for MemConfig {

@@ -4,25 +4,33 @@
 //! rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all>
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
+//!                 [--cache DIR] [--no-cache] [--bench-out PATH]
 //! rar-experiments trace --workload W --technique T
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--out DIR] [--capacity N] [--sample N]
 //! ```
 //!
 //! Each figure subcommand prints the paper-shaped table to stdout; `--csv
-//! DIR` additionally writes `<name>.csv` files into `DIR`. The `trace`
-//! subcommand runs one traced simulation and writes a Chrome trace, a
-//! Konata log and CSV tables into `--out` (default `results/traces`).
+//! DIR` additionally writes `<name>.csv` files into `DIR`. Finished runs
+//! are memoized on disk under `--cache` (default `results/cache`; disable
+//! with `--no-cache`), so rerunning a figure — or another figure sharing
+//! cells with it — replays cached results bit-identically instead of
+//! resimulating. Each invocation also writes a throughput/cache report to
+//! `--bench-out` (default `BENCH_sweep.json`). The `trace` subcommand
+//! runs one traced simulation and writes a Chrome trace, a Konata log and
+//! CSV tables into `--out` (default `results/traces`).
 
 use rar_sim::experiment::{self, ExperimentOptions, Suite};
-use rar_sim::{SimConfig, Simulation, Table, TraceSettings};
+use rar_sim::{SimConfig, Simulation, SweepSession, Table, TraceSettings};
 use rar_trace::TraceEvent;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all> \
-         [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N]\n\
+         [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N] \
+         [--cache DIR] [--no-cache] [--bench-out PATH]\n\
        rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
          [--out DIR] [--capacity N] [--sample N]"
     );
@@ -180,9 +188,16 @@ fn main() -> ExitCode {
     let mut opts = ExperimentOptions::default();
     let mut csv_dir: Option<String> = None;
     let mut seeds: u64 = 3;
+    let mut cache_dir: Option<String> = Some("results/cache".to_owned());
+    let mut bench_out = "BENCH_sweep.json".to_owned();
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--no-cache" {
+            cache_dir = None;
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("missing value for {flag}");
             return usage();
@@ -213,10 +228,16 @@ fn main() -> ExitCode {
                 Ok(n) => seeds = n,
                 Err(_) => return usage(),
             },
+            "--cache" => cache_dir = Some(value.clone()),
+            "--bench-out" => bench_out = value.clone(),
             _ => return usage(),
         }
         i += 2;
     }
+    opts.session = Arc::new(match &cache_dir {
+        Some(dir) => SweepSession::with_disk_cache(dir),
+        None => SweepSession::new(),
+    });
 
     let emit = |name: &str, table: &Table| {
         println!("{}", table.render());
@@ -305,5 +326,23 @@ fn main() -> ExitCode {
         c if known.contains(&c) => run(c, &opts),
         _ => return usage(),
     }
+
+    let stats = opts.session.stats();
+    eprintln!(
+        "[rar-sim] sweep: {} cells ({} simulated, {} from cache, {:.0}% hit rate) \
+         in {:.1}s ({:.1} runs/s, {} threads)",
+        stats.completed(),
+        stats.simulated,
+        stats.cache_hits,
+        stats.cache_hit_rate() * 100.0,
+        stats.wall_seconds,
+        stats.runs_per_second(),
+        stats.threads,
+    );
+    if let Err(e) = std::fs::write(&bench_out, opts.session.bench_json()) {
+        eprintln!("failed to write {bench_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {bench_out}");
     ExitCode::SUCCESS
 }

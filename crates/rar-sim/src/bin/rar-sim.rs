@@ -156,6 +156,7 @@ fn main() -> ExitCode {
     let r = Simulation::run(&cfg);
     println!("workload      {}", r.workload);
     println!("technique     {}", r.technique);
+    println!("fingerprint   {}", cfg.fingerprint());
     println!("instructions  {}", r.stats.committed);
     println!("cycles        {}", r.stats.cycles);
     println!("IPC           {:.3}", r.ipc());
@@ -180,7 +181,7 @@ fn main() -> ExitCode {
         r.stats.flushes, r.stats.squashed
     );
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, rar_sim::json::to_json(&r)) {
+        if let Err(e) = std::fs::write(&path, rar_sim::json::to_json_for(&cfg, &r)) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }

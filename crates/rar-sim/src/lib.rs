@@ -25,6 +25,7 @@
 //! assert!(result.ipc() > 0.0);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod energy;
 pub mod experiment;
@@ -32,9 +33,12 @@ pub mod json;
 pub mod protection;
 pub mod report;
 pub mod run;
+pub mod sweep;
 
+pub use cache::{DiskCache, CACHE_VERSION};
 pub use config::{SimConfig, SimConfigBuilder, TraceSettings};
 pub use energy::EnergyModel;
 pub use experiment::{ExperimentOptions, Suite};
 pub use report::{amean, gmean, hmean, Table};
-pub use run::{SimResult, Simulation};
+pub use run::{RunOutput, SimResult, Simulation};
+pub use sweep::{SweepSession, SweepStats};

@@ -1,4 +1,9 @@
 //! Running one simulation and collecting its results.
+//!
+//! [`Simulation::try_run_with`] is the single generic entry point: it
+//! drives one configuration to completion against any [`TraceSink`]. The
+//! historic `run`/`try_run`/`run_traced`/`try_run_traced` names remain as
+//! thin wrappers choosing the sink (and the error handling) for you.
 
 use crate::config::SimConfig;
 use rar_ace::{ReliabilityReport, StallKind, Structure};
@@ -6,42 +11,128 @@ use rar_core::{Core, CoreStats, Technique};
 use rar_frontend::PredictorStats;
 use rar_isa::{TraceWindow, UopSource};
 use rar_mem::MemStats;
-use rar_trace::{RingSink, TraceSink};
+use rar_trace::{NullSink, RingSink, TraceSink};
 use rar_verify::{AceRefinement, ConfigError};
-use rar_workloads::{workload, WorkloadSpec};
+use rar_workloads::{workload, TracePrefix};
+use std::sync::Arc;
 
 /// Executes simulations described by [`SimConfig`].
 #[derive(Debug, Clone, Copy)]
 pub struct Simulation;
 
-/// Static dead-value analysis over the correct-path uop trace this run
-/// will commit. The horizon covers warm-up plus the measured budget plus
-/// commit-width slack (the last cycle can overshoot the budget); sequence
-/// numbers past the horizon stay conservatively live.
-fn refinement_for(cfg: &SimConfig, spec: &WorkloadSpec) -> AceRefinement {
-    let horizon = (cfg.warmup + cfg.instructions) as usize + 4 * cfg.core.width;
-    rar_verify::analyze_stream(spec.trace(cfg.seed), horizon)
+/// Everything a run needs besides the configuration: the memoized trace
+/// prefix and the dead-value refinement derived from it. Both are pure
+/// functions of (workload, seed, horizon), so a sweep engine builds them
+/// once and shares them across every cell with the same key; a standalone
+/// run builds them privately via [`RunArtifacts::prepare`].
+#[derive(Debug, Clone)]
+pub(crate) struct RunArtifacts {
+    pub prefix: Arc<TracePrefix>,
+    pub refinement: AceRefinement,
+}
+
+/// Dead-value analysis horizon for `cfg`: warm-up plus the measured
+/// budget plus commit-width slack (the last cycle can overshoot the
+/// budget); sequence numbers past the horizon stay conservatively live.
+pub(crate) fn refinement_horizon(cfg: &SimConfig) -> usize {
+    usize::try_from(cfg.warmup + cfg.instructions).expect("budget fits usize") + 4 * cfg.core.width
+}
+
+impl RunArtifacts {
+    /// Generates the trace prefix once and derives the refinement from
+    /// the same materialized stream (the stream is never generated
+    /// twice). Expects a validated configuration.
+    pub(crate) fn prepare(cfg: &SimConfig) -> Self {
+        let spec = workload(&cfg.workload).expect("validated workload exists");
+        let prefix = Arc::new(TracePrefix::generate(
+            &spec,
+            cfg.seed,
+            refinement_horizon(cfg),
+        ));
+        let refinement = rar_verify::analyze(prefix.uops());
+        RunArtifacts { prefix, refinement }
+    }
+}
+
+/// The product of one generic run: the measurements plus the sink that
+/// captured the run's trace events (a [`NullSink`] for untraced runs).
+#[derive(Debug, Clone)]
+pub struct RunOutput<T> {
+    /// All measurements from the run.
+    pub result: SimResult,
+    /// The sink passed to [`Simulation::try_run_with`], after the run.
+    pub sink: T,
 }
 
 impl Simulation {
-    /// Runs one configuration to completion.
+    /// Runs one configuration to completion against `sink`, the single
+    /// entry point all other run flavors wrap.
+    ///
+    /// Events from warm-up are scrubbed from the sink at the measurement
+    /// boundary ([`TraceSink::scrub`]) so captured traces line up with the
+    /// measured statistics. With a [`NullSink`] every emission site folds
+    /// away at monomorphization, so an untraced run pays nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
+    /// configuration; nothing is simulated in that case.
+    pub fn try_run_with<T: TraceSink>(
+        cfg: &SimConfig,
+        sink: T,
+    ) -> Result<RunOutput<T>, ConfigError> {
+        cfg.validate()?;
+        Ok(Simulation::run_prepared(
+            cfg,
+            sink,
+            &RunArtifacts::prepare(cfg),
+        ))
+    }
+
+    /// Runs a *validated* configuration with pre-built artifacts. This is
+    /// the sweep engine's entry: the artifacts may be shared with other
+    /// concurrent runs of the same (workload, seed).
+    pub(crate) fn run_prepared<T: TraceSink>(
+        cfg: &SimConfig,
+        sink: T,
+        artifacts: &RunArtifacts,
+    ) -> RunOutput<T> {
+        let trace = TraceWindow::new(TracePrefix::resume(&artifacts.prefix));
+        let mut core = Core::with_sink(
+            cfg.core.clone(),
+            cfg.mem.clone(),
+            cfg.technique,
+            trace,
+            sink,
+        );
+        core.set_ace_refinement(artifacts.refinement.clone());
+        if T::ENABLED {
+            core.set_sample_interval(cfg.trace.sample_interval);
+        }
+        if cfg.warmup > 0 {
+            core.run_until_committed(cfg.warmup);
+            core.reset_measurement();
+            // Drop warm-up events so trace counts line up with the
+            // measured statistics.
+            core.sink_mut().scrub();
+        }
+        core.run_until_committed(cfg.instructions);
+        let result = collect(cfg, &core);
+        RunOutput {
+            result,
+            sink: core.into_sink(),
+        }
+    }
+
+    /// Runs one configuration to completion with the zero-overhead
+    /// [`NullSink`].
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
     /// configuration; nothing is simulated in that case.
     pub fn try_run(cfg: &SimConfig) -> Result<SimResult, ConfigError> {
-        cfg.validate()?;
-        let spec = workload(&cfg.workload).expect("validated workload exists");
-        let trace = TraceWindow::new(spec.trace(cfg.seed));
-        let mut core = Core::new(cfg.core.clone(), cfg.mem.clone(), cfg.technique, trace);
-        core.set_ace_refinement(refinement_for(cfg, &spec));
-        if cfg.warmup > 0 {
-            core.run_until_committed(cfg.warmup);
-            core.reset_measurement();
-        }
-        core.run_until_committed(cfg.instructions);
-        Ok(collect(cfg, &core))
+        Ok(Simulation::try_run_with(cfg, NullSink)?.result)
     }
 
     /// Runs one configuration to completion.
@@ -67,29 +158,8 @@ impl Simulation {
     /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
     /// configuration; nothing is simulated in that case.
     pub fn try_run_traced(cfg: &SimConfig) -> Result<(SimResult, RingSink), ConfigError> {
-        cfg.validate()?;
-        let spec = workload(&cfg.workload).expect("validated workload exists");
-        let trace = TraceWindow::new(spec.trace(cfg.seed));
-        let sink = RingSink::new(cfg.trace.capacity);
-        let mut core = Core::with_sink(
-            cfg.core.clone(),
-            cfg.mem.clone(),
-            cfg.technique,
-            trace,
-            sink,
-        );
-        core.set_ace_refinement(refinement_for(cfg, &spec));
-        core.set_sample_interval(cfg.trace.sample_interval);
-        if cfg.warmup > 0 {
-            core.run_until_committed(cfg.warmup);
-            core.reset_measurement();
-            // Drop warm-up events so trace counts line up with the
-            // measured statistics.
-            core.sink_mut().clear();
-        }
-        core.run_until_committed(cfg.instructions);
-        let result = collect(cfg, &core);
-        Ok((result, core.into_sink()))
+        let out = Simulation::try_run_with(cfg, RingSink::new(cfg.trace.capacity))?;
+        Ok((out.result, out.sink))
     }
 
     /// Panicking variant of [`Simulation::try_run_traced`].
@@ -125,7 +195,7 @@ fn collect<S: UopSource, T: TraceSink>(cfg: &SimConfig, core: &Core<S, T>) -> Si
 }
 
 /// All measurements from one run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Benchmark name.
     pub workload: String,

@@ -1,0 +1,481 @@
+//! The memoizing parallel sweep engine.
+//!
+//! A [`SweepSession`] executes batches of [`SimConfig`] cells and is the
+//! single entry point the experiment runners and binaries use. It layers
+//! three mechanisms, each independently sound:
+//!
+//! 1. **Artifact memoization.** A sweep grid re-uses one (workload, seed)
+//!    stream across many techniques and cores. The session keeps every
+//!    generated [`TracePrefix`] and every [`rar_verify`] dead-value
+//!    refinement in `Arc`-shared stores, so each trace is generated — and
+//!    each refinement computed — at most once per session, no matter how
+//!    many cells consume it. Sound because both are pure functions of
+//!    (workload, seed, horizon).
+//! 2. **On-disk result cache.** With [`SweepSession::with_disk_cache`],
+//!    finished cells are persisted through [`DiskCache`] keyed by
+//!    [`SimConfig::fingerprint`]; warm reruns replay bit-identically
+//!    without simulating.
+//! 3. **Work-stealing scheduling.** Cells are dealt round-robin onto
+//!    per-worker deques; an idle worker steals from the back of its
+//!    peers. Long cells (big cores, slow workloads) no longer gate a
+//!    whole chunk. Results land in a slot indexed by cell position, so
+//!    the output order — and, since every cell is deterministic, every
+//!    value — is independent of thread count and steal order.
+
+use crate::cache::DiskCache;
+use crate::config::SimConfig;
+use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
+use rar_trace::NullSink;
+use rar_verify::{AceRefinement, ConfigError};
+use rar_workloads::{workload, TracePrefix};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Session-lifetime store of memoized sweep artifacts.
+#[derive(Debug, Default)]
+struct ArtifactStore {
+    /// Longest generated prefix per (workload, seed).
+    traces: Mutex<HashMap<(String, u64), Arc<TracePrefix>>>,
+    /// Refinements per (workload, seed, horizon) — the horizon is part of
+    /// the key because the analysis classifies exactly that many uops.
+    refinements: Mutex<HashMap<(String, u64, usize), AceRefinement>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    refinement_hits: AtomicU64,
+    refinement_misses: AtomicU64,
+}
+
+impl ArtifactStore {
+    /// The run artifacts for `cfg`, computed at most once per key.
+    ///
+    /// Generation happens *under the store lock*: concurrent cells that
+    /// need the same trace wait for one generation instead of racing to
+    /// duplicate it (the memoization guarantee). Trace generation and
+    /// liveness analysis are orders of magnitude cheaper than the
+    /// simulation itself, so the serialization is immaterial.
+    fn artifacts_for(&self, cfg: &SimConfig) -> RunArtifacts {
+        let horizon = refinement_horizon(cfg);
+        let trace_key = (cfg.workload.clone(), cfg.seed);
+        let prefix = {
+            let mut traces = self.traces.lock().expect("trace store lock");
+            match traces.get(&trace_key) {
+                Some(p) if p.len() >= horizon => {
+                    self.trace_hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(p)
+                }
+                Some(p) => {
+                    // A shorter prefix exists: grow it from its stored
+                    // generator state — the already-generated uops are
+                    // not regenerated.
+                    self.trace_misses.fetch_add(1, Ordering::Relaxed);
+                    let grown = Arc::new(p.extended(horizon));
+                    traces.insert(trace_key, Arc::clone(&grown));
+                    grown
+                }
+                None => {
+                    self.trace_misses.fetch_add(1, Ordering::Relaxed);
+                    let spec = workload(&cfg.workload).expect("validated workload exists");
+                    let fresh = Arc::new(TracePrefix::generate(&spec, cfg.seed, horizon));
+                    traces.insert(trace_key, Arc::clone(&fresh));
+                    fresh
+                }
+            }
+        };
+        let ref_key = (cfg.workload.clone(), cfg.seed, horizon);
+        let refinement = {
+            let mut refinements = self.refinements.lock().expect("refinement store lock");
+            if let Some(r) = refinements.get(&ref_key) {
+                self.refinement_hits.fetch_add(1, Ordering::Relaxed);
+                r.clone() // Arc-backed: O(1)
+            } else {
+                self.refinement_misses.fetch_add(1, Ordering::Relaxed);
+                let fresh = rar_verify::analyze(&prefix.uops()[..horizon]);
+                refinements.insert(ref_key, fresh.clone());
+                fresh
+            }
+        };
+        RunArtifacts { prefix, refinement }
+    }
+}
+
+/// A run session: shared memoization stores, an optional disk cache, and
+/// the sweep scheduler. Cheap to share behind an [`Arc`]; every method
+/// takes `&self`.
+#[derive(Debug, Default)]
+pub struct SweepSession {
+    cache: Option<DiskCache>,
+    threads: Option<usize>,
+    artifacts: ArtifactStore,
+    simulated: AtomicU64,
+    cache_hits: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    wall_nanos: AtomicU64,
+    threads_used: AtomicU64,
+}
+
+/// Snapshot of a session's counters (see [`SweepSession::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepStats {
+    /// Cells actually simulated (cache misses).
+    pub simulated: u64,
+    /// Cells replayed from the on-disk cache.
+    pub cache_hits: u64,
+    /// Cells rejected by [`SimConfig::validate`] before simulation.
+    pub rejected: u64,
+    /// Cells whose simulation panicked (model bugs; excluded, not fatal).
+    pub failed: u64,
+    /// Trace prefixes served from the in-memory store.
+    pub trace_memo_hits: u64,
+    /// Trace prefixes generated (or grown) because no long-enough prefix
+    /// existed yet.
+    pub trace_memo_misses: u64,
+    /// Refinements served from the in-memory store.
+    pub refinement_memo_hits: u64,
+    /// Refinements computed fresh.
+    pub refinement_memo_misses: u64,
+    /// Wall-clock seconds spent inside [`SweepSession::run_all`].
+    pub wall_seconds: f64,
+    /// Worker threads used by the most recent sweep.
+    pub threads: u64,
+}
+
+impl SweepStats {
+    /// Completed cells: simulated plus replayed from cache.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.simulated + self.cache_hits
+    }
+
+    /// Fraction of completed cells served by the disk cache.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.completed() == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.completed() as f64
+    }
+
+    /// Completed cells per wall-clock second.
+    #[must_use]
+    pub fn runs_per_second(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / self.wall_seconds
+    }
+}
+
+impl SweepSession {
+    /// A session with in-memory memoization only (no disk cache).
+    #[must_use]
+    pub fn new() -> Self {
+        SweepSession::default()
+    }
+
+    /// A session that additionally persists every finished cell to `dir`
+    /// and replays from it on later runs.
+    #[must_use]
+    pub fn with_disk_cache(dir: impl Into<PathBuf>) -> Self {
+        SweepSession {
+            cache: Some(DiskCache::new(dir)),
+            ..SweepSession::default()
+        }
+    }
+
+    /// Pins the worker-thread count (default: available parallelism,
+    /// capped by the number of runnable cells). Thread count never
+    /// affects results — only throughput — which the test suite asserts.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// The disk cache, if this session has one.
+    #[must_use]
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs a single cell through the session: disk cache, then memoized
+    /// artifacts, then simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
+    /// configuration; nothing is simulated in that case.
+    pub fn run(&self, cfg: &SimConfig) -> Result<SimResult, ConfigError> {
+        cfg.validate()?;
+        Ok(self.run_validated(cfg))
+    }
+
+    /// Cache → memoize → simulate for one pre-validated cell.
+    fn run_validated(&self, cfg: &SimConfig) -> SimResult {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.load(cfg) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        let artifacts = self.artifacts.artifacts_for(cfg);
+        let result = Simulation::run_prepared(cfg, NullSink, &artifacts).result;
+        self.simulated.fetch_add(1, Ordering::Relaxed);
+        if let Some(cache) = &self.cache {
+            if let Err(e) = cache.store(cfg, &result) {
+                eprintln!(
+                    "[rar-sim] warning: could not cache {}/{}: {e}",
+                    cfg.workload, cfg.technique
+                );
+            }
+        }
+        result
+    }
+
+    /// Runs `configs` across worker threads, preserving order.
+    ///
+    /// Every configuration is validated up front: a config that fails
+    /// [`SimConfig::validate`] is reported on stderr with its typed
+    /// [`ConfigError`] and returned as `None` without ever being
+    /// scheduled. Runnable cells are dealt round-robin onto per-worker
+    /// deques; idle workers steal work from their peers, so stragglers
+    /// never leave threads idle. A cell whose simulation panics is
+    /// reported and excluded (`None`) rather than poisoning the sweep;
+    /// each completed cell logs a progress/ETA line to stderr.
+    pub fn run_all(&self, configs: &[SimConfig]) -> Vec<Option<SimResult>> {
+        let valid: Vec<bool> = configs
+            .iter()
+            .map(|cfg| match cfg.validate() {
+                Ok(()) => true,
+                Err(e) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "[rar-sim] {}/{} rejected before simulation: {e}",
+                        cfg.workload, cfg.technique
+                    );
+                    false
+                }
+            })
+            .collect();
+        let runnable = valid.iter().filter(|&&v| v).count();
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+            })
+            .min(runnable.max(1));
+        self.threads_used.store(threads as u64, Ordering::Relaxed);
+
+        // Deal cells round-robin so each deque starts with a spread of
+        // workloads (cells of one workload tend to cost the same).
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (n, i) in (0..configs.len()).filter(|&i| valid[i]).enumerate() {
+            queues[n % threads].lock().expect("queue lock").push_back(i);
+        }
+
+        let results: Vec<Mutex<Option<SimResult>>> =
+            configs.iter().map(|_| Mutex::new(None)).collect();
+        let done = AtomicUsize::new(0);
+        let started = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for me in 0..threads {
+                let queues = &queues;
+                let results = &results;
+                let done = &done;
+                s.spawn(move || loop {
+                    // Own queue first (front), then steal from peers
+                    // (back) — the classic deque discipline keeps stolen
+                    // work coarse.
+                    let mut item = queues[me].lock().expect("queue lock").pop_front();
+                    if item.is_none() {
+                        for (other, q) in queues.iter().enumerate() {
+                            if other == me {
+                                continue;
+                            }
+                            item = q.lock().expect("queue lock").pop_back();
+                            if item.is_some() {
+                                break;
+                            }
+                        }
+                    }
+                    let Some(i) = item else { break };
+                    let cfg = &configs[i];
+                    let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        self.run_validated(cfg)
+                    }));
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    let elapsed = started.elapsed().as_secs_f64();
+                    let eta = elapsed / finished as f64 * (runnable - finished) as f64;
+                    match cell {
+                        Ok(r) => {
+                            eprintln!(
+                                "[rar-sim] {finished}/{runnable} {}/{} done \
+                                 ({elapsed:.1}s elapsed, ~{eta:.0}s left)",
+                                cfg.workload, cfg.technique
+                            );
+                            *results[i].lock().expect("no poisoned runs") = Some(r);
+                        }
+                        Err(_) => {
+                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            eprintln!(
+                                "[rar-sim] {finished}/{runnable} {}/{} FAILED \
+                                 (panicked; excluded from tables)",
+                                cfg.workload, cfg.technique
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        self.wall_nanos.fetch_add(
+            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("run finished"))
+            .collect()
+    }
+
+    /// Snapshot of the session's counters so far.
+    #[must_use]
+    pub fn stats(&self) -> SweepStats {
+        SweepStats {
+            simulated: self.simulated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            trace_memo_hits: self.artifacts.trace_hits.load(Ordering::Relaxed),
+            trace_memo_misses: self.artifacts.trace_misses.load(Ordering::Relaxed),
+            refinement_memo_hits: self.artifacts.refinement_hits.load(Ordering::Relaxed),
+            refinement_memo_misses: self.artifacts.refinement_misses.load(Ordering::Relaxed),
+            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            threads: self.threads_used.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The session's throughput/caching report as a JSON object — the
+    /// contents of `BENCH_sweep.json`.
+    #[must_use]
+    pub fn bench_json(&self) -> String {
+        let s = self.stats();
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"schema\": \"rar-bench-sweep-v1\",\n");
+        let _ = writeln!(out, "  \"completed\": {},", s.completed());
+        let _ = writeln!(out, "  \"simulated\": {},", s.simulated);
+        let _ = writeln!(out, "  \"cache_hits\": {},", s.cache_hits);
+        let _ = writeln!(out, "  \"cache_hit_rate\": {:.6},", s.cache_hit_rate());
+        let _ = writeln!(out, "  \"rejected\": {},", s.rejected);
+        let _ = writeln!(out, "  \"failed\": {},", s.failed);
+        let _ = writeln!(out, "  \"trace_memo_hits\": {},", s.trace_memo_hits);
+        let _ = writeln!(out, "  \"trace_memo_misses\": {},", s.trace_memo_misses);
+        let _ = writeln!(
+            out,
+            "  \"refinement_memo_hits\": {},",
+            s.refinement_memo_hits
+        );
+        let _ = writeln!(
+            out,
+            "  \"refinement_memo_misses\": {},",
+            s.refinement_memo_misses
+        );
+        let _ = writeln!(out, "  \"wall_seconds\": {:.6},", s.wall_seconds);
+        let _ = writeln!(out, "  \"runs_per_second\": {:.3},", s.runs_per_second());
+        let _ = writeln!(out, "  \"threads\": {}", s.threads);
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rar_core::Technique;
+
+    fn grid() -> Vec<SimConfig> {
+        let mut v = Vec::new();
+        for t in [Technique::Ooo, Technique::Flush, Technique::Rar] {
+            for w in ["mcf", "milc"] {
+                v.push(
+                    SimConfig::builder()
+                        .workload(w)
+                        .technique(t)
+                        .warmup(300)
+                        .instructions(1_500)
+                        .build(),
+                );
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn memoization_generates_each_trace_once() {
+        let session = SweepSession::new();
+        let rs = session.run_all(&grid());
+        assert!(rs.iter().all(Option::is_some));
+        let s = session.stats();
+        assert_eq!(s.simulated, 6);
+        // Two (workload, seed) keys, each generated exactly once and then
+        // served from the store; same for refinements (one horizon).
+        assert_eq!(s.trace_memo_misses, 2);
+        assert_eq!(s.trace_memo_hits, 4);
+        assert_eq!(s.refinement_memo_misses, 2);
+        assert_eq!(s.refinement_memo_hits, 4);
+    }
+
+    #[test]
+    fn shared_artifacts_match_private_ones() {
+        // A sweep cell must produce exactly what a standalone run does.
+        let session = SweepSession::new();
+        let grid = grid();
+        let swept = session.run_all(&grid);
+        for (cfg, got) in grid.iter().zip(&swept) {
+            let standalone = Simulation::run(cfg);
+            assert_eq!(got.as_ref().unwrap(), &standalone, "{}", cfg.fingerprint());
+        }
+    }
+
+    #[test]
+    fn a_longer_horizon_grows_the_shared_prefix() {
+        let session = SweepSession::new();
+        let short = SimConfig::builder()
+            .workload("mcf")
+            .warmup(100)
+            .instructions(500)
+            .build();
+        let long = SimConfig::builder()
+            .workload("mcf")
+            .warmup(100)
+            .instructions(2_000)
+            .build();
+        let a = session.run(&short).unwrap();
+        let b = session.run(&long).unwrap();
+        assert_eq!(a, Simulation::run(&short));
+        assert_eq!(b, Simulation::run(&long));
+        let s = session.stats();
+        // One fresh generation plus one growth of the same key.
+        assert_eq!(s.trace_memo_misses, 2);
+        // Different horizons are distinct refinement keys.
+        assert_eq!(s.refinement_memo_misses, 2);
+    }
+
+    #[test]
+    fn stats_report_throughput_after_a_sweep() {
+        let session = SweepSession::new().threads(2);
+        let _ = session.run_all(&grid()[..2]);
+        let s = session.stats();
+        assert_eq!(s.completed(), 2);
+        assert_eq!(s.threads, 2);
+        assert!(s.wall_seconds > 0.0);
+        assert!(s.runs_per_second() > 0.0);
+        let json = session.bench_json();
+        assert!(json.contains("\"schema\": \"rar-bench-sweep-v1\""));
+        assert!(json.contains("\"simulated\": 2"));
+    }
+}

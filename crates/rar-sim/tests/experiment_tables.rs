@@ -11,6 +11,7 @@ fn tiny() -> ExperimentOptions {
         warmup: 150,
         seed: 1,
         suite: Suite::Memory,
+        ..ExperimentOptions::default()
     }
 }
 

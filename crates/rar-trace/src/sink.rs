@@ -14,6 +14,12 @@ pub trait TraceSink {
     const ENABLED: bool = true;
 
     fn emit(&mut self, event: TraceEvent);
+
+    /// Discards everything recorded so far. The simulation driver calls
+    /// this at the warm-up/measurement boundary so captured traces line
+    /// up with the measured statistics; stateless sinks keep the default
+    /// no-op.
+    fn scrub(&mut self) {}
 }
 
 /// The zero-overhead default sink: drops everything, `ENABLED == false`.
@@ -94,6 +100,10 @@ impl TraceSink for RingSink {
         }
         self.buf.push_back(event);
     }
+
+    fn scrub(&mut self) {
+        self.clear();
+    }
 }
 
 /// Forward events through a mutable reference, so a borrowed sink can be
@@ -103,6 +113,10 @@ impl<T: TraceSink> TraceSink for &mut T {
 
     fn emit(&mut self, event: TraceEvent) {
         (**self).emit(event);
+    }
+
+    fn scrub(&mut self) {
+        (**self).scrub();
     }
 }
 

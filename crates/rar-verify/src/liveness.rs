@@ -91,11 +91,17 @@ pub struct RefinementSummary {
 /// The product of the analysis: a per-sequence-number [`AceClass`] map the
 /// ACE counter consults at commit time. Sequence numbers beyond the
 /// analyzed horizon conservatively classify as [`AceClass::Live`].
+///
+/// The classification tables are reference-counted, so cloning a
+/// refinement is O(1): a sweep engine can analyze a (workload, seed,
+/// horizon) triple once and hand the same result to every simulation
+/// cell that shares it (the analysis is a pure function of the static
+/// instruction stream, so sharing is sound).
 #[derive(Debug, Clone, Default)]
 pub struct AceRefinement {
-    classes: Vec<AceClass>,
+    classes: std::sync::Arc<[AceClass]>,
     /// Dead-set size after each outer fixpoint round (non-decreasing).
-    rounds: Vec<u64>,
+    rounds: std::sync::Arc<[u64]>,
 }
 
 impl AceRefinement {
@@ -141,7 +147,7 @@ impl AceRefinement {
             analyzed: self.classes.len() as u64,
             ..RefinementSummary::default()
         };
-        for c in &self.classes {
+        for c in self.classes.iter() {
             match c {
                 AceClass::Live => s.live += 1,
                 AceClass::AddrOnly => s.addr_only += 1,
@@ -250,7 +256,10 @@ pub fn analyze(uops: &[Uop]) -> AceRefinement {
         }
     }
 
-    AceRefinement { classes, rounds }
+    AceRefinement {
+        classes: classes.into(),
+        rounds: rounds.into(),
+    }
 }
 
 /// Analyzes the first `horizon` uops of a stream (e.g. a workload trace).

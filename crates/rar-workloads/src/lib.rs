@@ -36,11 +36,13 @@
 //! ```
 
 pub mod gen;
+pub mod memo;
 pub mod mix;
 pub mod model;
 pub mod spec;
 
 pub use gen::TraceGenerator;
+pub use memo::{SharedTraceIter, TracePrefix};
 pub use mix::{all_benchmarks, compute_intensive, extra_benchmarks, memory_intensive};
 pub use model::{AccessPattern, WorkloadClass, WorkloadParams};
 pub use spec::{workload, WorkloadSpec};
