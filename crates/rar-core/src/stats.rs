@@ -69,6 +69,37 @@ impl CoreStats {
         }
         self.runahead_cycles as f64 / self.runahead_intervals as f64
     }
+
+    /// Accumulates every counter into `registry` under
+    /// `rar_core_<field>_total`, so a sweep session can aggregate guest
+    /// work (cycles, commits, runahead activity) across its cells. The
+    /// field list here must stay exhaustive — `cargo xtask lint` checks
+    /// that each `CoreStats` field is recorded.
+    pub fn record_into(&self, registry: &rar_telemetry::MetricsRegistry) {
+        for (name, value) in [
+            ("cycles", self.cycles),
+            ("committed", self.committed),
+            ("branch_mispredicts", self.branch_mispredicts),
+            ("mlp_sum", self.mlp_sum),
+            ("mlp_cycles", self.mlp_cycles),
+            ("runahead_intervals", self.runahead_intervals),
+            ("runahead_cycles", self.runahead_cycles),
+            ("runahead_uops", self.runahead_uops),
+            ("runahead_prefetches", self.runahead_prefetches),
+            ("runahead_inv_loads", self.runahead_inv_loads),
+            ("flushes", self.flushes),
+            ("squashed", self.squashed),
+            ("rob_full_cycles", self.rob_full_cycles),
+            ("iq_full_cycles", self.iq_full_cycles),
+            ("head_blocked_cycles", self.head_blocked_cycles),
+            ("dispatched", self.dispatched),
+            ("issued", self.issued),
+        ] {
+            registry
+                .counter(&format!("rar_core_{name}_total"))
+                .add(value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -95,6 +126,22 @@ mod tests {
         };
         assert!((s.mlp() - 3.0).abs() < 1e-12);
         assert_eq!(CoreStats::default().mlp(), 0.0);
+    }
+
+    #[test]
+    fn record_into_covers_every_field_and_accumulates() {
+        let reg = rar_telemetry::MetricsRegistry::new();
+        let s = CoreStats {
+            cycles: 10,
+            committed: 7,
+            ..CoreStats::default()
+        };
+        s.record_into(&reg);
+        s.record_into(&reg);
+        assert_eq!(reg.counter("rar_core_cycles_total").get(), 20);
+        assert_eq!(reg.counter("rar_core_committed_total").get(), 7 * 2);
+        // One counter per CoreStats field.
+        assert_eq!(reg.len(), 17);
     }
 
     #[test]

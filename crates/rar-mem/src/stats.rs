@@ -52,6 +52,29 @@ impl MemStats {
         }
         self.llc_misses as f64 * 1000.0 / instructions as f64
     }
+
+    /// Accumulates every counter into `registry` under
+    /// `rar_mem_<field>_total`, so a sweep session can aggregate memory
+    /// traffic across its cells. The field list here must stay exhaustive
+    /// — `cargo xtask lint` checks that each `MemStats` field is recorded.
+    pub fn record_into(&self, registry: &rar_telemetry::MetricsRegistry) {
+        for (name, value) in [
+            ("l1d_hits", self.l1d_hits),
+            ("l2_hits", self.l2_hits),
+            ("l3_hits", self.l3_hits),
+            ("llc_misses", self.llc_misses),
+            ("l1i_hits", self.l1i_hits),
+            ("l1i_misses", self.l1i_misses),
+            ("mshr_merges", self.mshr_merges),
+            ("mshr_stalls", self.mshr_stalls),
+            ("prefetches_issued", self.prefetches_issued),
+            ("runahead_loads", self.runahead_loads),
+        ] {
+            registry
+                .counter(&format!("rar_mem_{name}_total"))
+                .add(value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +90,22 @@ mod tests {
         assert_eq!(s.l1d_hits, 1);
         assert_eq!(s.llc_misses, 2);
         assert_eq!(s.data_accesses(), 3);
+    }
+
+    #[test]
+    fn record_into_covers_every_field_and_accumulates() {
+        let reg = rar_telemetry::MetricsRegistry::new();
+        let s = MemStats {
+            llc_misses: 3,
+            l1d_hits: 9,
+            ..MemStats::default()
+        };
+        s.record_into(&reg);
+        s.record_into(&reg);
+        assert_eq!(reg.counter("rar_mem_llc_misses_total").get(), 6);
+        assert_eq!(reg.counter("rar_mem_l1d_hits_total").get(), 18);
+        // One counter per MemStats field.
+        assert_eq!(reg.len(), 10);
     }
 
     #[test]

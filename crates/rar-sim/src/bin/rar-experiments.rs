@@ -5,9 +5,13 @@
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
 //!                 [--cache DIR] [--no-cache] [--bench-out PATH]
+//!                 [--manifest-out PATH] [--profile]
 //! rar-experiments trace --workload W --technique T
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--out DIR] [--capacity N] [--sample N]
+//! rar-experiments report [--dir DIR] [--out PATH] [--check]
+//!                 [--bench PATH] [--baseline PATH]
+//!                 [--min-hit-rate F] [--max-slowdown F]
 //! ```
 //!
 //! Each figure subcommand prints the paper-shaped table to stdout; `--csv
@@ -16,12 +20,26 @@
 //! with `--no-cache`), so rerunning a figure — or another figure sharing
 //! cells with it — replays cached results bit-identically instead of
 //! resimulating. Each invocation also writes a throughput/cache report to
-//! `--bench-out` (default `BENCH_sweep.json`). The `trace` subcommand
-//! runs one traced simulation and writes a Chrome trace, a Konata log and
-//! CSV tables into `--out` (default `results/traces`).
+//! `--bench-out` (default `BENCH_sweep.json`) and a run manifest to
+//! `--manifest-out` (default `manifest.json`); `--profile` additionally
+//! attributes host wall-clock time per phase (trace generation, core
+//! simulation, liveness, cache probe/store, serialization) into the
+//! manifest. Profiling never changes results — only the manifest grows.
+//!
+//! The `trace` subcommand runs one traced simulation and writes a Chrome
+//! trace, a Konata log and CSV tables into `--out` (default
+//! `results/traces`). The `report` subcommand renders the self-contained
+//! HTML dashboard from the manifests and `BENCH_*.json` files under
+//! `--dir`, and with `--check` exits non-zero when a manifest fails
+//! schema validation, the gated bench misses the `--min-hit-rate` floor,
+//! or throughput regressed more than `--max-slowdown` versus
+//! `--baseline` — the CI perf gate.
 
+use rar_sim::dashboard::{check_bench, render_dashboard, DEFAULT_MAX_SLOWDOWN};
 use rar_sim::experiment::{self, ExperimentOptions, Suite};
-use rar_sim::{SimConfig, Simulation, SweepSession, Table, TraceSettings};
+use rar_sim::sweep::SweepSession;
+use rar_sim::{SimConfig, Simulation, Table, TraceSettings};
+use rar_telemetry::{Phase, Profiler};
 use rar_trace::TraceEvent;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,11 +48,139 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all> \
          [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N] \
-         [--cache DIR] [--no-cache] [--bench-out PATH]\n\
+         [--cache DIR] [--no-cache] [--bench-out PATH] [--manifest-out PATH] [--profile]\n\
        rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
-         [--out DIR] [--capacity N] [--sample N]"
+         [--out DIR] [--capacity N] [--sample N]\n\
+       rar-experiments report [--dir DIR] [--out PATH] [--check] [--bench PATH] [--baseline PATH] \
+         [--min-hit-rate F] [--max-slowdown F]"
     );
     ExitCode::from(2)
+}
+
+/// A report file as `(file name, contents)`.
+type NamedReport = (String, String);
+
+/// Reads every `manifest*.json` / `BENCH_*.json` under `dir`, sorted by
+/// name so the dashboard is deterministic.
+fn collect_reports(dir: &str) -> (Vec<NamedReport>, Vec<NamedReport>) {
+    let mut manifests = Vec::new();
+    let mut benches = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("[rar-sim] cannot read {dir}: {e}");
+            return (manifests, benches);
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_manifest = name.starts_with("manifest") && name.ends_with(".json");
+        let is_bench = name.starts_with("BENCH_") && name.ends_with(".json");
+        if !is_manifest && !is_bench {
+            continue;
+        }
+        match std::fs::read_to_string(entry.path()) {
+            Ok(text) if is_manifest => manifests.push((name, text)),
+            Ok(text) => benches.push((name, text)),
+            Err(e) => eprintln!("[rar-sim] skipping unreadable {name}: {e}"),
+        }
+    }
+    manifests.sort();
+    benches.sort();
+    (manifests, benches)
+}
+
+/// The `report` subcommand: dashboard rendering plus the CI perf gate.
+fn report_cmd(args: &[String]) -> ExitCode {
+    let mut dir = ".".to_owned();
+    let mut out = "dashboard.html".to_owned();
+    let mut check = false;
+    let mut bench_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut min_hit_rate: Option<f64> = None;
+    let mut max_slowdown = DEFAULT_MAX_SLOWDOWN;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--check" {
+            check = true;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--dir" => dir = value.clone(),
+            "--out" => out = value.clone(),
+            "--bench" => bench_path = Some(value.clone()),
+            "--baseline" => baseline_path = Some(value.clone()),
+            "--min-hit-rate" => match value.parse() {
+                Ok(f) => min_hit_rate = Some(f),
+                Err(_) => return usage(),
+            },
+            "--max-slowdown" => match value.parse() {
+                Ok(f) => max_slowdown = f,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let (manifests, benches) = collect_reports(&dir);
+    let html = render_dashboard(&manifests, &benches);
+    if let Err(e) = std::fs::write(&out, html) {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out} ({} manifests, {} bench reports)",
+        manifests.len(),
+        benches.len()
+    );
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+
+    // The gated bench: --bench, or the conventional BENCH_sweep.json.
+    let default_bench = format!("{dir}/BENCH_sweep.json");
+    let gated = bench_path.unwrap_or(default_bench);
+    let bench_text = std::fs::read_to_string(&gated).ok();
+    if bench_text.is_none() && (min_hit_rate.is_some() || baseline_path.is_some()) {
+        eprintln!("[rar-sim] report check: cannot read gated bench {gated}");
+        return ExitCode::FAILURE;
+    }
+    let baseline_text = match &baseline_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("[rar-sim] report check: cannot read baseline {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let problems = check_bench(
+        &manifests,
+        bench_text.as_deref(),
+        baseline_text.as_deref(),
+        min_hit_rate,
+        max_slowdown,
+    );
+    if problems.is_empty() {
+        println!(
+            "report check passed ({} manifests validated)",
+            manifests.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("[rar-sim] report check: {p}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 /// Runs one traced simulation and exports every format.
@@ -177,71 +323,29 @@ fn trace_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else {
-        return usage();
+/// Runs the figure command(s) through `session` and writes the bench
+/// report and run manifest. Generic over the session's [`Profiler`]: the
+/// profiled and unprofiled paths share every line of figure logic.
+fn run_figures<P: Profiler>(
+    cmd: &str,
+    base: &ExperimentOptions,
+    session: Arc<SweepSession<P>>,
+    csv_dir: Option<&String>,
+    seeds: u64,
+    bench_out: &str,
+    manifest_out: &str,
+) -> ExitCode {
+    let opts = ExperimentOptions {
+        instructions: base.instructions,
+        warmup: base.warmup,
+        seed: base.seed,
+        suite: base.suite,
+        session,
     };
-    if cmd == "trace" {
-        return trace_cmd(&args[1..]);
-    }
-    let mut opts = ExperimentOptions::default();
-    let mut csv_dir: Option<String> = None;
-    let mut seeds: u64 = 3;
-    let mut cache_dir: Option<String> = Some("results/cache".to_owned());
-    let mut bench_out = "BENCH_sweep.json".to_owned();
-    let mut i = 1;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        if flag == "--no-cache" {
-            cache_dir = None;
-            i += 1;
-            continue;
-        }
-        let Some(value) = args.get(i + 1) else {
-            eprintln!("missing value for {flag}");
-            return usage();
-        };
-        match flag {
-            "--instructions" => match value.parse() {
-                Ok(n) => opts.instructions = n,
-                Err(_) => return usage(),
-            },
-            "--warmup" => match value.parse() {
-                Ok(n) => opts.warmup = n,
-                Err(_) => return usage(),
-            },
-            "--seed" => match value.parse() {
-                Ok(n) => opts.seed = n,
-                Err(_) => return usage(),
-            },
-            "--suite" => {
-                opts.suite = match value.as_str() {
-                    "memory" => Suite::Memory,
-                    "compute" => Suite::Compute,
-                    "all" => Suite::All,
-                    _ => return usage(),
-                }
-            }
-            "--csv" => csv_dir = Some(value.clone()),
-            "--seeds" => match value.parse() {
-                Ok(n) => seeds = n,
-                Err(_) => return usage(),
-            },
-            "--cache" => cache_dir = Some(value.clone()),
-            "--bench-out" => bench_out = value.clone(),
-            _ => return usage(),
-        }
-        i += 2;
-    }
-    opts.session = Arc::new(match &cache_dir {
-        Some(dir) => SweepSession::with_disk_cache(dir),
-        None => SweepSession::new(),
-    });
 
     let emit = |name: &str, table: &Table| {
         println!("{}", table.render());
-        if let Some(dir) = &csv_dir {
+        if let Some(dir) = csv_dir {
             let path = format!("{dir}/{name}.csv");
             if let Err(e) =
                 std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, table.to_csv()))
@@ -251,7 +355,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let run = |cmd: &str, opts: &ExperimentOptions| match cmd {
+    let run = |cmd: &str, opts: &ExperimentOptions<P>| match cmd {
         "fig1" => emit("fig1", &experiment::fig1(opts)),
         "fig3" => emit("fig3", &experiment::fig3(opts)),
         "fig4" => emit("fig4", &experiment::fig4(opts)),
@@ -302,7 +406,7 @@ fn main() -> ExitCode {
         "structures",
         "refinement",
     ];
-    match cmd.as_str() {
+    match cmd {
         "all" => {
             run("table4", &opts);
             run("mpki", &opts);
@@ -339,10 +443,141 @@ fn main() -> ExitCode {
         stats.runs_per_second(),
         stats.threads,
     );
-    if let Err(e) = std::fs::write(&bench_out, opts.session.bench_json()) {
+    if let Err(e) = std::fs::write(bench_out, opts.session.bench_json()) {
         eprintln!("failed to write {bench_out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {bench_out}");
+    let manifest = opts
+        .session
+        .manifest_json("rar-experiments", env!("CARGO_PKG_VERSION"));
+    if let Err(e) = std::fs::write(manifest_out, manifest) {
+        eprintln!("failed to write {manifest_out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {manifest_out}");
+    if opts.session.profiling_enabled() {
+        // One phase-attribution line per phase, largest first (the
+        // manifest carries the same numbers for machines).
+        let registry = opts.session.registry();
+        let mut phases: Vec<(&str, u64)> = Phase::ALL
+            .iter()
+            .map(|p| {
+                let name = p.name();
+                let nanos = registry
+                    .counter(&format!("rar_profile_{name}_nanos_total"))
+                    .get();
+                (name, nanos)
+            })
+            .collect();
+        phases.sort_by_key(|&(_, nanos)| std::cmp::Reverse(nanos));
+        let total: u64 = phases.iter().map(|(_, n)| n).sum();
+        for (name, nanos) in phases {
+            let share = if total == 0 {
+                0.0
+            } else {
+                nanos as f64 / total as f64 * 100.0
+            };
+            eprintln!(
+                "[rar-sim] profile: {name:<12} {:.3}s ({share:.1}%)",
+                nanos as f64 / 1e9
+            );
+        }
+    }
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    if cmd == "trace" {
+        return trace_cmd(&args[1..]);
+    }
+    if cmd == "report" {
+        return report_cmd(&args[1..]);
+    }
+    let mut opts = ExperimentOptions::default();
+    let mut csv_dir: Option<String> = None;
+    let mut seeds: u64 = 3;
+    let mut cache_dir: Option<String> = Some("results/cache".to_owned());
+    let mut bench_out = "BENCH_sweep.json".to_owned();
+    let mut manifest_out = "manifest.json".to_owned();
+    let mut profile = false;
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--no-cache" {
+            cache_dir = None;
+            i += 1;
+            continue;
+        }
+        if flag == "--profile" {
+            profile = true;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--instructions" => match value.parse() {
+                Ok(n) => opts.instructions = n,
+                Err(_) => return usage(),
+            },
+            "--warmup" => match value.parse() {
+                Ok(n) => opts.warmup = n,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => opts.seed = n,
+                Err(_) => return usage(),
+            },
+            "--suite" => {
+                opts.suite = match value.as_str() {
+                    "memory" => Suite::Memory,
+                    "compute" => Suite::Compute,
+                    "all" => Suite::All,
+                    _ => return usage(),
+                }
+            }
+            "--csv" => csv_dir = Some(value.clone()),
+            "--seeds" => match value.parse() {
+                Ok(n) => seeds = n,
+                Err(_) => return usage(),
+            },
+            "--cache" => cache_dir = Some(value.clone()),
+            "--bench-out" => bench_out = value.clone(),
+            "--manifest-out" => manifest_out = value.clone(),
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let session = match &cache_dir {
+        Some(dir) => SweepSession::with_disk_cache(dir),
+        None => SweepSession::new(),
+    };
+    if profile {
+        run_figures(
+            &cmd,
+            &opts,
+            Arc::new(session.into_profiled()),
+            csv_dir.as_ref(),
+            seeds,
+            &bench_out,
+            &manifest_out,
+        )
+    } else {
+        run_figures(
+            &cmd,
+            &opts,
+            Arc::new(session),
+            csv_dir.as_ref(),
+            seeds,
+            &bench_out,
+            &manifest_out,
+        )
+    }
 }

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! rar-sim --workload mcf --technique rar [--instructions N] [--warmup N]
-//!         [--seed N] [--core 1|2|3|4] [--prefetch none|l3|all] [--trace N] [--json PATH]
+//!         [--seed N] [--core 1|2|3|4] [--prefetch none|l3|all] [--trace N]
+//!         [--json PATH] [--telemetry PATH]
 //! ```
 //!
 //! `--trace N` prints a per-cycle pipeline view (occupancies, mode, head
 //! state) for the first N cycles after warm-up, then the summary.
+//! `--telemetry PATH` routes the run through a profiled session and
+//! writes the host-side telemetry registry (guest counters, host phase
+//! timings) as JSON — results are bit-identical either way.
 
 use rar_ace::Structure;
 use rar_core::{CoreConfig, Technique};
@@ -17,7 +21,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-sim --workload NAME --technique TECH [--instructions N] [--warmup N] \
-         [--seed N] [--core 1|2|3|4] [--prefetch none|l3|all] [--trace N] [--json PATH]"
+         [--seed N] [--core 1|2|3|4] [--prefetch none|l3|all] [--trace N] [--json PATH] \
+         [--telemetry PATH]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +84,7 @@ fn main() -> ExitCode {
     let mut b = SimConfig::builder();
     let mut trace_cycles: u64 = 0;
     let mut json_path: Option<String> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -131,6 +137,7 @@ fn main() -> ExitCode {
                 Err(_) => return usage(),
             },
             "--json" => json_path = Some(value.clone()),
+            "--telemetry" => telemetry_path = Some(value.clone()),
             "--prefetch" => {
                 let p = match value.as_str() {
                     "none" => PrefetchPlacement::None,
@@ -153,7 +160,16 @@ fn main() -> ExitCode {
     if trace_cycles > 0 {
         trace(&cfg, trace_cycles);
     }
-    let r = Simulation::run(&cfg);
+    // With --telemetry the run goes through a profiled session (same
+    // result bit for bit; the session additionally attributes host time).
+    let (r, telemetry) = if telemetry_path.is_some() {
+        let session = rar_sim::SweepSession::new().into_profiled();
+        let r = session.run(&cfg).expect("validated above");
+        let t = session.telemetry_json();
+        (r, Some(t))
+    } else {
+        (Simulation::run(&cfg), None)
+    };
     println!("workload      {}", r.workload);
     println!("technique     {}", r.technique);
     println!("fingerprint   {}", cfg.fingerprint());
@@ -182,6 +198,13 @@ fn main() -> ExitCode {
     );
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, rar_sim::json::to_json_for(&cfg, &r)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote         {path}");
+    }
+    if let (Some(path), Some(telemetry)) = (telemetry_path, telemetry) {
+        if let Err(e) = std::fs::write(&path, telemetry) {
             eprintln!("failed to write {path}: {e}");
             return ExitCode::FAILURE;
         }

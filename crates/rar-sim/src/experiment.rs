@@ -15,6 +15,7 @@ use crate::sweep::SweepSession;
 use rar_ace::Structure;
 use rar_core::{CoreConfig, Technique};
 use rar_mem::{MemConfig, PrefetchPlacement};
+use rar_telemetry::{NullProfiler, Profiler};
 use rar_workloads::{compute_intensive, memory_intensive};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -47,8 +48,13 @@ impl Suite {
 }
 
 /// Budget and scope knobs shared by all experiment runners.
-#[derive(Debug, Clone)]
-pub struct ExperimentOptions {
+///
+/// Generic over the session's [`Profiler`] so a profiled binary can feed
+/// a `SweepSession<WallProfiler>` through the exact same figure runners;
+/// the default [`NullProfiler`] keeps every existing call site (and every
+/// timing scope) unchanged and cost-free.
+#[derive(Debug)]
+pub struct ExperimentOptions<P: Profiler = NullProfiler> {
     /// Measured instructions per run.
     pub instructions: u64,
     /// Warm-up instructions per run.
@@ -62,7 +68,21 @@ pub struct ExperimentOptions {
     /// shares memoized traces/refinements across figures and, when built
     /// with [`SweepSession::with_disk_cache`], replays previously
     /// completed cells from disk.
-    pub session: Arc<SweepSession>,
+    pub session: Arc<SweepSession<P>>,
+}
+
+// Manual impl: a derived Clone would demand `P: Clone`, but the session
+// is behind an Arc — cloning options never clones the profiler.
+impl<P: Profiler> Clone for ExperimentOptions<P> {
+    fn clone(&self) -> Self {
+        ExperimentOptions {
+            instructions: self.instructions,
+            warmup: self.warmup,
+            seed: self.seed,
+            suite: self.suite,
+            session: Arc::clone(&self.session),
+        }
+    }
 }
 
 impl Default for ExperimentOptions {
@@ -89,12 +109,12 @@ impl ExperimentOptions {
     }
 }
 
-fn run_one(
+fn run_one<P: Profiler>(
     workload: &str,
     technique: Technique,
     core: CoreConfig,
     mem: MemConfig,
-    opts: &ExperimentOptions,
+    opts: &ExperimentOptions<P>,
 ) -> SimResult {
     opts.session
         .run(
@@ -112,12 +132,12 @@ fn run_one(
 }
 
 /// Runs a benchmarks × techniques matrix through the options' session.
-fn run_matrix(
+fn run_matrix<P: Profiler>(
     benchmarks: &[&str],
     techniques: &[Technique],
     core: &CoreConfig,
     mem: &MemConfig,
-    opts: &ExperimentOptions,
+    opts: &ExperimentOptions<P>,
 ) -> HashMap<(String, Technique), SimResult> {
     let mut configs = Vec::new();
     for &b in benchmarks {
@@ -156,7 +176,7 @@ fn cell<'a>(
 /// Figure 1: the headline IPC-versus-MTTF trade-off of FLUSH, TR, PRE and
 /// RAR relative to the OoO baseline (memory-intensive average).
 #[must_use]
-pub fn fig1(opts: &ExperimentOptions) -> Table {
+pub fn fig1<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let techniques = [
         Technique::Ooo,
@@ -202,7 +222,7 @@ pub fn fig1(opts: &ExperimentOptions) -> Table {
 /// compute-intensive average. Values are ACE bit-cycles per committed
 /// kilo-instruction.
 #[must_use]
-pub fn fig3(opts: &ExperimentOptions) -> Table {
+pub fn fig3<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let mut header = vec!["benchmark".into()];
     header.extend(Structure::ALL.iter().map(std::string::ToString::to_string));
     header.push("total".into());
@@ -257,7 +277,7 @@ pub fn fig3(opts: &ExperimentOptions) -> Table {
 /// Figure 4: total ABC of the four Table I cores, normalized to Core-1
 /// (memory-intensive average).
 #[must_use]
-pub fn fig4(opts: &ExperimentOptions) -> Table {
+pub fn fig4<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let mut table = Table::new(vec!["core".into(), "ROB".into(), "norm_ABC".into()]);
     table.titled("Figure 4: ABC vs back-end size (normalized to Core-1, memory-intensive)");
     let benchmarks = Suite::Memory.benchmarks();
@@ -297,7 +317,7 @@ pub fn fig4(opts: &ExperimentOptions) -> Table {
 /// Figure 5: fraction of total ABC exposed during full-ROB stalls and
 /// while the ROB head is blocked by an LLC miss (OoO baseline).
 #[must_use]
-pub fn fig5(opts: &ExperimentOptions) -> Table {
+pub fn fig5<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let mut table = Table::new(vec![
         "benchmark".into(),
         "full_rob_stall_%".into(),
@@ -335,7 +355,7 @@ pub fn fig5(opts: &ExperimentOptions) -> Table {
 /// Figures 7 and 8: per-benchmark MTTF, ABC, IPC and MLP for FLUSH, PRE,
 /// RAR-LATE and RAR relative to OoO, over the given suite.
 #[must_use]
-pub fn fig7_fig8(opts: &ExperimentOptions) -> [Table; 4] {
+pub fn fig7_fig8<P: Profiler>(opts: &ExperimentOptions<P>) -> [Table; 4] {
     let benchmarks = opts.suite.benchmarks();
     let techniques = [
         Technique::Ooo,
@@ -437,7 +457,7 @@ pub fn fig7_fig8(opts: &ExperimentOptions) -> [Table; 4] {
 /// Figure 9: the full runahead design space (Table IV variants) plus
 /// FLUSH — average MTTF, ABC and IPC relative to OoO (memory-intensive).
 #[must_use]
-pub fn fig9(opts: &ExperimentOptions) -> Table {
+pub fn fig9<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let mut techniques = vec![Technique::Ooo, Technique::Flush];
     techniques.extend(Technique::RUNAHEAD_VARIANTS);
@@ -481,7 +501,7 @@ pub fn fig9(opts: &ExperimentOptions) -> Table {
 /// M1-class 600-entry-ROB core (marked `*`) — the scaling endpoint the
 /// paper's Section II-B cites.
 #[must_use]
-pub fn fig10(opts: &ExperimentOptions) -> Table {
+pub fn fig10<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let mut table = Table::new(vec![
         "core".into(),
         "ROB".into(),
@@ -534,7 +554,7 @@ pub fn fig10(opts: &ExperimentOptions) -> Table {
 /// RAR — MTTF, ABC, IPC relative to the no-prefetch OoO baseline
 /// (memory-intensive averages).
 #[must_use]
-pub fn fig11(opts: &ExperimentOptions) -> Table {
+pub fn fig11<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let placements = [
         ("none", PrefetchPlacement::None),
@@ -618,7 +638,7 @@ pub fn table4() -> Table {
 /// Per-benchmark MPKI on the baseline core — the workload classification
 /// check (the paper's memory-intensive threshold is MPKI > 8).
 #[must_use]
-pub fn mpki_check(opts: &ExperimentOptions) -> Table {
+pub fn mpki_check<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let mut table = Table::new(vec!["benchmark".into(), "class".into(), "MPKI".into()]);
     table.titled("Workload classification (baseline OoO)");
     let benchmarks = Suite::All.benchmarks();
@@ -650,7 +670,7 @@ pub fn mpki_check(opts: &ExperimentOptions) -> Table {
 /// Per-structure AVF breakdown for OoO versus RAR (extension; where does
 /// RAR remove exposure?). AVF of structure `s` is `ABC_s / (bits_s x T)`.
 #[must_use]
-pub fn structures(opts: &ExperimentOptions) -> Table {
+pub fn structures<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let m = run_matrix(
         &benchmarks,
@@ -702,7 +722,7 @@ pub fn structures(opts: &ExperimentOptions) -> Table {
 /// found by `rar-verify`'s liveness pass; the unrefined column is exactly
 /// what every other table reports, so the default figures are unchanged.
 #[must_use]
-pub fn refinement(opts: &ExperimentOptions) -> Table {
+pub fn refinement<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = opts.suite.benchmarks();
     let m = run_matrix(
         &benchmarks,
@@ -750,7 +770,7 @@ pub fn refinement(opts: &ExperimentOptions) -> Table {
 /// workspace's extension variants (THROTTLE, RAB) on the memory-intensive
 /// set.
 #[must_use]
-pub fn extensions(opts: &ExperimentOptions) -> Table {
+pub fn extensions<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let techniques = [
         Technique::Ooo,
@@ -801,7 +821,7 @@ pub fn extensions(opts: &ExperimentOptions) -> Table {
 /// OoO baseline, memory-intensive set. Lean runahead (PRE/RAR) should pay
 /// far less energy than traditional runahead for similar speculation.
 #[must_use]
-pub fn energy(opts: &ExperimentOptions) -> Table {
+pub fn energy<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let model = crate::energy::EnergyModel::default_22nm();
     let benchmarks = Suite::Memory.benchmarks();
     let techniques = [
@@ -851,7 +871,7 @@ pub fn energy(opts: &ExperimentOptions) -> Table {
 /// workloads are seed-parameterized, so this quantifies how much of each
 /// result is model noise versus mechanism.
 #[must_use]
-pub fn seed_sweep(opts: &ExperimentOptions, seeds: u64) -> Table {
+pub fn seed_sweep<P: Profiler>(opts: &ExperimentOptions<P>, seeds: u64) -> Table {
     let benchmarks = Suite::Memory.benchmarks();
     let techniques = [Technique::Flush, Technique::Pre, Technique::Rar];
     let mut per_seed: Vec<HashMap<Technique, (f64, f64)>> = Vec::new();
@@ -919,7 +939,11 @@ pub fn seed_sweep(opts: &ExperimentOptions, seeds: u64) -> Table {
 
 /// Convenience: `run_one` with baseline core/memory — used by the binary.
 #[must_use]
-pub fn single(workload: &str, technique: Technique, opts: &ExperimentOptions) -> SimResult {
+pub fn single<P: Profiler>(
+    workload: &str,
+    technique: Technique,
+    opts: &ExperimentOptions<P>,
+) -> SimResult {
     run_one(
         workload,
         technique,

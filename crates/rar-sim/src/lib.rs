@@ -27,6 +27,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod dashboard;
 pub mod energy;
 pub mod experiment;
 pub mod json;
@@ -41,4 +42,4 @@ pub use energy::EnergyModel;
 pub use experiment::{ExperimentOptions, Suite};
 pub use report::{amean, gmean, hmean, Table};
 pub use run::{RunOutput, SimResult, Simulation};
-pub use sweep::{SweepSession, SweepStats};
+pub use sweep::{ProfiledSweepSession, SweepSession, SweepStats};

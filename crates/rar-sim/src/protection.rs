@@ -21,6 +21,7 @@ use crate::report::{fmt2, gmean, hmean, Table};
 use crate::run::{SimResult, Simulation};
 use crate::SimConfig;
 use rar_core::{CoreConfig, Technique};
+use rar_telemetry::Profiler;
 
 /// Storage added by RAR over the baseline core, in bits (Section III-D:
 /// a 4-bit countdown timer; plus PRE's SST and PRDQ, which RAR inherits).
@@ -53,7 +54,7 @@ pub fn ecc_bits(core: &CoreConfig) -> u64 {
 
 /// Builds the Section VI comparison table over the memory-intensive set.
 #[must_use]
-pub fn protection_comparison(opts: &ExperimentOptions) -> Table {
+pub fn protection_comparison<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
     let core = CoreConfig::baseline();
     let benchmarks = Suite::Memory.benchmarks();
 

@@ -21,15 +21,34 @@
 //!    whole chunk. Results land in a slot indexed by cell position, so
 //!    the output order — and, since every cell is deterministic, every
 //!    value — is independent of thread count and steal order.
+//!
+//! # Telemetry
+//!
+//! Every session counter lives in a [`MetricsRegistry`] under the
+//! canonical names of [`rar_telemetry::names`], exported via
+//! [`SweepSession::telemetry_json`] / [`SweepSession::telemetry_prometheus`]
+//! and embedded in the run manifest ([`SweepSession::manifest_json`]).
+//! The session is additionally generic over a [`Profiler`]: the default
+//! [`NullProfiler`] compiles every timing scope away (a default build is
+//! bit-identical to an uninstrumented one), while
+//! [`SweepSession::into_profiled`] swaps in a [`WallProfiler`] that
+//! attributes wall-clock time to trace generation, liveness refinement,
+//! core simulation, cache probes/stores and serialization. Long sweeps
+//! report a heartbeat line (completed/total, cache hit rate, runs/sec,
+//! ETA, thread utilization) every `RAR_PROGRESS_SECS` seconds.
 
 use crate::cache::DiskCache;
 use crate::config::SimConfig;
 use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
+use rar_telemetry::names;
+use rar_telemetry::{
+    sanitize_f64, Counter, Gauge, Histogram, ManifestBuilder, MetricsRegistry, NullProfiler, Phase,
+    Profiler, ProgressReporter, ProgressSnapshot, ScopeTimer, WallProfiler,
+};
 use rar_trace::NullSink;
 use rar_verify::{AceRefinement, ConfigError};
 use rar_workloads::{workload, TracePrefix};
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -43,10 +62,6 @@ struct ArtifactStore {
     /// Refinements per (workload, seed, horizon) — the horizon is part of
     /// the key because the analysis classifies exactly that many uops.
     refinements: Mutex<HashMap<(String, u64, usize), AceRefinement>>,
-    trace_hits: AtomicU64,
-    trace_misses: AtomicU64,
-    refinement_hits: AtomicU64,
-    refinement_misses: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -57,29 +72,38 @@ impl ArtifactStore {
     /// duplicate it (the memoization guarantee). Trace generation and
     /// liveness analysis are orders of magnitude cheaper than the
     /// simulation itself, so the serialization is immaterial.
-    fn artifacts_for(&self, cfg: &SimConfig) -> RunArtifacts {
+    fn artifacts_for<P: Profiler>(
+        &self,
+        cfg: &SimConfig,
+        counters: &SweepCounters,
+        profiler: &P,
+    ) -> RunArtifacts {
         let horizon = refinement_horizon(cfg);
         let trace_key = (cfg.workload.clone(), cfg.seed);
         let prefix = {
             let mut traces = self.traces.lock().expect("trace store lock");
             match traces.get(&trace_key) {
                 Some(p) if p.len() >= horizon => {
-                    self.trace_hits.fetch_add(1, Ordering::Relaxed);
+                    counters.trace_hits.inc();
                     Arc::clone(p)
                 }
                 Some(p) => {
                     // A shorter prefix exists: grow it from its stored
                     // generator state — the already-generated uops are
                     // not regenerated.
-                    self.trace_misses.fetch_add(1, Ordering::Relaxed);
+                    counters.trace_misses.inc();
+                    let scope = ScopeTimer::start(profiler, Phase::TraceGen);
                     let grown = Arc::new(p.extended(horizon));
+                    drop(scope);
                     traces.insert(trace_key, Arc::clone(&grown));
                     grown
                 }
                 None => {
-                    self.trace_misses.fetch_add(1, Ordering::Relaxed);
+                    counters.trace_misses.inc();
                     let spec = workload(&cfg.workload).expect("validated workload exists");
+                    let scope = ScopeTimer::start(profiler, Phase::TraceGen);
                     let fresh = Arc::new(TracePrefix::generate(&spec, cfg.seed, horizon));
+                    drop(scope);
                     traces.insert(trace_key, Arc::clone(&fresh));
                     fresh
                 }
@@ -89,11 +113,13 @@ impl ArtifactStore {
         let refinement = {
             let mut refinements = self.refinements.lock().expect("refinement store lock");
             if let Some(r) = refinements.get(&ref_key) {
-                self.refinement_hits.fetch_add(1, Ordering::Relaxed);
+                counters.refinement_hits.inc();
                 r.clone() // Arc-backed: O(1)
             } else {
-                self.refinement_misses.fetch_add(1, Ordering::Relaxed);
+                counters.refinement_misses.inc();
+                let scope = ScopeTimer::start(profiler, Phase::Liveness);
                 let fresh = rar_verify::analyze(&prefix.uops()[..horizon]);
+                drop(scope);
                 refinements.insert(ref_key, fresh.clone());
                 fresh
             }
@@ -102,20 +128,67 @@ impl ArtifactStore {
     }
 }
 
-/// A run session: shared memoization stores, an optional disk cache, and
-/// the sweep scheduler. Cheap to share behind an [`Arc`]; every method
-/// takes `&self`.
-#[derive(Debug, Default)]
-pub struct SweepSession {
+/// Registered handles for every session counter (see
+/// [`rar_telemetry::names`] for the canonical metric names).
+#[derive(Debug)]
+struct SweepCounters {
+    simulated: Counter,
+    cache_hits: Counter,
+    rejected: Counter,
+    failed: Counter,
+    trace_hits: Counter,
+    trace_misses: Counter,
+    refinement_hits: Counter,
+    refinement_misses: Counter,
+    wall_nanos: Counter,
+    busy_nanos: Counter,
+    threads: Gauge,
+    cell_nanos: Histogram,
+}
+
+impl SweepCounters {
+    fn register(registry: &MetricsRegistry) -> Self {
+        SweepCounters {
+            simulated: registry.counter(names::SWEEP_CELLS_SIMULATED),
+            cache_hits: registry.counter(names::SWEEP_CACHE_HITS),
+            rejected: registry.counter(names::SWEEP_CELLS_REJECTED),
+            failed: registry.counter(names::SWEEP_CELLS_FAILED),
+            trace_hits: registry.counter(names::SWEEP_TRACE_MEMO_HITS),
+            trace_misses: registry.counter(names::SWEEP_TRACE_MEMO_MISSES),
+            refinement_hits: registry.counter(names::SWEEP_REFINEMENT_MEMO_HITS),
+            refinement_misses: registry.counter(names::SWEEP_REFINEMENT_MEMO_MISSES),
+            wall_nanos: registry.counter(names::SWEEP_WALL_NANOS),
+            busy_nanos: registry.counter(names::SWEEP_BUSY_NANOS),
+            threads: registry.gauge(names::SWEEP_THREADS),
+            cell_nanos: registry.histogram(names::SWEEP_CELL_NANOS),
+        }
+    }
+}
+
+/// A run session: shared memoization stores, an optional disk cache, a
+/// metrics registry, an (optionally enabled) self-profiler, and the sweep
+/// scheduler. Cheap to share behind an [`Arc`]; every method takes
+/// `&self`.
+#[derive(Debug)]
+pub struct SweepSession<P: Profiler = NullProfiler> {
     cache: Option<DiskCache>,
     threads: Option<usize>,
     artifacts: ArtifactStore,
-    simulated: AtomicU64,
-    cache_hits: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    wall_nanos: AtomicU64,
-    threads_used: AtomicU64,
+    registry: MetricsRegistry,
+    counters: SweepCounters,
+    profiler: P,
+    /// Workloads and config fingerprints seen by this session, for the
+    /// run manifest.
+    seen: Mutex<SeenInputs>,
+}
+
+/// A profiled session: every host-side phase is wall-clock attributed.
+pub type ProfiledSweepSession = SweepSession<WallProfiler>;
+
+#[derive(Debug, Default)]
+struct SeenInputs {
+    workloads: BTreeSet<String>,
+    fingerprints: BTreeSet<String>,
 }
 
 /// Snapshot of a session's counters (see [`SweepSession::stats`]).
@@ -151,40 +224,76 @@ impl SweepStats {
         self.simulated + self.cache_hits
     }
 
-    /// Fraction of completed cells served by the disk cache.
+    /// Fraction of completed cells served by the disk cache. Always
+    /// finite: a session with no completed cells reports `0.0`.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
         if self.completed() == 0 {
             return 0.0;
         }
-        self.cache_hits as f64 / self.completed() as f64
+        sanitize_f64(self.cache_hits as f64 / self.completed() as f64)
     }
 
-    /// Completed cells per wall-clock second.
+    /// Completed cells per wall-clock second. Always finite: a session
+    /// that never swept (or whose clock read zero) reports `0.0`.
     #[must_use]
     pub fn runs_per_second(&self) -> f64 {
-        if self.wall_seconds == 0.0 {
+        if self.wall_seconds <= 0.0 {
             return 0.0;
         }
-        self.completed() as f64 / self.wall_seconds
+        sanitize_f64(self.completed() as f64 / self.wall_seconds)
     }
 }
 
-impl SweepSession {
-    /// A session with in-memory memoization only (no disk cache).
+/// The outcome of one validated cell: the result plus where it came from.
+struct CellOutcome {
+    result: SimResult,
+    cache_hit: bool,
+}
+
+impl Default for SweepSession<NullProfiler> {
+    fn default() -> Self {
+        SweepSession::new()
+    }
+}
+
+impl SweepSession<NullProfiler> {
+    /// A session with in-memory memoization only (no disk cache) and
+    /// profiling compiled out.
     #[must_use]
     pub fn new() -> Self {
-        SweepSession::default()
+        SweepSession::build(None, None, NullProfiler)
     }
 
     /// A session that additionally persists every finished cell to `dir`
     /// and replays from it on later runs.
     #[must_use]
     pub fn with_disk_cache(dir: impl Into<PathBuf>) -> Self {
+        SweepSession::build(Some(DiskCache::new(dir)), None, NullProfiler)
+    }
+}
+
+impl<P: Profiler> SweepSession<P> {
+    fn build(cache: Option<DiskCache>, threads: Option<usize>, profiler: P) -> Self {
+        let registry = MetricsRegistry::new();
+        let counters = SweepCounters::register(&registry);
         SweepSession {
-            cache: Some(DiskCache::new(dir)),
-            ..SweepSession::default()
+            cache,
+            threads,
+            artifacts: ArtifactStore::default(),
+            registry,
+            counters,
+            profiler,
+            seen: Mutex::new(SeenInputs::default()),
         }
+    }
+
+    /// Converts this session into one that attributes wall-clock time per
+    /// [`Phase`] with a [`WallProfiler`]. Call before running anything:
+    /// memoization stores and counters restart from empty.
+    #[must_use]
+    pub fn into_profiled(self) -> SweepSession<WallProfiler> {
+        SweepSession::build(self.cache, self.threads, WallProfiler::new())
     }
 
     /// Pins the worker-thread count (default: available parallelism,
@@ -202,6 +311,18 @@ impl SweepSession {
         self.cache.as_ref()
     }
 
+    /// The session's metrics registry (every counter the session keeps).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Whether this session's profiler observes anything.
+    #[must_use]
+    pub fn profiling_enabled(&self) -> bool {
+        P::ENABLED
+    }
+
     /// Runs a single cell through the session: disk cache, then memoized
     /// artifacts, then simulation.
     ///
@@ -211,29 +332,55 @@ impl SweepSession {
     /// configuration; nothing is simulated in that case.
     pub fn run(&self, cfg: &SimConfig) -> Result<SimResult, ConfigError> {
         cfg.validate()?;
-        Ok(self.run_validated(cfg))
+        Ok(self.run_validated(cfg).result)
     }
 
     /// Cache → memoize → simulate for one pre-validated cell.
-    fn run_validated(&self, cfg: &SimConfig) -> SimResult {
+    fn run_validated(&self, cfg: &SimConfig) -> CellOutcome {
+        {
+            let mut seen = self.seen.lock().expect("seen lock");
+            if !seen.workloads.contains(&cfg.workload) {
+                seen.workloads.insert(cfg.workload.clone());
+            }
+            seen.fingerprints.insert(cfg.fingerprint());
+        }
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.load(cfg) {
-                self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return hit;
+            let probe = ScopeTimer::start(&self.profiler, Phase::CacheProbe);
+            let hit = cache.load(cfg);
+            drop(probe);
+            if let Some(result) = hit {
+                self.counters.cache_hits.inc();
+                return CellOutcome {
+                    result,
+                    cache_hit: true,
+                };
             }
         }
-        let artifacts = self.artifacts.artifacts_for(cfg);
+        let artifacts = self
+            .artifacts
+            .artifacts_for(cfg, &self.counters, &self.profiler);
+        let sim = ScopeTimer::start(&self.profiler, Phase::CoreSim);
         let result = Simulation::run_prepared(cfg, NullSink, &artifacts).result;
-        self.simulated.fetch_add(1, Ordering::Relaxed);
+        drop(sim);
+        self.counters.simulated.inc();
+        // Aggregate guest-side work into the registry (simulated cells
+        // only: replayed cells did no guest work in this session).
+        result.stats.record_into(&self.registry);
+        result.mem.record_into(&self.registry);
         if let Some(cache) = &self.cache {
+            let store = ScopeTimer::start(&self.profiler, Phase::CacheStore);
             if let Err(e) = cache.store(cfg, &result) {
                 eprintln!(
                     "[rar-sim] warning: could not cache {}/{}: {e}",
                     cfg.workload, cfg.technique
                 );
             }
+            drop(store);
         }
-        result
+        CellOutcome {
+            result,
+            cache_hit: false,
+        }
     }
 
     /// Runs `configs` across worker threads, preserving order.
@@ -244,15 +391,17 @@ impl SweepSession {
     /// scheduled. Runnable cells are dealt round-robin onto per-worker
     /// deques; idle workers steal work from their peers, so stragglers
     /// never leave threads idle. A cell whose simulation panics is
-    /// reported and excluded (`None`) rather than poisoning the sweep;
-    /// each completed cell logs a progress/ETA line to stderr.
+    /// reported and excluded (`None`) rather than poisoning the sweep.
+    /// Progress is reported as a heartbeat line on stderr every
+    /// `RAR_PROGRESS_SECS` seconds (default 5; `0` disables), plus one
+    /// summary line when the sweep finishes.
     pub fn run_all(&self, configs: &[SimConfig]) -> Vec<Option<SimResult>> {
         let valid: Vec<bool> = configs
             .iter()
             .map(|cfg| match cfg.validate() {
                 Ok(()) => true,
                 Err(e) => {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.counters.rejected.inc();
                     eprintln!(
                         "[rar-sim] {}/{} rejected before simulation: {e}",
                         cfg.workload, cfg.technique
@@ -268,7 +417,7 @@ impl SweepSession {
                 std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
             })
             .min(runnable.max(1));
-        self.threads_used.store(threads as u64, Ordering::Relaxed);
+        self.counters.threads.set(threads as f64);
 
         // Deal cells round-robin so each deque starts with a spread of
         // workloads (cells of one workload tend to cost the same).
@@ -280,13 +429,31 @@ impl SweepSession {
 
         let results: Vec<Mutex<Option<SimResult>>> =
             configs.iter().map(|_| Mutex::new(None)).collect();
+        // Per-run_all progress state, separate from the session counters
+        // (one session often serves many sweeps back to back).
+        let reporter = ProgressReporter::from_env(runnable as u64);
         let done = AtomicUsize::new(0);
+        let local_hits = AtomicU64::new(0);
+        let local_failed = AtomicU64::new(0);
+        let busy_nanos = AtomicU64::new(0);
+        let snapshot = |completed: u64| ProgressSnapshot {
+            completed,
+            cache_hits: local_hits.load(Ordering::Relaxed),
+            failed: local_failed.load(Ordering::Relaxed),
+            busy_nanos: busy_nanos.load(Ordering::Relaxed),
+            threads: threads as u64,
+        };
         let started = std::time::Instant::now();
         std::thread::scope(|s| {
             for me in 0..threads {
                 let queues = &queues;
                 let results = &results;
                 let done = &done;
+                let reporter = &reporter;
+                let local_hits = &local_hits;
+                let local_failed = &local_failed;
+                let busy_nanos = &busy_nanos;
+                let snapshot = &snapshot;
                 s.spawn(move || loop {
                     // Own queue first (front), then steal from peers
                     // (back) — the classic deque discipline keeps stolen
@@ -305,57 +472,71 @@ impl SweepSession {
                     }
                     let Some(i) = item else { break };
                     let cfg = &configs[i];
+                    let cell_started = std::time::Instant::now();
                     let cell = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         self.run_validated(cfg)
                     }));
-                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    let elapsed = started.elapsed().as_secs_f64();
-                    let eta = elapsed / finished as f64 * (runnable - finished) as f64;
+                    let cell_nanos =
+                        u64::try_from(cell_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    busy_nanos.fetch_add(cell_nanos, Ordering::Relaxed);
+                    if P::ENABLED {
+                        self.counters.cell_nanos.observe(cell_nanos);
+                    }
+                    let finished = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
                     match cell {
-                        Ok(r) => {
-                            eprintln!(
-                                "[rar-sim] {finished}/{runnable} {}/{} done \
-                                 ({elapsed:.1}s elapsed, ~{eta:.0}s left)",
-                                cfg.workload, cfg.technique
-                            );
-                            *results[i].lock().expect("no poisoned runs") = Some(r);
+                        Ok(outcome) => {
+                            if outcome.cache_hit {
+                                local_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            *results[i].lock().expect("no poisoned runs") = Some(outcome.result);
                         }
                         Err(_) => {
-                            self.failed.fetch_add(1, Ordering::Relaxed);
+                            self.counters.failed.inc();
+                            local_failed.fetch_add(1, Ordering::Relaxed);
                             eprintln!(
-                                "[rar-sim] {finished}/{runnable} {}/{} FAILED \
-                                 (panicked; excluded from tables)",
+                                "[rar-sim] {}/{} FAILED (panicked; excluded from tables)",
                                 cfg.workload, cfg.technique
                             );
                         }
                     }
+                    if let Some(line) = reporter.heartbeat(&snapshot(finished)) {
+                        eprintln!("{line}");
+                    }
                 });
             }
         });
-        self.wall_nanos.fetch_add(
-            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
-            Ordering::Relaxed,
-        );
+        let wall = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.counters.wall_nanos.add(wall);
+        self.counters
+            .busy_nanos
+            .add(busy_nanos.load(Ordering::Relaxed));
+        if runnable > 0 {
+            let completed = done.load(Ordering::Relaxed) as u64;
+            eprintln!("{}", reporter.final_line(&snapshot(completed)));
+        }
         results
             .into_iter()
             .map(|m| m.into_inner().expect("run finished"))
             .collect()
     }
 
-    /// Snapshot of the session's counters so far.
+    /// Snapshot of the session's counters so far, read back from the
+    /// metrics registry (the registry is the single source of truth; the
+    /// struct is just a typed view of it).
     #[must_use]
     pub fn stats(&self) -> SweepStats {
+        let c = &self.counters;
         SweepStats {
-            simulated: self.simulated.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            trace_memo_hits: self.artifacts.trace_hits.load(Ordering::Relaxed),
-            trace_memo_misses: self.artifacts.trace_misses.load(Ordering::Relaxed),
-            refinement_memo_hits: self.artifacts.refinement_hits.load(Ordering::Relaxed),
-            refinement_memo_misses: self.artifacts.refinement_misses.load(Ordering::Relaxed),
-            wall_seconds: self.wall_nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            threads: self.threads_used.load(Ordering::Relaxed),
+            simulated: c.simulated.get(),
+            cache_hits: c.cache_hits.get(),
+            rejected: c.rejected.get(),
+            failed: c.failed.get(),
+            trace_memo_hits: c.trace_hits.get(),
+            trace_memo_misses: c.trace_misses.get(),
+            refinement_memo_hits: c.refinement_hits.get(),
+            refinement_memo_misses: c.refinement_misses.get(),
+            wall_seconds: c.wall_nanos.get() as f64 / 1e9,
+            threads: c.threads.get() as u64,
         }
     }
 
@@ -363,33 +544,97 @@ impl SweepSession {
     /// contents of `BENCH_sweep.json`.
     #[must_use]
     pub fn bench_json(&self) -> String {
-        let s = self.stats();
-        let mut out = String::with_capacity(512);
-        out.push_str("{\n  \"schema\": \"rar-bench-sweep-v1\",\n");
-        let _ = writeln!(out, "  \"completed\": {},", s.completed());
-        let _ = writeln!(out, "  \"simulated\": {},", s.simulated);
-        let _ = writeln!(out, "  \"cache_hits\": {},", s.cache_hits);
-        let _ = writeln!(out, "  \"cache_hit_rate\": {:.6},", s.cache_hit_rate());
-        let _ = writeln!(out, "  \"rejected\": {},", s.rejected);
-        let _ = writeln!(out, "  \"failed\": {},", s.failed);
-        let _ = writeln!(out, "  \"trace_memo_hits\": {},", s.trace_memo_hits);
-        let _ = writeln!(out, "  \"trace_memo_misses\": {},", s.trace_memo_misses);
-        let _ = writeln!(
-            out,
-            "  \"refinement_memo_hits\": {},",
-            s.refinement_memo_hits
-        );
-        let _ = writeln!(
-            out,
-            "  \"refinement_memo_misses\": {},",
-            s.refinement_memo_misses
-        );
-        let _ = writeln!(out, "  \"wall_seconds\": {:.6},", s.wall_seconds);
-        let _ = writeln!(out, "  \"runs_per_second\": {:.3},", s.runs_per_second());
-        let _ = writeln!(out, "  \"threads\": {}", s.threads);
-        out.push_str("}\n");
-        out
+        let _scope = ScopeTimer::start(&self.profiler, Phase::Serialize);
+        bench_json_from(&self.stats())
     }
+
+    /// The full telemetry registry as sorted-key JSON (profiler phase
+    /// totals included for profiled sessions).
+    #[must_use]
+    pub fn telemetry_json(&self) -> String {
+        let _scope = ScopeTimer::start(&self.profiler, Phase::Serialize);
+        self.profiler.publish(&self.registry);
+        rar_telemetry::export::to_json(&self.registry)
+    }
+
+    /// The full telemetry registry in Prometheus text format.
+    #[must_use]
+    pub fn telemetry_prometheus(&self) -> String {
+        let _scope = ScopeTimer::start(&self.profiler, Phase::Serialize);
+        self.profiler.publish(&self.registry);
+        rar_telemetry::export::to_prometheus(&self.registry)
+    }
+
+    /// The run manifest: tool identity, inputs (workloads, config
+    /// fingerprints, thread count), headline throughput figures, and the
+    /// embedded telemetry snapshot. Written beside sweep results so any
+    /// table can be traced back to what produced it; validated in CI by
+    /// [`rar_telemetry::validate_manifest`].
+    #[must_use]
+    pub fn manifest_json(&self, tool: &str, version: &str) -> String {
+        let _scope = ScopeTimer::start(&self.profiler, Phase::Serialize);
+        self.profiler.publish(&self.registry);
+        let s = self.stats();
+        let (workloads, fingerprints) = {
+            let seen = self.seen.lock().expect("seen lock");
+            (
+                seen.workloads.iter().cloned().collect::<Vec<_>>(),
+                seen.fingerprints.iter().cloned().collect::<Vec<_>>(),
+            )
+        };
+        let mut b = ManifestBuilder::new(tool, version);
+        b.set_u64("threads", s.threads.max(1))
+            .set_u64("cells_completed", s.completed())
+            .set_u64("cells_simulated", s.simulated)
+            .set_u64("cells_cached", s.cache_hits)
+            .set_u64("cells_rejected", s.rejected)
+            .set_u64("cells_failed", s.failed)
+            .set_f64("cache_hit_rate", s.cache_hit_rate())
+            .set_f64("runs_per_second", s.runs_per_second())
+            .set_f64("wall_seconds", s.wall_seconds)
+            .set_str("profiled", if P::ENABLED { "yes" } else { "no" })
+            .set_str_array("workloads", workloads)
+            .set_str_array("fingerprints", fingerprints);
+        b.render(&self.registry)
+    }
+}
+
+/// Renders [`SweepStats`] as the `BENCH_sweep.json` object. Keys are
+/// emitted in sorted order and every float is finite, so bench diffs are
+/// byte-stable across thread counts and machines (pinned by a golden
+/// test).
+#[must_use]
+pub fn bench_json_from(s: &SweepStats) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"cache_hit_rate\": {:.6},", s.cache_hit_rate());
+    let _ = writeln!(out, "  \"cache_hits\": {},", s.cache_hits);
+    let _ = writeln!(out, "  \"completed\": {},", s.completed());
+    let _ = writeln!(out, "  \"failed\": {},", s.failed);
+    let _ = writeln!(
+        out,
+        "  \"refinement_memo_hits\": {},",
+        s.refinement_memo_hits
+    );
+    let _ = writeln!(
+        out,
+        "  \"refinement_memo_misses\": {},",
+        s.refinement_memo_misses
+    );
+    let _ = writeln!(out, "  \"rejected\": {},", s.rejected);
+    let _ = writeln!(out, "  \"runs_per_second\": {:.3},", s.runs_per_second());
+    out.push_str("  \"schema\": \"rar-bench-sweep-v1\",\n");
+    let _ = writeln!(out, "  \"simulated\": {},", s.simulated);
+    let _ = writeln!(out, "  \"threads\": {},", s.threads);
+    let _ = writeln!(out, "  \"trace_memo_hits\": {},", s.trace_memo_hits);
+    let _ = writeln!(out, "  \"trace_memo_misses\": {},", s.trace_memo_misses);
+    let _ = writeln!(
+        out,
+        "  \"wall_seconds\": {:.6}",
+        sanitize_f64(s.wall_seconds.max(0.0))
+    );
+    out.push_str("}\n");
+    out
 }
 
 #[cfg(test)]
@@ -477,5 +722,140 @@ mod tests {
         let json = session.bench_json();
         assert!(json.contains("\"schema\": \"rar-bench-sweep-v1\""));
         assert!(json.contains("\"simulated\": 2"));
+    }
+
+    #[test]
+    fn profiled_session_is_bit_identical_to_unprofiled() {
+        // Profiling observes the host, never the simulation: the same
+        // grid through a profiled session must reproduce every result
+        // exactly.
+        let grid = grid();
+        let plain = SweepSession::new().threads(2);
+        let profiled = SweepSession::new().threads(2).into_profiled();
+        let a = plain.run_all(&grid);
+        let b = profiled.run_all(&grid);
+        assert_eq!(a, b);
+        // And the profiler actually attributed time somewhere:
+        // telemetry_json() publishes the phase totals into the registry.
+        let telemetry = profiled.telemetry_json();
+        assert!(telemetry.contains("rar_profile_core_sim_nanos_total"));
+        let sim_nanos = profiled
+            .registry()
+            .counter("rar_profile_core_sim_nanos_total")
+            .get();
+        assert!(sim_nanos > 0, "core sim time must be nonzero");
+    }
+
+    #[test]
+    fn empty_session_exports_finite_numbers_only() {
+        // Zero-duration / zero-run sessions must not leak NaN or inf
+        // into JSON (which cannot represent them).
+        let session = SweepSession::new();
+        let s = session.stats();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.runs_per_second(), 0.0);
+        let json = session.bench_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        let manifest = session.manifest_json("rar-sim-tests", "0.0.0");
+        assert!(!manifest.contains("NaN") && !manifest.contains("inf"));
+    }
+
+    #[test]
+    fn bench_json_golden_bytes() {
+        // Pinned: sorted keys, fixed precision, schema tag in place. If
+        // this fails the bench format changed — bump the schema string
+        // and update every consumer (CI jq filters, report subcommand).
+        let s = SweepStats {
+            simulated: 5,
+            cache_hits: 15,
+            rejected: 1,
+            failed: 2,
+            trace_memo_hits: 4,
+            trace_memo_misses: 2,
+            refinement_memo_hits: 4,
+            refinement_memo_misses: 2,
+            wall_seconds: 2.5,
+            threads: 8,
+        };
+        let expected = "{\n\
+            \x20 \"cache_hit_rate\": 0.750000,\n\
+            \x20 \"cache_hits\": 15,\n\
+            \x20 \"completed\": 20,\n\
+            \x20 \"failed\": 2,\n\
+            \x20 \"refinement_memo_hits\": 4,\n\
+            \x20 \"refinement_memo_misses\": 2,\n\
+            \x20 \"rejected\": 1,\n\
+            \x20 \"runs_per_second\": 8.000,\n\
+            \x20 \"schema\": \"rar-bench-sweep-v1\",\n\
+            \x20 \"simulated\": 5,\n\
+            \x20 \"threads\": 8,\n\
+            \x20 \"trace_memo_hits\": 4,\n\
+            \x20 \"trace_memo_misses\": 2,\n\
+            \x20 \"wall_seconds\": 2.500000\n\
+            }\n";
+        assert_eq!(bench_json_from(&s), expected);
+        // Keys must be sorted so diffs between runs are positional.
+        let keys: Vec<&str> = expected
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix('"'))
+            .filter_map(|l| l.split('"').next())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn bench_json_is_finite_for_degenerate_stats() {
+        let s = SweepStats {
+            simulated: 0,
+            cache_hits: 0,
+            rejected: 0,
+            failed: 0,
+            trace_memo_hits: 0,
+            trace_memo_misses: 0,
+            refinement_memo_hits: 0,
+            refinement_memo_misses: 0,
+            wall_seconds: 0.0,
+            threads: 0,
+        };
+        let json = bench_json_from(&s);
+        assert!(json.contains("\"cache_hit_rate\": 0.000000"));
+        assert!(json.contains("\"runs_per_second\": 0.000"));
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn manifest_records_inputs_and_validates() {
+        let session = SweepSession::new().threads(2);
+        let _ = session.run_all(&grid());
+        let manifest = session.manifest_json("rar-sim-tests", "0.1.0");
+        assert_eq!(
+            rar_telemetry::validate_manifest(&manifest),
+            Vec::<String>::new(),
+            "{manifest}"
+        );
+        assert!(manifest.contains("\"workloads\": [\"mcf\", \"milc\"]"));
+        // One fingerprint per distinct configuration in the grid.
+        assert_eq!(manifest.matches("\"fingerprints\"").count(), 1);
+        for cfg in grid() {
+            assert!(
+                manifest.contains(&cfg.fingerprint()),
+                "{}",
+                cfg.fingerprint()
+            );
+        }
+        assert!(manifest.contains(&format!("\"{}\"", rar_telemetry::TELEMETRY_SCHEMA)));
+    }
+
+    #[test]
+    fn telemetry_exports_cover_every_canonical_metric() {
+        let session = SweepSession::new();
+        let json = session.telemetry_json();
+        let prom = session.telemetry_prometheus();
+        for name in names::ALL {
+            assert!(json.contains(name), "{name} missing from telemetry JSON");
+            assert!(prom.contains(name), "{name} missing from Prometheus text");
+        }
     }
 }

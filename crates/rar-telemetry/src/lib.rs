@@ -1,0 +1,35 @@
+//! Host-side observability for the RAR simulator.
+//!
+//! Where `rar-trace` records *simulated* (guest) time — cycles, uops,
+//! runahead intervals — this crate records *host* time and host-side
+//! work: where the wall clock goes while a sweep runs, how the result
+//! cache and memoization stores behave, and what exactly produced a set
+//! of results. Four pieces:
+//!
+//! * [`MetricsRegistry`] — lock-cheap monotonic [`Counter`]s, [`Gauge`]s
+//!   and log2-bucket [`Histogram`]s behind `Arc`-shared atomic handles,
+//!   exported deterministically (sorted keys) to JSON
+//!   ([`export::to_json`]) and Prometheus text ([`export::to_prometheus`]).
+//! * [`Profiler`] scopes — zero-cost-when-off self-profiling using the
+//!   same `ENABLED`-const monomorphization trick as `rar_trace::NullSink`:
+//!   with [`NullProfiler`] every [`ScopeTimer`] compiles away; with
+//!   [`WallProfiler`] wall-clock time is attributed per [`Phase`].
+//! * [`ProgressReporter`] — rate-limited heartbeat lines for long sweeps
+//!   (completed/total, cache hit rate, runs/sec, ETA, thread utilization).
+//! * [`ManifestBuilder`] — the run manifest written beside sweep results:
+//!   tool/version, workload set, config fingerprints, thread count, and
+//!   the embedded telemetry snapshot; [`validate_manifest`] is the schema
+//!   gate CI runs on every generated manifest.
+
+pub mod export;
+pub mod manifest;
+pub mod names;
+pub mod profile;
+pub mod progress;
+pub mod registry;
+
+pub use export::{labeled, sanitize_f64, sanitize_metric_name, TELEMETRY_SCHEMA};
+pub use manifest::{validate_manifest, ManifestBuilder, MANIFEST_SCHEMA};
+pub use profile::{time, NullProfiler, Phase, Profiler, ScopeTimer, WallProfiler};
+pub use progress::{ProgressReporter, ProgressSnapshot};
+pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};

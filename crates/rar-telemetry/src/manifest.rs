@@ -1,0 +1,280 @@
+//! Run manifests: one JSON document describing a sweep's inputs and its
+//! host-side telemetry, written beside the results it explains.
+//!
+//! A manifest answers "what exactly produced these numbers": which tool
+//! and version ran, over which workloads and configuration fingerprints,
+//! with how many threads, and where the wall-clock time went (the full
+//! telemetry registry snapshot is embedded verbatim). Keys are sorted, so
+//! two identical runs produce byte-identical manifests regardless of
+//! thread count.
+//!
+//! The module also ships the minimal field scanner the `rar-experiments
+//! report` command uses to read manifests and `BENCH_*.json` files back,
+//! plus [`validate_manifest`] — the schema check CI runs on every
+//! generated manifest.
+
+use crate::export::sanitize_f64;
+use crate::registry::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag of the manifest document.
+pub const MANIFEST_SCHEMA: &str = "rar-manifest-v1";
+
+/// Top-level keys every valid manifest must carry.
+pub const MANIFEST_REQUIRED_KEYS: [&str; 11] = [
+    "schema",
+    "tool",
+    "version",
+    "threads",
+    "cells_completed",
+    "cells_simulated",
+    "cache_hit_rate",
+    "runs_per_second",
+    "wall_seconds",
+    "workloads",
+    "telemetry",
+];
+
+#[derive(Debug, Clone)]
+enum Value {
+    U64(u64),
+    F64(f64),
+    Str(String),
+    StrArray(Vec<String>),
+}
+
+/// Builds one manifest document field by field.
+#[derive(Debug)]
+pub struct ManifestBuilder {
+    fields: BTreeMap<String, Value>,
+}
+
+impl ManifestBuilder {
+    /// A manifest for a run of `tool` at `version`.
+    #[must_use]
+    pub fn new(tool: &str, version: &str) -> Self {
+        let mut b = ManifestBuilder {
+            fields: BTreeMap::new(),
+        };
+        b.set_str("schema", MANIFEST_SCHEMA);
+        b.set_str("tool", tool);
+        b.set_str("version", version);
+        b
+    }
+
+    /// Sets an integer field.
+    pub fn set_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.fields.insert(key.to_owned(), Value::U64(v));
+        self
+    }
+
+    /// Sets a float field (non-finite values are exported as `0.0`).
+    pub fn set_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.fields.insert(key.to_owned(), Value::F64(v));
+        self
+    }
+
+    /// Sets a string field.
+    pub fn set_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.fields.insert(key.to_owned(), Value::Str(v.to_owned()));
+        self
+    }
+
+    /// Sets a string-array field. The values are sorted and deduplicated,
+    /// so the rendered manifest is independent of insertion order.
+    pub fn set_str_array(&mut self, key: &str, mut vs: Vec<String>) -> &mut Self {
+        vs.sort_unstable();
+        vs.dedup();
+        self.fields.insert(key.to_owned(), Value::StrArray(vs));
+        self
+    }
+
+    /// Renders the manifest, embedding the full telemetry snapshot of
+    /// `registry` under the `"telemetry"` key.
+    #[must_use]
+    pub fn render(&self, registry: &MetricsRegistry) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        for (key, value) in &self.fields {
+            let _ = write!(out, "  \"{}\": ", esc(key));
+            match value {
+                Value::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                Value::F64(v) => {
+                    let _ = write!(out, "{:.6}", sanitize_f64(*v));
+                }
+                Value::Str(v) => {
+                    let _ = write!(out, "\"{}\"", esc(v));
+                }
+                Value::StrArray(vs) => {
+                    out.push('[');
+                    for (i, v) in vs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "\"{}\"", esc(v));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str(",\n");
+        }
+        // Telemetry last: the embedded snapshot carries its own keys, and
+        // keeping it below the manifest's own fields means the flat field
+        // scanner always resolves a top-level key first.
+        out.push_str("  \"telemetry\": ");
+        let telemetry = crate::export::to_json(registry);
+        for (i, line) in telemetry.lines().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.pop();
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Validates a rendered manifest: parsable fields, the expected schema
+/// tags, and every required key present. Returns the list of problems
+/// (empty ⇒ valid).
+#[must_use]
+pub fn validate_manifest(text: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    for key in MANIFEST_REQUIRED_KEYS {
+        if !text.contains(&format!("\"{key}\":")) {
+            problems.push(format!("missing required key '{key}'"));
+        }
+    }
+    match field_str(text, "schema") {
+        Some(s) if s == MANIFEST_SCHEMA => {}
+        Some(s) => problems.push(format!("schema is '{s}', expected '{MANIFEST_SCHEMA}'")),
+        None => {}
+    }
+    if !text.contains(&format!("\"{}\"", crate::export::TELEMETRY_SCHEMA)) {
+        problems.push(format!(
+            "embedded telemetry snapshot missing schema '{}'",
+            crate::export::TELEMETRY_SCHEMA
+        ));
+    }
+    for key in ["cache_hit_rate", "runs_per_second", "wall_seconds"] {
+        if let Some(raw) = raw_value(text, key) {
+            if raw.parse::<f64>().is_err() {
+                problems.push(format!("'{key}' is not a number: {raw}"));
+            }
+        }
+    }
+    if field_u64(text, "threads") == Some(0) {
+        problems.push("threads must be nonzero".to_owned());
+    }
+    problems
+}
+
+/// The raw value text following the *first* occurrence of `"key":`,
+/// trimmed up to the terminating `,`, `}` or end of line. Good enough
+/// for the flat, machine-written documents this workspace produces.
+#[must_use]
+pub fn raw_value<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\":");
+    let start = text.find(&needle)?;
+    let rest = text[start + needle.len()..].trim_start();
+    let end = rest.find(['\n', '}'])?;
+    Some(rest[..end].trim().trim_end_matches(','))
+}
+
+/// Scans an integer field.
+#[must_use]
+pub fn field_u64(text: &str, key: &str) -> Option<u64> {
+    raw_value(text, key)?.parse().ok()
+}
+
+/// Scans a float field.
+#[must_use]
+pub fn field_f64(text: &str, key: &str) -> Option<f64> {
+    raw_value(text, key)?.parse().ok()
+}
+
+/// Scans a string field.
+#[must_use]
+pub fn field_str(text: &str, key: &str) -> Option<String> {
+    let raw = raw_value(text, key)?;
+    Some(raw.strip_prefix('"')?.strip_suffix('"')?.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> String {
+        let reg = MetricsRegistry::new();
+        reg.counter("rar_sweep_cells_simulated_total").add(6);
+        let mut b = ManifestBuilder::new("rar-experiments", "0.1.0");
+        b.set_u64("threads", 4)
+            .set_u64("cells_completed", 6)
+            .set_u64("cells_simulated", 6)
+            .set_f64("cache_hit_rate", 0.0)
+            .set_f64("runs_per_second", 12.5)
+            .set_f64("wall_seconds", 0.48)
+            .set_str_array(
+                "workloads",
+                vec!["milc".to_owned(), "mcf".to_owned(), "milc".to_owned()],
+            )
+            .set_str_array("fingerprints", vec!["deadbeefdeadbeef".to_owned()]);
+        b.render(&reg)
+    }
+
+    #[test]
+    fn rendered_manifest_validates_cleanly() {
+        let text = sample();
+        assert_eq!(validate_manifest(&text), Vec::<String>::new(), "{text}");
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn arrays_are_sorted_and_deduplicated() {
+        let text = sample();
+        assert!(
+            text.contains("\"workloads\": [\"mcf\", \"milc\"]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn fields_scan_back_out() {
+        let text = sample();
+        assert_eq!(field_str(&text, "tool").as_deref(), Some("rar-experiments"));
+        assert_eq!(field_u64(&text, "threads"), Some(4));
+        assert_eq!(field_f64(&text, "runs_per_second"), Some(12.5));
+        assert_eq!(field_u64(&text, "rar_sweep_cells_simulated_total"), None);
+    }
+
+    #[test]
+    fn validation_reports_missing_keys_and_bad_schema() {
+        let text = sample();
+        let broken = text.replace("\"threads\": 4", "\"threads\": 0");
+        assert!(validate_manifest(&broken)
+            .iter()
+            .any(|p| p.contains("threads")));
+        let wrong = text.replace(MANIFEST_SCHEMA, "rar-manifest-v999");
+        assert!(validate_manifest(&wrong)
+            .iter()
+            .any(|p| p.contains("expected")));
+        let missing = text.replace("\"wall_seconds\"", "\"wall_secs\"");
+        assert!(validate_manifest(&missing)
+            .iter()
+            .any(|p| p.contains("wall_seconds")));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(sample(), sample());
+    }
+}

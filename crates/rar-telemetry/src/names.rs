@@ -1,0 +1,71 @@
+//! Canonical metric names registered by the workspace.
+//!
+//! Every sweep-engine metric name lives here as a `const`, for two
+//! reasons: instrumentation sites and dashboards can never drift apart
+//! on spelling, and `cargo xtask lint` scans this file to assert each
+//! declared name is actually registered somewhere in the workspace (a
+//! declared-but-never-registered metric is rot, exactly like a tallied-
+//! but-never-exported stat counter).
+//!
+//! Naming follows Prometheus conventions: `_total` for monotone
+//! counters, a bare name for gauges, `_nanos` histograms observe
+//! nanoseconds.
+
+/// Cells actually simulated (disk-cache misses).
+pub const SWEEP_CELLS_SIMULATED: &str = "rar_sweep_cells_simulated_total";
+/// Cells replayed from the on-disk result cache.
+pub const SWEEP_CACHE_HITS: &str = "rar_sweep_cache_hits_total";
+/// Cells rejected by validation before simulation.
+pub const SWEEP_CELLS_REJECTED: &str = "rar_sweep_cells_rejected_total";
+/// Cells excluded because their simulation panicked.
+pub const SWEEP_CELLS_FAILED: &str = "rar_sweep_cells_failed_total";
+/// Trace prefixes served from the in-memory memoization store.
+pub const SWEEP_TRACE_MEMO_HITS: &str = "rar_sweep_trace_memo_hits_total";
+/// Trace prefixes generated or grown (memoization misses).
+pub const SWEEP_TRACE_MEMO_MISSES: &str = "rar_sweep_trace_memo_misses_total";
+/// Refinements served from the in-memory memoization store.
+pub const SWEEP_REFINEMENT_MEMO_HITS: &str = "rar_sweep_refinement_memo_hits_total";
+/// Refinements computed fresh (memoization misses).
+pub const SWEEP_REFINEMENT_MEMO_MISSES: &str = "rar_sweep_refinement_memo_misses_total";
+/// Wall-clock nanoseconds spent inside `SweepSession::run_all`.
+pub const SWEEP_WALL_NANOS: &str = "rar_sweep_wall_nanos_total";
+/// Worker threads used by the most recent sweep (gauge).
+pub const SWEEP_THREADS: &str = "rar_sweep_threads";
+/// Per-cell wall-clock nanoseconds (histogram; profiled sessions only).
+pub const SWEEP_CELL_NANOS: &str = "rar_sweep_cell_nanos";
+/// Sum of busy worker nanoseconds across the most recent sweep.
+pub const SWEEP_BUSY_NANOS: &str = "rar_sweep_busy_nanos_total";
+
+/// Every canonical name above, for exhaustive registration and tests.
+pub const ALL: [&str; 12] = [
+    SWEEP_CELLS_SIMULATED,
+    SWEEP_CACHE_HITS,
+    SWEEP_CELLS_REJECTED,
+    SWEEP_CELLS_FAILED,
+    SWEEP_TRACE_MEMO_HITS,
+    SWEEP_TRACE_MEMO_MISSES,
+    SWEEP_REFINEMENT_MEMO_HITS,
+    SWEEP_REFINEMENT_MEMO_MISSES,
+    SWEEP_WALL_NANOS,
+    SWEEP_THREADS,
+    SWEEP_CELL_NANOS,
+    SWEEP_BUSY_NANOS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+    use crate::export::sanitize_metric_name;
+
+    #[test]
+    fn names_are_unique_and_prometheus_clean() {
+        let mut sorted = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL.len());
+        for name in ALL {
+            assert_eq!(sanitize_metric_name(name), name, "{name} needs sanitizing");
+            assert!(name.starts_with("rar_"), "{name} missing rar_ prefix");
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Zero-cost-when-off self-profiling scopes.
+//!
+//! The same monomorphization trick as `rar_trace::NullSink`: code that
+//! wants to be profiled is generic over a [`Profiler`] whose associated
+//! `ENABLED` constant gates every timing site. With [`NullProfiler`] the
+//! guard is `if false`, so the `Instant::now()` calls — and the scope
+//! guards around them — compile to nothing; a default build is exactly
+//! the pre-instrumentation binary. With [`WallProfiler`] each scope costs
+//! two clock reads and one relaxed atomic add.
+
+use crate::registry::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Host-side phases wall-clock time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Workload trace-prefix generation (and growth).
+    TraceGen,
+    /// Cycle-level core simulation of one cell.
+    CoreSim,
+    /// Dead-value liveness refinement (`rar_verify::analyze`).
+    Liveness,
+    /// On-disk result-cache lookups.
+    CacheProbe,
+    /// On-disk result-cache stores (including entry encoding).
+    CacheStore,
+    /// Serialization of reports (bench JSON, manifests, exports).
+    Serialize,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::TraceGen,
+        Phase::CoreSim,
+        Phase::Liveness,
+        Phase::CacheProbe,
+        Phase::CacheStore,
+        Phase::Serialize,
+    ];
+
+    /// Number of phases.
+    pub const COUNT: usize = Phase::ALL.len();
+
+    /// Stable snake_case name, used as the metric-name stem.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::TraceGen => "trace_gen",
+            Phase::CoreSim => "core_sim",
+            Phase::Liveness => "liveness",
+            Phase::CacheProbe => "cache_probe",
+            Phase::CacheStore => "cache_store",
+            Phase::Serialize => "serialize",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Receiver of phase timings. `ENABLED == false` implementations make
+/// every timing site compile away.
+pub trait Profiler: Sync + std::fmt::Debug {
+    /// Whether timing sites observe anything at all. Checked as a
+    /// constant, so disabled profiling costs nothing at runtime.
+    const ENABLED: bool = true;
+
+    /// Attributes `nanos` of wall-clock time to `phase`.
+    fn record(&self, phase: Phase, nanos: u64);
+
+    /// Publishes accumulated timings into `registry` (no-op by default;
+    /// [`WallProfiler`] exports its per-phase totals).
+    fn publish(&self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
+}
+
+/// The zero-overhead default: drops everything, `ENABLED == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&self, _phase: Phase, _nanos: u64) {}
+}
+
+/// Accumulates wall-clock nanoseconds and scope counts per [`Phase`].
+#[derive(Debug, Default)]
+pub struct WallProfiler {
+    nanos: [AtomicU64; Phase::COUNT],
+    calls: [AtomicU64; Phase::COUNT],
+}
+
+impl WallProfiler {
+    /// A profiler with all phases at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        WallProfiler::default()
+    }
+
+    /// Total nanoseconds attributed to `phase` so far.
+    #[must_use]
+    pub fn nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Number of scopes recorded for `phase` so far.
+    #[must_use]
+    pub fn calls(&self, phase: Phase) -> u64 {
+        self.calls[phase.index()].load(Ordering::Relaxed)
+    }
+
+    /// Publishes the per-phase totals into `registry` as
+    /// `rar_profile_<phase>_nanos_total` / `rar_profile_<phase>_calls_total`
+    /// counters (overwritten-by-add semantics: call once per export).
+    pub fn record_into(&self, registry: &MetricsRegistry) {
+        for phase in Phase::ALL {
+            let nanos = registry.counter(&format!("rar_profile_{}_nanos_total", phase.name()));
+            let calls = registry.counter(&format!("rar_profile_{}_calls_total", phase.name()));
+            nanos.add(self.nanos(phase).saturating_sub(nanos.get()));
+            calls.add(self.calls(phase).saturating_sub(calls.get()));
+        }
+    }
+}
+
+impl Profiler for WallProfiler {
+    fn record(&self, phase: Phase, nanos: u64) {
+        self.nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+        self.calls[phase.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn publish(&self, registry: &MetricsRegistry) {
+        self.record_into(registry);
+    }
+}
+
+/// Forward timings through a reference, so a shared profiler can be used
+/// from scoped worker threads.
+impl<P: Profiler> Profiler for &P {
+    const ENABLED: bool = P::ENABLED;
+
+    fn record(&self, phase: Phase, nanos: u64) {
+        (**self).record(phase, nanos);
+    }
+
+    fn publish(&self, registry: &MetricsRegistry) {
+        (**self).publish(registry);
+    }
+}
+
+/// RAII scope: started on construction, attributed on drop. With a
+/// disabled profiler the clock is never read and drop is a no-op.
+#[derive(Debug)]
+pub struct ScopeTimer<'p, P: Profiler> {
+    profiler: &'p P,
+    phase: Phase,
+    started: Option<Instant>,
+}
+
+impl<'p, P: Profiler> ScopeTimer<'p, P> {
+    /// Starts timing `phase` (a no-op when `P::ENABLED` is false).
+    pub fn start(profiler: &'p P, phase: Phase) -> Self {
+        ScopeTimer {
+            profiler,
+            phase,
+            started: P::ENABLED.then(Instant::now),
+        }
+    }
+}
+
+impl<P: Profiler> Drop for ScopeTimer<'_, P> {
+    fn drop(&mut self) {
+        if let Some(started) = self.started {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.profiler.record(self.phase, nanos);
+        }
+    }
+}
+
+/// Times `f` under `phase` and returns its result.
+pub fn time<P: Profiler, R>(profiler: &P, phase: Phase, f: impl FnOnce() -> R) -> R {
+    let _scope = ScopeTimer::start(profiler, phase);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_profiler_is_disabled_and_never_reads_the_clock() {
+        const { assert!(!NullProfiler::ENABLED) };
+        let scope = ScopeTimer::start(&NullProfiler, Phase::CoreSim);
+        assert!(scope.started.is_none());
+    }
+
+    #[test]
+    fn wall_profiler_attributes_time_to_the_right_phase() {
+        let prof = WallProfiler::new();
+        time(&prof, Phase::CacheProbe, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        assert!(prof.nanos(Phase::CacheProbe) >= 1_000_000);
+        assert_eq!(prof.calls(Phase::CacheProbe), 1);
+        assert_eq!(prof.nanos(Phase::CoreSim), 0);
+        assert_eq!(prof.calls(Phase::CoreSim), 0);
+    }
+
+    #[test]
+    fn record_into_publishes_every_phase_and_is_idempotent() {
+        let prof = WallProfiler::new();
+        prof.record(Phase::TraceGen, 10);
+        prof.record(Phase::TraceGen, 5);
+        let reg = MetricsRegistry::new();
+        prof.record_into(&reg);
+        prof.record_into(&reg);
+        assert_eq!(reg.counter("rar_profile_trace_gen_nanos_total").get(), 15);
+        assert_eq!(reg.counter("rar_profile_trace_gen_calls_total").get(), 2);
+        // Every phase appears even at zero, so dashboards see stable keys.
+        assert_eq!(reg.len(), 2 * Phase::COUNT);
+    }
+
+    #[test]
+    fn phase_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::COUNT);
+    }
+}

@@ -1,0 +1,180 @@
+//! Live heartbeat progress reporting for long sweeps.
+//!
+//! A [`ProgressReporter`] turns raw session counters into a single
+//! human-readable heartbeat line — completed/total, cache hit rate,
+//! throughput, ETA, and worker utilization — rate-limited to one line
+//! every `interval`. The caller owns the counters and the output stream;
+//! the reporter only decides *when* a line is due and how it reads, so it
+//! is trivially testable and never prints from library code paths.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Raw inputs for one heartbeat, snapshotted by the caller.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProgressSnapshot {
+    /// Cells finished so far (simulated + cache replays).
+    pub completed: u64,
+    /// Of those, cells replayed from the result cache.
+    pub cache_hits: u64,
+    /// Cells that panicked and were excluded.
+    pub failed: u64,
+    /// Sum of busy wall-clock nanoseconds across all workers.
+    pub busy_nanos: u64,
+    /// Worker thread count.
+    pub threads: u64,
+}
+
+/// Rate-limited formatter of sweep heartbeat lines.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    total: u64,
+    interval: Duration,
+    started: Instant,
+    last_beat: Mutex<Option<Instant>>,
+}
+
+impl ProgressReporter {
+    /// A reporter for a sweep of `total` cells, emitting at most one
+    /// heartbeat per `interval`. A zero interval disables heartbeats
+    /// entirely (the final summary line is still available).
+    #[must_use]
+    pub fn new(total: u64, interval: Duration) -> Self {
+        ProgressReporter {
+            total,
+            interval,
+            started: Instant::now(),
+            last_beat: Mutex::new(None),
+        }
+    }
+
+    /// Reads the heartbeat interval from `RAR_PROGRESS_SECS` (seconds;
+    /// `0` disables), defaulting to 5 s.
+    #[must_use]
+    pub fn from_env(total: u64) -> Self {
+        let secs = std::env::var("RAR_PROGRESS_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .unwrap_or(5.0);
+        ProgressReporter::new(total, Duration::from_secs_f64(secs))
+    }
+
+    /// The heartbeat line if one is due, `None` otherwise. Thread-safe:
+    /// concurrent callers race on an internal timestamp and at most one
+    /// wins per interval.
+    pub fn heartbeat(&self, snap: &ProgressSnapshot) -> Option<String> {
+        if self.interval.is_zero() {
+            return None;
+        }
+        let now = Instant::now();
+        {
+            let mut last = self.last_beat.lock().expect("heartbeat lock");
+            let due = last.is_none_or(|t| now.duration_since(t) >= self.interval);
+            if !due {
+                return None;
+            }
+            *last = Some(now);
+        }
+        Some(self.line(snap))
+    }
+
+    /// The summary line for the end of a sweep (not rate-limited).
+    #[must_use]
+    pub fn final_line(&self, snap: &ProgressSnapshot) -> String {
+        self.line(snap)
+    }
+
+    fn line(&self, snap: &ProgressSnapshot) -> String {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            snap.completed as f64 * 100.0 / self.total as f64
+        };
+        let hit_rate = if snap.completed == 0 {
+            0.0
+        } else {
+            snap.cache_hits as f64 * 100.0 / snap.completed as f64
+        };
+        let rate = if elapsed > 0.0 {
+            snap.completed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(snap.completed);
+        let eta = if rate > 0.0 {
+            remaining as f64 / rate
+        } else {
+            0.0
+        };
+        let util = if elapsed > 0.0 && snap.threads > 0 {
+            (snap.busy_nanos as f64 / 1e9 / elapsed).min(snap.threads as f64)
+        } else {
+            0.0
+        };
+        let failed = if snap.failed > 0 {
+            format!(" | {} FAILED", snap.failed)
+        } else {
+            String::new()
+        };
+        format!(
+            "[rar-sim] {}/{} ({pct:.0}%) | cache {hit_rate:.0}% | {rate:.1} runs/s | \
+             eta {eta:.0}s | util {util:.1}/{} threads{failed}",
+            snap.completed, self.total, snap.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(completed: u64, cache_hits: u64) -> ProgressSnapshot {
+        ProgressSnapshot {
+            completed,
+            cache_hits,
+            failed: 0,
+            busy_nanos: 0,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn zero_interval_disables_heartbeats() {
+        let p = ProgressReporter::new(10, Duration::ZERO);
+        assert!(p.heartbeat(&snap(5, 0)).is_none());
+        // The final line still renders.
+        assert!(p.final_line(&snap(10, 0)).contains("10/10"));
+    }
+
+    #[test]
+    fn first_heartbeat_fires_immediately_then_rate_limits() {
+        let p = ProgressReporter::new(10, Duration::from_secs(3600));
+        assert!(p.heartbeat(&snap(1, 0)).is_some());
+        assert!(p.heartbeat(&snap(2, 0)).is_none(), "inside the interval");
+    }
+
+    #[test]
+    fn line_is_robust_to_zero_everything() {
+        let p = ProgressReporter::new(0, Duration::from_secs(1));
+        let line = p.final_line(&ProgressSnapshot::default());
+        assert!(line.contains("0/0 (100%)"), "{line}");
+        assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn line_reports_cache_rate_and_failures() {
+        let p = ProgressReporter::new(100, Duration::from_secs(1));
+        let line = p.final_line(&ProgressSnapshot {
+            completed: 50,
+            cache_hits: 25,
+            failed: 2,
+            busy_nanos: 0,
+            threads: 8,
+        });
+        assert!(line.contains("50/100 (50%)"), "{line}");
+        assert!(line.contains("cache 50%"), "{line}");
+        assert!(line.contains("2 FAILED"), "{line}");
+    }
+}

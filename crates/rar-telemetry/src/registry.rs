@@ -1,0 +1,349 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! histograms behind cheap atomic handles.
+//!
+//! Registration takes a short-lived lock on the name table; after that,
+//! every update is a single relaxed atomic operation on an `Arc`-shared
+//! cell, so instrumented hot paths never contend on the registry itself.
+//! Re-registering a name returns a handle to the *same* cell, which makes
+//! instrumentation sites independent of initialization order.
+//!
+//! Exports are deterministic: [`MetricsRegistry::snapshot`] walks the
+//! name table in sorted (BTreeMap) order, so JSON and Prometheus text
+//! renderings of one registry state are byte-stable regardless of
+//! registration order or thread count.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of finite histogram buckets; bucket `i` covers values
+/// `v <= 2^i`, and one extra overflow bucket catches the rest.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. Counters only ever grow; there is no decrement or reset,
+    /// which is what makes the exported value monotone under concurrency.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge (stored as `f64` bits).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge. Non-finite values are clamped to `0.0` so exports
+    /// never contain `NaN`/`inf` (JSON has no spelling for them).
+    pub fn set(&self, value: f64) {
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A histogram of `u64` observations in power-of-two buckets.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Cheap cloneable handle to a registered histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// Index of the first bucket whose upper bound (`2^i`) holds `v`, or
+/// `HISTOGRAM_BUCKETS` for the overflow bucket.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    // First i with v <= 2^i, i.e. ceil(log2 v).
+    let i = 64 - (v - 1).leading_zeros() as usize;
+    i.min(HISTOGRAM_BUCKETS)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let core = &self.0;
+        let idx = bucket_index(v);
+        if idx < HISTOGRAM_BUCKETS {
+            core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            core.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let core = &self.0;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| core.buckets[i].load(Ordering::Relaxed)),
+            overflow: core.overflow.load(Ordering::Relaxed),
+            count: core.count.load(Ordering::Relaxed),
+            sum: core.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram (non-cumulative buckets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` counts observations `v` with `prev < v <= 2^i`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Observations above the last finite bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Point-in-time value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(f64),
+    /// Histogram state (boxed: a snapshot carries 64 bucket slots).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics with deterministic, sorted export order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. Panics if `name` is already registered as a different kind —
+    /// that is an instrumentation bug, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("registry lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// The gauge registered under `name` (see [`MetricsRegistry::counter`]
+    /// for the registration rules).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("registry lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// The histogram registered under `name` (see
+    /// [`MetricsRegistry::counter`] for the registration rules).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("registry lock");
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric '{name}' already registered with a different kind"),
+        }
+    }
+
+    /// Point-in-time values of every registered metric, sorted by name.
+    /// Both exporters consume exactly this list, so they can never
+    /// disagree about which metrics exist.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        let map = self.inner.lock().expect("registry lock");
+        map.iter()
+            .map(|(name, m)| {
+                let value = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").len()
+    }
+
+    /// Whether no metric is registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reregistration_shares_the_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("cells_total");
+        let b = reg.counter("cells_total");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn gauges_clamp_non_finite_values() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("utilization");
+        g.set(0.75);
+        assert!((g.get() - 0.75).abs() < 1e-12);
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_are_powers_of_two() {
+        // v <= 2^i lands in bucket i (first matching bound).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("nanos");
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        let snap = match &reg.snapshot()[0].1 {
+            MetricValue::Histogram(s) => s.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(snap.buckets[0], 2); // 0, 1
+        assert_eq!(snap.buckets[1], 1); // 2
+        assert_eq!(snap.buckets[2], 1); // 3
+        assert_eq!(snap.buckets[10], 1); // 1000 <= 1024
+        assert_eq!(snap.overflow, 0);
+        assert_eq!(snap.buckets.iter().sum::<u64>() + snap.overflow, snap.count);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zebra");
+        reg.gauge("alpha");
+        reg.histogram("mid");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zebra"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflicts_are_instrumentation_bugs() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("shared");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

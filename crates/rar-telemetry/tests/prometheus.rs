@@ -1,0 +1,136 @@
+//! Prometheus text-format conformance tests: name/label escaping,
+//! histogram bucket monotonicity and the mandatory `+Inf` bucket, and
+//! counter monotonicity under concurrent increments.
+
+use rar_telemetry::export::{labeled, to_json, to_prometheus};
+use rar_telemetry::MetricsRegistry;
+
+/// Parses `name value` sample lines (skipping `# TYPE` comments).
+fn samples(text: &str) -> Vec<(String, f64)> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let (name, value) = l.rsplit_once(' ').expect("sample line");
+            (name.to_owned(), value.parse().expect("numeric sample"))
+        })
+        .collect()
+}
+
+#[test]
+fn invalid_metric_names_are_sanitized_in_the_output() {
+    let reg = MetricsRegistry::new();
+    reg.counter("cache hit-rate.9").add(1);
+    let text = to_prometheus(&reg);
+    assert!(text.contains("# TYPE cache_hit_rate_9 counter"), "{text}");
+    assert!(text.contains("cache_hit_rate_9 1"), "{text}");
+}
+
+#[test]
+fn label_values_are_escaped_per_the_exposition_format() {
+    let reg = MetricsRegistry::new();
+    reg.counter(&labeled("runs_total", &[("workload", "m\"c\\f\nx")]))
+        .add(2);
+    let text = to_prometheus(&reg);
+    // Backslash, quote and newline all escaped; one sample line only.
+    assert!(
+        text.contains("runs_total{workload=\"m\\\"c\\\\f\\nx\"} 2"),
+        "{text}"
+    );
+    assert_eq!(
+        text.lines().filter(|l| l.contains("runs_total{")).count(),
+        1
+    );
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_monotone_and_end_at_inf() {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("cell_nanos");
+    for v in [1u64, 2, 2, 3, 900, 1_000_000, u64::MAX] {
+        h.observe(v);
+    }
+    let text = to_prometheus(&reg);
+    let buckets: Vec<(String, f64)> = samples(&text)
+        .into_iter()
+        .filter(|(n, _)| n.starts_with("cell_nanos_bucket"))
+        .collect();
+    assert!(buckets.len() >= 2, "{text}");
+    // Monotone non-decreasing cumulative counts, in emission order.
+    for pair in buckets.windows(2) {
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "non-monotone buckets: {pair:?}\n{text}"
+        );
+    }
+    // The +Inf bucket is last and equals the total count (observations
+    // above the largest finite bound only appear there).
+    let (last_name, last_value) = buckets.last().unwrap();
+    assert!(last_name.contains("le=\"+Inf\""), "{last_name}");
+    assert_eq!(*last_value, 7.0);
+    let count = samples(&text)
+        .into_iter()
+        .find(|(n, _)| n == "cell_nanos_count")
+        .unwrap()
+        .1;
+    assert_eq!(count, 7.0);
+    let sum = samples(&text)
+        .into_iter()
+        .find(|(n, _)| n == "cell_nanos_sum")
+        .unwrap()
+        .1;
+    assert!(sum > 0.0);
+}
+
+#[test]
+fn counters_stay_monotone_under_concurrent_increments() {
+    let reg = MetricsRegistry::new();
+    let c = reg.counter("concurrent_total");
+    let exports = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let c = c.clone();
+            s.spawn(move || {
+                for _ in 0..5_000 {
+                    c.inc();
+                }
+            });
+        }
+        // A reader thread exporting concurrently must observe a
+        // non-decreasing sequence of values.
+        s.spawn(|| {
+            for _ in 0..50 {
+                let text = to_prometheus(&reg);
+                let v = samples(&text)
+                    .into_iter()
+                    .find(|(n, _)| n == "concurrent_total")
+                    .unwrap()
+                    .1;
+                exports.lock().unwrap().push(v);
+            }
+        });
+    });
+    let seen = exports.into_inner().unwrap();
+    assert!(seen.windows(2).all(|w| w[1] >= w[0]), "{seen:?}");
+    assert_eq!(c.get(), 20_000);
+}
+
+#[test]
+fn both_exporters_cover_the_same_metric_set() {
+    let reg = MetricsRegistry::new();
+    for name in rar_telemetry::names::ALL {
+        // Register each canonical name with its natural kind.
+        if name.ends_with("_total") {
+            reg.counter(name);
+        } else if name.ends_with("_nanos") {
+            reg.histogram(name);
+        } else {
+            reg.gauge(name);
+        }
+    }
+    let json = to_json(&reg);
+    let prom = to_prometheus(&reg);
+    for name in rar_telemetry::names::ALL {
+        assert!(json.contains(name), "{name} missing from JSON export");
+        assert!(prom.contains(name), "{name} missing from Prometheus export");
+    }
+}

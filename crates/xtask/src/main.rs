@@ -11,6 +11,12 @@
 //!    never reported — or declared but never tallied — has happened.)
 //! 3. **trace-coverage** — every `TraceEvent` variant has a `kind()` tag
 //!    and is handled by at least one exporter (chrome/konata/csv/jsonv).
+//! 4. **metric-coverage** — every canonical metric name declared in
+//!    `rar-telemetry`'s `names.rs` is actually registered by the sweep
+//!    engine, both telemetry exporters (JSON and Prometheus) handle every
+//!    metric kind — so a registered metric can never appear in one format
+//!    and not the other — and every `CoreStats`/`MemStats` field is
+//!    published into the registry by its `record_into`.
 //!
 //! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
 //! can gate on it.
@@ -210,6 +216,67 @@ fn lint_trace_coverage(lint: &mut Lint) {
     }
 }
 
+/// Lint 4: the telemetry registry, its canonical names, and both
+/// exporters stay consistent.
+fn lint_metric_coverage(lint: &mut Lint) {
+    println!("metric-coverage");
+    let names_src = read("crates/rar-telemetry/src/names.rs");
+    let mut metrics = Vec::new();
+    for line in names_src.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("pub const ") {
+            if let Some((ident, tail)) = rest.split_once(':') {
+                if let Some(value) = tail.split('"').nth(1) {
+                    metrics.push((ident.trim().to_owned(), value.to_owned()));
+                }
+            }
+        }
+    }
+    lint.check(
+        "metric-coverage",
+        metrics.len() >= 12,
+        format!("{} canonical metric names declared", metrics.len()),
+    );
+    // Every declared name must be registered by the sweep engine — a
+    // declared-but-unregistered metric silently vanishes from manifests
+    // and dashboards.
+    let sim_src = crate_sources("crates/rar-sim/src");
+    for (ident, _) in &metrics {
+        lint.check(
+            "metric-coverage",
+            sim_src.contains(&format!("names::{ident}")),
+            format!("names::{ident} is registered by rar-sim"),
+        );
+    }
+    // Both exporters walk the same sorted registry snapshot, so "appears
+    // in both formats" reduces to: each exporter handles every metric
+    // kind. Each MetricValue variant must therefore be matched at least
+    // twice in export.rs (once per exporter).
+    let export_src = read("crates/rar-telemetry/src/export.rs");
+    for kind in ["Counter", "Gauge", "Histogram"] {
+        let uses = export_src.matches(&format!("MetricValue::{kind}")).count();
+        lint.check(
+            "metric-coverage",
+            uses >= 2,
+            format!("MetricValue::{kind} is handled by both exporters ({uses} match arms)"),
+        );
+    }
+    // Every guest-side stat field must be published into the registry.
+    for (name, decl) in [
+        ("CoreStats", "crates/rar-core/src/stats.rs"),
+        ("MemStats", "crates/rar-mem/src/stats.rs"),
+    ] {
+        let src = read(decl);
+        for f in struct_fields(&src, name) {
+            lint.check(
+                "metric-coverage",
+                src.contains(&format!("(\"{f}\", self.{f})")),
+                format!("{name}.{f} is published by record_into"),
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -218,6 +285,7 @@ fn main() -> ExitCode {
             lint_structure_bits(&mut lint);
             lint_stat_coverage(&mut lint);
             lint_trace_coverage(&mut lint);
+            lint_metric_coverage(&mut lint);
             if lint.failures.is_empty() {
                 println!("xtask lint: all checks passed");
                 ExitCode::SUCCESS
@@ -258,6 +326,7 @@ mod tests {
         lint_structure_bits(&mut lint);
         lint_stat_coverage(&mut lint);
         lint_trace_coverage(&mut lint);
+        lint_metric_coverage(&mut lint);
         assert!(lint.failures.is_empty(), "{:?}", lint.failures);
     }
 }
