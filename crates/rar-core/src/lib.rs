@@ -44,6 +44,7 @@
 
 pub mod config;
 pub mod fu;
+pub mod inject;
 pub mod pipeline;
 pub mod regfile;
 pub mod rob;
@@ -53,7 +54,11 @@ pub mod stats;
 pub mod technique;
 
 pub use config::{exec_latency, CoreConfig, FuConfig};
-pub use pipeline::{Core, PipelineSnapshot};
+pub use inject::{
+    FaultInjector, FaultLanding, FaultReport, FaultTarget, PlannedFault, SiteSampler,
+    XorShift64Star,
+};
+pub use pipeline::{Core, PipelineSnapshot, RunVerdict};
 pub use rar_trace::{NullSink, RingSink, TraceEvent, TraceSink};
 pub use stats::CoreStats;
 pub use technique::{RunaheadFeatures, Technique};

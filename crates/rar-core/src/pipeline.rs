@@ -24,7 +24,8 @@
 
 use crate::config::{exec_latency, CoreConfig};
 use crate::fu::FuPool;
-use crate::regfile::{PhysRegFile, Rat};
+use crate::inject::{FaultLanding, FaultReport, FaultTarget, PlannedFault};
+use crate::regfile::{PhysReg, PhysRegFile, Rat};
 use crate::rob::{Entry, Rob};
 use crate::runahead::{InvTracker, Mode, RaState};
 use crate::sst::{Prdq, Sst};
@@ -145,6 +146,22 @@ pub struct Core<S, T: TraceSink = NullSink> {
     sample_every: u64,
     /// Reused scratch buffer for draining the memory hierarchy's event log.
     mem_scratch: Vec<TraceEvent>,
+
+    /// Armed single-bit fault, applied when `now` reaches its cycle.
+    fault: Option<PlannedFault>,
+    /// Observed effects of the armed fault.
+    fault_report: FaultReport,
+    /// Poison propagation is live (a fault has been armed this run).
+    fault_active: bool,
+    /// Per-physical-register poison flags (all false outside injection
+    /// runs; never read unless `fault_active`).
+    poisoned_regs: Vec<bool>,
+    /// Injected address corruption: `(seq, xor)` applied to that load's
+    /// issue access / that store's commit drain.
+    fault_addr_xor: Option<(u64, u64)>,
+    /// Running hash over architecturally observable commits; equal
+    /// digests mean architecturally identical executions.
+    digest: u64,
 }
 
 impl<S: UopSource> Core<S> {
@@ -185,6 +202,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         let rat = Rat::new(&mut prf);
         let arch_rat = rat.clone();
         let reg_ready = vec![0u64; prf.total()];
+        let poisoned_regs = vec![false; prf.total()];
         Core {
             rob: Rob::new(cfg.rob_size),
             rat,
@@ -220,6 +238,12 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             sink,
             sample_every: 0,
             mem_scratch: Vec::new(),
+            fault: None,
+            fault_report: FaultReport::default(),
+            fault_active: false,
+            poisoned_regs,
+            fault_addr_xor: None,
+            digest: 0xcbf2_9ce4_8422_2325,
             mem,
             bp: BranchPredictor::tage_sc_l_8kb(),
             ace: AceCounter::new(),
@@ -289,6 +313,14 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
     #[must_use]
     pub fn ace(&self) -> &AceCounter {
         &self.ace
+    }
+
+    /// Absolute cycle count since construction (never reset; warm-up
+    /// included). Fault-injection campaigns plan strike cycles against
+    /// this clock.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
     }
 
     /// Installs a static dead-value refinement (from
@@ -364,10 +396,43 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         }
     }
 
+    /// Runs until `n` instructions have been committed since the last
+    /// measurement reset, bounded by a cycle budget and an optional
+    /// wall-clock deadline. Unlike [`Core::run_until_committed`] a wedged
+    /// simulation returns a verdict instead of panicking — fault-injection
+    /// campaigns and sweep watchdogs classify the exhausted budget as a
+    /// hang (DUE) or a timeout.
+    pub fn run_budgeted(
+        &mut self,
+        n: u64,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> RunVerdict {
+        let start_cycles = self.stats.cycles;
+        let mut tick = 0u32;
+        while self.stats.committed < n {
+            self.cycle();
+            if self.stats.cycles - start_cycles >= max_cycles {
+                return RunVerdict::CycleBudget;
+            }
+            tick += 1;
+            if tick >= 4096 {
+                tick = 0;
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return RunVerdict::Deadline;
+                }
+            }
+        }
+        RunVerdict::Completed
+    }
+
     /// Advances the core by one cycle.
     pub fn cycle(&mut self) {
         self.now += 1;
         self.stats.cycles += 1;
+        if self.fault.is_some_and(|f| f.cycle <= self.now) {
+            self.apply_fault();
+        }
 
         // Runahead exit is checked before commit: when the blocking load's
         // data returns, flush variants squash it along with the rest of
@@ -538,6 +603,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             }
             let e = self.rob.pop_head().expect("head exists");
             self.record_ace_commit(&e);
+            self.update_commit_digest(&e);
             if T::ENABLED {
                 self.sink.emit(TraceEvent::UopRetired {
                     seq: e.seq,
@@ -555,7 +621,11 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             }
             if let Some(old) = e.old_phys {
                 self.prf.free(old);
-                self.reg_ready[old.flat(self.prf.int_regs())] = 0;
+                let flat = old.flat(self.prf.int_regs());
+                self.reg_ready[flat] = 0;
+                if self.fault_active {
+                    self.poisoned_regs[flat] = false;
+                }
             }
             if e.uop.is_load() {
                 self.lq_count -= 1;
@@ -564,9 +634,10 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 self.sq_count -= 1;
                 // The store drains to the cache at commit.
                 if let Some(m) = e.uop.mem() {
+                    let addr = self.effective_addr(e.seq, m.addr);
                     let _ = self
                         .mem
-                        .access(AccessKind::Store, m.addr, e.uop.pc(), self.now);
+                        .access(AccessKind::Store, addr, e.uop.pc(), self.now);
                 }
             }
             if e.in_iq {
@@ -811,7 +882,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             let complete_at = match kind {
                 UopKind::Load => {
                     let m = uop.mem().expect("loads carry an address");
-                    match self.mem.access(AccessKind::Load, m.addr, uop.pc(), now + 1) {
+                    let addr = self.effective_addr(seq, m.addr);
+                    match self.mem.access(AccessKind::Load, addr, uop.pc(), now + 1) {
                         Ok(out) => {
                             let entry = self.rob.get_mut(seq).expect("entry resident");
                             entry.mem_level = Some(out.level);
@@ -819,7 +891,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                                 self.active_misses.push(out.complete_at);
                                 llc_miss_loads.push(seq);
                             }
-                            self.last_load_line = cache_line(m.addr);
+                            self.last_load_line = cache_line(addr);
                             out.complete_at
                         }
                         Err(MemStall::MshrFull) => continue, // retry next cycle
@@ -838,6 +910,23 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             e.complete_at = Some(complete_at);
             e.in_iq = false;
             e.fu_latency = exec_latency(kind);
+            if self.fault_active {
+                // Poison propagation along true dependences: a consumed
+                // poisoned source faults the entry, and a faulted entry's
+                // destination value is poisoned in turn.
+                if e.src_phys_cache
+                    .iter()
+                    .flatten()
+                    .any(|p| self.poisoned_regs[p.flat(int_regs)])
+                {
+                    e.faulted = true;
+                }
+                if e.faulted {
+                    if let Some(p) = e.dest_phys {
+                        self.poisoned_regs[p.flat(int_regs)] = true;
+                    }
+                }
+            }
             self.iq_count -= 1;
             budget -= 1;
             issued.push(seq);
@@ -1006,6 +1095,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 src_phys_cache: src_phys,
                 wrong_path: false,
                 fu_latency: 1,
+                faulted: false,
             };
             if entry.uop.is_load() {
                 self.lq_count += 1;
@@ -1111,6 +1201,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 src_phys_cache: src_phys,
                 wrong_path: true,
                 fu_latency: 1,
+                faulted: false,
             });
             self.iq_count += 1;
             self.stats.dispatched += 1;
@@ -1146,11 +1237,15 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         }
         let int_regs = self.prf.int_regs();
         for e in squashed.iter().rev() {
+            self.note_squashed_entry(e);
             if let (Some(dest), Some(fresh), Some(old)) = (e.uop.dest(), e.dest_phys, e.old_phys) {
                 let current = self.rat.rename(dest, old);
                 debug_assert_eq!(current, fresh, "RAT rollback out of order");
                 self.prf.free(fresh);
                 self.reg_ready[fresh.flat(int_regs)] = 0;
+                if self.fault_active {
+                    self.poisoned_regs[fresh.flat(int_regs)] = false;
+                }
             }
             if e.in_iq {
                 self.iq_count -= 1;
@@ -1518,15 +1613,18 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         self.stats.flushes += 1;
         let squashed = self.rob.len();
         self.stats.squashed += squashed as u64;
-        if T::ENABLED {
+        if T::ENABLED || self.fault_active {
             let drained: Vec<Entry> = self.rob.drain_all().collect();
             for e in &drained {
-                self.sink.emit(TraceEvent::UopSquashed {
-                    seq: e.seq,
-                    pc: e.uop.pc(),
-                    dispatch: e.dispatch_cycle,
-                    cycle: self.now,
-                });
+                if T::ENABLED {
+                    self.sink.emit(TraceEvent::UopSquashed {
+                        seq: e.seq,
+                        pc: e.uop.pc(),
+                        dispatch: e.dispatch_cycle,
+                        cycle: self.now,
+                    });
+                }
+                self.note_squashed_entry(e);
             }
         } else {
             let _ = self.rob.drain_all().count();
@@ -1534,6 +1632,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         self.rat = self.arch_rat.clone();
         self.prf.reset_free_except(&self.arch_rat.live_regs());
         self.reg_ready.fill(0);
+        self.retain_poison(None);
         self.arch_last_writer = [None; ArchReg::total_count()];
         self.iq_count = 0;
         self.lq_count = 0;
@@ -1555,8 +1654,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         let head_seq = self.rob.head().expect("blocking head exists").seq;
         let squashed = self.rob.drain_after(head_seq);
         self.stats.squashed += squashed.len() as u64;
-        if T::ENABLED {
-            for e in &squashed {
+        for e in &squashed {
+            if T::ENABLED {
                 self.sink.emit(TraceEvent::UopSquashed {
                     seq: e.seq,
                     pc: e.uop.pc(),
@@ -1564,6 +1663,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                     cycle: self.now,
                 });
             }
+            self.note_squashed_entry(e);
         }
         // Roll rename state back to the architectural RAT plus the head's
         // own mapping.
@@ -1578,6 +1678,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         }
         self.prf.reset_free_except(&live);
         self.reg_ready.fill(0);
+        self.retain_poison(head_dest.map(|(_, phys)| phys));
         if let Some((_, phys)) = head_dest {
             self.reg_ready[phys.flat(self.prf.int_regs())] = head_complete.unwrap_or(0);
         }
@@ -1595,6 +1696,303 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         self.next_seq = head_seq + 1;
         self.fetch_stall_until = head_complete_at + self.cfg.frontend_depth;
         self.last_ifetch_line = u64::MAX;
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Arms a single-bit fault; it strikes when `now` reaches its cycle.
+    /// Only one fault per run is supported (single-event-upset model).
+    pub fn arm_fault(&mut self, fault: PlannedFault) {
+        self.fault = Some(fault);
+        self.fault_active = true;
+    }
+
+    /// What the core observed of the armed fault so far.
+    #[must_use]
+    pub fn fault_report(&self) -> &FaultReport {
+        &self.fault_report
+    }
+
+    /// Running hash over architecturally observable commits (sequence,
+    /// kind, pc, effective memory address, branch outcome, plus poison
+    /// markers). Two runs with equal digests executed architecturally
+    /// identically.
+    #[must_use]
+    pub fn commit_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Poisoned physical registers still live (latent faults: corrupted
+    /// architectural state that has not reached an observable point).
+    #[must_use]
+    pub fn latent_poison(&self) -> u64 {
+        self.poisoned_regs.iter().filter(|&&p| p).count() as u64
+    }
+
+    fn digest_mix(&mut self, w: u64) {
+        let mut z = self.digest ^ w;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.digest = z ^ (z >> 31);
+    }
+
+    fn update_commit_digest(&mut self, e: &Entry) {
+        let mut w = e.seq ^ (e.uop.kind() as u64).rotate_left(17) ^ e.uop.pc().rotate_left(32);
+        if let Some(m) = e.uop.mem() {
+            w ^= self.effective_addr(e.seq, m.addr).rotate_left(8);
+        }
+        if let Some(b) = e.uop.branch_info() {
+            w ^= (u64::from(b.taken) << 1) ^ b.target.rotate_left(40);
+        }
+        if e.faulted {
+            self.fault_report.corrupt_commits += 1;
+            // Only observable corruption perturbs the digest: a wrong
+            // load/store address, wrong store data, or a wrong branch
+            // condition. A faulted ALU result stays latent until (unless)
+            // a dependent observable op consumes it.
+            if e.uop.is_load() || e.uop.is_store() || e.uop.is_branch() {
+                w ^= 0x5bf0_3635_ded5_3e21u64.rotate_left((e.seq % 63) as u32);
+            }
+        }
+        self.digest_mix(w);
+    }
+
+    /// The effective memory address of `seq`, with the injected address
+    /// corruption applied when this is the faulted load/store.
+    fn effective_addr(&self, seq: u64, addr: u64) -> u64 {
+        match self.fault_addr_xor {
+            Some((s, x)) if s == seq => addr ^ x,
+            _ => addr,
+        }
+    }
+
+    /// Squash bookkeeping: a squashed faulted entry is architecturally
+    /// erased (this is RAR's reliability mechanism observed directly).
+    fn note_squashed_entry(&mut self, e: &Entry) {
+        if e.faulted {
+            self.fault_report.squashed_faulty += 1;
+            if self.fault_addr_xor.is_some_and(|(s, _)| s == e.seq) {
+                // The corrupted load/store died before its address was
+                // consumed; the refetched instance is clean.
+                self.fault_addr_xor = None;
+            }
+        }
+    }
+
+    /// After a flush rebuilt the free lists, poison survives only on
+    /// registers still live in the architectural RAT (plus `extra`, the
+    /// retained head's destination for FLUSH): committed corrupt values
+    /// persist, speculative ones are erased.
+    fn retain_poison(&mut self, extra: Option<PhysReg>) {
+        if !self.fault_active {
+            return;
+        }
+        let int_regs = self.prf.int_regs();
+        let mut live = vec![false; self.poisoned_regs.len()];
+        for r in self.arch_rat.live_regs() {
+            live[r.flat(int_regs)] = true;
+        }
+        if let Some(p) = extra {
+            live[p.flat(int_regs)] = true;
+        }
+        for (p, l) in self.poisoned_regs.iter_mut().zip(live) {
+            *p &= l;
+        }
+    }
+
+    fn apply_fault(&mut self) {
+        let Some(f) = self.fault.take() else { return };
+        let landing = self.strike(f);
+        self.fault_report.landing = Some(landing);
+    }
+
+    /// Applies the strike to live state. Entry indices address the full
+    /// structure, so strikes into unoccupied slots land [`Vacant`] — the
+    /// measured vulnerability therefore tracks occupancy exactly like AVF
+    /// does (this is what makes the two comparable).
+    ///
+    /// [`Vacant`]: FaultLanding::Vacant
+    fn strike(&mut self, f: PlannedFault) -> FaultLanding {
+        match f.target {
+            FaultTarget::Rob => {
+                let idx = f.entry as usize;
+                let seq = self.rob.iter().nth(idx).map(|e| e.seq);
+                match seq {
+                    Some(seq) => self.strike_rob(seq, f.bit),
+                    None => FaultLanding::Vacant,
+                }
+            }
+            FaultTarget::Iq => {
+                let idx = f.entry as usize;
+                let seq = self.rob.iter().filter(|e| e.in_iq).nth(idx).map(|e| e.seq);
+                match seq {
+                    Some(seq) => {
+                        let e = self.rob.get_mut(seq).expect("selected resident");
+                        if f.bit < 2 {
+                            // Lost valid bit: the op silently leaves the
+                            // scheduler and never issues — the ROB head
+                            // eventually wedges (DUE) unless a squash or
+                            // RAR's flush erases the entry first.
+                            e.in_iq = false;
+                            self.iq_count -= 1;
+                            FaultLanding::Control
+                        } else {
+                            e.faulted = true;
+                            FaultLanding::Payload
+                        }
+                    }
+                    None => FaultLanding::Vacant,
+                }
+            }
+            FaultTarget::Lq => self.strike_queue(f, true),
+            FaultTarget::Sq => self.strike_queue(f, false),
+            FaultTarget::RfInt => self.strike_rf(RegClass::Int, f.entry),
+            FaultTarget::RfFp => self.strike_rf(RegClass::Fp, f.entry),
+            FaultTarget::Fu => {
+                let now = self.now;
+                let idx = f.entry as usize;
+                let seq = self
+                    .rob
+                    .iter()
+                    .filter(|e| e.exec_start.is_some() && !e.completed(now))
+                    .nth(idx)
+                    .map(|e| e.seq);
+                match seq {
+                    Some(seq) => {
+                        let int_regs = self.prf.int_regs();
+                        let e = self.rob.get_mut(seq).expect("selected resident");
+                        e.faulted = true;
+                        if let Some(p) = e.dest_phys {
+                            self.poisoned_regs[p.flat(int_regs)] = true;
+                        }
+                        FaultLanding::Payload
+                    }
+                    None => FaultLanding::Vacant,
+                }
+            }
+            FaultTarget::Sst => {
+                if self.sst.corrupt_entry(f.entry as usize, f.bit) {
+                    FaultLanding::Control
+                } else {
+                    FaultLanding::Vacant
+                }
+            }
+            FaultTarget::CacheTag => {
+                if self.mem.corrupt_l1d_way(f.entry as usize, f.bit) {
+                    FaultLanding::Control
+                } else {
+                    FaultLanding::Vacant
+                }
+            }
+            FaultTarget::Mshr => {
+                if self.mem.corrupt_mshr(f.entry as usize, f.bit) {
+                    FaultLanding::Control
+                } else {
+                    FaultLanding::Vacant
+                }
+            }
+        }
+    }
+
+    fn strike_rob(&mut self, seq: u64, bit: u64) -> FaultLanding {
+        let int_regs = self.prf.int_regs();
+        let e = self.rob.get_mut(seq).expect("selected resident");
+        match bit {
+            0 => {
+                e.mispredicted = !e.mispredicted;
+                FaultLanding::Control
+            }
+            1 if e.in_iq => {
+                // Lost scheduler valid bit (see the IQ strike).
+                e.in_iq = false;
+                self.iq_count -= 1;
+                FaultLanding::Control
+            }
+            2..=7 if e.complete_at.is_some() && !e.completed(self.now) => {
+                // Completion-time corruption: low flipped bits jitter the
+                // wakeup (timing), high ones push completion beyond the
+                // cycle budget (a hang the watchdog converts to DUE).
+                let c = e.complete_at.expect("checked above") ^ (1 << (4 + 4 * (bit - 2)));
+                e.complete_at = Some(c);
+                if let Some(p) = e.dest_phys {
+                    self.reg_ready[p.flat(int_regs)] = c;
+                }
+                FaultLanding::Control
+            }
+            _ => {
+                e.faulted = true;
+                let issued = e.issue_cycle.is_some();
+                if issued {
+                    if let Some(p) = e.dest_phys {
+                        self.poisoned_regs[p.flat(int_regs)] = true;
+                    }
+                }
+                FaultLanding::Payload
+            }
+        }
+    }
+
+    /// LQ (`loads == true`) / SQ strike: address bits arm an address
+    /// corruption consumed at issue (loads) or commit drain (stores);
+    /// higher bits poison the entry's payload.
+    fn strike_queue(&mut self, f: PlannedFault, loads: bool) -> FaultLanding {
+        let int_regs = self.prf.int_regs();
+        let idx = f.entry as usize;
+        let seq = self
+            .rob
+            .iter()
+            .filter(|e| {
+                if loads {
+                    e.uop.is_load()
+                } else {
+                    e.uop.is_store()
+                }
+            })
+            .nth(idx)
+            .map(|e| e.seq);
+        let Some(seq) = seq else {
+            return FaultLanding::Vacant;
+        };
+        let e = self.rob.get_mut(seq).expect("selected resident");
+        if f.bit < 48 {
+            if loads && e.issue_cycle.is_some() {
+                // The load already consumed its address CAM entry; the
+                // post-use bits are dead (ACE conservatively counts them,
+                // injection measures them masked — the expected gap).
+                return FaultLanding::Control;
+            }
+            e.faulted = true;
+            self.fault_addr_xor = Some((seq, 1 << (f.bit % 48)));
+            FaultLanding::Control
+        } else {
+            e.faulted = true;
+            if e.issue_cycle.is_some() {
+                if let Some(p) = e.dest_phys {
+                    self.poisoned_regs[p.flat(int_regs)] = true;
+                }
+            }
+            FaultLanding::Payload
+        }
+    }
+
+    fn strike_rf(&mut self, class: RegClass, entry: u64) -> FaultLanding {
+        let reg = PhysReg {
+            class,
+            index: entry as u16,
+        };
+        if self.prf.is_free(reg) {
+            return FaultLanding::Vacant;
+        }
+        let flat = reg.flat(self.prf.int_regs());
+        if self.reg_ready[flat] == u64::MAX {
+            // Allocated but never written: the flipped bit is overwritten
+            // at writeback before any consumer can read it.
+            return FaultLanding::Vacant;
+        }
+        self.poisoned_regs[flat] = true;
+        FaultLanding::Payload
     }
 
     // ------------------------------------------------------------------
@@ -1629,6 +2027,18 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             self.stats.mlp_cycles += 1;
         }
     }
+}
+
+/// How a budgeted run ([`Core::run_budgeted`]) ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// The requested instruction count committed within budget.
+    Completed,
+    /// The cycle budget was exhausted first — the machine is wedged or
+    /// pathologically slow (a fault-injection DUE / sweep timeout).
+    CycleBudget,
+    /// The wall-clock deadline passed first.
+    Deadline,
 }
 
 /// A point-in-time view of the pipeline (see [`Core::snapshot`]).

@@ -71,6 +71,17 @@ impl PhysRegFile {
         }
     }
 
+    /// Whether `reg` is currently on its free list (fault injection uses
+    /// this to classify strikes into unallocated registers as vacant).
+    #[must_use]
+    pub fn is_free(&self, reg: PhysReg) -> bool {
+        let list = match reg.class {
+            RegClass::Int => &self.free_int,
+            RegClass::Fp => &self.free_fp,
+        };
+        list.contains(&reg.index)
+    }
+
     /// Allocates a register of `class`, or `None` when the file is
     /// exhausted (rename must stall).
     pub fn alloc(&mut self, class: RegClass) -> Option<PhysReg> {

@@ -44,6 +44,10 @@ pub struct Entry {
     pub wrong_path: bool,
     /// Execution latency on the functional unit.
     pub fu_latency: u64,
+    /// Carries injected-fault poison: the entry's value or metadata was
+    /// struck, or it consumed a poisoned source (fault-injection runs
+    /// only; always `false` otherwise).
+    pub faulted: bool,
 }
 
 impl Entry {
@@ -194,6 +198,7 @@ mod tests {
             src_phys_cache: [None, None],
             wrong_path: false,
             fu_latency: 1,
+            faulted: false,
         }
     }
 

@@ -97,6 +97,20 @@ impl Sst {
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.lookups)
     }
+
+    /// Fault injection: flips bit `bit` of the `idx`-th resident PC tag.
+    /// Returns `false` when the addressed slot is vacant. The corrupted
+    /// tag changes future slice-membership decisions only — the SST is
+    /// pure prefetch metadata, so the architectural effect is timing.
+    pub fn corrupt_entry(&mut self, idx: usize, bit: u64) -> bool {
+        match self.entries.get_mut(idx) {
+            Some(e) => {
+                e.0 ^= 1 << (bit % 48);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// The precise register deallocation queue: a counter-semantics model of

@@ -1,0 +1,269 @@
+//! The campaign journal: one JSONL line per completed injection, fsynced
+//! in batches, tolerant of a torn tail on resume.
+//!
+//! The journal is the campaign's crash-consistency mechanism. Every
+//! classified injection appends one self-contained line recording the
+//! sample index `k`, the planned site, and the outcome; a resumed campaign
+//! replays completed lines into the tally and executes only the missing
+//! `k`s. Because the `k`-th site is a pure function of `(seed, k)` (see
+//! `rar_core::FaultInjector`), the journal never needs to checkpoint
+//! generator state — the set of completed `k`s IS the checkpoint.
+//!
+//! Durability is batched: lines are buffered and pushed to disk with
+//! `sync_data` every `fsync_every` records, bounding loss on a crash to
+//! one batch. A process killed mid-append can leave a torn (partial) final
+//! line; [`load_journal`] skips exactly that case, while corruption
+//! anywhere else in the file is reported as an error rather than silently
+//! dropped.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use rar_core::{FaultTarget, PlannedFault};
+
+use crate::outcome::Outcome;
+
+/// One completed injection, as journaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Sample index within the campaign.
+    pub k: u64,
+    /// The injected site.
+    pub fault: PlannedFault,
+    /// Classified outcome.
+    pub outcome: Outcome,
+}
+
+impl JournalRecord {
+    /// Renders the record as one JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        format!(
+            "{{\"k\":{},\"cycle\":{},\"target\":\"{}\",\"entry\":{},\"bit\":{},\"outcome\":\"{}\"}}",
+            self.k,
+            self.fault.cycle,
+            self.fault.target.name(),
+            self.fault.entry,
+            self.fault.bit,
+            self.outcome.name()
+        )
+    }
+
+    /// Parses one journal line; `None` on any malformation (the caller
+    /// decides whether that is a tolerable torn tail or corruption).
+    #[must_use]
+    pub fn parse_line(line: &str) -> Option<JournalRecord> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        Some(JournalRecord {
+            k: field(line, "k")?.parse().ok()?,
+            fault: PlannedFault {
+                cycle: field(line, "cycle")?.parse().ok()?,
+                target: FaultTarget::parse(field(line, "target")?)?,
+                entry: field(line, "entry")?.parse().ok()?,
+                bit: field(line, "bit")?.parse().ok()?,
+            },
+            outcome: Outcome::parse(field(line, "outcome")?)?,
+        })
+    }
+}
+
+/// Extracts the raw value of `"key":` from a flat one-line JSON object,
+/// with surrounding quotes stripped. Sufficient for the journal's own
+/// fixed schema; not a general JSON parser.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Append-only journal writer with batched `sync_data`.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    buf: Vec<u8>,
+    pending: usize,
+    fsync_every: usize,
+}
+
+impl JournalWriter {
+    /// Opens (creating or appending to) the journal at `path`.
+    pub fn open(path: &Path, fsync_every: usize) -> io::Result<JournalWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            buf: Vec::new(),
+            pending: 0,
+            fsync_every: fsync_every.max(1),
+        })
+    }
+
+    /// Appends one record; returns `true` when this append flushed a batch
+    /// to stable storage.
+    pub fn append(&mut self, rec: &JournalRecord) -> io::Result<bool> {
+        self.buf.extend_from_slice(rec.to_line().as_bytes());
+        self.buf.push(b'\n');
+        self.pending += 1;
+        if self.pending >= self.fsync_every {
+            self.sync()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Writes any buffered lines and pushes them to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        if self.pending > 0 {
+            self.file.sync_data()?;
+            self.pending = 0;
+        }
+        Ok(())
+    }
+}
+
+/// Loads every intact record from a journal file.
+///
+/// A missing file is an empty campaign (fresh start). A malformed *final*
+/// line is a torn append from a crash and is skipped; a malformed line
+/// anywhere else is corruption and returns `InvalidData` — resuming over
+/// silently dropped completions would double-count on the next run.
+pub fn load_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match JournalRecord::parse_line(line) {
+            Some(rec) => out.push(rec),
+            None if i + 1 == lines.len() => break,
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt journal line {}: {line}", i + 1),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_journal(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "rar-inject-journal-{tag}-{}-{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn record(k: u64) -> JournalRecord {
+        JournalRecord {
+            k,
+            fault: PlannedFault {
+                cycle: 100 + k,
+                target: FaultTarget::ALL[(k % 10) as usize],
+                entry: k % 7,
+                bit: k % 5,
+            },
+            outcome: match k % 4 {
+                0 => Outcome::Masked,
+                1 => Outcome::Sdc,
+                2 => Outcome::DueHang,
+                _ => Outcome::Vacant,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_lines() {
+        for k in 0..40 {
+            let r = record(k);
+            assert_eq!(JournalRecord::parse_line(&r.to_line()), Some(r));
+        }
+    }
+
+    #[test]
+    fn write_then_load_recovers_everything() {
+        let path = tmp_journal("roundtrip");
+        let mut w = JournalWriter::open(&path, 4).expect("open");
+        for k in 0..10 {
+            w.append(&record(k)).expect("append");
+        }
+        w.sync().expect("sync");
+        let got = load_journal(&path).expect("load");
+        assert_eq!(got, (0..10).map(record).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_on_resume() {
+        let path = tmp_journal("torn");
+        let mut text = String::new();
+        for k in 0..5 {
+            text.push_str(&record(k).to_line());
+            text.push('\n');
+        }
+        // A crash mid-append leaves a partial line with no newline.
+        text.push_str("{\"k\":5,\"cycle\":99,\"tar");
+        std::fs::write(&path, text).expect("write");
+        let got = load_journal(&path).expect("load");
+        assert_eq!(got.len(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let path = tmp_journal("corrupt");
+        let text = format!(
+            "{}\ngarbage\n{}\n",
+            record(0).to_line(),
+            record(1).to_line()
+        );
+        std::fs::write(&path, text).expect("write");
+        let err = load_journal(&path).expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_journal_is_a_fresh_start() {
+        let path = tmp_journal("missing");
+        assert!(load_journal(&path).expect("load").is_empty());
+    }
+
+    #[test]
+    fn fsync_batches_report_flush_boundaries() {
+        let path = tmp_journal("batch");
+        let mut w = JournalWriter::open(&path, 3).expect("open");
+        let flushed: Vec<bool> = (0..7)
+            .map(|k| w.append(&record(k)).expect("append"))
+            .collect();
+        assert_eq!(flushed, [false, false, true, false, false, true, false]);
+        w.sync().expect("sync");
+        assert_eq!(load_journal(&path).expect("load").len(), 7);
+        std::fs::remove_file(&path).ok();
+    }
+}

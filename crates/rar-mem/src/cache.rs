@@ -121,6 +121,26 @@ impl Cache {
         false
     }
 
+    /// Fault injection: corrupts the way at flat `slot` (set-major order,
+    /// modulo-reduced). Bit 39 models a valid-bit strike (the line is
+    /// silently dropped and refetched on next use); other bits flip tag
+    /// bits, so the original line re-misses and an aliased address may
+    /// spuriously hit. Both are timing-only in a model without data.
+    /// Returns `false` when the addressed way is invalid (vacant).
+    pub fn corrupt_way(&mut self, slot: usize, bit: u64) -> bool {
+        let n = self.sets.len();
+        let way = &mut self.sets[slot % n];
+        if !way.valid {
+            return false;
+        }
+        if bit % 40 == 39 {
+            way.valid = false;
+        } else {
+            way.tag ^= 1 << (bit % 39);
+        }
+        true
+    }
+
     /// Checks for presence without perturbing LRU state or statistics.
     #[must_use]
     pub fn probe(&self, addr: u64) -> bool {

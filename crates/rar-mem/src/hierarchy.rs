@@ -471,6 +471,20 @@ impl MemoryHierarchy {
     pub fn dram_stats(&self) -> crate::dram::DramStats {
         self.dram.stats()
     }
+
+    /// Fault injection: corrupts the L1-D tag way at flat `slot` (see
+    /// [`crate::cache::Cache::corrupt_way`]). Returns `false` when the
+    /// way is vacant.
+    pub fn corrupt_l1d_way(&mut self, slot: usize, bit: u64) -> bool {
+        self.l1d.corrupt_way(slot, bit)
+    }
+
+    /// Fault injection: corrupts the `idx`-th in-flight MSHR (see
+    /// [`crate::mshr::MshrFile::corrupt_nth`]). Returns `false` when the
+    /// slot is vacant.
+    pub fn corrupt_mshr(&mut self, idx: usize, bit: u64) -> bool {
+        self.mshr.corrupt_nth(idx, bit)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -8,6 +8,7 @@
 //! the memory-level parallelism an out-of-order core (or a runahead
 //! interval) can expose.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// An MSHR file tracking in-flight line fetches by completion time.
@@ -113,6 +114,39 @@ impl MshrFile {
     #[must_use]
     pub fn merges(&self) -> u64 {
         self.merges
+    }
+
+    /// Fault injection: corrupts the `idx`-th in-flight entry, selected by
+    /// sorted line address so the choice is deterministic (the backing map
+    /// iterates in arbitrary order). Low `bit` values flip a line-address
+    /// bit — future accesses to the original line re-miss and allocate
+    /// afresh — higher values flip a completion-time bit, so later merges
+    /// latch a perturbed (possibly far-future) completion. Returns `false`
+    /// when the slot is vacant.
+    pub fn corrupt_nth(&mut self, idx: usize, bit: u64) -> bool {
+        let mut lines: Vec<u64> = self.inflight.keys().copied().collect();
+        lines.sort_unstable();
+        let Some(&line) = lines.get(idx) else {
+            return false;
+        };
+        if bit < 32 {
+            let done = self.inflight.remove(&line).expect("selected from keys");
+            let flipped = line ^ (1 << (6 + bit % 26));
+            match self.inflight.entry(flipped) {
+                Entry::Occupied(_) => {
+                    // The flipped address collides with another in-flight
+                    // line: the entry is effectively lost. Account it as
+                    // released so allocation bookkeeping stays balanced.
+                    self.released += 1;
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(done);
+                }
+            }
+        } else if let Some(done) = self.inflight.get_mut(&line) {
+            *done ^= 1 << (4 + bit % 20);
+        }
+        true
     }
 
     /// Total entries released by [`MshrFile::expire`]. Together with

@@ -12,6 +12,10 @@
 //! rar-experiments report [--dir DIR] [--out PATH] [--check]
 //!                 [--bench PATH] [--baseline PATH]
 //!                 [--min-hit-rate F] [--max-slowdown F]
+//! rar-experiments inject [--workload W] [--samples N] [--inject-seed N]
+//!                 [--instructions N] [--warmup N] [--seed N]
+//!                 [--threads N] [--journal PATH] [--tally-out PATH]
+//!                 [--max N]
 //! ```
 //!
 //! Each figure subcommand prints the paper-shaped table to stdout; `--csv
@@ -25,6 +29,17 @@
 //! attributes host wall-clock time per phase (trace generation, core
 //! simulation, liveness, cache probe/store, serialization) into the
 //! manifest. Profiling never changes results — only the manifest grows.
+//!
+//! The `inject` subcommand runs a statistical fault-injection campaign
+//! (baseline OoO and RAR back to back) and prints per-structure measured
+//! vulnerability with 95% confidence intervals next to the ACE-estimated
+//! AVF (unrefined and liveness-refined) from the same golden runs — the
+//! cross-validation experiment. `--journal PATH` makes the campaign
+//! crash-tolerant: progress is checkpointed per injection (one journal
+//! per technique, suffixed `.ooo`/`.rar`) and an interrupted campaign
+//! resumes exactly; `--max N` stops after N fresh injections (useful with
+//! a journal to split a long campaign across invocations); `--tally-out`
+//! writes the byte-stable integer tally JSON the CI smoke job diffs.
 //!
 //! The `trace` subcommand runs one traced simulation and writes a Chrome
 //! trace, a Konata log and CSV tables into `--out` (default
@@ -52,7 +67,9 @@ fn usage() -> ExitCode {
        rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
          [--out DIR] [--capacity N] [--sample N]\n\
        rar-experiments report [--dir DIR] [--out PATH] [--check] [--bench PATH] [--baseline PATH] \
-         [--min-hit-rate F] [--max-slowdown F]"
+         [--min-hit-rate F] [--max-slowdown F]\n\
+       rar-experiments inject [--workload W] [--samples N] [--inject-seed N] [--instructions N] \
+         [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N]"
     );
     ExitCode::from(2)
 }
@@ -181,6 +198,166 @@ fn report_cmd(args: &[String]) -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// The `inject` subcommand: statistical fault-injection campaigns that
+/// cross-validate the ACE-estimated AVF, baseline vs RAR.
+fn inject_cmd(args: &[String]) -> ExitCode {
+    use rar_core::{FaultTarget, Technique};
+    use rar_inject::CampaignSpec;
+    use rar_sim::inject::{run_injection_campaign, InjectionHarness};
+
+    let mut workload = "mcf".to_owned();
+    let mut warmup: u64 = 300;
+    let mut instructions: u64 = 2_000;
+    let mut sim_seed: Option<u64> = None;
+    let mut samples: u64 = 1_000;
+    let mut inject_seed: u64 = 1;
+    let mut threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    let mut journal: Option<String> = None;
+    let mut tally_out: Option<String> = None;
+    let mut limit: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--workload" => workload = value.clone(),
+            "--warmup" => match value.parse() {
+                Ok(n) => warmup = n,
+                Err(_) => return usage(),
+            },
+            "--instructions" => match value.parse() {
+                Ok(n) => instructions = n,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(n) => sim_seed = Some(n),
+                Err(_) => return usage(),
+            },
+            "--samples" => match value.parse() {
+                Ok(n) => samples = n,
+                Err(_) => return usage(),
+            },
+            "--inject-seed" => match value.parse() {
+                Ok(n) => inject_seed = n,
+                Err(_) => return usage(),
+            },
+            "--threads" => match value.parse::<usize>() {
+                Ok(n) => threads = n.max(1),
+                Err(_) => return usage(),
+            },
+            "--journal" => journal = Some(value.clone()),
+            "--tally-out" => tally_out = Some(value.clone()),
+            "--max" => match value.parse() {
+                Ok(n) => limit = Some(n),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+
+    let mut campaigns = Vec::new();
+    for technique in [Technique::Ooo, Technique::Rar] {
+        let mut b = SimConfig::builder();
+        b.workload(&workload)
+            .technique(technique)
+            .warmup(warmup)
+            .instructions(instructions);
+        if let Some(s) = sim_seed {
+            b.seed(s);
+        }
+        let cfg = b.build();
+        let harness = match InjectionHarness::prepare(&cfg) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("{e}");
+                return usage();
+            }
+        };
+        let spec = CampaignSpec {
+            samples,
+            threads,
+            journal: journal.as_ref().map(|p| {
+                std::path::PathBuf::from(format!(
+                    "{p}.{}",
+                    technique.to_string().to_ascii_lowercase()
+                ))
+            }),
+            limit,
+            ..CampaignSpec::default()
+        };
+        let result = match run_injection_campaign(&harness, &spec, inject_seed, None, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("inject: journal error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "{workload}/{technique}: {}/{} injections ({} resumed, {} failed, {:.0}% complete)",
+            result.completed,
+            samples,
+            result.resumed,
+            result.failed,
+            result.completed_fraction() * 100.0
+        );
+        if result.completed < samples {
+            println!(
+                "  partial campaign: confidence intervals below reflect the \
+                 completed fraction only"
+            );
+        }
+        campaigns.push((harness, result));
+    }
+
+    // The cross-validation table: measured vulnerability (with its 95% CI
+    // half-width) next to the ACE-estimated AVF from the same golden run,
+    // per structure, baseline vs RAR.
+    let header = vec![
+        "structure".to_owned(),
+        "ooo vuln".to_owned(),
+        "ooo ±95%".to_owned(),
+        "ooo AVF".to_owned(),
+        "ooo rAVF".to_owned(),
+        "rar vuln".to_owned(),
+        "rar ±95%".to_owned(),
+        "rar AVF".to_owned(),
+        "rar rAVF".to_owned(),
+    ];
+    let mut table = Table::new(header);
+    for t in FaultTarget::ACE {
+        let mut row = vec![t.name().to_owned()];
+        for (harness, result) in &campaigns {
+            let tt = result.tally.get(t);
+            let (avf, ravf) = harness.ace_avf(t).unwrap_or((0.0, 0.0));
+            row.push(format!("{:.4}", tt.vulnerability()));
+            row.push(format!("{:.4}", tt.ci95()));
+            row.push(format!("{avf:.4}"));
+            row.push(format!("{ravf:.4}"));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+
+    if let Some(path) = tally_out {
+        let json = format!(
+            "{{\"schema\":\"rar-inject-tally-v1\",\"workload\":\"{workload}\",\
+             \"inject_seed\":{inject_seed},\"ooo\":{},\"rar\":{}}}\n",
+            campaigns[0].1.tally.to_json(),
+            campaigns[1].1.tally.to_json()
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs one traced simulation and exports every format.
@@ -497,6 +674,9 @@ fn main() -> ExitCode {
     }
     if cmd == "report" {
         return report_cmd(&args[1..]);
+    }
+    if cmd == "inject" {
+        return inject_cmd(&args[1..]);
     }
     let mut opts = ExperimentOptions::default();
     let mut csv_dir: Option<String> = None;

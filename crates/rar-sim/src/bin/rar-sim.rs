@@ -164,7 +164,13 @@ fn main() -> ExitCode {
     // result bit for bit; the session additionally attributes host time).
     let (r, telemetry) = if telemetry_path.is_some() {
         let session = rar_sim::SweepSession::new().into_profiled();
-        let r = session.run(&cfg).expect("validated above");
+        let r = match session.run(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let t = session.telemetry_json();
         (r, Some(t))
     } else {

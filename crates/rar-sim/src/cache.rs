@@ -67,8 +67,28 @@ impl DiskCache {
     /// error.
     #[must_use]
     pub fn load(&self, cfg: &SimConfig) -> Option<SimResult> {
-        let text = std::fs::read_to_string(self.entry_path(cfg)).ok()?;
-        decode(&text, cfg)
+        self.try_load(cfg).ok().flatten()
+    }
+
+    /// Like [`DiskCache::load`], but distinguishes a genuine miss
+    /// (`Ok(None)`: no entry, stale version, or content defects) from an
+    /// I/O failure reading the entry (`Err`). The sweep engine retries
+    /// I/O failures with backoff and, if they persist, disables the cache
+    /// for the rest of the session instead of re-probing a broken disk on
+    /// every cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the entry exists but cannot
+    /// be read (permissions, device errors, a file where the cache
+    /// directory should be). `NotFound` is a miss, not an error.
+    pub fn try_load(&self, cfg: &SimConfig) -> std::io::Result<Option<SimResult>> {
+        let text = match std::fs::read_to_string(self.entry_path(cfg)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(decode(&text, cfg))
     }
 
     /// Persists `result` as the entry for `cfg`, atomically (temp file +

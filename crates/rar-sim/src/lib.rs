@@ -30,6 +30,7 @@ pub mod config;
 pub mod dashboard;
 pub mod energy;
 pub mod experiment;
+pub mod inject;
 pub mod json;
 pub mod protection;
 pub mod report;
@@ -40,6 +41,7 @@ pub use cache::{DiskCache, CACHE_VERSION};
 pub use config::{SimConfig, SimConfigBuilder, TraceSettings};
 pub use energy::EnergyModel;
 pub use experiment::{ExperimentOptions, Suite};
+pub use inject::{run_injection_campaign, InjectionHarness};
 pub use report::{amean, gmean, hmean, Table};
 pub use run::{RunOutput, SimResult, Simulation};
-pub use sweep::{ProfiledSweepSession, SweepSession, SweepStats};
+pub use sweep::{ProfiledSweepSession, RunError, SweepSession, SweepStats, Watchdog};

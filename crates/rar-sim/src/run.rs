@@ -7,7 +7,7 @@
 
 use crate::config::SimConfig;
 use rar_ace::{ReliabilityReport, StallKind, Structure};
-use rar_core::{Core, CoreStats, Technique};
+use rar_core::{Core, CoreStats, RunVerdict, Technique};
 use rar_frontend::PredictorStats;
 use rar_isa::{TraceWindow, UopSource};
 use rar_mem::MemStats;
@@ -122,6 +122,52 @@ impl Simulation {
             result,
             sink: core.into_sink(),
         }
+    }
+
+    /// Like [`Simulation::run_prepared`], but bounded by a cycle budget
+    /// and an optional wall-clock deadline covering the whole run
+    /// (warm-up included). A run that exhausts either bound returns the
+    /// core's [`RunVerdict`] instead of panicking — the sweep watchdog
+    /// maps it to a typed timeout error, the fault-injection harness to a
+    /// DUE classification.
+    pub(crate) fn run_prepared_budgeted<T: TraceSink>(
+        cfg: &SimConfig,
+        sink: T,
+        artifacts: &RunArtifacts,
+        max_cycles: u64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<RunOutput<T>, RunVerdict> {
+        let trace = TraceWindow::new(TracePrefix::resume(&artifacts.prefix));
+        let mut core = Core::with_sink(
+            cfg.core.clone(),
+            cfg.mem.clone(),
+            cfg.technique,
+            trace,
+            sink,
+        );
+        core.set_ace_refinement(artifacts.refinement.clone());
+        if T::ENABLED {
+            core.set_sample_interval(cfg.trace.sample_interval);
+        }
+        let mut remaining = max_cycles;
+        if cfg.warmup > 0 {
+            match core.run_budgeted(cfg.warmup, remaining, deadline) {
+                RunVerdict::Completed => {}
+                verdict => return Err(verdict),
+            }
+            remaining = remaining.saturating_sub(core.stats().cycles).max(1);
+            core.reset_measurement();
+            core.sink_mut().scrub();
+        }
+        match core.run_budgeted(cfg.instructions, remaining, deadline) {
+            RunVerdict::Completed => {}
+            verdict => return Err(verdict),
+        }
+        let result = collect(cfg, &core);
+        Ok(RunOutput {
+            result,
+            sink: core.into_sink(),
+        })
     }
 
     /// Runs one configuration to completion with the zero-overhead

@@ -40,6 +40,7 @@
 use crate::cache::DiskCache;
 use crate::config::SimConfig;
 use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
+use rar_core::RunVerdict;
 use rar_telemetry::names;
 use rar_telemetry::{
     sanitize_f64, Counter, Gauge, Histogram, ManifestBuilder, MetricsRegistry, NullProfiler, Phase,
@@ -51,8 +52,106 @@ use rar_workloads::{workload, TracePrefix};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-run watchdog bounds for session-executed cells.
+///
+/// The cycle budget scales with the cell's instruction budget —
+/// `cycle_factor * (warmup + instructions) + cycle_slack` — so a wedged or
+/// pathologically slow simulation (IPC below `1/cycle_factor`) is cut off
+/// instead of hanging an unattended sweep forever; an optional wall-clock
+/// bound additionally caps host time per cell. The defaults are far above
+/// anything a healthy cell reaches (the slowest modeled workloads run at
+/// IPC ≈ 0.1), so hitting the watchdog is evidence of a model bug, which
+/// the typed [`RunError::Timeout`] reports without poisoning the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Watchdog {
+    /// Cycles allowed per instruction of total budget.
+    pub cycle_factor: u64,
+    /// Flat additional cycle allowance (covers drain/startup effects on
+    /// tiny budgets).
+    pub cycle_slack: u64,
+    /// Optional wall-clock bound per cell.
+    pub wall: Option<Duration>,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            cycle_factor: 2_000,
+            cycle_slack: 1_000_000,
+            wall: None,
+        }
+    }
+}
+
+impl Watchdog {
+    /// The cycle budget this watchdog grants `cfg`.
+    #[must_use]
+    pub fn max_cycles(&self, cfg: &SimConfig) -> u64 {
+        self.cycle_factor
+            .saturating_mul(cfg.warmup + cfg.instructions)
+            .saturating_add(self.cycle_slack)
+            .max(1)
+    }
+
+    /// The wall-clock deadline for a cell starting now.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.wall.map(|d| Instant::now() + d)
+    }
+}
+
+/// Why a session-executed run produced no result.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The configuration failed validation; nothing was simulated.
+    Config(ConfigError),
+    /// The per-run watchdog expired ([`Watchdog`]): the simulation
+    /// exhausted its cycle budget or wall-clock bound before committing
+    /// its instruction budget.
+    Timeout {
+        /// Workload of the timed-out cell.
+        workload: String,
+        /// Technique of the timed-out cell.
+        technique: rar_core::Technique,
+        /// Which bound expired ([`RunVerdict::CycleBudget`] or
+        /// [`RunVerdict::Deadline`]).
+        verdict: RunVerdict,
+        /// The cycle budget that was in force.
+        max_cycles: u64,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => e.fmt(f),
+            RunError::Timeout {
+                workload,
+                technique,
+                verdict,
+                max_cycles,
+            } => {
+                let bound = match verdict {
+                    RunVerdict::Deadline => "wall-clock deadline".to_owned(),
+                    _ => format!("cycle budget ({max_cycles})"),
+                };
+                write!(f, "{workload}/{technique} timed out: {bound} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
+    }
+}
 
 /// Session-lifetime store of memoized sweep artifacts.
 #[derive(Debug, Default)]
@@ -144,6 +243,9 @@ struct SweepCounters {
     busy_nanos: Counter,
     threads: Gauge,
     cell_nanos: Histogram,
+    run_timeouts: Counter,
+    cache_io_errors: Counter,
+    cache_disabled: Gauge,
 }
 
 impl SweepCounters {
@@ -161,6 +263,9 @@ impl SweepCounters {
             busy_nanos: registry.counter(names::SWEEP_BUSY_NANOS),
             threads: registry.gauge(names::SWEEP_THREADS),
             cell_nanos: registry.histogram(names::SWEEP_CELL_NANOS),
+            run_timeouts: registry.counter(names::SWEEP_RUN_TIMEOUTS),
+            cache_io_errors: registry.counter(names::SWEEP_CACHE_IO_ERRORS),
+            cache_disabled: registry.gauge(names::SWEEP_CACHE_DISABLED),
         }
     }
 }
@@ -173,10 +278,15 @@ impl SweepCounters {
 pub struct SweepSession<P: Profiler = NullProfiler> {
     cache: Option<DiskCache>,
     threads: Option<usize>,
+    watchdog: Watchdog,
     artifacts: ArtifactStore,
     registry: MetricsRegistry,
     counters: SweepCounters,
     profiler: P,
+    /// Latched once disk-cache I/O keeps failing after retries; the
+    /// session then runs cache-off instead of re-probing a broken disk
+    /// on every cell.
+    cache_off: AtomicBool,
     /// Workloads and config fingerprints seen by this session, for the
     /// run manifest.
     seen: Mutex<SeenInputs>,
@@ -280,10 +390,12 @@ impl<P: Profiler> SweepSession<P> {
         SweepSession {
             cache,
             threads,
+            watchdog: Watchdog::default(),
             artifacts: ArtifactStore::default(),
             registry,
             counters,
             profiler,
+            cache_off: AtomicBool::new(false),
             seen: Mutex::new(SeenInputs::default()),
         }
     }
@@ -293,7 +405,19 @@ impl<P: Profiler> SweepSession<P> {
     /// memoization stores and counters restart from empty.
     #[must_use]
     pub fn into_profiled(self) -> SweepSession<WallProfiler> {
-        SweepSession::build(self.cache, self.threads, WallProfiler::new())
+        let profiled = SweepSession::build(self.cache, self.threads, WallProfiler::new());
+        SweepSession {
+            watchdog: self.watchdog,
+            ..profiled
+        }
+    }
+
+    /// Replaces the per-run [`Watchdog`] (default: generous cycle budget,
+    /// no wall-clock bound).
+    #[must_use]
+    pub fn watchdog(mut self, watchdog: Watchdog) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 
     /// Pins the worker-thread count (default: available parallelism,
@@ -324,19 +448,64 @@ impl<P: Profiler> SweepSession<P> {
     }
 
     /// Runs a single cell through the session: disk cache, then memoized
-    /// artifacts, then simulation.
+    /// artifacts, then simulation, under the session [`Watchdog`].
     ///
     /// # Errors
     ///
-    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
-    /// configuration; nothing is simulated in that case.
-    pub fn run(&self, cfg: &SimConfig) -> Result<SimResult, ConfigError> {
+    /// Returns [`RunError::Config`] if [`SimConfig::validate`] rejects the
+    /// configuration (nothing is simulated), or [`RunError::Timeout`] if
+    /// the watchdog's cycle budget or wall-clock bound expired before the
+    /// cell committed its instruction budget.
+    pub fn run(&self, cfg: &SimConfig) -> Result<SimResult, RunError> {
         cfg.validate()?;
-        Ok(self.run_validated(cfg).result)
+        Ok(self.run_validated(cfg)?.result)
+    }
+
+    /// The usable disk cache, if any: `None` once repeated I/O errors
+    /// latched the session cache-off.
+    fn live_cache(&self) -> Option<&DiskCache> {
+        if self.cache_off.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.cache.as_ref()
+    }
+
+    /// Runs one fallible cache I/O operation with retry-and-backoff.
+    /// Transient errors are retried [`CACHE_IO_ATTEMPTS`] times (1/4/16 ms
+    /// backoff, each counted in `rar_sweep_cache_io_errors_total`); if
+    /// every attempt fails the cache is latched off for the rest of the
+    /// session and `None` is returned — the sweep continues uncached
+    /// rather than hammering a broken disk or losing results.
+    fn cache_io<T>(
+        &self,
+        what: &str,
+        cfg: &SimConfig,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> Option<T> {
+        const CACHE_IO_ATTEMPTS: u32 = 3;
+        for attempt in 0..CACHE_IO_ATTEMPTS {
+            match op() {
+                Ok(v) => return Some(v),
+                Err(e) => {
+                    self.counters.cache_io_errors.inc();
+                    if attempt + 1 < CACHE_IO_ATTEMPTS {
+                        std::thread::sleep(Duration::from_millis(1 << (2 * attempt)));
+                    } else if !self.cache_off.swap(true, Ordering::Relaxed) {
+                        self.counters.cache_disabled.set(1.0);
+                        eprintln!(
+                            "[rar-sim] warning: disk cache disabled after repeated I/O \
+                             errors ({what} {}/{}): {e}",
+                            cfg.workload, cfg.technique
+                        );
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Cache → memoize → simulate for one pre-validated cell.
-    fn run_validated(&self, cfg: &SimConfig) -> CellOutcome {
+    fn run_validated(&self, cfg: &SimConfig) -> Result<CellOutcome, RunError> {
         {
             let mut seen = self.seen.lock().expect("seen lock");
             if !seen.workloads.contains(&cfg.workload) {
@@ -344,43 +513,55 @@ impl<P: Profiler> SweepSession<P> {
             }
             seen.fingerprints.insert(cfg.fingerprint());
         }
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = self.live_cache() {
             let probe = ScopeTimer::start(&self.profiler, Phase::CacheProbe);
-            let hit = cache.load(cfg);
+            let hit = self
+                .cache_io("probing", cfg, || cache.try_load(cfg))
+                .flatten();
             drop(probe);
             if let Some(result) = hit {
                 self.counters.cache_hits.inc();
-                return CellOutcome {
+                return Ok(CellOutcome {
                     result,
                     cache_hit: true,
-                };
+                });
             }
         }
         let artifacts = self
             .artifacts
             .artifacts_for(cfg, &self.counters, &self.profiler);
+        let max_cycles = self.watchdog.max_cycles(cfg);
+        let deadline = self.watchdog.deadline();
         let sim = ScopeTimer::start(&self.profiler, Phase::CoreSim);
-        let result = Simulation::run_prepared(cfg, NullSink, &artifacts).result;
+        let run =
+            Simulation::run_prepared_budgeted(cfg, NullSink, &artifacts, max_cycles, deadline);
         drop(sim);
+        let result = match run {
+            Ok(out) => out.result,
+            Err(verdict) => {
+                self.counters.run_timeouts.inc();
+                return Err(RunError::Timeout {
+                    workload: cfg.workload.clone(),
+                    technique: cfg.technique,
+                    verdict,
+                    max_cycles,
+                });
+            }
+        };
         self.counters.simulated.inc();
         // Aggregate guest-side work into the registry (simulated cells
         // only: replayed cells did no guest work in this session).
         result.stats.record_into(&self.registry);
         result.mem.record_into(&self.registry);
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = self.live_cache() {
             let store = ScopeTimer::start(&self.profiler, Phase::CacheStore);
-            if let Err(e) = cache.store(cfg, &result) {
-                eprintln!(
-                    "[rar-sim] warning: could not cache {}/{}: {e}",
-                    cfg.workload, cfg.technique
-                );
-            }
+            self.cache_io("storing", cfg, || cache.store(cfg, &result));
             drop(store);
         }
-        CellOutcome {
+        Ok(CellOutcome {
             result,
             cache_hit: false,
-        }
+        })
     }
 
     /// Runs `configs` across worker threads, preserving order.
@@ -390,8 +571,10 @@ impl<P: Profiler> SweepSession<P> {
     /// [`ConfigError`] and returned as `None` without ever being
     /// scheduled. Runnable cells are dealt round-robin onto per-worker
     /// deques; idle workers steal work from their peers, so stragglers
-    /// never leave threads idle. A cell whose simulation panics is
-    /// reported and excluded (`None`) rather than poisoning the sweep.
+    /// never leave threads idle. A cell whose simulation panics or trips
+    /// the [`Watchdog`] is surfaced on stderr *immediately* (via a
+    /// never-rate-limited [`ProgressReporter::failure`] line) and
+    /// excluded (`None`) rather than poisoning the sweep.
     /// Progress is reported as a heartbeat line on stderr every
     /// `RAR_PROGRESS_SECS` seconds (default 5; `0` disables), plus one
     /// summary line when the sweep finishes.
@@ -483,23 +666,32 @@ impl<P: Profiler> SweepSession<P> {
                         self.counters.cell_nanos.observe(cell_nanos);
                     }
                     let finished = done.fetch_add(1, Ordering::Relaxed) as u64 + 1;
-                    match cell {
-                        Ok(outcome) => {
+                    // Failures surface the moment they happen, carried on
+                    // a never-rate-limited reporter line with full
+                    // progress context — not silently accumulated until
+                    // the end-of-sweep summary.
+                    let failure = match cell {
+                        Ok(Ok(outcome)) => {
                             if outcome.cache_hit {
                                 local_hits.fetch_add(1, Ordering::Relaxed);
                             }
                             *results[i].lock().expect("no poisoned runs") = Some(outcome.result);
+                            None
                         }
-                        Err(_) => {
-                            self.counters.failed.inc();
-                            local_failed.fetch_add(1, Ordering::Relaxed);
-                            eprintln!(
-                                "[rar-sim] {}/{} FAILED (panicked; excluded from tables)",
-                                cfg.workload, cfg.technique
-                            );
-                        }
-                    }
-                    if let Some(line) = reporter.heartbeat(&snapshot(finished)) {
+                        Ok(Err(err)) => Some(format!(
+                            "{}/{} FAILED ({err}; excluded from tables)",
+                            cfg.workload, cfg.technique
+                        )),
+                        Err(_) => Some(format!(
+                            "{}/{} FAILED (panicked; excluded from tables)",
+                            cfg.workload, cfg.technique
+                        )),
+                    };
+                    if let Some(what) = failure {
+                        self.counters.failed.inc();
+                        local_failed.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("{}", reporter.failure(&what, &snapshot(finished)));
+                    } else if let Some(line) = reporter.heartbeat(&snapshot(finished)) {
                         eprintln!("{line}");
                     }
                 });
@@ -846,6 +1038,69 @@ mod tests {
             );
         }
         assert!(manifest.contains(&format!("\"{}\"", rar_telemetry::TELEMETRY_SCHEMA)));
+    }
+
+    #[test]
+    fn watchdog_timeouts_are_typed_errors_not_hangs() {
+        let strangled = Watchdog {
+            cycle_factor: 0,
+            cycle_slack: 1,
+            wall: None,
+        };
+        let session = SweepSession::new().watchdog(strangled);
+        let cfg = &grid()[0];
+        match session.run(cfg) {
+            Err(RunError::Timeout {
+                verdict,
+                max_cycles,
+                ..
+            }) => {
+                assert_eq!(verdict, RunVerdict::CycleBudget);
+                assert_eq!(max_cycles, 1);
+            }
+            other => panic!("expected a watchdog timeout, got {other:?}"),
+        }
+        assert_eq!(
+            session.registry().counter(names::SWEEP_RUN_TIMEOUTS).get(),
+            1
+        );
+        // run_all excludes timed-out cells instead of hanging or dying.
+        let rs = session.run_all(&grid()[..2]);
+        assert!(rs.iter().all(Option::is_none));
+        assert_eq!(session.stats().failed, 2);
+        // A default watchdog never fires on healthy cells.
+        let healthy = SweepSession::new();
+        assert!(healthy.run(cfg).is_ok());
+        assert_eq!(
+            healthy.registry().counter(names::SWEEP_RUN_TIMEOUTS).get(),
+            0
+        );
+    }
+
+    #[test]
+    fn broken_cache_disk_degrades_to_cache_off() {
+        // Point the cache "directory" at an existing *file*: every probe
+        // and store then fails with a genuine I/O error (not NotFound,
+        // which is an ordinary miss).
+        let path = std::env::temp_dir().join(format!("rar-sweep-cachefile-{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").unwrap();
+        let session = SweepSession::with_disk_cache(&path);
+        let cfg = &grid()[0];
+        let result = session.run(cfg).expect("sweep must survive a broken disk");
+        assert_eq!(&result, &Simulation::run(cfg), "results stay correct");
+        // The probe retried (3 attempts), then latched the cache off —
+        // the store phase never touched the broken disk.
+        let io_errors = session.registry().counter(names::SWEEP_CACHE_IO_ERRORS);
+        assert_eq!(io_errors.get(), 3);
+        assert_eq!(
+            session.registry().gauge(names::SWEEP_CACHE_DISABLED).get(),
+            1.0
+        );
+        // Later cells skip the cache entirely: no further I/O attempts.
+        let again = session.run(cfg).unwrap();
+        assert_eq!(again, result);
+        assert_eq!(io_errors.get(), 3);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -35,9 +35,16 @@ pub const SWEEP_THREADS: &str = "rar_sweep_threads";
 pub const SWEEP_CELL_NANOS: &str = "rar_sweep_cell_nanos";
 /// Sum of busy worker nanoseconds across the most recent sweep.
 pub const SWEEP_BUSY_NANOS: &str = "rar_sweep_busy_nanos_total";
+/// Cells excluded because the per-run watchdog expired.
+pub const SWEEP_RUN_TIMEOUTS: &str = "rar_sweep_run_timeouts_total";
+/// Transient disk-cache I/O errors absorbed by retry-with-backoff.
+pub const SWEEP_CACHE_IO_ERRORS: &str = "rar_sweep_cache_io_errors_total";
+/// The disk cache was switched off mid-sweep after persistent I/O errors
+/// (gauge: 0 healthy, 1 disabled).
+pub const SWEEP_CACHE_DISABLED: &str = "rar_sweep_cache_disabled";
 
-/// Every canonical name above, for exhaustive registration and tests.
-pub const ALL: [&str; 12] = [
+/// Every sweep-engine name above, for exhaustive registration and tests.
+pub const ALL: [&str; 15] = [
     SWEEP_CELLS_SIMULATED,
     SWEEP_CACHE_HITS,
     SWEEP_CELLS_REJECTED,
@@ -50,20 +57,57 @@ pub const ALL: [&str; 12] = [
     SWEEP_THREADS,
     SWEEP_CELL_NANOS,
     SWEEP_BUSY_NANOS,
+    SWEEP_RUN_TIMEOUTS,
+    SWEEP_CACHE_IO_ERRORS,
+    SWEEP_CACHE_DISABLED,
+];
+
+/// Fault injections executed (every outcome).
+pub const INJECT_RUNS: &str = "rar_inject_runs_total";
+/// Injections classified masked (golden-identical architectural results).
+pub const INJECT_MASKED: &str = "rar_inject_masked_total";
+/// Injections classified silent data corruption.
+pub const INJECT_SDC: &str = "rar_inject_sdc_total";
+/// Injections classified detected/unrecoverable (panic, hang, deadline).
+pub const INJECT_DUE: &str = "rar_inject_due_total";
+/// Injections replayed from the campaign journal on resume.
+pub const INJECT_RESUMED: &str = "rar_inject_resumed_total";
+/// Transient failures (executor runs, journal appends) absorbed by
+/// retry-with-backoff.
+pub const INJECT_RETRIES: &str = "rar_inject_retries_total";
+/// Batched journal fsyncs issued.
+pub const INJECT_JOURNAL_FLUSHES: &str = "rar_inject_journal_flushes_total";
+/// Journal writes abandoned after exhausting retries (campaign degrades
+/// to in-memory tallies; resume from that point is impossible).
+pub const INJECT_JOURNAL_ERRORS: &str = "rar_inject_journal_errors_total";
+
+/// Every campaign-runner name above (registered by `rar-inject`, not the
+/// sweep engine — kept out of [`ALL`] so sweep-session export coverage
+/// stays exact).
+pub const INJECT_ALL: [&str; 8] = [
+    INJECT_RUNS,
+    INJECT_MASKED,
+    INJECT_SDC,
+    INJECT_DUE,
+    INJECT_RESUMED,
+    INJECT_RETRIES,
+    INJECT_JOURNAL_FLUSHES,
+    INJECT_JOURNAL_ERRORS,
 ];
 
 #[cfg(test)]
 mod tests {
-    use super::ALL;
+    use super::{ALL, INJECT_ALL};
     use crate::export::sanitize_metric_name;
 
     #[test]
     fn names_are_unique_and_prometheus_clean() {
-        let mut sorted = ALL.to_vec();
+        let all: Vec<&str> = ALL.iter().chain(INJECT_ALL.iter()).copied().collect();
+        let mut sorted = all.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), ALL.len());
-        for name in ALL {
+        assert_eq!(sorted.len(), all.len());
+        for name in all {
             assert_eq!(sanitize_metric_name(name), name, "{name} needs sanitizing");
             assert!(name.starts_with("rar_"), "{name} missing rar_ prefix");
         }

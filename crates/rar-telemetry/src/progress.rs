@@ -85,6 +85,16 @@ impl ProgressReporter {
         self.line(snap)
     }
 
+    /// An immediate failure report: the event plus the same progress
+    /// context a heartbeat carries. Never rate-limited — a worker that
+    /// panicked or timed out must surface the moment it happens, not at
+    /// the end of the sweep. Restarts the heartbeat interval so the next
+    /// periodic line does not immediately duplicate this one.
+    pub fn failure(&self, what: &str, snap: &ProgressSnapshot) -> String {
+        *self.last_beat.lock().expect("heartbeat lock") = Some(Instant::now());
+        format!("{} | {what}", self.line(snap))
+    }
+
     fn line(&self, snap: &ProgressSnapshot) -> String {
         let elapsed = self.started.elapsed().as_secs_f64();
         let pct = if self.total == 0 {
@@ -161,6 +171,21 @@ mod tests {
         let line = p.final_line(&ProgressSnapshot::default());
         assert!(line.contains("0/0 (100%)"), "{line}");
         assert!(!line.contains("NaN") && !line.contains("inf"), "{line}");
+    }
+
+    #[test]
+    fn failure_lines_bypass_rate_limiting_and_reset_cadence() {
+        let p = ProgressReporter::new(10, Duration::from_secs(3600));
+        assert!(p.heartbeat(&snap(1, 0)).is_some());
+        // Inside the interval: heartbeats are suppressed, failures never.
+        assert!(p.heartbeat(&snap(2, 0)).is_none());
+        let line = p.failure("cell mcf/Rar panicked", &snap(2, 0));
+        assert!(line.contains("cell mcf/Rar panicked"), "{line}");
+        assert!(line.contains("2/10"), "{line}");
+        let again = p.failure("cell mcf/Rar timed out", &snap(3, 0));
+        assert!(again.contains("timed out"), "{line}");
+        // The failure restarted the heartbeat cadence.
+        assert!(p.heartbeat(&snap(4, 0)).is_none());
     }
 
     #[test]

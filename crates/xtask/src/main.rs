@@ -13,10 +13,15 @@
 //!    and is handled by at least one exporter (chrome/konata/csv/jsonv).
 //! 4. **metric-coverage** — every canonical metric name declared in
 //!    `rar-telemetry`'s `names.rs` is actually registered by the sweep
-//!    engine, both telemetry exporters (JSON and Prometheus) handle every
-//!    metric kind — so a registered metric can never appear in one format
-//!    and not the other — and every `CoreStats`/`MemStats` field is
-//!    published into the registry by its `record_into`.
+//!    engine or the fault-injection campaign runner, both telemetry
+//!    exporters (JSON and Prometheus) handle every metric kind — so a
+//!    registered metric can never appear in one format and not the
+//!    other — and every `CoreStats`/`MemStats` field is published into
+//!    the registry by its `record_into`.
+//! 5. **inject-target-bits** — every injectable `FaultTarget` variant in
+//!    `rar-core` enumerates its per-entry bit width in `per_entry_bits`
+//!    (a new injectable structure must never silently default to an
+//!    arbitrary width) and appears in `FaultTarget::ALL`.
 //!
 //! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
 //! can gate on it.
@@ -237,15 +242,17 @@ fn lint_metric_coverage(lint: &mut Lint) {
         metrics.len() >= 12,
         format!("{} canonical metric names declared", metrics.len()),
     );
-    // Every declared name must be registered by the sweep engine — a
+    // Every declared name must be registered by a consumer — a
     // declared-but-unregistered metric silently vanishes from manifests
-    // and dashboards.
-    let sim_src = crate_sources("crates/rar-sim/src");
+    // and dashboards. Sweep metrics register in rar-sim, campaign
+    // metrics in rar-inject.
+    let consumer_src =
+        crate_sources("crates/rar-sim/src") + &crate_sources("crates/rar-inject/src");
     for (ident, _) in &metrics {
         lint.check(
             "metric-coverage",
-            sim_src.contains(&format!("names::{ident}")),
-            format!("names::{ident} is registered by rar-sim"),
+            consumer_src.contains(&format!("names::{ident}")),
+            format!("names::{ident} is registered by rar-sim or rar-inject"),
         );
     }
     // Both exporters walk the same sorted registry snapshot, so "appears
@@ -277,6 +284,40 @@ fn lint_metric_coverage(lint: &mut Lint) {
     }
 }
 
+/// Lint 5: every injectable `FaultTarget` enumerates its bit width.
+fn lint_inject_target_bits(lint: &mut Lint) {
+    println!("inject-target-bits");
+    let inject = read("crates/rar-core/src/inject.rs");
+    let variants = enum_variants(&inject, "FaultTarget");
+    lint.check(
+        "inject-target-bits",
+        variants.len() >= 10,
+        format!("{} FaultTarget variants found", variants.len()),
+    );
+    // The per_entry_bits body: from the fn to the next fn. A variant
+    // absent from the match would be a compile error only if the match
+    // had no catch-all; this lint forbids the catch-all from ever being
+    // introduced by requiring each variant to appear explicitly.
+    let body_start = inject
+        .find("pub const fn per_entry_bits")
+        .expect("per_entry_bits exists");
+    let body = &inject[body_start..];
+    let body_end = body[1..].find("pub fn").map_or(body.len(), |i| i + 1);
+    let body = &body[..body_end];
+    for v in &variants {
+        lint.check(
+            "inject-target-bits",
+            body.contains(&format!("FaultTarget::{v} =>")),
+            format!("FaultTarget::{v} enumerates its width in per_entry_bits"),
+        );
+        lint.check(
+            "inject-target-bits",
+            inject.matches(&format!("FaultTarget::{v},")).count() >= 1,
+            format!("FaultTarget::{v} is listed in FaultTarget::ALL"),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -286,6 +327,7 @@ fn main() -> ExitCode {
             lint_stat_coverage(&mut lint);
             lint_trace_coverage(&mut lint);
             lint_metric_coverage(&mut lint);
+            lint_inject_target_bits(&mut lint);
             if lint.failures.is_empty() {
                 println!("xtask lint: all checks passed");
                 ExitCode::SUCCESS
@@ -327,6 +369,7 @@ mod tests {
         lint_stat_coverage(&mut lint);
         lint_trace_coverage(&mut lint);
         lint_metric_coverage(&mut lint);
+        lint_inject_target_bits(&mut lint);
         assert!(lint.failures.is_empty(), "{:?}", lint.failures);
     }
 }
