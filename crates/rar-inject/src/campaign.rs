@@ -37,7 +37,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use rar_core::{FaultInjector, PlannedFault};
-use rar_telemetry::{names, Counter, MetricsRegistry};
+use rar_telemetry::{names, CancelToken, Counter, MetricsRegistry};
 
 use crate::journal::{load_journal, JournalRecord, JournalWriter};
 use crate::outcome::{Outcome, Tally};
@@ -60,6 +60,12 @@ pub struct CampaignSpec {
     /// Used to simulate a mid-campaign kill in tests; `None` runs to
     /// completion.
     pub limit: Option<u64>,
+    /// Cooperative cancellation: workers poll the token before claiming
+    /// each sample index, so a canceled campaign finishes (and journals)
+    /// the injections in flight and claims nothing more. Resuming from
+    /// the same journal later continues exactly where cancellation
+    /// stopped. `None` means the campaign can only be stopped by a kill.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for CampaignSpec {
@@ -71,6 +77,7 @@ impl Default for CampaignSpec {
             fsync_every: 64,
             max_attempts: 3,
             limit: None,
+            cancel: None,
         }
     }
 }
@@ -242,6 +249,12 @@ where
     std::thread::scope(|scope| {
         for _ in 0..spec.threads.max(1) {
             scope.spawn(|| loop {
+                // Cancellation point: checked before claiming a sample,
+                // so the injection in flight always finishes and lands in
+                // the journal — resume picks up exactly here.
+                if spec.cancel.as_ref().is_some_and(CancelToken::is_canceled) {
+                    break;
+                }
                 let k = next_k.fetch_add(1, Ordering::Relaxed);
                 if k >= spec.samples {
                     break;
@@ -486,6 +499,102 @@ mod tests {
         assert_eq!(r.completed, 35);
         assert!(r.completed_fraction() < 1.0);
         assert_eq!(reg.counter(names::INJECT_RETRIES).get(), 10); // 2 attempts each
+    }
+
+    #[test]
+    fn cancel_then_resume_matches_uninterrupted() {
+        let path = tmp_journal("cancel");
+        std::fs::remove_file(&path).ok();
+
+        let uninterrupted = run_campaign(
+            &CampaignSpec {
+                samples: 200,
+                threads: 4,
+                ..CampaignSpec::default()
+            },
+            &MockInjector,
+            |k, _f| Ok(classify(k)),
+            None,
+        )
+        .expect("campaign");
+
+        // Phase 1: cancel mid-campaign once some injections have run.
+        // Workers stop claiming, but everything claimed lands journaled.
+        let reg = MetricsRegistry::new();
+        let token = CancelToken::new();
+        let runs = reg.counter(names::INJECT_RUNS);
+        let phase1 = std::thread::scope(|s| {
+            s.spawn(|| {
+                while runs.get() < 10 {
+                    std::thread::yield_now();
+                }
+                token.cancel();
+            });
+            run_campaign(
+                &CampaignSpec {
+                    samples: 200,
+                    threads: 4,
+                    journal: Some(path.clone()),
+                    fsync_every: 1,
+                    cancel: Some(token.clone()),
+                    ..CampaignSpec::default()
+                },
+                &MockInjector,
+                |k, _f| {
+                    // Slow the executor so the cancel lands mid-campaign
+                    // instead of after a microsecond blast through 200
+                    // instant injections.
+                    std::thread::sleep(Duration::from_millis(1));
+                    Ok(classify(k))
+                },
+                Some(&reg),
+            )
+        })
+        .expect("phase1");
+        assert!(phase1.completed >= 10, "cancel fired after 10 runs");
+        assert!(
+            phase1.completed < 200,
+            "cancellation actually cut the campaign short"
+        );
+
+        // Phase 2: resume with the same journal and no token; the result
+        // is identical to a never-canceled campaign.
+        let phase2 = run_campaign(
+            &CampaignSpec {
+                samples: 200,
+                threads: 4,
+                journal: Some(path.clone()),
+                ..CampaignSpec::default()
+            },
+            &MockInjector,
+            |k, _f| Ok(classify(k)),
+            None,
+        )
+        .expect("phase2");
+        assert_eq!(phase2.resumed, phase1.completed);
+        assert_eq!(phase2.completed, 200);
+        assert_eq!(phase2.tally, uninterrupted.tally);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_canceled_campaign_claims_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let r = run_campaign(
+            &CampaignSpec {
+                samples: 100,
+                threads: 2,
+                cancel: Some(token),
+                ..CampaignSpec::default()
+            },
+            &MockInjector,
+            |k, _f| Ok(classify(k)),
+            None,
+        )
+        .expect("campaign");
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed, 0);
     }
 
     #[test]

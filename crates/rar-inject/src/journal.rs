@@ -16,9 +16,10 @@
 //! anywhere else in the file is reported as an error rather than silently
 //! dropped.
 
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use rar_core::{FaultTarget, PlannedFault};
 
@@ -80,6 +81,76 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let rest = &line[start..];
     let end = rest.find([',', '}'])?;
     Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Why a proposed journal path cannot be used — diagnosed *before* a
+/// campaign starts, so a bad `--journal` argument is a clear typed error
+/// up front rather than a panic (or a wasted campaign) later.
+#[derive(Debug)]
+pub enum JournalPathError {
+    /// The path names an existing directory; the journal must be a file.
+    IsDirectory(PathBuf),
+    /// The path cannot be opened for appending (missing parent that
+    /// cannot be created, a parent that is a file, permissions, ...).
+    Unwritable {
+        /// The rejected journal path.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for JournalPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalPathError::IsDirectory(path) => {
+                write!(
+                    f,
+                    "journal path {} is a directory; pass a file path",
+                    path.display()
+                )
+            }
+            JournalPathError::Unwritable { path, source } => {
+                write!(
+                    f,
+                    "journal path {} is not writable: {source}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalPathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalPathError::IsDirectory(_) => None,
+            JournalPathError::Unwritable { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Checks that `path` can actually serve as a journal, by probing it the
+/// same way [`JournalWriter::open`] will (parents created, file opened
+/// for append). On success an empty journal file exists at `path`, which
+/// [`load_journal`] treats as a fresh start.
+///
+/// # Errors
+///
+/// [`JournalPathError::IsDirectory`] when `path` is an existing
+/// directory; [`JournalPathError::Unwritable`] when the append-mode open
+/// (or parent creation) fails.
+pub fn validate_journal_path(path: &Path) -> Result<(), JournalPathError> {
+    if path.is_dir() {
+        return Err(JournalPathError::IsDirectory(path.to_path_buf()));
+    }
+    match JournalWriter::open(path, 1) {
+        Ok(_) => Ok(()),
+        Err(source) => Err(JournalPathError::Unwritable {
+            path: path.to_path_buf(),
+            source,
+        }),
+    }
 }
 
 /// Append-only journal writer with batched `sync_data`.
@@ -252,6 +323,51 @@ mod tests {
     fn missing_journal_is_a_fresh_start() {
         let path = tmp_journal("missing");
         assert!(load_journal(&path).expect("load").is_empty());
+    }
+
+    #[test]
+    fn directory_journal_paths_are_typed_errors() {
+        let dir = std::env::temp_dir();
+        match validate_journal_path(&dir) {
+            Err(JournalPathError::IsDirectory(p)) => assert_eq!(p, dir),
+            other => panic!("expected IsDirectory, got {other:?}"),
+        }
+        let msg = validate_journal_path(&dir).unwrap_err().to_string();
+        assert!(msg.contains("is a directory"), "{msg}");
+    }
+
+    #[test]
+    fn unwritable_journal_paths_are_typed_errors() {
+        // A parent that is a regular *file* is unwritable for any user —
+        // including root, which ignores permission bits (so a chmod-based
+        // probe would be flaky across environments).
+        let blocker = tmp_journal("blocker");
+        std::fs::write(&blocker, b"not a directory").expect("write");
+        let path = blocker.join("campaign.jsonl");
+        match validate_journal_path(&path) {
+            Err(JournalPathError::Unwritable { path: p, source }) => {
+                assert_eq!(p, path);
+                let msg = format!("{}", JournalPathError::Unwritable { path: p, source });
+                assert!(msg.contains("not writable"), "{msg}");
+            }
+            other => panic!("expected Unwritable, got {other:?}"),
+        }
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn valid_journal_paths_probe_clean_and_stay_resumable() {
+        let path = tmp_journal("valid");
+        validate_journal_path(&path).expect("fresh temp path is writable");
+        // The probe leaves an empty journal: still a fresh start.
+        assert!(load_journal(&path).expect("load").is_empty());
+        // Validation of an existing journal does not disturb its records.
+        let mut w = JournalWriter::open(&path, 1).expect("open");
+        w.append(&record(3)).expect("append");
+        w.sync().expect("sync");
+        validate_journal_path(&path).expect("existing journal is writable");
+        assert_eq!(load_journal(&path).expect("load"), vec![record(3)]);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -29,5 +29,7 @@ pub mod journal;
 pub mod outcome;
 
 pub use campaign::{run_campaign, CampaignResult, CampaignSpec};
-pub use journal::{load_journal, JournalRecord, JournalWriter};
+pub use journal::{
+    load_journal, validate_journal_path, JournalPathError, JournalRecord, JournalWriter,
+};
 pub use outcome::{Outcome, Tally, TargetTally};

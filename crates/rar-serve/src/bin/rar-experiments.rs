@@ -16,6 +16,12 @@
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--threads N] [--journal PATH] [--tally-out PATH]
 //!                 [--max N]
+//! rar-experiments serve [--addr A] [--data-dir DIR] [--workers N]
+//!                 [--conn-threads N] [--no-cache] [--fsync-every N]
+//! rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH)
+//!                 [--wait] [--timeout SECS] [--out PATH] [--result N]
+//! rar-experiments status|cancel|events --server ADDR --id N
+//! rar-experiments metrics|shutdown --server ADDR
 //! ```
 //!
 //! Each figure subcommand prints the paper-shaped table to stdout; `--csv
@@ -49,7 +55,18 @@
 //! schema validation, the gated bench misses the `--min-hit-rate` floor,
 //! or throughput regressed more than `--max-slowdown` versus
 //! `--baseline` — the CI perf gate.
+//!
+//! The `serve` subcommand runs the long-lived campaign daemon (see the
+//! `rar-serve` crate): a persistent priority job queue, a shared worker
+//! pool over one sweep session (so the result cache and single-flight
+//! dedup span clients), and live telemetry endpoints. The remaining
+//! subcommands are the thin client: `submit` posts a job spec (add
+//! `--wait` to poll to completion and `--out` to save one raw result
+//! document), `status`/`cancel`/`events` address a job by `--id`
+//! (`events` tails the chunked progress stream to stdout), and
+//! `metrics`/`shutdown` address the daemon itself.
 
+use rar_serve::{CampaignServer, ServeClient, ServeOptions};
 use rar_sim::dashboard::{check_bench, render_dashboard, DEFAULT_MAX_SLOWDOWN};
 use rar_sim::experiment::{self, ExperimentOptions, Suite};
 use rar_sim::sweep::SweepSession;
@@ -69,7 +86,13 @@ fn usage() -> ExitCode {
        rar-experiments report [--dir DIR] [--out PATH] [--check] [--bench PATH] [--baseline PATH] \
          [--min-hit-rate F] [--max-slowdown F]\n\
        rar-experiments inject [--workload W] [--samples N] [--inject-seed N] [--instructions N] \
-         [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N]"
+         [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N]\n\
+       rar-experiments serve [--addr A] [--data-dir DIR] [--workers N] [--conn-threads N] \
+         [--no-cache] [--fsync-every N]\n\
+       rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH) [--wait] \
+         [--timeout SECS] [--out PATH] [--result N]\n\
+       rar-experiments status|cancel|events --server ADDR --id N\n\
+       rar-experiments metrics|shutdown --server ADDR"
     );
     ExitCode::from(2)
 }
@@ -279,15 +302,24 @@ fn inject_cmd(args: &[String]) -> ExitCode {
                 return usage();
             }
         };
+        let journal_path = journal.as_ref().map(|p| {
+            std::path::PathBuf::from(format!(
+                "{p}.{}",
+                technique.to_string().to_ascii_lowercase()
+            ))
+        });
+        // Fail up front with a typed diagnostic (directory, unwritable
+        // parent, ...) instead of panicking mid-campaign.
+        if let Some(path) = &journal_path {
+            if let Err(e) = rar_inject::validate_journal_path(path) {
+                eprintln!("inject: {e}");
+                return ExitCode::from(2);
+            }
+        }
         let spec = CampaignSpec {
             samples,
             threads,
-            journal: journal.as_ref().map(|p| {
-                std::path::PathBuf::from(format!(
-                    "{p}.{}",
-                    technique.to_string().to_ascii_lowercase()
-                ))
-            }),
+            journal: journal_path,
             limit,
             ..CampaignSpec::default()
         };
@@ -664,6 +696,197 @@ fn run_figures<P: Profiler>(
     ExitCode::SUCCESS
 }
 
+/// The `serve` subcommand: run the campaign daemon until shutdown.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServeOptions::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--no-cache" {
+            opts.cache = false;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--addr" => opts.addr = value.clone(),
+            "--data-dir" => opts.data_dir = std::path::PathBuf::from(value),
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) => opts.workers = n.max(1),
+                Err(_) => return usage(),
+            },
+            "--conn-threads" => match value.parse::<usize>() {
+                Ok(n) => opts.conn_threads = n.max(1),
+                Err(_) => return usage(),
+            },
+            "--fsync-every" => match value.parse::<usize>() {
+                Ok(n) => opts.fsync_every = n.max(1),
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let server = match CampaignServer::start(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The address line is machine-readable on purpose: the CI smoke job
+    // (and any script) parses it to find the ephemeral port.
+    println!("[rar-serve] listening on {}", server.addr());
+    server.wait();
+    println!("[rar-serve] shut down");
+    ExitCode::SUCCESS
+}
+
+/// The thin-client subcommands (`submit`, `status`, `cancel`, `events`,
+/// `metrics`, `shutdown`): one HTTP exchange each, plus optional
+/// poll-to-completion for `submit --wait`.
+fn client_cmd(cmd: &str, args: &[String]) -> ExitCode {
+    let mut server: Option<String> = None;
+    let mut id: Option<u64> = None;
+    let mut spec: Option<String> = None;
+    let mut wait = false;
+    let mut timeout_secs: u64 = 600;
+    let mut out: Option<String> = None;
+    let mut result_index: usize = 0;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if flag == "--wait" {
+            wait = true;
+            i += 1;
+            continue;
+        }
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag {
+            "--server" => server = Some(value.clone()),
+            "--id" => match value.parse() {
+                Ok(n) => id = Some(n),
+                Err(_) => return usage(),
+            },
+            "--spec" => spec = Some(value.clone()),
+            "--spec-file" => match std::fs::read_to_string(value) {
+                Ok(text) => spec = Some(text),
+                Err(e) => {
+                    eprintln!("cannot read {value}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--timeout" => match value.parse() {
+                Ok(n) => timeout_secs = n,
+                Err(_) => return usage(),
+            },
+            "--out" => out = Some(value.clone()),
+            "--result" => match value.parse() {
+                Ok(n) => result_index = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let Some(server) = server else {
+        eprintln!("{cmd}: --server ADDR is required");
+        return usage();
+    };
+    let client = ServeClient::new(server);
+    let need_id = || {
+        id.ok_or_else(|| {
+            eprintln!("{cmd}: --id N is required");
+        })
+    };
+    let outcome = match cmd {
+        "submit" => {
+            let Some(spec) = spec else {
+                eprintln!("submit: --spec JSON or --spec-file PATH is required");
+                return usage();
+            };
+            client.request("POST", "/v1/jobs", &spec).and_then(|resp| {
+                print!("{}", resp.body);
+                if !resp.ok() {
+                    return Err(std::io::Error::other(format!("HTTP {}", resp.status)));
+                }
+                if !wait {
+                    return Ok(resp);
+                }
+                let id = rar_serve::jobs::u64_field(&resp.body, "id")
+                    .ok()
+                    .flatten()
+                    .ok_or_else(|| std::io::Error::other("submit response had no id"))?;
+                let done = client.wait_for_job(id, std::time::Duration::from_secs(timeout_secs))?;
+                print!("{}", done.body);
+                if !done.body.contains("\"status\":\"completed\"") {
+                    return Err(std::io::Error::other("job did not complete"));
+                }
+                if let Some(path) = &out {
+                    let doc = client.request(
+                        "GET",
+                        &format!("/v1/jobs/{id}/results/{result_index}"),
+                        "",
+                    )?;
+                    if !doc.ok() {
+                        return Err(std::io::Error::other(format!(
+                            "result {result_index}: HTTP {}",
+                            doc.status
+                        )));
+                    }
+                    std::fs::write(path, &doc.body)?;
+                    eprintln!("wrote {path}");
+                }
+                Ok(done)
+            })
+        }
+        "status" => {
+            let Ok(id) = need_id() else { return usage() };
+            client.request("GET", &format!("/v1/jobs/{id}"), "")
+        }
+        "cancel" => {
+            let Ok(id) = need_id() else { return usage() };
+            client.request("DELETE", &format!("/v1/jobs/{id}"), "")
+        }
+        "events" => {
+            let Ok(id) = need_id() else { return usage() };
+            client
+                .stream("GET", &format!("/v1/jobs/{id}/events"), "", &mut |chunk| {
+                    print!("{chunk}");
+                })
+                .inspect(|_| println!())
+        }
+        "metrics" => client.request("GET", "/metrics", ""),
+        "shutdown" => client.request("POST", "/v1/shutdown", ""),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(resp) => {
+            if !matches!(cmd, "submit" | "events") {
+                print!("{}", resp.body);
+            }
+            if resp.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -677,6 +900,15 @@ fn main() -> ExitCode {
     }
     if cmd == "inject" {
         return inject_cmd(&args[1..]);
+    }
+    if cmd == "serve" {
+        return serve_cmd(&args[1..]);
+    }
+    if matches!(
+        cmd.as_str(),
+        "submit" | "status" | "cancel" | "events" | "metrics" | "shutdown"
+    ) {
+        return client_cmd(&cmd, &args[1..]);
     }
     let mut opts = ExperimentOptions::default();
     let mut csv_dir: Option<String> = None;

@@ -1,0 +1,182 @@
+//! A thin blocking HTTP client for the daemon.
+//!
+//! Used by the `rar-experiments` client subcommands and the CI smoke
+//! job; hand-rolled like the server so the workspace stays
+//! dependency-free. Understands exactly what the daemon emits:
+//! `Content-Length` bodies and chunked streams, `Connection: close`
+//! semantics.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One response: status code plus the (fully drained) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Decoded body (de-chunked when the server streamed).
+    pub body: String,
+}
+
+impl Response {
+    /// True for any 2xx status.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A client bound to one server address (`host:port`).
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// A client for `addr` (e.g. `127.0.0.1:7878`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> ServeClient {
+        ServeClient { addr: addr.into() }
+    }
+
+    /// Sends one request and drains the whole response.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or a response the daemon would never send
+    /// (missing status line, bad chunk framing).
+    pub fn request(&self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        self.stream(method, path, body, &mut |_| {})
+    }
+
+    /// Like [`ServeClient::request`], but invokes `on_chunk` with each
+    /// decoded fragment as it arrives — for following the live
+    /// `/v1/jobs/{id}/events` stream. The full body is still returned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ServeClient::request`].
+    pub fn stream(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+        on_chunk: &mut dyn FnMut(&str),
+    ) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len(),
+        )?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line {:?}", line.trim()),
+                )
+            })?;
+
+        let mut content_length: Option<usize> = None;
+        let mut chunked = false;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated response headers",
+                ));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value.parse().ok();
+                } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                    chunked = true;
+                }
+            }
+        }
+
+        let mut out = String::new();
+        if chunked {
+            loop {
+                let mut size_line = String::new();
+                if reader.read_line(&mut size_line)? == 0 {
+                    // Stream cut mid-flight (server shutdown): return what
+                    // arrived rather than failing a live tail.
+                    break;
+                }
+                let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad chunk size {:?}", size_line.trim()),
+                    )
+                })?;
+                if size == 0 {
+                    break;
+                }
+                let mut chunk = vec![0u8; size];
+                reader.read_exact(&mut chunk)?;
+                let mut crlf = [0u8; 2];
+                reader.read_exact(&mut crlf)?;
+                let text = String::from_utf8_lossy(&chunk).into_owned();
+                on_chunk(&text);
+                out.push_str(&text);
+            }
+        } else if let Some(n) = content_length {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            out = String::from_utf8_lossy(&buf).into_owned();
+        } else {
+            reader.read_to_string(&mut out)?;
+        }
+        Ok(Response { status, body: out })
+    }
+
+    /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal phase
+    /// (or `timeout` elapses), returning the final status document.
+    ///
+    /// # Errors
+    ///
+    /// Request failures, a non-2xx status, or timeout.
+    pub fn wait_for_job(&self, id: u64, timeout: Duration) -> io::Result<Response> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let resp = self.request("GET", &format!("/v1/jobs/{id}"), "")?;
+            if !resp.ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("job {id}: HTTP {}: {}", resp.status, resp.body.trim()),
+                ));
+            }
+            if let Some(status) = crate::jobs::field(&resp.body, "status") {
+                if matches!(status, "completed" | "canceled" | "failed") {
+                    return Ok(resp);
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id} still not terminal after {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}

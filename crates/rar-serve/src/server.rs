@@ -1,0 +1,710 @@
+//! The campaign daemon: routes, worker pool, and job lifecycle.
+//!
+//! One [`CampaignServer`] owns a single long-lived
+//! [`SweepSession`] shared by every job — so the content-addressed
+//! result cache, the in-memory memoization stores, and the single-flight
+//! deduplication gate all span tenants: two jobs that ask for the same
+//! cell concurrently trigger exactly one simulation (one leads, one
+//! subscribes), and a cell any past job finished replays from cache.
+//! Fault-injection jobs journal per job under the data directory, so a
+//! killed-and-restarted daemon resumes campaigns injection-exactly.
+//!
+//! Threads: one acceptor feeds accepted connections to a bounded pool of
+//! connection handlers (requests are short-lived except the chunked
+//! `/v1/jobs/{id}/events` stream); a separate pool of job workers drains
+//! the priority queue. Every job carries a [`CancelToken`] checked at
+//! unit-of-work boundaries — `DELETE /v1/jobs/{id}` is cooperative and
+//! never tears a simulation or a journal.
+//!
+//! Routes:
+//!
+//! | method & path                  | effect                                   |
+//! |--------------------------------|------------------------------------------|
+//! | `POST /v1/jobs`                | submit a [`JobSpec`]; returns `{"id":N}` |
+//! | `GET /v1/jobs/{id}`            | status + partial results                 |
+//! | `GET /v1/jobs/{id}/results/{i}`| one raw result document (byte-stable)    |
+//! | `DELETE /v1/jobs/{id}`         | cooperative cancellation                 |
+//! | `GET /v1/jobs/{id}/events`     | chunked live progress stream             |
+//! | `GET /metrics`                 | live Prometheus text (server + session)  |
+//! | `POST /v1/shutdown`            | graceful shutdown                        |
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rar_core::Technique;
+use rar_inject::CampaignSpec;
+use rar_sim::inject::{run_injection_campaign, InjectionHarness};
+use rar_sim::{json, SimConfig, SweepSession};
+use rar_telemetry::{
+    export, names, CancelToken, Counter, Gauge, MetricsRegistry, ProgressReporter, ProgressSnapshot,
+};
+
+use crate::http::{
+    end_chunks, read_request, respond, start_chunked, write_chunk, Request, RequestError,
+};
+use crate::jobs::{InjectJob, JobKind, JobPhase, JobSpec, SweepJob};
+use crate::queue::{JobQueue, QueuedJob};
+
+/// How a daemon is configured; all knobs have serviceable defaults.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Where the queue journal, campaign journals and result cache live.
+    pub data_dir: PathBuf,
+    /// Job workers draining the priority queue.
+    pub workers: usize,
+    /// Connection-handler threads (the HTTP pool bound).
+    pub conn_threads: usize,
+    /// Whether to keep the on-disk result cache (under `data_dir/cache`).
+    pub cache: bool,
+    /// Queue-journal records per fsync batch.
+    pub fsync_every: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            data_dir: PathBuf::from("results/serve"),
+            workers: 2,
+            conn_threads: 4,
+            cache: true,
+            fsync_every: 8,
+        }
+    }
+}
+
+/// Telemetry handles for the daemon, registered eagerly so every
+/// `names::SERVE_ALL` metric exists (at zero) from the first scrape.
+struct ServeCounters {
+    http_requests: Counter,
+    submitted: Counter,
+    completed: Counter,
+    canceled: Counter,
+    failed: Counter,
+    resumed: Counter,
+    active: Gauge,
+    workers: Gauge,
+}
+
+impl ServeCounters {
+    fn register(reg: &MetricsRegistry) -> ServeCounters {
+        ServeCounters {
+            http_requests: reg.counter(names::SERVE_HTTP_REQUESTS),
+            submitted: reg.counter(names::SERVE_JOBS_SUBMITTED),
+            completed: reg.counter(names::SERVE_JOBS_COMPLETED),
+            canceled: reg.counter(names::SERVE_JOBS_CANCELED),
+            failed: reg.counter(names::SERVE_JOBS_FAILED),
+            resumed: reg.counter(names::SERVE_JOBS_RESUMED),
+            active: reg.gauge(names::SERVE_JOBS_ACTIVE),
+            workers: reg.gauge(names::SERVE_WORKERS),
+        }
+    }
+}
+
+/// Mutable job state behind the handle's lock.
+struct JobProgress {
+    phase: JobPhase,
+    completed: u64,
+    failed: u64,
+    total: u64,
+    /// One rendered JSON document per finished unit that produces one
+    /// (sweep cells; the inject tally when the campaign completes).
+    results: Vec<String>,
+    error: Option<String>,
+}
+
+/// One job as the server tracks it: immutable identity + spec, a cancel
+/// token, and locked progress.
+pub struct JobHandle {
+    id: u64,
+    spec: JobSpec,
+    cancel: CancelToken,
+    state: Mutex<JobProgress>,
+}
+
+impl JobHandle {
+    fn new(job: &QueuedJob) -> Arc<JobHandle> {
+        Arc::new(JobHandle {
+            id: job.id,
+            spec: job.spec.clone(),
+            cancel: CancelToken::new(),
+            state: Mutex::new(JobProgress {
+                phase: JobPhase::Queued,
+                completed: 0,
+                failed: 0,
+                total: job.spec.total_units(),
+                results: Vec::new(),
+                error: None,
+            }),
+        })
+    }
+
+    /// Status + partial results as the `GET /v1/jobs/{id}` body.
+    fn status_json(&self) -> String {
+        let st = self.state.lock().expect("job state lock");
+        let mut out = format!(
+            "{{\"id\":{},\"status\":\"{}\",\"priority\":{},\"completed\":{},\"failed\":{},\"total\":{}",
+            self.id,
+            st.phase.name(),
+            self.spec.priority,
+            st.completed,
+            st.failed,
+            st.total
+        );
+        if let Some(err) = &st.error {
+            out.push_str(",\"error\":\"");
+            out.push_str(&escape_json(err));
+            out.push('"');
+        }
+        out.push_str(",\"results\":[");
+        for (i, r) in st.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(r.trim_end());
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    fn snapshot(&self) -> (JobPhase, ProgressSnapshot) {
+        let st = self.state.lock().expect("job state lock");
+        (
+            st.phase,
+            ProgressSnapshot {
+                completed: st.completed,
+                cache_hits: 0,
+                failed: st.failed,
+                busy_nanos: 0,
+                threads: 1,
+            },
+        )
+    }
+}
+
+/// Minimal JSON string escaping for error messages.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct ServerInner {
+    session: SweepSession,
+    queue: JobQueue,
+    jobs: Mutex<BTreeMap<u64, Arc<JobHandle>>>,
+    registry: MetricsRegistry,
+    counters: ServeCounters,
+    data_dir: PathBuf,
+    shutdown: CancelToken,
+    addr: SocketAddr,
+}
+
+/// A running daemon; dropping it does NOT stop it — call
+/// [`CampaignServer::stop`] (tests) or [`CampaignServer::wait`] (CLI).
+pub struct CampaignServer {
+    inner: Arc<ServerInner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl CampaignServer {
+    /// Binds, replays the queue journal, and starts every thread.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, unreadable/corrupt queue journal, unwritable data
+    /// directory.
+    pub fn start(opts: ServeOptions) -> io::Result<CampaignServer> {
+        std::fs::create_dir_all(&opts.data_dir)?;
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let journal = opts.data_dir.join("queue.jsonl");
+        let (queue, resumed) = JobQueue::open(Some(&journal), opts.fsync_every)?;
+        let session = if opts.cache {
+            SweepSession::with_disk_cache(opts.data_dir.join("cache"))
+        } else {
+            SweepSession::new()
+        };
+        let registry = MetricsRegistry::new();
+        let counters = ServeCounters::register(&registry);
+        counters.workers.set(opts.workers as f64);
+        let inner = Arc::new(ServerInner {
+            session,
+            queue,
+            jobs: Mutex::new(BTreeMap::new()),
+            registry,
+            counters,
+            data_dir: opts.data_dir.clone(),
+            shutdown: CancelToken::new(),
+            addr,
+        });
+        for job in &resumed {
+            let handle = JobHandle::new(job);
+            inner.jobs.lock().expect("jobs lock").insert(job.id, handle);
+            inner.counters.resumed.inc();
+            inner.counters.submitted.inc();
+        }
+        inner.refresh_active();
+
+        let mut threads = Vec::new();
+        for _ in 0..opts.workers {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                while let Some(job) = inner.queue.claim() {
+                    inner.run_job(&job);
+                }
+            }));
+        }
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        for _ in 0..opts.conn_threads.max(1) {
+            let inner = Arc::clone(&inner);
+            let conn_rx = Arc::clone(&conn_rx);
+            threads.push(std::thread::spawn(move || loop {
+                let next = conn_rx.lock().expect("conn rx lock").recv();
+                match next {
+                    Ok(mut stream) => inner.handle_connection(&mut stream),
+                    Err(_) => break,
+                }
+            }));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.shutdown.is_canceled() {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // A send can only fail after shutdown dropped the
+                        // handlers; the connection is simply closed.
+                        let _ = conn_tx.send(stream);
+                    }
+                }
+                drop(conn_tx);
+            }));
+        }
+        Ok(CampaignServer { inner, threads })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The daemon's own metrics registry (`SERVE_*`, plus `INJECT_*`
+    /// once an injection job has run).
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// The shared sweep engine's registry (`SWEEP_*` and guest stats).
+    #[must_use]
+    pub fn session_registry(&self) -> &MetricsRegistry {
+        self.inner.session.registry()
+    }
+
+    /// Begins a graceful shutdown: stop accepting, stop claiming jobs.
+    /// Jobs already running finish (cancel them first if needed); queued
+    /// jobs stay journaled for the next start.
+    pub fn initiate_shutdown(&self) {
+        self.inner.initiate_shutdown();
+    }
+
+    /// Blocks until every server thread exits (i.e. until shutdown).
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// [`CampaignServer::initiate_shutdown`] + [`CampaignServer::wait`].
+    pub fn stop(self) {
+        self.initiate_shutdown();
+        self.wait();
+    }
+}
+
+impl ServerInner {
+    fn initiate_shutdown(&self) {
+        self.shutdown.cancel();
+        self.queue.close();
+        // Unblock the acceptor, which is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn handle(&self, id: u64) -> Option<Arc<JobHandle>> {
+        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+    }
+
+    /// Recomputes the queued-or-running gauge.
+    fn refresh_active(&self) {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let active = jobs
+            .values()
+            .filter(|h| !h.state.lock().expect("job state lock").phase.is_terminal())
+            .count();
+        self.counters.active.set(active as f64);
+    }
+
+    // ---- job execution -------------------------------------------------
+
+    fn run_job(self: &Arc<Self>, job: &QueuedJob) {
+        let Some(handle) = self.handle(job.id) else {
+            return;
+        };
+        {
+            let mut st = handle.state.lock().expect("job state lock");
+            if st.phase != JobPhase::Queued {
+                // Canceled between submission and claim; already journaled.
+                return;
+            }
+            st.phase = JobPhase::Running;
+        }
+        let phase = if handle.cancel.is_canceled() {
+            JobPhase::Canceled
+        } else {
+            match &handle.spec.kind {
+                JobKind::Sweep(s) => self.run_sweep_job(&handle, s),
+                JobKind::Inject(i) => self.run_inject_job(&handle, i),
+            }
+        };
+        handle.state.lock().expect("job state lock").phase = phase;
+        self.queue.record_terminal(job.id, phase);
+        match phase {
+            JobPhase::Completed => self.counters.completed.inc(),
+            JobPhase::Canceled => self.counters.canceled.inc(),
+            _ => self.counters.failed.inc(),
+        }
+        self.refresh_active();
+    }
+
+    /// Sweep jobs run cell by cell through the shared session: each cell
+    /// lands in the live result list as soon as it finishes (partial
+    /// results), and the cancel token is honored between cells. Dedup
+    /// against concurrent jobs comes from the session's single-flight
+    /// gate; dedup against past jobs from its result cache.
+    fn run_sweep_job(&self, handle: &JobHandle, sweep: &SweepJob) -> JobPhase {
+        for cfg in sweep.configs() {
+            if handle.cancel.is_canceled() {
+                return JobPhase::Canceled;
+            }
+            match self.session.run(&cfg) {
+                Ok(result) => {
+                    let mut st = handle.state.lock().expect("job state lock");
+                    st.results.push(json::to_json_for(&cfg, &result));
+                    st.completed += 1;
+                }
+                Err(e) => {
+                    let mut st = handle.state.lock().expect("job state lock");
+                    st.failed += 1;
+                    st.error = Some(format!("{}/{}: {e}", cfg.workload, cfg.technique));
+                }
+            }
+        }
+        let st = handle.state.lock().expect("job state lock");
+        if st.failed > 0 {
+            JobPhase::Failed
+        } else {
+            JobPhase::Completed
+        }
+    }
+
+    /// Inject jobs reproduce the CLI's paired OoO/RAR campaign and
+    /// render the identical `rar-inject-tally-v1` document, journaling
+    /// under the data directory so a daemon restart resumes
+    /// injection-exactly.
+    fn run_inject_job(&self, handle: &JobHandle, inject: &InjectJob) -> JobPhase {
+        let mut tallies = Vec::new();
+        for technique in [Technique::Ooo, Technique::Rar] {
+            if handle.cancel.is_canceled() {
+                return JobPhase::Canceled;
+            }
+            let mut b = SimConfig::builder();
+            b.workload(&inject.workload)
+                .technique(technique)
+                .warmup(inject.warmup)
+                .instructions(inject.instructions);
+            let cfg = b.build();
+            let harness = match InjectionHarness::prepare(&cfg) {
+                Ok(h) => h,
+                Err(e) => {
+                    let mut st = handle.state.lock().expect("job state lock");
+                    st.error = Some(e.to_string());
+                    return JobPhase::Failed;
+                }
+            };
+            let journal = self.data_dir.join(format!(
+                "inject-{}.jsonl.{}",
+                handle.id,
+                technique.to_string().to_ascii_lowercase()
+            ));
+            let spec = CampaignSpec {
+                samples: inject.samples,
+                threads: inject.threads,
+                journal: Some(journal),
+                cancel: Some(handle.cancel.clone()),
+                ..CampaignSpec::default()
+            };
+            let result = match run_injection_campaign(
+                &harness,
+                &spec,
+                inject.inject_seed,
+                None,
+                Some(&self.registry),
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    let mut st = handle.state.lock().expect("job state lock");
+                    st.error = Some(format!("campaign journal: {e}"));
+                    return JobPhase::Failed;
+                }
+            };
+            {
+                let mut st = handle.state.lock().expect("job state lock");
+                st.completed += result.completed;
+                st.failed += result.failed;
+            }
+            if handle.cancel.is_canceled() && result.completed < inject.samples {
+                return JobPhase::Canceled;
+            }
+            if result.failed > 0 {
+                let mut st = handle.state.lock().expect("job state lock");
+                st.error = Some(format!(
+                    "{} of {} injections failed under {technique}",
+                    result.failed, inject.samples
+                ));
+                return JobPhase::Failed;
+            }
+            tallies.push(result.tally.to_json());
+        }
+        let document = format!(
+            "{{\"schema\":\"rar-inject-tally-v1\",\"workload\":\"{}\",\
+             \"inject_seed\":{},\"ooo\":{},\"rar\":{}}}\n",
+            inject.workload, inject.inject_seed, tallies[0], tallies[1]
+        );
+        handle
+            .state
+            .lock()
+            .expect("job state lock")
+            .results
+            .push(document);
+        JobPhase::Completed
+    }
+
+    // ---- HTTP ----------------------------------------------------------
+
+    fn handle_connection(self: &Arc<Self>, stream: &mut TcpStream) {
+        let req = match read_request(stream) {
+            Ok(req) => req,
+            Err(RequestError::TooLarge(what)) => {
+                let _ = respond(stream, 413, "text/plain", &format!("{what}\n"));
+                return;
+            }
+            Err(e) => {
+                let _ = respond(stream, 400, "text/plain", &format!("{e}\n"));
+                return;
+            }
+        };
+        self.counters.http_requests.inc();
+        if let Err(e) = self.route(stream, &req) {
+            eprintln!(
+                "[rar-serve] {} {}: response failed: {e}",
+                req.method, req.path
+            );
+        }
+    }
+
+    fn route(self: &Arc<Self>, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+        let path = req.path.trim_matches('/').to_owned();
+        let segs: Vec<&str> = path.split('/').collect();
+        match (req.method.as_str(), segs.as_slice()) {
+            ("POST", ["v1", "jobs"]) => self.submit_route(stream, &req.body),
+            ("GET", ["metrics"]) => {
+                let text = format!(
+                    "{}{}",
+                    export::to_prometheus(&self.registry),
+                    self.session.telemetry_prometheus()
+                );
+                respond(stream, 200, "text/plain; version=0.0.4", &text)
+            }
+            ("GET", ["v1", "jobs", id]) => match self.parse_handle(id) {
+                Some(handle) => respond(stream, 200, "application/json", &handle.status_json()),
+                None => respond(stream, 404, "text/plain", "no such job\n"),
+            },
+            ("GET", ["v1", "jobs", id, "results", index]) => self.result_route(stream, id, index),
+            ("DELETE", ["v1", "jobs", id]) => self.cancel_route(stream, id),
+            ("GET", ["v1", "jobs", id, "events"]) => self.events_route(stream, id),
+            ("POST", ["v1", "shutdown"]) => {
+                respond(
+                    stream,
+                    200,
+                    "application/json",
+                    "{\"status\":\"shutting-down\"}\n",
+                )?;
+                self.initiate_shutdown();
+                Ok(())
+            }
+            _ => respond(stream, 404, "text/plain", "unknown route\n"),
+        }
+    }
+
+    fn parse_handle(&self, id: &str) -> Option<Arc<JobHandle>> {
+        id.parse().ok().and_then(|id| self.handle(id))
+    }
+
+    fn submit_route(self: &Arc<Self>, stream: &mut TcpStream, body: &str) -> io::Result<()> {
+        let spec = match JobSpec::parse(body) {
+            Ok(spec) => spec,
+            Err(e) => return respond(stream, 400, "text/plain", &format!("{e}\n")),
+        };
+        if self.shutdown.is_canceled() {
+            return respond(stream, 503, "text/plain", "shutting down\n");
+        }
+        let job = match self.queue.submit(spec) {
+            Ok(job) => job,
+            Err(e) => {
+                return respond(
+                    stream,
+                    503,
+                    "text/plain",
+                    &format!("queue journal write failed: {e}\n"),
+                )
+            }
+        };
+        let handle = JobHandle::new(&job);
+        self.jobs.lock().expect("jobs lock").insert(job.id, handle);
+        self.counters.submitted.inc();
+        self.refresh_active();
+        respond(
+            stream,
+            201,
+            "application/json",
+            &format!("{{\"id\":{},\"status\":\"queued\"}}\n", job.id),
+        )
+    }
+
+    fn result_route(&self, stream: &mut TcpStream, id: &str, index: &str) -> io::Result<()> {
+        let Some(handle) = self.parse_handle(id) else {
+            return respond(stream, 404, "text/plain", "no such job\n");
+        };
+        let Ok(index) = index.parse::<usize>() else {
+            return respond(stream, 404, "text/plain", "bad result index\n");
+        };
+        let st = handle.state.lock().expect("job state lock");
+        match st.results.get(index) {
+            Some(doc) => {
+                let doc = doc.clone();
+                drop(st);
+                respond(stream, 200, "application/json", &doc)
+            }
+            None => respond(stream, 404, "text/plain", "no such result (yet)\n"),
+        }
+    }
+
+    fn cancel_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let Some(handle) = self.parse_handle(id) else {
+            return respond(stream, 404, "text/plain", "no such job\n");
+        };
+        handle.cancel.cancel();
+        let phase = {
+            let mut st = handle.state.lock().expect("job state lock");
+            if st.phase == JobPhase::Queued {
+                // Not yet claimed: unqueue and finalize here. A worker
+                // that raced us and claimed it first will see Running and
+                // finalize through the cooperative path instead.
+                st.phase = JobPhase::Canceled;
+                self.queue.remove(handle.id);
+                self.queue.record_terminal(handle.id, JobPhase::Canceled);
+                self.counters.canceled.inc();
+            }
+            st.phase
+        };
+        self.refresh_active();
+        respond(
+            stream,
+            200,
+            "application/json",
+            &format!(
+                "{{\"id\":{},\"status\":\"{}\",\"canceling\":true}}\n",
+                handle.id,
+                phase.name()
+            ),
+        )
+    }
+
+    /// The chunked progress stream: one `ProgressReporter` heartbeat
+    /// line per interval while the job runs, then the reporter's final
+    /// line and the job's terminal status document.
+    fn events_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let Some(handle) = self.parse_handle(id) else {
+            return respond(stream, 404, "text/plain", "no such job\n");
+        };
+        let total = handle.state.lock().expect("job state lock").total;
+        let reporter = ProgressReporter::new(total, Duration::from_millis(200));
+        start_chunked(stream, 200, "text/plain")?;
+        write_chunk(
+            stream,
+            &format!("job {} [{}]\n", handle.id, handle.spec.to_json()),
+        )?;
+        loop {
+            let (phase, snap) = handle.snapshot();
+            if phase.is_terminal() {
+                write_chunk(stream, &format!("{}\n", reporter.final_line(&snap)))?;
+                write_chunk(stream, &format!("job {} {}\n", handle.id, phase.name()))?;
+                break;
+            }
+            if self.shutdown.is_canceled() {
+                write_chunk(stream, "server shutting down\n")?;
+                break;
+            }
+            if let Some(line) = reporter.heartbeat(&snap) {
+                write_chunk(stream, &format!("{line}\n"))?;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        end_chunks(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_serve_metric_is_registered_at_startup() {
+        let reg = MetricsRegistry::new();
+        let _counters = ServeCounters::register(&reg);
+        let text = export::to_prometheus(&reg);
+        for name in names::SERVE_ALL {
+            assert!(text.contains(name), "{name} missing from first scrape");
+        }
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_and_control_characters() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("line\nbreak\t\u{1}"), "line\\nbreak\\t\\u0001");
+    }
+}

@@ -21,6 +21,20 @@
 //!    whole chunk. Results land in a slot indexed by cell position, so
 //!    the output order — and, since every cell is deterministic, every
 //!    value — is independent of thread count and steal order.
+//! 4. **Single-flight deduplication.** Concurrent requests for the same
+//!    [`SimConfig::fingerprint`] collapse onto one simulation: the first
+//!    caller leads, later callers subscribe and receive a clone of the
+//!    leader's result the moment it lands. This is what lets a serve
+//!    daemon multiplex overlapping grids from independent clients over
+//!    one session without ever simulating a shared cell twice
+//!    (`rar_sweep_inflight_waits_total` counts the shared cells).
+//!
+//! Sessions are **long-lived, multi-client and cancellable**: every
+//! method takes `&self`, so one `Arc<SweepSession>` can serve many
+//! concurrent sweeps, and [`SweepSession::run_all_cancellable`] threads a
+//! [`CancelToken`] through the work-stealing scheduler — a canceled sweep
+//! stops claiming cells at the next cell boundary, leaving every already
+//! finished cell published (and cached) and every unclaimed cell `None`.
 //!
 //! # Telemetry
 //!
@@ -43,8 +57,8 @@ use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
 use rar_core::RunVerdict;
 use rar_telemetry::names;
 use rar_telemetry::{
-    sanitize_f64, Counter, Gauge, Histogram, ManifestBuilder, MetricsRegistry, NullProfiler, Phase,
-    Profiler, ProgressReporter, ProgressSnapshot, ScopeTimer, WallProfiler,
+    sanitize_f64, CancelToken, Counter, Gauge, Histogram, ManifestBuilder, MetricsRegistry,
+    NullProfiler, Phase, Profiler, ProgressReporter, ProgressSnapshot, ScopeTimer, WallProfiler,
 };
 use rar_trace::NullSink;
 use rar_verify::{AceRefinement, ConfigError};
@@ -53,7 +67,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Per-run watchdog bounds for session-executed cells.
@@ -246,6 +260,8 @@ struct SweepCounters {
     run_timeouts: Counter,
     cache_io_errors: Counter,
     cache_disabled: Gauge,
+    inflight_waits: Counter,
+    canceled: Counter,
 }
 
 impl SweepCounters {
@@ -266,6 +282,65 @@ impl SweepCounters {
             run_timeouts: registry.counter(names::SWEEP_RUN_TIMEOUTS),
             cache_io_errors: registry.counter(names::SWEEP_CACHE_IO_ERRORS),
             cache_disabled: registry.gauge(names::SWEEP_CACHE_DISABLED),
+            inflight_waits: registry.counter(names::SWEEP_INFLIGHT_WAITS),
+            canceled: registry.counter(names::SWEEP_CELLS_CANCELED),
+        }
+    }
+}
+
+/// One in-flight simulation: the leader publishes into `state` and wakes
+/// subscribers through `ready`.
+#[derive(Debug, Default)]
+struct Inflight {
+    state: Mutex<InflightState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+enum InflightState {
+    /// The leader is still simulating.
+    #[default]
+    Running,
+    /// The leader finished; subscribers clone this result. Boxed so the
+    /// idle `Running`/`Abandoned` states don't pay `SimResult`'s size.
+    Done(Box<SimResult>),
+    /// The leader failed (config rejection, timeout, panic). Subscribers
+    /// re-enter the single-flight gate and run the cell themselves so the
+    /// typed error (or panic) surfaces per caller instead of being
+    /// smuggled across threads.
+    Abandoned,
+}
+
+/// Removes the leader's single-flight slot and wakes subscribers even if
+/// the simulation panics; the leader marks success via
+/// [`InflightLead::publish`], anything else abandons the slot on drop.
+struct InflightLead<'s> {
+    slots: &'s Mutex<HashMap<String, Arc<Inflight>>>,
+    key: String,
+    cell: Arc<Inflight>,
+    published: bool,
+}
+
+impl InflightLead<'_> {
+    fn publish(mut self, result: &SimResult) {
+        self.finish(InflightState::Done(Box::new(result.clone())));
+        self.published = true;
+    }
+
+    fn finish(&self, state: InflightState) {
+        // Unlink first so late arrivals start a fresh flight instead of
+        // subscribing to a settled one; the map and state locks are never
+        // held together.
+        self.slots.lock().expect("inflight lock").remove(&self.key);
+        *self.cell.state.lock().expect("inflight state lock") = state;
+        self.cell.ready.notify_all();
+    }
+}
+
+impl Drop for InflightLead<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.finish(InflightState::Abandoned);
         }
     }
 }
@@ -290,6 +365,9 @@ pub struct SweepSession<P: Profiler = NullProfiler> {
     /// Workloads and config fingerprints seen by this session, for the
     /// run manifest.
     seen: Mutex<SeenInputs>,
+    /// Single-flight table: fingerprint → the in-flight simulation any
+    /// concurrent request for the same cell subscribes to.
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
 }
 
 /// A profiled session: every host-side phase is wall-clock attributed.
@@ -397,6 +475,7 @@ impl<P: Profiler> SweepSession<P> {
             profiler,
             cache_off: AtomicBool::new(false),
             seen: Mutex::new(SeenInputs::default()),
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -504,14 +583,16 @@ impl<P: Profiler> SweepSession<P> {
         None
     }
 
-    /// Cache → memoize → simulate for one pre-validated cell.
+    /// Cache → single-flight gate → memoize → simulate for one
+    /// pre-validated cell.
     fn run_validated(&self, cfg: &SimConfig) -> Result<CellOutcome, RunError> {
+        let key = cfg.fingerprint();
         {
             let mut seen = self.seen.lock().expect("seen lock");
             if !seen.workloads.contains(&cfg.workload) {
                 seen.workloads.insert(cfg.workload.clone());
             }
-            seen.fingerprints.insert(cfg.fingerprint());
+            seen.fingerprints.insert(key.clone());
         }
         if let Some(cache) = self.live_cache() {
             let probe = ScopeTimer::start(&self.profiler, Phase::CacheProbe);
@@ -527,6 +608,65 @@ impl<P: Profiler> SweepSession<P> {
                 });
             }
         }
+        // Single-flight gate: concurrent requests for one fingerprint
+        // collapse onto one simulation. The first caller leads; later
+        // callers subscribe and clone the leader's result (counted in
+        // `rar_sweep_inflight_waits_total`, never as simulated or cached).
+        // A failed leader abandons the slot and every subscriber retries
+        // the gate, so errors surface per caller with full type fidelity.
+        loop {
+            let lead = {
+                let mut slots = self.inflight.lock().expect("inflight lock");
+                match slots.get(&key) {
+                    Some(cell) => Err(Arc::clone(cell)),
+                    None => {
+                        let cell = Arc::new(Inflight::default());
+                        slots.insert(key.clone(), Arc::clone(&cell));
+                        Ok(cell)
+                    }
+                }
+            };
+            match lead {
+                Ok(cell) => {
+                    let lead = InflightLead {
+                        slots: &self.inflight,
+                        key: key.clone(),
+                        cell,
+                        published: false,
+                    };
+                    // On error (or panic) `lead` drops unpublished and
+                    // abandons the slot for the subscribers.
+                    let outcome = self.simulate_validated(cfg)?;
+                    lead.publish(&outcome.result);
+                    return Ok(outcome);
+                }
+                Err(cell) => {
+                    self.counters.inflight_waits.inc();
+                    let mut state = cell.state.lock().expect("inflight state lock");
+                    let settled = loop {
+                        match &*state {
+                            InflightState::Running => {
+                                state = cell.ready.wait(state).expect("inflight state lock");
+                            }
+                            InflightState::Done(r) => break Some(r.as_ref().clone()),
+                            InflightState::Abandoned => break None,
+                        }
+                    };
+                    if let Some(result) = settled {
+                        return Ok(CellOutcome {
+                            result,
+                            cache_hit: false,
+                        });
+                    }
+                    // Leader failed: loop back and run the cell ourselves.
+                }
+            }
+        }
+    }
+
+    /// Memoized artifacts → watchdogged simulation → cache store for one
+    /// cell that lost the cache probe and won the single-flight gate.
+    fn simulate_validated(&self, cfg: &SimConfig) -> Result<CellOutcome, RunError> {
         let artifacts = self
             .artifacts
             .artifacts_for(cfg, &self.counters, &self.profiler);
@@ -579,6 +719,22 @@ impl<P: Profiler> SweepSession<P> {
     /// `RAR_PROGRESS_SECS` seconds (default 5; `0` disables), plus one
     /// summary line when the sweep finishes.
     pub fn run_all(&self, configs: &[SimConfig]) -> Vec<Option<SimResult>> {
+        self.run_all_cancellable(configs, &CancelToken::new())
+    }
+
+    /// [`SweepSession::run_all`] with a cooperative [`CancelToken`].
+    ///
+    /// Workers poll the token before claiming each cell: a cell already
+    /// simulating runs to completion (and lands in the result cache),
+    /// while unclaimed cells are returned as `None` and counted in
+    /// `rar_sweep_cells_canceled_total`. Completed cells keep their
+    /// results, so a canceled sweep leaves the disk cache consistent and
+    /// a resubmitted grid replays the finished prefix for free.
+    pub fn run_all_cancellable(
+        &self,
+        configs: &[SimConfig],
+        cancel: &CancelToken,
+    ) -> Vec<Option<SimResult>> {
         let valid: Vec<bool> = configs
             .iter()
             .map(|cfg| match cfg.validate() {
@@ -638,6 +794,11 @@ impl<P: Profiler> SweepSession<P> {
                 let busy_nanos = &busy_nanos;
                 let snapshot = &snapshot;
                 s.spawn(move || loop {
+                    // Cancellation point: checked once per cell, before
+                    // claiming it, so an in-flight cell always finishes.
+                    if cancel.is_canceled() {
+                        break;
+                    }
                     // Own queue first (front), then steal from peers
                     // (back) — the classic deque discipline keeps stolen
                     // work coarse.
@@ -702,6 +863,16 @@ impl<P: Profiler> SweepSession<P> {
         self.counters
             .busy_nanos
             .add(busy_nanos.load(Ordering::Relaxed));
+        // Anything still sitting in a deque was abandoned by the
+        // cancellation token — account for it so a canceled sweep's
+        // telemetry explains its missing cells.
+        let unclaimed: usize = queues
+            .iter()
+            .map(|q| q.lock().expect("queue lock").len())
+            .sum();
+        if unclaimed > 0 {
+            self.counters.canceled.add(unclaimed as u64);
+        }
         if runnable > 0 {
             let completed = done.load(Ordering::Relaxed) as u64;
             eprintln!("{}", reporter.final_line(&snapshot(completed)));
@@ -946,10 +1117,12 @@ mod tests {
         let s = session.stats();
         assert_eq!(s.cache_hit_rate(), 0.0);
         assert_eq!(s.runs_per_second(), 0.0);
+        // Match non-finite *values* (`: inf`), not the substring `inf`,
+        // which legitimately appears in `rar_sweep_inflight_waits_total`.
         let json = session.bench_json();
-        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(!json.contains("NaN") && !json.contains(": inf"), "{json}");
         let manifest = session.manifest_json("rar-sim-tests", "0.0.0");
-        assert!(!manifest.contains("NaN") && !manifest.contains("inf"));
+        assert!(!manifest.contains("NaN") && !manifest.contains(": inf"));
     }
 
     #[test]
@@ -1101,6 +1274,182 @@ mod tests {
         assert_eq!(again, result);
         assert_eq!(io_errors.get(), 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inflight_subscribers_reuse_the_leaders_result() {
+        // Deterministic single-flight mechanics: occupy the slot by hand
+        // (as a leader would), let a subscriber block on it, publish, and
+        // check the subscriber returned the published result without
+        // simulating anything itself.
+        let session = SweepSession::new();
+        let cfg = grid()[0].clone();
+        let key = cfg.fingerprint();
+        let cell = Arc::new(Inflight::default());
+        session
+            .inflight
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::clone(&cell));
+        let expected = Simulation::run(&cfg);
+        std::thread::scope(|s| {
+            let subscriber = s.spawn(|| session.run_validated(&cfg).unwrap());
+            while session.counters.inflight_waits.get() == 0 {
+                std::thread::yield_now();
+            }
+            let lead = InflightLead {
+                slots: &session.inflight,
+                key,
+                cell: Arc::clone(&cell),
+                published: false,
+            };
+            lead.publish(&expected);
+            let got = subscriber.join().unwrap();
+            assert!(
+                !got.cache_hit,
+                "a shared in-flight result is not a cache hit"
+            );
+            assert_eq!(got.result, expected);
+        });
+        assert_eq!(
+            session.stats().simulated,
+            0,
+            "the subscriber never simulated"
+        );
+        assert_eq!(session.counters.inflight_waits.get(), 1);
+        assert!(session.inflight.lock().unwrap().is_empty(), "slot released");
+    }
+
+    #[test]
+    fn abandoned_leader_lets_subscribers_run_the_cell_themselves() {
+        // A leader that dies without publishing (the Drop guard fires on
+        // panic or error) must not strand its subscribers: they retry the
+        // gate and one of them runs the cell.
+        let session = SweepSession::new();
+        let cfg = grid()[0].clone();
+        let key = cfg.fingerprint();
+        let cell = Arc::new(Inflight::default());
+        session
+            .inflight
+            .lock()
+            .unwrap()
+            .insert(key.clone(), Arc::clone(&cell));
+        std::thread::scope(|s| {
+            let subscriber = s.spawn(|| session.run_validated(&cfg).unwrap());
+            while session.counters.inflight_waits.get() == 0 {
+                std::thread::yield_now();
+            }
+            drop(InflightLead {
+                slots: &session.inflight,
+                key,
+                cell: Arc::clone(&cell),
+                published: false,
+            });
+            let got = subscriber.join().unwrap();
+            assert_eq!(got.result, Simulation::run(&cfg));
+        });
+        assert_eq!(
+            session.stats().simulated,
+            1,
+            "the subscriber re-ran the cell"
+        );
+    }
+
+    #[test]
+    fn concurrent_identical_cells_collapse_to_one_simulation() {
+        // End to end: two requests for the same fingerprint, guaranteed
+        // to overlap (the follower waits until the leader holds the
+        // slot), produce one simulation and two identical results.
+        let session = SweepSession::new();
+        let cfg = SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Rar)
+            .warmup(300)
+            .instructions(30_000)
+            .build();
+        let (a, b) = std::thread::scope(|s| {
+            let leader = s.spawn(|| session.run_validated(&cfg).unwrap());
+            while session.inflight.lock().unwrap().is_empty() {
+                std::thread::yield_now();
+            }
+            let follower = session.run_validated(&cfg).unwrap();
+            (leader.join().unwrap(), follower)
+        });
+        assert_eq!(a.result, b.result);
+        assert_eq!(session.stats().simulated, 1, "exactly one simulation ran");
+        assert_eq!(session.counters.inflight_waits.get(), 1);
+    }
+
+    #[test]
+    fn pre_canceled_sweep_claims_no_cells() {
+        let session = SweepSession::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let rs = session.run_all_cancellable(&grid(), &token);
+        assert!(rs.iter().all(Option::is_none));
+        assert_eq!(session.stats().simulated, 0);
+        assert_eq!(
+            session.counters.canceled.get(),
+            6,
+            "every runnable cell counted"
+        );
+    }
+
+    #[test]
+    fn cancel_mid_sweep_keeps_finished_results_and_cache_consistent() {
+        let dir = std::env::temp_dir().join(format!("rar-sweep-cancel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid: Vec<SimConfig> = ["mcf", "milc", "lbm"]
+            .iter()
+            .flat_map(|w| {
+                [Technique::Ooo, Technique::Rar].map(|t| {
+                    SimConfig::builder()
+                        .workload(w)
+                        .technique(t)
+                        .warmup(300)
+                        .instructions(5_000)
+                        .build()
+                })
+            })
+            .collect();
+        let session = SweepSession::with_disk_cache(&dir).threads(1);
+        let token = CancelToken::new();
+        let simulated = session.registry().counter(names::SWEEP_CELLS_SIMULATED);
+        let rs = std::thread::scope(|s| {
+            s.spawn(|| {
+                // Cancel as soon as the first cell lands: with one worker
+                // the sweep winds down after at most the cell in flight.
+                while simulated.get() == 0 {
+                    std::thread::yield_now();
+                }
+                token.cancel();
+            });
+            session.run_all_cancellable(&grid, &token)
+        });
+        let completed: Vec<usize> = (0..grid.len()).filter(|&i| rs[i].is_some()).collect();
+        assert!(!completed.is_empty(), "the first cell always finishes");
+        assert!(
+            session.counters.canceled.get() >= 1,
+            "cancellation dropped cells"
+        );
+        assert_eq!(
+            completed.len() as u64 + session.counters.canceled.get(),
+            grid.len() as u64,
+            "every cell is either completed or counted canceled"
+        );
+        // Finished cells are correct and durable: a fresh session over
+        // the same cache replays exactly them as hits and simulates only
+        // the canceled remainder.
+        for &i in &completed {
+            assert_eq!(rs[i].as_ref().unwrap(), &Simulation::run(&grid[i]));
+        }
+        let resumed = SweepSession::with_disk_cache(&dir).threads(1);
+        let rerun = resumed.run_all(&grid);
+        assert!(rerun.iter().all(Option::is_some));
+        let s2 = resumed.stats();
+        assert_eq!(s2.cache_hits, completed.len() as u64);
+        assert_eq!(s2.simulated, (grid.len() - completed.len()) as u64);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

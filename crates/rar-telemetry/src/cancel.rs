@@ -1,0 +1,84 @@
+//! Cooperative cancellation for long-lived engines.
+//!
+//! A [`CancelToken`] is a cloneable handle to one shared flag. Producers
+//! (a serve daemon's `DELETE /v1/jobs/{id}` handler, a Ctrl-C handler, a
+//! test) call [`CancelToken::cancel`]; long-running consumers (the sweep
+//! scheduler's worker loop, the fault-injection campaign's per-injection
+//! loop) poll [`CancelToken::is_canceled`] at their natural unit-of-work
+//! boundaries and wind down without tearing anything: finished results
+//! stay published, caches and journals stay consistent, and unfinished
+//! work is simply never claimed.
+//!
+//! Cancellation is *cooperative and monotonic*: once set, the flag never
+//! clears, so every observer converges on the same decision regardless of
+//! polling order. The token is deliberately not a mechanism for aborting
+//! a unit of work mid-flight — a cell that already started simulating
+//! runs to completion (and lands in the result cache, where a resubmitted
+//! job replays it for free).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// Clones share the flag: canceling any clone cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-canceled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tokens_are_not_canceled() {
+        assert!(!CancelToken::new().is_canceled());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones_and_idempotent() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        a.cancel();
+        a.cancel();
+        assert!(a.is_canceled());
+        assert!(b.is_canceled(), "clones share the flag");
+        let c = b.clone();
+        assert!(c.is_canceled(), "clones of canceled tokens stay canceled");
+    }
+
+    #[test]
+    fn cancellation_is_visible_across_threads() {
+        let token = CancelToken::new();
+        let observer = token.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                while !observer.is_canceled() {
+                    std::thread::yield_now();
+                }
+            });
+            token.cancel();
+        });
+        assert!(token.is_canceled());
+    }
+}

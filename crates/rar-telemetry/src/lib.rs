@@ -21,6 +21,7 @@
 //!   the embedded telemetry snapshot; [`validate_manifest`] is the schema
 //!   gate CI runs on every generated manifest.
 
+pub mod cancel;
 pub mod export;
 pub mod manifest;
 pub mod names;
@@ -28,6 +29,7 @@ pub mod profile;
 pub mod progress;
 pub mod registry;
 
+pub use cancel::CancelToken;
 pub use export::{labeled, sanitize_f64, sanitize_metric_name, TELEMETRY_SCHEMA};
 pub use manifest::{validate_manifest, ManifestBuilder, MANIFEST_SCHEMA};
 pub use profile::{time, NullProfiler, Phase, Profiler, ScopeTimer, WallProfiler};

@@ -42,9 +42,15 @@ pub const SWEEP_CACHE_IO_ERRORS: &str = "rar_sweep_cache_io_errors_total";
 /// The disk cache was switched off mid-sweep after persistent I/O errors
 /// (gauge: 0 healthy, 1 disabled).
 pub const SWEEP_CACHE_DISABLED: &str = "rar_sweep_cache_disabled";
+/// Cells that subscribed to an identical in-flight simulation instead of
+/// starting a duplicate one (single-flight deduplication).
+pub const SWEEP_INFLIGHT_WAITS: &str = "rar_sweep_inflight_waits_total";
+/// Cells skipped because the sweep's cancellation token was set before
+/// they were claimed.
+pub const SWEEP_CELLS_CANCELED: &str = "rar_sweep_cells_canceled_total";
 
 /// Every sweep-engine name above, for exhaustive registration and tests.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 17] = [
     SWEEP_CELLS_SIMULATED,
     SWEEP_CACHE_HITS,
     SWEEP_CELLS_REJECTED,
@@ -60,6 +66,8 @@ pub const ALL: [&str; 15] = [
     SWEEP_RUN_TIMEOUTS,
     SWEEP_CACHE_IO_ERRORS,
     SWEEP_CACHE_DISABLED,
+    SWEEP_INFLIGHT_WAITS,
+    SWEEP_CELLS_CANCELED,
 ];
 
 /// Fault injections executed (every outcome).
@@ -95,14 +103,50 @@ pub const INJECT_ALL: [&str; 8] = [
     INJECT_JOURNAL_ERRORS,
 ];
 
+/// HTTP requests accepted by the serve daemon (every route and status).
+pub const SERVE_HTTP_REQUESTS: &str = "rar_serve_http_requests_total";
+/// Jobs accepted onto the queue (`POST /v1/jobs`), including jobs
+/// re-enqueued from the journal on restart.
+pub const SERVE_JOBS_SUBMITTED: &str = "rar_serve_jobs_submitted_total";
+/// Jobs that ran every unit of work to completion.
+pub const SERVE_JOBS_COMPLETED: &str = "rar_serve_jobs_completed_total";
+/// Jobs cooperatively canceled before completing.
+pub const SERVE_JOBS_CANCELED: &str = "rar_serve_jobs_canceled_total";
+/// Jobs that finished with at least one failed unit of work.
+pub const SERVE_JOBS_FAILED: &str = "rar_serve_jobs_failed_total";
+/// Jobs re-enqueued from the queue journal by a restarted daemon.
+pub const SERVE_JOBS_RESUMED: &str = "rar_serve_jobs_resumed_total";
+/// Jobs currently queued or running (gauge).
+pub const SERVE_JOBS_ACTIVE: &str = "rar_serve_jobs_active";
+/// Worker threads in the daemon's shared pool (gauge).
+pub const SERVE_WORKERS: &str = "rar_serve_workers";
+
+/// Every serve-daemon name above (registered by `rar-serve`; kept out of
+/// [`ALL`] so sweep-session export coverage stays exact).
+pub const SERVE_ALL: [&str; 8] = [
+    SERVE_HTTP_REQUESTS,
+    SERVE_JOBS_SUBMITTED,
+    SERVE_JOBS_COMPLETED,
+    SERVE_JOBS_CANCELED,
+    SERVE_JOBS_FAILED,
+    SERVE_JOBS_RESUMED,
+    SERVE_JOBS_ACTIVE,
+    SERVE_WORKERS,
+];
+
 #[cfg(test)]
 mod tests {
-    use super::{ALL, INJECT_ALL};
+    use super::{ALL, INJECT_ALL, SERVE_ALL};
     use crate::export::sanitize_metric_name;
 
     #[test]
     fn names_are_unique_and_prometheus_clean() {
-        let all: Vec<&str> = ALL.iter().chain(INJECT_ALL.iter()).copied().collect();
+        let all: Vec<&str> = ALL
+            .iter()
+            .chain(INJECT_ALL.iter())
+            .chain(SERVE_ALL.iter())
+            .copied()
+            .collect();
         let mut sorted = all.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -245,14 +245,15 @@ fn lint_metric_coverage(lint: &mut Lint) {
     // Every declared name must be registered by a consumer — a
     // declared-but-unregistered metric silently vanishes from manifests
     // and dashboards. Sweep metrics register in rar-sim, campaign
-    // metrics in rar-inject.
-    let consumer_src =
-        crate_sources("crates/rar-sim/src") + &crate_sources("crates/rar-inject/src");
+    // metrics in rar-inject, daemon metrics in rar-serve.
+    let consumer_src = crate_sources("crates/rar-sim/src")
+        + &crate_sources("crates/rar-inject/src")
+        + &crate_sources("crates/rar-serve/src");
     for (ident, _) in &metrics {
         lint.check(
             "metric-coverage",
             consumer_src.contains(&format!("names::{ident}")),
-            format!("names::{ident} is registered by rar-sim or rar-inject"),
+            format!("names::{ident} is registered by rar-sim, rar-inject or rar-serve"),
         );
     }
     // Both exporters walk the same sorted registry snapshot, so "appears
