@@ -27,6 +27,11 @@ pub struct AceCounter {
     /// `rar-verify` dead-value refinement; stays zero otherwise, so the
     /// unrefined (paper) figures are unchanged by default.
     dead_abc: [u128; Structure::COUNT],
+    /// Bit-granular dead bit-cycles, a superset of `dead_abc` and a
+    /// subset of `abc`. Populated by [`AceCounter::record_dead_bits`]
+    /// when the core runs the bit-level (`rar-verify` bitlive)
+    /// refinement; stays zero otherwise.
+    bit_dead_abc: [u128; Structure::COUNT],
     windows: [WindowSet; StallKind::COUNT],
     abc_in_window: [u128; StallKind::COUNT],
     /// When `Some`, every committed interval is also recorded for
@@ -89,6 +94,25 @@ impl AceCounter {
         );
     }
 
+    /// Records that `dead_bits` of an interval previously reported via
+    /// [`AceCounter::record_committed`] are dead under the *bit-level*
+    /// refinement. The caller passes the same `[start, end)` interval;
+    /// the count must dominate the word-level `record_dead` figure for
+    /// the same interval (the per-value masks are constructed that
+    /// way), which keeps `bit_refined <= refined <= unrefined`.
+    pub fn record_dead_bits(&mut self, structure: Structure, dead_bits: u64, start: u64, end: u64) {
+        debug_assert!(end >= start, "interval ends before it starts");
+        if end <= start || dead_bits == 0 {
+            return;
+        }
+        let cycles = end - start;
+        self.bit_dead_abc[structure.index()] += u128::from(dead_bits) * u128::from(cycles);
+        debug_assert!(
+            self.bit_dead_abc[structure.index()] <= self.abc[structure.index()],
+            "bit-dead bit-cycles exceed recorded ACE bit-cycles"
+        );
+    }
+
     /// Opens a stall window of the given kind at `cycle`.
     pub fn open_window(&mut self, kind: StallKind, cycle: u64) {
         self.windows[kind.index()].open(cycle);
@@ -144,6 +168,37 @@ impl AceCounter {
     pub fn refined_abc_by_structure(&self) -> [u128; Structure::COUNT] {
         let mut out = self.abc;
         for (o, d) in out.iter_mut().zip(self.dead_abc.iter()) {
+            *o -= d;
+        }
+        out
+    }
+
+    /// Bit-granular dead bit-cycles recorded against `structure`.
+    #[must_use]
+    pub fn bit_dead_abc(&self, structure: Structure) -> u128 {
+        self.bit_dead_abc[structure.index()]
+    }
+
+    /// Bit-refined ACE bit-cycles in `structure`: unrefined minus the
+    /// bit-granular dead mass. Never exceeds [`AceCounter::refined_abc`]
+    /// when both refinements were recorded from the same analysis, and
+    /// equals the unrefined count when none was.
+    #[must_use]
+    pub fn bit_refined_abc(&self, structure: Structure) -> u128 {
+        self.abc[structure.index()] - self.bit_dead_abc[structure.index()]
+    }
+
+    /// Total bit-refined ACE bit-cycles across all structures.
+    #[must_use]
+    pub fn total_bit_refined_abc(&self) -> u128 {
+        self.total_abc() - self.bit_dead_abc.iter().sum::<u128>()
+    }
+
+    /// Per-structure bit-refined ABC snapshot in [`Structure::ALL`] order.
+    #[must_use]
+    pub fn bit_refined_abc_by_structure(&self) -> [u128; Structure::COUNT] {
+        let mut out = self.abc;
+        for (o, d) in out.iter_mut().zip(self.bit_dead_abc.iter()) {
             *o -= d;
         }
         out
@@ -260,6 +315,26 @@ mod tests {
         ace.record_committed(Structure::Rob, 120, 0, 10);
         assert_eq!(ace.total_refined_abc(), ace.total_abc());
         assert_eq!(ace.refined_abc_by_structure(), ace.abc_by_structure());
+        assert_eq!(ace.total_bit_refined_abc(), ace.total_abc());
+        assert_eq!(ace.bit_refined_abc_by_structure(), ace.abc_by_structure());
+    }
+
+    #[test]
+    fn bit_refined_abc_is_ordered_below_refined() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::RfInt, 64, 0, 10);
+        // Word level proves 16 dead bits; the bit level proves 40.
+        ace.record_dead(Structure::RfInt, 16, 0, 10);
+        ace.record_dead_bits(Structure::RfInt, 40, 0, 10);
+        assert_eq!(ace.bit_dead_abc(Structure::RfInt), 400);
+        assert_eq!(ace.bit_refined_abc(Structure::RfInt), 240);
+        assert!(ace.bit_refined_abc(Structure::RfInt) <= ace.refined_abc(Structure::RfInt));
+        assert!(ace.refined_abc(Structure::RfInt) <= ace.abc(Structure::RfInt));
+        assert_eq!(ace.total_bit_refined_abc(), 240);
+        assert_eq!(
+            ace.bit_refined_abc_by_structure()[Structure::RfInt.index()],
+            240
+        );
     }
 
     #[test]

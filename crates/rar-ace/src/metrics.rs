@@ -112,29 +112,26 @@ pub struct ReliabilityReport {
     abc: [u128; Structure::COUNT],
     total_abc: u128,
     refined_total_abc: u128,
+    bit_refined_total_abc: u128,
     capacity_bits: u64,
     cycles: u64,
     avf: f64,
     refined_avf: f64,
+    bit_refined_avf: f64,
 }
 
 impl ReliabilityReport {
     /// Summarizes a finished run.
     #[must_use]
     pub fn new(ace: &AceCounter, capacities: &StructureCapacities, cycles: u64) -> Self {
-        let abc = ace.abc_by_structure();
-        let total_abc = ace.total_abc();
-        let refined_total_abc = ace.total_refined_abc();
-        let capacity_bits = capacities.total_bits();
-        ReliabilityReport {
-            abc,
-            total_abc,
-            refined_total_abc,
-            capacity_bits,
+        ReliabilityReport::from_parts(
+            ace.abc_by_structure(),
+            ace.total_abc(),
+            ace.total_refined_abc(),
+            ace.total_bit_refined_abc(),
+            capacities.total_bits(),
             cycles,
-            avf: avf(total_abc, capacity_bits, cycles),
-            refined_avf: avf(refined_total_abc, capacity_bits, cycles),
-        }
+        )
     }
 
     /// Rebuilds a report from its integer measurements (the derived AVF
@@ -146,6 +143,7 @@ impl ReliabilityReport {
         abc: [u128; Structure::COUNT],
         total_abc: u128,
         refined_total_abc: u128,
+        bit_refined_total_abc: u128,
         capacity_bits: u64,
         cycles: u64,
     ) -> Self {
@@ -153,10 +151,12 @@ impl ReliabilityReport {
             abc,
             total_abc,
             refined_total_abc,
+            bit_refined_total_abc,
             capacity_bits,
             cycles,
             avf: avf(total_abc, capacity_bits, cycles),
             refined_avf: avf(refined_total_abc, capacity_bits, cycles),
+            bit_refined_avf: avf(bit_refined_total_abc, capacity_bits, cycles),
         }
     }
 
@@ -203,6 +203,21 @@ impl ReliabilityReport {
     #[must_use]
     pub fn refined_avf(&self) -> f64 {
         self.refined_avf
+    }
+
+    /// Total ACE bit count after subtracting the *bit-granular* dead
+    /// mass. Never exceeds [`ReliabilityReport::refined_total_abc`]
+    /// when both refinements came from the same analysis.
+    #[must_use]
+    pub fn bit_refined_total_abc(&self) -> u128 {
+        self.bit_refined_total_abc
+    }
+
+    /// AVF computed from the bit-refined ABC (never above
+    /// [`ReliabilityReport::refined_avf`]).
+    #[must_use]
+    pub fn bit_refined_avf(&self) -> f64 {
+        self.bit_refined_avf
     }
 
     /// Normalized MTTF of `self` relative to `baseline` (higher is better).
@@ -300,6 +315,29 @@ mod tests {
         assert_eq!(rep.refined_total_abc(), 6400 - 64 * 40);
         assert!(rep.refined_avf() <= rep.avf());
         assert!(rep.refined_avf() > 0.0);
+    }
+
+    #[test]
+    fn bit_refined_avf_is_ordered_below_refined() {
+        let mut ace = AceCounter::new();
+        ace.record_committed(Structure::RfInt, 64, 0, 100);
+        ace.record_dead(Structure::RfInt, 16, 0, 100);
+        ace.record_dead_bits(Structure::RfInt, 40, 0, 100);
+        let rep = ReliabilityReport::new(&ace, &caps(), 100);
+        assert_eq!(rep.bit_refined_total_abc(), 6400 - 40 * 100);
+        assert!(rep.bit_refined_avf() <= rep.refined_avf());
+        assert!(rep.refined_avf() <= rep.avf());
+        assert!(rep.bit_refined_avf() > 0.0);
+        // The integer round-trip reproduces the derived fractions.
+        let rt = ReliabilityReport::from_parts(
+            ace.abc_by_structure(),
+            rep.total_abc(),
+            rep.refined_total_abc(),
+            rep.bit_refined_total_abc(),
+            rep.capacity_bits(),
+            rep.cycles(),
+        );
+        assert_eq!(rt, rep);
     }
 
     #[test]

@@ -226,6 +226,12 @@ pub struct FaultReport {
     pub squashed_faulty: u64,
     /// Commits that retired poisoned state (observable or latent).
     pub corrupt_commits: u64,
+    /// For register-file strikes: whether the static bit-liveness
+    /// analysis predicted the struck bit dead (`None` when the stratum is
+    /// unresolvable — a non-RF target, a vacant slot, or a wrong-path /
+    /// beyond-horizon writer). The injection campaign stratifies outcomes
+    /// on this to cross-validate the analysis.
+    pub predicted_dead: Option<bool>,
 }
 
 /// Plans the `k`-th injection site of a campaign.

@@ -153,9 +153,16 @@ pub struct Core<S, T: TraceSink = NullSink> {
     fault_report: FaultReport,
     /// Poison propagation is live (a fault has been armed this run).
     fault_active: bool,
-    /// Per-physical-register poison flags (all false outside injection
-    /// runs; never read unless `fault_active`).
-    poisoned_regs: Vec<bool>,
+    /// Per-physical-register poison bit masks (all zero outside injection
+    /// runs; never read unless `fault_active`). Mask bit `i` covers
+    /// register bits `i` and `i + 64` ([`rar_verify::MASK_BITS`] lanes);
+    /// propagation applies the per-kind bit-transfer functions, so only
+    /// consumed poison bits fault a dependent uop.
+    poisoned_regs: Vec<u64>,
+    /// Sequence and wrong-path flag of the uop that wrote each physical
+    /// register (`None` when unwritten). Maintained only while a fault is
+    /// armed; lets an RF strike resolve its static predicted-dead stratum.
+    phys_writer: Vec<Option<(u64, bool)>>,
     /// Injected address corruption: `(seq, xor)` applied to that load's
     /// issue access / that store's commit drain.
     fault_addr_xor: Option<(u64, u64)>,
@@ -202,7 +209,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         let rat = Rat::new(&mut prf);
         let arch_rat = rat.clone();
         let reg_ready = vec![0u64; prf.total()];
-        let poisoned_regs = vec![false; prf.total()];
+        let poisoned_regs = vec![0u64; prf.total()];
+        let phys_writer = vec![None; prf.total()];
         Core {
             rob: Rob::new(cfg.rob_size),
             rat,
@@ -242,6 +250,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             fault_report: FaultReport::default(),
             fault_active: false,
             poisoned_regs,
+            phys_writer,
             fault_addr_xor: None,
             digest: 0xcbf2_9ce4_8422_2325,
             mem,
@@ -624,7 +633,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 let flat = old.flat(self.prf.int_regs());
                 self.reg_ready[flat] = 0;
                 if self.fault_active {
-                    self.poisoned_regs[flat] = false;
+                    self.poisoned_regs[flat] = 0;
+                    self.phys_writer[flat] = None;
                 }
             }
             if e.uop.is_load() {
@@ -702,6 +712,14 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 let dead = self.refinement.dead_dest_bits(e.seq, phys.bits());
                 if dead > 0 {
                     self.ace.record_dead(s, dead, written, c);
+                }
+                // Bit-level refinement: the per-bit transfer functions
+                // prove at least as many dead bits as the word-level
+                // classes (`bit_refined <= refined <= unrefined` holds by
+                // construction in `AceRefinement`).
+                let bit_dead = self.refinement.bit_dead_dest_bits(e.seq, phys.bits());
+                if bit_dead > 0 {
+                    self.ace.record_dead_bits(s, bit_dead, written, c);
                 }
             }
         }
@@ -911,19 +929,29 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             e.in_iq = false;
             e.fu_latency = exec_latency(kind);
             if self.fault_active {
-                // Poison propagation along true dependences: a consumed
-                // poisoned source faults the entry, and a faulted entry's
-                // destination value is poisoned in turn.
-                if e.src_phys_cache
-                    .iter()
-                    .flatten()
-                    .any(|p| self.poisoned_regs[p.flat(int_regs)])
-                {
+                // Per-bit poison propagation along true dependences,
+                // governed by the same bit-transfer functions the static
+                // analysis uses: only source bits the kind consumes can
+                // fault the entry, and the destination inherits exactly
+                // the forward image of the consumed poison (plus a full
+                // mask when the entry itself was struck).
+                let struck_directly = e.faulted;
+                let consumed_mask = rar_verify::consumed_src_mask(kind);
+                let mut consumed = 0u64;
+                for p in e.src_phys_cache.iter().flatten() {
+                    consumed |= self.poisoned_regs[p.flat(int_regs)] & consumed_mask;
+                }
+                if consumed != 0 {
                     e.faulted = true;
                 }
                 if e.faulted {
                     if let Some(p) = e.dest_phys {
-                        self.poisoned_regs[p.flat(int_regs)] = true;
+                        let dest_poison = if struck_directly {
+                            u64::MAX
+                        } else {
+                            rar_verify::dest_poison_mask(kind, consumed)
+                        };
+                        self.poisoned_regs[p.flat(int_regs)] |= dest_poison;
                     }
                 }
             }
@@ -1058,6 +1086,10 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                         return; // rename stalls on PRF exhaustion
                     };
                     self.reg_ready[fresh.flat(self.prf.int_regs())] = u64::MAX;
+                    if self.fault_active {
+                        self.phys_writer[fresh.flat(self.prf.int_regs())] =
+                            Some((self.next_seq, false));
+                    }
                     let old = self.rat.rename(dest, fresh);
                     self.arch_last_writer[dest.flat_index()] = Some(self.next_seq);
                     self.arch_last_writer_pc[dest.flat_index()] = Some(uop.pc());
@@ -1179,6 +1211,9 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                         return;
                     };
                     self.reg_ready[fresh.flat(self.prf.int_regs())] = u64::MAX;
+                    if self.fault_active {
+                        self.phys_writer[fresh.flat(self.prf.int_regs())] = Some((seq, true));
+                    }
                     let old = self.rat.rename(dest, fresh);
                     (Some(fresh), Some(old))
                 }
@@ -1244,7 +1279,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 self.prf.free(fresh);
                 self.reg_ready[fresh.flat(int_regs)] = 0;
                 if self.fault_active {
-                    self.poisoned_regs[fresh.flat(int_regs)] = false;
+                    self.poisoned_regs[fresh.flat(int_regs)] = 0;
+                    self.phys_writer[fresh.flat(int_regs)] = None;
                 }
             }
             if e.in_iq {
@@ -1728,7 +1764,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
     /// architectural state that has not reached an observable point).
     #[must_use]
     pub fn latent_poison(&self) -> u64 {
-        self.poisoned_regs.iter().filter(|&&p| p).count() as u64
+        self.poisoned_regs.iter().filter(|&&p| p != 0).count() as u64
     }
 
     fn digest_mix(&mut self, w: u64) {
@@ -1797,8 +1833,11 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         if let Some(p) = extra {
             live[p.flat(int_regs)] = true;
         }
-        for (p, l) in self.poisoned_regs.iter_mut().zip(live) {
-            *p &= l;
+        for (i, l) in live.into_iter().enumerate() {
+            if !l {
+                self.poisoned_regs[i] = 0;
+                self.phys_writer[i] = None;
+            }
         }
     }
 
@@ -1848,8 +1887,8 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             }
             FaultTarget::Lq => self.strike_queue(f, true),
             FaultTarget::Sq => self.strike_queue(f, false),
-            FaultTarget::RfInt => self.strike_rf(RegClass::Int, f.entry),
-            FaultTarget::RfFp => self.strike_rf(RegClass::Fp, f.entry),
+            FaultTarget::RfInt => self.strike_rf(RegClass::Int, f.entry, f.bit),
+            FaultTarget::RfFp => self.strike_rf(RegClass::Fp, f.entry, f.bit),
             FaultTarget::Fu => {
                 let now = self.now;
                 let idx = f.entry as usize;
@@ -1865,7 +1904,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                         let e = self.rob.get_mut(seq).expect("selected resident");
                         e.faulted = true;
                         if let Some(p) = e.dest_phys {
-                            self.poisoned_regs[p.flat(int_regs)] = true;
+                            self.poisoned_regs[p.flat(int_regs)] = u64::MAX;
                         }
                         FaultLanding::Payload
                     }
@@ -1926,7 +1965,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 let issued = e.issue_cycle.is_some();
                 if issued {
                     if let Some(p) = e.dest_phys {
-                        self.poisoned_regs[p.flat(int_regs)] = true;
+                        self.poisoned_regs[p.flat(int_regs)] = u64::MAX;
                     }
                 }
                 FaultLanding::Payload
@@ -1970,14 +2009,14 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             e.faulted = true;
             if e.issue_cycle.is_some() {
                 if let Some(p) = e.dest_phys {
-                    self.poisoned_regs[p.flat(int_regs)] = true;
+                    self.poisoned_regs[p.flat(int_regs)] = u64::MAX;
                 }
             }
             FaultLanding::Payload
         }
     }
 
-    fn strike_rf(&mut self, class: RegClass, entry: u64) -> FaultLanding {
+    fn strike_rf(&mut self, class: RegClass, entry: u64, bit: u64) -> FaultLanding {
         let reg = PhysReg {
             class,
             index: entry as u16,
@@ -1991,7 +2030,17 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             // at writeback before any consumer can read it.
             return FaultLanding::Vacant;
         }
-        self.poisoned_regs[flat] = true;
+        // Wider FP registers fold onto the 64-bit poison lane, mirroring
+        // the static analysis' mask convention.
+        let lane = bit % rar_verify::MASK_BITS;
+        self.poisoned_regs[flat] |= 1u64 << lane;
+        // Resolve the static stratum for cross-validation: did the
+        // bit-liveness analysis predict this exact bit dead? Unknown when
+        // the writer is wrong-path or outside the analyzed trace.
+        self.fault_report.predicted_dead = match self.phys_writer[flat] {
+            Some((seq, false)) => Some(self.refinement.dead_dest_mask(seq) & (1u64 << lane) != 0),
+            _ => None,
+        };
         FaultLanding::Payload
     }
 

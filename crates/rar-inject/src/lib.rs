@@ -14,7 +14,10 @@
 //!   torn-tail-tolerant loading, making campaigns crash-consistent;
 //! - [`campaign`] — the resumable multi-threaded runner: `catch_unwind`
 //!   per injection, transient-failure retry with capped backoff, and
-//!   graceful degradation to partial results.
+//!   graceful degradation to partial results;
+//! - [`validate`] — per-prediction-stratum tallies for auditing the
+//!   static bit-liveness analysis: strikes into bits the analysis proved
+//!   dead must show vulnerability statistically consistent with zero.
 //!
 //! Site planning (what to hit, when) lives in `rar_core::inject`; the
 //! simulator-facing executor that arms a fault, runs the pipeline under a
@@ -27,9 +30,11 @@
 pub mod campaign;
 pub mod journal;
 pub mod outcome;
+pub mod validate;
 
 pub use campaign::{run_campaign, CampaignResult, CampaignSpec};
 pub use journal::{
     load_journal, validate_journal_path, JournalPathError, JournalRecord, JournalWriter,
 };
 pub use outcome::{Outcome, Tally, TargetTally};
+pub use validate::{StratifiedTally, Stratum};

@@ -120,7 +120,7 @@ impl TargetTally {
         1.96 * (p * (1.0 - p) / n as f64).sqrt()
     }
 
-    fn record(&mut self, outcome: Outcome) {
+    pub(crate) fn record(&mut self, outcome: Outcome) {
         match outcome {
             Outcome::Vacant => self.vacant += 1,
             Outcome::Masked => self.masked += 1,

@@ -1,0 +1,232 @@
+//! Stratified validation of the static bit-liveness analysis.
+//!
+//! The bit-level ACE refinement (`rar-verify`'s backward mask dataflow)
+//! claims that specific register *bits* are dead: flipping them can never
+//! change an architecturally observable value. Fault injection is how the
+//! claim is audited. A validation campaign restricts strikes to the
+//! register files (where the per-bit dead masks apply and the simulator
+//! resolves each strike's prediction at landing time) and stratifies every
+//! outcome by what the static analysis said about the struck bit:
+//!
+//! - **predicted-dead** — the analysis proved the bit dead at strike time;
+//!   its measured vulnerability must be statistically consistent with
+//!   zero, or the analysis is unsound.
+//! - **predicted-live** — the analysis kept the bit live (it never claims
+//!   liveness, only fails to prove death), so any outcome is consistent.
+//! - **unknown** — the strike carried no prediction: the slot was vacant,
+//!   written by wrong-path work the analysis does not model, or outside
+//!   the analysis window.
+//!
+//! The gate ([`StratifiedTally::dead_stratum_consistent_with_zero`]) uses
+//! the same 95% normal-approximation interval as the cross-validation
+//! table: the predicted-dead stratum passes iff zero lies inside the
+//! interval around its measured vulnerability.
+
+use crate::outcome::{Outcome, TargetTally};
+
+/// What the static bit-liveness analysis predicted about a struck bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stratum {
+    /// The backward dataflow proved the struck bit dead.
+    PredictedDead,
+    /// The struck bit was not proven dead (conservatively live).
+    PredictedLive,
+    /// No prediction: vacant slot, wrong-path writer, or a strike outside
+    /// the analysis window.
+    Unknown,
+}
+
+impl Stratum {
+    /// Every stratum, in rendering order.
+    pub const ALL: [Stratum; 3] = [
+        Stratum::PredictedDead,
+        Stratum::PredictedLive,
+        Stratum::Unknown,
+    ];
+
+    /// Stable lower-case name (used in validation reports and goldens).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stratum::PredictedDead => "predicted_dead",
+            Stratum::PredictedLive => "predicted_live",
+            Stratum::Unknown => "unknown",
+        }
+    }
+
+    /// Maps the simulator's per-strike prediction (`FaultReport::
+    /// predicted_dead`) onto a stratum.
+    #[must_use]
+    pub const fn from_prediction(predicted_dead: Option<bool>) -> Stratum {
+        match predicted_dead {
+            Some(true) => Stratum::PredictedDead,
+            Some(false) => Stratum::PredictedLive,
+            None => Stratum::Unknown,
+        }
+    }
+}
+
+fn stratum_index(s: Stratum) -> usize {
+    match s {
+        Stratum::PredictedDead => 0,
+        Stratum::PredictedLive => 1,
+        Stratum::Unknown => 2,
+    }
+}
+
+/// Outcome counts per prediction stratum. Pure integer sums, so tallies
+/// are order-independent and byte-stable across thread counts — the same
+/// property the per-target [`crate::Tally`] has.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StratifiedTally {
+    per: [TargetTally; 3],
+}
+
+impl StratifiedTally {
+    /// An empty stratified tally.
+    #[must_use]
+    pub fn new() -> Self {
+        StratifiedTally::default()
+    }
+
+    /// Records one classified injection under its stratum.
+    pub fn record(&mut self, stratum: Stratum, outcome: Outcome) {
+        self.per[stratum_index(stratum)].record(outcome);
+    }
+
+    /// Counts for one stratum.
+    #[must_use]
+    pub fn get(&self, stratum: Stratum) -> TargetTally {
+        self.per[stratum_index(stratum)]
+    }
+
+    /// Total injections across all strata.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.per.iter().map(|c| c.attempts()).sum()
+    }
+
+    /// Folds another stratified tally into this one.
+    pub fn merge(&mut self, other: &StratifiedTally) {
+        for (mine, theirs) in self.per.iter_mut().zip(&other.per) {
+            mine.vacant += theirs.vacant;
+            mine.masked += theirs.masked;
+            mine.sdc += theirs.sdc;
+            mine.due_hang += theirs.due_hang;
+            mine.due_panic += theirs.due_panic;
+        }
+    }
+
+    /// The soundness gate: the predicted-dead stratum's measured
+    /// vulnerability is statistically consistent with zero at 95%
+    /// confidence — zero lies within `vulnerability ± ci95`. An empty
+    /// stratum passes vacuously (callers that need statistical power
+    /// should additionally check [`StratifiedTally::get`] attempts).
+    #[must_use]
+    pub fn dead_stratum_consistent_with_zero(&self) -> bool {
+        let dead = self.get(Stratum::PredictedDead);
+        dead.vulnerability() <= dead.ci95() + 1e-12
+    }
+
+    /// Renders the stratified tally as a JSON object keyed by stratum
+    /// name, integer counts only — byte-for-byte reproducible, so the CI
+    /// smoke job can diff it against a committed golden file.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in Stratum::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let c = self.get(s);
+            out.push_str(&format!(
+                "\"{}\":{{\"vacant\":{},\"masked\":{},\"sdc\":{},\"due_hang\":{},\"due_panic\":{}}}",
+                s.name(),
+                c.vacant,
+                c.masked,
+                c.sdc,
+                c.due_hang,
+                c.due_panic
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_maps_onto_strata() {
+        assert_eq!(Stratum::from_prediction(Some(true)), Stratum::PredictedDead);
+        assert_eq!(
+            Stratum::from_prediction(Some(false)),
+            Stratum::PredictedLive
+        );
+        assert_eq!(Stratum::from_prediction(None), Stratum::Unknown);
+    }
+
+    #[test]
+    fn gate_accepts_zero_and_small_rates_rejects_large() {
+        // All-masked dead stratum: trivially consistent with zero.
+        let mut t = StratifiedTally::new();
+        for _ in 0..100 {
+            t.record(Stratum::PredictedDead, Outcome::Masked);
+        }
+        assert!(t.dead_stratum_consistent_with_zero());
+
+        // 1 SDC in 100: p = 0.01, ci95 ≈ 0.0195 — still consistent.
+        t.record(Stratum::PredictedDead, Outcome::Sdc);
+        assert!(t.dead_stratum_consistent_with_zero());
+
+        // 20 SDC in ~120: far outside the interval.
+        for _ in 0..19 {
+            t.record(Stratum::PredictedDead, Outcome::Sdc);
+        }
+        assert!(!t.dead_stratum_consistent_with_zero());
+    }
+
+    #[test]
+    fn live_stratum_outcomes_never_affect_the_gate() {
+        let mut t = StratifiedTally::new();
+        for _ in 0..50 {
+            t.record(Stratum::PredictedLive, Outcome::Sdc);
+            t.record(Stratum::Unknown, Outcome::DueHang);
+        }
+        assert!(t.dead_stratum_consistent_with_zero());
+        assert_eq!(t.total(), 100);
+        assert_eq!(t.get(Stratum::PredictedDead).attempts(), 0);
+    }
+
+    #[test]
+    fn json_is_stable_integer_only_and_covers_every_stratum() {
+        let mut t = StratifiedTally::new();
+        t.record(Stratum::PredictedDead, Outcome::Masked);
+        t.record(Stratum::PredictedLive, Outcome::Sdc);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"predicted_dead\":{\"vacant\":0,\"masked\":1,\"sdc\":0,\"due_hang\":0,\"due_panic\":0},\
+             \"predicted_live\":{\"vacant\":0,\"masked\":0,\"sdc\":1,\"due_hang\":0,\"due_panic\":0},\
+             \"unknown\":{\"vacant\":0,\"masked\":0,\"sdc\":0,\"due_hang\":0,\"due_panic\":0}}"
+        );
+        assert!(!json.contains('.'), "floats are not byte-stable: {json}");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mut a = StratifiedTally::new();
+        a.record(Stratum::PredictedDead, Outcome::Masked);
+        a.record(Stratum::Unknown, Outcome::Vacant);
+        let mut b = StratifiedTally::new();
+        b.record(Stratum::PredictedLive, Outcome::DuePanic);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 3);
+    }
+}

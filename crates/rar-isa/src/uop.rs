@@ -17,6 +17,27 @@ use std::fmt;
 /// The set mirrors the functional-unit pool of the baseline core (Table II):
 /// three integer adders, one integer multiplier, one integer divider, and one
 /// FP adder/multiplier/divider, plus loads, stores, branches, and NOPs.
+///
+/// ## Bit-level semantics contract
+///
+/// The simulator is trace-driven and carries no data values, so each kind
+/// additionally fixes a *bit-dataflow contract* that the static bit-liveness
+/// analysis and the per-bit fault-injection model both honor (the transfer
+/// functions live in `rar-verify`):
+///
+/// - [`UopKind::IntAlu`] and [`UopKind::IntMul`] are **carry-monotone**:
+///   destination bit `d` depends only on source bits `<= d` (wrapping
+///   add/sub, bitwise logic, constant left shifts, multiply).
+/// - [`UopKind::IntDiv`] and the FP kinds are **all-to-all**: any
+///   destination bit may depend on any source bit.
+/// - [`UopKind::Load`] sources form an **address**: only their low 48 bits
+///   select the accessed line, and no source bit flows through memory into
+///   the loaded destination bits.
+/// - [`UopKind::Store`] sources are **architectural roots**: every address
+///   and data bit reaches memory.
+/// - [`UopKind::Branch`] tests **bit 0** of each condition source (the
+///   canonical output bit of a preceding compare, RISC-style).
+/// - [`UopKind::Nop`] touches nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UopKind {
     /// Simple integer ALU operation (add, logic, shift, compare).
@@ -42,6 +63,21 @@ pub enum UopKind {
 }
 
 impl UopKind {
+    /// Every uop kind, in declaration order — the domain any per-kind
+    /// table (bit-transfer functions, FU latency maps, …) must cover.
+    pub const ALL: [UopKind; 10] = [
+        UopKind::IntAlu,
+        UopKind::IntMul,
+        UopKind::IntDiv,
+        UopKind::FpAdd,
+        UopKind::FpMul,
+        UopKind::FpDiv,
+        UopKind::Load,
+        UopKind::Store,
+        UopKind::Branch,
+        UopKind::Nop,
+    ];
+
     /// True for loads and stores.
     #[must_use]
     pub const fn is_mem(self) -> bool {
@@ -338,6 +374,21 @@ mod tests {
     #[should_panic(expected = "use Uop::load")]
     fn alu_constructor_rejects_mem_kinds() {
         let _ = Uop::alu(0, UopKind::Load);
+    }
+
+    #[test]
+    fn all_lists_every_kind_once() {
+        for (i, a) in UopKind::ALL.iter().enumerate() {
+            for b in &UopKind::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate kind in ALL");
+            }
+        }
+        // Display names are unique too, so journals can round-trip kinds.
+        let names: Vec<String> = UopKind::ALL.iter().map(ToString::to_string).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! rar-experiments inject [--workload W] [--samples N] [--inject-seed N]
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--threads N] [--journal PATH] [--tally-out PATH]
-//!                 [--max N]
+//!                 [--max N] [--validate-bitlive]
 //! rar-experiments serve [--addr A] [--data-dir DIR] [--workers N]
 //!                 [--conn-threads N] [--no-cache] [--fsync-every N]
 //! rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH)
@@ -46,6 +46,13 @@
 //! resumes exactly; `--max N` stops after N fresh injections (useful with
 //! a journal to split a long campaign across invocations); `--tally-out`
 //! writes the byte-stable integer tally JSON the CI smoke job diffs.
+//! `--validate-bitlive` switches to the bit-liveness soundness audit:
+//! strikes restricted to the register files, every outcome stratified by
+//! the static per-bit dead prediction, and a hard gate — the
+//! predicted-dead stratum's measured vulnerability must be statistically
+//! consistent with zero at 95% confidence or the command exits non-zero.
+//! In this mode `--tally-out` writes the stratified
+//! `rar-bitlive-validation-v1` JSON (the `bitlive_golden.json` CI diff).
 //!
 //! The `trace` subcommand runs one traced simulation and writes a Chrome
 //! trace, a Konata log and CSV tables into `--out` (default
@@ -86,7 +93,8 @@ fn usage() -> ExitCode {
        rar-experiments report [--dir DIR] [--out PATH] [--check] [--bench PATH] [--baseline PATH] \
          [--min-hit-rate F] [--max-slowdown F]\n\
        rar-experiments inject [--workload W] [--samples N] [--inject-seed N] [--instructions N] \
-         [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N]\n\
+         [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N] \
+         [--validate-bitlive]\n\
        rar-experiments serve [--addr A] [--data-dir DIR] [--workers N] [--conn-threads N] \
          [--no-cache] [--fsync-every N]\n\
        rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH) [--wait] \
@@ -227,8 +235,8 @@ fn report_cmd(args: &[String]) -> ExitCode {
 /// cross-validate the ACE-estimated AVF, baseline vs RAR.
 fn inject_cmd(args: &[String]) -> ExitCode {
     use rar_core::{FaultTarget, Technique};
-    use rar_inject::CampaignSpec;
-    use rar_sim::inject::{run_injection_campaign, InjectionHarness};
+    use rar_inject::{CampaignSpec, Stratum};
+    use rar_sim::inject::{run_bitlive_validation, run_injection_campaign, InjectionHarness};
 
     let mut workload = "mcf".to_owned();
     let mut warmup: u64 = 300;
@@ -240,9 +248,15 @@ fn inject_cmd(args: &[String]) -> ExitCode {
     let mut journal: Option<String> = None;
     let mut tally_out: Option<String> = None;
     let mut limit: Option<u64> = None;
+    let mut validate_bitlive = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--validate-bitlive" {
+            validate_bitlive = true;
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("missing value for {flag}");
             return usage();
@@ -282,6 +296,136 @@ fn inject_cmd(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
         i += 2;
+    }
+
+    // The bit-liveness validation mode: strikes restricted to the
+    // register files, outcomes stratified by the static per-bit dead
+    // prediction, and a hard soundness gate — predicted-dead bits must
+    // show vulnerability statistically consistent with zero at 95%
+    // confidence, otherwise exit non-zero.
+    if validate_bitlive {
+        if journal.is_some() {
+            eprintln!(
+                "inject: --journal is not supported with --validate-bitlive \
+                 (journal replay cannot restore prediction strata)"
+            );
+            return ExitCode::from(2);
+        }
+        let mut validations = Vec::new();
+        for technique in [Technique::Ooo, Technique::Rar] {
+            let mut b = SimConfig::builder();
+            b.workload(&workload)
+                .technique(technique)
+                .warmup(warmup)
+                .instructions(instructions);
+            if let Some(s) = sim_seed {
+                b.seed(s);
+            }
+            let cfg = b.build();
+            let harness = match InjectionHarness::prepare(&cfg) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            };
+            let spec = CampaignSpec {
+                samples,
+                threads,
+                limit,
+                ..CampaignSpec::default()
+            };
+            let v = match run_bitlive_validation(&harness, &spec, inject_seed, None, None) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("inject: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{workload}/{technique}: {}/{} register-file injections stratified by \
+                 bit-liveness prediction",
+                v.result.completed, samples
+            );
+            validations.push((technique, v));
+        }
+
+        let header = vec![
+            "technique".to_owned(),
+            "stratum".to_owned(),
+            "n".to_owned(),
+            "vacant".to_owned(),
+            "masked".to_owned(),
+            "sdc".to_owned(),
+            "due".to_owned(),
+            "vuln".to_owned(),
+            "±95%".to_owned(),
+        ];
+        let mut table = Table::new(header);
+        for (technique, v) in &validations {
+            for s in Stratum::ALL {
+                let tt = v.strata.get(s);
+                table.row(vec![
+                    technique.to_string(),
+                    s.name().to_owned(),
+                    tt.attempts().to_string(),
+                    tt.vacant.to_string(),
+                    tt.masked.to_string(),
+                    tt.sdc.to_string(),
+                    (tt.due_hang + tt.due_panic).to_string(),
+                    format!("{:.4}", tt.vulnerability()),
+                    format!("{:.4}", tt.ci95()),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+
+        if let Some(path) = tally_out {
+            let json = format!(
+                "{{\"schema\":\"rar-bitlive-validation-v1\",\"workload\":\"{workload}\",\
+                 \"inject_seed\":{inject_seed},\"samples\":{samples},\"ooo\":{},\"rar\":{}}}\n",
+                validations[0].1.strata.to_json(),
+                validations[1].1.strata.to_json()
+            );
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+        }
+
+        let mut failed = false;
+        for (technique, v) in &validations {
+            let dead = v.strata.get(Stratum::PredictedDead);
+            if v.gate_passes() {
+                println!(
+                    "{technique}: gate PASS — {} predicted-dead strikes, vulnerability \
+                     {:.4} ± {:.4} consistent with zero",
+                    dead.attempts(),
+                    dead.vulnerability(),
+                    dead.ci95()
+                );
+            } else {
+                eprintln!(
+                    "{technique}: gate FAIL — predicted-dead stratum {} (n={}, vulnerability \
+                     {:.4} ± {:.4}) is not consistent with zero",
+                    if dead.attempts() == 0 {
+                        "is empty"
+                    } else {
+                        "shows unmasked outcomes"
+                    },
+                    dead.attempts(),
+                    dead.vulnerability(),
+                    dead.ci95()
+                );
+                failed = true;
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let mut campaigns = Vec::new();

@@ -117,6 +117,62 @@ pub fn read_request(stream: &TcpStream) -> Result<Request, RequestError> {
     Ok(Request { method, path, body })
 }
 
+/// A typed request-handling failure inside the daemon — the server-side
+/// counterpart of [`RequestError`]. Handlers return these instead of
+/// panicking, so a wedged shared-state lock degrades one request to a
+/// 500 response rather than killing its connection thread (and poisoning
+/// every lock that thread held).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HttpError {
+    /// A shared-state mutex was poisoned by a panicking thread; the
+    /// payload names the lock for the error body and the daemon log.
+    LockPoisoned(&'static str),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    #[must_use]
+    pub const fn status(self) -> u16 {
+        match self {
+            HttpError::LockPoisoned(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::LockPoisoned(what) => write!(f, "internal error: {what} lock poisoned"),
+        }
+    }
+}
+
+/// Locks `m`, mapping a poisoned lock to a typed [`HttpError`] instead
+/// of propagating the panic. Every lock acquisition on a daemon request
+/// or job path goes through this, which is what keeps panicking lock
+/// acquisitions out of those paths (enforced by the `serve-panic-paths`
+/// repo lint).
+///
+/// # Errors
+///
+/// [`HttpError::LockPoisoned`] if a thread panicked while holding `m`.
+pub fn lock<'a, T>(
+    m: &'a std::sync::Mutex<T>,
+    what: &'static str,
+) -> Result<std::sync::MutexGuard<'a, T>, HttpError> {
+    m.lock().map_err(|_| HttpError::LockPoisoned(what))
+}
+
+/// Writes the error response `e` maps to (plain text, `Connection:
+/// close` like every other response).
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn respond_error(stream: &mut TcpStream, e: HttpError) -> io::Result<()> {
+    respond(stream, e.status(), "text/plain", &format!("{e}\n"))
+}
+
 /// The standard reason phrase for the handful of statuses the daemon uses.
 #[must_use]
 pub fn reason(status: u16) -> &'static str {
@@ -212,6 +268,23 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
         assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn lock_helper_maps_poisoned_locks_to_typed_500s() {
+        let m = std::sync::Mutex::new(0u32);
+        assert!(lock(&m, "demo").is_ok());
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let _ = std::panic::catch_unwind(|| {
+            let _guard = m.lock().expect("fresh lock");
+            panic!("poison the lock");
+        });
+        std::panic::set_hook(hook);
+        let err = lock(&m, "demo").expect_err("lock must be poisoned");
+        assert_eq!(err, HttpError::LockPoisoned("demo"));
+        assert_eq!(err.status(), 500);
+        assert_eq!(err.to_string(), "internal error: demo lock poisoned");
     }
 
     #[test]

@@ -46,7 +46,8 @@ use rar_telemetry::{
 };
 
 use crate::http::{
-    end_chunks, read_request, respond, start_chunked, write_chunk, Request, RequestError,
+    end_chunks, lock, read_request, respond, respond_error, start_chunked, write_chunk, HttpError,
+    Request, RequestError,
 };
 use crate::jobs::{InjectJob, JobKind, JobPhase, JobSpec, SweepJob};
 use crate::queue::{JobQueue, QueuedJob};
@@ -148,8 +149,8 @@ impl JobHandle {
     }
 
     /// Status + partial results as the `GET /v1/jobs/{id}` body.
-    fn status_json(&self) -> String {
-        let st = self.state.lock().expect("job state lock");
+    fn status_json(&self) -> Result<String, HttpError> {
+        let st = lock(&self.state, "job state")?;
         let mut out = format!(
             "{{\"id\":{},\"status\":\"{}\",\"priority\":{},\"completed\":{},\"failed\":{},\"total\":{}",
             self.id,
@@ -172,12 +173,12 @@ impl JobHandle {
             out.push_str(r.trim_end());
         }
         out.push_str("]}\n");
-        out
+        Ok(out)
     }
 
-    fn snapshot(&self) -> (JobPhase, ProgressSnapshot) {
-        let st = self.state.lock().expect("job state lock");
-        (
+    fn snapshot(&self) -> Result<(JobPhase, ProgressSnapshot), HttpError> {
+        let st = lock(&self.state, "job state")?;
+        Ok((
             st.phase,
             ProgressSnapshot {
                 completed: st.completed,
@@ -186,7 +187,7 @@ impl JobHandle {
                 busy_nanos: 0,
                 threads: 1,
             },
-        )
+        ))
     }
 }
 
@@ -256,13 +257,19 @@ impl CampaignServer {
             shutdown: CancelToken::new(),
             addr,
         });
-        for job in &resumed {
-            let handle = JobHandle::new(job);
-            inner.jobs.lock().expect("jobs lock").insert(job.id, handle);
-            inner.counters.resumed.inc();
-            inner.counters.submitted.inc();
+        // Single-threaded startup: the jobs lock cannot be poisoned yet,
+        // but the request-path discipline (no panicking lock
+        // acquisitions) applies here too.
+        if let Ok(mut jobs) = lock(&inner.jobs, "jobs") {
+            for job in &resumed {
+                jobs.insert(job.id, JobHandle::new(job));
+                inner.counters.resumed.inc();
+                inner.counters.submitted.inc();
+            }
         }
-        inner.refresh_active();
+        if let Err(e) = inner.refresh_active() {
+            eprintln!("[rar-serve] startup: {e}");
+        }
 
         let mut threads = Vec::new();
         for _ in 0..opts.workers {
@@ -279,7 +286,13 @@ impl CampaignServer {
             let inner = Arc::clone(&inner);
             let conn_rx = Arc::clone(&conn_rx);
             threads.push(std::thread::spawn(move || loop {
-                let next = conn_rx.lock().expect("conn rx lock").recv();
+                // A poisoned receiver lock means a sibling handler
+                // panicked mid-recv; this handler retires rather than
+                // panicking the whole pool in cascade.
+                let next = match lock(&conn_rx, "conn rx") {
+                    Ok(rx) => rx.recv(),
+                    Err(_) => break,
+                };
                 match next {
                     Ok(mut stream) => inner.handle_connection(&mut stream),
                     Err(_) => break,
@@ -353,31 +366,49 @@ impl ServerInner {
         let _ = TcpStream::connect(self.addr);
     }
 
-    fn handle(&self, id: u64) -> Option<Arc<JobHandle>> {
-        self.jobs.lock().expect("jobs lock").get(&id).cloned()
+    fn handle(&self, id: u64) -> Result<Option<Arc<JobHandle>>, HttpError> {
+        Ok(lock(&self.jobs, "jobs")?.get(&id).cloned())
     }
 
     /// Recomputes the queued-or-running gauge.
-    fn refresh_active(&self) {
-        let jobs = self.jobs.lock().expect("jobs lock");
-        let active = jobs
-            .values()
-            .filter(|h| !h.state.lock().expect("job state lock").phase.is_terminal())
-            .count();
+    fn refresh_active(&self) -> Result<(), HttpError> {
+        let jobs = lock(&self.jobs, "jobs")?;
+        let mut active = 0usize;
+        for h in jobs.values() {
+            if !lock(&h.state, "job state")?.phase.is_terminal() {
+                active += 1;
+            }
+        }
         self.counters.active.set(active as f64);
+        Ok(())
     }
 
     // ---- job execution -------------------------------------------------
 
     fn run_job(self: &Arc<Self>, job: &QueuedJob) {
-        let Some(handle) = self.handle(job.id) else {
-            return;
+        // Worker context, no stream to answer on: a poisoned lock is
+        // logged and the job is abandoned in place (the queue journal
+        // still holds it for the next daemon start).
+        if let Err(e) = self.try_run_job(job) {
+            eprintln!("[rar-serve] job {}: {e}", job.id);
+        }
+    }
+
+    fn try_run_job(self: &Arc<Self>, job: &QueuedJob) -> Result<(), HttpError> {
+        let Some(handle) = self.handle(job.id)? else {
+            // Cannot happen: submit_route registers the handle under the
+            // jobs lock before the queue can wake a worker, and startup
+            // registers resumed handles before workers spawn. Logged
+            // rather than silently dropped — the journal still holds the
+            // job for the next start.
+            eprintln!("[rar-serve] job {}: claimed with no handle", job.id);
+            return Ok(());
         };
         {
-            let mut st = handle.state.lock().expect("job state lock");
+            let mut st = lock(&handle.state, "job state")?;
             if st.phase != JobPhase::Queued {
                 // Canceled between submission and claim; already journaled.
-                return;
+                return Ok(());
             }
             st.phase = JobPhase::Running;
         }
@@ -385,18 +416,18 @@ impl ServerInner {
             JobPhase::Canceled
         } else {
             match &handle.spec.kind {
-                JobKind::Sweep(s) => self.run_sweep_job(&handle, s),
-                JobKind::Inject(i) => self.run_inject_job(&handle, i),
+                JobKind::Sweep(s) => self.run_sweep_job(&handle, s)?,
+                JobKind::Inject(i) => self.run_inject_job(&handle, i)?,
             }
         };
-        handle.state.lock().expect("job state lock").phase = phase;
+        lock(&handle.state, "job state")?.phase = phase;
         self.queue.record_terminal(job.id, phase);
         match phase {
             JobPhase::Completed => self.counters.completed.inc(),
             JobPhase::Canceled => self.counters.canceled.inc(),
             _ => self.counters.failed.inc(),
         }
-        self.refresh_active();
+        self.refresh_active()
     }
 
     /// Sweep jobs run cell by cell through the shared session: each cell
@@ -404,41 +435,45 @@ impl ServerInner {
     /// results), and the cancel token is honored between cells. Dedup
     /// against concurrent jobs comes from the session's single-flight
     /// gate; dedup against past jobs from its result cache.
-    fn run_sweep_job(&self, handle: &JobHandle, sweep: &SweepJob) -> JobPhase {
+    fn run_sweep_job(&self, handle: &JobHandle, sweep: &SweepJob) -> Result<JobPhase, HttpError> {
         for cfg in sweep.configs() {
             if handle.cancel.is_canceled() {
-                return JobPhase::Canceled;
+                return Ok(JobPhase::Canceled);
             }
             match self.session.run(&cfg) {
                 Ok(result) => {
-                    let mut st = handle.state.lock().expect("job state lock");
+                    let mut st = lock(&handle.state, "job state")?;
                     st.results.push(json::to_json_for(&cfg, &result));
                     st.completed += 1;
                 }
                 Err(e) => {
-                    let mut st = handle.state.lock().expect("job state lock");
+                    let mut st = lock(&handle.state, "job state")?;
                     st.failed += 1;
                     st.error = Some(format!("{}/{}: {e}", cfg.workload, cfg.technique));
                 }
             }
         }
-        let st = handle.state.lock().expect("job state lock");
-        if st.failed > 0 {
+        let st = lock(&handle.state, "job state")?;
+        Ok(if st.failed > 0 {
             JobPhase::Failed
         } else {
             JobPhase::Completed
-        }
+        })
     }
 
     /// Inject jobs reproduce the CLI's paired OoO/RAR campaign and
     /// render the identical `rar-inject-tally-v1` document, journaling
     /// under the data directory so a daemon restart resumes
     /// injection-exactly.
-    fn run_inject_job(&self, handle: &JobHandle, inject: &InjectJob) -> JobPhase {
+    fn run_inject_job(
+        &self,
+        handle: &JobHandle,
+        inject: &InjectJob,
+    ) -> Result<JobPhase, HttpError> {
         let mut tallies = Vec::new();
         for technique in [Technique::Ooo, Technique::Rar] {
             if handle.cancel.is_canceled() {
-                return JobPhase::Canceled;
+                return Ok(JobPhase::Canceled);
             }
             let mut b = SimConfig::builder();
             b.workload(&inject.workload)
@@ -449,9 +484,9 @@ impl ServerInner {
             let harness = match InjectionHarness::prepare(&cfg) {
                 Ok(h) => h,
                 Err(e) => {
-                    let mut st = handle.state.lock().expect("job state lock");
+                    let mut st = lock(&handle.state, "job state")?;
                     st.error = Some(e.to_string());
-                    return JobPhase::Failed;
+                    return Ok(JobPhase::Failed);
                 }
             };
             let journal = self.data_dir.join(format!(
@@ -475,26 +510,26 @@ impl ServerInner {
             ) {
                 Ok(r) => r,
                 Err(e) => {
-                    let mut st = handle.state.lock().expect("job state lock");
+                    let mut st = lock(&handle.state, "job state")?;
                     st.error = Some(format!("campaign journal: {e}"));
-                    return JobPhase::Failed;
+                    return Ok(JobPhase::Failed);
                 }
             };
             {
-                let mut st = handle.state.lock().expect("job state lock");
+                let mut st = lock(&handle.state, "job state")?;
                 st.completed += result.completed;
                 st.failed += result.failed;
             }
             if handle.cancel.is_canceled() && result.completed < inject.samples {
-                return JobPhase::Canceled;
+                return Ok(JobPhase::Canceled);
             }
             if result.failed > 0 {
-                let mut st = handle.state.lock().expect("job state lock");
+                let mut st = lock(&handle.state, "job state")?;
                 st.error = Some(format!(
                     "{} of {} injections failed under {technique}",
                     result.failed, inject.samples
                 ));
-                return JobPhase::Failed;
+                return Ok(JobPhase::Failed);
             }
             tallies.push(result.tally.to_json());
         }
@@ -503,13 +538,8 @@ impl ServerInner {
              \"inject_seed\":{},\"ooo\":{},\"rar\":{}}}\n",
             inject.workload, inject.inject_seed, tallies[0], tallies[1]
         );
-        handle
-            .state
-            .lock()
-            .expect("job state lock")
-            .results
-            .push(document);
-        JobPhase::Completed
+        lock(&handle.state, "job state")?.results.push(document);
+        Ok(JobPhase::Completed)
     }
 
     // ---- HTTP ----------------------------------------------------------
@@ -549,8 +579,12 @@ impl ServerInner {
                 respond(stream, 200, "text/plain; version=0.0.4", &text)
             }
             ("GET", ["v1", "jobs", id]) => match self.parse_handle(id) {
-                Some(handle) => respond(stream, 200, "application/json", &handle.status_json()),
-                None => respond(stream, 404, "text/plain", "no such job\n"),
+                Ok(Some(handle)) => match handle.status_json() {
+                    Ok(body) => respond(stream, 200, "application/json", &body),
+                    Err(e) => respond_error(stream, e),
+                },
+                Ok(None) => respond(stream, 404, "text/plain", "no such job\n"),
+                Err(e) => respond_error(stream, e),
             },
             ("GET", ["v1", "jobs", id, "results", index]) => self.result_route(stream, id, index),
             ("DELETE", ["v1", "jobs", id]) => self.cancel_route(stream, id),
@@ -569,8 +603,11 @@ impl ServerInner {
         }
     }
 
-    fn parse_handle(&self, id: &str) -> Option<Arc<JobHandle>> {
-        id.parse().ok().and_then(|id| self.handle(id))
+    fn parse_handle(&self, id: &str) -> Result<Option<Arc<JobHandle>>, HttpError> {
+        match id.parse() {
+            Ok(id) => self.handle(id),
+            Err(_) => Ok(None),
+        }
     }
 
     fn submit_route(self: &Arc<Self>, stream: &mut TcpStream, body: &str) -> io::Result<()> {
@@ -581,6 +618,15 @@ impl ServerInner {
         if self.shutdown.is_canceled() {
             return respond(stream, 503, "text/plain", "shutting down\n");
         }
+        // The jobs lock is taken BEFORE the job is enqueued and held
+        // until its handle is registered: `queue.submit` wakes a worker,
+        // and a worker that wins the wake race blocks in `handle()`
+        // until the insert below lands instead of finding no handle and
+        // silently dropping the job (which left it "queued" forever).
+        let mut jobs = match lock(&self.jobs, "jobs") {
+            Ok(jobs) => jobs,
+            Err(e) => return respond_error(stream, e),
+        };
         let job = match self.queue.submit(spec) {
             Ok(job) => job,
             Err(e) => {
@@ -592,10 +638,12 @@ impl ServerInner {
                 )
             }
         };
-        let handle = JobHandle::new(&job);
-        self.jobs.lock().expect("jobs lock").insert(job.id, handle);
+        jobs.insert(job.id, JobHandle::new(&job));
+        drop(jobs);
         self.counters.submitted.inc();
-        self.refresh_active();
+        if let Err(e) = self.refresh_active() {
+            return respond_error(stream, e);
+        }
         respond(
             stream,
             201,
@@ -605,13 +653,18 @@ impl ServerInner {
     }
 
     fn result_route(&self, stream: &mut TcpStream, id: &str, index: &str) -> io::Result<()> {
-        let Some(handle) = self.parse_handle(id) else {
-            return respond(stream, 404, "text/plain", "no such job\n");
+        let handle = match self.parse_handle(id) {
+            Ok(Some(handle)) => handle,
+            Ok(None) => return respond(stream, 404, "text/plain", "no such job\n"),
+            Err(e) => return respond_error(stream, e),
         };
         let Ok(index) = index.parse::<usize>() else {
             return respond(stream, 404, "text/plain", "bad result index\n");
         };
-        let st = handle.state.lock().expect("job state lock");
+        let st = match lock(&handle.state, "job state") {
+            Ok(st) => st,
+            Err(e) => return respond_error(stream, e),
+        };
         match st.results.get(index) {
             Some(doc) => {
                 let doc = doc.clone();
@@ -623,12 +676,17 @@ impl ServerInner {
     }
 
     fn cancel_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
-        let Some(handle) = self.parse_handle(id) else {
-            return respond(stream, 404, "text/plain", "no such job\n");
+        let handle = match self.parse_handle(id) {
+            Ok(Some(handle)) => handle,
+            Ok(None) => return respond(stream, 404, "text/plain", "no such job\n"),
+            Err(e) => return respond_error(stream, e),
         };
         handle.cancel.cancel();
         let phase = {
-            let mut st = handle.state.lock().expect("job state lock");
+            let mut st = match lock(&handle.state, "job state") {
+                Ok(st) => st,
+                Err(e) => return respond_error(stream, e),
+            };
             if st.phase == JobPhase::Queued {
                 // Not yet claimed: unqueue and finalize here. A worker
                 // that raced us and claimed it first will see Running and
@@ -640,7 +698,9 @@ impl ServerInner {
             }
             st.phase
         };
-        self.refresh_active();
+        if let Err(e) = self.refresh_active() {
+            return respond_error(stream, e);
+        }
         respond(
             stream,
             200,
@@ -657,10 +717,15 @@ impl ServerInner {
     /// line per interval while the job runs, then the reporter's final
     /// line and the job's terminal status document.
     fn events_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
-        let Some(handle) = self.parse_handle(id) else {
-            return respond(stream, 404, "text/plain", "no such job\n");
+        let handle = match self.parse_handle(id) {
+            Ok(Some(handle)) => handle,
+            Ok(None) => return respond(stream, 404, "text/plain", "no such job\n"),
+            Err(e) => return respond_error(stream, e),
         };
-        let total = handle.state.lock().expect("job state lock").total;
+        let total = match lock(&handle.state, "job state") {
+            Ok(st) => st.total,
+            Err(e) => return respond_error(stream, e),
+        };
         let reporter = ProgressReporter::new(total, Duration::from_millis(200));
         start_chunked(stream, 200, "text/plain")?;
         write_chunk(
@@ -668,7 +733,16 @@ impl ServerInner {
             &format!("job {} [{}]\n", handle.id, handle.spec.to_json()),
         )?;
         loop {
-            let (phase, snap) = handle.snapshot();
+            // Once the chunked stream has started a status line can no
+            // longer change; a poisoned lock ends the stream with an
+            // explanatory chunk instead.
+            let (phase, snap) = match handle.snapshot() {
+                Ok(s) => s,
+                Err(e) => {
+                    write_chunk(stream, &format!("{e}\n"))?;
+                    break;
+                }
+            };
             if phase.is_terminal() {
                 write_chunk(stream, &format!("{}\n", reporter.final_line(&snap)))?;
                 write_chunk(stream, &format!("job {} {}\n", handle.id, phase.name()))?;

@@ -138,6 +138,38 @@ fn concurrent_overlapping_grids_share_each_cell() {
 }
 
 #[test]
+fn burst_submissions_all_run_despite_the_claim_wake_race() {
+    let scratch = Scratch::new("burst");
+    let (server, client) = boot(&scratch, 2);
+
+    // Regression test: `queue.submit` wakes a worker before submit_route
+    // used to register the job handle; a worker winning that race found
+    // no handle and silently dropped the job, leaving it "queued"
+    // forever (observed deterministically against the live binary). A
+    // back-to-back burst maximizes the exposure; every job must settle.
+    let spec = "{\"kind\":\"single\",\"workload\":\"mcf\",\"technique\":\"ooo\",\
+                \"instructions\":500,\"warmup\":100}";
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        let resp = client.request("POST", "/v1/jobs", spec).expect("submit");
+        assert_eq!(resp.status, 201, "{}", resp.body);
+        ids.push(submitted_id(&resp.body));
+    }
+    for id in ids {
+        let done = client
+            .wait_for_job(id, Duration::from_secs(120))
+            .expect("burst job must not be dropped by the wake race");
+        assert!(
+            done.body.contains("\"status\":\"completed\""),
+            "job {id}: {}",
+            done.body
+        );
+    }
+
+    server.stop();
+}
+
+#[test]
 fn canceling_a_queued_job_never_runs_it() {
     let scratch = Scratch::new("cancel");
     // No workers: everything stays queued, cancellation is deterministic.

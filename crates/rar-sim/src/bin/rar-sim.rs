@@ -186,6 +186,7 @@ fn main() -> ExitCode {
     println!("MPKI          {:.1}", r.mpki());
     println!("AVF           {:.4}", r.reliability.avf());
     println!("refined AVF   {:.4}", r.reliability.refined_avf());
+    println!("bit-ref AVF   {:.4}", r.reliability.bit_refined_avf());
     println!("total ABC     {}", r.reliability.total_abc());
     for s in Structure::ALL {
         println!("  ABC {:8}  {}", s.to_string(), r.reliability.abc(s));

@@ -33,7 +33,7 @@ use std::path::{Path, PathBuf};
 
 /// Version of the on-disk entry layout. Bump when the serialized field
 /// set changes; old entries then become misses and are re-simulated.
-pub const CACHE_VERSION: u64 = 1;
+pub const CACHE_VERSION: u64 = 2;
 
 /// A directory of memoized [`SimResult`]s keyed by configuration
 /// fingerprint.
@@ -185,6 +185,11 @@ fn encode(cfg: &SimConfig, r: &SimResult) -> String {
     );
     let _ = writeln!(
         out,
+        "  \"reliability.bit_refined_total_abc\": {},",
+        rel.bit_refined_total_abc()
+    );
+    let _ = writeln!(
+        out,
         "  \"reliability.capacity_bits\": {},",
         rel.capacity_bits()
     );
@@ -288,6 +293,7 @@ fn decode(text: &str, cfg: &SimConfig) -> Option<SimResult> {
         rel_abc,
         field_u128(text, "reliability.total_abc")?,
         field_u128(text, "reliability.refined_total_abc")?,
+        field_u128(text, "reliability.bit_refined_total_abc")?,
         field_u64(text, "reliability.capacity_bits")?,
         field_u64(text, "reliability.cycles")?,
     );
@@ -384,6 +390,10 @@ mod tests {
         assert!(
             replayed.reliability.refined_avf().to_bits()
                 == fresh.reliability.refined_avf().to_bits()
+        );
+        assert!(
+            replayed.reliability.bit_refined_avf().to_bits()
+                == fresh.reliability.bit_refined_avf().to_bits()
         );
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -104,6 +104,17 @@ fn manifest_section(out: &mut String, name: &str, text: &str) {
             let _ = writeln!(out, "<tr><td>{key}</td><td>{shown:.2}{unit}</td></tr>");
         }
     }
+    // Mean AVF tiers over the session's completed cells (present when
+    // the session completed at least one cell).
+    for key in [
+        "avf_unrefined_mean",
+        "avf_refined_mean",
+        "avf_bit_refined_mean",
+    ] {
+        if let Some(v) = field_f64(text, key) {
+            let _ = writeln!(out, "<tr><td>{key}</td><td>{v:.6}</td></tr>");
+        }
+    }
     let _ = writeln!(out, "</table>");
 
     // Self-profile bars: where the host wall-clock went, by phase. Only

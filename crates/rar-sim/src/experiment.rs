@@ -736,25 +736,40 @@ pub fn refinement<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
         "AVF".into(),
         "refined_AVF".into(),
         "removed_%".into(),
+        "bit_refined_AVF".into(),
+        "bit_removed_%".into(),
     ]);
     table.titled("Static un-ACE refinement (OoO; refined = minus dead destination bits)");
     let mut removed = Vec::new();
+    let mut bit_removed = Vec::new();
     for &b in &benchmarks {
         let Some(r) = cell(&m, b, Technique::Ooo) else {
             continue;
         };
-        let (avf, ravf) = (r.reliability.avf(), r.reliability.refined_avf());
+        let (avf, ravf, bravf) = (
+            r.reliability.avf(),
+            r.reliability.refined_avf(),
+            r.reliability.bit_refined_avf(),
+        );
         let pct = if avf > 0.0 {
             (1.0 - ravf / avf) * 100.0
         } else {
             0.0
         };
+        let bit_pct = if avf > 0.0 {
+            (1.0 - bravf / avf) * 100.0
+        } else {
+            0.0
+        };
         removed.push(pct);
+        bit_removed.push(bit_pct);
         table.row(vec![
             b.to_owned(),
             fmt3(avf),
             fmt3(ravf),
             format!("{pct:.1}"),
+            fmt3(bravf),
+            format!("{bit_pct:.1}"),
         ]);
     }
     table.row(vec![
@@ -762,6 +777,8 @@ pub fn refinement<P: Profiler>(opts: &ExperimentOptions<P>) -> Table {
         String::new(),
         String::new(),
         format!("{:.1}", amean(&removed)),
+        String::new(),
+        format!("{:.1}", amean(&bit_removed)),
     ]);
     table
 }
@@ -1071,6 +1088,11 @@ mod tests {
                 continue; // header/mean rows
             };
             assert!(ravf <= avf, "{line}: refined AVF must not exceed AVF");
+            let bravf: f64 = cols[4].parse().expect("bit-refined column present");
+            assert!(
+                bravf <= ravf,
+                "{line}: bit-refined AVF must not exceed refined AVF"
+            );
         }
     }
 

@@ -26,7 +26,9 @@ use crate::config::SimConfig;
 use crate::run::{refinement_horizon, RunArtifacts};
 use rar_ace::{Structure, StructureCapacities};
 use rar_core::{Core, FaultLanding, NullSink, PlannedFault, RunVerdict, SiteSampler};
-use rar_inject::{run_campaign, CampaignResult, CampaignSpec, Outcome, TargetTally};
+use rar_inject::{
+    run_campaign, CampaignResult, CampaignSpec, Outcome, StratifiedTally, Stratum, TargetTally,
+};
 use rar_isa::TraceWindow;
 use rar_telemetry::MetricsRegistry;
 use rar_verify::ConfigError;
@@ -118,6 +120,22 @@ impl InjectionHarness {
     /// run. Deterministic in `fault`; safe to call from many threads.
     #[must_use]
     pub fn execute(&self, fault: &PlannedFault, deadline: Option<Instant>) -> Outcome {
+        self.execute_stratified(fault, deadline).0
+    }
+
+    /// Like [`InjectionHarness::execute`], but additionally reports what
+    /// the static bit-liveness analysis predicted about the struck bit
+    /// (`Some(true)` = proven dead, `Some(false)` = conservatively live,
+    /// `None` = no prediction — vacant slot, wrong-path writer, or a
+    /// non-register target). The prediction is resolved at strike time
+    /// inside the core, so it is available even for runs the watchdog
+    /// kills.
+    #[must_use]
+    pub fn execute_stratified(
+        &self,
+        fault: &PlannedFault,
+        deadline: Option<Instant>,
+    ) -> (Outcome, Option<bool>) {
         let budget = self
             .end_cycle
             .saturating_mul(HANG_BUDGET_FACTOR)
@@ -127,20 +145,36 @@ impl InjectionHarness {
         if self.cfg.warmup > 0 {
             match core.run_budgeted(self.cfg.warmup, budget, deadline) {
                 RunVerdict::Completed => {}
-                _ => return Outcome::DueHang,
+                _ => return (Outcome::DueHang, core.fault_report().predicted_dead),
             }
             core.reset_measurement();
         }
         let remaining = budget.saturating_sub(core.now()).max(1);
-        match core.run_budgeted(self.cfg.instructions, remaining, deadline) {
-            RunVerdict::Completed => {}
-            _ => return Outcome::DueHang,
-        }
-        match core.fault_report().landing {
-            None | Some(FaultLanding::Vacant) => Outcome::Vacant,
-            Some(_) if core.commit_digest() != self.golden_digest => Outcome::Sdc,
-            Some(_) => Outcome::Masked,
-        }
+        let outcome = match core.run_budgeted(self.cfg.instructions, remaining, deadline) {
+            RunVerdict::Completed => match core.fault_report().landing {
+                None | Some(FaultLanding::Vacant) => Outcome::Vacant,
+                Some(_) if core.commit_digest() != self.golden_digest => Outcome::Sdc,
+                Some(_) => Outcome::Masked,
+            },
+            _ => Outcome::DueHang,
+        };
+        (outcome, core.fault_report().predicted_dead)
+    }
+
+    /// A sampler restricted to the two register files — the structures
+    /// the per-bit dead masks apply to and where every payload strike's
+    /// liveness prediction is resolved. Validation campaigns use this for
+    /// statistical power: every sample audits the bit-liveness analysis
+    /// instead of mostly striking structures it makes no claim about.
+    #[must_use]
+    pub fn rf_sampler(&self, seed: u64) -> SiteSampler {
+        SiteSampler::with_targets(
+            seed,
+            (self.warmup_end + 1, self.end_cycle + 1),
+            &[rar_core::FaultTarget::RfInt, rar_core::FaultTarget::RfFp],
+            &self.cfg.core,
+            &self.cfg.mem,
+        )
     }
 
     /// The golden run's ACE-estimated `(unrefined, refined)` AVF for an
@@ -216,6 +250,72 @@ pub fn run_injection_campaign(
         },
         registry,
     )
+}
+
+/// What a bit-liveness validation campaign produced: the ordinary
+/// campaign result plus the per-prediction-stratum tallies the soundness
+/// gate is judged on.
+#[derive(Debug, Clone)]
+pub struct BitliveValidation {
+    /// The underlying campaign (per-target tallies, completion counts).
+    pub result: CampaignResult,
+    /// Outcomes stratified by the static analysis's per-strike prediction.
+    pub strata: StratifiedTally,
+}
+
+impl BitliveValidation {
+    /// Whether the predicted-dead stratum's measured vulnerability is
+    /// statistically consistent with zero (the soundness gate), with at
+    /// least one predicted-dead strike to judge — an empty stratum means
+    /// the campaign had no statistical power and fails the gate.
+    #[must_use]
+    pub fn gate_passes(&self) -> bool {
+        self.strata.get(Stratum::PredictedDead).attempts() > 0
+            && self.strata.dead_stratum_consistent_with_zero()
+    }
+}
+
+/// Runs a bit-liveness validation campaign: `spec.samples` injections
+/// restricted to the register files ([`InjectionHarness::rf_sampler`]),
+/// each outcome stratified by the static analysis's prediction for the
+/// struck bit. Strata are commutative integer sums recorded alongside the
+/// ordinary tally, so the result is thread-count invariant like every
+/// other campaign.
+///
+/// Journaled resume replays outcomes but not predictions, so validation
+/// campaigns must run un-journaled (`spec.journal = None`); a journaled
+/// spec would under-count strata on resume. Injections the runner
+/// classifies without reaching the executor (a panic caught by
+/// `catch_unwind`) land in the campaign tally but not the strata.
+///
+/// # Errors
+///
+/// Propagates journal I/O errors exactly like [`run_injection_campaign`].
+pub fn run_bitlive_validation(
+    harness: &InjectionHarness,
+    spec: &CampaignSpec,
+    seed: u64,
+    run_wall: Option<Duration>,
+    registry: Option<&MetricsRegistry>,
+) -> std::io::Result<BitliveValidation> {
+    let sampler = harness.rf_sampler(seed);
+    let strata = std::sync::Mutex::new(StratifiedTally::new());
+    let result = run_campaign(
+        spec,
+        &sampler,
+        |_k, fault| {
+            let deadline = run_wall.map(|d| Instant::now() + d);
+            let (outcome, predicted_dead) = harness.execute_stratified(fault, deadline);
+            strata
+                .lock()
+                .expect("strata lock")
+                .record(Stratum::from_prediction(predicted_dead), outcome);
+            Ok(outcome)
+        },
+        registry,
+    )?;
+    let strata = strata.into_inner().expect("strata lock");
+    Ok(BitliveValidation { result, strata })
 }
 
 /// The dead-value horizon used by the harness (re-exported for tests that
@@ -369,6 +469,57 @@ mod tests {
             consistent,
             "no structure's refined AVF within/above the injection CI: {}",
             r.tally.to_json()
+        );
+    }
+
+    #[test]
+    fn predicted_dead_strikes_are_consistent_with_zero_vulnerability() {
+        // The bit-liveness soundness gate, in miniature: restrict strikes
+        // to the register files, stratify by the static prediction, and
+        // require the predicted-dead stratum to be statistically
+        // consistent with zero measured vulnerability.
+        let cfg = tiny_cfg(Technique::Ooo);
+        let h = InjectionHarness::prepare(&cfg).unwrap();
+        let spec = CampaignSpec {
+            samples: 120,
+            threads: 4,
+            ..CampaignSpec::default()
+        };
+        let v = run_bitlive_validation(&h, &spec, 2024, None, None).unwrap();
+        assert_eq!(v.result.completed, 120);
+        assert_eq!(v.strata.total(), 120);
+        let dead = v.strata.get(rar_inject::Stratum::PredictedDead);
+        assert!(
+            dead.attempts() > 0,
+            "no predicted-dead strikes sampled: {}",
+            v.strata.to_json()
+        );
+        assert!(
+            v.gate_passes(),
+            "predicted-dead stratum not consistent with zero: {}",
+            v.strata.to_json()
+        );
+    }
+
+    #[test]
+    fn validation_strata_are_thread_count_invariant() {
+        let cfg = tiny_cfg(Technique::Rar);
+        let h = InjectionHarness::prepare(&cfg).unwrap();
+        let mut strata = Vec::new();
+        for threads in [1usize, 4] {
+            let spec = CampaignSpec {
+                samples: 60,
+                threads,
+                ..CampaignSpec::default()
+            };
+            let v = run_bitlive_validation(&h, &spec, 7, None, None).unwrap();
+            assert_eq!(v.result.completed, 60);
+            strata.push(v.strata);
+        }
+        assert_eq!(
+            strata[0].to_json(),
+            strata[1].to_json(),
+            "same seed must give identical strata regardless of threads"
         );
     }
 

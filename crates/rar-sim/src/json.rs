@@ -80,11 +80,21 @@ fn render(r: &SimResult, cfg: Option<&SimConfig>) -> String {
         "    \"refined_avf\": {:.8},",
         r.reliability.refined_avf()
     );
+    let _ = writeln!(
+        out,
+        "    \"bit_refined_avf\": {:.8},",
+        r.reliability.bit_refined_avf()
+    );
     let _ = writeln!(out, "    \"total_abc\": {},", r.reliability.total_abc());
     let _ = writeln!(
         out,
         "    \"refined_total_abc\": {},",
         r.reliability.refined_total_abc()
+    );
+    let _ = writeln!(
+        out,
+        "    \"bit_refined_total_abc\": {},",
+        r.reliability.bit_refined_total_abc()
     );
     let _ = writeln!(
         out,
@@ -177,7 +187,9 @@ mod tests {
             "ROB",
             "avf",
             "refined_avf",
+            "bit_refined_avf",
             "refined_total_abc",
+            "bit_refined_total_abc",
             "dispatched",
             "issued",
             "l1i_hits",

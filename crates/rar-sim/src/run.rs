@@ -419,6 +419,61 @@ mod tests {
     }
 
     #[test]
+    fn bit_refined_avf_ordered_on_every_workload() {
+        // The paper-benchmark-wide ordering invariant of the three AVF
+        // tiers: bit_refined <= refined <= unrefined, with the bit tier
+        // still leaving measurable exposure.
+        for name in rar_workloads::all_benchmarks() {
+            let r = quick(name, Technique::Ooo);
+            let rel = &r.reliability;
+            assert!(
+                rel.bit_refined_total_abc() <= rel.refined_total_abc(),
+                "{name}: bit-refined ABC {} > refined {}",
+                rel.bit_refined_total_abc(),
+                rel.refined_total_abc()
+            );
+            assert!(
+                rel.bit_refined_avf() <= rel.refined_avf() && rel.refined_avf() <= rel.avf(),
+                "{name}: AVF tiers out of order"
+            );
+            assert!(
+                rel.bit_refined_total_abc() > 0,
+                "{name}: bit refinement killed all ABC"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_refined_figures_are_deterministic_and_thread_invariant() {
+        // Same config twice in-process, and once through the parallel
+        // sweep engine: all three must agree bit for bit.
+        let cfg = SimConfig::builder()
+            .workload("lbm")
+            .technique(Technique::Rar)
+            .warmup(1_000)
+            .instructions(6_000)
+            .build();
+        let a = Simulation::run(&cfg);
+        let b = Simulation::run(&cfg);
+        assert_eq!(
+            a.reliability.bit_refined_total_abc(),
+            b.reliability.bit_refined_total_abc()
+        );
+        let swept = crate::sweep::SweepSession::new().run_all(&[cfg.clone(), cfg.clone()]);
+        for r in swept {
+            let r = r.expect("sweep run ok");
+            assert_eq!(
+                r.reliability.bit_refined_total_abc(),
+                a.reliability.bit_refined_total_abc()
+            );
+            assert_eq!(
+                r.reliability.bit_refined_avf().to_bits(),
+                a.reliability.bit_refined_avf().to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn refinement_finds_dead_values_somewhere() {
         // The synthetic workloads overwrite registers aggressively, so at
         // least one of them must expose statically dead destinations.

@@ -368,6 +368,19 @@ pub struct SweepSession<P: Profiler = NullProfiler> {
     /// Single-flight table: fingerprint → the in-flight simulation any
     /// concurrent request for the same cell subscribes to.
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    /// Running sums of the three AVF tiers over every completed cell,
+    /// for the manifest's mean-AVF fields.
+    avf: Mutex<AvfAccum>,
+}
+
+/// Sum of each AVF tier over completed cells (cache hits included), for
+/// manifest-level means.
+#[derive(Debug, Default)]
+struct AvfAccum {
+    unrefined: f64,
+    refined: f64,
+    bit_refined: f64,
+    cells: u64,
 }
 
 /// A profiled session: every host-side phase is wall-clock attributed.
@@ -476,6 +489,7 @@ impl<P: Profiler> SweepSession<P> {
             cache_off: AtomicBool::new(false),
             seen: Mutex::new(SeenInputs::default()),
             inflight: Mutex::new(HashMap::new()),
+            avf: Mutex::new(AvfAccum::default()),
         }
     }
 
@@ -540,6 +554,17 @@ impl<P: Profiler> SweepSession<P> {
         Ok(self.run_validated(cfg)?.result)
     }
 
+    /// Folds one completed cell's AVF tiers into the manifest means
+    /// (every completed cell counts once per request, cache hits
+    /// included, so the means weight cells the way the sweep did).
+    fn note_avf(&self, r: &SimResult) {
+        let mut a = self.avf.lock().expect("avf lock");
+        a.unrefined += r.reliability.avf();
+        a.refined += r.reliability.refined_avf();
+        a.bit_refined += r.reliability.bit_refined_avf();
+        a.cells += 1;
+    }
+
     /// The usable disk cache, if any: `None` once repeated I/O errors
     /// latched the session cache-off.
     fn live_cache(&self) -> Option<&DiskCache> {
@@ -602,6 +627,7 @@ impl<P: Profiler> SweepSession<P> {
             drop(probe);
             if let Some(result) = hit {
                 self.counters.cache_hits.inc();
+                self.note_avf(&result);
                 return Ok(CellOutcome {
                     result,
                     cache_hit: true,
@@ -638,6 +664,7 @@ impl<P: Profiler> SweepSession<P> {
                     // abandons the slot for the subscribers.
                     let outcome = self.simulate_validated(cfg)?;
                     lead.publish(&outcome.result);
+                    self.note_avf(&outcome.result);
                     return Ok(outcome);
                 }
                 Err(cell) => {
@@ -653,6 +680,7 @@ impl<P: Profiler> SweepSession<P> {
                         }
                     };
                     if let Some(result) = settled {
+                        self.note_avf(&result);
                         return Ok(CellOutcome {
                             result,
                             cache_hit: false,
@@ -958,6 +986,18 @@ impl<P: Profiler> SweepSession<P> {
             .set_str("profiled", if P::ENABLED { "yes" } else { "no" })
             .set_str_array("workloads", workloads)
             .set_str_array("fingerprints", fingerprints);
+        // Mean AVF tiers over this session's completed cells (optional:
+        // omitted for a session that never completed a cell, so older
+        // manifests stay valid byte for byte).
+        {
+            let a = self.avf.lock().expect("avf lock");
+            if a.cells > 0 {
+                let n = a.cells as f64;
+                b.set_f64("avf_unrefined_mean", sanitize_f64(a.unrefined / n))
+                    .set_f64("avf_refined_mean", sanitize_f64(a.refined / n))
+                    .set_f64("avf_bit_refined_mean", sanitize_f64(a.bit_refined / n));
+            }
+        }
         b.render(&self.registry)
     }
 }

@@ -1,0 +1,352 @@
+//! Backward bit-mask liveness: per-uop dead destination *bits*.
+//!
+//! The word-level analysis in [`crate::liveness`] answers "is this
+//! destination value ever needed"; this module answers, for values that
+//! *are* needed, "which bits of it". The dataflow state is one 64-bit
+//! live mask per architectural register ([`MaskVec`]), and each uop's
+//! backward step applies the per-kind transfer functions from
+//! [`crate::transfer`]: a branch demands one condition bit of its
+//! sources, a load demands only address bits, and carry-monotone ALU
+//! kinds demand bits only up to the most significant live destination
+//! bit. The result is a per-uop *dead-bit mask* generalizing the
+//! all-or-nothing `dead_dest_bits` of the word-level classes.
+//!
+//! Like the word-level pass, the analysis runs over the basic-block
+//! chain of [`crate::blocks::split_blocks`] as a monotone fixpoint with
+//! an observable convergence trace — the dynamic trace is a straight
+//! line, so one backward sweep reaches the fixpoint, but the solver
+//! iterates until stable so the monotone contract is explicit and
+//! testable. The stream horizon is conservative: every register is
+//! fully live at the end of the slice.
+
+use crate::blocks::split_blocks;
+use crate::transfer::src_live_mask;
+use rar_isa::{ArchReg, Uop};
+
+/// One 64-bit live mask per architectural register (the dataflow state
+/// of the bit-level analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaskVec {
+    masks: [u64; 64],
+}
+
+impl MaskVec {
+    /// All registers fully dead.
+    #[must_use]
+    pub const fn empty() -> Self {
+        MaskVec { masks: [0; 64] }
+    }
+
+    /// All registers fully live (the conservative horizon seed).
+    #[must_use]
+    pub const fn full() -> Self {
+        MaskVec {
+            masks: [u64::MAX; 64],
+        }
+    }
+
+    /// Live mask of `reg`.
+    #[must_use]
+    pub fn get(&self, reg: ArchReg) -> u64 {
+        self.masks[reg.flat_index()]
+    }
+
+    /// Replaces the live mask of `reg`.
+    pub fn set(&mut self, reg: ArchReg, mask: u64) {
+        self.masks[reg.flat_index()] = mask;
+    }
+
+    /// Ors `mask` into the live mask of `reg`.
+    pub fn or(&mut self, reg: ArchReg, mask: u64) {
+        self.masks[reg.flat_index()] |= mask;
+    }
+
+    /// Unions `other` into `self`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &MaskVec) -> bool {
+        let mut changed = false;
+        for (m, o) in self.masks.iter_mut().zip(other.masks.iter()) {
+            let before = *m;
+            *m |= o;
+            changed |= *m != before;
+        }
+        changed
+    }
+
+    /// Total number of live bits across all registers.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.masks.iter().map(|m| u64::from(m.count_ones())).sum()
+    }
+}
+
+impl Default for MaskVec {
+    fn default() -> Self {
+        MaskVec::empty()
+    }
+}
+
+/// One backward step of the bit dataflow through `uop`. Returns the
+/// destination's live mask at this point (all ones treated as "unknown"
+/// for uops without a destination is avoided by returning 0 for them —
+/// a destination-less uop refines nothing).
+fn step_backward(uop: &Uop, live: &mut MaskVec) -> u64 {
+    let dest_live = match uop.dest() {
+        Some(dest) => {
+            let l = live.get(dest);
+            live.set(dest, 0); // killed: the uop (re)defines every bit
+            l
+        }
+        None => 0,
+    };
+    let demanded = src_live_mask(uop.kind(), dest_live);
+    if demanded != 0 {
+        for src in uop.srcs() {
+            live.or(src, demanded);
+        }
+    }
+    dest_live
+}
+
+/// Solved block-level bit liveness for one stream.
+#[derive(Debug, Clone)]
+pub struct BitLiveness {
+    /// Block boundaries, in program order (as from [`split_blocks`]).
+    pub blocks: Vec<(usize, usize)>,
+    /// Live-in mask vector per block.
+    pub live_in: Vec<MaskVec>,
+    /// Live-out mask vector per block.
+    pub live_out: Vec<MaskVec>,
+    /// Total live-bit count after each solver round; non-decreasing
+    /// (the fixpoint is monotone) and the last two entries are equal.
+    pub rounds: Vec<u64>,
+}
+
+impl BitLiveness {
+    /// Solves backward bit liveness over the block chain of `uops`,
+    /// seeding the stream horizon with `exit_live`.
+    #[must_use]
+    pub fn solve(uops: &[Uop], exit_live: MaskVec) -> Self {
+        let blocks = split_blocks(uops);
+        let n = blocks.len();
+        let mut live_in = vec![MaskVec::empty(); n];
+        let mut live_out = vec![MaskVec::empty(); n];
+        let mut rounds = Vec::new();
+        // Backward chain: block i's only successor is block i + 1; the
+        // last block flows into the conservative horizon seed. The
+        // per-kind transfer functions are monotone in the destination's
+        // live mask, so union-accumulating live-in keeps the whole
+        // solve monotone.
+        loop {
+            let mut changed = false;
+            for i in (0..n).rev() {
+                let succ_in = if i + 1 < n { live_in[i + 1] } else { exit_live };
+                changed |= live_out[i].union_with(&succ_in);
+                let mut scan = live_out[i];
+                for uop in uops[blocks[i].0..blocks[i].1].iter().rev() {
+                    step_backward(uop, &mut scan);
+                }
+                changed |= live_in[i].union_with(&scan);
+            }
+            let total: u64 = live_in
+                .iter()
+                .chain(live_out.iter())
+                .map(MaskVec::total_bits)
+                .sum();
+            rounds.push(total);
+            if !changed {
+                break;
+            }
+        }
+        BitLiveness {
+            blocks,
+            live_in,
+            live_out,
+            rounds,
+        }
+    }
+}
+
+/// The product of the analysis: for every uop, the mask of destination
+/// bits that are architecturally dead (no downstream consumer demands
+/// them before the value is overwritten, under the per-kind transfer
+/// contract). Uops without a destination get an empty mask.
+#[derive(Debug, Clone)]
+pub struct BitRefinement {
+    /// Per-uop dead destination-bit mask, indexed by stream position.
+    pub dead_masks: Vec<u64>,
+    /// The solver's convergence trace (see [`BitLiveness::rounds`]).
+    pub rounds: Vec<u64>,
+}
+
+/// Analyzes a finite uop stream and computes every destination's
+/// dead-bit mask. The horizon is conservative: every register is fully
+/// live at the end of the slice, so values in flight at the boundary
+/// have an empty dead mask.
+#[must_use]
+pub fn analyze_bits(uops: &[Uop]) -> BitRefinement {
+    let solved = BitLiveness::solve(uops, MaskVec::full());
+    let mut dead_masks = vec![0u64; uops.len()];
+    for (b, &(start, end)) in solved.blocks.iter().enumerate() {
+        // Re-scan each block from its solved live-out, recording the
+        // destination's live mask at every definition point.
+        let mut scan = solved.live_out[b];
+        for i in (start..end).rev() {
+            let dest_live = step_backward(&uops[i], &mut scan);
+            if uops[i].dest().is_some() {
+                dead_masks[i] = !dest_live;
+            }
+        }
+    }
+    BitRefinement {
+        dead_masks,
+        rounds: solved.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::ADDR_BITS;
+    use crate::transfer::ADDR_MASK;
+    use rar_isa::{ArchReg, BranchClass, BranchInfo, UopKind};
+
+    fn alu(pc: u64, dest: u8) -> Uop {
+        Uop::alu(pc, UopKind::IntAlu).with_dest(ArchReg::int(dest))
+    }
+
+    fn alu_rr(pc: u64, dest: u8, src: u8) -> Uop {
+        alu(pc, dest).with_src(ArchReg::int(src))
+    }
+
+    fn branch_on(pc: u64, src: u8) -> Uop {
+        Uop::branch(
+            pc,
+            BranchInfo {
+                taken: false,
+                target: pc + 4,
+                class: BranchClass::Conditional,
+            },
+        )
+        .with_src(ArchReg::int(src))
+    }
+
+    #[test]
+    fn branch_condition_collapses_to_one_live_bit() {
+        // r1 feeds only a branch condition, then is overwritten: every
+        // bit but bit 0 is dead.
+        let uops = vec![alu(0, 1), branch_on(4, 1), alu(8, 1)];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[0], !1u64);
+    }
+
+    #[test]
+    fn address_source_keeps_low_bits_only() {
+        let uops = vec![
+            alu(0, 1),
+            Uop::load(4, 0x2000, 8)
+                .with_src(ArchReg::int(1))
+                .with_dest(ArchReg::int(2)),
+            Uop::store(8, 0x3000, 8).with_src(ArchReg::int(2)),
+            alu(12, 1),
+        ];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[0], !ADDR_MASK);
+        assert_eq!(u64::from(r.dead_masks[0].count_ones()), 64 - ADDR_BITS);
+        // The loaded value feeds a store: fully live.
+        assert_eq!(r.dead_masks[1], 0);
+    }
+
+    #[test]
+    fn carry_monotone_chain_narrows_to_the_live_prefix() {
+        // r1 -> alu -> r2, and r2 feeds only a branch condition: the
+        // alu demands bit 0 of r1 only (smear of a 1-bit live set).
+        let uops = vec![
+            alu(0, 1),
+            alu_rr(4, 2, 1),
+            branch_on(8, 2),
+            alu(12, 1),
+            alu(16, 2),
+        ];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[1], !1u64, "branch demands bit 0 of r2");
+        assert_eq!(r.dead_masks[0], !1u64, "alu smears bit 0 down to bit 0");
+    }
+
+    #[test]
+    fn store_sources_are_fully_live() {
+        let uops = vec![
+            alu(0, 1),
+            Uop::store(4, 0x1000, 8).with_src(ArchReg::int(1)),
+            alu(8, 1),
+        ];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[0], 0);
+    }
+
+    #[test]
+    fn unread_overwritten_value_is_fully_dead() {
+        let uops = vec![
+            alu(0, 1),
+            alu(4, 1),
+            Uop::store(8, 0x10, 8).with_src(ArchReg::int(1)),
+        ];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[0], u64::MAX);
+        assert_eq!(r.dead_masks[1], 0);
+    }
+
+    #[test]
+    fn horizon_is_conservative() {
+        let uops = vec![alu(0, 1)];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[0], 0, "live-out full at the horizon");
+    }
+
+    #[test]
+    fn all_to_all_kinds_demand_everything() {
+        let uops = vec![
+            alu(0, 1),
+            Uop::alu(4, UopKind::IntDiv)
+                .with_src(ArchReg::int(1))
+                .with_dest(ArchReg::int(2)),
+            branch_on(8, 2),
+            alu(12, 1),
+            alu(16, 2),
+        ];
+        let r = analyze_bits(&uops);
+        assert_eq!(r.dead_masks[1], !1u64, "quotient feeds a 1-bit condition");
+        assert_eq!(r.dead_masks[0], 0, "divide demands every source bit");
+    }
+
+    #[test]
+    fn fixpoint_rounds_are_monotone_and_converge() {
+        let uops: Vec<Uop> = (0..64u64)
+            .map(|i| {
+                if i % 7 == 3 {
+                    branch_on(i * 4, (i % 5) as u8 + 1)
+                } else {
+                    alu_rr(i * 4, (i % 5) as u8 + 1, ((i + 2) % 5) as u8 + 1)
+                }
+            })
+            .collect();
+        let r = analyze_bits(&uops);
+        assert!(r.rounds.windows(2).all(|w| w[0] <= w[1]), "{:?}", r.rounds);
+        let n = r.rounds.len();
+        assert!(n >= 2 && r.rounds[n - 1] == r.rounds[n - 2]);
+    }
+
+    #[test]
+    fn mask_vec_algebra() {
+        let mut v = MaskVec::empty();
+        assert_eq!(v.total_bits(), 0);
+        v.or(ArchReg::int(3), 0b1010);
+        v.or(ArchReg::fp(3), 1);
+        assert_eq!(v.get(ArchReg::int(3)), 0b1010);
+        assert_eq!(v.total_bits(), 3);
+        let mut w = MaskVec::empty();
+        assert!(w.union_with(&v));
+        assert!(!w.union_with(&v), "second union is a no-op");
+        assert_eq!(w.get(ArchReg::fp(3)), 1);
+        assert_eq!(MaskVec::full().total_bits(), 64 * 64);
+    }
+}

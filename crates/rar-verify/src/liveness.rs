@@ -100,6 +100,11 @@ pub struct RefinementSummary {
 #[derive(Debug, Clone, Default)]
 pub struct AceRefinement {
     classes: std::sync::Arc<[AceClass]>,
+    /// Per-uop dead destination-bit masks from the bit-level analysis
+    /// ([`crate::bitlive`]), already unioned with the word-level class
+    /// mask so `bit_dead_dest_bits >= dead_dest_bits` holds by
+    /// construction (the AVF ordering invariant).
+    masks: std::sync::Arc<[u64]>,
     /// Dead-set size after each outer fixpoint round (non-decreasing).
     rounds: std::sync::Arc<[u64]>,
 }
@@ -125,6 +130,33 @@ impl AceRefinement {
     #[must_use]
     pub fn dead_dest_bits(&self, seq: u64, width_bits: u64) -> u64 {
         self.class(seq).dead_dest_bits(width_bits)
+    }
+
+    /// Dead destination-*bit* mask of uop `seq` over the 64-bit value
+    /// lane (bit `i` of the mask covers register bits `i`, `i + 64`, …
+    /// for registers wider than 64 bits). Empty beyond the horizon.
+    #[must_use]
+    pub fn dead_dest_mask(&self, seq: u64) -> u64 {
+        usize::try_from(seq)
+            .ok()
+            .and_then(|i| self.masks.get(i).copied())
+            .unwrap_or(0)
+    }
+
+    /// Bit-refined dead bits of the destination value of uop `seq` for a
+    /// register of `width_bits`: the word-level [`Self::dead_dest_bits`]
+    /// plus every additionally-dead bit the per-kind transfer functions
+    /// prove. Always within `[dead_dest_bits, width_bits]`, which is the
+    /// `bit_refined <= refined <= unrefined` AVF ordering at the
+    /// per-value level.
+    #[must_use]
+    pub fn bit_dead_dest_bits(&self, seq: u64, width_bits: u64) -> u64 {
+        let word = self.dead_dest_bits(seq, width_bits);
+        let mask = self.dead_dest_mask(seq);
+        // Mask bit i covers width_bits / 64 physical bits (e.g. two for
+        // the 128-bit FP registers).
+        let scaled = u64::from(mask.count_ones()) * width_bits / crate::transfer::MASK_BITS;
+        scaled.max(word).min(width_bits)
     }
 
     /// Number of uops covered by the analysis.
@@ -256,8 +288,27 @@ pub fn analyze(uops: &[Uop]) -> AceRefinement {
         }
     }
 
+    // Bit-level pass: per-uop dead destination-bit masks from the
+    // per-kind transfer functions, unioned with the word-level class
+    // mask so the bit refinement can only remove *more* ACE mass than
+    // the word refinement (the AVF ordering invariant, structurally).
+    let bit = crate::bitlive::analyze_bits(uops);
+    let masks: Vec<u64> = bit
+        .dead_masks
+        .iter()
+        .zip(classes.iter())
+        .map(|(&m, &class)| {
+            m | match class {
+                AceClass::Live => 0,
+                AceClass::AddrOnly => !((1u64 << ADDR_BITS) - 1),
+                AceClass::Fdd | AceClass::Tdd => u64::MAX,
+            }
+        })
+        .collect();
+
     AceRefinement {
         classes: classes.into(),
+        masks: masks.into(),
         rounds: rounds.into(),
     }
 }
@@ -405,6 +456,47 @@ mod tests {
             "{:?}",
             r.rounds()
         );
+    }
+
+    #[test]
+    fn bit_dead_bits_dominate_word_dead_bits() {
+        // The bit mask is unioned with the class mask at construction,
+        // so for every uop and width: word-level <= bit-level <= width.
+        let uops = vec![
+            alu(0, 1),
+            Uop::load(4, 0x2000, 8)
+                .with_src(ArchReg::int(1))
+                .with_dest(ArchReg::int(2)),
+            branch(8).with_src(ArchReg::int(2)),
+            alu(12, 1),
+            alu(16, 2),
+            alu(20, 3),
+            alu(24, 3),
+            Uop::store(28, 0x100, 8).with_src(ArchReg::int(3)),
+        ];
+        let r = analyze(&uops);
+        for seq in 0..r.horizon() {
+            for width in [64u64, 128] {
+                let word = r.dead_dest_bits(seq, width);
+                let bit = r.bit_dead_dest_bits(seq, width);
+                assert!(word <= bit && bit <= width, "seq {seq} width {width}");
+            }
+        }
+        // And the bit level genuinely refines: r1 is a load address
+        // (16 word-dead bits) whose loaded value feeds only a branch
+        // condition, so the loaded value keeps just one live bit.
+        assert_eq!(r.dead_dest_bits(1, 64), 0);
+        assert_eq!(r.bit_dead_dest_bits(1, 64), 63);
+    }
+
+    #[test]
+    fn word_dead_classes_imply_full_bit_masks() {
+        let uops = vec![alu(0, 1), alu(4, 1), alu_rr(8, 2, 1)];
+        let r = analyze(&uops);
+        assert_eq!(r.class(0), AceClass::Fdd);
+        assert_eq!(r.dead_dest_mask(0), u64::MAX);
+        assert_eq!(r.bit_dead_dest_bits(0, 128), 128);
+        assert_eq!(r.dead_dest_mask(99), 0, "beyond horizon");
     }
 
     #[test]

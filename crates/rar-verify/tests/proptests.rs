@@ -8,7 +8,7 @@
 use proptest::prelude::*;
 use rar_ace::{AceCounter, Structure};
 use rar_isa::{ArchReg, BranchClass, BranchInfo, Uop, UopKind};
-use rar_verify::{analyze, Sanitizer};
+use rar_verify::{analyze, interpret, Sanitizer, ValueFlip};
 
 /// Builds one well-formed uop at `pc` from a generated spec tuple.
 fn mk_uop(pc: u64, (kind, d, s, line, taken): (u8, u8, u8, u64, bool)) -> Uop {
@@ -92,6 +92,51 @@ proptest! {
         let mut bad = Sanitizer::new(2);
         bad.check_uop_conservation(1, dispatched + leak, committed, squashed, in_flight);
         prop_assert!(bad.first_violation().is_some());
+    }
+
+    /// Transfer-function soundness twin: flipping any statically
+    /// predicted-dead destination bit in the bit-exact interpreter
+    /// never changes an observable output. (The dependency-free
+    /// xorshift twin in `tests/randomized.rs` always runs.)
+    #[test]
+    fn dead_bit_flips_are_invisible(
+        uops in stream_strategy(),
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let r = analyze(&uops);
+        let base = interpret(&uops, seed, None);
+        for seq in 0..uops.len() {
+            if uops[seq].dest().is_none() {
+                continue;
+            }
+            let mask = r.dead_dest_mask(seq as u64);
+            if mask == 0 {
+                continue;
+            }
+            // One pseudo-randomly chosen dead bit per value keeps the
+            // case count linear in the stream length.
+            let mut bit = (pick ^ seq as u64) % 64;
+            while mask & (1u64 << bit) == 0 {
+                bit = (bit + 1) % 64;
+            }
+            let flipped = interpret(&uops, seed, Some(ValueFlip { seq, bit: bit as u32 }));
+            prop_assert_eq!(&base, &flipped, "dead bit {} of seq {} visible", bit, seq);
+        }
+    }
+
+    /// The bit-refined dead count dominates the word-level one and never
+    /// exceeds the register width, for every uop and width.
+    #[test]
+    fn bit_refinement_is_ordered(uops in stream_strategy()) {
+        let r = analyze(&uops);
+        for seq in 0..r.horizon() {
+            for width in [64u64, 128] {
+                let word = r.dead_dest_bits(seq, width);
+                let bit = r.bit_dead_dest_bits(seq, width);
+                prop_assert!(word <= bit && bit <= width);
+            }
+        }
     }
 
     /// MSHR books must balance; any unreleased allocation is reported.

@@ -6,7 +6,7 @@
 
 use rar_ace::{AceCounter, Structure};
 use rar_isa::{ArchReg, BranchClass, BranchInfo, Uop, UopKind};
-use rar_verify::{analyze, Sanitizer};
+use rar_verify::{analyze, interpret, Sanitizer, ValueFlip};
 
 /// xorshift64*: deterministic, seedable, good enough for test-case
 /// generation.
@@ -53,6 +53,142 @@ fn random_stream(seed: u64, len: usize) -> Vec<Uop> {
         uops.push(uop);
     }
     uops
+}
+
+/// Like [`random_stream`] but exercising every uop kind, including the
+/// multiply/divide and floating-point classes the bit-transfer table
+/// distinguishes.
+fn rich_random_stream(seed: u64, len: usize) -> Vec<Uop> {
+    let mut rng = Rng(seed.wrapping_mul(0xA5A5_A5A5) | 1);
+    let mut uops = Vec::with_capacity(len);
+    for i in 0..len {
+        let pc = i as u64 * 4;
+        let d = 1 + rng.below(6) as u8;
+        let s = 1 + rng.below(6) as u8;
+        let uop = match rng.below(14) {
+            0..=3 => Uop::alu(pc, UopKind::IntAlu)
+                .with_dest(ArchReg::int(d))
+                .with_src(ArchReg::int(s)),
+            4 => Uop::alu(pc, UopKind::IntMul)
+                .with_dest(ArchReg::int(d))
+                .with_src(ArchReg::int(s))
+                .with_src(ArchReg::int(1 + rng.below(6) as u8)),
+            5 => Uop::alu(pc, UopKind::IntDiv)
+                .with_dest(ArchReg::int(d))
+                .with_src(ArchReg::int(s)),
+            6 => Uop::alu(pc, UopKind::FpAdd)
+                .with_dest(ArchReg::fp(d))
+                .with_src(ArchReg::fp(s)),
+            7 => Uop::alu(pc, UopKind::FpMul)
+                .with_dest(ArchReg::fp(d))
+                .with_src(ArchReg::fp(s)),
+            8 => Uop::alu(pc, UopKind::FpDiv)
+                .with_dest(ArchReg::fp(d))
+                .with_src(ArchReg::fp(s)),
+            9 | 10 => Uop::load(pc, 0x1000 + rng.below(64) * 64, 8)
+                .with_src(ArchReg::int(s))
+                .with_dest(ArchReg::int(d)),
+            11 => Uop::store(pc, 0x2000 + rng.below(64) * 64, 8)
+                .with_src(ArchReg::int(s))
+                .with_src(ArchReg::int(1 + rng.below(6) as u8)),
+            12 => Uop::nop(pc),
+            _ => Uop::branch(
+                pc,
+                BranchInfo {
+                    taken: rng.below(2) == 0,
+                    target: pc + 8,
+                    class: BranchClass::Conditional,
+                },
+            )
+            .with_src(ArchReg::int(s)),
+        };
+        uops.push(uop);
+    }
+    uops
+}
+
+#[test]
+fn flipping_predicted_dead_bits_never_changes_observables() {
+    // The transfer-function soundness twin: for every destination bit
+    // the static analysis declares dead, flipping that bit in the
+    // bit-exact interpreter must leave every observable output (stores,
+    // branch conditions, final register file) untouched.
+    let mut tested = 0u64;
+    for seed in 1..=30u64 {
+        let uops = rich_random_stream(seed, 150);
+        let r = analyze(&uops);
+        let base = interpret(&uops, seed, None);
+        let mut rng = Rng(seed.wrapping_mul(0x0DD_B175) | 1);
+        for seq in 0..uops.len() {
+            if uops[seq].dest().is_none() {
+                continue;
+            }
+            let mask = r.dead_dest_mask(seq as u64);
+            if mask == 0 {
+                continue;
+            }
+            for _ in 0..3 {
+                let bit = rng.below(64) as u32;
+                if mask & (1u64 << bit) == 0 {
+                    continue;
+                }
+                let flipped = interpret(&uops, seed, Some(ValueFlip { seq, bit }));
+                assert_eq!(
+                    base, flipped,
+                    "seed {seed}: flipping predicted-dead bit {bit} of seq {seq} was visible"
+                );
+                tested += 1;
+            }
+        }
+    }
+    assert!(tested > 500, "only {tested} dead-bit flips exercised");
+}
+
+#[test]
+fn flipping_fully_live_low_bits_is_usually_visible() {
+    // Sanity check that the twin has teeth: bit 0 of a value whose
+    // dead mask is empty is live by construction, and flipping it
+    // changes the observables for a healthy fraction of sites.
+    let mut visible = 0u64;
+    let mut tested = 0u64;
+    for seed in 1..=10u64 {
+        let uops = rich_random_stream(seed, 150);
+        let r = analyze(&uops);
+        let base = interpret(&uops, seed, None);
+        for seq in 0..uops.len() {
+            if uops[seq].dest().is_none() || r.dead_dest_mask(seq as u64) != 0 {
+                continue;
+            }
+            let flipped = interpret(&uops, seed, Some(ValueFlip { seq, bit: 0 }));
+            tested += 1;
+            if flipped != base {
+                visible += 1;
+            }
+        }
+    }
+    assert!(tested > 100, "too few live sites: {tested}");
+    assert!(
+        visible * 2 > tested,
+        "live-bit flips visible in only {visible}/{tested} sites"
+    );
+}
+
+#[test]
+fn bit_refined_dead_bits_dominate_word_level_on_random_streams() {
+    for seed in 1..=40u64 {
+        let uops = rich_random_stream(seed, 200);
+        let r = analyze(&uops);
+        for seq in 0..r.horizon() {
+            for width in [64u64, 128] {
+                let word = r.dead_dest_bits(seq, width);
+                let bit = r.bit_dead_dest_bits(seq, width);
+                assert!(
+                    word <= bit && bit <= width,
+                    "seed {seed}, seq {seq}: word {word} bit {bit} width {width}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

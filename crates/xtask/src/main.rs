@@ -22,6 +22,19 @@
 //!    `rar-core` enumerates its per-entry bit width in `per_entry_bits`
 //!    (a new injectable structure must never silently default to an
 //!    arbitrary width) and appears in `FaultTarget::ALL`.
+//! 6. **bit-transfer-coverage** — every `UopKind` variant in `rar-isa`
+//!    has an explicit arm in BOTH bit-transfer functions of
+//!    `rar-verify` (`src_live_mask` backward, `dest_poison_mask`
+//!    forward), neither function hides behind a `_ =>` catch-all (a new
+//!    uop kind must force a deliberate bit-semantics decision, or the
+//!    analysis silently turns unsound), and the mask geometry agrees
+//!    across crates: `MASK_BITS` equals the integer register width and
+//!    divides the FP register width, with `ADDR_BITS` defined once.
+//! 7. **serve-panic-paths** — the daemon's request-handling sources
+//!    (`server.rs`, `http.rs`, `jobs.rs`) contain no `.unwrap()` /
+//!    `.expect(` outside `#[cfg(test)]`: a poisoned lock or bad input
+//!    must become a typed `HttpError` response, never a panicked
+//!    connection or worker thread.
 //!
 //! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
 //! can gate on it.
@@ -319,6 +332,125 @@ fn lint_inject_target_bits(lint: &mut Lint) {
     }
 }
 
+/// Extracts the body of `pub const fn <name>` from `src`: everything
+/// from the declaration to the next function declaration (or the test
+/// module, so the last function in a file isn't scanned past its end).
+fn const_fn_body<'a>(src: &'a str, name: &str) -> &'a str {
+    let decl = format!("pub const fn {name}");
+    let start = src
+        .find(&decl)
+        .unwrap_or_else(|| panic!("{decl} not found"));
+    let rest = &src[start + decl.len()..];
+    let end = ["pub const fn", "pub fn", "#[cfg(test)]"]
+        .iter()
+        .filter_map(|p| rest.find(p))
+        .min()
+        .unwrap_or(rest.len());
+    &rest[..end]
+}
+
+/// Parses the numeric value of `pub const <name>: u64 = N;` from `src`.
+fn const_u64(src: &str, name: &str) -> u64 {
+    let pat = format!("pub const {name}: u64 = ");
+    let start = src.find(&pat).unwrap_or_else(|| panic!("{name} not found")) + pat.len();
+    src[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric const")
+}
+
+/// Lint 6: the per-bit transfer functions cover every uop kind
+/// explicitly, and the mask geometry is consistent across crates.
+fn lint_bit_transfer_coverage(lint: &mut Lint) {
+    println!("bit-transfer-coverage");
+    let uop = read("crates/rar-isa/src/uop.rs");
+    let transfer = read("crates/rar-verify/src/transfer.rs");
+    let variants = enum_variants(&uop, "UopKind");
+    lint.check(
+        "bit-transfer-coverage",
+        variants.len() >= 10,
+        format!("{} UopKind variants found", variants.len()),
+    );
+    for f in ["src_live_mask", "dest_poison_mask"] {
+        let body = const_fn_body(&transfer, f);
+        for v in &variants {
+            lint.check(
+                "bit-transfer-coverage",
+                body.contains(&format!("UopKind::{v} =>")),
+                format!("UopKind::{v} has an explicit arm in {f}"),
+            );
+        }
+        lint.check(
+            "bit-transfer-coverage",
+            !body.contains("_ =>"),
+            format!("{f} has no catch-all arm"),
+        );
+    }
+    // Mask geometry: one 64-bit mask per physical register, FP registers
+    // folded (mask bit i covers register bits i and i+64). MASK_BITS must
+    // therefore equal the integer register width and divide the FP one.
+    let bits = read("crates/rar-ace/src/bits.rs");
+    let mask_bits = const_u64(&transfer, "MASK_BITS");
+    let int_bits = const_u64(&bits, "INT_REG_BITS");
+    let fp_bits = const_u64(&bits, "FP_REG_BITS");
+    lint.check(
+        "bit-transfer-coverage",
+        mask_bits == int_bits,
+        format!("MASK_BITS ({mask_bits}) equals INT_REG_BITS ({int_bits})"),
+    );
+    lint.check(
+        "bit-transfer-coverage",
+        mask_bits > 0 && fp_bits.is_multiple_of(mask_bits),
+        format!("FP_REG_BITS ({fp_bits}) is a multiple of MASK_BITS ({mask_bits})"),
+    );
+    // The address width must have a single definition: transfer.rs
+    // imports it from the word-level refinement instead of shadowing it.
+    lint.check(
+        "bit-transfer-coverage",
+        transfer.contains("use crate::liveness::ADDR_BITS"),
+        "transfer.rs imports ADDR_BITS from liveness.rs".to_owned(),
+    );
+    lint.check(
+        "bit-transfer-coverage",
+        !transfer.contains("const ADDR_BITS"),
+        "transfer.rs does not redefine ADDR_BITS".to_owned(),
+    );
+}
+
+/// Lint 7: daemon request paths never panic — poisoned locks and bad
+/// input become typed `HttpError` responses.
+fn lint_serve_panic_paths(lint: &mut Lint) {
+    println!("serve-panic-paths");
+    let http = read("crates/rar-serve/src/http.rs");
+    lint.check(
+        "serve-panic-paths",
+        http.contains("pub enum HttpError"),
+        "http.rs defines the typed HttpError".to_owned(),
+    );
+    for file in ["server.rs", "http.rs", "jobs.rs"] {
+        let src = read(&format!("crates/rar-serve/src/{file}"));
+        // Only the non-test portion is request-path code; every one of
+        // these files keeps its test module last.
+        let live = src.split("#[cfg(test)]").next().unwrap_or("");
+        for pat in [".unwrap()", ".expect("] {
+            let hits = live.matches(pat).count();
+            lint.check(
+                "serve-panic-paths",
+                hits == 0,
+                format!("{file} has no {pat} outside tests ({hits} found)"),
+            );
+        }
+    }
+    let server = read("crates/rar-serve/src/server.rs");
+    lint.check(
+        "serve-panic-paths",
+        server.contains("respond_error(") && server.contains("lock("),
+        "server.rs routes lock failures through respond_error".to_owned(),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -329,6 +461,8 @@ fn main() -> ExitCode {
             lint_trace_coverage(&mut lint);
             lint_metric_coverage(&mut lint);
             lint_inject_target_bits(&mut lint);
+            lint_bit_transfer_coverage(&mut lint);
+            lint_serve_panic_paths(&mut lint);
             if lint.failures.is_empty() {
                 println!("xtask lint: all checks passed");
                 ExitCode::SUCCESS
@@ -371,6 +505,26 @@ mod tests {
         lint_trace_coverage(&mut lint);
         lint_metric_coverage(&mut lint);
         lint_inject_target_bits(&mut lint);
+        lint_bit_transfer_coverage(&mut lint);
+        lint_serve_panic_paths(&mut lint);
         assert!(lint.failures.is_empty(), "{:?}", lint.failures);
+    }
+
+    #[test]
+    fn const_fn_body_stops_at_the_next_function() {
+        let src = "pub const fn first(x: u64) -> u64 {\n    match x { _ => 1 }\n}\n\npub const fn second(x: u64) -> u64 {\n    x\n}\n\n#[cfg(test)]\nmod tests {\n    fn helper() -> u64 { match 0 { _ => 2 } }\n}\n";
+        let body = const_fn_body(src, "first");
+        assert!(body.contains("match x"));
+        assert!(!body.contains("second"));
+        let last = const_fn_body(src, "second");
+        assert!(last.contains('x'));
+        assert!(!last.contains("helper"), "must stop at the test module");
+    }
+
+    #[test]
+    fn const_u64_parses_declared_values() {
+        let src = "pub const MASK_BITS: u64 = 64;\npub const OTHER: u64 = 128;\n";
+        assert_eq!(const_u64(src, "MASK_BITS"), 64);
+        assert_eq!(const_u64(src, "OTHER"), 128);
     }
 }
