@@ -50,6 +50,7 @@ pub mod regfile;
 pub mod rob;
 pub mod runahead;
 pub mod sst;
+pub mod stall;
 pub mod stats;
 pub mod technique;
 
@@ -60,5 +61,6 @@ pub use inject::{
 };
 pub use pipeline::{Core, PipelineSnapshot, RunVerdict};
 pub use rar_trace::{NullSink, RingSink, TraceEvent, TraceSink};
+pub use stall::{occ_bucket, StallBucket, StallProfile, OCC_BUCKETS, OCC_STRUCTURES};
 pub use stats::CoreStats;
 pub use technique::{RunaheadFeatures, Technique};

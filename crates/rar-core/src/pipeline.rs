@@ -29,6 +29,7 @@ use crate::regfile::{PhysReg, PhysRegFile, Rat};
 use crate::rob::{Entry, Rob};
 use crate::runahead::{InvTracker, Mode, RaState};
 use crate::sst::{Prdq, Sst};
+use crate::stall::{StallBucket, StallProfile};
 use crate::stats::CoreStats;
 use crate::technique::{RunaheadFeatures, Technique};
 use rar_ace::bits::{
@@ -130,6 +131,10 @@ pub struct Core<S, T: TraceSink = NullSink> {
     last_load_line: u64,
 
     stats: CoreStats,
+
+    /// Per-cycle stall taxonomy and occupancy shapes; `None` (the
+    /// default) costs nothing per cycle, preserving bit-identical runs.
+    stall_profile: Option<Box<StallProfile>>,
 
     /// Per-sequence dead-value refinement from `rar-verify`; empty by
     /// default (every uop classified live), in which case the refined ACE
@@ -240,6 +245,7 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
             wp_rng: 0xabcd_ef01_2345_6789,
             last_load_line: 0x1_0000_0000,
             stats: CoreStats::default(),
+            stall_profile: None,
             refinement: AceRefinement::none(),
             #[cfg(feature = "sanitize")]
             sanitizer: rar_verify::Sanitizer::new(StallKind::COUNT),
@@ -378,8 +384,28 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
         };
         self.mem.reset_stats();
         self.bp.reset_stats();
+        if let Some(profile) = &mut self.stall_profile {
+            **profile = StallProfile::default();
+        }
         #[cfg(feature = "sanitize")]
         self.sanitizer.reset_measurement(self.rob.len() as u64);
+    }
+
+    /// Enables per-cycle stall/occupancy profiling ([`StallProfile`]).
+    /// Survives [`Core::reset_measurement`] (which zeroes the tallies, so
+    /// the profile covers exactly the measured cycles). Profiling only
+    /// observes simulator state — profiled runs produce bit-identical
+    /// statistics to unprofiled ones.
+    pub fn enable_stall_profiling(&mut self) {
+        if self.stall_profile.is_none() {
+            self.stall_profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated stall profile, when profiling is enabled.
+    #[must_use]
+    pub fn stall_profile(&self) -> Option<&StallProfile> {
+        self.stall_profile.as_deref()
     }
 
     /// Enables recording of committed occupancy intervals for
@@ -437,6 +463,14 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
 
     /// Advances the core by one cycle.
     pub fn cycle(&mut self) {
+        // Activity snapshot for the stall classifier; `None` (the default)
+        // keeps the profiled-off cycle loop untouched.
+        let stall_pre = self.stall_profile.is_some().then_some((
+            self.stats.committed,
+            self.stats.dispatched,
+            self.stats.issued,
+            self.stats.runahead_uops,
+        ));
         self.now += 1;
         self.stats.cycles += 1;
         if self.fault.is_some_and(|f| f.cycle <= self.now) {
@@ -489,8 +523,60 @@ impl<S: UopSource, T: TraceSink> Core<S, T> {
                 self.emit_sample();
             }
         }
+        if let Some(pre) = stall_pre {
+            self.stall_tally(pre);
+        }
         #[cfg(feature = "sanitize")]
         self.sanitize_check();
+    }
+
+    /// Attributes the cycle that just elapsed to exactly one
+    /// [`StallBucket`] (first match wins) and samples back-end occupancy.
+    /// Read-only over pipeline state, so profiled runs stay bit-identical.
+    fn stall_tally(&mut self, pre: (u64, u64, u64, u64)) {
+        let (committed, dispatched, issued, runahead_uops) = pre;
+        let retired = self.stats.committed > committed;
+        let moved = retired
+            || self.stats.dispatched > dispatched
+            || self.stats.issued > issued
+            || self.stats.runahead_uops > runahead_uops;
+        let bucket = if retired {
+            StallBucket::Retiring
+        } else if !moved {
+            StallBucket::Quiescent
+        } else if self.mode.is_runahead() {
+            StallBucket::Runahead
+        } else if self.blocking_head().is_some() {
+            StallBucket::DramWait
+        } else if self.rob.is_full() {
+            StallBucket::RobFull
+        } else if self.iq_count >= self.cfg.iq_size {
+            StallBucket::IqFull
+        } else if self.lq_count >= self.cfg.lq_size || self.sq_count >= self.cfg.sq_size {
+            StallBucket::LsqFull
+        } else if self.now < self.fetch_stall_until
+            || self.wait_branch.is_some()
+            || self.wrong_path_after.is_some()
+        {
+            StallBucket::Frontend
+        } else {
+            StallBucket::Exec
+        };
+        let occupancies = [
+            self.rob.len(),
+            self.iq_count,
+            self.lq_count,
+            self.sq_count,
+            self.active_misses.len(),
+        ];
+        let profile = self
+            .stall_profile
+            .as_mut()
+            .expect("stall_tally called only when profiling");
+        profile.tally(bucket);
+        for (row, occ) in occupancies.into_iter().enumerate() {
+            profile.observe_occupancy(row, occ);
+        }
     }
 
     /// Cross-checks the pipeline's redundant bookkeeping against ground
@@ -2396,6 +2482,75 @@ mod tests {
         assert!(
             core.ace().window_cycles(StallKind::RobHeadBlocked)
                 >= core.ace().window_cycles(StallKind::FullRobStall)
+        );
+    }
+
+    #[test]
+    fn stall_profile_conserves_cycles_and_attributes_dram() {
+        for technique in [Technique::Ooo, Technique::Rar] {
+            let mut core = core_with(technique, chase_stream());
+            core.enable_stall_profiling();
+            core.run_until_committed(2_000);
+            let profile = core.stall_profile().expect("profiling enabled");
+            assert_eq!(
+                profile.total(),
+                core.stats().cycles,
+                "{technique:?}: stall buckets must sum to total cycles"
+            );
+            // The chase is memory-bound: the DRAM/quiescent/runahead share
+            // must dominate outright retiring.
+            let waiting = profile.count(StallBucket::DramWait)
+                + profile.count(StallBucket::Quiescent)
+                + profile.count(StallBucket::Runahead)
+                + profile.count(StallBucket::RobFull);
+            assert!(
+                waiting > profile.count(StallBucket::Retiring),
+                "{technique:?}: memory-bound chase should mostly wait"
+            );
+            // Occupancy rows sample once per cycle each.
+            for (row, _) in crate::stall::OCC_STRUCTURES.iter().enumerate() {
+                let samples: u64 = profile.occupancy[row].iter().sum();
+                assert_eq!(samples, core.stats().cycles);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_profiled_run_is_bit_identical() {
+        let mut plain = core_with(Technique::Rar, chase_stream());
+        plain.run_until_committed(2_000);
+        let mut profiled = core_with(Technique::Rar, chase_stream());
+        profiled.enable_stall_profiling();
+        profiled.run_until_committed(2_000);
+        assert_eq!(plain.stats(), profiled.stats());
+        assert_eq!(plain.ace().total_abc(), profiled.ace().total_abc());
+    }
+
+    #[test]
+    fn stall_profile_resets_with_measurement() {
+        let mut core = core_with(Technique::Ooo, alu_stream());
+        core.enable_stall_profiling();
+        core.run_until_committed(1_000);
+        assert!(core.stall_profile().expect("enabled").total() > 0);
+        core.reset_measurement();
+        let profile = core.stall_profile().expect("survives reset");
+        assert_eq!(profile.total(), 0);
+        core.run_until_committed(500);
+        assert_eq!(
+            core.stall_profile().expect("enabled").total(),
+            core.stats().cycles
+        );
+    }
+
+    #[test]
+    fn alu_stream_mostly_retires() {
+        let mut core = core_with(Technique::Ooo, alu_stream());
+        core.enable_stall_profiling();
+        core.run_until_committed(10_000);
+        let profile = core.stall_profile().expect("profiling enabled");
+        assert!(
+            profile.count(StallBucket::Retiring) > profile.total() / 2,
+            "independent ALU ops should retire most cycles"
         );
     }
 }

@@ -33,11 +33,11 @@ use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use rar_core::{FaultInjector, PlannedFault};
-use rar_telemetry::{names, CancelToken, Counter, MetricsRegistry};
+use rar_telemetry::{names, CancelToken, Counter, FlightRecorder, MetricsRegistry};
 
 use crate::journal::{load_journal, JournalRecord, JournalWriter};
 use crate::outcome::{Outcome, Tally};
@@ -66,6 +66,11 @@ pub struct CampaignSpec {
     /// the same journal later continues exactly where cancellation
     /// stopped. `None` means the campaign can only be stopped by a kill.
     pub cancel: Option<CancelToken>,
+    /// Flight recorder for post-mortem context: every DUE outcome
+    /// (hang or panic) is noted with its sample index and target so a
+    /// later dump shows what led up to the detected error. `None`
+    /// records nothing.
+    pub flight: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for CampaignSpec {
@@ -78,6 +83,7 @@ impl Default for CampaignSpec {
             max_attempts: 3,
             limit: None,
             cancel: None,
+            flight: None,
         }
     }
 }
@@ -294,6 +300,18 @@ where
                     failed.fetch_add(1, Ordering::Relaxed);
                     continue;
                 };
+                if matches!(outcome, Outcome::DueHang | Outcome::DuePanic) {
+                    if let Some(flight) = &spec.flight {
+                        flight.note(
+                            "inject_due",
+                            &format!(
+                                "k={k} target={} outcome={}",
+                                fault.target.name(),
+                                outcome.name()
+                            ),
+                        );
+                    }
+                }
                 counters.record(outcome);
                 shared_tally
                     .lock()
@@ -471,6 +489,44 @@ mod tests {
             .map(|t| r.tally.get(t).due_panic)
             .sum();
         assert_eq!(panics, 5); // k = 7, 17, 27, 37, 47
+    }
+
+    #[test]
+    fn flight_recorder_captures_due_outcomes() {
+        let flight = Arc::new(FlightRecorder::new(64));
+        let spec = CampaignSpec {
+            samples: 20,
+            threads: 1,
+            flight: Some(Arc::clone(&flight)),
+            ..CampaignSpec::default()
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let r = run_campaign(
+            &spec,
+            &MockInjector,
+            |k, _f| {
+                assert!(k != 7, "injected invariant violation");
+                Ok(if k == 3 {
+                    Outcome::DueHang
+                } else {
+                    Outcome::Masked
+                })
+            },
+            None,
+        )
+        .expect("campaign");
+        std::panic::set_hook(hook);
+        assert_eq!(r.completed, 20);
+        let events = flight.snapshot();
+        assert_eq!(events.len(), 2); // k=3 hang + k=7 panic
+        assert!(events.iter().all(|e| e.kind == "inject_due"));
+        assert!(events.iter().any(|e| e.detail.contains("outcome=due_hang")));
+        assert!(events
+            .iter()
+            .any(|e| e.detail.contains("k=7") && e.detail.contains("outcome=due_panic")));
+        let dump = flight.dump_json("inject_due");
+        assert!(dump.contains("\"rar-flight-v1\""));
     }
 
     #[test]

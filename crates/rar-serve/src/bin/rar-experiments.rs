@@ -5,7 +5,7 @@
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--suite memory|compute|all] [--csv DIR] [--seeds N]
 //!                 [--cache DIR] [--no-cache] [--bench-out PATH]
-//!                 [--manifest-out PATH] [--profile]
+//!                 [--manifest-out PATH] [--profile] [--stalls]
 //! rar-experiments trace --workload W --technique T
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--out DIR] [--capacity N] [--sample N]
@@ -15,7 +15,7 @@
 //! rar-experiments inject [--workload W] [--samples N] [--inject-seed N]
 //!                 [--instructions N] [--warmup N] [--seed N]
 //!                 [--threads N] [--journal PATH] [--tally-out PATH]
-//!                 [--max N] [--validate-bitlive]
+//!                 [--flight-out PATH] [--max N] [--validate-bitlive]
 //! rar-experiments serve [--addr A] [--data-dir DIR] [--workers N]
 //!                 [--conn-threads N] [--no-cache] [--fsync-every N]
 //! rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH)
@@ -35,6 +35,11 @@
 //! attributes host wall-clock time per phase (trace generation, core
 //! simulation, liveness, cache probe/store, serialization) into the
 //! manifest. Profiling never changes results — only the manifest grows.
+//! `--stalls` turns on the guest-side cycle-loop stall profiler: every
+//! simulated cycle is attributed to one stall-taxonomy bucket, the bench
+//! report gains the `stall_*` keys and the manifest the quiescent-cycle
+//! fraction. Results stay bit-identical, but stall-profiled sessions
+//! bypass the disk cache so cached artifacts remain byte-stable.
 //!
 //! The `inject` subcommand runs a statistical fault-injection campaign
 //! (baseline OoO and RAR back to back) and prints per-structure measured
@@ -45,7 +50,10 @@
 //! per technique, suffixed `.ooo`/`.rar`) and an interrupted campaign
 //! resumes exactly; `--max N` stops after N fresh injections (useful with
 //! a journal to split a long campaign across invocations); `--tally-out`
-//! writes the byte-stable integer tally JSON the CI smoke job diffs.
+//! writes the byte-stable integer tally JSON the CI smoke job diffs;
+//! `--flight-out` records every DUE outcome (sample index, target, kind)
+//! into a bounded flight ring and writes the `rar-flight-v1` post-mortem
+//! dump there after the campaign.
 //! `--validate-bitlive` switches to the bit-liveness soundness audit:
 //! strikes restricted to the register files, every outcome stratified by
 //! the static per-bit dead prediction, and a hard gate — the
@@ -87,14 +95,14 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-experiments <fig1|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|table4|mpki|protection|seeds|energy|extensions|structures|refinement|all> \
          [--instructions N] [--warmup N] [--seed N] [--suite memory|compute|all] [--csv DIR] [--seeds N] \
-         [--cache DIR] [--no-cache] [--bench-out PATH] [--manifest-out PATH] [--profile]\n\
+         [--cache DIR] [--no-cache] [--bench-out PATH] [--manifest-out PATH] [--profile] [--stalls]\n\
        rar-experiments trace --workload W --technique T [--instructions N] [--warmup N] [--seed N] \
          [--out DIR] [--capacity N] [--sample N]\n\
        rar-experiments report [--dir DIR] [--out PATH] [--check] [--bench PATH] [--baseline PATH] \
          [--min-hit-rate F] [--max-slowdown F]\n\
        rar-experiments inject [--workload W] [--samples N] [--inject-seed N] [--instructions N] \
          [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N] \
-         [--validate-bitlive]\n\
+         [--flight-out PATH] [--validate-bitlive]\n\
        rar-experiments serve [--addr A] [--data-dir DIR] [--workers N] [--conn-threads N] \
          [--no-cache] [--fsync-every N]\n\
        rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH) [--wait] \
@@ -247,6 +255,7 @@ fn inject_cmd(args: &[String]) -> ExitCode {
     let mut threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     let mut journal: Option<String> = None;
     let mut tally_out: Option<String> = None;
+    let mut flight_out: Option<String> = None;
     let mut limit: Option<u64> = None;
     let mut validate_bitlive = false;
     let mut i = 0;
@@ -289,6 +298,7 @@ fn inject_cmd(args: &[String]) -> ExitCode {
             },
             "--journal" => journal = Some(value.clone()),
             "--tally-out" => tally_out = Some(value.clone()),
+            "--flight-out" => flight_out = Some(value.clone()),
             "--max" => match value.parse() {
                 Ok(n) => limit = Some(n),
                 Err(_) => return usage(),
@@ -428,6 +438,11 @@ fn inject_cmd(args: &[String]) -> ExitCode {
         };
     }
 
+    let flight = flight_out.as_ref().map(|_| {
+        std::sync::Arc::new(rar_telemetry::FlightRecorder::new(
+            rar_telemetry::DEFAULT_FLIGHT_CAPACITY,
+        ))
+    });
     let mut campaigns = Vec::new();
     for technique in [Technique::Ooo, Technique::Rar] {
         let mut b = SimConfig::builder();
@@ -465,6 +480,7 @@ fn inject_cmd(args: &[String]) -> ExitCode {
             threads,
             journal: journal_path,
             limit,
+            flight: flight.clone(),
             ..CampaignSpec::default()
         };
         let result = match run_injection_campaign(&harness, &spec, inject_seed, None, None) {
@@ -532,6 +548,18 @@ fn inject_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+    if let (Some(path), Some(flight)) = (flight_out, flight) {
+        let reason = if flight.is_empty() {
+            "campaign_done"
+        } else {
+            "inject_due"
+        };
+        if let Err(e) = std::fs::write(&path, flight.dump_json(reason)) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path} ({} DUE events)", flight.len());
     }
     ExitCode::SUCCESS
 }
@@ -837,6 +865,26 @@ fn run_figures<P: Profiler>(
             );
         }
     }
+    if let Some(p) = opts.session.stall_profile() {
+        // One guest-side cycle-accounting line per stall bucket, largest
+        // first (the bench report carries the same numbers for machines).
+        let mut buckets: Vec<_> = rar_core::StallBucket::ALL
+            .iter()
+            .map(|&b| (b.name(), p.count(b)))
+            .collect();
+        buckets.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles));
+        let total = p.total().max(1);
+        for (name, cycles) in buckets {
+            eprintln!(
+                "[rar-sim] stalls: {name:<12} {cycles:>12} cycles ({:.1}%)",
+                cycles as f64 / total as f64 * 100.0
+            );
+        }
+        eprintln!(
+            "[rar-sim] stalls: quiescent fraction {:.4} (event-skippable upper bound)",
+            p.quiescent_fraction()
+        );
+    }
     ExitCode::SUCCESS
 }
 
@@ -995,7 +1043,15 @@ fn client_cmd(cmd: &str, args: &[String]) -> ExitCode {
         }
         "status" => {
             let Ok(id) = need_id() else { return usage() };
-            client.request("GET", &format!("/v1/jobs/{id}"), "")
+            client
+                .request("GET", &format!("/v1/jobs/{id}"), "")
+                .inspect(|resp| {
+                    // The queue-wait satellite line: human-readable next
+                    // to the raw JSON (which stays on stdout untouched).
+                    if let Some(field) = rar_serve::jobs::field(&resp.body, "queue_wait_seconds") {
+                        eprintln!("queue wait: {field}s");
+                    }
+                })
         }
         "cancel" => {
             let Ok(id) = need_id() else { return usage() };
@@ -1061,6 +1117,7 @@ fn main() -> ExitCode {
     let mut bench_out = "BENCH_sweep.json".to_owned();
     let mut manifest_out = "manifest.json".to_owned();
     let mut profile = false;
+    let mut stalls = false;
     let mut i = 1;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1071,6 +1128,11 @@ fn main() -> ExitCode {
         }
         if flag == "--profile" {
             profile = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--stalls" {
+            stalls = true;
             i += 1;
             continue;
         }
@@ -1114,7 +1176,8 @@ fn main() -> ExitCode {
     let session = match &cache_dir {
         Some(dir) => SweepSession::with_disk_cache(dir),
         None => SweepSession::new(),
-    };
+    }
+    .stall_profiling(stalls);
     if profile {
         run_figures(
             &cmd,

@@ -35,15 +35,19 @@ use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use rar_core::Technique;
+use rar_core::{FaultTarget, Technique};
 use rar_inject::CampaignSpec;
 use rar_sim::inject::{run_injection_campaign, InjectionHarness};
+use rar_sim::sweep::RunError;
 use rar_sim::{json, SimConfig, SweepSession};
 use rar_telemetry::{
-    export, names, CancelToken, Counter, Gauge, MetricsRegistry, ProgressReporter, ProgressSnapshot,
+    export, names, CancelToken, Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry,
+    ProgressReporter, ProgressSnapshot, SpanId, SpanLog, SpanProfiler, SpanRecorder,
+    ThreadParentGuard, DEFAULT_FLIGHT_CAPACITY,
 };
+use rar_trace::chrome::{spans_to_chrome_json, SpanSlice};
 
 use crate::http::{
     end_chunks, lock, read_request, respond, respond_error, start_chunked, write_chunk, HttpError,
@@ -93,6 +97,11 @@ struct ServeCounters {
     resumed: Counter,
     active: Gauge,
     workers: Gauge,
+    /// Request latency over every endpoint; per-endpoint histograms are
+    /// registered lazily under `rar_serve_request_nanos{endpoint="..."}`.
+    request_nanos: Histogram,
+    /// Queue wait of the most recently claimed job, in seconds.
+    queue_wait: Gauge,
 }
 
 impl ServeCounters {
@@ -106,7 +115,30 @@ impl ServeCounters {
             resumed: reg.counter(names::SERVE_JOBS_RESUMED),
             active: reg.gauge(names::SERVE_JOBS_ACTIVE),
             workers: reg.gauge(names::SERVE_WORKERS),
+            request_nanos: reg.histogram(names::SERVE_REQUEST_NANOS),
+            queue_wait: reg.gauge(names::SERVE_QUEUE_WAIT_SECONDS),
         }
+    }
+}
+
+/// Every endpoint label the per-endpoint latency histograms can carry
+/// (the `endpoint-coverage` repo lint checks routes against this list).
+pub const ENDPOINTS: [&str; 9] = [
+    "submit", "metrics", "status", "result", "cancel", "events", "trace", "shutdown", "other",
+];
+
+/// Maps a parsed request to its latency-histogram endpoint label.
+fn endpoint_label(method: &str, segs: &[&str]) -> &'static str {
+    match (method, segs) {
+        ("POST", ["v1", "jobs"]) => "submit",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["v1", "jobs", _]) => "status",
+        ("GET", ["v1", "jobs", _, "results", _]) => "result",
+        ("DELETE", ["v1", "jobs", _]) => "cancel",
+        ("GET", ["v1", "jobs", _, "events"]) => "events",
+        ("GET", ["v1", "jobs", _, "trace"]) => "trace",
+        ("POST", ["v1", "shutdown"]) => "shutdown",
+        _ => "other",
     }
 }
 
@@ -120,6 +152,11 @@ struct JobProgress {
     /// (sweep cells; the inject tally when the campaign completes).
     results: Vec<String>,
     error: Option<String>,
+    /// Nanoseconds the job sat queued before a worker claimed it.
+    queue_wait_nanos: Option<u64>,
+    /// The post-mortem flight-recorder dump, when the job crashed, timed
+    /// out, or recorded an injection DUE (already a JSON document).
+    flight: Option<String>,
 }
 
 /// One job as the server tracks it: immutable identity + spec, a cancel
@@ -129,10 +166,18 @@ pub struct JobHandle {
     spec: JobSpec,
     cancel: CancelToken,
     state: Mutex<JobProgress>,
+    /// Root of this job's causal span tree (`request`).
+    request_span: SpanId,
+    /// The `queue_wait` child span, open until a worker claims the job.
+    queue_span: SpanId,
+    /// When the job entered the queue (for the queue-wait metric).
+    submitted: Instant,
 }
 
 impl JobHandle {
-    fn new(job: &QueuedJob) -> Arc<JobHandle> {
+    fn new(job: &QueuedJob, spans: &SpanLog) -> Arc<JobHandle> {
+        let request_span = spans.start("request", SpanId::NONE);
+        let queue_span = spans.start("queue_wait", request_span);
         Arc::new(JobHandle {
             id: job.id,
             spec: job.spec.clone(),
@@ -144,7 +189,12 @@ impl JobHandle {
                 total: job.spec.total_units(),
                 results: Vec::new(),
                 error: None,
+                queue_wait_nanos: None,
+                flight: None,
             }),
+            request_span,
+            queue_span,
+            submitted: Instant::now(),
         })
     }
 
@@ -160,10 +210,20 @@ impl JobHandle {
             st.failed,
             st.total
         );
+        if let Some(nanos) = st.queue_wait_nanos {
+            out.push_str(&format!(
+                ",\"queue_wait_seconds\":{:.6}",
+                nanos as f64 / 1e9
+            ));
+        }
         if let Some(err) = &st.error {
             out.push_str(",\"error\":\"");
             out.push_str(&escape_json(err));
             out.push('"');
+        }
+        if let Some(flight) = &st.flight {
+            out.push_str(",\"flight\":");
+            out.push_str(flight.trim_end());
         }
         out.push_str(",\"results\":[");
         for (i, r) in st.results.iter().enumerate() {
@@ -191,6 +251,17 @@ impl JobHandle {
     }
 }
 
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Minimal JSON string escaping for error messages.
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -209,7 +280,7 @@ fn escape_json(s: &str) -> String {
 }
 
 struct ServerInner {
-    session: SweepSession,
+    session: SweepSession<SpanProfiler>,
     queue: JobQueue,
     jobs: Mutex<BTreeMap<u64, Arc<JobHandle>>>,
     registry: MetricsRegistry,
@@ -217,6 +288,10 @@ struct ServerInner {
     data_dir: PathBuf,
     shutdown: CancelToken,
     addr: SocketAddr,
+    /// The daemon-wide causal span log every job's tree lives in.
+    spans: Arc<SpanLog>,
+    /// The crash flight recorder shared by the workers and the session.
+    flight: Arc<FlightRecorder>,
 }
 
 /// A running daemon; dropping it does NOT stop it — call
@@ -239,11 +314,15 @@ impl CampaignServer {
         let addr = listener.local_addr()?;
         let journal = opts.data_dir.join("queue.jsonl");
         let (queue, resumed) = JobQueue::open(Some(&journal), opts.fsync_every)?;
+        let spans = Arc::new(SpanLog::new());
+        let flight = Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY));
+        let profiler = SpanProfiler::new(Arc::clone(&spans));
         let session = if opts.cache {
-            SweepSession::with_disk_cache(opts.data_dir.join("cache"))
+            SweepSession::with_profiler_and_disk_cache(opts.data_dir.join("cache"), profiler)
         } else {
-            SweepSession::new()
-        };
+            SweepSession::with_profiler(profiler)
+        }
+        .with_flight_recorder(Arc::clone(&flight));
         let registry = MetricsRegistry::new();
         let counters = ServeCounters::register(&registry);
         counters.workers.set(opts.workers as f64);
@@ -256,13 +335,15 @@ impl CampaignServer {
             data_dir: opts.data_dir.clone(),
             shutdown: CancelToken::new(),
             addr,
+            spans,
+            flight,
         });
         // Single-threaded startup: the jobs lock cannot be poisoned yet,
         // but the request-path discipline (no panicking lock
         // acquisitions) applies here too.
         if let Ok(mut jobs) = lock(&inner.jobs, "jobs") {
             for job in &resumed {
-                jobs.insert(job.id, JobHandle::new(job));
+                jobs.insert(job.id, JobHandle::new(job, &inner.spans));
                 inner.counters.resumed.inc();
                 inner.counters.submitted.inc();
             }
@@ -411,15 +492,47 @@ impl ServerInner {
                 return Ok(());
             }
             st.phase = JobPhase::Running;
+            // The queue wait ends the moment a worker claims the job.
+            let waited = handle.submitted.elapsed();
+            st.queue_wait_nanos = Some(u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX));
+            self.counters.queue_wait.set(waited.as_secs_f64());
         }
+        self.spans.finish(handle.queue_span);
+        let job_span = self.spans.start("job", handle.request_span);
+        self.flight.note(
+            "job_start",
+            &format!("job {} [{}]", job.id, handle.spec.to_json()),
+        );
         let phase = if handle.cancel.is_canceled() {
             JobPhase::Canceled
         } else {
-            match &handle.spec.kind {
-                JobKind::Sweep(s) => self.run_sweep_job(&handle, s)?,
-                JobKind::Inject(i) => self.run_inject_job(&handle, i)?,
+            // The guard parents the per-cell spans the sweep path opens;
+            // catch_unwind turns a panicking job into a Failed status plus
+            // a flight-recorder dump instead of a dead worker thread.
+            let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = ThreadParentGuard::enter(job_span);
+                match &handle.spec.kind {
+                    JobKind::Sweep(s) => self.run_sweep_job(&handle, job_span, s),
+                    JobKind::Inject(i) => self.run_inject_job(&handle, i),
+                }
+            }));
+            match ran {
+                Ok(phase) => phase?,
+                Err(payload) => {
+                    let what = panic_message(payload.as_ref());
+                    self.flight
+                        .note("job_panic", &format!("job {}: {what}", job.id));
+                    self.dump_flight(&handle, "panic")?;
+                    let mut st = lock(&handle.state, "job state")?;
+                    st.error = Some(format!("job panicked: {what}"));
+                    JobPhase::Failed
+                }
             }
         };
+        self.spans.finish(job_span);
+        self.spans.finish(handle.request_span);
+        self.flight
+            .note("job_done", &format!("job {} {}", job.id, phase.name()));
         lock(&handle.state, "job state")?.phase = phase;
         self.queue.record_terminal(job.id, phase);
         match phase {
@@ -430,23 +543,51 @@ impl ServerInner {
         self.refresh_active()
     }
 
+    /// Writes the flight recorder's post-mortem dump to the data
+    /// directory and attaches it to the job's status document.
+    fn dump_flight(&self, handle: &JobHandle, reason: &str) -> Result<(), HttpError> {
+        let dump = self.flight.dump_json(reason);
+        let path = self.data_dir.join(format!("flight-{}.json", handle.id));
+        if let Err(e) = std::fs::write(&path, &dump) {
+            eprintln!("[rar-serve] job {}: flight dump: {e}", handle.id);
+        }
+        lock(&handle.state, "job state")?.flight = Some(dump);
+        Ok(())
+    }
+
     /// Sweep jobs run cell by cell through the shared session: each cell
     /// lands in the live result list as soon as it finishes (partial
     /// results), and the cancel token is honored between cells. Dedup
     /// against concurrent jobs comes from the session's single-flight
-    /// gate; dedup against past jobs from its result cache.
-    fn run_sweep_job(&self, handle: &JobHandle, sweep: &SweepJob) -> Result<JobPhase, HttpError> {
+    /// gate; dedup against past jobs from its result cache. Each cell
+    /// gets a `cell` span under the job span; the session's profiler
+    /// hangs the phase leaves off it via the thread-local parent.
+    fn run_sweep_job(
+        &self,
+        handle: &JobHandle,
+        job_span: SpanId,
+        sweep: &SweepJob,
+    ) -> Result<JobPhase, HttpError> {
         for cfg in sweep.configs() {
             if handle.cancel.is_canceled() {
                 return Ok(JobPhase::Canceled);
             }
-            match self.session.run(&cfg) {
+            let cell_span = self.spans.start("cell", job_span);
+            let outcome = {
+                let _guard = ThreadParentGuard::enter(cell_span);
+                self.session.run(&cfg)
+            };
+            self.spans.finish(cell_span);
+            match outcome {
                 Ok(result) => {
                     let mut st = lock(&handle.state, "job state")?;
                     st.results.push(json::to_json_for(&cfg, &result));
                     st.completed += 1;
                 }
                 Err(e) => {
+                    if matches!(e, RunError::Timeout { .. }) {
+                        self.dump_flight(handle, "watchdog_timeout")?;
+                    }
                     let mut st = lock(&handle.state, "job state")?;
                     st.failed += 1;
                     st.error = Some(format!("{}/{}: {e}", cfg.workload, cfg.technique));
@@ -499,6 +640,7 @@ impl ServerInner {
                 threads: inject.threads,
                 journal: Some(journal),
                 cancel: Some(handle.cancel.clone()),
+                flight: Some(Arc::clone(&self.flight)),
                 ..CampaignSpec::default()
             };
             let result = match run_injection_campaign(
@@ -519,6 +661,22 @@ impl ServerInner {
                 let mut st = lock(&handle.state, "job state")?;
                 st.completed += result.completed;
                 st.failed += result.failed;
+            }
+            // A DUE is a detected-unrecoverable outcome — exactly the
+            // post-mortem the flight recorder exists for.
+            let dues: u64 = FaultTarget::ALL
+                .iter()
+                .map(|&t| {
+                    let tt = result.tally.get(t);
+                    tt.due_hang + tt.due_panic
+                })
+                .sum();
+            if dues > 0 {
+                self.flight.note(
+                    "inject_due",
+                    &format!("job {}: {dues} DUE outcomes under {technique}", handle.id),
+                );
+                self.dump_flight(handle, "inject_due")?;
             }
             if handle.cancel.is_canceled() && result.completed < inject.samples {
                 return Ok(JobPhase::Canceled);
@@ -557,7 +715,23 @@ impl ServerInner {
             }
         };
         self.counters.http_requests.inc();
-        if let Err(e) = self.route(stream, &req) {
+        let started = Instant::now();
+        let outcome = self.route(stream, &req);
+        // Request latency, base histogram plus the per-endpoint series
+        // (the `events` label includes the lifetime of its chunked
+        // stream — that is the honest number for a streaming endpoint).
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.counters.request_nanos.observe(nanos);
+        let path = req.path.trim_matches('/').to_owned();
+        let segs: Vec<&str> = path.split('/').collect();
+        let label = endpoint_label(&req.method, &segs);
+        self.registry
+            .histogram(&export::labeled(
+                names::SERVE_REQUEST_NANOS,
+                &[("endpoint", label)],
+            ))
+            .observe(nanos);
+        if let Err(e) = outcome {
             eprintln!(
                 "[rar-serve] {} {}: response failed: {e}",
                 req.method, req.path
@@ -589,6 +763,7 @@ impl ServerInner {
             ("GET", ["v1", "jobs", id, "results", index]) => self.result_route(stream, id, index),
             ("DELETE", ["v1", "jobs", id]) => self.cancel_route(stream, id),
             ("GET", ["v1", "jobs", id, "events"]) => self.events_route(stream, id),
+            ("GET", ["v1", "jobs", id, "trace"]) => self.trace_route(stream, id),
             ("POST", ["v1", "shutdown"]) => {
                 respond(
                     stream,
@@ -638,7 +813,7 @@ impl ServerInner {
                 )
             }
         };
-        jobs.insert(job.id, JobHandle::new(&job));
+        jobs.insert(job.id, JobHandle::new(&job, &self.spans));
         drop(jobs);
         self.counters.submitted.inc();
         if let Err(e) = self.refresh_active() {
@@ -673,6 +848,38 @@ impl ServerInner {
             }
             None => respond(stream, 404, "text/plain", "no such result (yet)\n"),
         }
+    }
+
+    /// `GET /v1/jobs/{id}/trace`: the job's causal span tree as a Chrome
+    /// Trace Event document — request → queue wait / job → cell → phase,
+    /// viewable live while the job runs (open spans are clamped to now).
+    fn trace_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {
+        let handle = match self.parse_handle(id) {
+            Ok(Some(handle)) => handle,
+            Ok(None) => return respond(stream, 404, "text/plain", "no such job\n"),
+            Err(e) => return respond_error(stream, e),
+        };
+        let now = self.spans.now_nanos();
+        let slices: Vec<SpanSlice> = self
+            .spans
+            .subtree(handle.request_span)
+            .into_iter()
+            .map(|s| SpanSlice {
+                id: s.id,
+                parent: s.parent,
+                name: s.name,
+                start_nanos: s.start_nanos,
+                dur_nanos: s
+                    .dur_nanos
+                    .unwrap_or_else(|| now.saturating_sub(s.start_nanos)),
+            })
+            .collect();
+        respond(
+            stream,
+            200,
+            "application/json",
+            &spans_to_chrome_json(&slices),
+        )
     }
 
     fn cancel_route(&self, stream: &mut TcpStream, id: &str) -> io::Result<()> {

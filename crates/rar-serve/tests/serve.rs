@@ -294,6 +294,138 @@ fn unknown_routes_and_jobs_are_404s_and_bad_specs_400() {
     server.stop();
 }
 
+#[test]
+fn trace_endpoint_nests_request_job_cell_phase() {
+    let scratch = Scratch::new("trace");
+    let (server, client) = boot(&scratch, 1);
+
+    let spec = "{\"kind\":\"single\",\"workload\":\"mcf\",\"technique\":\"rar\",\
+                \"instructions\":2000,\"warmup\":300}";
+    let id = submitted_id(
+        &client
+            .request("POST", "/v1/jobs", spec)
+            .expect("submit")
+            .body,
+    );
+    let done = client
+        .wait_for_job(id, Duration::from_secs(120))
+        .expect("job finishes");
+    assert!(
+        done.body.contains("\"status\":\"completed\""),
+        "{}",
+        done.body
+    );
+
+    let trace = client
+        .request("GET", &format!("/v1/jobs/{id}/trace"), "")
+        .expect("trace fetch");
+    assert_eq!(trace.status, 200);
+    rar_trace::jsonv::validate(&trace.body).expect("trace is valid JSON");
+
+    // The span tree nests request → queue_wait / job → cell → phase.
+    let (request_id, request_parent) = span_ids(&trace.body, "request");
+    let (queue_id, queue_parent) = span_ids(&trace.body, "queue_wait");
+    let (job_id, job_parent) = span_ids(&trace.body, "job");
+    let (cell_id, cell_parent) = span_ids(&trace.body, "cell");
+    let (_, core_sim_parent) = span_ids(&trace.body, "core_sim");
+    assert_eq!(request_parent, 0, "request is the root");
+    assert_eq!(queue_parent, request_id);
+    assert_eq!(job_parent, request_id);
+    assert_eq!(cell_parent, job_id);
+    assert_eq!(core_sim_parent, cell_id, "phase leaves hang off the cell");
+    assert_ne!(queue_id, job_id);
+
+    // Unknown jobs 404 like every other job route.
+    let missing = client
+        .request("GET", "/v1/jobs/999/trace", "")
+        .expect("missing trace");
+    assert_eq!(missing.status, 404);
+
+    server.stop();
+}
+
+#[test]
+fn status_and_metrics_carry_queue_wait_and_request_latency() {
+    let scratch = Scratch::new("latency");
+    let (server, client) = boot(&scratch, 1);
+
+    let spec = "{\"kind\":\"single\",\"workload\":\"mcf\",\"technique\":\"ooo\",\
+                \"instructions\":500,\"warmup\":100}";
+    let id = submitted_id(
+        &client
+            .request("POST", "/v1/jobs", spec)
+            .expect("submit")
+            .body,
+    );
+    let done = client
+        .wait_for_job(id, Duration::from_secs(120))
+        .expect("job finishes");
+    assert!(
+        done.body.contains("\"queue_wait_seconds\":"),
+        "claimed job status must report its queue wait: {}",
+        done.body
+    );
+
+    let metrics = client.request("GET", "/metrics", "").expect("metrics");
+    // The queue-wait gauge and the base latency histogram exist, and the
+    // status polls above landed in the per-endpoint series with derived
+    // percentiles.
+    assert!(
+        metrics
+            .body
+            .contains(&format!("{} ", names::SERVE_QUEUE_WAIT_SECONDS)),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        prom_value(
+            &metrics.body,
+            &format!("{}_count", names::SERVE_REQUEST_NANOS)
+        ) >= 2.0,
+        "{}",
+        metrics.body
+    );
+    for series in [
+        format!(
+            "{}_count{{endpoint=\"submit\"}}",
+            names::SERVE_REQUEST_NANOS
+        ),
+        format!(
+            "{}_count{{endpoint=\"status\"}}",
+            names::SERVE_REQUEST_NANOS
+        ),
+        format!("{}_p99{{endpoint=\"status\"}}", names::SERVE_REQUEST_NANOS),
+    ] {
+        assert!(
+            metrics.body.contains(&series),
+            "{series} missing from:\n{}",
+            metrics.body
+        );
+    }
+
+    server.stop();
+}
+
+/// Extracts the `(id, parent)` args of the first span named `name` in a
+/// Chrome trace document.
+fn span_ids(doc: &str, name: &str) -> (u64, u64) {
+    let start = doc
+        .find(&format!("\"name\":\"{name}\",\"cat\":\"span\""))
+        .unwrap_or_else(|| panic!("span {name} missing from:\n{doc}"));
+    let record = &doc[start..];
+    let record = &record[..record.find('}').expect("args close") + 1];
+    let grab = |key: &str| -> u64 {
+        let at = record.find(key).expect("arg present") + key.len();
+        record[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .expect("arg parses")
+    };
+    (grab("\"id\":"), grab("\"parent\":"))
+}
+
 /// Extracts a gauge/counter value from Prometheus text.
 fn prom_value(text: &str, name: &str) -> f64 {
     text.lines()

@@ -11,9 +11,13 @@
 //! `--telemetry PATH` routes the run through a profiled session and
 //! writes the host-side telemetry registry (guest counters, host phase
 //! timings) as JSON — results are bit-identical either way.
+//! `--stalls` enables the cycle-loop stall profiler: the summary gains a
+//! per-bucket cycle-accounting table (buckets sum exactly to total
+//! cycles) and `--json` exports gain a `stalls` section — the simulated
+//! outcome itself stays bit-identical.
 
 use rar_ace::Structure;
-use rar_core::{CoreConfig, Technique};
+use rar_core::{CoreConfig, StallBucket, Technique};
 use rar_mem::{MemConfig, PrefetchPlacement};
 use rar_sim::{SimConfig, Simulation};
 use std::process::ExitCode;
@@ -22,7 +26,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: rar-sim --workload NAME --technique TECH [--instructions N] [--warmup N] \
          [--seed N] [--core 1|2|3|4] [--prefetch none|l3|all] [--trace N] [--json PATH] \
-         [--telemetry PATH]"
+         [--telemetry PATH] [--stalls]"
     );
     ExitCode::from(2)
 }
@@ -85,9 +89,15 @@ fn main() -> ExitCode {
     let mut trace_cycles: u64 = 0;
     let mut json_path: Option<String> = None;
     let mut telemetry_path: Option<String> = None;
+    let mut stalls = false;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--stalls" {
+            stalls = true;
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             return usage();
         };
@@ -163,7 +173,9 @@ fn main() -> ExitCode {
     // With --telemetry the run goes through a profiled session (same
     // result bit for bit; the session additionally attributes host time).
     let (r, telemetry) = if telemetry_path.is_some() {
-        let session = rar_sim::SweepSession::new().into_profiled();
+        let session = rar_sim::SweepSession::new()
+            .into_profiled()
+            .stall_profiling(stalls);
         let r = match session.run(&cfg) {
             Ok(r) => r,
             Err(e) => {
@@ -173,6 +185,14 @@ fn main() -> ExitCode {
         };
         let t = session.telemetry_json();
         (r, Some(t))
+    } else if stalls {
+        match Simulation::try_run_stalled(&cfg) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         (Simulation::run(&cfg), None)
     };
@@ -203,6 +223,23 @@ fn main() -> ExitCode {
         "flushes       {} ({} squashed uops)",
         r.stats.flushes, r.stats.squashed
     );
+    if let Some(p) = &r.stalls {
+        println!("stall breakdown ({} cycles attributed)", p.total());
+        let total = p.total().max(1);
+        for bucket in StallBucket::ALL {
+            let cycles = p.count(bucket);
+            println!(
+                "  {:<10}  {:>10}  {:>5.1}%",
+                bucket.name(),
+                cycles,
+                cycles as f64 / total as f64 * 100.0
+            );
+        }
+        println!(
+            "  quiescent fraction  {:.4} (event-skippable upper bound)",
+            p.quiescent_fraction()
+        );
+    }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, rar_sim::json::to_json_for(&cfg, &r)) {
             eprintln!("failed to write {path}: {e}");

@@ -307,6 +307,9 @@ fn decode(text: &str, cfg: &SimConfig) -> Option<SimResult> {
         predictor,
         abc_by_structure: field_u128_array::<{ Structure::COUNT }>(text, "abc_by_structure")?,
         window_abc: field_u128_array::<2>(text, "window_abc")?,
+        // Stall profiles are never cached: profiled runs bypass the disk
+        // cache entirely (the profile depends on run mode, not config).
+        stalls: None,
     })
 }
 

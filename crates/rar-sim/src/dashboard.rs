@@ -15,6 +15,7 @@
 //! replays ≥90% of its cells), and throughput must not regress past the
 //! allowed slowdown versus a baseline bench.
 
+use rar_core::StallBucket;
 use rar_telemetry::manifest::{field_f64, field_str, field_u64, raw_value};
 use rar_telemetry::{validate_manifest, Phase};
 use std::fmt::Write as _;
@@ -115,7 +116,47 @@ fn manifest_section(out: &mut String, name: &str, text: &str) {
             let _ = writeln!(out, "<tr><td>{key}</td><td>{v:.6}</td></tr>");
         }
     }
+    // Cycle-accounting headline (present when the sweep ran with the
+    // stall profiler on): the quiescent fraction bounds what an
+    // event-driven cycle loop could skip.
+    if let Some(v) = field_f64(text, "quiescent_fraction") {
+        let _ = writeln!(
+            out,
+            "<tr><td>quiescent_fraction</td><td>{:.2}%</td></tr>",
+            v * 100.0
+        );
+    }
+    if let Some(v) = field_u64(text, "stall_total_cycles") {
+        let _ = writeln!(out, "<tr><td>stall_total_cycles</td><td>{v}</td></tr>");
+    }
     let _ = writeln!(out, "</table>");
+
+    // Stall-taxonomy bars: where the guest cycles went, by bucket. Only
+    // rendered when the sweep ran with `--stalls` (the counters exist).
+    let stall_rows: Vec<(&str, u64)> = StallBucket::ALL
+        .iter()
+        .filter_map(|b| {
+            let cycles = counter_value(text, &format!("rar_stall_{}_cycles_total", b.name()))?;
+            Some((b.name(), cycles))
+        })
+        .collect();
+    let stall_total: u64 = stall_rows.iter().map(|(_, n)| n).sum();
+    if stall_total > 0 {
+        let _ = writeln!(out, "<h3>Stall breakdown (guest cycles by cause)</h3>");
+        let mut sorted = stall_rows;
+        sorted.sort_by_key(|&(_, cycles)| std::cmp::Reverse(cycles));
+        for (bucket, cycles) in sorted {
+            bar(
+                out,
+                bucket,
+                &format!(
+                    "{cycles} ({:.1}%)",
+                    cycles as f64 / stall_total as f64 * 100.0
+                ),
+                cycles as f64 / stall_total as f64,
+            );
+        }
+    }
 
     // Self-profile bars: where the host wall-clock went, by phase. Only
     // rendered when the run was profiled (the counters exist).
@@ -339,6 +380,27 @@ mod tests {
         for needle in ["http://", "https://", "<script", "<link", "@import"] {
             assert!(!html.contains(needle), "{needle} found in dashboard");
         }
+    }
+
+    #[test]
+    fn dashboard_renders_stall_breakdown_for_profiled_sweeps() {
+        let session = SweepSession::new().stall_profiling(true);
+        let cfg = SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Rar)
+            .warmup(200)
+            .instructions(1_200)
+            .build();
+        let _ = session.run_all(std::slice::from_ref(&cfg));
+        let manifest = session.manifest_json("rar-experiments", "0.1.0");
+        let html = render_dashboard(&[("m.json".to_owned(), manifest)], &[]);
+        assert!(html.contains("Stall breakdown"), "{html}");
+        assert!(html.contains("quiescent_fraction"));
+        assert!(html.contains("dram_wait") || html.contains("retiring"));
+        // An unprofiled manifest renders no stall section.
+        let (name, plain) = profiled_manifest();
+        let html = render_dashboard(&[(name, plain)], &[]);
+        assert!(!html.contains("Stall breakdown"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::config::SimConfig;
 use crate::run::SimResult;
 use rar_ace::Structure;
+use rar_core::{StallBucket, OCC_BUCKETS, OCC_STRUCTURES};
 use std::fmt::Write as _;
 
 fn esc(s: &str) -> String {
@@ -143,7 +144,45 @@ fn render(r: &SimResult, cfg: Option<&SimConfig>) -> String {
     let _ = writeln!(out, "    \"inv_loads\": {},", s.runahead_inv_loads);
     let _ = writeln!(out, "    \"flushes\": {},", s.flushes);
     let _ = writeln!(out, "    \"squashed\": {}", s.squashed);
-    let _ = writeln!(out, "  }}");
+    // Stall attribution is optional: present only for runs that enabled
+    // the cycle-loop stall profiler, so plain exports stay byte-identical.
+    if let Some(p) = &r.stalls {
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"stalls\": {{");
+        // Exhaustive over StallBucket::ALL (checked by `cargo xtask lint`):
+        // every taxonomy bucket reaches this exporter.
+        for bucket in StallBucket::ALL {
+            let _ = writeln!(out, "    \"{}\": {},", bucket.name(), p.count(bucket));
+        }
+        let _ = writeln!(
+            out,
+            "    \"quiescent_fraction\": {:.6},",
+            p.quiescent_fraction()
+        );
+        let _ = writeln!(out, "    \"total_cycles\": {},", p.total());
+        let _ = writeln!(out, "    \"occupancy\": {{");
+        for (row, structure) in OCC_STRUCTURES.iter().enumerate() {
+            let comma = if row + 1 < OCC_STRUCTURES.len() {
+                ","
+            } else {
+                ""
+            };
+            let cells: Vec<String> = (0..OCC_BUCKETS)
+                .map(|j| p.occupancy[row][j].to_string())
+                .collect();
+            let _ = writeln!(
+                out,
+                "      \"{}\": [{}]{}",
+                structure,
+                cells.join(", "),
+                comma
+            );
+        }
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    } else {
+        let _ = writeln!(out, "  }}");
+    }
     let _ = write!(out, "}}");
     out
 }
@@ -240,6 +279,30 @@ mod tests {
     fn escaping_handles_quotes() {
         assert_eq!(esc("a\"b"), "a\\\"b");
         assert_eq!(esc("a\\b"), "a\\\\b");
+    }
+
+    #[test]
+    fn stalls_section_appears_only_for_profiled_runs_and_conserves() {
+        let cfg = SimConfig::builder()
+            .workload("milc")
+            .instructions(1_500)
+            .warmup(300)
+            .build();
+        let plain = to_json(&Simulation::run(&cfg));
+        assert!(!plain.contains("\"stalls\""));
+        let stalled = Simulation::try_run_stalled(&cfg).expect("valid config");
+        let json = to_json(&stalled);
+        assert!(json.contains("\"stalls\": {"));
+        for bucket in StallBucket::ALL {
+            assert!(json.contains(&format!("\"{}\":", bucket.name())), "{json}");
+        }
+        assert!(json.contains("\"quiescent_fraction\":"));
+        for structure in OCC_STRUCTURES {
+            assert!(json.contains(&format!("\"{structure}\": [")), "{json}");
+        }
+        assert!(json.contains(&format!("\"total_cycles\": {}", stalled.stats.cycles)));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n    }") && !json.contains(",\n  }"));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::config::SimConfig;
 use rar_ace::{ReliabilityReport, StallKind, Structure};
-use rar_core::{Core, CoreStats, RunVerdict, Technique};
+use rar_core::{Core, CoreStats, RunVerdict, StallProfile, Technique};
 use rar_frontend::PredictorStats;
 use rar_isa::{TraceWindow, UopSource};
 use rar_mem::MemStats;
@@ -86,16 +86,34 @@ impl Simulation {
             cfg,
             sink,
             &RunArtifacts::prepare(cfg),
+            false,
         ))
+    }
+
+    /// Runs one configuration with the per-cycle stall/occupancy profiler
+    /// enabled (see [`rar_core::StallProfile`]): the result's
+    /// [`SimResult::stalls`] carries the cycle taxonomy, and everything
+    /// else is bit-identical to [`Simulation::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if [`SimConfig::validate`] rejects the
+    /// configuration; nothing is simulated in that case.
+    pub fn try_run_stalled(cfg: &SimConfig) -> Result<SimResult, ConfigError> {
+        cfg.validate()?;
+        Ok(Simulation::run_prepared(cfg, NullSink, &RunArtifacts::prepare(cfg), true).result)
     }
 
     /// Runs a *validated* configuration with pre-built artifacts. This is
     /// the sweep engine's entry: the artifacts may be shared with other
-    /// concurrent runs of the same (workload, seed).
+    /// concurrent runs of the same (workload, seed). With `stalls` the
+    /// core's per-cycle stall profiler is enabled over the measured
+    /// portion of the run.
     pub(crate) fn run_prepared<T: TraceSink>(
         cfg: &SimConfig,
         sink: T,
         artifacts: &RunArtifacts,
+        stalls: bool,
     ) -> RunOutput<T> {
         let trace = TraceWindow::new(TracePrefix::resume(&artifacts.prefix));
         let mut core = Core::with_sink(
@@ -108,6 +126,9 @@ impl Simulation {
         core.set_ace_refinement(artifacts.refinement.clone());
         if T::ENABLED {
             core.set_sample_interval(cfg.trace.sample_interval);
+        }
+        if stalls {
+            core.enable_stall_profiling();
         }
         if cfg.warmup > 0 {
             core.run_until_committed(cfg.warmup);
@@ -134,6 +155,7 @@ impl Simulation {
         cfg: &SimConfig,
         sink: T,
         artifacts: &RunArtifacts,
+        stalls: bool,
         max_cycles: u64,
         deadline: Option<std::time::Instant>,
     ) -> Result<RunOutput<T>, RunVerdict> {
@@ -148,6 +170,9 @@ impl Simulation {
         core.set_ace_refinement(artifacts.refinement.clone());
         if T::ENABLED {
             core.set_sample_interval(cfg.trace.sample_interval);
+        }
+        if stalls {
+            core.enable_stall_profiling();
         }
         let mut remaining = max_cycles;
         if cfg.warmup > 0 {
@@ -237,6 +262,7 @@ fn collect<S: UopSource, T: TraceSink>(cfg: &SimConfig, core: &Core<S, T>) -> Si
         predictor: core.predictor_stats(),
         abc_by_structure,
         window_abc,
+        stalls: core.stall_profile().map(|p| Box::new(p.clone())),
     }
 }
 
@@ -260,6 +286,9 @@ pub struct SimResult {
     pub abc_by_structure: [u128; Structure::COUNT],
     /// ABC attributed to [full-ROB-stall, ROB-head-blocked] windows.
     pub window_abc: [u128; 2],
+    /// Per-cycle stall taxonomy and occupancy shapes; `None` unless the
+    /// run enabled stall profiling ([`Simulation::try_run_stalled`]).
+    pub stalls: Option<Box<StallProfile>>,
 }
 
 impl SimResult {
@@ -502,6 +531,27 @@ mod tests {
             traced.reliability.total_abc()
         );
         assert!(sink.emitted() > 0, "traced run captured no events");
+    }
+
+    #[test]
+    fn stall_profiled_run_matches_unprofiled_bit_for_bit() {
+        let cfg = SimConfig::builder()
+            .workload("mcf")
+            .technique(Technique::Rar)
+            .warmup(1_000)
+            .instructions(6_000)
+            .build();
+        let plain = Simulation::run(&cfg);
+        let stalled = Simulation::try_run_stalled(&cfg).expect("valid config");
+        let profile = stalled.stalls.as_ref().expect("profile present");
+        // Conservation: every measured cycle is attributed exactly once.
+        assert_eq!(profile.total(), stalled.stats.cycles);
+        // The profiler must not perturb the simulation: stripping the
+        // profile leaves a bit-identical result.
+        let mut stripped = stalled.clone();
+        stripped.stalls = None;
+        assert_eq!(plain, stripped);
+        assert!(plain.stalls.is_none(), "profiling is opt-in");
     }
 
     #[test]

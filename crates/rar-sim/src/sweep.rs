@@ -54,11 +54,12 @@
 use crate::cache::DiskCache;
 use crate::config::SimConfig;
 use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
-use rar_core::RunVerdict;
+use rar_core::{RunVerdict, StallBucket, StallProfile};
 use rar_telemetry::names;
 use rar_telemetry::{
-    sanitize_f64, CancelToken, Counter, Gauge, Histogram, ManifestBuilder, MetricsRegistry,
-    NullProfiler, Phase, Profiler, ProgressReporter, ProgressSnapshot, ScopeTimer, WallProfiler,
+    sanitize_f64, CancelToken, Counter, FlightRecorder, Gauge, Histogram, ManifestBuilder,
+    MetricsRegistry, NullProfiler, Phase, Profiler, ProgressReporter, ProgressSnapshot, ScopeTimer,
+    WallProfiler,
 };
 use rar_trace::NullSink;
 use rar_verify::{AceRefinement, ConfigError};
@@ -371,6 +372,17 @@ pub struct SweepSession<P: Profiler = NullProfiler> {
     /// Running sums of the three AVF tiers over every completed cell,
     /// for the manifest's mean-AVF fields.
     avf: Mutex<AvfAccum>,
+    /// Guest-side per-cycle stall profiling ([`SweepSession::stall_profiling`]).
+    /// Stall-profiled sessions bypass the disk cache entirely: cached
+    /// entries carry no profile, and profiled results must never pollute
+    /// the byte-pinned cache goldens.
+    stalls: bool,
+    /// Stall taxonomy summed over every simulated cell (empty unless
+    /// `stalls`).
+    stall_accum: Mutex<StallProfile>,
+    /// Optional crash flight recorder: cell boundaries, timeouts and
+    /// panics are noted so a post-mortem dump explains a dead sweep.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 /// Sum of each AVF tier over completed cells (cache hits included), for
@@ -490,7 +502,24 @@ impl<P: Profiler> SweepSession<P> {
             seen: Mutex::new(SeenInputs::default()),
             inflight: Mutex::new(HashMap::new()),
             avf: Mutex::new(AvfAccum::default()),
+            stalls: false,
+            stall_accum: Mutex::new(StallProfile::default()),
+            flight: None,
         }
+    }
+
+    /// A session recording through an arbitrary [`Profiler`] (e.g. a
+    /// [`rar_telemetry::SpanProfiler`] turning phase scopes into causal
+    /// leaf spans), with in-memory memoization only.
+    #[must_use]
+    pub fn with_profiler(profiler: P) -> Self {
+        SweepSession::build(None, None, profiler)
+    }
+
+    /// [`SweepSession::with_profiler`] plus an on-disk result cache.
+    #[must_use]
+    pub fn with_profiler_and_disk_cache(dir: impl Into<PathBuf>, profiler: P) -> Self {
+        SweepSession::build(Some(DiskCache::new(dir)), None, profiler)
     }
 
     /// Converts this session into one that attributes wall-clock time per
@@ -501,8 +530,51 @@ impl<P: Profiler> SweepSession<P> {
         let profiled = SweepSession::build(self.cache, self.threads, WallProfiler::new());
         SweepSession {
             watchdog: self.watchdog,
+            stalls: self.stalls,
+            flight: self.flight,
             ..profiled
         }
+    }
+
+    /// Enables guest-side per-cycle stall/occupancy profiling for every
+    /// cell this session simulates (see [`rar_core::StallProfile`]).
+    /// Stall-profiled sessions bypass the disk cache in both directions,
+    /// so warm caches stay byte-identical to unprofiled runs.
+    #[must_use]
+    pub fn stall_profiling(mut self, on: bool) -> Self {
+        self.stalls = on;
+        self
+    }
+
+    /// Whether guest-side stall profiling is on.
+    #[must_use]
+    pub fn stall_profiling_enabled(&self) -> bool {
+        self.stalls
+    }
+
+    /// The stall taxonomy summed over every cell simulated so far, when
+    /// stall profiling is on.
+    #[must_use]
+    pub fn stall_profile(&self) -> Option<StallProfile> {
+        if !self.stalls {
+            return None;
+        }
+        Some(self.stall_accum.lock().expect("stall accum lock").clone())
+    }
+
+    /// Attaches a crash flight recorder: the session notes cell starts,
+    /// completions, timeouts and panics into it, so a post-mortem dump
+    /// shows what the sweep was doing when it died.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// Replaces the per-run [`Watchdog`] (default: generous cycle budget,
@@ -566,9 +638,11 @@ impl<P: Profiler> SweepSession<P> {
     }
 
     /// The usable disk cache, if any: `None` once repeated I/O errors
-    /// latched the session cache-off.
+    /// latched the session cache-off, and `None` whenever stall profiling
+    /// is on (cached entries carry no stall profile, and profiled runs
+    /// must not overwrite the byte-pinned cache entries).
     fn live_cache(&self) -> Option<&DiskCache> {
-        if self.cache_off.load(Ordering::Relaxed) {
+        if self.stalls || self.cache_off.load(Ordering::Relaxed) {
             return None;
         }
         self.cache.as_ref()
@@ -695,19 +769,34 @@ impl<P: Profiler> SweepSession<P> {
     /// Memoized artifacts → watchdogged simulation → cache store for one
     /// cell that lost the cache probe and won the single-flight gate.
     fn simulate_validated(&self, cfg: &SimConfig) -> Result<CellOutcome, RunError> {
+        if let Some(flight) = &self.flight {
+            flight.note("cell_start", &format!("{}/{}", cfg.workload, cfg.technique));
+        }
         let artifacts = self
             .artifacts
             .artifacts_for(cfg, &self.counters, &self.profiler);
         let max_cycles = self.watchdog.max_cycles(cfg);
         let deadline = self.watchdog.deadline();
         let sim = ScopeTimer::start(&self.profiler, Phase::CoreSim);
-        let run =
-            Simulation::run_prepared_budgeted(cfg, NullSink, &artifacts, max_cycles, deadline);
+        let run = Simulation::run_prepared_budgeted(
+            cfg,
+            NullSink,
+            &artifacts,
+            self.stalls,
+            max_cycles,
+            deadline,
+        );
         drop(sim);
         let result = match run {
             Ok(out) => out.result,
             Err(verdict) => {
                 self.counters.run_timeouts.inc();
+                if let Some(flight) = &self.flight {
+                    flight.note(
+                        "cell_timeout",
+                        &format!("{}/{} ({verdict:?})", cfg.workload, cfg.technique),
+                    );
+                }
                 return Err(RunError::Timeout {
                     workload: cfg.workload.clone(),
                     technique: cfg.technique,
@@ -721,6 +810,16 @@ impl<P: Profiler> SweepSession<P> {
         // only: replayed cells did no guest work in this session).
         result.stats.record_into(&self.registry);
         result.mem.record_into(&self.registry);
+        if let Some(profile) = &result.stalls {
+            profile.record_into(&self.registry);
+            self.stall_accum
+                .lock()
+                .expect("stall accum lock")
+                .merge(profile);
+        }
+        if let Some(flight) = &self.flight {
+            flight.note("cell_done", &format!("{}/{}", cfg.workload, cfg.technique));
+        }
         if let Some(cache) = self.live_cache() {
             let store = ScopeTimer::start(&self.profiler, Phase::CacheStore);
             self.cache_io("storing", cfg, || cache.store(cfg, &result));
@@ -871,10 +970,18 @@ impl<P: Profiler> SweepSession<P> {
                             "{}/{} FAILED ({err}; excluded from tables)",
                             cfg.workload, cfg.technique
                         )),
-                        Err(_) => Some(format!(
-                            "{}/{} FAILED (panicked; excluded from tables)",
-                            cfg.workload, cfg.technique
-                        )),
+                        Err(_) => {
+                            if let Some(flight) = &self.flight {
+                                flight.note(
+                                    "cell_panic",
+                                    &format!("{}/{}", cfg.workload, cfg.technique),
+                                );
+                            }
+                            Some(format!(
+                                "{}/{} FAILED (panicked; excluded from tables)",
+                                cfg.workload, cfg.technique
+                            ))
+                        }
                     };
                     if let Some(what) = failure {
                         self.counters.failed.inc();
@@ -936,7 +1043,13 @@ impl<P: Profiler> SweepSession<P> {
     #[must_use]
     pub fn bench_json(&self) -> String {
         let _scope = ScopeTimer::start(&self.profiler, Phase::Serialize);
-        bench_json_from(&self.stats())
+        let stats = self.stats();
+        if self.stalls {
+            let profile = self.stall_accum.lock().expect("stall accum lock").clone();
+            bench_json_with_stalls(&stats, &profile)
+        } else {
+            bench_json_from(&stats)
+        }
     }
 
     /// The full telemetry registry as sorted-key JSON (profiler phase
@@ -998,6 +1111,16 @@ impl<P: Profiler> SweepSession<P> {
                     .set_f64("avf_bit_refined_mean", sanitize_f64(a.bit_refined / n));
             }
         }
+        // Stall attribution headline (optional: present only for sessions
+        // that ran with the cycle-loop stall profiler on).
+        if self.stalls {
+            let p = self.stall_accum.lock().expect("stall accum lock");
+            b.set_f64("quiescent_fraction", sanitize_f64(p.quiescent_fraction()))
+                .set_u64("stall_total_cycles", p.total());
+        }
+        if let Some(flight) = &self.flight {
+            b.set_u64("flight_events", flight.len() as u64);
+        }
         b.render(&self.registry)
     }
 }
@@ -1038,6 +1161,30 @@ pub fn bench_json_from(s: &SweepStats) -> String {
     );
     out.push_str("}\n");
     out
+}
+
+/// [`bench_json_from`] plus the session's aggregate stall attribution:
+/// one `stall_<bucket>_cycles` key per taxonomy bucket, the quiescent
+/// fraction, and the conservation total. Keys stay sorted — the stall
+/// block slots between `"simulated"` and `"threads"` — so the output
+/// remains diff-stable line by line.
+#[must_use]
+pub fn bench_json_with_stalls(s: &SweepStats, p: &StallProfile) -> String {
+    let mut lines: Vec<String> = StallBucket::ALL
+        .iter()
+        .map(|&b| format!("  \"stall_{}_cycles\": {},\n", b.name(), p.count(b)))
+        .collect();
+    lines.push(format!(
+        "  \"stall_quiescent_fraction\": {:.6},\n",
+        sanitize_f64(p.quiescent_fraction())
+    ));
+    lines.push(format!("  \"stall_total_cycles\": {},\n", p.total()));
+    lines.sort_unstable();
+    let mut block: String = lines.concat();
+    let base = bench_json_from(s);
+    debug_assert!(base.contains("  \"threads\":"));
+    block.push_str("  \"threads\":");
+    base.replacen("  \"threads\":", &block, 1)
 }
 
 #[cfg(test)]
@@ -1501,5 +1648,177 @@ mod tests {
             assert!(json.contains(name), "{name} missing from telemetry JSON");
             assert!(prom.contains(name), "{name} missing from Prometheus text");
         }
+    }
+
+    #[test]
+    fn stall_profiled_sweep_conserves_cycles_and_matches_plain_results() {
+        // The stall classifier observes the pipeline, never steers it:
+        // the profiled sweep reproduces every result bit for bit, and the
+        // aggregate bucket tallies sum exactly to the total simulated
+        // cycles (one tally per cycle, by construction).
+        let grid = grid();
+        let plain = SweepSession::new();
+        let stalled = SweepSession::new().stall_profiling(true);
+        assert!(stalled.stall_profiling_enabled());
+        let a = plain.run_all(&grid);
+        let b = stalled.run_all(&grid);
+        // Identical modulo the stall-profile carrier field itself.
+        let stripped: Vec<_> = b
+            .iter()
+            .map(|r| {
+                r.clone().map(|mut r| {
+                    assert!(r.stalls.is_some(), "profiled cells carry a profile");
+                    r.stalls = None;
+                    r
+                })
+            })
+            .collect();
+        assert_eq!(a, stripped);
+        assert!(plain.stall_profile().is_none());
+        let profile = stalled.stall_profile().expect("profiling was on");
+        let total_cycles: u64 = b
+            .iter()
+            .map(|r| r.as_ref().expect("cell completed").stats.cycles)
+            .sum();
+        assert_eq!(profile.total(), total_cycles, "conservation violated");
+        assert!(profile.count(StallBucket::Retiring) > 0);
+        // The registry carries the same tallies for exporters.
+        let recorded: u64 = StallBucket::ALL
+            .iter()
+            .map(|b| {
+                stalled
+                    .registry()
+                    .counter(&format!("rar_stall_{}_cycles_total", b.name()))
+                    .get()
+            })
+            .sum();
+        assert_eq!(recorded, total_cycles);
+    }
+
+    #[test]
+    fn stall_tallies_are_thread_count_invariant() {
+        let grid = grid();
+        let one = SweepSession::new().threads(1).stall_profiling(true);
+        let four = SweepSession::new().threads(4).stall_profiling(true);
+        let _ = one.run_all(&grid);
+        let _ = four.run_all(&grid);
+        assert_eq!(
+            one.stall_profile().unwrap(),
+            four.stall_profile().unwrap(),
+            "stall attribution must not depend on worker scheduling"
+        );
+    }
+
+    #[test]
+    fn bench_json_with_stalls_inserts_sorted_stall_block() {
+        let session = SweepSession::new().stall_profiling(true);
+        let _ = session.run_all(&grid()[..2]);
+        let json = session.bench_json();
+        for bucket in StallBucket::ALL {
+            assert!(
+                json.contains(&format!("\"stall_{}_cycles\":", bucket.name())),
+                "{json}"
+            );
+        }
+        assert!(json.contains("\"stall_quiescent_fraction\":"));
+        assert!(json.contains("\"stall_total_cycles\":"));
+        // The stall block keeps the whole document sorted by key.
+        let keys: Vec<&str> = json
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix('"'))
+            .filter_map(|l| l.split('"').next())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "{json}");
+        // Without profiling, the pinned plain format is untouched.
+        let off = SweepSession::new();
+        let _ = off.run_all(&grid()[..2]);
+        assert!(!off.bench_json().contains("stall_"));
+    }
+
+    #[test]
+    fn stall_profiling_bypasses_the_disk_cache() {
+        // Cached entries carry no stall profile, so a profiled session
+        // must simulate every cell itself — and must not overwrite the
+        // cache a plain session will replay from.
+        let dir = std::env::temp_dir().join(format!("rar-sweep-stalls-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = grid();
+        let warm = SweepSession::with_disk_cache(&dir);
+        let _ = warm.run_all(&grid);
+        let stalled = SweepSession::with_disk_cache(&dir).stall_profiling(true);
+        let _ = stalled.run_all(&grid);
+        let s = stalled.stats();
+        assert_eq!(s.cache_hits, 0, "profiled cells must not replay");
+        assert_eq!(s.simulated, grid.len() as u64);
+        assert!(stalled.stall_profile().unwrap().total() > 0);
+        let replay = SweepSession::with_disk_cache(&dir);
+        let _ = replay.run_all(&grid);
+        assert_eq!(replay.stats().cache_hits, grid.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_carries_quiescent_fraction_when_profiled() {
+        let session = SweepSession::new().stall_profiling(true);
+        let _ = session.run_all(&grid());
+        let manifest = session.manifest_json("rar-sim-tests", "0.1.0");
+        assert_eq!(
+            rar_telemetry::validate_manifest(&manifest),
+            Vec::<String>::new(),
+            "{manifest}"
+        );
+        assert!(manifest.contains("\"quiescent_fraction\":"), "{manifest}");
+        assert!(manifest.contains("\"stall_total_cycles\":"), "{manifest}");
+        let off = SweepSession::new();
+        let _ = off.run_all(&grid()[..1]);
+        assert!(!off
+            .manifest_json("rar-sim-tests", "0.1.0")
+            .contains("quiescent_fraction"));
+    }
+
+    #[test]
+    fn span_recorded_sweep_is_bit_identical_and_nests_phases() {
+        // Span recording is host-side observation only — results match a
+        // plain session exactly — and every recorded phase leaf hangs off
+        // whatever parent the worker thread had adopted.
+        let grid = grid();
+        let log = Arc::new(rar_telemetry::SpanLog::new());
+        let recorded =
+            SweepSession::with_profiler(rar_telemetry::SpanProfiler::new(Arc::clone(&log)));
+        let plain = SweepSession::new();
+        let a = plain.run_all(&grid);
+        let b = recorded.run_all(&grid);
+        assert_eq!(a, b);
+        let spans = log.snapshot();
+        assert!(!spans.is_empty(), "phase leaves were recorded");
+        assert!(spans.iter().any(|s| s.name == "core_sim"));
+        assert!(spans.iter().all(|s| s.dur_nanos.is_some()));
+    }
+
+    #[test]
+    fn flight_recorder_captures_cell_lifecycle_and_timeouts() {
+        let flight = Arc::new(rar_telemetry::FlightRecorder::new(64));
+        let session = SweepSession::new().with_flight_recorder(Arc::clone(&flight));
+        assert!(session.flight_recorder().is_some());
+        let _ = session.run(&grid()[0]);
+        let kinds: Vec<String> = flight.snapshot().iter().map(|e| e.kind.clone()).collect();
+        assert!(kinds.contains(&"cell_start".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"cell_done".to_string()), "{kinds:?}");
+        // A watchdog timeout leaves a cell_timeout breadcrumb.
+        let strangled = Watchdog {
+            cycle_factor: 0,
+            cycle_slack: 1,
+            wall: None,
+        };
+        let session = SweepSession::new()
+            .watchdog(strangled)
+            .with_flight_recorder(Arc::clone(&flight));
+        assert!(session.run(&grid()[0]).is_err());
+        let kinds: Vec<String> = flight.snapshot().iter().map(|e| e.kind.clone()).collect();
+        assert!(kinds.contains(&"cell_timeout".to_string()), "{kinds:?}");
+        let dump = flight.dump_json("test");
+        assert!(dump.contains(rar_telemetry::FLIGHT_SCHEMA));
     }
 }

@@ -76,6 +76,45 @@ fn bucket_bound(i: usize) -> u128 {
     1u128 << i
 }
 
+/// Approximate quantile `q` (in `[0, 1]`) of a log2 histogram: the upper
+/// bound of the first bucket whose cumulative count reaches rank
+/// `ceil(q * count)`. The bound overestimates by at most 2x (one bucket
+/// width); observations that overflowed the finite buckets report
+/// `u64::MAX`. An empty histogram reports 0.
+#[must_use]
+pub fn histogram_quantile(h: &HistogramSnapshot, q: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // ceil(q * count), clamped into [1, count]: precise in u128 arithmetic
+    // for the tail ranks this exporter asks for.
+    let rank = {
+        let scaled = q * h.count as f64;
+        let r = scaled.ceil();
+        if r < 1.0 {
+            1
+        } else if r >= h.count as f64 {
+            h.count
+        } else {
+            // Safe: 1.0 <= r < count, and count fits in u64.
+            r as u64
+        }
+    };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        if cumulative >= rank {
+            return u64::try_from(bucket_bound(i)).unwrap_or(u64::MAX);
+        }
+    }
+    // The rank lands in the overflow bucket: beyond the finite range.
+    u64::MAX
+}
+
+/// The quantiles both exporters derive from every histogram.
+const EXPORTED_QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)];
+
 /// Serializes the registry to a pretty-printed JSON object with sorted
 /// keys (snapshot order). Histogram buckets are emitted as
 /// `[bound, count]` pairs for non-empty buckets only, so the export stays
@@ -107,9 +146,13 @@ pub fn to_json(registry: &MetricsRegistry) -> String {
             MetricValue::Histogram(h) => {
                 let _ = write!(
                     out,
-                    "    \"{key}\": {{\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"overflow\": {}, \"buckets\": [",
+                    "    \"{key}\": {{\"kind\": \"histogram\", \"count\": {}, \"sum\": {}, \"overflow\": {}",
                     h.count, h.sum, h.overflow
                 );
+                for (label, q) in EXPORTED_QUANTILES {
+                    let _ = write!(out, ", \"{label}\": {}", histogram_quantile(h, q));
+                }
+                out.push_str(", \"buckets\": [");
                 let mut first = true;
                 for (b, &n) in h.buckets.iter().enumerate() {
                     if n == 0 {
@@ -201,11 +244,28 @@ fn write_histogram(out: &mut String, name: &str, labels: Option<&str>, h: &Histo
     };
     let _ = writeln!(out, "{} {}", suffix("sum"), h.sum);
     let _ = writeln!(out, "{} {}", suffix("count"), h.count);
+    // Approximate tail quantiles derived from the log2 buckets, exported
+    // as companion gauges so scrapes need no PromQL histogram_quantile.
+    for (label, q) in EXPORTED_QUANTILES {
+        let _ = writeln!(out, "{} {}", suffix(label), histogram_quantile(h, q));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn snapshot_histogram(reg: &MetricsRegistry, name: &str) -> HistogramSnapshot {
+        match reg
+            .snapshot()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+        {
+            Some(MetricValue::Histogram(s)) => *s,
+            other => panic!("expected histogram {name}, got {other:?}"),
+        }
+    }
 
     #[test]
     fn json_export_is_sorted_and_balanced() {
@@ -260,5 +320,58 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("lat_sum 3"));
         assert!(text.contains("lat_count 1"));
+        assert!(text.contains("lat_p50 4"));
+        assert!(text.contains("lat_p99 4"));
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_cumulative_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q_nanos");
+        // 90 observations in bucket le=1, 9 in le=16, 1 in le=1024.
+        for _ in 0..90 {
+            h.observe(1);
+        }
+        for _ in 0..9 {
+            h.observe(16);
+        }
+        h.observe(1000);
+        let snap = snapshot_histogram(&reg, "q_nanos");
+        assert_eq!(histogram_quantile(&snap, 0.50), 1);
+        assert_eq!(histogram_quantile(&snap, 0.90), 1);
+        assert_eq!(histogram_quantile(&snap, 0.95), 16);
+        assert_eq!(histogram_quantile(&snap, 0.99), 16);
+        assert_eq!(histogram_quantile(&snap, 1.0), 1024);
+        assert_eq!(histogram_quantile(&snap, 0.0), 1);
+        let empty = HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(histogram_quantile(&empty, 0.5), 0);
+    }
+
+    #[test]
+    fn json_export_carries_quantiles() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("lat_nanos").observe(100);
+        let json = to_json(&reg);
+        assert!(json.contains("\"p50\": 128"));
+        assert!(json.contains("\"p90\": 128"));
+        assert!(json.contains("\"p99\": 128"));
+    }
+
+    #[test]
+    fn overflow_quantile_reports_saturated() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("big").observe(u64::MAX);
+        let snap = snapshot_histogram(&reg, "big");
+        if snap.overflow > 0 {
+            assert_eq!(histogram_quantile(&snap, 0.99), u64::MAX);
+        } else {
+            // u64::MAX lands in the top finite bucket on this build.
+            assert!(histogram_quantile(&snap, 0.99) >= 1 << 63);
+        }
     }
 }

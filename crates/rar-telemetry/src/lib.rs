@@ -20,18 +20,33 @@
 //!   tool/version, workload set, config fingerprints, thread count, and
 //!   the embedded telemetry snapshot; [`validate_manifest`] is the schema
 //!   gate CI runs on every generated manifest.
+//! * [`SpanRecorder`] spans — causal parent/child wall-clock spans with
+//!   the same `ENABLED`-const contract ([`NullRecorder`] compiles away);
+//!   [`SpanLog`] records, [`SpanProfiler`] adapts [`Phase`] scopes into
+//!   leaf spans.
+//! * [`FlightRecorder`] — bounded ring of recent events dumped as a JSON
+//!   post-mortem on panic, watchdog timeout, or injection DUE.
 
 pub mod cancel;
 pub mod export;
+pub mod flight;
 pub mod manifest;
 pub mod names;
 pub mod profile;
 pub mod progress;
 pub mod registry;
+pub mod span;
 
 pub use cancel::CancelToken;
-pub use export::{labeled, sanitize_f64, sanitize_metric_name, TELEMETRY_SCHEMA};
+pub use export::{
+    histogram_quantile, labeled, sanitize_f64, sanitize_metric_name, TELEMETRY_SCHEMA,
+};
+pub use flight::{FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA};
 pub use manifest::{validate_manifest, ManifestBuilder, MANIFEST_SCHEMA};
 pub use profile::{time, NullProfiler, Phase, Profiler, ScopeTimer, WallProfiler};
 pub use progress::{ProgressReporter, ProgressSnapshot};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, MetricsRegistry};
+pub use span::{
+    thread_parent, NullRecorder, Span, SpanId, SpanLog, SpanProfiler, SpanRecorder,
+    ThreadParentGuard, SPAN_NAMES,
+};

@@ -120,10 +120,15 @@ pub const SERVE_JOBS_RESUMED: &str = "rar_serve_jobs_resumed_total";
 pub const SERVE_JOBS_ACTIVE: &str = "rar_serve_jobs_active";
 /// Worker threads in the daemon's shared pool (gauge).
 pub const SERVE_WORKERS: &str = "rar_serve_workers";
+/// Per-endpoint HTTP request latency (histogram, labeled by `endpoint`).
+pub const SERVE_REQUEST_NANOS: &str = "rar_serve_request_nanos";
+/// Seconds the most recently claimed job spent waiting on the queue
+/// (gauge).
+pub const SERVE_QUEUE_WAIT_SECONDS: &str = "rar_serve_queue_wait_seconds";
 
 /// Every serve-daemon name above (registered by `rar-serve`; kept out of
 /// [`ALL`] so sweep-session export coverage stays exact).
-pub const SERVE_ALL: [&str; 8] = [
+pub const SERVE_ALL: [&str; 10] = [
     SERVE_HTTP_REQUESTS,
     SERVE_JOBS_SUBMITTED,
     SERVE_JOBS_COMPLETED,
@@ -132,6 +137,8 @@ pub const SERVE_ALL: [&str; 8] = [
     SERVE_JOBS_RESUMED,
     SERVE_JOBS_ACTIVE,
     SERVE_WORKERS,
+    SERVE_REQUEST_NANOS,
+    SERVE_QUEUE_WAIT_SECONDS,
 ];
 
 #[cfg(test)]

@@ -1,0 +1,438 @@
+//! Causal span tracing: parent/child wall-clock spans with monotonic
+//! timestamps, recorded cheaply enough to leave on in a daemon.
+//!
+//! The same zero-cost-when-off contract as [`Profiler`](crate::Profiler):
+//! code that wants spans is generic over a [`SpanRecorder`] whose
+//! `ENABLED` constant gates every site, so with [`NullRecorder`] the
+//! clock is never read and the instrumented binary is bit-identical to
+//! the uninstrumented one. The recording implementation, [`SpanLog`],
+//! appends into a bounded in-memory log that a live endpoint can snapshot
+//! at any time (the serve daemon renders one job's subtree as a Chrome
+//! trace at `/v1/jobs/{id}/trace`).
+//!
+//! Span identity is positional: ids are assigned in append order under
+//! the log lock, timestamps are nanoseconds since the log's epoch (one
+//! `Instant`, so they are monotonic and comparable across threads), and
+//! parent links form a forest — `request → queue_wait`/`job → cell →
+//! phase` in the daemon.
+
+use crate::profile::{Phase, Profiler};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Every span name the workspace records, for the `span-names` repo lint:
+/// each [`Phase`] has its leaf-span name here, plus the daemon's
+/// request/queue/job/cell levels. A span recorded under a name missing
+/// from this list is invisible to dashboards that key on it.
+pub const SPAN_NAMES: [&str; 10] = [
+    "request",
+    "queue_wait",
+    "job",
+    "cell",
+    "trace_gen",
+    "core_sim",
+    "liveness",
+    "cache_probe",
+    "cache_store",
+    "serialize",
+];
+
+/// Handle to one recorded span. `SpanId::NONE` means "no span" (a root,
+/// or any id minted by a disabled recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span: roots have it as parent; [`NullRecorder`] returns
+    /// it from every start.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is a real span (minted by a recording recorder).
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// Receiver of spans. `ENABLED == false` implementations make every
+/// recording site compile away, like [`NullProfiler`](crate::NullProfiler).
+pub trait SpanRecorder: Sync + std::fmt::Debug {
+    /// Whether recording sites observe anything at all.
+    const ENABLED: bool = true;
+
+    /// Opens a span named `name` under `parent` (or a root for
+    /// [`SpanId::NONE`]), starting now.
+    fn start(&self, name: &str, parent: SpanId) -> SpanId;
+
+    /// Closes `span`, ending now. Closing [`SpanId::NONE`] or an already
+    /// closed span is a no-op.
+    fn finish(&self, span: SpanId);
+
+    /// Records an already-elapsed leaf span of `dur_nanos` ending now —
+    /// the shape scope timers produce (duration known only at drop).
+    fn leaf(&self, name: &str, parent: SpanId, dur_nanos: u64);
+}
+
+/// The zero-overhead default: drops everything, `ENABLED == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl SpanRecorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn start(&self, _name: &str, _parent: SpanId) -> SpanId {
+        SpanId::NONE
+    }
+
+    #[inline(always)]
+    fn finish(&self, _span: SpanId) {}
+
+    #[inline(always)]
+    fn leaf(&self, _name: &str, _parent: SpanId, _dur_nanos: u64) {}
+}
+
+/// Forward spans through a reference, so one shared recorder can serve
+/// scoped worker threads.
+impl<R: SpanRecorder> SpanRecorder for &R {
+    const ENABLED: bool = R::ENABLED;
+
+    fn start(&self, name: &str, parent: SpanId) -> SpanId {
+        (**self).start(name, parent)
+    }
+
+    fn finish(&self, span: SpanId) {
+        (**self).finish(span);
+    }
+
+    fn leaf(&self, name: &str, parent: SpanId, dur_nanos: u64) {
+        (**self).leaf(name, parent, dur_nanos);
+    }
+}
+
+/// One recorded span: identity, causal parent, and monotonic timing
+/// (nanoseconds since the owning log's epoch; `dur_nanos` is `None`
+/// while the span is still open).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Positional id (1-based append order; 0 never occurs).
+    pub id: u64,
+    /// Parent span id, or 0 for a root.
+    pub parent: u64,
+    /// Span name (one of [`SPAN_NAMES`] plus a free-form detail suffix).
+    pub name: String,
+    /// Start, in nanoseconds since the log epoch.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds; `None` while open.
+    pub dur_nanos: Option<u64>,
+}
+
+/// Most spans a log retains; later spans are counted as dropped. Bounds
+/// daemon memory no matter how many jobs pass through.
+pub const MAX_SPANS: usize = 1 << 16;
+
+/// The recording [`SpanRecorder`]: a bounded append-only span log.
+#[derive(Debug)]
+pub struct SpanLog {
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+    dropped: AtomicU64,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanLog {
+    /// An empty log whose epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanLog::default()
+    }
+
+    /// Nanoseconds elapsed since the log's epoch (the timescale of every
+    /// span in it).
+    #[must_use]
+    pub fn now_nanos(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Spans rejected because the log was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded spans.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span log lock").len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time copy of every recorded span, in append order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.spans.lock().expect("span log lock").clone()
+    }
+
+    /// The subtree rooted at `root`: the root span followed by every
+    /// transitive child, in append order. Empty if `root` was never
+    /// recorded (dropped, or `NONE`).
+    #[must_use]
+    pub fn subtree(&self, root: SpanId) -> Vec<Span> {
+        let spans = self.snapshot();
+        let mut keep = vec![false; spans.len() + 1];
+        if root.0 == 0 || root.0 as usize > spans.len() {
+            return Vec::new();
+        }
+        keep[root.0 as usize] = true;
+        // Ids are append-ordered, so one forward pass closes the set.
+        let mut out = Vec::new();
+        for s in spans {
+            if s.id != root.0 && (s.parent == 0 || !keep[s.parent as usize]) {
+                continue;
+            }
+            keep[s.id as usize] = true;
+            out.push(s);
+        }
+        out
+    }
+
+    fn push(&self, span: Span) -> SpanId {
+        let mut spans = self.spans.lock().expect("span log lock");
+        if spans.len() >= MAX_SPANS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return SpanId::NONE;
+        }
+        let id = spans.len() as u64 + 1;
+        spans.push(Span { id, ..span });
+        SpanId(id)
+    }
+}
+
+impl SpanRecorder for SpanLog {
+    fn start(&self, name: &str, parent: SpanId) -> SpanId {
+        let start_nanos = self.now_nanos();
+        self.push(Span {
+            id: 0,
+            parent: parent.0,
+            name: name.to_owned(),
+            start_nanos,
+            dur_nanos: None,
+        })
+    }
+
+    fn finish(&self, span: SpanId) {
+        if span.0 == 0 {
+            return;
+        }
+        let end = self.now_nanos();
+        let mut spans = self.spans.lock().expect("span log lock");
+        if let Some(s) = spans.get_mut(span.0 as usize - 1) {
+            if s.dur_nanos.is_none() {
+                s.dur_nanos = Some(end.saturating_sub(s.start_nanos));
+            }
+        }
+    }
+
+    fn leaf(&self, name: &str, parent: SpanId, dur_nanos: u64) {
+        let start_nanos = self.now_nanos().saturating_sub(dur_nanos);
+        self.push(Span {
+            id: 0,
+            parent: parent.0,
+            name: name.to_owned(),
+            start_nanos,
+            dur_nanos: Some(dur_nanos),
+        });
+    }
+}
+
+thread_local! {
+    /// The span new leaf spans on this thread attach to (0 = none).
+    static THREAD_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The current thread's leaf-span parent (set by [`ThreadParentGuard`]).
+#[must_use]
+pub fn thread_parent() -> SpanId {
+    SpanId(THREAD_PARENT.with(Cell::get))
+}
+
+/// RAII scope making `span` the current thread's leaf-span parent; the
+/// previous parent is restored on drop. This is how per-cell spans adopt
+/// the [`Phase`] scopes fired deep inside the sweep engine without
+/// threading a parent through every call.
+#[derive(Debug)]
+pub struct ThreadParentGuard {
+    previous: u64,
+}
+
+impl ThreadParentGuard {
+    /// Enters `span` as the thread's current parent.
+    #[must_use]
+    pub fn enter(span: SpanId) -> Self {
+        let previous = THREAD_PARENT.with(|p| p.replace(span.0));
+        ThreadParentGuard { previous }
+    }
+}
+
+impl Drop for ThreadParentGuard {
+    fn drop(&mut self) {
+        THREAD_PARENT.with(|p| p.set(self.previous));
+    }
+}
+
+/// A [`Profiler`] that records each phase scope as a leaf span under the
+/// thread's current parent — how the daemon turns the sweep engine's
+/// existing `ScopeTimer` sites into `cell → phase` leaves. Results stay
+/// bit-identical: like every profiler, it only observes wall clock.
+#[derive(Debug, Clone)]
+pub struct SpanProfiler {
+    log: Arc<SpanLog>,
+}
+
+impl SpanProfiler {
+    /// A profiler recording into `log`.
+    #[must_use]
+    pub fn new(log: Arc<SpanLog>) -> Self {
+        SpanProfiler { log }
+    }
+
+    /// The shared log this profiler records into.
+    #[must_use]
+    pub fn log(&self) -> &Arc<SpanLog> {
+        &self.log
+    }
+}
+
+impl Profiler for SpanProfiler {
+    fn record(&self, phase: Phase, nanos: u64) {
+        self.log.leaf(phase.name(), thread_parent(), nanos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_mints_no_ids() {
+        const { assert!(!NullRecorder::ENABLED) };
+        let id = NullRecorder.start("request", SpanId::NONE);
+        assert_eq!(id, SpanId::NONE);
+        assert!(!id.is_some());
+    }
+
+    #[test]
+    fn spans_nest_and_close_with_monotonic_times() {
+        let log = SpanLog::new();
+        let root = log.start("request", SpanId::NONE);
+        let child = log.start("job", root);
+        log.leaf("core_sim", child, 1_000);
+        log.finish(child);
+        log.finish(root);
+        let spans = log.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[1].parent, root.0);
+        assert_eq!(spans[2].parent, child.0);
+        for s in &spans {
+            let dur = s.dur_nanos.expect("all closed");
+            assert!(s.start_nanos + dur <= log.now_nanos());
+        }
+        // Double-finish stays closed with the original duration.
+        let dur = spans[1].dur_nanos;
+        log.finish(child);
+        assert_eq!(log.snapshot()[1].dur_nanos, dur);
+    }
+
+    #[test]
+    fn subtree_selects_one_request_forest() {
+        let log = SpanLog::new();
+        let a = log.start("request", SpanId::NONE);
+        let a_job = log.start("job", a);
+        let b = log.start("request", SpanId::NONE);
+        let b_job = log.start("job", b);
+        log.leaf("core_sim", a_job, 10);
+        log.leaf("core_sim", b_job, 10);
+        let sub = log.subtree(a);
+        assert_eq!(sub.len(), 3);
+        assert!(sub.iter().all(|s| s.id != b.0 && s.id != b_job.0));
+        assert!(log.subtree(SpanId::NONE).is_empty());
+        assert!(log.subtree(SpanId(999)).is_empty());
+    }
+
+    #[test]
+    fn thread_parent_guard_nests_and_restores() {
+        let log = SpanLog::new();
+        let outer = log.start("cell", SpanId::NONE);
+        assert_eq!(thread_parent(), SpanId::NONE);
+        {
+            let _g = ThreadParentGuard::enter(outer);
+            assert_eq!(thread_parent(), outer);
+            let inner = log.start("cell", SpanId::NONE);
+            {
+                let _g2 = ThreadParentGuard::enter(inner);
+                assert_eq!(thread_parent(), inner);
+            }
+            assert_eq!(thread_parent(), outer);
+        }
+        assert_eq!(thread_parent(), SpanId::NONE);
+    }
+
+    #[test]
+    fn span_profiler_records_phase_leaves_under_the_thread_parent() {
+        let log = Arc::new(SpanLog::new());
+        let prof = SpanProfiler::new(Arc::clone(&log));
+        let cell = log.start("cell", SpanId::NONE);
+        let _g = ThreadParentGuard::enter(cell);
+        prof.record(Phase::CoreSim, 5_000);
+        let spans = log.snapshot();
+        let leaf = spans.last().expect("leaf recorded");
+        assert_eq!(leaf.name, "core_sim");
+        assert_eq!(leaf.parent, cell.0);
+        assert_eq!(leaf.dur_nanos, Some(5_000));
+    }
+
+    #[test]
+    fn every_phase_has_a_registered_span_name() {
+        for phase in Phase::ALL {
+            assert!(
+                SPAN_NAMES.contains(&phase.name()),
+                "phase {} missing from SPAN_NAMES",
+                phase.name()
+            );
+        }
+        let mut names = SPAN_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SPAN_NAMES.len(), "duplicate span name");
+    }
+
+    #[test]
+    fn full_log_counts_drops_instead_of_growing() {
+        let log = SpanLog::new();
+        for _ in 0..MAX_SPANS {
+            log.leaf("cell", SpanId::NONE, 1);
+        }
+        assert_eq!(log.len(), MAX_SPANS);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.start("cell", SpanId::NONE), SpanId::NONE);
+        assert_eq!(log.len(), MAX_SPANS);
+        assert_eq!(log.dropped(), 1);
+    }
+}

@@ -196,6 +196,75 @@ pub fn to_chrome_json(events: &[TraceEvent]) -> String {
     out
 }
 
+/// One causal span, flattened for export. `rar-trace` is dependency-free
+/// by design, so the span log (which lives in `rar-telemetry`) is handed
+/// over as plain data: callers convert their span type into this struct.
+#[derive(Debug, Clone)]
+pub struct SpanSlice {
+    /// Positional span id (non-zero).
+    pub id: u64,
+    /// Parent span id, or 0 for a root.
+    pub parent: u64,
+    /// Registered span name (identifier-safe; no escaping needed).
+    pub name: String,
+    /// Start time in nanoseconds on the span log's monotonic clock.
+    pub start_nanos: u64,
+    /// Duration in nanoseconds (open spans are clamped by the caller).
+    pub dur_nanos: u64,
+}
+
+/// Virtual thread id for causal span lanes.
+const TID_SPANS: u32 = 0;
+
+/// Render causal spans as a complete Chrome Trace Event JSON document.
+///
+/// Spans become `"ph":"X"` complete events on one lane; viewers nest them
+/// by `ts`/`dur` containment, so a well-formed span tree (children within
+/// their parent's interval) renders as the request → job → cell → phase
+/// flame graph. `ts`/`dur` are microseconds with fractional nanoseconds.
+/// Each event's `args` carries the span and parent ids so the causal
+/// edges survive even when intervals tie.
+pub fn spans_to_chrome_json(spans: &[SpanSlice]) -> String {
+    let mut ordered: Vec<&SpanSlice> = spans.iter().collect();
+    // Parents start no later than their children; break ties by id (ids
+    // are allocated in start order) so nesting survives equal timestamps.
+    ordered.sort_by_key(|s| (s.start_nanos, s.id));
+
+    let mut out = String::with_capacity(ordered.len() * 112 + 256);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{TID_SPANS},\"args\":{{\"name\":\"spans\"}}}}"
+    ));
+    for s in &ordered {
+        out.push_str(&format!(
+            ",{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{TID_SPANS},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            s.name,
+            micros(s.start_nanos),
+            micros(s.dur_nanos.max(1)),
+            s.id,
+            s.parent
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+/// Nanoseconds rendered as a microsecond decimal with full precision.
+fn micros(nanos: u64) -> String {
+    let whole = nanos / 1_000;
+    let frac = nanos % 1_000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        // Trailing zeros trimmed so output stays byte-stable and minimal.
+        let mut s = format!("{whole}.{frac:03}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +302,53 @@ mod tests {
         assert!(doc.contains("\"trigger\":\"timer\""));
         assert!(doc.contains("\"dur\":190"));
         assert!(doc.contains("rob-head-blocked"));
+    }
+
+    #[test]
+    fn span_export_nests_by_containment_and_validates() {
+        let spans = [
+            SpanSlice {
+                id: 1,
+                parent: 0,
+                name: "request".to_owned(),
+                start_nanos: 0,
+                dur_nanos: 10_000,
+            },
+            SpanSlice {
+                id: 2,
+                parent: 1,
+                name: "job".to_owned(),
+                start_nanos: 1_500,
+                dur_nanos: 8_000,
+            },
+            SpanSlice {
+                id: 3,
+                parent: 2,
+                name: "cell".to_owned(),
+                start_nanos: 2_000,
+                dur_nanos: 4_321,
+            },
+        ];
+        let doc = spans_to_chrome_json(&spans);
+        jsonv::validate(&doc).expect("valid json");
+        // All three spans present, with causal ids in args.
+        assert!(doc.contains("\"name\":\"request\""));
+        assert!(doc.contains("\"id\":2,\"parent\":1"));
+        assert!(doc.contains("\"id\":3,\"parent\":2"));
+        // Nanosecond fractions render as microsecond decimals.
+        assert!(doc.contains("\"ts\":1.5,"));
+        assert!(doc.contains("\"dur\":4.321,"));
+        // Parents are emitted before children so viewers nest correctly.
+        let req = doc.find("\"name\":\"request\"").expect("request span");
+        let job = doc.find("\"name\":\"job\"").expect("job span");
+        assert!(req < job);
+    }
+
+    #[test]
+    fn empty_span_set_is_valid_json() {
+        let doc = spans_to_chrome_json(&[]);
+        jsonv::validate(&doc).expect("valid json");
+        assert!(doc.contains("thread_name"));
     }
 
     #[test]

@@ -35,6 +35,14 @@
 //!    `.expect(` outside `#[cfg(test)]`: a poisoned lock or bad input
 //!    must become a typed `HttpError` response, never a panicked
 //!    connection or worker thread.
+//! 8. **obs-coverage** — the observability surfaces stay complete: every
+//!    `Phase` leaf-span name (and the daemon's request/queue/job/cell
+//!    levels) is registered in `SPAN_NAMES`, every literal route in the
+//!    daemon's `route()` has a matching per-endpoint latency label in
+//!    `endpoint_label()` (nothing silently lands in `other`), and every
+//!    `StallBucket` variant is named, listed in `ALL`, and rendered by
+//!    both the Prometheus (`record_into`) and JSON (`rar-sim json.rs`)
+//!    export paths plus the bench report.
 //!
 //! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
 //! can gate on it.
@@ -451,6 +459,120 @@ fn lint_serve_panic_paths(lint: &mut Lint) {
     );
 }
 
+/// Lint 8: the observability surfaces stay complete — every profiled
+/// phase has a registered span name, every daemon route has a latency
+/// endpoint label, and every stall bucket reaches both exporters.
+fn lint_obs_coverage(lint: &mut Lint) {
+    println!("obs-coverage");
+    // Every Phase leaf-span name must be registered in SPAN_NAMES, or
+    // the daemon records spans no trace consumer knows to look for.
+    let profile = read("crates/rar-telemetry/src/profile.rs");
+    let span = read("crates/rar-telemetry/src/span.rs");
+    let phase_names: Vec<&str> = profile
+        .lines()
+        .filter(|l| l.trim_start().starts_with("Phase::"))
+        .filter_map(|l| l.split('"').nth(1))
+        .collect();
+    lint.check(
+        "obs-coverage",
+        phase_names.len() >= 6,
+        format!("{} Phase leaf-span names found", phase_names.len()),
+    );
+    for name in &phase_names {
+        lint.check(
+            "obs-coverage",
+            span.contains(&format!("\"{name}\"")),
+            format!("phase {name} is registered in SPAN_NAMES"),
+        );
+    }
+    for name in ["request", "queue_wait", "job", "cell"] {
+        lint.check(
+            "obs-coverage",
+            span.contains(&format!("\"{name}\"")),
+            format!("daemon level {name} is registered in SPAN_NAMES"),
+        );
+    }
+    // Every route the daemon serves must map to a latency-endpoint label:
+    // each literal route pattern in `route()` must reappear in
+    // `endpoint_label()`, so no endpoint silently falls into "other".
+    let server = read("crates/rar-serve/src/server.rs");
+    let label_start = server
+        .find("fn endpoint_label")
+        .expect("endpoint_label exists");
+    let route_start = server[label_start..]
+        .find("fn route")
+        .expect("route exists")
+        + label_start;
+    let label_body = &server[label_start..route_start];
+    let routes: Vec<&str> = server[route_start..]
+        .lines()
+        .take_while(|l| !l.trim_start().starts_with("_ =>"))
+        .map(str::trim_start)
+        .filter(|l| l.starts_with("(\""))
+        .filter_map(|l| l.split(" =>").next())
+        .collect();
+    lint.check(
+        "obs-coverage",
+        routes.len() >= 8,
+        format!("{} literal routes found in route()", routes.len()),
+    );
+    for r in &routes {
+        // Route patterns bind path segments by name (`id`, `index`); the
+        // label arms wildcard them. Normalize bindings to `_` to compare.
+        let normalized = r
+            .replace(", id,", ", _,")
+            .replace(", id]", ", _]")
+            .replace(", index]", ", _]");
+        lint.check(
+            "obs-coverage",
+            label_body.contains(&normalized),
+            format!("route {r} has an endpoint label"),
+        );
+    }
+    // Every stall bucket must reach both exporters. The exporters render
+    // by iterating StallBucket::ALL, so the checks are: no variant is
+    // missing from name()/ALL, and both render paths iterate ALL.
+    let stall = read("crates/rar-core/src/stall.rs");
+    let variants = enum_variants(&stall, "StallBucket");
+    lint.check(
+        "obs-coverage",
+        variants.len() >= 9,
+        format!("{} StallBucket variants found", variants.len()),
+    );
+    for v in &variants {
+        lint.check(
+            "obs-coverage",
+            stall.contains(&format!("StallBucket::{v} =>")),
+            format!("StallBucket::{v} has a name() arm"),
+        );
+        lint.check(
+            "obs-coverage",
+            stall.contains(&format!("StallBucket::{v},")),
+            format!("StallBucket::{v} is listed in StallBucket::ALL"),
+        );
+    }
+    let json = read("crates/rar-sim/src/json.rs");
+    let sweep = read("crates/rar-sim/src/sweep.rs");
+    lint.check(
+        "obs-coverage",
+        stall
+            .split("pub fn record_into")
+            .nth(1)
+            .is_some_and(|body| body.contains("StallBucket::ALL")),
+        "record_into iterates StallBucket::ALL (Prometheus export)".to_owned(),
+    );
+    lint.check(
+        "obs-coverage",
+        json.contains("StallBucket::ALL"),
+        "rar-sim json.rs iterates StallBucket::ALL (JSON export)".to_owned(),
+    );
+    lint.check(
+        "obs-coverage",
+        sweep.contains("StallBucket::ALL"),
+        "bench_json_with_stalls iterates StallBucket::ALL".to_owned(),
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -463,6 +585,7 @@ fn main() -> ExitCode {
             lint_inject_target_bits(&mut lint);
             lint_bit_transfer_coverage(&mut lint);
             lint_serve_panic_paths(&mut lint);
+            lint_obs_coverage(&mut lint);
             if lint.failures.is_empty() {
                 println!("xtask lint: all checks passed");
                 ExitCode::SUCCESS
@@ -507,6 +630,7 @@ mod tests {
         lint_inject_target_bits(&mut lint);
         lint_bit_transfer_coverage(&mut lint);
         lint_serve_panic_paths(&mut lint);
+        lint_obs_coverage(&mut lint);
         assert!(lint.failures.is_empty(), "{:?}", lint.failures);
     }
 
