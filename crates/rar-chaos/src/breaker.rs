@@ -1,0 +1,236 @@
+//! Circuit breaker: closed / open / half-open with a single probe.
+//!
+//! Generalizes the sweep engine's original latched cache-off bit. The
+//! old behavior — one exhausted retry loop disables the disk cache for
+//! the life of the process — is the `cooldown = forever` special case;
+//! the breaker instead re-admits a single probe call after a cooldown
+//! and closes again if the probe succeeds, so a transiently broken disk
+//! (full, remounting, NFS blip) does not permanently cost the cache.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive recorded failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting one probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls are rejected until the cooldown elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Numeric encoding for the `*_breaker_state` gauge
+    /// (0 = closed, 1 = open, 2 = half-open).
+    #[must_use]
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            Self::Closed => 0.0,
+            Self::Open => 1.0,
+            Self::HalfOpen => 2.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    trips: u64,
+}
+
+/// Thread-safe circuit breaker.
+///
+/// Callers bracket the protected operation with [`allow`] and one of
+/// [`record_success`] / [`record_failure`]:
+///
+/// ```
+/// use rar_chaos::{BreakerConfig, CircuitBreaker};
+/// let breaker = CircuitBreaker::new(BreakerConfig::default());
+/// if breaker.allow() {
+///     // ... attempt the guarded operation ...
+///     breaker.record_success();
+/// }
+/// ```
+///
+/// [`allow`]: CircuitBreaker::allow
+/// [`record_success`]: CircuitBreaker::record_success
+/// [`record_failure`]: CircuitBreaker::record_failure
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// New breaker in the closed state.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                trips: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Whether a call may proceed now.
+    ///
+    /// Closed: always. Open: only once the cooldown has elapsed, in
+    /// which case the breaker moves to half-open and this call becomes
+    /// the probe (subsequent `allow` calls return `false` until the
+    /// probe reports its outcome). Half-open: the probe slot is taken.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                let elapsed = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.config.cooldown);
+                if elapsed {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful call: closes the breaker and resets counters.
+    pub fn record_success(&self) {
+        let mut inner = self.lock();
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+        inner.opened_at = None;
+    }
+
+    /// Record a failed call. Returns `true` when this failure tripped
+    /// the breaker open (callers use this to log/count the trip once).
+    pub fn record_failure(&self) -> bool {
+        let mut inner = self.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let should_open = match inner.state {
+            // A failed half-open probe reopens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => inner.consecutive_failures >= self.config.failure_threshold,
+            BreakerState::Open => false,
+        };
+        if should_open {
+            inner.state = BreakerState::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Total number of closed/half-open → open transitions.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_and_blocks() {
+        let b = quick(2, 60_000);
+        assert!(b.allow());
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let b = quick(1, 0);
+        assert!(b.record_failure());
+        // Cooldown of zero: next allow() becomes the probe.
+        assert!(b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe slot is exclusive.
+        assert!(!b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = quick(1, 0);
+        assert!(b.record_failure());
+        assert!(b.allow());
+        assert!(b.record_failure());
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = quick(3, 60_000);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        b.record_success();
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn gauge_encoding_is_stable() {
+        assert!((BreakerState::Closed.as_gauge() - 0.0).abs() < f64::EPSILON);
+        assert!((BreakerState::Open.as_gauge() - 1.0).abs() < f64::EPSILON);
+        assert!((BreakerState::HalfOpen.as_gauge() - 2.0).abs() < f64::EPSILON);
+    }
+}

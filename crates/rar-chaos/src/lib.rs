@@ -1,0 +1,42 @@
+//! Deterministic chaos fabric for the RAR host-side system.
+//!
+//! The paper's thesis is that reliability must be engineered and
+//! *measured*, not assumed. PR 5 applied that to the simulated hardware
+//! (statistical fault injection cross-validating ACE AVF); this crate
+//! applies the same discipline to the host-side system grown around the
+//! simulator — the campaign daemon, its journaled queue, the disk-backed
+//! result cache and the injection journal. Three pieces:
+//!
+//! * [`failpoint`] — named, deterministically scheduled fail-point sites
+//!   threaded through every host I/O and concurrency edge (see
+//!   [`failpoint::sites`] for the catalog). Compiled away entirely unless
+//!   the `enabled` cargo feature is on: without it, [`fire`] is an
+//!   inlined `None` and call sites cost nothing, the same
+//!   compile-away contract as `NullProfiler` / `NullRecorder`.
+//! * [`retry`] — the one shared [`retry_with_backoff`] helper (bounded
+//!   attempts, decorrelated jitter, optional telemetry counter) that
+//!   replaces the three ad-hoc retry loops that had grown independently
+//!   in the sweep cache, the injection journal and the thin HTTP client.
+//! * [`breaker`] — a [`CircuitBreaker`] (closed / open / half-open with a
+//!   single probe) generalizing the sweep engine's old latched
+//!   cache-off bit: instead of disabling the result cache forever after
+//!   one bad probe, the breaker re-probes after a cooldown and closes
+//!   again if the disk recovered.
+//!
+//! Determinism is the design center: a fail-point plan is `(seed, site,
+//! one_in, offset)` tuples, and a site fires on exactly the calls whose
+//! per-site sequence number `n` satisfies `n % one_in == offset`. Two
+//! runs with the same plan inject the same faults at the same points, so
+//! the chaos suite can assert byte-identical convergence against clean
+//! golden runs.
+
+pub mod breaker;
+pub mod failpoint;
+pub mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use failpoint::{
+    clear, fire, injected_counts, install, install_from_env, is_active, maybe_io_err, maybe_panic,
+    maybe_sleep, sites, ChaosHit, ChaosPlan, SitePlan, COMPILED, ENV_VAR,
+};
+pub use retry::{retry_with_backoff, RetryPolicy};

@@ -34,8 +34,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
+use rar_chaos::{retry_with_backoff, RetryPolicy};
 use rar_core::{FaultInjector, PlannedFault};
 use rar_telemetry::{names, CancelToken, Counter, FlightRecorder, MetricsRegistry};
 
@@ -166,10 +166,12 @@ impl Counters {
     }
 }
 
-/// Capped exponential backoff for transient-failure retries: 1 ms, 4 ms,
-/// 16 ms, then 64 ms per further attempt.
-fn backoff(attempt: u32) -> Duration {
-    Duration::from_millis(1u64 << (2 * attempt.min(3)))
+/// Retry shape shared by the journal and executor paths: up to
+/// `max_attempts` tries with jittered 1–64 ms sleeps (the magnitude of
+/// the old capped-exponential loop, now expressed over the workspace's
+/// one [`retry_with_backoff`] helper).
+fn retry_policy(spec: &CampaignSpec) -> RetryPolicy {
+    RetryPolicy::new(spec.max_attempts.max(1), 1, 64)
 }
 
 /// Appends with retry; on persistent failure drops the journal (the
@@ -180,26 +182,30 @@ fn journal_append(
     spec: &CampaignSpec,
     counters: &Counters,
 ) {
+    // Jitter seed: sleeps never influence outcomes, they only need to be
+    // reproducible for chaos-run replay.
+    const JOURNAL_RETRY_SEED: u64 = 0x1a77_ba5e;
     let mut guard = slot.lock().expect("journal lock");
     let Some(writer) = guard.as_mut() else {
         return;
     };
-    for attempt in 0..spec.max_attempts.max(1) {
-        match writer.append(rec) {
-            Ok(synced) => {
-                if synced {
-                    counters.flushes.inc();
-                }
-                return;
-            }
-            Err(_) => {
-                counters.retries.inc();
-                std::thread::sleep(backoff(attempt));
+    let appended = retry_with_backoff(
+        retry_policy(spec),
+        JOURNAL_RETRY_SEED,
+        Some(&counters.retries),
+        |_| writer.append(rec),
+    );
+    match appended {
+        Ok(synced) => {
+            if synced {
+                counters.flushes.inc();
             }
         }
+        Err(_) => {
+            counters.errors.inc();
+            *guard = None;
+        }
     }
-    counters.errors.inc();
-    *guard = None;
 }
 
 /// Runs (or resumes) a campaign.
@@ -277,26 +283,18 @@ where
                     break;
                 }
                 let fault = injector.plan(k);
-                let mut outcome = None;
-                for attempt in 0..spec.max_attempts.max(1) {
-                    match catch_unwind(AssertUnwindSafe(|| execute(k, &fault))) {
-                        Ok(Ok(o)) => {
-                            outcome = Some(o);
-                            break;
+                // Transient executor failures retry under the shared
+                // helper; panics are terminal (classified DuePanic), so
+                // they map to an immediate Ok inside the retried closure.
+                let ran: Result<Outcome, ()> =
+                    retry_with_backoff(retry_policy(spec), k, Some(&counters.retries), |_| {
+                        match catch_unwind(AssertUnwindSafe(|| execute(k, &fault))) {
+                            Ok(Ok(o)) => Ok(o),
+                            Err(_) => Ok(Outcome::DuePanic),
+                            Ok(Err(_transient)) => Err(()),
                         }
-                        Err(_) => {
-                            outcome = Some(Outcome::DuePanic);
-                            break;
-                        }
-                        Ok(Err(_transient)) => {
-                            counters.retries.inc();
-                            if attempt + 1 < spec.max_attempts.max(1) {
-                                std::thread::sleep(backoff(attempt));
-                            }
-                        }
-                    }
-                }
-                let Some(outcome) = outcome else {
+                    });
+                let Ok(outcome) = ran else {
                     failed.fetch_add(1, Ordering::Relaxed);
                     continue;
                 };
@@ -600,7 +598,7 @@ mod tests {
                     // Slow the executor so the cancel lands mid-campaign
                     // instead of after a microsecond blast through 200
                     // instant injections.
-                    std::thread::sleep(Duration::from_millis(1));
+                    std::thread::sleep(std::time::Duration::from_millis(1));
                     Ok(classify(k))
                 },
                 Some(&reg),

@@ -194,6 +194,11 @@ impl JournalWriter {
 
     /// Writes any buffered lines and pushes them to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        // Chaos fail-point: the flush fails before any bytes reach the
+        // file, so the buffered records stay queued for the retry path.
+        // (A retried append re-buffers its record; replay dedups by
+        // sample index, so a duplicated line is benign by design.)
+        rar_chaos::maybe_io_err(rar_chaos::sites::INJECT_JOURNAL_APPEND_ERR)?;
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.buf.clear();

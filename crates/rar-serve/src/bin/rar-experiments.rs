@@ -104,11 +104,12 @@ fn usage() -> ExitCode {
          [--warmup N] [--seed N] [--threads N] [--journal PATH] [--tally-out PATH] [--max N] \
          [--flight-out PATH] [--validate-bitlive]\n\
        rar-experiments serve [--addr A] [--data-dir DIR] [--workers N] [--conn-threads N] \
+                             [--max-queued N] [--request-timeout SECS] [--worker-restarts N] \
          [--no-cache] [--fsync-every N]\n\
        rar-experiments submit --server ADDR (--spec JSON | --spec-file PATH) [--wait] \
          [--timeout SECS] [--out PATH] [--result N]\n\
-       rar-experiments status|cancel|events --server ADDR --id N\n\
-       rar-experiments metrics|shutdown --server ADDR"
+       rar-experiments status|cancel|events --server ADDR --id N [--timeout SECS]\n\
+       rar-experiments metrics|shutdown --server ADDR [--drain]"
     );
     ExitCode::from(2)
 }
@@ -921,9 +922,44 @@ fn serve_cmd(args: &[String]) -> ExitCode {
                 Ok(n) => opts.fsync_every = n.max(1),
                 Err(_) => return usage(),
             },
+            "--max-queued" => match value.parse::<usize>() {
+                Ok(n) => opts.max_queued = n.max(1),
+                Err(_) => return usage(),
+            },
+            "--request-timeout" => match value.parse::<u64>() {
+                Ok(n) => opts.request_timeout = std::time::Duration::from_secs(n.max(1)),
+                Err(_) => return usage(),
+            },
+            "--worker-restarts" => match value.parse::<u32>() {
+                Ok(n) => opts.worker_restarts = n,
+                Err(_) => return usage(),
+            },
             _ => return usage(),
         }
         i += 2;
+    }
+    // Chaos plans cross process boundaries through the environment (the
+    // CI kill-then-restart smoke re-arms the restarted daemon this way).
+    match rar_chaos::install_from_env() {
+        Ok(Some(plan)) => println!(
+            "[rar-serve] chaos plan installed: {} site(s), seed {}",
+            plan.sites.len(),
+            plan.seed
+        ),
+        Ok(None) => {
+            let spec_set = std::env::var(rar_chaos::ENV_VAR).is_ok_and(|v| !v.trim().is_empty());
+            if spec_set && !rar_chaos::COMPILED {
+                eprintln!(
+                    "[rar-serve] warning: {} is set but the chaos fabric is not compiled in \
+                     (build with --features rar-serve/chaos)",
+                    rar_chaos::ENV_VAR
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     let server = match CampaignServer::start(opts) {
         Ok(s) => s,
@@ -948,6 +984,7 @@ fn client_cmd(cmd: &str, args: &[String]) -> ExitCode {
     let mut id: Option<u64> = None;
     let mut spec: Option<String> = None;
     let mut wait = false;
+    let mut drain = false;
     let mut timeout_secs: u64 = 600;
     let mut out: Option<String> = None;
     let mut result_index: usize = 0;
@@ -956,6 +993,11 @@ fn client_cmd(cmd: &str, args: &[String]) -> ExitCode {
         let flag = args[i].as_str();
         if flag == "--wait" {
             wait = true;
+            i += 1;
+            continue;
+        }
+        if flag == "--drain" {
+            drain = true;
             i += 1;
             continue;
         }
@@ -1059,14 +1101,24 @@ fn client_cmd(cmd: &str, args: &[String]) -> ExitCode {
         }
         "events" => {
             let Ok(id) = need_id() else { return usage() };
+            // follow_events reattaches when the stream is dropped (a
+            // restarting or chaos-injected daemon) instead of hanging
+            // or dying mid-tail.
             client
-                .stream("GET", &format!("/v1/jobs/{id}/events"), "", &mut |chunk| {
-                    print!("{chunk}");
-                })
+                .follow_events(
+                    id,
+                    std::time::Duration::from_secs(timeout_secs),
+                    &mut |chunk| {
+                        print!("{chunk}");
+                    },
+                )
                 .inspect(|_| println!())
         }
         "metrics" => client.request("GET", "/metrics", ""),
-        "shutdown" => client.request("POST", "/v1/shutdown", ""),
+        "shutdown" => {
+            let body = if drain { "{\"mode\":\"drain\"}" } else { "" };
+            client.request("POST", "/v1/shutdown", body)
+        }
         _ => return usage(),
     };
     match outcome {

@@ -5,16 +5,28 @@
 //! dependency-free. Understands exactly what the daemon emits:
 //! `Content-Length` bodies and chunked streams, `Connection: close`
 //! semantics.
+//!
+//! Hardened against an unreliable daemon: every socket carries connect
+//! and read/write deadlines (no call hangs forever), idempotent requests
+//! can be retried under the shared `rar-chaos` backoff helper, and
+//! [`ServeClient::follow_events`] reattaches a dropped progress stream
+//! instead of failing a live tail.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::time::Duration;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
-/// One response: status code plus the (fully drained) body.
+use rar_chaos::{retry_with_backoff, RetryPolicy};
+use rar_telemetry::Counter;
+
+/// One response: status code, response headers, and the (fully drained)
+/// body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
     /// Decoded body (de-chunked when the server streamed).
     pub body: String,
 }
@@ -25,29 +37,122 @@ impl Response {
     pub fn ok(&self) -> bool {
         (200..300).contains(&self.status)
     }
+
+    /// First value of the named header (case-insensitive).
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Failures worth retrying: the connection-shaped errors a restarting
+/// daemon, a chaos connection drop, or a stalled-past-deadline socket
+/// produce. Anything else (bad framing, refused routes) is a real error.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
 }
 
 /// A client bound to one server address (`host:port`).
 #[derive(Debug, Clone)]
 pub struct ServeClient {
     addr: String,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    /// Transient transport failures absorbed by retry or reconnect.
+    retries: Counter,
 }
 
 impl ServeClient {
-    /// A client for `addr` (e.g. `127.0.0.1:7878`).
+    /// A client for `addr` (e.g. `127.0.0.1:7878`) with default
+    /// deadlines: 5 s to connect, 30 s per socket read/write.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> ServeClient {
-        ServeClient { addr: addr.into() }
+        ServeClient {
+            addr: addr.into(),
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            retries: Counter::default(),
+        }
+    }
+
+    /// Overrides the connect and read/write deadlines.
+    #[must_use]
+    pub fn with_timeouts(mut self, connect: Duration, read: Duration) -> ServeClient {
+        self.connect_timeout = connect;
+        self.read_timeout = read;
+        self
+    }
+
+    /// Transient transport failures this client has absorbed so far
+    /// (retried requests, reconnected event streams).
+    #[must_use]
+    pub fn transport_retries(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// Connects with the configured deadline, trying each resolved
+    /// address in turn.
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut last: Option<io::Error> = None;
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("no addresses for {}", self.addr),
+            )
+        }))
     }
 
     /// Sends one request and drains the whole response.
     ///
     /// # Errors
     ///
-    /// Connection failures, or a response the daemon would never send
-    /// (missing status line, bad chunk framing).
+    /// Connection failures, a deadline expiring, or a response the
+    /// daemon would never send (missing status line, bad chunk framing).
     pub fn request(&self, method: &str, path: &str, body: &str) -> io::Result<Response> {
         self.stream(method, path, body, &mut |_| {})
+    }
+
+    /// [`ServeClient::request`] retried under the shared backoff helper
+    /// when the failure is connection-shaped (daemon restarting, chaos
+    /// connection drop). Meant for requests that are safe to repeat —
+    /// all the daemon's GETs are; job submission is repeat-safe too
+    /// because jobs are deterministic and idempotent by content, at
+    /// worst costing a duplicate id.
+    ///
+    /// # Errors
+    ///
+    /// The final transient failure once retries are exhausted, or the
+    /// first non-transient failure (those never retry).
+    pub fn request_with_retry(&self, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        // Jitter seed: client backoff never influences daemon state.
+        const CLIENT_RETRY_SEED: u64 = 0xc11e_2775;
+        retry_with_backoff(
+            RetryPolicy::new(5, 25, 800),
+            CLIENT_RETRY_SEED,
+            Some(&self.retries),
+            |_| match self.request(method, path, body) {
+                Err(e) if is_transient(&e) => Err(e),
+                other => Ok(other),
+            },
+        )?
     }
 
     /// Like [`ServeClient::request`], but invokes `on_chunk` with each
@@ -64,8 +169,10 @@ impl ServeClient {
         body: &str,
         on_chunk: &mut dyn FnMut(&str),
     ) -> io::Result<Response> {
-        let mut stream = TcpStream::connect(&self.addr)?;
+        let mut stream = self.connect()?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        stream.set_write_timeout(Some(self.read_timeout))?;
         write!(
             stream,
             "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -77,6 +184,14 @@ impl ServeClient {
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
         reader.read_line(&mut line)?;
+        if line.is_empty() {
+            // Closed before a single status byte (server drop): transient,
+            // unlike a garbled status line, which is a protocol error.
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            ));
+        }
         let status: u16 = line
             .split_whitespace()
             .nth(1)
@@ -88,6 +203,7 @@ impl ServeClient {
                 )
             })?;
 
+        let mut headers: Vec<(String, String)> = Vec::new();
         let mut content_length: Option<usize> = None;
         let mut chunked = false;
         loop {
@@ -110,6 +226,7 @@ impl ServeClient {
                 } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                     chunked = true;
                 }
+                headers.push((name, value.to_owned()));
             }
         }
 
@@ -146,19 +263,77 @@ impl ServeClient {
         } else {
             reader.read_to_string(&mut out)?;
         }
-        Ok(Response { status, body: out })
+        Ok(Response {
+            status,
+            headers,
+            body: out,
+        })
+    }
+
+    /// Follows the job's `/events` stream until the job reaches a
+    /// terminal phase or `timeout` elapses, reconnecting with backoff
+    /// when the stream is dropped or cut mid-flight. Heartbeats are
+    /// stateless snapshots, so "resume" is simply reattaching to the
+    /// job's current state — no events are buffered server-side.
+    ///
+    /// # Errors
+    ///
+    /// Non-transient transport failures, or `timeout` elapsing before
+    /// the job goes terminal.
+    pub fn follow_events(
+        &self,
+        id: u64,
+        timeout: Duration,
+        on_chunk: &mut dyn FnMut(&str),
+    ) -> io::Result<Response> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.stream("GET", &format!("/v1/jobs/{id}/events"), "", on_chunk) {
+                Ok(resp) if !resp.ok() => return Ok(resp),
+                Ok(resp) => {
+                    // A clean end usually means terminal — but a server
+                    // drain also ends streams early, so confirm.
+                    let status = self.request_with_retry("GET", &format!("/v1/jobs/{id}"), "")?;
+                    match crate::jobs::field(&status.body, "status") {
+                        Some(phase) if !matches!(phase, "completed" | "canceled" | "failed") => {
+                            // Still live: fall through and reattach.
+                        }
+                        _ => return Ok(resp),
+                    }
+                }
+                Err(e) if is_transient(&e) => self.retries.inc(),
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("job {id}: events stream not terminal after {timeout:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
     }
 
     /// Polls `GET /v1/jobs/{id}` until the job reaches a terminal phase
     /// (or `timeout` elapses), returning the final status document.
+    /// Transient transport failures — a daemon mid-restart, a chaos
+    /// connection drop — are absorbed and polling continues.
     ///
     /// # Errors
     ///
-    /// Request failures, a non-2xx status, or timeout.
+    /// Non-transient request failures, a non-2xx status, or timeout.
     pub fn wait_for_job(&self, id: u64, timeout: Duration) -> io::Result<Response> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
-            let resp = self.request("GET", &format!("/v1/jobs/{id}"), "")?;
+            let resp = match self.request("GET", &format!("/v1/jobs/{id}"), "") {
+                Ok(resp) => resp,
+                Err(e) if is_transient(&e) && Instant::now() < deadline => {
+                    self.retries.inc();
+                    std::thread::sleep(Duration::from_millis(50));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if !resp.ok() {
                 return Err(io::Error::new(
                     io::ErrorKind::NotFound,
@@ -170,7 +345,7 @@ impl ServeClient {
                     return Ok(resp);
                 }
             }
-            if std::time::Instant::now() >= deadline {
+            if Instant::now() >= deadline {
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
                     format!("job {id} still not terminal after {timeout:?}"),

@@ -181,9 +181,11 @@ pub fn reason(status: u16) -> &'static str {
         201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         405 => "Method Not Allowed",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -196,9 +198,25 @@ pub fn respond(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    respond_with_headers(stream, status, content_type, &[], body)
+}
+
+/// [`respond`] with extra response headers (e.g. the `Retry-After` the
+/// backpressure path sends with its 429).
+pub fn respond_with_headers(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut extra = String::new();
+    for (name, value) in headers {
+        extra.push_str(&format!("{name}: {value}\r\n"));
+    }
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n{body}",
         reason(status),
         body.len(),
     )?;

@@ -22,6 +22,9 @@ use std::io::{self, Write};
 use std::path::Path;
 use std::sync::{Condvar, Mutex};
 
+use rar_chaos::{retry_with_backoff, sites, RetryPolicy};
+use rar_telemetry::Counter;
+
 use crate::jobs::{field, JobPhase, JobSpec};
 
 /// One queued job: identity plus spec.
@@ -59,7 +62,13 @@ impl Ord for Entry {
     }
 }
 
-/// Append-only queue journal with batched fsync.
+/// Append-only queue journal with batched fsync and torn-write rollback.
+///
+/// Every record append is length-verified and rolled back (`set_len` to
+/// the pre-append length) on any failure — torn write, silent short
+/// write, or fsync error — so a retried append can never leave a
+/// half-record mid-file that replay would refuse as corruption. The
+/// chaos fabric's torn/short/fsync fail-points live in this path.
 #[derive(Debug)]
 struct EventLog {
     file: File,
@@ -68,19 +77,76 @@ struct EventLog {
 }
 
 impl EventLog {
-    fn append(&mut self, line: &str) -> io::Result<()> {
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
+    /// Writes `line` + newline at the end of the file, verifying the full
+    /// record landed. On any failure the file is truncated back to its
+    /// pre-append length, so the journal never holds a partial record.
+    /// Returns the pre-append length for the caller's own rollback needs.
+    fn write_record(&mut self, line: &str) -> io::Result<u64> {
+        let start = self.file.metadata()?.len();
+        let mut bytes = Vec::with_capacity(line.len() + 1);
+        bytes.extend_from_slice(line.as_bytes());
+        bytes.push(b'\n');
+        if let Err(e) = self.write_verified(&bytes, start) {
+            let _ = self.file.set_len(start);
+            return Err(e);
+        }
+        Ok(start)
+    }
+
+    fn write_verified(&mut self, bytes: &[u8], start: u64) -> io::Result<()> {
+        if let Some(hit) = rar_chaos::fire(sites::SERVE_QUEUE_JOURNAL_TORN) {
+            // Torn write: a strict prefix lands, then the write errors.
+            let cut = 1 + (hit.roll as usize) % (bytes.len() - 1);
+            self.file.write_all(&bytes[..cut])?;
+            return Err(io::Error::other("chaos: torn queue-journal append"));
+        }
+        if let Some(hit) = rar_chaos::fire(sites::SERVE_QUEUE_JOURNAL_SHORT) {
+            // Silent short write: a prefix lands and the write "succeeds";
+            // only the length verification below catches it.
+            let cut = 1 + (hit.roll as usize) % (bytes.len() - 1);
+            self.file.write_all(&bytes[..cut])?;
+        } else {
+            self.file.write_all(bytes)?;
+        }
+        let end = self.file.metadata()?.len();
+        let want = start + bytes.len() as u64;
+        if end != want {
+            return Err(io::Error::other(format!(
+                "short queue-journal append: file at {end}, expected {want}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Appends one record and pushes it to stable storage immediately,
+    /// rolling the record back if the fsync fails (an unsynced record
+    /// cannot be trusted durable, and a retry must not duplicate it).
+    fn append_durable(&mut self, line: &str) -> io::Result<()> {
+        let start = self.write_record(line)?;
+        self.pending += 1;
+        if let Err(e) = self.sync() {
+            self.pending -= 1;
+            let _ = self.file.set_len(start);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Appends one record under the batched-fsync policy (used for
+    /// terminal events, where losing the tail of the batch in a crash
+    /// merely re-runs a finished job — cheap and idempotent).
+    fn append_batched(&mut self, line: &str) -> io::Result<()> {
+        self.write_record(line)?;
         self.pending += 1;
         if self.pending >= self.fsync_every {
-            self.file.sync_data()?;
-            self.pending = 0;
+            self.sync()?;
         }
         Ok(())
     }
 
     fn sync(&mut self) -> io::Result<()> {
         if self.pending > 0 {
+            rar_chaos::maybe_io_err(sites::SERVE_QUEUE_JOURNAL_FSYNC)?;
             self.file.sync_data()?;
             self.pending = 0;
         }
@@ -101,6 +167,9 @@ struct Inner {
 pub struct JobQueue {
     inner: Mutex<Inner>,
     ready: Condvar,
+    /// Transient journal-append failures absorbed by retry
+    /// (`rar_serve_journal_retries_total` when the server wires it up).
+    retries: Counter,
 }
 
 impl JobQueue {
@@ -114,15 +183,23 @@ impl JobQueue {
     pub fn open(
         journal: Option<&Path>,
         fsync_every: usize,
+        retries: Counter,
     ) -> io::Result<(JobQueue, Vec<QueuedJob>)> {
         let mut resumed: Vec<QueuedJob> = Vec::new();
         let mut next_id = 1;
+        let mut durable_len = 0;
         if let Some(path) = journal {
+            let (events, durable) = load_events(path)?;
+            durable_len = durable;
             let mut live: Vec<QueuedJob> = Vec::new();
-            for event in load_events(path)? {
+            for event in events {
                 match event {
                     QueueEvent::Submitted(job) => {
                         next_id = next_id.max(job.id + 1);
+                        // Dedup by id (last wins): a crash between a
+                        // durable append and the client seeing the ack can
+                        // legitimately resubmit the same id after restart.
+                        live.retain(|j| j.id != job.id);
                         live.push(job);
                     }
                     QueueEvent::Terminal(id) => live.retain(|j| j.id != id),
@@ -137,8 +214,16 @@ impl JobQueue {
                         std::fs::create_dir_all(parent)?;
                     }
                 }
+                let file = OpenOptions::new().create(true).append(true).open(path)?;
+                // Trim the torn tail a crash left behind, or the next
+                // append would fuse onto the partial line and turn a
+                // recoverable tear into mid-file corruption that a later
+                // replay rightly refuses to load.
+                if file.metadata()?.len() > durable_len {
+                    file.set_len(durable_len)?;
+                }
                 Some(EventLog {
-                    file: OpenOptions::new().create(true).append(true).open(path)?,
+                    file,
                     pending: 0,
                     fsync_every: fsync_every.max(1),
                 })
@@ -162,6 +247,7 @@ impl JobQueue {
                     closed: false,
                 }),
                 ready: Condvar::new(),
+                retries,
             },
             resumed,
         ))
@@ -172,18 +258,28 @@ impl JobQueue {
     ///
     /// # Errors
     ///
-    /// Journal write failures (the job is NOT enqueued on error — a job
-    /// that can't be made durable must not half-exist).
+    /// Journal write failures after retries (the job is NOT enqueued on
+    /// error — a job that can't be made durable must not half-exist).
+    /// Transient failures — torn writes, short writes, fsync errors — are
+    /// rolled back and retried under the shared backoff helper, each
+    /// counted in the queue's retry counter.
     pub fn submit(&self, spec: JobSpec) -> io::Result<QueuedJob> {
+        // Jitter seed: retry sleeps never influence queue contents.
+        const SUBMIT_RETRY_SEED: u64 = 0x9_0b5_eed;
         let mut inner = self.inner.lock().expect("queue lock");
         let id = inner.next_id;
         let job = QueuedJob { id, spec };
         if let Some(log) = inner.log.as_mut() {
-            log.append(&format!(
+            let line = format!(
                 "{{\"event\":\"submitted\",\"id\":{id},\"spec\":{}}}",
                 job.spec.to_json()
-            ))?;
-            log.sync()?;
+            );
+            retry_with_backoff(
+                RetryPolicy::quick(),
+                SUBMIT_RETRY_SEED,
+                Some(&self.retries),
+                |_| log.append_durable(&line),
+            )?;
         }
         inner.next_id += 1;
         inner.heap.push(Entry {
@@ -220,6 +316,20 @@ impl JobQueue {
         inner.heap.pop().map(|e| e.job)
     }
 
+    /// Re-enqueues a job a worker claimed but could not finish (its
+    /// thread panicked before running it). No journal write: the job's
+    /// `submitted` event is still the latest durable word on it, exactly
+    /// as if it had never been claimed.
+    pub fn requeue(&self, job: QueuedJob) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.heap.push(Entry {
+            priority: job.spec.priority,
+            job,
+        });
+        drop(inner);
+        self.ready.notify_one();
+    }
+
     /// Removes a still-queued job (cancellation before a worker claimed
     /// it). Returns whether it was found in the heap.
     pub fn remove(&self, id: u64) -> bool {
@@ -236,11 +346,19 @@ impl JobQueue {
     /// finished job being re-run after a restart, which the result cache
     /// and campaign journals make cheap and idempotent.
     pub fn record_terminal(&self, id: u64, phase: JobPhase) {
+        // Jitter seed: retry sleeps never influence queue contents.
+        const TERMINAL_RETRY_SEED: u64 = 0x07e5_10b5;
         debug_assert!(phase.is_terminal());
         let mut inner = self.inner.lock().expect("queue lock");
         if let Some(log) = inner.log.as_mut() {
             let line = format!("{{\"event\":\"{}\",\"id\":{id}}}", phase.name());
-            if let Err(e) = log.append(&line).and_then(|()| log.sync()) {
+            let appended = retry_with_backoff(
+                RetryPolicy::quick(),
+                TERMINAL_RETRY_SEED,
+                Some(&self.retries),
+                |_| log.append_batched(&line),
+            );
+            if let Err(e) = appended {
                 eprintln!("[rar-serve] queue journal append failed: {e}");
             }
         }
@@ -288,27 +406,47 @@ fn parse_event(line: &str) -> Option<QueueEvent> {
     }
 }
 
-fn load_events(path: &Path) -> io::Result<Vec<QueueEvent>> {
+/// Replays the journal, returning its events plus the byte length of
+/// the durable prefix — everything up to and including the last line
+/// that parsed. A torn final line (the crash signature) is tolerated
+/// and excluded from the durable length so [`JobQueue::open`] can trim
+/// it before appending; garbage anywhere earlier is refused.
+fn load_events(path: &Path) -> io::Result<(Vec<QueueEvent>, u64)> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => return Err(e),
     };
-    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
-    let mut out = Vec::with_capacity(lines.len());
-    for (i, line) in lines.iter().enumerate() {
-        match parse_event(line) {
-            Some(ev) => out.push(ev),
-            None if i + 1 == lines.len() => break,
-            None => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("corrupt queue journal line {}: {line}", i + 1),
-                ))
+    let mut out = Vec::new();
+    let mut durable = 0u64;
+    let mut lineno = 0usize;
+    let mut start = 0usize;
+    while start < text.len() {
+        let end = text[start..]
+            .find('\n')
+            .map_or(text.len(), |rel| start + rel + 1);
+        let line = text[start..end].trim();
+        lineno += 1;
+        if line.is_empty() {
+            durable = end as u64;
+        } else {
+            match parse_event(line) {
+                Some(ev) => {
+                    out.push(ev);
+                    durable = end as u64;
+                }
+                None if end == text.len() => break,
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt queue journal line {lineno}: {line}"),
+                    ))
+                }
             }
         }
+        start = end;
     }
-    Ok(out)
+    Ok((out, durable))
 }
 
 #[cfg(test)]
@@ -343,7 +481,7 @@ mod tests {
 
     #[test]
     fn claims_follow_priority_then_submission_order() {
-        let (queue, resumed) = JobQueue::open(None, 1).expect("open");
+        let (queue, resumed) = JobQueue::open(None, 1, Counter::default()).expect("open");
         assert!(resumed.is_empty());
         let low = queue.submit(spec(0)).expect("submit").id;
         let mid_a = queue.submit(spec(5)).expect("submit").id;
@@ -360,7 +498,7 @@ mod tests {
         let path = tmp_journal("resume");
         let ids: Vec<u64>;
         {
-            let (queue, _) = JobQueue::open(Some(&path), 1).expect("open");
+            let (queue, _) = JobQueue::open(Some(&path), 1, Counter::default()).expect("open");
             ids = (0..4)
                 .map(|p| queue.submit(spec(p)).expect("submit").id)
                 .collect();
@@ -368,7 +506,7 @@ mod tests {
             queue.record_terminal(ids[0], JobPhase::Completed);
             queue.record_terminal(ids[2], JobPhase::Canceled);
         }
-        let (queue, resumed) = JobQueue::open(Some(&path), 1).expect("reopen");
+        let (queue, resumed) = JobQueue::open(Some(&path), 1, Counter::default()).expect("reopen");
         let resumed_ids: Vec<u64> = resumed.iter().map(|j| j.id).collect();
         assert_eq!(resumed_ids, vec![ids[3], ids[1]], "priority order");
         assert_eq!(resumed[0].spec, spec(3));
@@ -383,13 +521,14 @@ mod tests {
     fn torn_tail_is_skipped_but_corruption_refuses_to_load() {
         let path = tmp_journal("torn");
         {
-            let (queue, _) = JobQueue::open(Some(&path), 1).expect("open");
+            let (queue, _) = JobQueue::open(Some(&path), 1, Counter::default()).expect("open");
             queue.submit(spec(1)).expect("submit");
         }
         let mut text = std::fs::read_to_string(&path).expect("read");
         text.push_str("{\"event\":\"submitted\",\"id\":2,\"spe");
         std::fs::write(&path, &text).expect("write");
-        let (_, resumed) = JobQueue::open(Some(&path), 1).expect("open with torn tail");
+        let (_, resumed) =
+            JobQueue::open(Some(&path), 1, Counter::default()).expect("open with torn tail");
         assert_eq!(resumed.len(), 1);
 
         let corrupt = text.replace(
@@ -397,14 +536,15 @@ mod tests {
             "{\"event\":\"garbage!!,\"id\":1",
         );
         std::fs::write(&path, corrupt).expect("write");
-        let err = JobQueue::open(Some(&path), 1).expect_err("must refuse corruption");
+        let err =
+            JobQueue::open(Some(&path), 1, Counter::default()).expect_err("must refuse corruption");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn remove_unqueues_and_close_releases_blocked_claims() {
-        let (queue, _) = JobQueue::open(None, 1).expect("open");
+        let (queue, _) = JobQueue::open(None, 1, Counter::default()).expect("open");
         let a = queue.submit(spec(1)).expect("submit").id;
         assert!(queue.remove(a));
         assert!(!queue.remove(a), "already gone");
@@ -432,10 +572,10 @@ mod tests {
             }),
         };
         {
-            let (queue, _) = JobQueue::open(Some(&path), 1).expect("open");
+            let (queue, _) = JobQueue::open(Some(&path), 1, Counter::default()).expect("open");
             queue.submit(spec.clone()).expect("submit");
         }
-        let (_, resumed) = JobQueue::open(Some(&path), 1).expect("reopen");
+        let (_, resumed) = JobQueue::open(Some(&path), 1, Counter::default()).expect("reopen");
         assert_eq!(resumed.len(), 1);
         assert_eq!(resumed[0].spec, spec);
         std::fs::remove_file(&path).ok();

@@ -26,17 +26,31 @@
 //! | `DELETE /v1/jobs/{id}`         | cooperative cancellation                 |
 //! | `GET /v1/jobs/{id}/events`     | chunked live progress stream             |
 //! | `GET /metrics`                 | live Prometheus text (server + session)  |
-//! | `POST /v1/shutdown`            | graceful shutdown                        |
+//! | `GET /healthz`                 | liveness: 200 while the process serves   |
+//! | `GET /readyz`                  | readiness: 503 when draining/no workers  |
+//! | `POST /v1/shutdown`            | shutdown; body `{"mode":"drain"}` drains |
+//!
+//! Resilience: worker threads run under supervisors that requeue the
+//! claimed job and respawn the worker if it panics (bounded respawns);
+//! submissions are refused with `429` + `Retry-After` while the queue is
+//! at capacity and with `503` during a drain; every connection carries a
+//! socket deadline so a wedged peer times out with `408` instead of
+//! pinning a handler thread. The `rar-chaos` fail-point fabric is
+//! threaded through the queue journal, the worker pool and the HTTP
+//! layer (inert unless the `chaos` feature is enabled and a plan is
+//! installed).
 
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use rar_chaos::sites;
 use rar_core::{FaultTarget, Technique};
 use rar_inject::CampaignSpec;
 use rar_sim::inject::{run_injection_campaign, InjectionHarness};
@@ -50,10 +64,10 @@ use rar_telemetry::{
 use rar_trace::chrome::{spans_to_chrome_json, SpanSlice};
 
 use crate::http::{
-    end_chunks, lock, read_request, respond, respond_error, start_chunked, write_chunk, HttpError,
-    Request, RequestError,
+    end_chunks, lock, read_request, respond, respond_error, respond_with_headers, start_chunked,
+    write_chunk, HttpError, Request, RequestError,
 };
-use crate::jobs::{InjectJob, JobKind, JobPhase, JobSpec, SweepJob};
+use crate::jobs::{field, InjectJob, JobKind, JobPhase, JobSpec, SweepJob};
 use crate::queue::{JobQueue, QueuedJob};
 
 /// How a daemon is configured; all knobs have serviceable defaults.
@@ -71,6 +85,17 @@ pub struct ServeOptions {
     pub cache: bool,
     /// Queue-journal records per fsync batch.
     pub fsync_every: usize,
+    /// Most jobs allowed queued (not yet claimed) before submissions are
+    /// refused with `429` + `Retry-After` (bounded-queue backpressure).
+    pub max_queued: usize,
+    /// Per-connection socket deadline: a peer that stops reading or
+    /// writing for this long gets `408` (or a closed socket) instead of
+    /// pinning a handler thread forever.
+    pub request_timeout: Duration,
+    /// Panicked-worker respawns each supervisor allows before retiring
+    /// its slot (the job it was running is failed, not requeued, once
+    /// the budget is spent — at that point the job is the likely cause).
+    pub worker_restarts: u32,
 }
 
 impl Default for ServeOptions {
@@ -82,6 +107,9 @@ impl Default for ServeOptions {
             conn_threads: 4,
             cache: true,
             fsync_every: 8,
+            max_queued: 256,
+            request_timeout: Duration::from_secs(30),
+            worker_restarts: 3,
         }
     }
 }
@@ -102,6 +130,13 @@ struct ServeCounters {
     request_nanos: Histogram,
     /// Queue wait of the most recently claimed job, in seconds.
     queue_wait: Gauge,
+    /// Submissions refused with 429 because the bounded queue was full.
+    rejected: Counter,
+    /// Panicked worker threads respawned by their supervisors.
+    worker_restarts: Counter,
+    /// Transient queue-journal append failures absorbed by retry (the
+    /// handle is cloned into the [`JobQueue`], which does the counting).
+    journal_retries: Counter,
 }
 
 impl ServeCounters {
@@ -117,14 +152,18 @@ impl ServeCounters {
             workers: reg.gauge(names::SERVE_WORKERS),
             request_nanos: reg.histogram(names::SERVE_REQUEST_NANOS),
             queue_wait: reg.gauge(names::SERVE_QUEUE_WAIT_SECONDS),
+            rejected: reg.counter(names::SERVE_JOBS_REJECTED),
+            worker_restarts: reg.counter(names::SERVE_WORKER_RESTARTS),
+            journal_retries: reg.counter(names::SERVE_JOURNAL_RETRIES),
         }
     }
 }
 
 /// Every endpoint label the per-endpoint latency histograms can carry
 /// (the `endpoint-coverage` repo lint checks routes against this list).
-pub const ENDPOINTS: [&str; 9] = [
-    "submit", "metrics", "status", "result", "cancel", "events", "trace", "shutdown", "other",
+pub const ENDPOINTS: [&str; 11] = [
+    "submit", "metrics", "healthz", "readyz", "status", "result", "cancel", "events", "trace",
+    "shutdown", "other",
 ];
 
 /// Maps a parsed request to its latency-histogram endpoint label.
@@ -132,6 +171,8 @@ fn endpoint_label(method: &str, segs: &[&str]) -> &'static str {
     match (method, segs) {
         ("POST", ["v1", "jobs"]) => "submit",
         ("GET", ["metrics"]) => "metrics",
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["readyz"]) => "readyz",
         ("GET", ["v1", "jobs", _]) => "status",
         ("GET", ["v1", "jobs", _, "results", _]) => "result",
         ("DELETE", ["v1", "jobs", _]) => "cancel",
@@ -287,6 +328,16 @@ struct ServerInner {
     counters: ServeCounters,
     data_dir: PathBuf,
     shutdown: CancelToken,
+    /// Set by a drain: stop accepting work, let claimed jobs finish,
+    /// then shut down (the last live worker slot finalizes).
+    draining: CancelToken,
+    /// Bounded-queue backpressure threshold (`ServeOptions::max_queued`).
+    max_queued: usize,
+    /// Per-connection socket deadline (`ServeOptions::request_timeout`).
+    request_timeout: Duration,
+    /// Worker slots not yet retired; readiness and drain finalization
+    /// both key off this.
+    workers_alive: AtomicUsize,
     addr: SocketAddr,
     /// The daemon-wide causal span log every job's tree lives in.
     spans: Arc<SpanLog>,
@@ -312,8 +363,20 @@ impl CampaignServer {
         std::fs::create_dir_all(&opts.data_dir)?;
         let listener = TcpListener::bind(&opts.addr)?;
         let addr = listener.local_addr()?;
+        // Registry first: the queue needs its retry counter from the
+        // first journal replay onward.
+        let registry = MetricsRegistry::new();
+        let counters = ServeCounters::register(&registry);
+        // Zero workers is legitimate (accept-and-journal only; tests use
+        // it to pin jobs in the queued state).
+        let workers = opts.workers;
+        counters.workers.set(workers as f64);
         let journal = opts.data_dir.join("queue.jsonl");
-        let (queue, resumed) = JobQueue::open(Some(&journal), opts.fsync_every)?;
+        let (queue, resumed) = JobQueue::open(
+            Some(&journal),
+            opts.fsync_every,
+            counters.journal_retries.clone(),
+        )?;
         let spans = Arc::new(SpanLog::new());
         let flight = Arc::new(FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY));
         let profiler = SpanProfiler::new(Arc::clone(&spans));
@@ -323,9 +386,6 @@ impl CampaignServer {
             SweepSession::with_profiler(profiler)
         }
         .with_flight_recorder(Arc::clone(&flight));
-        let registry = MetricsRegistry::new();
-        let counters = ServeCounters::register(&registry);
-        counters.workers.set(opts.workers as f64);
         let inner = Arc::new(ServerInner {
             session,
             queue,
@@ -334,6 +394,10 @@ impl CampaignServer {
             counters,
             data_dir: opts.data_dir.clone(),
             shutdown: CancelToken::new(),
+            draining: CancelToken::new(),
+            max_queued: opts.max_queued.max(1),
+            request_timeout: opts.request_timeout,
+            workers_alive: AtomicUsize::new(workers),
             addr,
             spans,
             flight,
@@ -353,12 +417,11 @@ impl CampaignServer {
         }
 
         let mut threads = Vec::new();
-        for _ in 0..opts.workers {
+        for index in 0..workers {
             let inner = Arc::clone(&inner);
+            let budget = opts.worker_restarts;
             threads.push(std::thread::spawn(move || {
-                while let Some(job) = inner.queue.claim() {
-                    inner.run_job(&job);
-                }
+                inner.supervise_worker(index, budget);
             }));
         }
         let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
@@ -425,6 +488,14 @@ impl CampaignServer {
         self.inner.initiate_shutdown();
     }
 
+    /// Begins a graceful drain: readiness flips to 503, new submissions
+    /// are refused, jobs already claimed run to completion, queued jobs
+    /// stay journaled for the next start — then the daemon shuts itself
+    /// down (the last worker slot to exit finalizes).
+    pub fn initiate_drain(&self) {
+        self.inner.initiate_drain();
+    }
+
     /// Blocks until every server thread exits (i.e. until shutdown).
     pub fn wait(self) {
         for t in self.threads {
@@ -437,6 +508,12 @@ impl CampaignServer {
         self.initiate_shutdown();
         self.wait();
     }
+
+    /// [`CampaignServer::initiate_drain`] + [`CampaignServer::wait`].
+    pub fn drain(self) {
+        self.initiate_drain();
+        self.wait();
+    }
 }
 
 impl ServerInner {
@@ -445,6 +522,141 @@ impl ServerInner {
         self.queue.close();
         // Unblock the acceptor, which is parked in accept().
         let _ = TcpStream::connect(self.addr);
+    }
+
+    fn initiate_drain(&self) {
+        self.draining.cancel();
+        // Closing the queue lets each worker finish its current job and
+        // exit; the last supervisor out calls `initiate_shutdown`. HTTP
+        // stays up meanwhile so status, results and metrics remain
+        // scrapeable while claimed jobs run out.
+        self.queue.close();
+        if self.workers_alive.load(Ordering::Acquire) == 0 {
+            // Every slot already retired (e.g. exhausted restart
+            // budgets): nobody is left to finalize the drain.
+            self.initiate_shutdown();
+        }
+    }
+
+    // ---- worker supervision --------------------------------------------
+
+    /// Runs one worker slot under supervision: jobs are claimed on a
+    /// child thread, and if that thread panics the supervisor requeues
+    /// the job it had claimed and respawns it — at most `budget` times,
+    /// after which the claimed job is failed (at that point the job
+    /// itself is the likely culprit) and the slot retires. The last live
+    /// slot to exit during a drain finalizes the shutdown.
+    fn supervise_worker(self: &Arc<Self>, index: usize, budget: u32) {
+        let mut restarts = 0u32;
+        loop {
+            let claimed: Arc<Mutex<Option<QueuedJob>>> = Arc::new(Mutex::new(None));
+            let worker = {
+                let inner = Arc::clone(self);
+                let claimed = Arc::clone(&claimed);
+                std::thread::spawn(move || inner.worker_loop(&claimed))
+            };
+            if worker.join().is_ok() {
+                break; // queue closed: a clean exit, not a crash
+            }
+            // The worker panicked. Recover the job it had claimed — the
+            // slot lock is only ever held for a store, so even a poisoned
+            // lock still yields the job.
+            let orphan = claimed
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take();
+            restarts += 1;
+            if restarts > budget {
+                eprintln!(
+                    "[rar-serve] worker {index}: panicked {restarts} times, retiring the slot"
+                );
+                if let Some(job) = orphan {
+                    self.fail_orphaned_job(&job);
+                }
+                break;
+            }
+            self.counters.worker_restarts.inc();
+            self.flight.note(
+                "worker_restart",
+                &format!("worker {index} respawned after a panic ({restarts}/{budget})"),
+            );
+            if let Some(job) = orphan {
+                self.requeue_orphaned_job(job);
+            }
+        }
+        // Slot accounting: readiness keys off live slots, and the last
+        // slot out of a drain completes the shutdown (the queue is
+        // already closed then, so no claim can race the handoff).
+        let left = self.workers_alive.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.counters.workers.set(left as f64);
+        if left == 0 && self.draining.is_canceled() {
+            self.initiate_shutdown();
+        }
+    }
+
+    /// The claim loop a supervised worker thread runs. Each claimed job
+    /// is parked in the slot before it runs, so the supervisor can
+    /// recover exactly this job if the thread dies under it.
+    fn worker_loop(self: &Arc<Self>, claimed: &Mutex<Option<QueuedJob>>) {
+        while let Some(job) = self.queue.claim() {
+            if let Ok(mut slot) = claimed.lock() {
+                *slot = Some(job.clone());
+            }
+            // The worker-panic fail-point fires here — after the claim is
+            // parked — so chaos runs prove the requeue path converges.
+            rar_chaos::maybe_panic(sites::SERVE_WORKER_PANIC);
+            self.run_job(&job);
+            if let Ok(mut slot) = claimed.lock() {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Returns a panicked worker's claimed job to the queue, resetting
+    /// its handle so the next claim runs it from the top (sweep cells
+    /// replay from the result cache; injections resume from their
+    /// campaign journals). No journal write: the job's `submitted` event
+    /// is still its latest durable word, exactly as if never claimed.
+    fn requeue_orphaned_job(&self, job: QueuedJob) {
+        if let Ok(Some(handle)) = self.handle(job.id) {
+            if let Ok(mut st) = lock(&handle.state, "job state") {
+                if !st.phase.is_terminal() {
+                    st.phase = JobPhase::Queued;
+                    st.completed = 0;
+                    st.failed = 0;
+                    st.results.clear();
+                    st.error = None;
+                }
+            }
+        }
+        self.flight.note(
+            "worker_requeue",
+            &format!("job {} requeued after a worker panic", job.id),
+        );
+        self.queue.requeue(job);
+    }
+
+    /// Fails the job a retiring worker slot had claimed: after the full
+    /// restart budget died under the same job, requeueing it again would
+    /// only grind the remaining slots down too.
+    fn fail_orphaned_job(&self, job: &QueuedJob) {
+        if let Ok(Some(handle)) = self.handle(job.id) {
+            if let Err(e) = self.dump_flight(&handle, "worker_retired") {
+                eprintln!("[rar-serve] job {}: {e}", job.id);
+            }
+            if let Ok(mut st) = lock(&handle.state, "job state") {
+                if !st.phase.is_terminal() {
+                    st.phase = JobPhase::Failed;
+                    st.error =
+                        Some("worker thread panicked repeatedly running this job".to_owned());
+                }
+            }
+        }
+        self.queue.record_terminal(job.id, JobPhase::Failed);
+        self.counters.failed.inc();
+        if let Err(e) = self.refresh_active() {
+            eprintln!("[rar-serve] job {}: {e}", job.id);
+        }
     }
 
     fn handle(&self, id: u64) -> Result<Option<Arc<JobHandle>>, HttpError> {
@@ -703,10 +915,23 @@ impl ServerInner {
     // ---- HTTP ----------------------------------------------------------
 
     fn handle_connection(self: &Arc<Self>, stream: &mut TcpStream) {
+        // Per-request deadline: a peer that stops sending or reading
+        // times the socket out instead of pinning this handler thread.
+        let _ = stream.set_read_timeout(Some(self.request_timeout));
+        let _ = stream.set_write_timeout(Some(self.request_timeout));
         let req = match read_request(stream) {
             Ok(req) => req,
             Err(RequestError::TooLarge(what)) => {
                 let _ = respond(stream, 413, "text/plain", &format!("{what}\n"));
+                return;
+            }
+            Err(RequestError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let _ = respond(stream, 408, "text/plain", "request deadline exceeded\n");
                 return;
             }
             Err(e) => {
@@ -714,6 +939,14 @@ impl ServerInner {
                 return;
             }
         };
+        // Connection-level chaos fires between parsing and routing: a
+        // stall exercises client read timeouts, a drop leaves the client
+        // a closed socket and no response (its request may or may not
+        // have taken effect — exactly the ambiguity real networks give).
+        rar_chaos::maybe_sleep(sites::SERVE_HTTP_CONN_STALL, 100);
+        if rar_chaos::fire(sites::SERVE_HTTP_CONN_DROP).is_some() {
+            return;
+        }
         self.counters.http_requests.inc();
         let started = Instant::now();
         let outcome = self.route(stream, &req);
@@ -745,12 +978,34 @@ impl ServerInner {
         match (req.method.as_str(), segs.as_slice()) {
             ("POST", ["v1", "jobs"]) => self.submit_route(stream, &req.body),
             ("GET", ["metrics"]) => {
-                let text = format!(
+                let mut text = format!(
                     "{}{}",
                     export::to_prometheus(&self.registry),
                     self.session.telemetry_prometheus()
                 );
+                // Chaos-fabric injection counts by fail-point site: zero
+                // series in production builds (the fabric compiles away)
+                // and in runs with no plan installed.
+                for (site, count) in rar_chaos::injected_counts() {
+                    text.push_str(&format!(
+                        "{}{{site=\"{site}\"}} {count}\n",
+                        names::CHAOS_INJECTIONS
+                    ));
+                }
                 respond(stream, 200, "text/plain; version=0.0.4", &text)
+            }
+            ("GET", ["healthz"]) => respond(stream, 200, "text/plain", "ok\n"),
+            ("GET", ["readyz"]) => {
+                // Liveness vs readiness: the process can be healthy while
+                // refusing new work (draining) or unable to make progress
+                // (every worker slot retired).
+                if self.shutdown.is_canceled() || self.draining.is_canceled() {
+                    respond(stream, 503, "text/plain", "draining\n")
+                } else if self.workers_alive.load(Ordering::Acquire) == 0 {
+                    respond(stream, 503, "text/plain", "no live workers\n")
+                } else {
+                    respond(stream, 200, "text/plain", "ready\n")
+                }
             }
             ("GET", ["v1", "jobs", id]) => match self.parse_handle(id) {
                 Ok(Some(handle)) => match handle.status_json() {
@@ -765,13 +1020,20 @@ impl ServerInner {
             ("GET", ["v1", "jobs", id, "events"]) => self.events_route(stream, id),
             ("GET", ["v1", "jobs", id, "trace"]) => self.trace_route(stream, id),
             ("POST", ["v1", "shutdown"]) => {
-                respond(
-                    stream,
-                    200,
-                    "application/json",
-                    "{\"status\":\"shutting-down\"}\n",
-                )?;
-                self.initiate_shutdown();
+                // `{"mode":"drain"}` finishes claimed jobs before
+                // exiting; the default stops claiming immediately.
+                let drain = field(&req.body, "mode") == Some("drain");
+                let status = if drain {
+                    "{\"status\":\"draining\"}\n"
+                } else {
+                    "{\"status\":\"shutting-down\"}\n"
+                };
+                respond(stream, 200, "application/json", status)?;
+                if drain {
+                    self.initiate_drain();
+                } else {
+                    self.initiate_shutdown();
+                }
                 Ok(())
             }
             _ => respond(stream, 404, "text/plain", "unknown route\n"),
@@ -792,6 +1054,23 @@ impl ServerInner {
         };
         if self.shutdown.is_canceled() {
             return respond(stream, 503, "text/plain", "shutting down\n");
+        }
+        if self.draining.is_canceled() {
+            return respond(stream, 503, "text/plain", "draining\n");
+        }
+        // Bounded-queue backpressure: refuse new work while the backlog
+        // is at capacity instead of journaling unbounded liabilities.
+        // The length check races concurrent submits, so the bound is
+        // approximate by a few entries — fine for a load shedder.
+        if self.queue.len() >= self.max_queued {
+            self.counters.rejected.inc();
+            return respond_with_headers(
+                stream,
+                429,
+                "text/plain",
+                &[("Retry-After", "1")],
+                "queue full, retry later\n",
+            );
         }
         // The jobs lock is taken BEFORE the job is enqueued and held
         // until its handle is registered: `queue.submit` wakes a worker,
@@ -955,7 +1234,9 @@ impl ServerInner {
                 write_chunk(stream, &format!("job {} {}\n", handle.id, phase.name()))?;
                 break;
             }
-            if self.shutdown.is_canceled() {
+            if self.shutdown.is_canceled() || self.draining.is_canceled() {
+                // A drain closes the queue, so a still-queued job would
+                // never reach terminal: end the stream rather than hang.
                 write_chunk(stream, "server shutting down\n")?;
                 break;
             }

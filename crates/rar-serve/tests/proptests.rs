@@ -1,0 +1,122 @@
+// Gated: needs the external `proptest` crate, which offline builds cannot
+// resolve. Restore the dev-dependency and run with `--features proptests`.
+#![cfg(feature = "proptests")]
+//! Property twin of `tests/torn_tail.rs`: for a randomly generated
+//! submit/terminal history truncated at a random byte offset, journal
+//! recovery must succeed, resume exactly the jobs whose records landed
+//! complete, and leave the file appendable. The exhaustive
+//! every-offset sweep in `tests/torn_tail.rs` always runs.
+
+use proptest::prelude::*;
+use rar_serve::{JobKind, JobPhase, JobQueue, JobSpec, SweepJob};
+use rar_telemetry::Counter;
+
+fn spec(priority: i64) -> JobSpec {
+    JobSpec {
+        priority,
+        kind: JobKind::Sweep(SweepJob {
+            workloads: vec!["mcf".to_owned()],
+            techniques: vec![rar_core::Technique::Rar],
+            seeds: vec![1],
+            instructions: 1_000,
+            warmup: 100,
+        }),
+    }
+}
+
+/// One step of journal history: submit a new job, or (when possible)
+/// record a terminal event for the live job picked by `pick`.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Submit { priority: i64 },
+    Finish { pick: usize },
+}
+
+fn history_strategy() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i64..10).prop_map(|priority| Step::Submit { priority }),
+            (0usize..8).prop_map(|pick| Step::Finish { pick }),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #[test]
+    fn any_truncation_of_any_history_recovers_the_complete_prefix(
+        steps in history_strategy(),
+        cut_frac in 0.0f64..=1.0,
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "rar-torn-prop-{}-{}",
+            std::process::id(),
+            cut_frac.to_bits(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let journal = dir.join("queue.jsonl");
+
+        // Replay the generated history through a real journaled queue,
+        // keeping a model of the live set after every *record*.
+        let mut live: Vec<u64> = Vec::new();
+        let mut after_record: Vec<Vec<u64>> = Vec::new();
+        {
+            let (queue, _) = JobQueue::open(Some(&journal), 1, Counter::default())
+                .expect("open fresh journal");
+            for step in &steps {
+                match *step {
+                    Step::Submit { priority } => {
+                        let id = queue.submit(spec(priority)).expect("submit").id;
+                        live.push(id);
+                    }
+                    Step::Finish { pick } => {
+                        if live.is_empty() {
+                            continue; // no record written
+                        }
+                        let id = live.remove(pick % live.len());
+                        queue.record_terminal(id, JobPhase::Completed);
+                    }
+                }
+                after_record.push(live.clone());
+            }
+        }
+
+        let bytes = std::fs::read(&journal).expect("journal bytes");
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = ((bytes.len() as f64) * cut_frac).round() as usize;
+        let cut = cut.min(bytes.len());
+
+        // The expected live set: the state after the last record whose
+        // content (newline optional) fits inside the cut.
+        let newlines: Vec<usize> = bytes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| (b == b'\n').then_some(i))
+            .collect();
+        let complete = newlines.iter().filter(|&&nl| cut >= nl).count();
+        let mut expected = if complete == 0 {
+            Vec::new()
+        } else {
+            after_record[complete - 1].clone()
+        };
+        expected.sort_unstable();
+
+        std::fs::write(&journal, &bytes[..cut]).expect("truncate");
+        let (queue, resumed) = JobQueue::open(Some(&journal), 1, Counter::default())
+            .expect("reopen truncated journal");
+        let mut got: Vec<u64> = resumed.iter().map(|j| j.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected, "cut {} of {}", cut, bytes.len());
+
+        // Recovery must leave the journal appendable: a fresh submit
+        // lands on a clean line and survives another replay.
+        let id = queue.submit(spec(0)).expect("append after recovery").id;
+        drop(queue);
+        let (_, resumed) = JobQueue::open(Some(&journal), 1, Counter::default())
+            .expect("reopen after append");
+        prop_assert!(resumed.iter().any(|j| j.id == id));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

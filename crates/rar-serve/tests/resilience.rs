@@ -1,0 +1,191 @@
+//! Resilience surface tests against a live daemon — no chaos feature
+//! required. Covers the operational hardening directly: liveness and
+//! readiness probes, graceful drain (in-flight jobs finish, journal
+//! records the terminal event), bounded-queue backpressure (`429` +
+//! `Retry-After`), and per-request deadlines (`408`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rar_serve::{CampaignServer, ServeClient, ServeOptions};
+use rar_telemetry::names;
+
+/// A unique scratch dir per test; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("rar-resil-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn boot_with(
+    scratch: &Scratch,
+    opts: impl FnOnce(&mut ServeOptions),
+) -> (CampaignServer, ServeClient) {
+    let mut o = ServeOptions {
+        data_dir: scratch.0.clone(),
+        ..ServeOptions::default()
+    };
+    opts(&mut o);
+    let server = CampaignServer::start(o).expect("server start");
+    let client = ServeClient::new(server.addr().to_string());
+    (server, client)
+}
+
+fn submitted_id(body: &str) -> u64 {
+    rar_serve::jobs::u64_field(body, "id")
+        .expect("id parses")
+        .expect("id present")
+}
+
+fn prom_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing"))
+}
+
+const SPEC: &str = "{\"kind\":\"single\",\"workload\":\"mcf\",\"technique\":\"rar\",\
+                    \"instructions\":2000,\"warmup\":300}";
+
+#[test]
+fn healthz_is_always_ok_and_readyz_tracks_workers() {
+    let scratch = Scratch::new("probes");
+    let (server, client) = boot_with(&scratch, |o| o.workers = 1);
+
+    let health = client.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!((health.status, health.body.as_str()), (200, "ok\n"));
+
+    let ready = client.request("GET", "/readyz", "").expect("readyz");
+    assert_eq!(ready.status, 200, "{}", ready.body);
+    server.stop();
+
+    // A worker-less daemon accepts and journals but cannot make
+    // progress: alive, not ready.
+    let scratch = Scratch::new("probes-noworkers");
+    let (server, client) = boot_with(&scratch, |o| o.workers = 0);
+    let health = client.request("GET", "/healthz", "").expect("healthz");
+    assert_eq!(health.status, 200);
+    let ready = client.request("GET", "/readyz", "").expect("readyz");
+    assert_eq!(ready.status, 503, "{}", ready.body);
+    assert!(ready.body.contains("no live workers"), "{}", ready.body);
+    server.stop();
+}
+
+#[test]
+fn drain_finishes_inflight_work_then_exits() {
+    let scratch = Scratch::new("drain");
+    let (server, client) = boot_with(&scratch, |o| o.workers = 1);
+
+    let resp = client.request("POST", "/v1/jobs", SPEC).expect("submit");
+    assert_eq!(resp.status, 201, "{}", resp.body);
+    let id = submitted_id(&resp.body);
+
+    // Wait until the worker has claimed the job, so the drain really
+    // does have in-flight work to finish.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let status = client
+            .request("GET", &format!("/v1/jobs/{id}"), "")
+            .expect("status");
+        if !status.body.contains("\"status\":\"queued\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never left the queue");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let resp = client
+        .request("POST", "/v1/shutdown", "{\"mode\":\"drain\"}")
+        .expect("drain request");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"status\":\"draining\""),
+        "{}",
+        resp.body
+    );
+
+    // While draining the daemon stays alive but reports not-ready. The
+    // drain may complete between these two requests, so a refused
+    // connection is also acceptable.
+    if let Ok(ready) = client.request("GET", "/readyz", "") {
+        assert_eq!(ready.status, 503, "{}", ready.body);
+    }
+
+    // The drain must let the claimed job finish and then stop the
+    // server on its own — no explicit stop() here.
+    server.wait();
+
+    // The journal's last word on the job must be a terminal event: the
+    // drain completed it rather than abandoning it mid-run.
+    let journal = std::fs::read_to_string(scratch.0.join("queue.jsonl")).expect("journal readable");
+    assert!(
+        journal.contains("\"event\":\"completed\""),
+        "journal lacks the terminal event:\n{journal}"
+    );
+}
+
+#[test]
+fn full_queue_rejects_submissions_with_retry_after() {
+    let scratch = Scratch::new("backpressure");
+    // No workers: submissions stay queued, so the bound is hit exactly.
+    let (server, client) = boot_with(&scratch, |o| {
+        o.workers = 0;
+        o.max_queued = 2;
+    });
+
+    for _ in 0..2 {
+        let resp = client.request("POST", "/v1/jobs", SPEC).expect("submit");
+        assert_eq!(resp.status, 201, "{}", resp.body);
+    }
+    let refused = client.request("POST", "/v1/jobs", SPEC).expect("submit");
+    assert_eq!(refused.status, 429, "{}", refused.body);
+    assert_eq!(refused.header("retry-after"), Some("1"));
+
+    let metrics = client.request("GET", "/metrics", "").expect("metrics");
+    assert!(
+        (prom_value(&metrics.body, names::SERVE_JOBS_REJECTED) - 1.0).abs() < f64::EPSILON,
+        "rejection counter must record the refused submit"
+    );
+    server.stop();
+}
+
+#[test]
+fn stalled_requests_hit_the_deadline_with_408() {
+    let scratch = Scratch::new("deadline");
+    let (server, _client) = boot_with(&scratch, |o| {
+        o.workers = 0;
+        o.request_timeout = Duration::from_millis(200);
+    });
+
+    // Open a raw socket, send half a request, and stall. The daemon
+    // must give up at the deadline instead of pinning the handler
+    // thread forever.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 10\r\n\r\n")
+        .expect("partial request");
+    stream.flush().expect("flush");
+
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .expect("read status");
+    assert!(
+        line.starts_with("HTTP/1.1 408"),
+        "expected a 408 deadline response, got {line:?}"
+    );
+    server.stop();
+}

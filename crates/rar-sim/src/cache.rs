@@ -83,11 +83,19 @@ impl DiskCache {
     /// be read (permissions, device errors, a file where the cache
     /// directory should be). `NotFound` is a miss, not an error.
     pub fn try_load(&self, cfg: &SimConfig) -> std::io::Result<Option<SimResult>> {
-        let text = match std::fs::read_to_string(self.entry_path(cfg)) {
+        rar_chaos::maybe_sleep(rar_chaos::sites::SIM_CACHE_IO_SLOW, 20);
+        rar_chaos::maybe_io_err(rar_chaos::sites::SIM_CACHE_READ_ERR)?;
+        let mut text = match std::fs::read_to_string(self.entry_path(cfg)) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
+        if rar_chaos::fire(rar_chaos::sites::SIM_CACHE_READ_CORRUPT).is_some() {
+            // Truncating to half strips trailing fields the strict decoder
+            // requires, so a corrupted entry always degrades to a miss and
+            // the cell is re-simulated — never silently decoded wrong.
+            text.truncate(text.len() / 2);
+        }
         Ok(decode(&text, cfg))
     }
 
@@ -101,6 +109,8 @@ impl DiskCache {
     /// created or the entry cannot be written; callers typically treat
     /// this as a warning (the sweep still has the in-memory result).
     pub fn store(&self, cfg: &SimConfig, result: &SimResult) -> std::io::Result<()> {
+        rar_chaos::maybe_sleep(rar_chaos::sites::SIM_CACHE_IO_SLOW, 20);
+        rar_chaos::maybe_io_err(rar_chaos::sites::SIM_CACHE_WRITE_ERR)?;
         std::fs::create_dir_all(&self.dir)?;
         let text = encode(cfg, result);
         let tmp = self

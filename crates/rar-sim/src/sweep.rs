@@ -54,6 +54,7 @@
 use crate::cache::DiskCache;
 use crate::config::SimConfig;
 use crate::run::{refinement_horizon, RunArtifacts, SimResult, Simulation};
+use rar_chaos::{retry_with_backoff, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 use rar_core::{RunVerdict, StallBucket, StallProfile};
 use rar_telemetry::names;
 use rar_telemetry::{
@@ -67,7 +68,7 @@ use rar_workloads::{workload, TracePrefix};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -263,6 +264,8 @@ struct SweepCounters {
     cache_disabled: Gauge,
     inflight_waits: Counter,
     canceled: Counter,
+    breaker_state: Gauge,
+    breaker_trips: Counter,
 }
 
 impl SweepCounters {
@@ -285,6 +288,8 @@ impl SweepCounters {
             cache_disabled: registry.gauge(names::SWEEP_CACHE_DISABLED),
             inflight_waits: registry.counter(names::SWEEP_INFLIGHT_WAITS),
             canceled: registry.counter(names::SWEEP_CELLS_CANCELED),
+            breaker_state: registry.gauge(names::SWEEP_CACHE_BREAKER_STATE),
+            breaker_trips: registry.counter(names::SWEEP_CACHE_BREAKER_TRIPS),
         }
     }
 }
@@ -359,10 +364,12 @@ pub struct SweepSession<P: Profiler = NullProfiler> {
     registry: MetricsRegistry,
     counters: SweepCounters,
     profiler: P,
-    /// Latched once disk-cache I/O keeps failing after retries; the
-    /// session then runs cache-off instead of re-probing a broken disk
-    /// on every cell.
-    cache_off: AtomicBool,
+    /// Circuit breaker guarding disk-cache I/O: it trips open once an
+    /// exhausted retry loop proves the disk broken (the sweep then runs
+    /// cache-off instead of hammering it per cell) and re-admits a single
+    /// probe after a cooldown, closing again if the disk recovered —
+    /// generalizing the old permanently-latched cache-off bit.
+    cache_breaker: CircuitBreaker,
     /// Workloads and config fingerprints seen by this session, for the
     /// run manifest.
     seen: Mutex<SeenInputs>,
@@ -498,7 +505,7 @@ impl<P: Profiler> SweepSession<P> {
             registry,
             counters,
             profiler,
-            cache_off: AtomicBool::new(false),
+            cache_breaker: CircuitBreaker::new(BreakerConfig::default()),
             seen: Mutex::new(SeenInputs::default()),
             inflight: Mutex::new(HashMap::new()),
             avf: Mutex::new(AvfAccum::default()),
@@ -577,6 +584,16 @@ impl<P: Profiler> SweepSession<P> {
         self.flight.as_ref()
     }
 
+    /// Replaces the disk-cache circuit-breaker configuration (default:
+    /// trip after one exhausted retry loop, re-probe after 30 s). Tests
+    /// use a zero cooldown to exercise the half-open recovery path
+    /// without waiting.
+    #[must_use]
+    pub fn cache_breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.cache_breaker = CircuitBreaker::new(config);
+        self
+    }
+
     /// Replaces the per-run [`Watchdog`] (default: generous cycle budget,
     /// no wall-clock bound).
     #[must_use]
@@ -637,49 +654,76 @@ impl<P: Profiler> SweepSession<P> {
         a.cells += 1;
     }
 
-    /// The usable disk cache, if any: `None` once repeated I/O errors
-    /// latched the session cache-off, and `None` whenever stall profiling
-    /// is on (cached entries carry no stall profile, and profiled runs
-    /// must not overwrite the byte-pinned cache entries).
+    /// The usable disk cache, if any: `None` while the cache circuit
+    /// breaker is open (it re-admits one probe per cooldown), and `None`
+    /// whenever stall profiling is on (cached entries carry no stall
+    /// profile, and profiled runs must not overwrite the byte-pinned
+    /// cache entries).
     fn live_cache(&self) -> Option<&DiskCache> {
-        if self.stalls || self.cache_off.load(Ordering::Relaxed) {
+        let cache = self.cache.as_ref()?;
+        if self.stalls || !self.cache_breaker.allow() {
             return None;
         }
-        self.cache.as_ref()
+        Some(cache)
     }
 
-    /// Runs one fallible cache I/O operation with retry-and-backoff.
-    /// Transient errors are retried [`CACHE_IO_ATTEMPTS`] times (1/4/16 ms
-    /// backoff, each counted in `rar_sweep_cache_io_errors_total`); if
-    /// every attempt fails the cache is latched off for the rest of the
-    /// session and `None` is returned — the sweep continues uncached
-    /// rather than hammering a broken disk or losing results.
+    /// Publishes the breaker's state into the session gauges. The legacy
+    /// `rar_sweep_cache_disabled` gauge stays meaningful: 1 whenever the
+    /// cache is not flowing normally (open or probing), 0 when closed.
+    fn publish_breaker_state(&self) {
+        let state = self.cache_breaker.state();
+        self.counters.breaker_state.set(state.as_gauge());
+        self.counters
+            .cache_disabled
+            .set(if state == BreakerState::Closed {
+                0.0
+            } else {
+                1.0
+            });
+    }
+
+    /// Runs one fallible cache I/O operation under the shared
+    /// [`retry_with_backoff`] helper ([`RetryPolicy::quick`]: 3 attempts,
+    /// jittered 1–16 ms sleeps, each failed attempt counted in
+    /// `rar_sweep_cache_io_errors_total`). Exhausting the retries records
+    /// a failure against the cache circuit breaker — tripping it open, so
+    /// the sweep continues uncached instead of hammering a broken disk —
+    /// and any success closes the breaker again (the half-open probe's
+    /// recovery path).
     fn cache_io<T>(
         &self,
         what: &str,
         cfg: &SimConfig,
         mut op: impl FnMut() -> std::io::Result<T>,
     ) -> Option<T> {
-        const CACHE_IO_ATTEMPTS: u32 = 3;
-        for attempt in 0..CACHE_IO_ATTEMPTS {
-            match op() {
-                Ok(v) => return Some(v),
-                Err(e) => {
-                    self.counters.cache_io_errors.inc();
-                    if attempt + 1 < CACHE_IO_ATTEMPTS {
-                        std::thread::sleep(Duration::from_millis(1 << (2 * attempt)));
-                    } else if !self.cache_off.swap(true, Ordering::Relaxed) {
-                        self.counters.cache_disabled.set(1.0);
-                        eprintln!(
-                            "[rar-sim] warning: disk cache disabled after repeated I/O \
-                             errors ({what} {}/{}): {e}",
-                            cfg.workload, cfg.technique
-                        );
-                    }
+        // Fixed jitter seed: sleep schedules never influence results,
+        // they only need to be reproducible for chaos-run replay.
+        const CACHE_RETRY_SEED: u64 = 0x5eed_cac4e;
+        let outcome = retry_with_backoff(
+            RetryPolicy::quick(),
+            CACHE_RETRY_SEED,
+            Some(&self.counters.cache_io_errors),
+            |_| op(),
+        );
+        match outcome {
+            Ok(v) => {
+                self.cache_breaker.record_success();
+                self.publish_breaker_state();
+                Some(v)
+            }
+            Err(e) => {
+                if self.cache_breaker.record_failure() {
+                    self.counters.breaker_trips.inc();
+                    eprintln!(
+                        "[rar-sim] warning: disk-cache circuit breaker opened after \
+                         repeated I/O errors ({what} {}/{}): {e}",
+                        cfg.workload, cfg.technique
+                    );
                 }
+                self.publish_breaker_state();
+                None
             }
         }
-        None
     }
 
     /// Cache → single-flight gate → memoize → simulate for one
@@ -1448,7 +1492,7 @@ mod tests {
         let cfg = &grid()[0];
         let result = session.run(cfg).expect("sweep must survive a broken disk");
         assert_eq!(&result, &Simulation::run(cfg), "results stay correct");
-        // The probe retried (3 attempts), then latched the cache off —
+        // The probe retried (3 attempts), then tripped the breaker open —
         // the store phase never touched the broken disk.
         let io_errors = session.registry().counter(names::SWEEP_CACHE_IO_ERRORS);
         assert_eq!(io_errors.get(), 3);
@@ -1456,11 +1500,64 @@ mod tests {
             session.registry().gauge(names::SWEEP_CACHE_DISABLED).get(),
             1.0
         );
-        // Later cells skip the cache entirely: no further I/O attempts.
+        assert_eq!(
+            session
+                .registry()
+                .counter(names::SWEEP_CACHE_BREAKER_TRIPS)
+                .get(),
+            1
+        );
+        // Later cells skip the cache entirely while the breaker is open
+        // (the default 30 s cooldown dwarfs this test): no further I/O.
         let again = session.run(cfg).unwrap();
         assert_eq!(again, result);
         assert_eq!(io_errors.get(), 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cache_breaker_reprobes_and_recovers_after_cooldown() {
+        // Break the disk (a file where the cache directory should be),
+        // trip the breaker, then fix the disk: with a zero cooldown the
+        // next cell's probe is the half-open probe, and its success must
+        // close the breaker and resume normal caching.
+        let path = std::env::temp_dir().join(format!("rar-sweep-breaker-{}", std::process::id()));
+        std::fs::write(&path, b"not a directory").unwrap();
+        let session = SweepSession::with_disk_cache(&path).cache_breaker_config(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+        });
+        let cfg = &grid()[0];
+        let expected = Simulation::run(cfg);
+        assert_eq!(session.run(cfg).unwrap(), expected);
+        // Zero cooldown means the store path re-probed immediately and
+        // tripped the breaker a second time (probe trip + store trip).
+        assert_eq!(
+            session
+                .registry()
+                .counter(names::SWEEP_CACHE_BREAKER_TRIPS)
+                .get(),
+            2
+        );
+        // Fix the disk and rerun: the probe recovers, the breaker closes,
+        // and the store path persists the entry for the warm rerun.
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(session.run(cfg).unwrap(), expected);
+        assert_eq!(
+            session.registry().gauge(names::SWEEP_CACHE_DISABLED).get(),
+            0.0
+        );
+        assert_eq!(
+            session
+                .registry()
+                .gauge(names::SWEEP_CACHE_BREAKER_STATE)
+                .get(),
+            0.0
+        );
+        // Warm rerun replays from disk: the recovered cache really works.
+        assert_eq!(session.run(cfg).unwrap(), expected);
+        assert_eq!(session.stats().cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&path);
     }
 
     #[test]

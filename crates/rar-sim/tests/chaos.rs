@@ -1,0 +1,176 @@
+// Chaos builds only: `cargo test -p rar-sim --features chaos --test chaos`.
+#![cfg(feature = "chaos")]
+//! Convergence under the chaos fabric: with each disk-cache and
+//! campaign-journal fail-point class armed on a deterministic schedule,
+//! sweep results and injection tallies must stay byte-identical to a
+//! clean run. The fabric may cost retries, re-simulations and opened
+//! circuit breakers — never different bytes.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use rar_chaos::{sites, ChaosPlan};
+use rar_inject::CampaignSpec;
+use rar_sim::inject::{run_injection_campaign, InjectionHarness};
+use rar_sim::{json, SimConfig, SweepSession};
+
+/// The chaos fabric is process-global; armed tests serialize on this.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A unique scratch dir per test; removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("rar-sim-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::builder()
+        .workload("mcf")
+        .technique(rar_core::Technique::Rar)
+        .instructions(2_000)
+        .warmup(300)
+        .build()
+}
+
+/// A few cells, so per-site call counters advance far enough for every
+/// scheduled offset to fire (e.g. corrupt-on-read only triggers on reads
+/// of an entry that exists).
+fn grid() -> Vec<SimConfig> {
+    ["mcf", "libquantum", "milc"]
+        .into_iter()
+        .map(|w| {
+            SimConfig::builder()
+                .workload(w)
+                .technique(rar_core::Technique::Rar)
+                .instructions(2_000)
+                .warmup(300)
+                .build()
+        })
+        .collect()
+}
+
+/// One populate-then-replay pair over the grid against a fresh cache
+/// dir, returning both concatenated result documents (replay cells may
+/// be cache hits or chaos-degraded re-simulations — the bytes must not
+/// care).
+fn sweep_pair(scratch: &Scratch) -> (String, String) {
+    let run_all = || {
+        let session = SweepSession::with_disk_cache(scratch.0.join("cache"));
+        grid()
+            .iter()
+            .map(|cfg| {
+                let r = session.run(cfg).expect("sweep cell");
+                json::to_json_for(cfg, &r)
+            })
+            .collect::<String>()
+    };
+    (run_all(), run_all())
+}
+
+fn injected(site: &str) -> u64 {
+    rar_chaos::injected_counts()
+        .into_iter()
+        .find(|(s, _)| s == site)
+        .map_or(0, |(_, n)| n)
+}
+
+#[test]
+fn cache_read_errors_and_corruption_converge_byte_identical() {
+    let _guard = lock();
+    rar_chaos::clear();
+    let clean = sweep_pair(&Scratch::new("read-clean"));
+    assert_eq!(clean.0, clean.1, "clean cache replay must be stable");
+
+    // Alternate an I/O error (even probes) with a corrupted entry (odd
+    // probes): both degrade the probe to a miss and re-simulate.
+    rar_chaos::install(
+        &ChaosPlan::single(sites::SIM_CACHE_READ_ERR, 2, 0)
+            .with_site(sites::SIM_CACHE_READ_CORRUPT, 2, 1)
+            .with_seed(7),
+    );
+    let chaotic = sweep_pair(&Scratch::new("read-chaos"));
+    let fired = (
+        injected(sites::SIM_CACHE_READ_ERR),
+        injected(sites::SIM_CACHE_READ_CORRUPT),
+    );
+    rar_chaos::clear();
+    assert!(fired.0 > 0, "read-error fail-point never fired");
+    assert!(fired.1 > 0, "corruption fail-point never fired");
+    assert_eq!(clean.0, chaotic.0);
+    assert_eq!(clean.0, chaotic.1);
+}
+
+#[test]
+fn cache_write_errors_and_slow_io_converge_byte_identical() {
+    let _guard = lock();
+    rar_chaos::clear();
+    let clean = sweep_pair(&Scratch::new("write-clean"));
+
+    rar_chaos::install(
+        &ChaosPlan::single(sites::SIM_CACHE_WRITE_ERR, 2, 0)
+            .with_site(sites::SIM_CACHE_IO_SLOW, 2, 0)
+            .with_seed(11),
+    );
+    let chaotic = sweep_pair(&Scratch::new("write-chaos"));
+    let fired = (
+        injected(sites::SIM_CACHE_WRITE_ERR),
+        injected(sites::SIM_CACHE_IO_SLOW),
+    );
+    rar_chaos::clear();
+    assert!(fired.0 > 0, "write-error fail-point never fired");
+    assert!(fired.1 > 0, "slow-I/O fail-point never fired");
+    assert_eq!(clean.0, chaotic.0);
+    assert_eq!(clean.0, chaotic.1);
+}
+
+#[test]
+fn campaign_journal_append_errors_converge_byte_identical() {
+    let _guard = lock();
+    rar_chaos::clear();
+    let harness = InjectionHarness::prepare(&cfg()).expect("harness");
+    let run = |scratch: &Scratch| {
+        let spec = CampaignSpec {
+            samples: 40,
+            threads: 1,
+            journal: Some(scratch.0.join("campaign.jsonl")),
+            fsync_every: 2,
+            ..CampaignSpec::default()
+        };
+        run_injection_campaign(&harness, &spec, 7, None, None).expect("campaign")
+    };
+
+    let clean_scratch = Scratch::new("inject-clean");
+    let clean = run(&clean_scratch);
+
+    // Every other journal flush fails before any bytes land; the writer
+    // keeps the records buffered and the shared retry re-flushes them.
+    rar_chaos::install(&ChaosPlan::single(sites::INJECT_JOURNAL_APPEND_ERR, 2, 0).with_seed(13));
+    let chaos_scratch = Scratch::new("inject-chaos");
+    let chaotic = run(&chaos_scratch);
+    let fired = injected(sites::INJECT_JOURNAL_APPEND_ERR);
+    rar_chaos::clear();
+
+    assert!(fired > 0, "journal-append fail-point never fired");
+    assert_eq!(clean.completed, chaotic.completed);
+    assert_eq!(clean.failed, chaotic.failed);
+    assert_eq!(
+        clean.tally.to_json(),
+        chaotic.tally.to_json(),
+        "injection tallies diverged under journal chaos"
+    );
+}

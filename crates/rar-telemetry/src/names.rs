@@ -48,9 +48,15 @@ pub const SWEEP_INFLIGHT_WAITS: &str = "rar_sweep_inflight_waits_total";
 /// Cells skipped because the sweep's cancellation token was set before
 /// they were claimed.
 pub const SWEEP_CELLS_CANCELED: &str = "rar_sweep_cells_canceled_total";
+/// Disk-cache circuit-breaker state (gauge: 0 closed, 1 open,
+/// 2 half-open).
+pub const SWEEP_CACHE_BREAKER_STATE: &str = "rar_sweep_cache_breaker_state";
+/// Times the disk-cache circuit breaker tripped open after exhausted
+/// retries.
+pub const SWEEP_CACHE_BREAKER_TRIPS: &str = "rar_sweep_cache_breaker_trips_total";
 
 /// Every sweep-engine name above, for exhaustive registration and tests.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 19] = [
     SWEEP_CELLS_SIMULATED,
     SWEEP_CACHE_HITS,
     SWEEP_CELLS_REJECTED,
@@ -68,6 +74,8 @@ pub const ALL: [&str; 17] = [
     SWEEP_CACHE_DISABLED,
     SWEEP_INFLIGHT_WAITS,
     SWEEP_CELLS_CANCELED,
+    SWEEP_CACHE_BREAKER_STATE,
+    SWEEP_CACHE_BREAKER_TRIPS,
 ];
 
 /// Fault injections executed (every outcome).
@@ -125,10 +133,21 @@ pub const SERVE_REQUEST_NANOS: &str = "rar_serve_request_nanos";
 /// Seconds the most recently claimed job spent waiting on the queue
 /// (gauge).
 pub const SERVE_QUEUE_WAIT_SECONDS: &str = "rar_serve_queue_wait_seconds";
+/// Submissions rejected with 429 because the bounded queue was full.
+pub const SERVE_JOBS_REJECTED: &str = "rar_serve_jobs_rejected_total";
+/// Panicked worker threads respawned by their supervisor.
+pub const SERVE_WORKER_RESTARTS: &str = "rar_serve_worker_restarts_total";
+/// Transient queue-journal append failures absorbed by
+/// retry-with-backoff.
+pub const SERVE_JOURNAL_RETRIES: &str = "rar_serve_journal_retries_total";
+/// Faults injected by the chaos fabric, labeled by fail-point `site`.
+/// Exported straight from `rar-chaos` by the daemon's `/metrics` route
+/// (zero series in production builds, where the fabric compiles away).
+pub const CHAOS_INJECTIONS: &str = "rar_chaos_injections_total";
 
 /// Every serve-daemon name above (registered by `rar-serve`; kept out of
 /// [`ALL`] so sweep-session export coverage stays exact).
-pub const SERVE_ALL: [&str; 10] = [
+pub const SERVE_ALL: [&str; 13] = [
     SERVE_HTTP_REQUESTS,
     SERVE_JOBS_SUBMITTED,
     SERVE_JOBS_COMPLETED,
@@ -139,11 +158,14 @@ pub const SERVE_ALL: [&str; 10] = [
     SERVE_WORKERS,
     SERVE_REQUEST_NANOS,
     SERVE_QUEUE_WAIT_SECONDS,
+    SERVE_JOBS_REJECTED,
+    SERVE_WORKER_RESTARTS,
+    SERVE_JOURNAL_RETRIES,
 ];
 
 #[cfg(test)]
 mod tests {
-    use super::{ALL, INJECT_ALL, SERVE_ALL};
+    use super::{ALL, CHAOS_INJECTIONS, INJECT_ALL, SERVE_ALL};
     use crate::export::sanitize_metric_name;
 
     #[test]
@@ -152,6 +174,7 @@ mod tests {
             .iter()
             .chain(INJECT_ALL.iter())
             .chain(SERVE_ALL.iter())
+            .chain(std::iter::once(&CHAOS_INJECTIONS))
             .copied()
             .collect();
         let mut sorted = all.clone();

@@ -1,7 +1,7 @@
 //! Causal span tracing: parent/child wall-clock spans with monotonic
 //! timestamps, recorded cheaply enough to leave on in a daemon.
 //!
-//! The same zero-cost-when-off contract as [`Profiler`](crate::Profiler):
+//! The same zero-cost-when-off contract as [`crate::Profiler`]:
 //! code that wants spans is generic over a [`SpanRecorder`] whose
 //! `ENABLED` constant gates every site, so with [`NullRecorder`] the
 //! clock is never read and the instrumented binary is bit-identical to

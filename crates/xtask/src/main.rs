@@ -43,6 +43,10 @@
 //!    `StallBucket` variant is named, listed in `ALL`, and rendered by
 //!    both the Prometheus (`record_into`) and JSON (`rar-sim json.rs`)
 //!    export paths plus the bench report.
+//! 9. **chaos-coverage** — the chaos fail-point catalog stays honest:
+//!    every site registered in `rar_chaos::sites` is listed in
+//!    `sites::ALL`, documented by its dotted name in DESIGN.md, and
+//!    exercised (by const name) in at least one integration test.
 //!
 //! Each lint prints `ok`/`FAIL` per rule; any failure exits nonzero so CI
 //! can gate on it.
@@ -573,6 +577,69 @@ fn lint_obs_coverage(lint: &mut Lint) {
     );
 }
 
+/// Lint 9: the chaos fail-point catalog stays honest — every site
+/// registered in `rar_chaos::sites` is listed in `sites::ALL`,
+/// documented by its dotted name in DESIGN.md, and exercised (by const
+/// name) in at least one integration test. A fail-point nobody can look
+/// up or that no test fires is dead weight pretending to be coverage.
+fn lint_chaos_coverage(lint: &mut Lint) {
+    println!("chaos-coverage");
+    let failpoint = read("crates/rar-chaos/src/failpoint.rs");
+    let module = failpoint
+        .split("pub mod sites")
+        .nth(1)
+        .and_then(|rest| rest.split("\n}").next())
+        .unwrap_or("");
+    // (const ident, dotted site name) pairs; ALL itself is `[&str; N]`
+    // so the `: &str =` filter skips it.
+    let sites: Vec<(&str, &str)> = module
+        .lines()
+        .map(str::trim_start)
+        .filter(|l| l.starts_with("pub const ") && l.contains(": &str = \""))
+        .filter_map(|l| {
+            let ident = l.strip_prefix("pub const ")?.split(':').next()?;
+            let name = l.split('"').nth(1)?;
+            Some((ident, name))
+        })
+        .collect();
+    lint.check(
+        "chaos-coverage",
+        sites.len() >= 11,
+        format!("{} fail-point sites registered", sites.len()),
+    );
+    let all_body = module.split("pub const ALL").nth(1).unwrap_or("");
+    let design = read("DESIGN.md");
+    let mut tests = String::new();
+    if let Ok(crates) = std::fs::read_dir(root().join("crates")) {
+        for krate in crates.flatten() {
+            if let Ok(files) = std::fs::read_dir(krate.path().join("tests")) {
+                for file in files.flatten() {
+                    if file.path().extension().is_some_and(|e| e == "rs") {
+                        tests.push_str(&std::fs::read_to_string(file.path()).unwrap_or_default());
+                    }
+                }
+            }
+        }
+    }
+    for (ident, name) in &sites {
+        lint.check(
+            "chaos-coverage",
+            all_body.contains(ident),
+            format!("site {ident} is listed in sites::ALL"),
+        );
+        lint.check(
+            "chaos-coverage",
+            design.contains(name),
+            format!("site {name} is documented in DESIGN.md"),
+        );
+        lint.check(
+            "chaos-coverage",
+            tests.contains(ident),
+            format!("site {ident} is exercised by an integration test"),
+        );
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -586,6 +653,7 @@ fn main() -> ExitCode {
             lint_bit_transfer_coverage(&mut lint);
             lint_serve_panic_paths(&mut lint);
             lint_obs_coverage(&mut lint);
+            lint_chaos_coverage(&mut lint);
             if lint.failures.is_empty() {
                 println!("xtask lint: all checks passed");
                 ExitCode::SUCCESS
@@ -631,6 +699,7 @@ mod tests {
         lint_bit_transfer_coverage(&mut lint);
         lint_serve_panic_paths(&mut lint);
         lint_obs_coverage(&mut lint);
+        lint_chaos_coverage(&mut lint);
         assert!(lint.failures.is_empty(), "{:?}", lint.failures);
     }
 
